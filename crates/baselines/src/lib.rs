@@ -1,0 +1,42 @@
+//! Baseline recovery schemes the paper compares RTR against (§IV):
+//!
+//! * [`fcp`] — Failure-Carrying Packets (source-routing variant), the
+//!   reactive comparator: packets carry encountered failures and routers
+//!   recompute on every encounter;
+//! * [`mrc`] — Multiple Routing Configurations, the proactive comparator:
+//!   precomputed backup configurations, one configuration switch per
+//!   packet.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtr_topology::{generate, FailureScenario, NodeId};
+//! use rtr_baselines::fcp::fcp_route;
+//!
+//! // Diamond 0-1-3 / 0-2-3; the short branch 0-2 fails.
+//! let topo = {
+//!     let mut b = rtr_topology::Topology::builder();
+//!     let v0 = b.add_node(rtr_topology::Point::new(0.0, 0.0));
+//!     let v1 = b.add_node(rtr_topology::Point::new(1.0, 1.0));
+//!     let v2 = b.add_node(rtr_topology::Point::new(1.0, -1.0));
+//!     let v3 = b.add_node(rtr_topology::Point::new(2.0, 0.0));
+//!     b.add_link(v0, v1, 1).unwrap();
+//!     b.add_link(v1, v3, 1).unwrap();
+//!     b.add_link(v0, v2, 1).unwrap();
+//!     b.add_link(v2, v3, 1).unwrap();
+//!     b.build().unwrap()
+//! };
+//! let failed = topo.link_between(NodeId(0), NodeId(2)).unwrap();
+//! let scenario = FailureScenario::single_link(&topo, failed);
+//! let attempt = fcp_route(&topo, &scenario, NodeId(0), failed, NodeId(3));
+//! assert!(attempt.is_delivered());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fcp;
+pub mod mrc;
+
+pub use fcp::{fcp_route, FcpAttempt, FcpOutcome};
+pub use mrc::{mrc_recover, Mrc, MrcAttempt, MrcError, MrcOutcome};

@@ -1,0 +1,94 @@
+//! Scheme-level benchmarks: the costs a router actually pays — phase-1
+//! collection, phase-2 recomputation, a full RTR case, an FCP route, an
+//! MRC configuration build and recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_baselines::{fcp_route, mrc_recover, Mrc};
+use rtr_bench::fixture;
+use rtr_core::{collect_failure_info, RtrSession};
+use std::hint::black_box;
+
+fn bench_phase1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phase1_collection");
+    for name in ["AS1239", "AS3320", "AS7018"] {
+        let f = fixture(name, 250.0);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            b.iter(|| {
+                black_box(collect_failure_info(
+                    &f.topo,
+                    &f.crosslinks,
+                    &f.scenario,
+                    f.initiator,
+                    f.failed_link,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_rtr_case(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtr_full_case");
+    for name in ["AS1239", "AS3320", "AS7018"] {
+        let f = fixture(name, 250.0);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            b.iter(|| {
+                let mut session = RtrSession::start(
+                    &f.topo,
+                    &f.crosslinks,
+                    &f.scenario,
+                    f.initiator,
+                    f.failed_link,
+                );
+                black_box(session.recover(f.recoverable_dest))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fcp_route");
+    for name in ["AS1239", "AS3320", "AS7018"] {
+        let f = fixture(name, 250.0);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            b.iter(|| {
+                black_box(fcp_route(
+                    &f.topo,
+                    &f.scenario,
+                    f.initiator,
+                    f.failed_link,
+                    f.recoverable_dest,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mrc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mrc");
+    for name in ["AS1239", "AS3320"] {
+        let f = fixture(name, 250.0);
+        g.bench_with_input(BenchmarkId::new("build", name), &f, |b, f| {
+            b.iter(|| black_box(Mrc::build(&f.topo, 5).unwrap()))
+        });
+        let mrc = Mrc::build(&f.topo, 5).unwrap();
+        g.bench_with_input(BenchmarkId::new("recover", name), &f, |b, f| {
+            b.iter(|| {
+                black_box(mrc_recover(
+                    &f.topo,
+                    &mrc,
+                    &f.scenario,
+                    f.initiator,
+                    f.failed_link,
+                    f.recoverable_dest,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phase1, bench_full_rtr_case, bench_fcp, bench_mrc);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Shared fixtures for the RTR criterion benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rtr_routing::RoutingTable;
+use rtr_topology::{isp, CrossLinkTable, FailureScenario, FullView, GraphView, LinkId, NodeId, Region, Topology};
+
+/// A ready-to-bench failure situation on one Table II twin.
+pub struct Fixture {
+    /// Topology under test.
+    pub topo: Topology,
+    /// Pre-failure routing tables.
+    pub table: RoutingTable,
+    /// Cross-link table for phase 1.
+    pub crosslinks: CrossLinkTable,
+    /// Ground-truth failure.
+    pub scenario: FailureScenario,
+    /// A live router with a dead default next hop.
+    pub initiator: NodeId,
+    /// Its dead link.
+    pub failed_link: LinkId,
+    /// A destination reachable from the initiator in the ground truth.
+    pub recoverable_dest: NodeId,
+}
+
+/// Builds the standard fixture: the named twin plus a mid-plane failure
+/// circle of the given radius.
+///
+/// # Panics
+///
+/// Panics when the name is not in Table II or the circle breaks nothing.
+pub fn fixture(name: &str, radius: f64) -> Fixture {
+    let topo = isp::profile(name)
+        .unwrap_or_else(|| panic!("unknown topology {name}"))
+        .synthesize();
+    let table = RoutingTable::compute(&topo, &FullView);
+    let crosslinks = CrossLinkTable::new(&topo);
+    let scenario =
+        FailureScenario::from_region(&topo, &Region::circle((1000.0, 1000.0), radius));
+    let (initiator, failed_link) = topo
+        .node_ids()
+        .find_map(|n| {
+            if scenario.is_node_failed(n) {
+                return None;
+            }
+            let dead = topo
+                .neighbors(n)
+                .iter()
+                .find(|&&(_, l)| !scenario.is_link_usable(&topo, l))?;
+            let live = topo
+                .neighbors(n)
+                .iter()
+                .any(|&(_, l)| scenario.is_link_usable(&topo, l));
+            live.then_some((n, dead.1))
+        })
+        .expect("the circle breaks something");
+    let recoverable_dest = topo
+        .node_ids()
+        .find(|&t| t != initiator && rtr_topology::is_reachable(&topo, &scenario, initiator, t))
+        .expect("something is reachable");
+    Fixture { topo, table, crosslinks, scenario, initiator, failed_link, recoverable_dest }
+}

@@ -1,0 +1,9 @@
+//! The `rtr` command-line tool. See `rtr --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = rtr_cli::run(&args) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}

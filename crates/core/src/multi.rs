@@ -1,0 +1,280 @@
+//! Multi-area recovery (§III-E): chaining RTR sessions across failure
+//! areas.
+//!
+//! Base RTR discards a packet whose recovery path runs into a failure the
+//! first phase missed. §III-E sketches the extension for multiple failure
+//! areas: "the packet header needs to carry failure information of F1.
+//! When it encounters another failure area F2, the recovery initiator
+//! removes all failed links recorded in the packet header. Through it, the
+//! computed recovery path can bypass both F1 and F2."
+//!
+//! [`recover_multi_area`] implements that chain: when the source-routed
+//! packet hits a dead link, the router holding it becomes a *new* recovery
+//! initiator, runs its own phase 1, merges the carried failure set with
+//! what it collects, recomputes, and forwards again. Every encounter adds
+//! at least one new link to the carried set, so the chain terminates.
+
+use crate::phase1::collect_failure_info;
+use crate::phase2::DeliveryOutcome;
+use rtr_routing::{IncrementalSpt, SourceRoute};
+use rtr_sim::{ForwardingTrace, LinkIdSet};
+use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
+
+/// The result of a multi-area recovery chain.
+#[derive(Debug, Clone)]
+pub struct MultiAreaOutcome {
+    /// Final fate of the packet.
+    pub outcome: DeliveryOutcome,
+    /// Number of chained recovery sessions (1 = plain RTR sufficed).
+    pub sessions: usize,
+    /// Concatenated hop-by-hop trace: every phase-1 loop and every
+    /// source-routed segment, in order.
+    pub trace: ForwardingTrace,
+    /// All failed links the packet header accumulated.
+    pub carried: LinkIdSet,
+}
+
+impl MultiAreaOutcome {
+    /// Returns true when the destination was reached.
+    pub fn is_delivered(&self) -> bool {
+        self.outcome == DeliveryOutcome::Delivered
+    }
+}
+
+/// Recovers `initiator` → `dest` across any number of failure areas by
+/// chaining RTR sessions, carrying collected failure information in the
+/// packet header (§III-E). `max_sessions` bounds the chain (the carried
+/// set grows every round, so `topo.link_count()` is a safe upper bound;
+/// pass a small number to model a hop-budget).
+///
+/// # Panics
+///
+/// Panics if `failed_link` is not incident to `initiator` or is usable in
+/// `view` (same contract as [`crate::phase1::collect_failure_info`]).
+pub fn recover_multi_area(
+    topo: &Topology,
+    crosslinks: &CrossLinkTable,
+    view: &impl GraphView,
+    initiator: NodeId,
+    failed_link: LinkId,
+    dest: NodeId,
+    max_sessions: usize,
+) -> MultiAreaOutcome {
+    let mut carried = LinkIdSet::new();
+    let mut trace = ForwardingTrace::start(initiator, 0);
+    let mut cur_initiator = initiator;
+    let mut cur_failed = failed_link;
+    let mut sessions = 0usize;
+
+    while sessions < max_sessions {
+        sessions += 1;
+
+        // Phase 1 at the current initiator.
+        let p1 = collect_failure_info(topo, crosslinks, view, cur_initiator, cur_failed);
+        if p1.trace.hops() > 0 {
+            trace.extend_with(&p1.trace);
+        }
+        for l in &p1.header.failed_links {
+            carried.insert(l);
+        }
+        for &(_, l) in topo.neighbors(cur_initiator) {
+            if !view.is_link_usable(topo, l) {
+                carried.insert(l);
+            }
+        }
+
+        // Phase 2 on the union of everything the packet knows.
+        let mut spt = IncrementalSpt::new(topo, cur_initiator);
+        spt.remove_links(carried.iter());
+        let Some(path) = spt.path_to(dest) else {
+            return MultiAreaOutcome {
+                outcome: DeliveryOutcome::NoPath,
+                sessions,
+                trace,
+                carried,
+            };
+        };
+
+        // Source-route along the believed path until delivery or the next
+        // failure encounter.
+        let mut route = SourceRoute::from_path(&path);
+        let mut encounter: Option<(NodeId, LinkId)> = None;
+        for (i, &l) in path.links().iter().enumerate() {
+            let from = path.nodes()[i];
+            if !view.is_link_usable(topo, l) {
+                encounter = Some((from, l));
+                break;
+            }
+            route.advance();
+            trace.record_hop(path.nodes()[i + 1], carried.header_bytes() + route.header_bytes());
+        }
+        match encounter {
+            None => {
+                return MultiAreaOutcome {
+                    outcome: DeliveryOutcome::Delivered,
+                    sessions,
+                    trace,
+                    carried,
+                };
+            }
+            Some((at, l)) => {
+                // §III-E: the node that hit the next area becomes the new
+                // recovery initiator; the carried header keeps growing.
+                carried.insert(l);
+                cur_initiator = at;
+                cur_failed = l;
+            }
+        }
+    }
+
+    MultiAreaOutcome {
+        outcome: DeliveryOutcome::HitFailure { at_link: cur_failed },
+        sessions,
+        trace,
+        carried,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::RtrSession;
+    use rtr_topology::{generate, FailureScenario, Region};
+
+    fn entry_point(
+        topo: &Topology,
+        s: &FailureScenario,
+    ) -> Option<(NodeId, LinkId)> {
+        topo.node_ids().find_map(|n| {
+            if s.is_node_failed(n) {
+                return None;
+            }
+            let dead = topo
+                .neighbors(n)
+                .iter()
+                .find(|&&(_, l)| !s.is_link_usable(topo, l))?;
+            let live = topo
+                .neighbors(n)
+                .iter()
+                .any(|&(_, l)| s.is_link_usable(topo, l));
+            live.then_some((n, dead.1))
+        })
+    }
+
+    /// Finds a (topology seed, scenario) pair with a usable entry point.
+    fn scenario_with_entry(
+        region: &Region,
+        n: usize,
+        m: usize,
+    ) -> (Topology, FailureScenario, NodeId, LinkId) {
+        for seed in 0..50u64 {
+            let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+            let s = FailureScenario::from_region(&topo, region);
+            if let Some((initiator, failed)) = entry_point(&topo, &s) {
+                return (topo, s, initiator, failed);
+            }
+        }
+        panic!("no seed produced an entry point for {region:?}");
+    }
+
+    #[test]
+    fn single_area_behaves_like_plain_rtr() {
+        let (topo, s, initiator, failed) =
+            scenario_with_entry(&Region::circle((1000.0, 1000.0), 250.0), 30, 70);
+        let xl = CrossLinkTable::new(&topo);
+        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed);
+        for dest in topo.node_ids() {
+            if dest == initiator {
+                continue;
+            }
+            let plain = session.recover(dest);
+            let multi = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 16);
+            // Multi-area recovery delivers at least whatever plain RTR does.
+            if plain.is_delivered() {
+                assert!(multi.is_delivered(), "multi-area must not regress at {dest}");
+                assert_eq!(multi.sessions, 1, "one area needs one session");
+            }
+        }
+    }
+
+    #[test]
+    fn chains_across_two_areas() {
+        let region = Region::Union(vec![
+            Region::circle((600.0, 600.0), 250.0),
+            Region::circle((1400.0, 1400.0), 250.0),
+        ]);
+        let (topo, s, initiator, failed) = scenario_with_entry(&region, 45, 110);
+        let xl = CrossLinkTable::new(&topo);
+
+        let mut plain_failures = 0;
+        let mut multi_rescues = 0;
+        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed);
+        for dest in topo.node_ids() {
+            if dest == initiator || !rtr_topology::is_reachable(&topo, &s, initiator, dest) {
+                continue;
+            }
+            let plain = session.recover(dest);
+            let multi = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 32);
+            assert!(
+                multi.is_delivered(),
+                "reachable destination {dest} must be recovered by the chain"
+            );
+            if !plain.is_delivered() {
+                plain_failures += 1;
+                if multi.is_delivered() {
+                    multi_rescues += 1;
+                }
+            }
+        }
+        assert_eq!(plain_failures, multi_rescues);
+    }
+
+    #[test]
+    fn unreachable_destination_reports_no_path() {
+        let topo = generate::path(4, 10.0).unwrap();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(2)], []);
+        let failed = topo.link_between(NodeId(1), NodeId(2)).unwrap();
+        let out = recover_multi_area(&topo, &xl, &s, NodeId(1), failed, NodeId(3), 8);
+        assert_eq!(out.outcome, DeliveryOutcome::NoPath);
+        assert!(!out.is_delivered());
+    }
+
+    #[test]
+    fn session_budget_is_respected() {
+        let region = Region::Union(vec![
+            Region::circle((500.0, 500.0), 300.0),
+            Region::circle((1500.0, 1500.0), 300.0),
+        ]);
+        let (topo, s, initiator, failed) = scenario_with_entry(&region, 40, 100);
+        let xl = CrossLinkTable::new(&topo);
+        for dest in topo.node_ids() {
+            if dest == initiator {
+                continue;
+            }
+            let out = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 3);
+            assert!(out.sessions <= 3);
+        }
+    }
+
+    /// The carried set only ever contains genuinely failed links (the
+    /// multi-area analogue of E1 ⊆ E2).
+    #[test]
+    fn carried_failures_are_sound() {
+        let region = Region::Union(vec![
+            Region::circle((700.0, 700.0), 250.0),
+            Region::circle((1300.0, 1300.0), 200.0),
+        ]);
+        let (topo, s, initiator, failed) = scenario_with_entry(&region, 35, 85);
+        let xl = CrossLinkTable::new(&topo);
+        for dest in topo.node_ids().step_by(3) {
+            if dest == initiator {
+                continue;
+            }
+            let out = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 16);
+            for l in &out.carried {
+                assert!(!s.is_link_usable(&topo, l), "live link {l} carried as failed");
+            }
+        }
+    }
+}

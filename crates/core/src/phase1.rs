@@ -1,0 +1,390 @@
+//! RTR phase 1: forwarding data packets around the failure area to collect
+//! failure information (§III-B on planar graphs, §III-C on general graphs).
+//!
+//! The recovery initiator starts a counterclockwise right-hand-rule walk
+//! from its failed default next-hop link. Every router on the walk records
+//! its failed incident links (except those incident to the initiator, which
+//! the initiator already knows) in the packet's `failed_link` field. Two
+//! constraints keep the walk enclosing the failure area on general graphs:
+//!
+//! * **Constraint 1** — never cross a link between the initiator and one of
+//!   its unreachable neighbors (those links seed `cross_link`);
+//! * **Constraint 2** — never cross a link already traversed: whenever a
+//!   selected link is crossed by some still-selectable link, the selected
+//!   link is recorded in `cross_link` too.
+//!
+//! The walk terminates when the packet returns to the initiator and the
+//! initiator's sweep re-selects its original first hop (§III-C step 3).
+
+use crate::sweep::select_next_hop;
+use rtr_sim::{CollectionHeader, ForwardingTrace};
+use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
+
+/// Why phase 1 stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase1Termination {
+    /// The packet returned to the initiator and the sweep re-selected the
+    /// first hop: the loop around the failure area is complete.
+    Completed,
+    /// The initiator had no live neighbor at all; no packet could be sent.
+    InitiatorIsolated,
+    /// The step budget was exhausted — never expected (Theorem 1); kept as
+    /// a defensive bound so a bug cannot hang the simulation.
+    StepBudgetExhausted,
+}
+
+/// The outcome of a phase-1 collection walk.
+#[derive(Debug, Clone)]
+pub struct Phase1Result {
+    /// Final packet header: collected `failed_link` and `cross_link` sets.
+    pub header: CollectionHeader,
+    /// The hop-by-hop walk, starting and (normally) ending at the
+    /// initiator, with variable header bytes at each hop.
+    pub trace: ForwardingTrace,
+    /// How the walk ended.
+    pub termination: Phase1Termination,
+    /// The first hop selected by the initiator, if any.
+    pub first_hop: Option<(NodeId, LinkId)>,
+}
+
+impl Phase1Result {
+    /// Returns true when the walk completed its loop.
+    pub fn is_complete(&self) -> bool {
+        self.termination == Phase1Termination::Completed
+    }
+}
+
+/// Runs phase 1 from recovery initiator `initiator`, whose default next hop
+/// across `failed_default_link` was found unreachable.
+///
+/// `view` is the ground-truth failure state (routers *observe* it hop by
+/// hop; nothing is read globally: every decision uses only the local
+/// liveness of the current node's incident links plus the packet header).
+///
+/// # Panics
+///
+/// Panics if `failed_default_link` is not incident to `initiator` or is
+/// still usable in `view` (there would be nothing to recover from).
+pub fn collect_failure_info(
+    topo: &Topology,
+    crosslinks: &CrossLinkTable,
+    view: &impl GraphView,
+    initiator: NodeId,
+    failed_default_link: LinkId,
+) -> Phase1Result {
+    assert!(
+        topo.link(failed_default_link).is_incident_to(initiator),
+        "the failed default link must be incident to the initiator"
+    );
+    assert!(
+        !view.is_link_usable(topo, failed_default_link),
+        "phase 1 starts only when the default next hop is unreachable"
+    );
+
+    let mut header = CollectionHeader::new(initiator);
+
+    // §III-C step 1: seed cross_link with the initiator's links to
+    // unreachable neighbors that cross other links (Constraint 1).
+    for &(_, l) in topo.neighbors(initiator) {
+        if !view.is_link_usable(topo, l) && !crosslinks.is_cross_free(l) {
+            header.cross_links.insert(l);
+        }
+    }
+
+    let mut trace = ForwardingTrace::start(initiator, header.overhead_bytes());
+
+    // First hop: sweep from the failed default next hop.
+    let sweep_ref = topo.link(failed_default_link).other_end(initiator);
+    let Some(first_hop) = select_next_hop(topo, crosslinks, view, initiator, sweep_ref, &header.cross_links)
+    else {
+        return Phase1Result {
+            header,
+            trace,
+            termination: Phase1Termination::InitiatorIsolated,
+            first_hop: None,
+        };
+    };
+    record_selection_crossing(crosslinks, &mut header, first_hop.1);
+
+    // Defensive bound: Theorem 1 shows each link is traversed at most a
+    // constant number of times; 4·m + 8 is far beyond any legal walk.
+    let max_steps = 4 * topo.link_count() + 8;
+
+    let (mut prev, mut cur) = (initiator, first_hop.0);
+    trace.record_hop(cur, header.overhead_bytes());
+
+    for _ in 0..max_steps {
+        if cur == initiator {
+            // §III-C step 3: the initiator re-selects; if the selection is
+            // the first hop, the loop around the failure area is closed.
+            let Some(next) = select_next_hop(topo, crosslinks, view, cur, prev, &header.cross_links)
+            else {
+                // The only live neighbor vanished mid-walk cannot happen in
+                // a static scenario: the previous hop is always eligible.
+                unreachable!("previous hop is always an eligible candidate");
+            };
+            if next == first_hop {
+                return Phase1Result {
+                    header,
+                    trace,
+                    termination: Phase1Termination::Completed,
+                    first_hop: Some(first_hop),
+                };
+            }
+            record_selection_crossing(crosslinks, &mut header, next.1);
+            prev = cur;
+            cur = next.0;
+            trace.record_hop(cur, header.overhead_bytes());
+            continue;
+        }
+
+        // §III-C step 2: record this node's failed incident links, except
+        // links incident to the initiator (it already knows those).
+        for &(_, l) in topo.neighbors(cur) {
+            if !view.is_link_usable(topo, l)
+                && !topo.link(l).is_incident_to(initiator)
+                && !header.failed_links.contains(l)
+            {
+                header.failed_links.insert(l);
+            }
+        }
+
+        let Some(next) = select_next_hop(topo, crosslinks, view, cur, prev, &header.cross_links)
+        else {
+            unreachable!("previous hop is always an eligible candidate");
+        };
+        record_selection_crossing(crosslinks, &mut header, next.1);
+        prev = cur;
+        cur = next.0;
+        trace.record_hop(cur, header.overhead_bytes());
+    }
+
+    Phase1Result {
+        header,
+        trace,
+        termination: Phase1Termination::StepBudgetExhausted,
+        first_hop: Some(first_hop),
+    }
+}
+
+/// Constraint 2 bookkeeping: after selecting `link`, if some link crossing
+/// it is not yet excluded by the header (and could therefore be selected
+/// later, crossing the forwarding path), record `link` in `cross_link`.
+fn record_selection_crossing(
+    crosslinks: &CrossLinkTable,
+    header: &mut CollectionHeader,
+    link: LinkId,
+) {
+    if header.cross_links.contains(link) {
+        return;
+    }
+    let threatened = crosslinks
+        .crossings_of(link)
+        .iter()
+        .any(|&other| !crate::sweep::is_excluded(crosslinks, other, &header.cross_links));
+    if threatened {
+        header.cross_links.insert(link);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{FailureScenario, Point, Topology};
+
+    /// A wheel: hub v0 at the origin, 6 rim nodes around it, rim cycle plus
+    /// spokes. Killing the hub leaves the rim, and phase 1 must walk the
+    /// whole rim and return.
+    fn wheel6() -> Topology {
+        let mut b = Topology::builder();
+        b.add_node(Point::new(0.0, 0.0)); // hub v0
+        for i in 0..6 {
+            let theta = std::f64::consts::TAU * i as f64 / 6.0;
+            b.add_node(Point::new(10.0 * theta.cos(), 10.0 * theta.sin()));
+        }
+        for i in 1..=6u32 {
+            b.add_link(NodeId(0), NodeId(i), 1).unwrap();
+            let next = if i == 6 { 1 } else { i + 1 };
+            b.add_link(NodeId(i), NodeId(next), 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn walks_around_a_dead_hub_and_completes() {
+        let topo = wheel6();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
+        // v1's spoke to the hub failed; v1 initiates.
+        let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+        assert!(r.is_complete());
+        // The walk visits every rim node and returns to v1.
+        let visited: std::collections::HashSet<NodeId> = r.trace.nodes().collect();
+        for i in 1..=6 {
+            assert!(visited.contains(&NodeId(i)), "rim node v{i} not visited");
+        }
+        assert_eq!(r.trace.current_node(), NodeId(1));
+        // All spokes except v1's own are collected.
+        assert_eq!(r.header.failed_links.len(), 5);
+        for i in 2..=6u32 {
+            let l = topo.link_between(NodeId(i), NodeId(0)).unwrap();
+            assert!(r.header.failed_links.contains(l), "spoke of v{i} missing");
+        }
+        // v1's own spoke is not recorded (the initiator knows it).
+        assert!(!r.header.failed_links.contains(spoke));
+        // Planar wheel: no cross links recorded.
+        assert!(r.header.cross_links.is_empty());
+    }
+
+    #[test]
+    fn single_link_failure_walk_is_short_and_records_nothing() {
+        let topo = wheel6();
+        let xl = CrossLinkTable::new(&topo);
+        let rim = topo.link_between(NodeId(1), NodeId(2)).unwrap();
+        let s = FailureScenario::single_link(&topo, rim);
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), rim);
+        assert!(r.is_complete());
+        // The only failed link is incident to the initiator: nothing to
+        // record, and the initiator can see it locally.
+        assert!(r.header.failed_links.is_empty());
+    }
+
+    #[test]
+    fn isolated_initiator_terminates_immediately() {
+        let topo = wheel6();
+        let xl = CrossLinkTable::new(&topo);
+        // Everything around v1 dead.
+        let s = FailureScenario::from_parts(&topo, [NodeId(0), NodeId(2), NodeId(6)], []);
+        let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+        assert_eq!(r.termination, Phase1Termination::InitiatorIsolated);
+        assert_eq!(r.trace.hops(), 0);
+        assert!(r.first_hop.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "default next hop is unreachable")]
+    fn rejects_live_default_link() {
+        let topo = wheel6();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::none(&topo);
+        let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
+        let _ = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+    }
+
+    #[test]
+    #[should_panic(expected = "incident to the initiator")]
+    fn rejects_non_incident_link() {
+        let topo = wheel6();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
+        let far = topo.link_between(NodeId(3), NodeId(4)).unwrap();
+        let _ = collect_failure_info(&topo, &xl, &s, NodeId(1), far);
+    }
+
+    #[test]
+    fn trace_bytes_grow_monotonically_with_recordings() {
+        let topo = wheel6();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
+        let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+        let bytes: Vec<usize> = r.trace.steps().iter().map(|s| s.header_bytes).collect();
+        assert!(bytes.windows(2).all(|w| w[0] <= w[1]), "header only grows in phase 1");
+        assert_eq!(*bytes.last().unwrap(), r.header.overhead_bytes());
+    }
+
+    /// Fig. 4's failure mode: a chord that crosses the initiator's failed
+    /// link would lead the walk the wrong way around the failure area;
+    /// Constraint 1 must exclude it.
+    #[test]
+    fn constraint1_blocks_chord_crossing_failed_link() {
+        // Initiator v0 at origin. Failed default next hop v1 to the east.
+        // A long chord v0-v2 whose segment crosses v0-v1? A chord from v0
+        // cannot cross its own link, so model the Fig. 4 shape: the chord
+        // is v3-v4 crossing v0-v1; the walk starts at v0 and reaches v3,
+        // where the chord to v4 must be skipped because it crosses the
+        // initiator's failed link.
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0)); // initiator
+        let v1 = b.add_node(Point::new(10.0, 0.0)); // failed next hop
+        let v3 = b.add_node(Point::new(5.0, 5.0)); // above the failed link
+        let v4 = b.add_node(Point::new(5.0, -5.0)); // below the failed link
+        let v5 = b.add_node(Point::new(12.0, 6.0)); // detour node above
+        b.add_link(v0, v1, 1).unwrap(); // will fail
+        b.add_link(v0, v3, 1).unwrap();
+        let chord = b.add_link(v3, v4, 1).unwrap(); // crosses v0-v1
+        b.add_link(v3, v5, 1).unwrap();
+        b.add_link(v5, v1, 1).unwrap();
+        b.add_link(v4, v0, 1).unwrap();
+        let topo = b.build().unwrap();
+        let xl = CrossLinkTable::new(&topo);
+        let failed = topo.link_between(v0, v1).unwrap();
+        assert!(xl.crosses(chord, failed), "fixture: chord crosses the failed link");
+
+        let s = FailureScenario::single_link(&topo, failed);
+        let r = collect_failure_info(&topo, &xl, &s, v0, failed);
+        assert!(r.is_complete());
+        // Constraint 1 seeded cross_link with the failed link.
+        assert!(r.header.cross_links.contains(failed));
+        // The chord was never traversed.
+        let hops: Vec<NodeId> = r.trace.nodes().collect();
+        for w in hops.windows(2) {
+            let l = topo.link_between(w[0], w[1]).unwrap();
+            assert_ne!(l, chord, "walk must not traverse the crossing chord");
+        }
+    }
+}
+
+/// Merged result of running the collection walk once per distinct
+/// unreachable neighbor of the initiator (the "thorough" variant).
+#[derive(Debug, Clone)]
+pub struct ThoroughCollection {
+    /// Union of the headers of all sweeps (failed and cross links merged).
+    pub header: CollectionHeader,
+    /// Total hops walked across all sweeps (the cost of thoroughness).
+    pub total_hops: usize,
+    /// Number of sweeps run (= the initiator's unreachable-neighbor count).
+    pub sweeps: usize,
+}
+
+/// The extension the paper weighs and rejects in §III-C ("recording all
+/// failed links requires visiting every node adjacent to the failure area
+/// … a much longer forwarding path"): sweep once per unreachable neighbor
+/// of the initiator instead of once total, merging everything collected.
+/// Each sweep is the unmodified single-walk protocol, so soundness
+/// (E1 ⊆ E2) is preserved; coverage grows at the price of `total_hops`.
+///
+/// # Panics
+///
+/// Panics if the initiator has no unreachable neighbor (there is nothing
+/// to recover from).
+pub fn collect_failure_info_thorough(
+    topo: &Topology,
+    crosslinks: &CrossLinkTable,
+    view: &impl GraphView,
+    initiator: NodeId,
+) -> ThoroughCollection {
+    let dead: Vec<LinkId> = topo
+        .neighbors(initiator)
+        .iter()
+        .filter(|&&(_, l)| !view.is_link_usable(topo, l))
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(!dead.is_empty(), "thorough collection needs an unreachable neighbor");
+
+    let mut header = CollectionHeader::new(initiator);
+    let mut total_hops = 0;
+    for &l in &dead {
+        let r = collect_failure_info(topo, crosslinks, view, initiator, l);
+        total_hops += r.trace.hops();
+        for f in &r.header.failed_links {
+            header.failed_links.insert(f);
+        }
+        for c in &r.header.cross_links {
+            header.cross_links.insert(c);
+        }
+    }
+    ThoroughCollection { header, total_hops, sweeps: dead.len() }
+}

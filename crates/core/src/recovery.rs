@@ -1,0 +1,248 @@
+//! The complete RTR recovery session: phase 1 + phase 2 from one recovery
+//! initiator, serving every destination whose failed routing path crosses
+//! that initiator (§III-A: "The first phase of RTR needs to run only once
+//! at a recovery initiator and can benefit all destinations").
+
+use crate::phase1::{collect_failure_info, Phase1Result};
+use crate::phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer};
+use rtr_routing::Path;
+use rtr_sim::ForwardingTrace;
+use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
+
+/// One recovery attempt for a destination.
+#[derive(Debug, Clone)]
+pub struct RecoveryAttempt {
+    /// What happened to the packet.
+    pub outcome: DeliveryOutcome,
+    /// The believed recovery path, when the initiator's view had one.
+    pub path: Option<Path>,
+    /// The phase-2 source-routed walk (empty when no path existed).
+    pub trace: ForwardingTrace,
+}
+
+impl RecoveryAttempt {
+    /// Returns true when the destination was reached.
+    pub fn is_delivered(&self) -> bool {
+        self.outcome == DeliveryOutcome::Delivered
+    }
+}
+
+/// An RTR session at one recovery initiator: the phase-1 walk has run, the
+/// repaired view and SPT are built, and recovery paths are served from the
+/// per-destination cache.
+#[derive(Debug)]
+pub struct RtrSession<'a, V> {
+    topo: &'a Topology,
+    view: &'a V,
+    phase1: Phase1Result,
+    computer: RecoveryComputer<'a>,
+}
+
+impl<'a, V: GraphView> RtrSession<'a, V> {
+    /// Starts RTR at `initiator`, whose default next hop over
+    /// `failed_default_link` is unreachable: runs the phase-1 collection
+    /// walk, merges the collected failures with the initiator's local
+    /// knowledge, and computes the recovery SPT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed_default_link` is not incident to `initiator` or
+    /// is still usable in `view`.
+    pub fn start(
+        topo: &'a Topology,
+        crosslinks: &CrossLinkTable,
+        view: &'a V,
+        initiator: NodeId,
+        failed_default_link: LinkId,
+    ) -> Self {
+        let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link);
+        let computer = RecoveryComputer::new(topo, view, initiator, &phase1.header);
+        RtrSession { topo, view, phase1, computer }
+    }
+
+    /// The recovery initiator.
+    pub fn initiator(&self) -> NodeId {
+        self.computer.initiator()
+    }
+
+    /// The phase-1 result (walk trace, collected header, termination).
+    pub fn phase1(&self) -> &Phase1Result {
+        &self.phase1
+    }
+
+    /// Shortest-path calculations performed so far (always 1; §IV-C).
+    pub fn sp_calculations(&self) -> usize {
+        self.computer.sp_calculations()
+    }
+
+    /// The believed recovery path to `dest` (cached per destination).
+    pub fn recovery_path(&mut self, dest: NodeId) -> Option<Path> {
+        self.computer.recovery_path(dest)
+    }
+
+    /// Recovers traffic toward `dest`: computes (or fetches) the believed
+    /// shortest path and source-routes one packet along it over the ground
+    /// truth.
+    pub fn recover(&mut self, dest: NodeId) -> RecoveryAttempt {
+        let path = self.computer.recovery_path(dest);
+        let (outcome, trace) = source_route_walk(self.topo, self.view, self.initiator(), path.as_ref());
+        RecoveryAttempt { outcome, path, trace }
+    }
+
+    /// Access to the underlying recovery computer (for extensions such as
+    /// multi-area recovery that need to seed further sessions).
+    pub fn computer(&self) -> &RecoveryComputer<'a> {
+        &self.computer
+    }
+}
+
+impl<'a, V: GraphView> RtrSession<'a, V> {
+    /// Starts an RTR session using the *thorough* first phase: one
+    /// collection walk per unreachable neighbor of the initiator (see
+    /// [`crate::phase1::collect_failure_info_thorough`]). Better failure
+    /// coverage, longer total walk — the trade-off §III-C discusses. The
+    /// stored phase-1 result is the sweep from `failed_default_link`.
+    ///
+    /// Returns the session plus the total hops across all sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RtrSession::start`].
+    pub fn start_thorough(
+        topo: &'a Topology,
+        crosslinks: &CrossLinkTable,
+        view: &'a V,
+        initiator: NodeId,
+        failed_default_link: LinkId,
+    ) -> (Self, usize) {
+        let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link);
+        let thorough = crate::phase1::collect_failure_info_thorough(topo, crosslinks, view, initiator);
+        let computer = RecoveryComputer::new(topo, view, initiator, &thorough.header);
+        let total_hops = thorough.total_hops;
+        (RtrSession { topo, view, phase1, computer }, total_hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{generate, FailureScenario, Point, Region};
+
+    /// Wheel with dead hub: every rim-to-rim recovery succeeds optimally.
+    #[test]
+    fn end_to_end_recovery_on_wheel() {
+        let mut b = rtr_topology::Topology::builder();
+        b.add_node(Point::new(0.0, 0.0));
+        for i in 0..8 {
+            let theta = std::f64::consts::TAU * i as f64 / 8.0;
+            b.add_node(Point::new(10.0 * theta.cos(), 10.0 * theta.sin()));
+        }
+        for i in 1..=8u32 {
+            b.add_link(NodeId(0), NodeId(i), 1).unwrap();
+            let next = if i == 8 { 1 } else { i + 1 };
+            b.add_link(NodeId(i), NodeId(next), 1).unwrap();
+        }
+        let topo = b.build().unwrap();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
+        let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
+        let mut session = RtrSession::start(&topo, &xl, &s, NodeId(1), spoke);
+        assert!(session.phase1().is_complete());
+        assert_eq!(session.initiator(), NodeId(1));
+
+        // Recover to the node diametrically opposite (old route was via
+        // the hub, 2 hops; now 4 hops around the rim).
+        let attempt = session.recover(NodeId(5));
+        assert!(attempt.is_delivered());
+        let p = attempt.path.unwrap();
+        assert_eq!(p.cost(), 4);
+        // Theorem 2: the recovery path equals the ground-truth optimum.
+        let optimal = rtr_routing::shortest_path(&topo, &s, NodeId(1), NodeId(5)).unwrap();
+        assert_eq!(p.cost(), optimal.cost());
+
+        // One SP calculation regardless of how many destinations recover.
+        for i in 2..=8 {
+            let a = session.recover(NodeId(i));
+            assert!(a.is_delivered(), "v{i}");
+        }
+        assert_eq!(session.sp_calculations(), 1);
+    }
+
+    #[test]
+    fn recovery_to_unreachable_destination_discards_immediately() {
+        let topo = generate::path(4, 10.0).unwrap();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(2)], []);
+        let failed = topo.link_between(NodeId(1), NodeId(2)).unwrap();
+        let mut session = RtrSession::start(&topo, &xl, &s, NodeId(1), failed);
+        let attempt = session.recover(NodeId(3));
+        assert_eq!(attempt.outcome, DeliveryOutcome::NoPath);
+        assert_eq!(attempt.trace.hops(), 0);
+        assert!(!attempt.is_delivered());
+    }
+
+    #[test]
+    fn region_failure_recovery_on_isp_twin() {
+        let topo = rtr_topology::isp::profile("AS1239").unwrap().synthesize();
+        let xl = CrossLinkTable::new(&topo);
+        let region = Region::circle((1000.0, 1000.0), 250.0);
+        let s = FailureScenario::from_region(&topo, &region);
+        // Find some live node with an unreachable neighbor.
+        let initiator = topo
+            .node_ids()
+            .find(|&n| {
+                !s.is_node_failed(n)
+                    && topo
+                        .neighbors(n)
+                        .iter()
+                        .any(|&(_, l)| !s.is_neighbor_reachable(&topo, n, l))
+            })
+            .expect("a radius-250 circle at the centre hits something");
+        let failed = topo
+            .neighbors(initiator)
+            .iter()
+            .find(|&&(_, l)| !s.is_neighbor_reachable(&topo, initiator, l))
+            .map(|&(_, l)| l)
+            .unwrap();
+        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed);
+        assert!(session.phase1().is_complete());
+
+        // Every delivered recovery is optimal (Theorem 2).
+        for dest in topo.node_ids() {
+            if dest == initiator {
+                continue;
+            }
+            let attempt = session.recover(dest);
+            if attempt.is_delivered() {
+                let got = attempt.path.unwrap().cost();
+                let optimal = session
+                    .computer()
+                    .initiator()
+                    .pipe_optimal(&topo, &s, dest)
+                    .expect("delivered implies reachable");
+                assert_eq!(got, optimal, "stretch must be 1 for {dest}");
+            }
+        }
+        assert_eq!(session.sp_calculations(), 1);
+    }
+
+    /// Helper trait so the test above reads linearly.
+    trait PipeOptimal {
+        fn pipe_optimal(
+            self,
+            topo: &rtr_topology::Topology,
+            s: &FailureScenario,
+            dest: NodeId,
+        ) -> Option<u64>;
+    }
+    impl PipeOptimal for NodeId {
+        fn pipe_optimal(
+            self,
+            topo: &rtr_topology::Topology,
+            s: &FailureScenario,
+            dest: NodeId,
+        ) -> Option<u64> {
+            rtr_routing::shortest_path(topo, s, self, dest).map(|p| p.cost())
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Runs the design-choice ablations: collection thoroughness and embedding
+//! correlation (see DESIGN.md §6).
+
+fn main() {
+    let opts = rtr_eval::cli::Options::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let a = rtr_eval::ablations::thoroughness_report(&opts.topologies, &opts.config);
+    println!("{a}");
+    let b = rtr_eval::ablations::embedding_report(&opts.topologies, &opts.config);
+    opts.emit(&b);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig9 from a full workload run (see `--help`).
+
+fn main() {
+    let opts = rtr_eval::cli::Options::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let results = rtr_eval::driver::run_topologies(&opts.topologies, &opts.config);
+    opts.emit(&rtr_eval::reports::fig9(&results));
+}

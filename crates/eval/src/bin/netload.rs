@@ -1,0 +1,10 @@
+//! Concurrent-recovery network load extension (see `--help`).
+
+fn main() {
+    let opts = rtr_eval::cli::Options::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let report = rtr_eval::netload::netload(&opts.topologies, &opts.config);
+    opts.emit(&report);
+}

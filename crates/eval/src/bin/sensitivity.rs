@@ -1,0 +1,11 @@
+//! Radius-sensitivity extension: recovery rate of RTR/FCP/MRC vs failure
+//! radius (see `--help` for common flags).
+
+fn main() {
+    let opts = rtr_eval::cli::Options::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let report = rtr_eval::sensitivity::sensitivity(&opts.topologies, &opts.config);
+    opts.emit(&report);
+}

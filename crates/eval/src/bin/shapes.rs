@@ -1,0 +1,11 @@
+//! Failure-area shape extension: RTR under equal-area circles, squares,
+//! and elongated rectangles (see `--help`).
+
+fn main() {
+    let opts = rtr_eval::cli::Options::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let report = rtr_eval::shapes::shapes(&opts.topologies, &opts.config);
+    opts.emit(&report);
+}

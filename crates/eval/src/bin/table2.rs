@@ -1,0 +1,9 @@
+//! Regenerates Table II: the topology inventory.
+
+fn main() {
+    let opts = rtr_eval::cli::Options::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    opts.emit(&rtr_eval::reports::table2());
+}

@@ -1,0 +1,139 @@
+//! Minimal shared CLI argument handling for the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! ```text
+//! --cases N        test cases per class per topology (default 2000)
+//! --paper          paper scale (10000 cases, 1000 areas per radius)
+//! --quick          quick scale (500 cases, 100 areas per radius)
+//! --seed S         base RNG seed
+//! --topos A,B,...  comma-separated topology names (default: all eight)
+//! --json PATH      also write the report as JSON
+//! ```
+
+use crate::config::ExperimentConfig;
+use serde::Serialize;
+
+/// Parsed common options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Experiment configuration assembled from the flags.
+    pub config: ExperimentConfig,
+    /// Selected topology names (empty = all of Table II).
+    pub topologies: Vec<String>,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Options {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+        let mut opts = Options { config: ExperimentConfig::default(), ..Default::default() };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--cases" => {
+                    let v = it.next().ok_or("--cases requires a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --cases value: {v}"))?;
+                    opts.config.cases_per_class = n;
+                }
+                "--paper" => {
+                    let cases = opts.config.cases_per_class;
+                    opts.config = ExperimentConfig::paper().with_seed(opts.config.seed);
+                    // --cases given earlier still wins.
+                    if cases != ExperimentConfig::default().cases_per_class {
+                        opts.config.cases_per_class = cases;
+                    }
+                }
+                "--quick" => {
+                    opts.config = ExperimentConfig::quick().with_seed(opts.config.seed);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed requires a value")?;
+                    let s: u64 = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                    opts.config.seed = s;
+                }
+                "--topos" => {
+                    let v = it.next().ok_or("--topos requires a value")?;
+                    opts.topologies = v.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                "--json" => {
+                    opts.json = Some(it.next().ok_or("--json requires a path")?);
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process environment.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Options::parse`].
+    pub fn from_env() -> Result<Options, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Writes `report` as pretty JSON when `--json` was given, and always
+    /// prints the text rendering to stdout.
+    pub fn emit<R: Serialize + std::fmt::Display>(&self, report: &R) {
+        println!("{report}");
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(report).expect("reports serialize");
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[rtr-eval] wrote {path}");
+        }
+    }
+}
+
+/// Usage text shared by the binaries.
+pub const USAGE: &str = "\
+usage: <experiment> [--cases N] [--paper|--quick] [--seed S] [--topos AS209,AS701,...] [--json PATH]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.config.cases_per_class, 2000);
+        assert!(o.topologies.is_empty());
+        assert!(o.json.is_none());
+    }
+
+    #[test]
+    fn flags_combine() {
+        let o = parse(&["--cases", "42", "--seed", "7", "--topos", "AS209,AS701", "--json", "/tmp/x.json"]).unwrap();
+        assert_eq!(o.config.cases_per_class, 42);
+        assert_eq!(o.config.seed, 7);
+        assert_eq!(o.topologies, vec!["AS209", "AS701"]);
+        assert_eq!(o.json.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn paper_and_quick_presets() {
+        assert_eq!(parse(&["--paper"]).unwrap().config.cases_per_class, 10_000);
+        assert_eq!(parse(&["--quick"]).unwrap().config.cases_per_class, 500);
+        // --cases before --paper is preserved.
+        assert_eq!(parse(&["--cases", "123", "--paper"]).unwrap().config.cases_per_class, 123);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(parse(&["--cases"]).is_err());
+        assert!(parse(&["--cases", "xyz"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Experiment configuration: the §IV-A simulation setup with scale knobs.
+
+use rtr_sim::DelayModel;
+
+/// Parameters of the paper's simulation setup (§IV-A) plus scale knobs so
+/// quick runs and full paper-scale runs share one code path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Test cases to collect per class (recoverable / irrecoverable) per
+    /// topology. The paper uses 10 000 of each.
+    pub cases_per_class: usize,
+    /// Base RNG seed; every topology derives its own stream from this.
+    pub seed: u64,
+    /// Minimum failure-area radius (paper: 100).
+    pub radius_min: f64,
+    /// Maximum failure-area radius (paper: 300).
+    pub radius_max: f64,
+    /// Side of the placement area (paper: 2000).
+    pub area_extent: f64,
+    /// Per-hop delay model (paper: 100 µs + 1.7 ms).
+    pub delay: DelayModel,
+    /// Number of MRC configurations (5, the reference implementation's
+    /// typical value).
+    pub mrc_configurations: usize,
+    /// Failure areas per radius step in the Fig. 11 sweep (paper: 1000).
+    pub fig11_areas_per_radius: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's full-scale setup: 10 000 cases per class per topology.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            cases_per_class: 10_000,
+            ..Self::default()
+        }
+    }
+
+    /// A reduced setup for fast runs (CI, benches, examples).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            cases_per_class: 500,
+            fig11_areas_per_radius: 100,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the number of cases per class.
+    pub fn with_cases(mut self, cases: usize) -> Self {
+        self.cases_per_class = cases;
+        self
+    }
+
+    /// Overrides the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            cases_per_class: 2_000,
+            seed: 0x5274_5221, // "RtR!"
+            radius_min: 100.0,
+            radius_max: 300.0,
+            area_extent: 2000.0,
+            delay: DelayModel::PAPER,
+            mrc_configurations: 5,
+            fig11_areas_per_radius: 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale() {
+        let c = ExperimentConfig::paper();
+        assert_eq!(c.cases_per_class, 10_000);
+        assert_eq!(c.radius_min, 100.0);
+        assert_eq!(c.radius_max, 300.0);
+        assert_eq!(c.area_extent, 2000.0);
+        assert_eq!(c.fig11_areas_per_radius, 1000);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ExperimentConfig::quick().with_cases(42).with_seed(7);
+        assert_eq!(c.cases_per_class, 42);
+        assert_eq!(c.seed, 7);
+    }
+}

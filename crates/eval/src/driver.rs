@@ -1,0 +1,205 @@
+//! The experiment driver: runs all three schemes over a workload and
+//! aggregates everything the figures and tables need in one pass.
+
+use crate::config::ExperimentConfig;
+use crate::schemes::{eval_irrecoverable, eval_recoverable, IrrecoverableRow, RecoverableRow};
+use crate::testcase::{generate_workload, TestCase, Workload};
+use rtr_baselines::Mrc;
+use rtr_core::RtrSession;
+use rtr_routing::dijkstra::dijkstra;
+use rtr_sim::SimTime;
+use rtr_topology::{isp, NodeId};
+use std::collections::BTreeMap;
+
+/// Number of sample points of the Fig. 10 time grid (0..=1 s).
+pub const FIG10_POINTS: usize = 101;
+
+/// Spacing of the Fig. 10 time grid (10 ms, over the first second).
+pub const FIG10_STEP_MS: u64 = 10;
+
+/// Aggregated results for one topology: the raw per-case rows plus the
+/// accumulated Fig. 10 time series.
+#[derive(Debug)]
+pub struct TopologyResults {
+    /// Topology display name.
+    pub name: String,
+    /// Per-case results on recoverable cases.
+    pub recoverable: Vec<RecoverableRow>,
+    /// Per-case results on irrecoverable cases.
+    pub irrecoverable: Vec<IrrecoverableRow>,
+    /// Phase-1 durations in ms across *all* cases (both classes share the
+    /// same first phase; Fig. 7).
+    pub phase1_durations_ms: Vec<f64>,
+    /// Mean RTR transmission overhead (bytes) at each Fig. 10 grid point.
+    pub fig10_rtr: Vec<f64>,
+    /// Mean FCP transmission overhead (bytes) at each Fig. 10 grid point.
+    pub fig10_fcp: Vec<f64>,
+}
+
+impl TopologyResults {
+    /// The Fig. 10 grid in seconds.
+    pub fn fig10_grid_secs() -> Vec<f64> {
+        (0..FIG10_POINTS)
+            .map(|i| (i as u64 * FIG10_STEP_MS) as f64 / 1000.0)
+            .collect()
+    }
+}
+
+/// Groups a scenario's cases by initiator, preserving deterministic order.
+fn by_initiator(cases: &[TestCase]) -> BTreeMap<NodeId, Vec<&TestCase>> {
+    let mut map: BTreeMap<NodeId, Vec<&TestCase>> = BTreeMap::new();
+    for c in cases {
+        map.entry(c.initiator).or_default().push(c);
+    }
+    map
+}
+
+/// Runs all schemes over one workload.
+pub fn run_workload(w: &Workload, cfg: &ExperimentConfig) -> TopologyResults {
+    let mrc = Mrc::build(&w.topo, cfg.mrc_configurations).expect("Table II twins are connected");
+    let mut recoverable = Vec::with_capacity(w.recoverable_count());
+    let mut irrecoverable = Vec::with_capacity(w.irrecoverable_count());
+    let mut phase1_durations_ms = Vec::new();
+    let mut fig10_rtr = vec![0.0f64; FIG10_POINTS];
+    let mut fig10_fcp = vec![0.0f64; FIG10_POINTS];
+    let mut fig10_count = 0usize;
+
+    for sc in &w.scenarios {
+        // Recoverable cases: one RTR session and one ground-truth SPT per
+        // initiator (phase 1 runs once per initiator, §III-A).
+        for (initiator, cases) in by_initiator(&sc.recoverable) {
+            let mut session = RtrSession::start(
+                &w.topo,
+                &w.crosslinks,
+                &sc.scenario,
+                initiator,
+                cases[0].failed_link,
+            );
+            phase1_durations_ms
+                .push(cfg.delay.for_hops(session.phase1().trace.hops()).as_millis_f64());
+            let optimal = dijkstra(&w.topo, &sc.scenario, initiator);
+            for case in cases {
+                let (row, rtr_series, fcp_series) =
+                    eval_recoverable(&w.topo, &sc.scenario, &mut session, &mrc, &optimal, case);
+                for (i, (r, f)) in fig10_rtr.iter_mut().zip(fig10_fcp.iter_mut()).enumerate() {
+                    let t = SimTime::from_millis(i as u64 * FIG10_STEP_MS);
+                    *r += rtr_series.sample(&cfg.delay, t);
+                    *f += fcp_series.sample(&cfg.delay, t);
+                }
+                fig10_count += 1;
+                recoverable.push(row);
+            }
+        }
+
+        // Irrecoverable cases.
+        for (initiator, cases) in by_initiator(&sc.irrecoverable) {
+            let mut session = RtrSession::start(
+                &w.topo,
+                &w.crosslinks,
+                &sc.scenario,
+                initiator,
+                cases[0].failed_link,
+            );
+            phase1_durations_ms
+                .push(cfg.delay.for_hops(session.phase1().trace.hops()).as_millis_f64());
+            for case in cases {
+                irrecoverable.push(eval_irrecoverable(&w.topo, &sc.scenario, &mut session, case));
+            }
+        }
+    }
+
+    if fig10_count > 0 {
+        for v in fig10_rtr.iter_mut().chain(fig10_fcp.iter_mut()) {
+            *v /= fig10_count as f64;
+        }
+    }
+
+    TopologyResults {
+        name: w.name.clone(),
+        recoverable,
+        irrecoverable,
+        phase1_durations_ms,
+        fig10_rtr,
+        fig10_fcp,
+    }
+}
+
+/// Generates the workload for one Table II profile and runs it.
+pub fn run_profile(profile: isp::IspProfile, cfg: &ExperimentConfig) -> TopologyResults {
+    let topo = profile.synthesize();
+    let w = generate_workload(profile.name, topo, cfg, cfg.seed ^ u64::from(profile.asn));
+    run_workload(&w, cfg)
+}
+
+/// Runs every topology in `names` (all eight Table II twins when empty).
+pub fn run_topologies(names: &[String], cfg: &ExperimentConfig) -> Vec<TopologyResults> {
+    let profiles: Vec<isp::IspProfile> = if names.is_empty() {
+        isp::TABLE2.to_vec()
+    } else {
+        names
+            .iter()
+            .map(|n| isp::profile(n).unwrap_or_else(|| panic!("unknown topology {n}")))
+            .collect()
+    };
+    profiles
+        .into_iter()
+        .map(|p| {
+            eprintln!("[rtr-eval] running {} ({} nodes, {} links)...", p.name, p.nodes, p.links);
+            run_profile(p, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::generate;
+
+    #[test]
+    fn run_workload_produces_full_case_counts() {
+        let cfg = ExperimentConfig::quick().with_cases(40);
+        let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
+        let w = generate_workload("t", topo, &cfg, 2);
+        let r = run_workload(&w, &cfg);
+        assert_eq!(r.recoverable.len(), 40);
+        assert_eq!(r.irrecoverable.len(), 40);
+        assert!(!r.phase1_durations_ms.is_empty());
+        assert_eq!(r.fig10_rtr.len(), FIG10_POINTS);
+        // Overheads are non-negative and finite.
+        for v in r.fig10_rtr.iter().chain(&r.fig10_fcp) {
+            assert!(v.is_finite() && *v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shape_check_rtr_beats_fcp_where_paper_says() {
+        let cfg = ExperimentConfig::quick().with_cases(120);
+        let topo = generate::isp_like(40, 110, 2000.0, 55).unwrap();
+        let w = generate_workload("t", topo, &cfg, 20);
+        let r = run_workload(&w, &cfg);
+
+        // Table III shape: FCP recovers 100%; RTR recovers nearly all and
+        // every delivered RTR path is optimal; MRC is far worse.
+        let n = r.recoverable.len() as f64;
+        let fcp_rate = r.recoverable.iter().filter(|c| c.fcp.delivered).count() as f64 / n;
+        let rtr_rate = r.recoverable.iter().filter(|c| c.rtr.delivered).count() as f64 / n;
+        let mrc_rate = r.recoverable.iter().filter(|c| c.mrc.delivered).count() as f64 / n;
+        assert_eq!(fcp_rate, 1.0, "FCP always delivers on recoverable cases");
+        assert!(rtr_rate > 0.9);
+        assert!(mrc_rate < rtr_rate, "MRC must underperform under area failures");
+        assert!(r.recoverable.iter().all(|c| !c.rtr.delivered || c.rtr.optimal));
+
+        // Table IV shape: FCP wastes more computation than RTR.
+        let rtr_wc: usize = r.irrecoverable.iter().map(|c| c.rtr_wasted_computation).sum();
+        let fcp_wc: usize = r.irrecoverable.iter().map(|c| c.fcp_wasted_computation).sum();
+        assert!(fcp_wc > rtr_wc);
+    }
+
+    #[test]
+    fn fig10_grid_is_one_second() {
+        let grid = TopologyResults::fig10_grid_secs();
+        assert_eq!(grid.len(), FIG10_POINTS);
+        assert_eq!(grid[0], 0.0);
+        assert_eq!(*grid.last().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Metric aggregation: empirical CDFs and summary statistics, matching the
+//! quantities reported in the paper's figures and tables.
+
+use std::fmt;
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "CDF samples must not be NaN");
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns true when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (0.0 for an empty CDF).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the CDF is empty or `q` is outside [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of an empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Samples the CDF at evenly spaced points — the series plotted in the
+    /// paper's CDF figures. Returns `(x, fraction ≤ x)` pairs.
+    pub fn series(&self, from: f64, to: f64, step: f64) -> Vec<(f64, f64)> {
+        assert!(step > 0.0, "step must be positive");
+        let mut out = Vec::new();
+        let mut x = from;
+        while x <= to + 1e-12 {
+            out.push((x, self.at(x)));
+            x += step;
+        }
+        out
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Cdf::new(iter.into_iter().collect())
+    }
+}
+
+/// Mean/max/min summary of a sample set, as printed in Tables III and IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes an iterator of samples; `None` when it is empty.
+    pub fn of(samples: impl IntoIterator<Item = f64>) -> Option<Summary> {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for x in samples {
+            debug_assert!(!x.is_nan());
+            count += 1;
+            sum += x;
+            max = max.max(x);
+            min = min.min(x);
+        }
+        (count > 0).then(|| Summary { mean: sum / count as f64, max, min, count })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mean {:.1}, max {:.1} (n={})", self.mean, self.max, self.count)
+    }
+}
+
+/// A share expressed as a percentage (e.g. recovery rate).
+pub fn percentage(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions() {
+        let c = Cdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(3.0), 0.75);
+        assert_eq!(c.at(4.0), 1.0);
+        assert_eq!(c.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantiles_and_extremes() {
+        let c: Cdf = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(c.quantile(0.5), 50.0);
+        assert_eq!(c.quantile(0.9), 90.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(100.0));
+        assert_eq!(c.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let c = Cdf::default();
+        assert!(c.is_empty());
+        assert_eq!(c.at(1.0), 0.0);
+        assert_eq!(c.min(), None);
+        assert_eq!(c.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cdf_rejects_nan() {
+        let _ = Cdf::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let c = Cdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0]);
+        let s = c.series(0.0, 6.0, 1.0);
+        assert_eq!(s.len(), 7);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn summary_of_samples() {
+        let s = Summary::of([2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.count, 3);
+        assert!(Summary::of(std::iter::empty()).is_none());
+        assert_eq!(s.to_string(), "mean 4.0, max 6.0 (n=3)");
+    }
+
+    #[test]
+    fn percentage_handles_zero() {
+        assert_eq!(percentage(1, 4), 25.0);
+        assert_eq!(percentage(0, 0), 0.0);
+    }
+}

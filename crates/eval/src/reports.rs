@@ -1,0 +1,574 @@
+//! Report builders: one function per table/figure of the paper, each
+//! producing a serializable struct with a paper-style text rendering.
+
+use crate::driver::TopologyResults;
+use crate::metrics::{percentage, Cdf, Summary};
+use rtr_topology::isp;
+use serde::Serialize;
+use std::fmt;
+
+/// Renders an aligned text table.
+fn render_table(f: &mut fmt::Formatter<'_>, headers: &[String], rows: &[Vec<String>]) -> fmt::Result {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{cell:>width$}", width = widths[i])?;
+        }
+        writeln!(f)
+    };
+    line(f, headers)?;
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    writeln!(f, "{}", "-".repeat(total))?;
+    for row in rows {
+        line(f, row)?;
+    }
+    Ok(())
+}
+
+/// One labelled line of a CDF or time-series figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label, e.g. `"FCP (AS1239)"`.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure: several series over a shared x axis.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. `"Figure 7"`.
+    pub id: String,
+    /// Title, matching the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.id, self.title)?;
+        writeln!(f, "x = {}, y = {}", self.xlabel, self.ylabel)?;
+        let headers: Vec<String> = std::iter::once(self.xlabel.clone())
+            .chain(self.series.iter().map(|s| s.label.clone()))
+            .collect();
+        let xs: Vec<f64> = self.series.first().map_or(Vec::new(), |s| {
+            s.points.iter().map(|&(x, _)| x).collect()
+        });
+        let rows: Vec<Vec<String>> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                std::iter::once(format!("{x:.3}"))
+                    .chain(self.series.iter().map(|s| {
+                        s.points
+                            .get(i)
+                            .map_or_else(|| "-".into(), |&(_, y)| format!("{y:.4}"))
+                    }))
+                    .collect()
+            })
+            .collect();
+        render_table(f, &headers, &rows)
+    }
+}
+
+/// A table report: headers plus string rows (already formatted).
+#[derive(Debug, Clone, Serialize)]
+pub struct TableReport {
+    /// Table identifier, e.g. `"Table III"`.
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl fmt::Display for TableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.id, self.title)?;
+        render_table(f, &self.headers, &self.rows)
+    }
+}
+
+/// Table II: the topology inventory.
+pub fn table2() -> TableReport {
+    TableReport {
+        id: "Table II".into(),
+        title: "Summary of topologies used in simulation".into(),
+        headers: vec!["Topology".into(), "# Nodes".into(), "# Links".into(), "Avg degree".into()],
+        rows: isp::TABLE2
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.to_string(),
+                    p.nodes.to_string(),
+                    p.links.to_string(),
+                    format!("{:.2}", p.average_degree()),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 7: CDF of the duration of the first phase, per topology.
+pub fn fig7(results: &[TopologyResults]) -> FigureReport {
+    let series = results
+        .iter()
+        .map(|r| {
+            let cdf: Cdf = r.phase1_durations_ms.iter().copied().collect();
+            Series {
+                label: r.name.clone(),
+                points: cdf.series(0.0, 120.0, 5.0),
+            }
+        })
+        .collect();
+    FigureReport {
+        id: "Figure 7".into(),
+        title: "Cumulative distribution of duration of the first phase".into(),
+        xlabel: "duration (ms)".into(),
+        ylabel: "cumulative distribution".into(),
+        series,
+    }
+}
+
+/// Table III: recovery rate, optimal recovery rate, max stretch, and max
+/// computational overhead on recoverable test cases.
+pub fn table3(results: &[TopologyResults]) -> TableReport {
+    let headers = vec![
+        "Topology".into(),
+        "Rec% RTR".into(),
+        "Rec% FCP".into(),
+        "Rec% MRC".into(),
+        "Opt% RTR".into(),
+        "Opt% FCP".into(),
+        "Opt% MRC".into(),
+        "MaxStr RTR".into(),
+        "MaxStr FCP".into(),
+        "MaxStr MRC".into(),
+        "MaxComp RTR".into(),
+        "MaxComp FCP".into(),
+    ];
+    let mut rows = Vec::new();
+    let mut overall: Vec<&crate::schemes::RecoverableRow> = Vec::new();
+    for r in results {
+        rows.push(table3_row(&r.name, r.recoverable.iter()));
+        overall.extend(r.recoverable.iter());
+    }
+    rows.push(table3_row("Overall", overall.into_iter()));
+    TableReport {
+        id: "Table III".into(),
+        title: "Performance of RTR, FCP, and MRC in recoverable test cases".into(),
+        headers,
+        rows,
+    }
+}
+
+fn table3_row<'a>(
+    name: &str,
+    cases: impl Iterator<Item = &'a crate::schemes::RecoverableRow> + Clone,
+) -> Vec<String> {
+    let n = cases.clone().count();
+    let rate = |f: &dyn Fn(&crate::schemes::RecoverableRow) -> bool| {
+        percentage(cases.clone().filter(|c| f(c)).count(), n)
+    };
+    let max_stretch = |f: &dyn Fn(&crate::schemes::RecoverableRow) -> Option<f64>| {
+        cases
+            .clone()
+            .filter_map(f)
+            .fold(f64::NAN, f64::max)
+    };
+    let fmt_stretch = |v: f64| if v.is_nan() { "-".into() } else { format!("{v:.1}") };
+    let max_comp_rtr = cases.clone().map(|c| c.rtr.sp_calculations).max().unwrap_or(0);
+    let max_comp_fcp = cases.clone().map(|c| c.fcp.sp_calculations).max().unwrap_or(0);
+    vec![
+        name.to_string(),
+        format!("{:.1}", rate(&|c| c.rtr.delivered)),
+        format!("{:.1}", rate(&|c| c.fcp.delivered)),
+        format!("{:.1}", rate(&|c| c.mrc.delivered)),
+        format!("{:.1}", rate(&|c| c.rtr.optimal)),
+        format!("{:.1}", rate(&|c| c.fcp.optimal)),
+        format!("{:.1}", rate(&|c| c.mrc.optimal)),
+        fmt_stretch(max_stretch(&|c| c.rtr.stretch)),
+        fmt_stretch(max_stretch(&|c| c.fcp.stretch)),
+        fmt_stretch(max_stretch(&|c| c.mrc.stretch)),
+        max_comp_rtr.to_string(),
+        max_comp_fcp.to_string(),
+    ]
+}
+
+/// Fig. 8: CDF of stretch of recovery paths (RTR overall vs FCP per
+/// topology; RTR's stretch is exactly 1 everywhere by Theorem 2).
+pub fn fig8(results: &[TopologyResults]) -> FigureReport {
+    let mut series = Vec::new();
+    let rtr_all: Cdf = results
+        .iter()
+        .flat_map(|r| r.recoverable.iter().filter_map(|c| c.rtr.stretch))
+        .collect();
+    series.push(Series {
+        label: "RTR".into(),
+        points: rtr_all.series(1.0, 5.0, 0.25),
+    });
+    for r in results {
+        let cdf: Cdf = r.recoverable.iter().filter_map(|c| c.fcp.stretch).collect();
+        series.push(Series {
+            label: format!("FCP ({})", r.name),
+            points: cdf.series(1.0, 5.0, 0.25),
+        });
+    }
+    FigureReport {
+        id: "Figure 8".into(),
+        title: "Cumulative distribution of stretch of recovery paths".into(),
+        xlabel: "stretch".into(),
+        ylabel: "cumulative distribution".into(),
+        series,
+    }
+}
+
+/// Fig. 9: CDF of the number of shortest-path calculations on recoverable
+/// test cases.
+pub fn fig9(results: &[TopologyResults]) -> FigureReport {
+    let mut series = Vec::new();
+    let rtr_all: Cdf = results
+        .iter()
+        .flat_map(|r| r.recoverable.iter().map(|c| c.rtr.sp_calculations as f64))
+        .collect();
+    series.push(Series {
+        label: "RTR".into(),
+        points: rtr_all.series(1.0, 12.0, 1.0),
+    });
+    for r in results {
+        let cdf: Cdf = r
+            .recoverable
+            .iter()
+            .map(|c| c.fcp.sp_calculations as f64)
+            .collect();
+        series.push(Series {
+            label: format!("FCP ({})", r.name),
+            points: cdf.series(1.0, 12.0, 1.0),
+        });
+    }
+    FigureReport {
+        id: "Figure 9".into(),
+        title: "Cumulative distribution of computational overhead in recoverable test cases".into(),
+        xlabel: "number of shortest path calculations".into(),
+        ylabel: "cumulative distribution".into(),
+        series,
+    }
+}
+
+/// Fig. 10: average transmission overhead over the first second.
+pub fn fig10(results: &[TopologyResults]) -> FigureReport {
+    let grid = TopologyResults::fig10_grid_secs();
+    let mut series = Vec::new();
+    for r in results {
+        series.push(Series {
+            label: format!("RTR ({})", r.name),
+            points: grid.iter().copied().zip(r.fig10_rtr.iter().copied()).collect(),
+        });
+        series.push(Series {
+            label: format!("FCP ({})", r.name),
+            points: grid.iter().copied().zip(r.fig10_fcp.iter().copied()).collect(),
+        });
+    }
+    FigureReport {
+        id: "Figure 10".into(),
+        title: "Average transmission overhead of RTR and FCP on recoverable test cases".into(),
+        xlabel: "time (s)".into(),
+        ylabel: "bytes".into(),
+        series,
+    }
+}
+
+/// Fig. 12: CDF of the wasted computation in irrecoverable test cases.
+pub fn fig12(results: &[TopologyResults]) -> FigureReport {
+    let mut series = Vec::new();
+    let rtr_all: Cdf = results
+        .iter()
+        .flat_map(|r| r.irrecoverable.iter().map(|c| c.rtr_wasted_computation as f64))
+        .collect();
+    series.push(Series {
+        label: "RTR".into(),
+        points: rtr_all.series(0.0, 45.0, 3.0),
+    });
+    for r in results {
+        let cdf: Cdf = r
+            .irrecoverable
+            .iter()
+            .map(|c| c.fcp_wasted_computation as f64)
+            .collect();
+        series.push(Series {
+            label: format!("FCP ({})", r.name),
+            points: cdf.series(0.0, 45.0, 3.0),
+        });
+    }
+    FigureReport {
+        id: "Figure 12".into(),
+        title: "Cumulative distribution of the wasted computation in irrecoverable test cases".into(),
+        xlabel: "number of shortest path calculations".into(),
+        ylabel: "cumulative distribution".into(),
+        series,
+    }
+}
+
+/// Fig. 13: CDF of the wasted transmission on irrecoverable test cases.
+pub fn fig13(results: &[TopologyResults]) -> FigureReport {
+    let mut series = Vec::new();
+    for r in results {
+        let rtr: Cdf = r
+            .irrecoverable
+            .iter()
+            .map(|c| c.rtr_wasted_transmission as f64)
+            .collect();
+        let fcp: Cdf = r
+            .irrecoverable
+            .iter()
+            .map(|c| c.fcp_wasted_transmission as f64)
+            .collect();
+        series.push(Series {
+            label: format!("RTR ({})", r.name),
+            points: rtr.series(0.0, 60_000.0, 4_000.0),
+        });
+        series.push(Series {
+            label: format!("FCP ({})", r.name),
+            points: fcp.series(0.0, 60_000.0, 4_000.0),
+        });
+    }
+    FigureReport {
+        id: "Figure 13".into(),
+        title: "Cumulative distribution of the wasted transmission on irrecoverable test cases".into(),
+        xlabel: "wasted transmission (bytes)".into(),
+        ylabel: "cumulative distribution".into(),
+        series,
+    }
+}
+
+/// Table IV: wasted computation and wasted transmission summary.
+pub fn table4(results: &[TopologyResults]) -> TableReport {
+    let headers = vec![
+        "Topology".into(),
+        "AvgComp RTR".into(),
+        "AvgComp FCP".into(),
+        "MaxComp RTR".into(),
+        "MaxComp FCP".into(),
+        "AvgTx RTR".into(),
+        "AvgTx FCP".into(),
+        "MaxTx RTR".into(),
+        "MaxTx FCP".into(),
+    ];
+    let mut rows = Vec::new();
+    let mut overall: Vec<&crate::schemes::IrrecoverableRow> = Vec::new();
+    for r in results {
+        rows.push(table4_row(&r.name, r.irrecoverable.iter()));
+        overall.extend(r.irrecoverable.iter());
+    }
+    rows.push(table4_row("Overall", overall.into_iter()));
+    TableReport {
+        id: "Table IV".into(),
+        title: "Wasted computation and wasted transmission of RTR and FCP in irrecoverable test cases"
+            .into(),
+        headers,
+        rows,
+    }
+}
+
+fn table4_row<'a>(
+    name: &str,
+    cases: impl Iterator<Item = &'a crate::schemes::IrrecoverableRow> + Clone,
+) -> Vec<String> {
+    let comp_rtr = Summary::of(cases.clone().map(|c| c.rtr_wasted_computation as f64));
+    let comp_fcp = Summary::of(cases.clone().map(|c| c.fcp_wasted_computation as f64));
+    let tx_rtr = Summary::of(cases.clone().map(|c| c.rtr_wasted_transmission as f64));
+    let tx_fcp = Summary::of(cases.clone().map(|c| c.fcp_wasted_transmission as f64));
+    let g = |s: Option<Summary>, f: &dyn Fn(Summary) -> f64| {
+        s.map_or_else(|| "-".into(), |s| format!("{:.1}", f(s)))
+    };
+    vec![
+        name.to_string(),
+        g(comp_rtr, &|s| s.mean),
+        g(comp_fcp, &|s| s.mean),
+        g(comp_rtr, &|s| s.max),
+        g(comp_fcp, &|s| s.max),
+        g(tx_rtr, &|s| s.mean),
+        g(tx_fcp, &|s| s.mean),
+        g(tx_rtr, &|s| s.max),
+        g(tx_fcp, &|s| s.max),
+    ]
+}
+
+/// Key headline numbers used by EXPERIMENTS.md and the `repro` binary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Headline {
+    /// Overall RTR optimal recovery rate (%). Paper: 98.6.
+    pub rtr_optimal_recovery_rate: f64,
+    /// Overall FCP optimal recovery rate (%). Paper: 95.9.
+    pub fcp_optimal_recovery_rate: f64,
+    /// Overall MRC recovery rate (%). Paper: 42.2.
+    pub mrc_recovery_rate: f64,
+    /// Computation saved by RTR vs FCP on irrecoverable cases (%). Paper: 83.1.
+    pub computation_saving_pct: f64,
+    /// Transmission saved by RTR vs FCP on irrecoverable cases (%). Paper: 75.6.
+    pub transmission_saving_pct: f64,
+    /// Longest phase-1 duration observed (ms). Paper: < 110 ms.
+    pub max_phase1_ms: f64,
+}
+
+/// Computes the headline comparison numbers.
+pub fn headline(results: &[TopologyResults]) -> Headline {
+    let rec: Vec<_> = results.iter().flat_map(|r| r.recoverable.iter()).collect();
+    let irr: Vec<_> = results.iter().flat_map(|r| r.irrecoverable.iter()).collect();
+    let rtr_comp: f64 = irr.iter().map(|c| c.rtr_wasted_computation as f64).sum();
+    let fcp_comp: f64 = irr.iter().map(|c| c.fcp_wasted_computation as f64).sum();
+    let rtr_tx: f64 = irr.iter().map(|c| c.rtr_wasted_transmission as f64).sum();
+    let fcp_tx: f64 = irr.iter().map(|c| c.fcp_wasted_transmission as f64).sum();
+    Headline {
+        rtr_optimal_recovery_rate: percentage(rec.iter().filter(|c| c.rtr.optimal).count(), rec.len()),
+        fcp_optimal_recovery_rate: percentage(rec.iter().filter(|c| c.fcp.optimal).count(), rec.len()),
+        mrc_recovery_rate: percentage(rec.iter().filter(|c| c.mrc.delivered).count(), rec.len()),
+        computation_saving_pct: if fcp_comp > 0.0 { 100.0 * (1.0 - rtr_comp / fcp_comp) } else { 0.0 },
+        transmission_saving_pct: if fcp_tx > 0.0 { 100.0 * (1.0 - rtr_tx / fcp_tx) } else { 0.0 },
+        max_phase1_ms: results
+            .iter()
+            .flat_map(|r| r.phase1_durations_ms.iter().copied())
+            .fold(0.0, f64::max),
+    }
+}
+
+impl fmt::Display for Headline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Headline comparison (measured vs paper):")?;
+        writeln!(
+            f,
+            "  RTR optimal recovery rate : {:6.1}%  (paper: 98.6%)",
+            self.rtr_optimal_recovery_rate
+        )?;
+        writeln!(
+            f,
+            "  FCP optimal recovery rate : {:6.1}%  (paper: 95.9%)",
+            self.fcp_optimal_recovery_rate
+        )?;
+        writeln!(f, "  MRC recovery rate         : {:6.1}%  (paper: 42.2%)", self.mrc_recovery_rate)?;
+        writeln!(
+            f,
+            "  RTR computation saving    : {:6.1}%  (paper: 83.1%)",
+            self.computation_saving_pct
+        )?;
+        writeln!(
+            f,
+            "  RTR transmission saving   : {:6.1}%  (paper: 75.6%)",
+            self.transmission_saving_pct
+        )?;
+        writeln!(f, "  max phase-1 duration      : {:6.1} ms (paper: <110 ms)", self.max_phase1_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::driver::run_workload;
+    use crate::testcase::generate_workload;
+    use rtr_topology::generate;
+
+    fn small_results() -> Vec<TopologyResults> {
+        let cfg = ExperimentConfig::quick().with_cases(40);
+        let topo = generate::isp_like(30, 70, 2000.0, 12).unwrap();
+        let w = generate_workload("T1", topo, &cfg, 7);
+        vec![run_workload(&w, &cfg)]
+    }
+
+    #[test]
+    fn table2_lists_eight_topologies() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 8);
+        assert!(t.to_string().contains("AS7018"));
+        assert!(t.to_string().contains("115"));
+    }
+
+    #[test]
+    fn figure_reports_are_well_formed() {
+        let results = small_results();
+        for fig in [
+            fig7(&results),
+            fig8(&results),
+            fig9(&results),
+            fig10(&results),
+            fig12(&results),
+            fig13(&results),
+        ] {
+            assert!(!fig.series.is_empty(), "{}", fig.id);
+            for s in &fig.series {
+                assert!(!s.points.is_empty(), "{} {}", fig.id, s.label);
+                // CDFs and time series must be finite.
+                for &(x, y) in &s.points {
+                    assert!(x.is_finite() && y.is_finite());
+                }
+            }
+            // Rendering never panics and includes the id.
+            let text = fig.to_string();
+            assert!(text.contains(&fig.id));
+        }
+    }
+
+    #[test]
+    fn cdf_figures_end_at_one() {
+        let results = small_results();
+        for fig in [fig7(&results), fig9(&results), fig12(&results)] {
+            for s in &fig.series {
+                let last = s.points.last().unwrap().1;
+                assert!(
+                    (last - 1.0).abs() < 1e-9,
+                    "{} series {} ends at {last}",
+                    fig.id,
+                    s.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_reports_render() {
+        let results = small_results();
+        let t3 = table3(&results);
+        assert_eq!(t3.rows.len(), 2); // topology + overall
+        assert!(t3.to_string().contains("Overall"));
+        let t4 = table4(&results);
+        assert_eq!(t4.rows.len(), 2);
+        assert!(t4.to_string().contains("AvgTx RTR"));
+    }
+
+    #[test]
+    fn headline_shape_matches_paper() {
+        let results = small_results();
+        let h = headline(&results);
+        assert!(h.rtr_optimal_recovery_rate > 85.0);
+        assert!(h.mrc_recovery_rate < h.rtr_optimal_recovery_rate);
+        assert!(h.computation_saving_pct > 0.0);
+        assert!(h.max_phase1_ms < 200.0);
+        assert!(h.to_string().contains("paper: 98.6%"));
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let results = small_results();
+        let json = serde_json::to_string(&fig7(&results)).unwrap();
+        assert!(json.contains("Figure 7"));
+        let json = serde_json::to_string(&table3(&results)).unwrap();
+        assert!(json.contains("Table III"));
+        let json = serde_json::to_string(&headline(&results)).unwrap();
+        assert!(json.contains("rtr_optimal_recovery_rate"));
+    }
+}

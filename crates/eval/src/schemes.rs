@@ -1,0 +1,314 @@
+//! Per-test-case evaluation of the three schemes (RTR, FCP, MRC) and the
+//! derived §IV metrics.
+
+use crate::testcase::TestCase;
+use rtr_baselines::{fcp_route, mrc_recover, Mrc};
+use rtr_core::RtrSession;
+use rtr_routing::ShortestPaths;
+use rtr_sim::{DelayModel, ForwardingTrace, SimTime, PAYLOAD_BYTES};
+use rtr_topology::{FailureScenario, Topology};
+
+/// Transmission overhead of one scheme over time: the packet's hop-by-hop
+/// header bytes while its recovery is in flight, then a steady per-packet
+/// value once the scheme's state has converged.
+///
+/// * RTR: the in-flight part is phase 1 followed by the first source-routed
+///   packet; afterwards every packet carries only the (shrinking) source
+///   route, so the steady value is the mean source-route bytes.
+/// * FCP: every packet independently re-discovers failures (routers keep no
+///   recovery state in the source-routed variant), so the steady value is
+///   the mean header bytes over the whole wandering walk.
+#[derive(Debug, Clone)]
+pub struct OverheadSeries {
+    trace: ForwardingTrace,
+    steady: f64,
+}
+
+impl OverheadSeries {
+    /// Builds a series from a trace and its post-trace steady value.
+    pub fn new(trace: ForwardingTrace, steady: f64) -> Self {
+        OverheadSeries { trace, steady }
+    }
+
+    /// Header overhead (bytes) observed at simulated time `t`.
+    pub fn sample(&self, delay: &DelayModel, t: SimTime) -> f64 {
+        if t < self.trace.duration(delay) {
+            self.trace.header_bytes_at(delay, t) as f64
+        } else {
+            self.steady
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &ForwardingTrace {
+        &self.trace
+    }
+}
+
+/// Per-hop wasted transmission of a discarded packet: each traversed hop
+/// costs the payload plus the header bytes carried over that hop (§IV-D's
+/// `s × h` with exact per-hop header accounting).
+pub fn wasted_transmission(trace: &ForwardingTrace) -> u64 {
+    trace
+        .steps()
+        .iter()
+        .take(trace.steps().len().saturating_sub(1))
+        .map(|s| (PAYLOAD_BYTES + s.header_bytes) as u64)
+        .sum()
+}
+
+/// One scheme's result on a recoverable case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeOutcome {
+    /// Did the packet reach the destination?
+    pub delivered: bool,
+    /// Was the traversed path a ground-truth shortest path?
+    pub optimal: bool,
+    /// Traversed cost ÷ optimal cost, when delivered.
+    pub stretch: Option<f64>,
+    /// Shortest-path calculations spent (0 for the proactive MRC).
+    pub sp_calculations: usize,
+}
+
+/// Everything measured on one recoverable test case.
+#[derive(Debug, Clone)]
+pub struct RecoverableRow {
+    /// Hops of RTR's phase-1 collection walk.
+    pub phase1_hops: usize,
+    /// RTR's result.
+    pub rtr: SchemeOutcome,
+    /// FCP's result.
+    pub fcp: SchemeOutcome,
+    /// MRC's result.
+    pub mrc: SchemeOutcome,
+}
+
+/// Everything measured on one irrecoverable test case (§IV-D).
+#[derive(Debug, Clone, Copy)]
+pub struct IrrecoverableRow {
+    /// Hops of RTR's phase-1 collection walk.
+    pub phase1_hops: usize,
+    /// RTR's wasted shortest-path calculations (always 1).
+    pub rtr_wasted_computation: usize,
+    /// FCP's wasted shortest-path calculations.
+    pub fcp_wasted_computation: usize,
+    /// RTR's wasted transmission (bytes × hops from the initiator to the
+    /// discarding node).
+    pub rtr_wasted_transmission: u64,
+    /// FCP's wasted transmission.
+    pub fcp_wasted_transmission: u64,
+}
+
+fn stretch_of(cost: u64, optimal: u64) -> f64 {
+    debug_assert!(optimal > 0);
+    cost as f64 / optimal as f64
+}
+
+/// Evaluates all three schemes on one *recoverable* case.
+///
+/// `session` must be an [`RtrSession`] started at `case.initiator` for this
+/// scenario (reuse it across all destinations of the initiator — that
+/// sharing is exactly RTR's once-per-initiator phase 1). `optimal` must be
+/// the ground-truth shortest-path tree rooted at the initiator.
+///
+/// Returns the row plus the two overhead series used by Fig. 10.
+pub fn eval_recoverable(
+    topo: &Topology,
+    scenario: &FailureScenario,
+    session: &mut RtrSession<'_, FailureScenario>,
+    mrc: &Mrc,
+    optimal: &ShortestPaths,
+    case: &TestCase,
+) -> (RecoverableRow, OverheadSeries, OverheadSeries) {
+    debug_assert_eq!(session.initiator(), case.initiator);
+    let optimal_cost = optimal
+        .distance(case.dest)
+        .expect("recoverable case: destination reachable from initiator");
+
+    // --- RTR ---
+    let attempt = session.recover(case.dest);
+    let phase1_hops = session.phase1().trace.hops();
+    let rtr_delivered = attempt.is_delivered();
+    let rtr_cost = attempt.path.as_ref().map(|p| p.cost());
+    let rtr = SchemeOutcome {
+        delivered: rtr_delivered,
+        optimal: rtr_delivered && rtr_cost == Some(optimal_cost),
+        stretch: rtr_delivered.then(|| stretch_of(rtr_cost.unwrap(), optimal_cost)),
+        sp_calculations: session.sp_calculations(),
+    };
+    let mut rtr_trace = session.phase1().trace.clone();
+    let steady = attempt.trace.mean_header_bytes();
+    rtr_trace.extend_with(&attempt.trace);
+    let rtr_series = OverheadSeries::new(rtr_trace, steady);
+
+    // --- FCP ---
+    let fcp_attempt = fcp_route(topo, scenario, case.initiator, case.failed_link, case.dest);
+    let fcp = SchemeOutcome {
+        delivered: fcp_attempt.is_delivered(),
+        optimal: fcp_attempt.is_delivered() && fcp_attempt.cost_traversed == optimal_cost,
+        stretch: fcp_attempt
+            .is_delivered()
+            .then(|| stretch_of(fcp_attempt.cost_traversed, optimal_cost)),
+        sp_calculations: fcp_attempt.sp_calculations,
+    };
+    let fcp_steady = fcp_attempt.trace.mean_header_bytes();
+    let fcp_series = OverheadSeries::new(fcp_attempt.trace, fcp_steady);
+
+    // --- MRC ---
+    let mrc_attempt = mrc_recover(topo, mrc, scenario, case.initiator, case.failed_link, case.dest);
+    let mrc_out = SchemeOutcome {
+        delivered: mrc_attempt.is_delivered(),
+        optimal: mrc_attempt.is_delivered() && mrc_attempt.cost_traversed == optimal_cost,
+        stretch: mrc_attempt
+            .is_delivered()
+            .then(|| stretch_of(mrc_attempt.cost_traversed, optimal_cost)),
+        sp_calculations: 0,
+    };
+
+    (
+        RecoverableRow { phase1_hops, rtr, fcp, mrc: mrc_out },
+        rtr_series,
+        fcp_series,
+    )
+}
+
+/// Evaluates RTR and FCP on one *irrecoverable* case (§IV-D compares only
+/// those two; MRC's Table III columns already show it failing).
+pub fn eval_irrecoverable(
+    topo: &Topology,
+    scenario: &FailureScenario,
+    session: &mut RtrSession<'_, FailureScenario>,
+    case: &TestCase,
+) -> IrrecoverableRow {
+    debug_assert_eq!(session.initiator(), case.initiator);
+
+    let attempt = session.recover(case.dest);
+    debug_assert!(!attempt.is_delivered(), "case is irrecoverable");
+    let rtr_wasted_transmission = wasted_transmission(&attempt.trace);
+
+    let fcp_attempt = fcp_route(topo, scenario, case.initiator, case.failed_link, case.dest);
+    debug_assert!(!fcp_attempt.is_delivered(), "case is irrecoverable");
+
+    IrrecoverableRow {
+        phase1_hops: session.phase1().trace.hops(),
+        rtr_wasted_computation: session.sp_calculations(),
+        fcp_wasted_computation: fcp_attempt.sp_calculations,
+        rtr_wasted_transmission,
+        fcp_wasted_transmission: wasted_transmission(&fcp_attempt.trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::testcase::generate_workload;
+    use rtr_routing::dijkstra::dijkstra;
+    use rtr_topology::generate;
+
+    #[test]
+    fn wasted_transmission_counts_per_hop_payload_and_header() {
+        let mut t = ForwardingTrace::start(rtr_topology::NodeId(0), 4);
+        t.record_hop(rtr_topology::NodeId(1), 2);
+        t.record_hop(rtr_topology::NodeId(2), 0);
+        // Hop 1 carries 1000+4, hop 2 carries 1000+2.
+        assert_eq!(wasted_transmission(&t), 1004 + 1002);
+        let empty = ForwardingTrace::start(rtr_topology::NodeId(0), 10);
+        assert_eq!(wasted_transmission(&empty), 0);
+    }
+
+    #[test]
+    fn overhead_series_switches_to_steady_after_trace() {
+        let mut t = ForwardingTrace::start(rtr_topology::NodeId(0), 10);
+        t.record_hop(rtr_topology::NodeId(1), 20);
+        let s = OverheadSeries::new(t, 5.0);
+        let d = DelayModel::PAPER;
+        assert_eq!(s.sample(&d, SimTime::ZERO), 10.0);
+        assert_eq!(s.sample(&d, SimTime::from_micros(1_800)), 5.0);
+        assert_eq!(s.sample(&d, SimTime::from_millis(500)), 5.0);
+    }
+
+    #[test]
+    fn recoverable_rows_have_consistent_invariants() {
+        let topo = generate::isp_like(35, 80, 2000.0, 21).unwrap();
+        let cfg = ExperimentConfig::quick().with_cases(60);
+        let w = generate_workload("t", topo, &cfg, 3);
+        let mrc = Mrc::build(&w.topo, 5).unwrap();
+        let mut rows = Vec::new();
+        for sc in &w.scenarios {
+            let mut by_initiator: std::collections::BTreeMap<_, Vec<&crate::testcase::TestCase>> =
+                Default::default();
+            for c in &sc.recoverable {
+                by_initiator.entry(c.initiator).or_default().push(c);
+            }
+            for (initiator, cases) in by_initiator {
+                let failed = cases[0].failed_link;
+                let mut session =
+                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed);
+                let optimal = dijkstra(&w.topo, &sc.scenario, initiator);
+                for case in cases {
+                    let (row, rtr_series, _) =
+                        eval_recoverable(&w.topo, &sc.scenario, &mut session, &mrc, &optimal, case);
+                    // Theorem 2: RTR delivered => optimal, stretch exactly 1.
+                    if row.rtr.delivered {
+                        assert!(row.rtr.optimal);
+                        assert_eq!(row.rtr.stretch, Some(1.0));
+                    }
+                    assert_eq!(row.rtr.sp_calculations, 1);
+                    // FCP always delivers on recoverable cases.
+                    assert!(row.fcp.delivered);
+                    assert!(row.fcp.stretch.unwrap() >= 1.0);
+                    assert!(row.fcp.sp_calculations >= 1);
+                    // MRC stretch, when delivered, is >= 1.
+                    if let Some(s) = row.mrc.stretch {
+                        assert!(s >= 1.0);
+                    }
+                    // The overhead series spans phase 1 plus the walk.
+                    assert!(rtr_series.trace().hops() >= row.phase1_hops);
+                    rows.push(row);
+                }
+            }
+        }
+        assert!(!rows.is_empty());
+        // RTR's recovery rate should be high (98%+ in the paper).
+        let delivered = rows.iter().filter(|r| r.rtr.delivered).count();
+        assert!(
+            delivered as f64 / rows.len() as f64 > 0.9,
+            "RTR delivered only {delivered}/{} recoverable cases",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn irrecoverable_rows_have_consistent_invariants() {
+        let topo = generate::isp_like(35, 80, 2000.0, 22).unwrap();
+        let cfg = ExperimentConfig::quick().with_cases(60);
+        let w = generate_workload("t", topo, &cfg, 4);
+        let mut rows = Vec::new();
+        for sc in &w.scenarios {
+            let mut by_initiator: std::collections::BTreeMap<_, Vec<&crate::testcase::TestCase>> =
+                Default::default();
+            for c in &sc.irrecoverable {
+                by_initiator.entry(c.initiator).or_default().push(c);
+            }
+            for (initiator, cases) in by_initiator {
+                let failed = cases[0].failed_link;
+                let mut session =
+                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed);
+                for case in cases {
+                    let row = eval_irrecoverable(&w.topo, &sc.scenario, &mut session, case);
+                    assert_eq!(row.rtr_wasted_computation, 1);
+                    assert!(row.fcp_wasted_computation >= 1);
+                    rows.push(row);
+                }
+            }
+        }
+        assert!(!rows.is_empty());
+        // FCP wastes at least as much computation as RTR on average.
+        let rtr_avg: f64 =
+            rows.iter().map(|r| r.rtr_wasted_computation as f64).sum::<f64>() / rows.len() as f64;
+        let fcp_avg: f64 =
+            rows.iter().map(|r| r.fcp_wasted_computation as f64).sum::<f64>() / rows.len() as f64;
+        assert!(fcp_avg >= rtr_avg);
+    }
+}

@@ -1,0 +1,295 @@
+//! Test-case generation per §IV-A.
+//!
+//! A *test case* is a (recovery initiator, destination, failure area)
+//! triple: failed routing paths sharing initiator and destination have
+//! identical recovery processes and count once. Failure areas are circles
+//! with the center uniform in the 2000 × 2000 plane and the radius uniform
+//! in [100, 300]; nodes inside and links crossing the circle fail. Cases
+//! are *recoverable* when the destination is still reachable from the
+//! initiator in the ground truth, *irrecoverable* otherwise.
+
+use crate::config::ExperimentConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtr_routing::RoutingTable;
+use rtr_topology::{
+    CrossLinkTable, FailureScenario, FullView, GraphView, LinkId, NodeId, Region, Topology,
+};
+
+/// One test case: the recovery starts at `initiator` (whose default next
+/// hop over `failed_link` is unreachable) toward `dest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCase {
+    /// The recovery initiator.
+    pub initiator: NodeId,
+    /// The unusable default next-hop link that triggered recovery.
+    pub failed_link: LinkId,
+    /// The destination of the failed routing path.
+    pub dest: NodeId,
+}
+
+/// All test cases produced by one failure area.
+#[derive(Debug, Clone)]
+pub struct ScenarioCases {
+    /// The failure region that was applied.
+    pub region: Region,
+    /// Ground truth of the failure.
+    pub scenario: FailureScenario,
+    /// Recoverable cases (destination still reachable from the initiator).
+    pub recoverable: Vec<TestCase>,
+    /// Irrecoverable cases (destination failed or partitioned away).
+    pub irrecoverable: Vec<TestCase>,
+}
+
+/// A full per-topology workload: the topology with its precomputed routing
+/// state plus enough failure scenarios to fill both case classes.
+#[derive(Debug)]
+pub struct Workload {
+    /// Display name (e.g. `"AS209"`).
+    pub name: String,
+    /// The topology under test.
+    pub topo: Topology,
+    /// Pre-failure routing tables (shared by all scenarios).
+    pub table: RoutingTable,
+    /// Precomputed link-crossing table for RTR's first phase.
+    pub crosslinks: CrossLinkTable,
+    /// Scenarios with their test cases.
+    pub scenarios: Vec<ScenarioCases>,
+}
+
+impl Workload {
+    /// Total recoverable cases across scenarios.
+    pub fn recoverable_count(&self) -> usize {
+        self.scenarios.iter().map(|s| s.recoverable.len()).sum()
+    }
+
+    /// Total irrecoverable cases across scenarios.
+    pub fn irrecoverable_count(&self) -> usize {
+        self.scenarios.iter().map(|s| s.irrecoverable.len()).sum()
+    }
+}
+
+/// Connected-component labels of the live subgraph (failed nodes get the
+/// sentinel `usize::MAX`).
+pub fn component_labels(topo: &Topology, scenario: &FailureScenario) -> Vec<usize> {
+    let mut comp = vec![usize::MAX; topo.node_count()];
+    let mut next = 0usize;
+    for start in topo.node_ids() {
+        if scenario.is_node_failed(start) || comp[start.index()] != usize::MAX {
+            continue;
+        }
+        comp[start.index()] = next;
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for &(v, l) in topo.neighbors(u) {
+                if comp[v.index()] == usize::MAX && scenario.is_link_usable(topo, l) {
+                    comp[v.index()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Extracts every test case induced by one failure scenario: all pairs
+/// `(u, t)` where live router `u`'s default next hop toward `t` is
+/// unreachable. (Any failed routing path through `u` toward `t` yields this
+/// same recovery process, so the pair *is* the test case.)
+pub fn cases_for_scenario(
+    topo: &Topology,
+    table: &RoutingTable,
+    region: Region,
+    scenario: FailureScenario,
+) -> ScenarioCases {
+    let comp = component_labels(topo, &scenario);
+    let mut recoverable = Vec::new();
+    let mut irrecoverable = Vec::new();
+    for u in topo.node_ids() {
+        if scenario.is_node_failed(u) {
+            continue;
+        }
+        // A node with no live neighbor cannot even start recovery; the
+        // evaluation skips it like a failed source.
+        let has_live = topo
+            .neighbors(u)
+            .iter()
+            .any(|&(_, l)| scenario.is_link_usable(topo, l));
+        if !has_live {
+            continue;
+        }
+        for t in topo.node_ids() {
+            if t == u {
+                continue;
+            }
+            let Some((_, link)) = table.next_hop(u, t) else { continue };
+            if scenario.is_link_usable(topo, link) {
+                continue;
+            }
+            let case = TestCase { initiator: u, failed_link: link, dest: t };
+            let rec = !scenario.is_node_failed(t) && comp[u.index()] == comp[t.index()];
+            if rec {
+                recoverable.push(case);
+            } else {
+                irrecoverable.push(case);
+            }
+        }
+    }
+    ScenarioCases { region, scenario, recoverable, irrecoverable }
+}
+
+/// Draws one random circular failure region per §IV-A.
+pub fn random_region(cfg: &ExperimentConfig, rng: &mut StdRng) -> Region {
+    let cx = rng.gen_range(0.0..cfg.area_extent);
+    let cy = rng.gen_range(0.0..cfg.area_extent);
+    let r = rng.gen_range(cfg.radius_min..=cfg.radius_max);
+    Region::circle((cx, cy), r)
+}
+
+/// Generates a workload for `topo`: random circular failure areas are drawn
+/// until `cfg.cases_per_class` recoverable *and* irrecoverable cases are
+/// collected (surplus cases in the final scenarios are trimmed so both
+/// classes have exactly the requested size).
+pub fn generate_workload(
+    name: impl Into<String>,
+    topo: Topology,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Workload {
+    let table = RoutingTable::compute(&topo, &FullView);
+    let crosslinks = CrossLinkTable::new(&topo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scenarios = Vec::new();
+    let (mut rec, mut irr) = (0usize, 0usize);
+    let target = cfg.cases_per_class;
+    // Bound the number of attempts defensively; every region that touches
+    // the network yields cases, so this bound is never reached in practice.
+    let max_scenarios = 200 * target + 1000;
+    for _ in 0..max_scenarios {
+        if rec >= target && irr >= target {
+            break;
+        }
+        let region = random_region(cfg, &mut rng);
+        let scenario = FailureScenario::from_region(&topo, &region);
+        if scenario.failed_node_count() == 0 && scenario.failed_link_count() == 0 {
+            continue;
+        }
+        let mut cases = cases_for_scenario(&topo, &table, region, scenario);
+        cases.recoverable.truncate(target.saturating_sub(rec));
+        cases.irrecoverable.truncate(target.saturating_sub(irr));
+        if cases.recoverable.is_empty() && cases.irrecoverable.is_empty() {
+            continue;
+        }
+        rec += cases.recoverable.len();
+        irr += cases.irrecoverable.len();
+        scenarios.push(cases);
+    }
+    Workload {
+        name: name.into(),
+        topo,
+        table,
+        crosslinks,
+        scenarios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::generate;
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig::quick().with_cases(50)
+    }
+
+    #[test]
+    fn workload_fills_both_classes_exactly() {
+        let topo = generate::isp_like(40, 90, 2000.0, 5).unwrap();
+        let w = generate_workload("test", topo, &quick_cfg(), 1);
+        assert_eq!(w.recoverable_count(), 50);
+        assert_eq!(w.irrecoverable_count(), 50);
+        assert!(!w.scenarios.is_empty());
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let mk = || {
+            let topo = generate::isp_like(30, 70, 2000.0, 9).unwrap();
+            generate_workload("t", topo, &quick_cfg(), 77)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.scenarios.len(), b.scenarios.len());
+        for (sa, sb) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_eq!(sa.recoverable, sb.recoverable);
+            assert_eq!(sa.irrecoverable, sb.irrecoverable);
+        }
+    }
+
+    #[test]
+    fn every_case_is_well_formed() {
+        let topo = generate::isp_like(35, 80, 2000.0, 3).unwrap();
+        let w = generate_workload("t", topo, &quick_cfg(), 5);
+        for sc in &w.scenarios {
+            for case in sc.recoverable.iter().chain(&sc.irrecoverable) {
+                // The initiator is live and its default next hop is dead.
+                assert!(!sc.scenario.is_node_failed(case.initiator));
+                assert!(!sc.scenario.is_link_usable(&w.topo, case.failed_link));
+                assert!(w.topo.link(case.failed_link).is_incident_to(case.initiator));
+                let (nh, l) = w.table.next_hop(case.initiator, case.dest).unwrap();
+                assert_eq!(l, case.failed_link);
+                assert_eq!(w.topo.link(case.failed_link).other_end(case.initiator), nh);
+            }
+            // Class labels match ground-truth reachability.
+            for case in &sc.recoverable {
+                assert!(rtr_topology::is_reachable(
+                    &w.topo, &sc.scenario, case.initiator, case.dest
+                ));
+            }
+            for case in &sc.irrecoverable {
+                assert!(!rtr_topology::is_reachable(
+                    &w.topo, &sc.scenario, case.initiator, case.dest
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn component_labels_partition_live_nodes() {
+        let topo = generate::path(5, 10.0).unwrap();
+        let s = FailureScenario::from_parts(&topo, [NodeId(2)], []);
+        let comp = component_labels(&topo, &s);
+        assert_eq!(comp[2], usize::MAX);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn cases_for_scenario_classifies_grid() {
+        let topo = generate::grid(3, 3, 10.0);
+        let table = RoutingTable::compute(&topo, &FullView);
+        let region = Region::circle((10.0, 10.0), 1.0); // centre node only
+        let scenario = FailureScenario::from_region(&topo, &region);
+        let cases = cases_for_scenario(&topo, &table, region, scenario);
+        // Centre node failed: neighbors lose routes *through* it but every
+        // live destination stays reachable; the only irrecoverable dest is
+        // the centre itself.
+        assert!(!cases.recoverable.is_empty());
+        assert!(cases.irrecoverable.iter().all(|c| c.dest == NodeId(4)));
+        assert!(!cases.irrecoverable.is_empty());
+    }
+
+    #[test]
+    fn random_region_respects_bounds() {
+        let cfg = ExperimentConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let r = random_region(&cfg, &mut rng);
+            let Region::Circle(c) = r else { panic!("expected a circle") };
+            assert!(c.radius >= cfg.radius_min && c.radius <= cfg.radius_max);
+            assert!(c.center.x >= 0.0 && c.center.x <= cfg.area_extent);
+            assert!(c.center.y >= 0.0 && c.center.y <= cfg.area_extent);
+        }
+    }
+}

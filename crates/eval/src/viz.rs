@@ -1,0 +1,306 @@
+//! SVG rendering of topologies, failure areas, and recovery paths —
+//! regenerates diagrams in the style of the paper's Figs. 1, 2, and 6.
+
+use rtr_routing::Path;
+use rtr_sim::ForwardingTrace;
+use rtr_topology::{FailureScenario, GraphView, NodeId, Region, Topology};
+use std::fmt::Write as _;
+
+/// Builder for an SVG rendering of one failure/recovery situation.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_eval::viz::SvgScene;
+/// use rtr_topology::{generate, FailureScenario, Region};
+///
+/// let topo = generate::grid(4, 4, 400.0);
+/// let region = Region::circle((600.0, 600.0), 250.0);
+/// let scenario = FailureScenario::from_region(&topo, &region);
+/// let svg = SvgScene::new(&topo)
+///     .with_failure(&scenario, &region)
+///     .render();
+/// assert!(svg.starts_with("<svg"));
+/// ```
+#[derive(Debug)]
+pub struct SvgScene<'a> {
+    topo: &'a Topology,
+    scenario: Option<&'a FailureScenario>,
+    region: Option<&'a Region>,
+    walk: Option<&'a ForwardingTrace>,
+    paths: Vec<(&'a Path, &'static str)>,
+    labels: bool,
+}
+
+const WIDTH: f64 = 860.0;
+const MARGIN: f64 = 40.0;
+
+impl<'a> SvgScene<'a> {
+    /// Starts a scene for `topo`.
+    pub fn new(topo: &'a Topology) -> Self {
+        SvgScene {
+            topo,
+            scenario: None,
+            region: None,
+            walk: None,
+            paths: Vec::new(),
+            labels: true,
+        }
+    }
+
+    /// Adds the failure: dead elements are drawn dashed/red, the region as
+    /// a shaded circle or polygon.
+    pub fn with_failure(mut self, scenario: &'a FailureScenario, region: &'a Region) -> Self {
+        self.scenario = Some(scenario);
+        self.region = Some(region);
+        self
+    }
+
+    /// Overlays a phase-1 collection walk (dotted blue, like the paper's
+    /// "forwarding path in the first phase").
+    pub fn with_walk(mut self, walk: &'a ForwardingTrace) -> Self {
+        self.walk = Some(walk);
+        self
+    }
+
+    /// Overlays a recovery path (solid, in the given CSS color).
+    pub fn with_path(mut self, path: &'a Path, color: &'static str) -> Self {
+        self.paths.push((path, color));
+        self
+    }
+
+    /// Disables node-id labels (useful for large topologies).
+    pub fn without_labels(mut self) -> Self {
+        self.labels = false;
+        self
+    }
+
+    /// Renders the scene to an SVG document string.
+    pub fn render(&self) -> String {
+        // Fit the topology's bounding box into the canvas.
+        let (min_x, max_x, min_y, max_y) = self.bounds();
+        let span = (max_x - min_x).max(max_y - min_y).max(1.0);
+        let scale = (WIDTH - 2.0 * MARGIN) / span;
+        let height = (max_y - min_y) * scale + 2.0 * MARGIN;
+        let tx = |x: f64| (x - min_x) * scale + MARGIN;
+        // SVG's y axis grows downward; flip so the plane reads naturally.
+        let ty = |y: f64| height - ((y - min_y) * scale + MARGIN);
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height:.0}" viewBox="0 0 {WIDTH} {height:.0}">"##
+        );
+        let _ = write!(s, r##"<rect width="100%" height="100%" fill="white"/>"##);
+
+        // Failure region beneath everything.
+        if let Some(region) = self.region {
+            self.render_region(&mut s, region, &tx, &ty, scale);
+        }
+
+        // Links.
+        for l in self.topo.link_ids() {
+            let seg = self.topo.segment(l);
+            let dead = self
+                .scenario
+                .is_some_and(|sc| !sc.is_link_usable(self.topo, l));
+            let style = if dead {
+                r##"stroke="#c0392b" stroke-width="1.2" stroke-dasharray="6 4" opacity="0.8""##
+            } else {
+                r##"stroke="#9aa4ad" stroke-width="1.4""##
+            };
+            let _ = write!(
+                s,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" {style}/>"##,
+                tx(seg.a.x),
+                ty(seg.a.y),
+                tx(seg.b.x),
+                ty(seg.b.y)
+            );
+        }
+
+        // Phase-1 walk (dotted, numbered by order).
+        if let Some(walk) = self.walk {
+            let nodes: Vec<NodeId> = walk.nodes().collect();
+            for w in nodes.windows(2) {
+                let (a, b) = (self.topo.position(w[0]), self.topo.position(w[1]));
+                let _ = write!(
+                    s,
+                    r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#2471a3" stroke-width="2.2" stroke-dasharray="2 5" opacity="0.9"/>"##,
+                    tx(a.x),
+                    ty(a.y),
+                    tx(b.x),
+                    ty(b.y)
+                );
+            }
+        }
+
+        // Recovery paths.
+        for (path, color) in &self.paths {
+            for w in path.nodes().windows(2) {
+                let (a, b) = (self.topo.position(w[0]), self.topo.position(w[1]));
+                let _ = write!(
+                    s,
+                    r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="2.6"/>"##,
+                    tx(a.x),
+                    ty(a.y),
+                    tx(b.x),
+                    ty(b.y)
+                );
+            }
+        }
+
+        // Nodes on top.
+        for n in self.topo.node_ids() {
+            let p = self.topo.position(n);
+            let dead = self.scenario.is_some_and(|sc| sc.is_node_failed(n));
+            let fill = if dead { "#c0392b" } else { "#2c3e50" };
+            let _ = write!(
+                s,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="4.5" fill="{fill}" stroke="white" stroke-width="1"/>"##,
+                tx(p.x),
+                ty(p.y)
+            );
+            if self.labels {
+                let _ = write!(
+                    s,
+                    r##"<text x="{:.1}" y="{:.1}" font-size="10" font-family="sans-serif" fill="#34495e">{n}</text>"##,
+                    tx(p.x) + 6.0,
+                    ty(p.y) - 6.0
+                );
+            }
+        }
+
+        s.push_str("</svg>");
+        s
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for n in self.topo.node_ids() {
+            let p = self.topo.position(n);
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        if self.topo.node_count() == 0 {
+            (0.0, 1.0, 0.0, 1.0)
+        } else {
+            (min_x, max_x, min_y, max_y)
+        }
+    }
+
+    fn render_region(
+        &self,
+        s: &mut String,
+        region: &Region,
+        tx: &dyn Fn(f64) -> f64,
+        ty: &dyn Fn(f64) -> f64,
+        scale: f64,
+    ) {
+        match region {
+            Region::Circle(c) => {
+                let _ = write!(
+                    s,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="#f5b7b1" opacity="0.45" stroke="#c0392b" stroke-dasharray="4 3"/>"##,
+                    tx(c.center.x),
+                    ty(c.center.y),
+                    c.radius * scale
+                );
+            }
+            Region::Polygon(poly) => {
+                let pts: Vec<String> = poly
+                    .vertices()
+                    .iter()
+                    .map(|p| format!("{:.1},{:.1}", tx(p.x), ty(p.y)))
+                    .collect();
+                let _ = write!(
+                    s,
+                    r##"<polygon points="{}" fill="#f5b7b1" opacity="0.45" stroke="#c0392b" stroke-dasharray="4 3"/>"##,
+                    pts.join(" ")
+                );
+            }
+            Region::Union(parts) => {
+                for part in parts {
+                    self.render_region(s, part, tx, ty, scale);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{generate, Point, Polygon};
+
+    #[test]
+    fn renders_plain_topology() {
+        let topo = generate::grid(3, 3, 100.0);
+        let svg = SvgScene::new(&topo).render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // 9 nodes, 12 links.
+        assert_eq!(svg.matches("<circle").count(), 9);
+        assert_eq!(svg.matches("<line").count(), 12);
+        assert_eq!(svg.matches("<text").count(), 9);
+    }
+
+    #[test]
+    fn failure_changes_styles() {
+        let topo = generate::grid(3, 3, 100.0);
+        let region = Region::circle((100.0, 100.0), 30.0);
+        let scenario = FailureScenario::from_region(&topo, &region);
+        let svg = SvgScene::new(&topo).with_failure(&scenario, &region).render();
+        assert!(svg.contains("stroke-dasharray"), "dead links drawn dashed");
+        assert!(svg.contains("#c0392b"), "failure palette used");
+        // The region circle plus 9 node circles.
+        assert_eq!(svg.matches("<circle").count(), 10);
+    }
+
+    #[test]
+    fn overlays_walk_and_path() {
+        let topo = generate::grid(3, 3, 100.0);
+        let mut walk = ForwardingTrace::start(NodeId(0), 0);
+        walk.record_hop(NodeId(1), 2);
+        walk.record_hop(NodeId(2), 2);
+        let path = rtr_routing::shortest_path(&topo, &rtr_topology::FullView, NodeId(0), NodeId(8))
+            .unwrap();
+        let svg = SvgScene::new(&topo)
+            .with_walk(&walk)
+            .with_path(&path, "#1e8449")
+            .without_labels()
+            .render();
+        assert!(svg.contains("#1e8449"));
+        assert_eq!(svg.matches("<text").count(), 0);
+        // 12 base links + 2 walk segments + 4 path segments.
+        assert_eq!(svg.matches("<line").count(), 18);
+    }
+
+    #[test]
+    fn polygon_and_union_regions_render() {
+        let topo = generate::grid(2, 2, 100.0);
+        let poly = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(25.0, 50.0),
+        ])
+        .unwrap();
+        let region = Region::Union(vec![Region::Polygon(poly), Region::circle((80.0, 80.0), 10.0)]);
+        let scenario = FailureScenario::from_region(&topo, &region);
+        let svg = SvgScene::new(&topo).with_failure(&scenario, &region).render();
+        assert!(svg.contains("<polygon"));
+        assert!(svg.matches("<circle").count() >= 5);
+    }
+
+    #[test]
+    fn empty_topology_renders_safely() {
+        let topo = rtr_topology::Topology::builder().build().unwrap();
+        let svg = SvgScene::new(&topo).render();
+        assert!(svg.starts_with("<svg"));
+    }
+}

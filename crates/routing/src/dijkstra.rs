@@ -1,0 +1,303 @@
+//! Dijkstra shortest paths over a [`GraphView`].
+//!
+//! All recovery schemes in the paper reduce to shortest-path computations on
+//! some view of the topology: the intact network (default routing), the
+//! ground truth minus failures (the optimum a recovery scheme chases), or a
+//! router's believed view (RTR phase 2, FCP recomputation). Ties are broken
+//! deterministically by node id so that every router computes the same
+//! paths, matching the consistent-view assumption of §II-A.
+
+use crate::path::Path;
+use rtr_topology::{GraphView, LinkId, NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Option<u64>>,
+    parent: Vec<Option<(NodeId, LinkId)>>,
+}
+
+impl ShortestPaths {
+    /// The source this tree was computed from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `n`, or `None` when unreachable.
+    pub fn distance(&self, n: NodeId) -> Option<u64> {
+        self.dist[n.index()]
+    }
+
+    /// Returns true when `n` is reachable from the source.
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        self.dist[n.index()].is_some()
+    }
+
+    /// The parent hop of `n` in the shortest-path tree.
+    pub fn parent(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
+        self.parent[n.index()]
+    }
+
+    /// Reconstructs the shortest path from the source to `dest`.
+    ///
+    /// Returns `None` when `dest` is unreachable. The path to the source
+    /// itself is the trivial zero-hop path.
+    pub fn path_to(&self, dest: NodeId) -> Option<Path> {
+        let total = self.dist[dest.index()]?;
+        let mut nodes = vec![dest];
+        let mut links = Vec::new();
+        let mut cur = dest;
+        while let Some((p, l)) = self.parent[cur.index()] {
+            nodes.push(p);
+            links.push(l);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        nodes.reverse();
+        links.reverse();
+        Some(Path::from_parts_unchecked(nodes, links, total))
+    }
+
+    /// First hop from the source toward `dest`: `(next_node, link)`.
+    ///
+    /// Returns `None` when `dest` is unreachable or equals the source.
+    pub fn first_hop(&self, dest: NodeId) -> Option<(NodeId, LinkId)> {
+        self.dist[dest.index()]?;
+        let mut cur = dest;
+        let mut hop = None;
+        while let Some((p, l)) = self.parent[cur.index()] {
+            hop = Some((cur, l));
+            cur = p;
+        }
+        hop
+    }
+
+    /// Number of reachable nodes, including the source.
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// Runs Dijkstra from `source` over the links usable in `view`.
+///
+/// Directed costs are respected (`cost_from` the tail of each traversal).
+/// If `source` itself is dead in `view`, everything is unreachable.
+pub fn dijkstra(topo: &Topology, view: &impl GraphView, source: NodeId) -> ShortestPaths {
+    let n = topo.node_count();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    if !view.is_node_live(source) {
+        return ShortestPaths { source, dist, parent };
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[source.index()] = Some(0);
+    heap.push(Reverse((0, source.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId(u);
+        if dist[u.index()] != Some(d) {
+            continue; // stale entry
+        }
+        for &(v, l) in topo.neighbors(u) {
+            if !view.is_link_usable(topo, l) {
+                continue;
+            }
+            let nd = d + u64::from(topo.cost_from(l, u));
+            let better = match dist[v.index()] {
+                None => true,
+                Some(old) => nd < old || (nd == old && breaks_tie(parent[v.index()], u, l)),
+            };
+            if better {
+                dist[v.index()] = Some(nd);
+                parent[v.index()] = Some((u, l));
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    ShortestPaths { source, dist, parent }
+}
+
+/// Deterministic tie-break: prefer the smaller (parent id, link id) pair so
+/// equal-cost paths resolve identically on every router.
+fn breaks_tie(current: Option<(NodeId, LinkId)>, candidate: NodeId, link: LinkId) -> bool {
+    match current {
+        None => true,
+        Some((p, l)) => (candidate, link) < (p, l),
+    }
+}
+
+/// Convenience: the shortest path from `s` to `t` in `view`, if any.
+pub fn shortest_path(
+    topo: &Topology,
+    view: &impl GraphView,
+    s: NodeId,
+    t: NodeId,
+) -> Option<Path> {
+    dijkstra(topo, view, s).path_to(t)
+}
+
+/// Breadth-first hop counts from `source` (valid when all costs are 1).
+///
+/// Used as the cross-check oracle for Dijkstra in tests and as the fast
+/// path in the hop-count ablation bench.
+pub fn bfs_hops(topo: &Topology, view: &impl GraphView, source: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; topo.node_count()];
+    if !view.is_node_live(source) {
+        return dist;
+    }
+    dist[source.index()] = Some(0);
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued nodes have distances");
+        for &(v, l) in topo.neighbors(u) {
+            if dist[v.index()].is_none() && view.is_link_usable(topo, l) {
+                dist[v.index()] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{generate, FailureScenario, FullView, Point};
+
+    fn diamond() -> Topology {
+        // v0 -2- v1 -2- v3, v0 -1- v2 -1- v3 : bottom route is shorter.
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 1.0));
+        let v2 = b.add_node(Point::new(1.0, -1.0));
+        let v3 = b.add_node(Point::new(2.0, 0.0));
+        b.add_link(v0, v1, 2).unwrap();
+        b.add_link(v1, v3, 2).unwrap();
+        b.add_link(v0, v2, 1).unwrap();
+        b.add_link(v2, v3, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn picks_cheaper_route() {
+        let topo = diamond();
+        let sp = dijkstra(&topo, &FullView, NodeId(0));
+        assert_eq!(sp.distance(NodeId(3)), Some(2));
+        let p = sp.path_to(NodeId(3)).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(p.cost(), 2);
+    }
+
+    #[test]
+    fn reroutes_around_failure() {
+        let topo = diamond();
+        let l = topo.link_between(NodeId(0), NodeId(2)).unwrap();
+        let s = FailureScenario::single_link(&topo, l);
+        let sp = dijkstra(&topo, &s, NodeId(0));
+        assert_eq!(sp.distance(NodeId(3)), Some(4));
+        let p = sp.path_to(NodeId(3)).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let topo = diamond();
+        let s = FailureScenario::from_parts(&topo, [NodeId(1), NodeId(2)], []);
+        let sp = dijkstra(&topo, &s, NodeId(0));
+        assert_eq!(sp.distance(NodeId(3)), None);
+        assert!(sp.path_to(NodeId(3)).is_none());
+        assert_eq!(sp.reachable_count(), 1);
+    }
+
+    #[test]
+    fn dead_source_reaches_nothing() {
+        let topo = diamond();
+        let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
+        let sp = dijkstra(&topo, &s, NodeId(0));
+        assert_eq!(sp.reachable_count(), 0);
+        assert!(!sp.is_reachable(NodeId(0)));
+    }
+
+    #[test]
+    fn path_to_source_is_trivial() {
+        let topo = diamond();
+        let sp = dijkstra(&topo, &FullView, NodeId(0));
+        let p = sp.path_to(NodeId(0)).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(sp.first_hop(NodeId(0)), None);
+    }
+
+    #[test]
+    fn first_hop_matches_path() {
+        let topo = diamond();
+        let sp = dijkstra(&topo, &FullView, NodeId(0));
+        let (nxt, l) = sp.first_hop(NodeId(3)).unwrap();
+        assert_eq!(nxt, NodeId(2));
+        assert_eq!(Some(l), topo.link_between(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn asymmetric_costs_respect_direction() {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        b.add_link_asymmetric(v0, v1, 1, 10).unwrap();
+        let topo = b.build().unwrap();
+        assert_eq!(dijkstra(&topo, &FullView, v0).distance(v1), Some(1));
+        assert_eq!(dijkstra(&topo, &FullView, v1).distance(v0), Some(10));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        // Two equal-cost routes; the parent with the smaller id wins.
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 1.0));
+        let v2 = b.add_node(Point::new(1.0, -1.0));
+        let v3 = b.add_node(Point::new(2.0, 0.0));
+        b.add_link(v0, v1, 1).unwrap();
+        b.add_link(v0, v2, 1).unwrap();
+        b.add_link(v1, v3, 1).unwrap();
+        b.add_link(v2, v3, 1).unwrap();
+        let topo = b.build().unwrap();
+        let sp = dijkstra(&topo, &FullView, v0);
+        let p = sp.path_to(v3).unwrap();
+        assert_eq!(p.nodes(), &[v0, v1, v3]);
+    }
+
+    #[test]
+    fn bfs_matches_dijkstra_on_unit_costs() {
+        let topo = generate::isp_like(40, 90, 2000.0, 17).unwrap();
+        let bfs = bfs_hops(&topo, &FullView, NodeId(0));
+        let sp = dijkstra(&topo, &FullView, NodeId(0));
+        for n in topo.node_ids() {
+            assert_eq!(bfs[n.index()].map(u64::from), sp.distance(n));
+        }
+    }
+
+    #[test]
+    fn paths_are_simple_and_consistent() {
+        let topo = generate::isp_like(35, 80, 2000.0, 23).unwrap();
+        let sp = dijkstra(&topo, &FullView, NodeId(5));
+        for n in topo.node_ids() {
+            let p = sp.path_to(n).unwrap();
+            assert!(p.is_simple());
+            assert_eq!(p.source(), NodeId(5));
+            assert_eq!(p.dest(), n);
+            // Re-validating through Path::new must agree.
+            let re = Path::new(&topo, p.nodes().to_vec(), p.links().to_vec()).unwrap();
+            assert_eq!(re.cost(), p.cost());
+        }
+    }
+
+    #[test]
+    fn shortest_path_helper() {
+        let topo = diamond();
+        let p = shortest_path(&topo, &FullView, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.cost(), 2);
+        let s = FailureScenario::from_parts(&topo, [NodeId(1), NodeId(2)], []);
+        assert!(shortest_path(&topo, &s, NodeId(0), NodeId(3)).is_none());
+    }
+}

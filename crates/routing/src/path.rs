@@ -1,0 +1,209 @@
+//! Routing paths: validated node/link sequences with a total cost.
+
+use rtr_topology::{GraphView, LinkId, NodeId, Topology};
+use std::fmt;
+
+/// A routing path: an alternating sequence of nodes and links with its
+/// total cost under the directed link costs.
+///
+/// Invariants (enforced by the producing algorithms, checked in debug
+/// builds): `nodes.len() == links.len() + 1`, each link connects its
+/// surrounding nodes, and `cost` is the sum of directed link costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    links: Vec<LinkId>,
+    cost: u64,
+}
+
+impl Path {
+    /// Assembles a path from its parts, validating structure against `topo`.
+    ///
+    /// Returns `None` when the sequences are inconsistent (wrong lengths,
+    /// a link not connecting its surrounding nodes, or a wrong cost).
+    pub fn new(topo: &Topology, nodes: Vec<NodeId>, links: Vec<LinkId>) -> Option<Self> {
+        if nodes.is_empty() || nodes.len() != links.len() + 1 {
+            return None;
+        }
+        let mut cost = 0u64;
+        for (i, &l) in links.iter().enumerate() {
+            let link = topo.link(l);
+            if !(link.is_incident_to(nodes[i]) && link.other_end(nodes[i]) == nodes[i + 1]) {
+                return None;
+            }
+            cost += u64::from(link.cost_from(nodes[i]));
+        }
+        Some(Path { nodes, links, cost })
+    }
+
+    /// A zero-length path at a single node.
+    pub fn trivial(node: NodeId) -> Self {
+        Path { nodes: vec![node], links: Vec::new(), cost: 0 }
+    }
+
+    pub(crate) fn from_parts_unchecked(nodes: Vec<NodeId>, links: Vec<LinkId>, cost: u64) -> Self {
+        debug_assert_eq!(nodes.len(), links.len() + 1);
+        Path { nodes, links, cost }
+    }
+
+    /// First node of the path.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the path.
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Nodes along the path, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Links along the path, in traversal order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of hops (links).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total directed cost.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Returns true when every link of the path is usable in `view`.
+    pub fn is_live(&self, topo: &Topology, view: &impl GraphView) -> bool {
+        self.links.iter().all(|&l| view.is_link_usable(topo, l))
+    }
+
+    /// The first failed link along the path in `view`, with the index of the
+    /// node that would discover it (the node about to traverse the link).
+    pub fn first_failure(&self, topo: &Topology, view: &impl GraphView) -> Option<(usize, LinkId)> {
+        self.links
+            .iter()
+            .enumerate()
+            .find(|&(_, &l)| !view.is_link_usable(topo, l))
+            .map(|(i, &l)| (i, l))
+    }
+
+    /// Returns true when the path visits no node twice.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|n| seen.insert(*n))
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, " (cost {})", self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{FailureScenario, Point, Topology};
+
+    fn line3() -> Topology {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        let v2 = b.add_node(Point::new(2.0, 0.0));
+        b.add_link_asymmetric(v0, v1, 2, 5).unwrap();
+        b.add_link(v1, v2, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_validates_and_computes_cost() {
+        let topo = line3();
+        let p = Path::new(
+            &topo,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![LinkId(0), LinkId(1)],
+        )
+        .unwrap();
+        assert_eq!(p.cost(), 5);
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.dest(), NodeId(2));
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn asymmetric_cost_depends_on_direction() {
+        let topo = line3();
+        let rev = Path::new(&topo, vec![NodeId(1), NodeId(0)], vec![LinkId(0)]).unwrap();
+        assert_eq!(rev.cost(), 5);
+        let fwd = Path::new(&topo, vec![NodeId(0), NodeId(1)], vec![LinkId(0)]).unwrap();
+        assert_eq!(fwd.cost(), 2);
+    }
+
+    #[test]
+    fn new_rejects_inconsistent_sequences() {
+        let topo = line3();
+        // Wrong link for the node pair.
+        assert!(Path::new(&topo, vec![NodeId(0), NodeId(2)], vec![LinkId(0)]).is_none());
+        // Length mismatch.
+        assert!(Path::new(&topo, vec![NodeId(0)], vec![LinkId(0)]).is_none());
+        // Empty.
+        assert!(Path::new(&topo, vec![], vec![]).is_none());
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(7));
+        assert_eq!(p.source(), NodeId(7));
+        assert_eq!(p.dest(), NodeId(7));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.cost(), 0);
+    }
+
+    #[test]
+    fn liveness_and_first_failure() {
+        let topo = line3();
+        let p = Path::new(
+            &topo,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![LinkId(0), LinkId(1)],
+        )
+        .unwrap();
+        let ok = FailureScenario::none(&topo);
+        assert!(p.is_live(&topo, &ok));
+        assert_eq!(p.first_failure(&topo, &ok), None);
+
+        let broken = FailureScenario::single_link(&topo, LinkId(1));
+        assert!(!p.is_live(&topo, &broken));
+        assert_eq!(p.first_failure(&topo, &broken), Some((1, LinkId(1))));
+    }
+
+    #[test]
+    fn display_shows_hops_and_cost() {
+        let topo = line3();
+        let p = Path::new(&topo, vec![NodeId(0), NodeId(1)], vec![LinkId(0)]).unwrap();
+        assert_eq!(p.to_string(), "v0 -> v1 (cost 2)");
+    }
+
+    #[test]
+    fn non_simple_path_detected() {
+        let topo = line3();
+        let p = Path::new(
+            &topo,
+            vec![NodeId(0), NodeId(1), NodeId(0)],
+            vec![LinkId(0), LinkId(0)],
+        )
+        .unwrap();
+        assert!(!p.is_simple());
+    }
+}

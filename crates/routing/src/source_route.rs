@@ -1,0 +1,145 @@
+//! Source routes: the strict hop list a recovery initiator writes into the
+//! packet header (§III-D).
+//!
+//! "The recovery initiator inserts the entire shortest path in the packet
+//! header. Routers along the shortest path simply forward packets based on
+//! the source route in the packet header." Each hop is a 16-bit node id,
+//! so a source route costs 2 bytes per remaining hop of header space —
+//! the quantity charged by the transmission-overhead metrics.
+
+use crate::path::Path;
+use rtr_topology::{GraphView, NodeId, Topology};
+
+/// Number of header bytes per recorded hop (16-bit node ids).
+pub const BYTES_PER_HOP: usize = 2;
+
+/// A strict source route: the remaining nodes to visit, destination last.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceRoute {
+    remaining: Vec<NodeId>,
+    cursor: usize,
+}
+
+impl SourceRoute {
+    /// Builds a source route from a path, excluding the path's source (the
+    /// router that writes the route doesn't list itself).
+    pub fn from_path(path: &Path) -> Self {
+        SourceRoute {
+            remaining: path.nodes()[1..].to_vec(),
+            cursor: 0,
+        }
+    }
+
+    /// Builds a source route from an explicit hop list (first hop first).
+    pub fn new(hops: Vec<NodeId>) -> Self {
+        SourceRoute { remaining: hops, cursor: 0 }
+    }
+
+    /// The next node to forward to, if any hops remain.
+    pub fn next_hop(&self) -> Option<NodeId> {
+        self.remaining.get(self.cursor).copied()
+    }
+
+    /// Consumes one hop, returning the node just advanced to.
+    pub fn advance(&mut self) -> Option<NodeId> {
+        let hop = self.next_hop()?;
+        self.cursor += 1;
+        Some(hop)
+    }
+
+    /// The final destination of the route.
+    pub fn dest(&self) -> Option<NodeId> {
+        self.remaining.last().copied()
+    }
+
+    /// Hops not yet traversed.
+    pub fn remaining_hops(&self) -> usize {
+        self.remaining.len() - self.cursor
+    }
+
+    /// Total hops the route was created with.
+    pub fn total_hops(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Returns true when every hop has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor == self.remaining.len()
+    }
+
+    /// Header bytes currently occupied by the route (2 per remaining hop —
+    /// consumed hops can be stripped by the forwarding router).
+    pub fn header_bytes(&self) -> usize {
+        self.remaining_hops() * BYTES_PER_HOP
+    }
+
+    /// Checks the route hop-by-hop from `start`: every consecutive pair must
+    /// be joined by a link usable in `view`. Returns the number of hops that
+    /// can be traversed before hitting a failure (equal to `total_hops` when
+    /// the whole route is live).
+    pub fn traversable_hops(&self, topo: &Topology, view: &impl GraphView, start: NodeId) -> usize {
+        let mut cur = start;
+        for (i, &next) in self.remaining.iter().enumerate() {
+            match topo.link_between(cur, next) {
+                Some(l) if view.is_link_usable(topo, l) => cur = next,
+                _ => return i,
+            }
+        }
+        self.remaining.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{generate, FailureScenario, FullView, LinkId};
+
+    #[test]
+    fn from_path_drops_source() {
+        let topo = generate::path(4, 10.0).unwrap();
+        let p = crate::dijkstra::shortest_path(&topo, &FullView, NodeId(0), NodeId(3)).unwrap();
+        let sr = SourceRoute::from_path(&p);
+        assert_eq!(sr.total_hops(), 3);
+        assert_eq!(sr.next_hop(), Some(NodeId(1)));
+        assert_eq!(sr.dest(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn advance_consumes_hops() {
+        let mut sr = SourceRoute::new(vec![NodeId(1), NodeId(2)]);
+        assert_eq!(sr.header_bytes(), 4);
+        assert_eq!(sr.advance(), Some(NodeId(1)));
+        assert_eq!(sr.remaining_hops(), 1);
+        assert_eq!(sr.header_bytes(), 2);
+        assert_eq!(sr.advance(), Some(NodeId(2)));
+        assert!(sr.is_exhausted());
+        assert_eq!(sr.advance(), None);
+        assert_eq!(sr.header_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_route_is_exhausted() {
+        let sr = SourceRoute::new(vec![]);
+        assert!(sr.is_exhausted());
+        assert_eq!(sr.dest(), None);
+        assert_eq!(sr.next_hop(), None);
+    }
+
+    #[test]
+    fn traversable_hops_counts_to_first_failure() {
+        let topo = generate::path(5, 10.0).unwrap();
+        let sr = SourceRoute::new(vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(sr.traversable_hops(&topo, &FullView, NodeId(0)), 4);
+        // Break link 2-3 (link index 2 on a path).
+        let broken = FailureScenario::single_link(&topo, LinkId(2));
+        assert_eq!(sr.traversable_hops(&topo, &broken, NodeId(0)), 2);
+    }
+
+    #[test]
+    fn traversable_hops_zero_when_no_link() {
+        let topo = generate::path(3, 10.0).unwrap();
+        // Route claims a direct hop 0 -> 2, which doesn't exist.
+        let sr = SourceRoute::new(vec![NodeId(2)]);
+        assert_eq!(sr.traversable_hops(&topo, &FullView, NodeId(0)), 0);
+    }
+}

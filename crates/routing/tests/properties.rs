@@ -1,0 +1,139 @@
+//! Property-based tests for the routing substrate.
+
+use proptest::prelude::*;
+use rtr_routing::{bfs_hops, dijkstra::dijkstra, IncrementalSpt, RoutingTable, SourceRoute};
+use rtr_topology::{generate, FailureScenario, FullView, LinkId, LinkMask, NodeId, Region};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra distances on unit-cost graphs equal BFS hop counts.
+    #[test]
+    fn dijkstra_equals_bfs_on_unit_costs(n in 3..35usize, extra in 0..40usize, seed in 0..500u64) {
+        let max = n * (n - 1) / 2;
+        let m = (n - 1 + extra).min(max);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let src = NodeId((seed % n as u64) as u32);
+        let sp = dijkstra(&topo, &FullView, src);
+        let bfs = bfs_hops(&topo, &FullView, src);
+        for v in topo.node_ids() {
+            prop_assert_eq!(sp.distance(v), bfs[v.index()].map(u64::from));
+        }
+    }
+
+    /// Every shortest path satisfies the subpath optimality property.
+    #[test]
+    fn subpath_optimality(n in 4..30usize, seed in 0..300u64) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let src = NodeId(0);
+        let sp = dijkstra(&topo, &FullView, src);
+        for v in topo.node_ids() {
+            let p = sp.path_to(v).unwrap();
+            // Every prefix of a shortest path is a shortest path.
+            let mut acc = 0u64;
+            for (i, &l) in p.links().iter().enumerate() {
+                acc += u64::from(topo.cost_from(l, p.nodes()[i]));
+                prop_assert_eq!(sp.distance(p.nodes()[i + 1]), Some(acc));
+            }
+        }
+    }
+
+    /// Removing links never shortens any distance (monotonicity).
+    #[test]
+    fn distances_monotone_under_removal(n in 4..25usize, seed in 0..200u64, kill in 1..8usize) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let removed: Vec<LinkId> = topo.link_ids().step_by(topo.link_count() / kill + 1).collect();
+        let mask = LinkMask::from_links(&topo, removed.iter().copied());
+        let before = dijkstra(&topo, &FullView, NodeId(0));
+        let after = dijkstra(&topo, &mask, NodeId(0));
+        for v in topo.node_ids() {
+            match (before.distance(v), after.distance(v)) {
+                (Some(b), Some(a)) => prop_assert!(a >= b),
+                (Some(_), None) => {}
+                (None, Some(_)) => prop_assert!(false, "removal created reachability"),
+                (None, None) => {}
+            }
+        }
+    }
+
+    /// Incremental SPT repair equals a fresh Dijkstra for any removal set.
+    #[test]
+    fn incremental_spt_equals_oracle(
+        n in 4..30usize,
+        seed in 0..300u64,
+        stride in 2..9usize,
+    ) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let removed: Vec<LinkId> = topo.link_ids().step_by(stride).collect();
+        let mut spt = IncrementalSpt::new(&topo, NodeId(0));
+        spt.remove_links(removed.iter().copied());
+        let oracle = dijkstra(&topo, &LinkMask::from_links(&topo, removed.iter().copied()), NodeId(0));
+        for v in topo.node_ids() {
+            prop_assert_eq!(spt.distance(v), oracle.distance(v));
+        }
+    }
+
+    /// Incremental SPT applied one link at a time agrees with batch removal.
+    #[test]
+    fn incremental_spt_order_independent(n in 4..20usize, seed in 0..150u64) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let removed: Vec<LinkId> = topo.link_ids().step_by(3).collect();
+        let mut one_by_one = IncrementalSpt::new(&topo, NodeId(1));
+        for &l in &removed {
+            one_by_one.remove_links([l]);
+        }
+        let mut batch = IncrementalSpt::new(&topo, NodeId(1));
+        batch.remove_links(removed.iter().copied());
+        for v in topo.node_ids() {
+            prop_assert_eq!(one_by_one.distance(v), batch.distance(v));
+        }
+    }
+
+    /// Hop-by-hop forwarding via routing tables terminates at the
+    /// destination whenever the table says it is reachable.
+    #[test]
+    fn table_forwarding_terminates_under_failures(
+        n in 5..25usize,
+        seed in 0..150u64,
+        cx in 0.0..2000.0f64,
+        cy in 0.0..2000.0f64,
+        r in 50.0..400.0f64,
+    ) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let scenario = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
+        let table = RoutingTable::compute(&topo, &scenario);
+        for s in topo.node_ids() {
+            for t in topo.node_ids() {
+                if s == t || table.distance(s, t).is_none() {
+                    continue;
+                }
+                let mut cur = s;
+                let mut steps = 0;
+                while cur != t {
+                    let (nxt, _) = table.next_hop(cur, t).expect("reachable");
+                    cur = nxt;
+                    steps += 1;
+                    prop_assert!(steps <= n, "loop detected");
+                }
+            }
+        }
+    }
+
+    /// A source route built from a live shortest path is fully traversable.
+    #[test]
+    fn source_route_traverses_shortest_path(n in 4..25usize, seed in 0..150u64) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let sp = dijkstra(&topo, &FullView, NodeId(0));
+        for t in topo.node_ids() {
+            let p = sp.path_to(t).unwrap();
+            let sr = SourceRoute::from_path(&p);
+            prop_assert_eq!(sr.traversable_hops(&topo, &FullView, NodeId(0)), p.hops());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Simulated time and the paper's per-hop delay model.
+//!
+//! §IV-B: "We use 100 microseconds as the delay at a router … The
+//! propagation delay on a link is about 1.7 milliseconds, assuming that
+//! links are 500 kilometers long on average. Hence, the one-hop delay is
+//! 1.8 milliseconds."
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in (or span of) simulated time, with microsecond resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Constructs from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// The value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The value in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow, like integer subtraction.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000) {
+            write!(f, "{} ms", self.0 / 1_000)
+        } else {
+            write!(f, "{} us", self.0)
+        }
+    }
+}
+
+/// The per-hop delay model of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayModel {
+    /// Processing delay at each router.
+    pub router_delay: SimTime,
+    /// Propagation delay on each link.
+    pub propagation_delay: SimTime,
+}
+
+impl DelayModel {
+    /// The paper's constants: 100 µs router delay + 1.7 ms propagation.
+    pub const PAPER: DelayModel = DelayModel {
+        router_delay: SimTime::from_micros(100),
+        propagation_delay: SimTime::from_micros(1_700),
+    };
+
+    /// Delay for traversing one hop (router + link).
+    pub const fn per_hop(&self) -> SimTime {
+        SimTime::from_micros(self.router_delay.as_micros() + self.propagation_delay.as_micros())
+    }
+
+    /// Delay for traversing `hops` hops.
+    pub fn for_hops(&self, hops: usize) -> SimTime {
+        self.per_hop() * hops as u64
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_per_hop_is_1_8_ms() {
+        assert_eq!(DelayModel::PAPER.per_hop(), SimTime::from_micros(1_800));
+        assert_eq!(DelayModel::default(), DelayModel::PAPER);
+    }
+
+    #[test]
+    fn hop_scaling() {
+        let d = DelayModel::PAPER;
+        assert_eq!(d.for_hops(0), SimTime::ZERO);
+        assert_eq!(d.for_hops(10).as_millis_f64(), 18.0);
+        // Paper §IV-B: no first phase exceeded 110 ms; that's ~61 hops.
+        assert!(d.for_hops(61).as_millis_f64() < 110.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(2);
+        let b = SimTime::from_micros(500);
+        assert_eq!((a + b).as_micros(), 2_500);
+        assert_eq!((a - b).as_micros(), 1_500);
+        assert_eq!((b * 4).as_micros(), 2_000);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_micros(), 2_500);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let t = SimTime::from_millis(75);
+        assert_eq!(t.as_secs_f64(), 0.075);
+        assert_eq!(t.to_string(), "75 ms");
+        assert_eq!(SimTime::from_micros(1_234).to_string(), "1234 us");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_millis(1));
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+}

@@ -1,0 +1,345 @@
+//! The network under failure: pre-failure routing tables plus ground-truth
+//! failure state, and the default-forwarding walk that discovers where a
+//! routing path breaks.
+//!
+//! During IGP convergence routers still forward with their *pre-failure*
+//! tables (§II-B). A packet therefore follows the old shortest path until
+//! some router finds its default next hop unreachable; that router is the
+//! *recovery initiator* and invokes a recovery scheme. This module
+//! implements exactly that walk and the resulting test-case classification
+//! of §IV-A (recoverable / irrecoverable / source-failed).
+
+use rtr_routing::RoutingTable;
+use rtr_topology::{is_reachable, FailureScenario, LinkId, NodeId, Topology};
+
+/// A topology, its ground-truth failure scenario, and the pre-failure
+/// routing tables all routers still use during convergence.
+///
+/// The routing table is borrowed so one (expensive) table can be shared
+/// across the thousands of failure scenarios of an experiment sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Network<'a> {
+    topo: &'a Topology,
+    scenario: &'a FailureScenario,
+    table: &'a RoutingTable,
+}
+
+/// Outcome of forwarding a packet with pre-failure tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// The source itself failed; it cannot send.
+    SourceFailed,
+    /// The default path is intact; the packet arrived after `hops` hops.
+    Delivered {
+        /// Hops traversed to the destination.
+        hops: usize,
+    },
+    /// A router found its default next hop unreachable.
+    Blocked {
+        /// The router that detected the failure (the recovery initiator).
+        initiator: NodeId,
+        /// The unusable link toward the default next hop.
+        failed_link: LinkId,
+        /// Hops from the source to the initiator.
+        hops_to_initiator: usize,
+    },
+    /// The pre-failure table has no route at all (disconnected topology).
+    NoRoute,
+}
+
+/// Classification of a (source, destination) pair under a failure, per
+/// §IV-A's three cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseKind {
+    /// Case 1: the source failed — ignored by the evaluation.
+    SourceFailed,
+    /// The default routing path does not traverse the failure; no recovery
+    /// is needed (not a "failed routing path").
+    NotAffected,
+    /// Case 2: the path failed and the destination is still reachable from
+    /// the recovery initiator in the ground truth.
+    Recoverable {
+        /// The recovery initiator.
+        initiator: NodeId,
+        /// The unusable link it detected.
+        failed_link: LinkId,
+    },
+    /// Case 3: the path failed and the destination is unreachable (failed
+    /// or partitioned away).
+    Irrecoverable {
+        /// The recovery initiator.
+        initiator: NodeId,
+        /// The unusable link it detected.
+        failed_link: LinkId,
+    },
+}
+
+impl<'a> Network<'a> {
+    /// Assembles a network view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routing table was computed for a different topology
+    /// size.
+    pub fn new(topo: &'a Topology, scenario: &'a FailureScenario, table: &'a RoutingTable) -> Self {
+        assert_eq!(
+            table.router_count(),
+            topo.node_count(),
+            "routing table does not match topology"
+        );
+        Network { topo, scenario, table }
+    }
+
+    /// The underlying topology.
+    pub fn topo(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// The ground-truth failure scenario.
+    pub fn scenario(&self) -> &'a FailureScenario {
+        self.scenario
+    }
+
+    /// The pre-failure routing table.
+    pub fn table(&self) -> &'a RoutingTable {
+        self.table
+    }
+
+    /// From `n`'s local view: is the neighbor across `l` reachable?
+    pub fn is_neighbor_reachable(&self, n: NodeId, l: LinkId) -> bool {
+        self.scenario.is_neighbor_reachable(self.topo, n, l)
+    }
+
+    /// `n`'s unreachable neighbors, as `(neighbor, link)` pairs in
+    /// adjacency order. This is everything a router knows about the
+    /// failure before any collection (§II-A).
+    pub fn unreachable_neighbors(&self, n: NodeId) -> Vec<(NodeId, LinkId)> {
+        self.topo
+            .neighbors(n)
+            .iter()
+            .copied()
+            .filter(|&(_, l)| !self.is_neighbor_reachable(n, l))
+            .collect()
+    }
+
+    /// Forwards a packet from `src` toward `dest` using pre-failure tables
+    /// over the ground-truth failure state.
+    pub fn default_walk(&self, src: NodeId, dest: NodeId) -> WalkOutcome {
+        if self.scenario.is_node_failed(src) {
+            return WalkOutcome::SourceFailed;
+        }
+        let mut cur = src;
+        let mut hops = 0usize;
+        while cur != dest {
+            let Some((next, link)) = self.table.next_hop(cur, dest) else {
+                return WalkOutcome::NoRoute;
+            };
+            if !self.is_neighbor_reachable(cur, link) {
+                return WalkOutcome::Blocked {
+                    initiator: cur,
+                    failed_link: link,
+                    hops_to_initiator: hops,
+                };
+            }
+            cur = next;
+            hops += 1;
+            debug_assert!(hops <= self.topo.node_count(), "default tables are loop-free");
+        }
+        WalkOutcome::Delivered { hops }
+    }
+
+    /// Classifies the (src, dest) pair per §IV-A.
+    ///
+    /// Recoverability is judged from the *initiator*: the recovery process
+    /// runs there, so what matters is whether the destination is reachable
+    /// from the initiator in the ground truth.
+    pub fn classify(&self, src: NodeId, dest: NodeId) -> CaseKind {
+        match self.default_walk(src, dest) {
+            WalkOutcome::SourceFailed => CaseKind::SourceFailed,
+            WalkOutcome::Delivered { .. } => CaseKind::NotAffected,
+            WalkOutcome::NoRoute => CaseKind::NotAffected,
+            WalkOutcome::Blocked { initiator, failed_link, .. } => {
+                if is_reachable(self.topo, self.scenario, initiator, dest) {
+                    CaseKind::Recoverable { initiator, failed_link }
+                } else {
+                    CaseKind::Irrecoverable { initiator, failed_link }
+                }
+            }
+        }
+    }
+
+    /// Ground-truth shortest distance from `s` to `t` avoiding all
+    /// failures — the optimum any recovery scheme can achieve (used for
+    /// stretch and the optimal recovery rate).
+    pub fn optimal_distance(&self, s: NodeId, t: NodeId) -> Option<u64> {
+        rtr_routing::dijkstra::dijkstra(self.topo, self.scenario, s).distance(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_routing::RoutingTable;
+    use rtr_topology::{generate, FullView, GraphView, Point, Region, Topology};
+
+    fn grid_net() -> (Topology, RoutingTable) {
+        let topo = generate::grid(3, 3, 10.0);
+        let table = RoutingTable::compute(&topo, &FullView);
+        (topo, table)
+    }
+
+    #[test]
+    fn intact_network_delivers() {
+        let (topo, table) = grid_net();
+        let scenario = FailureScenario::none(&topo);
+        let net = Network::new(&topo, &scenario, &table);
+        assert_eq!(net.default_walk(NodeId(0), NodeId(8)), WalkOutcome::Delivered { hops: 4 });
+        assert_eq!(net.classify(NodeId(0), NodeId(8)), CaseKind::NotAffected);
+        assert_eq!(net.default_walk(NodeId(4), NodeId(4)), WalkOutcome::Delivered { hops: 0 });
+    }
+
+    #[test]
+    fn source_failure_detected() {
+        let (topo, table) = grid_net();
+        let scenario = FailureScenario::from_parts(&topo, [NodeId(0)], []);
+        let net = Network::new(&topo, &scenario, &table);
+        assert_eq!(net.default_walk(NodeId(0), NodeId(8)), WalkOutcome::SourceFailed);
+        assert_eq!(net.classify(NodeId(0), NodeId(8)), CaseKind::SourceFailed);
+    }
+
+    #[test]
+    fn blocked_at_recovery_initiator() {
+        let (topo, table) = grid_net();
+        // Default path 0 -> 8 starts 0 -> 1 (tie-break by id). Kill node 1:
+        // the packet is blocked at 0 immediately.
+        let scenario = FailureScenario::from_parts(&topo, [NodeId(1)], []);
+        let net = Network::new(&topo, &scenario, &table);
+        match net.default_walk(NodeId(0), NodeId(2)) {
+            WalkOutcome::Blocked { initiator, hops_to_initiator, .. } => {
+                assert_eq!(initiator, NodeId(0));
+                assert_eq!(hops_to_initiator, 0);
+            }
+            other => panic!("expected Blocked, got {other:?}"),
+        }
+        // 2 is still reachable around the failure.
+        assert!(matches!(
+            net.classify(NodeId(0), NodeId(2)),
+            CaseKind::Recoverable { initiator: NodeId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn blocked_midway() {
+        let (topo, table) = grid_net();
+        // Path 0->8 goes 0,1,2,5,8 or 0,1,4,... with id tie-breaks; kill a
+        // later node so the initiator is downstream of the source.
+        let path = table.path(NodeId(0), NodeId(8)).unwrap();
+        let mid = path.nodes()[2];
+        let scenario = FailureScenario::from_parts(&topo, [mid], []);
+        let net = Network::new(&topo, &scenario, &table);
+        match net.default_walk(NodeId(0), NodeId(8)) {
+            WalkOutcome::Blocked { initiator, hops_to_initiator, .. } => {
+                assert_eq!(initiator, path.nodes()[1]);
+                assert_eq!(hops_to_initiator, 1);
+            }
+            other => panic!("expected Blocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn irrecoverable_when_destination_failed() {
+        let (topo, table) = grid_net();
+        let scenario = FailureScenario::from_parts(&topo, [NodeId(8)], []);
+        let net = Network::new(&topo, &scenario, &table);
+        assert!(matches!(
+            net.classify(NodeId(0), NodeId(8)),
+            CaseKind::Irrecoverable { .. }
+        ));
+    }
+
+    #[test]
+    fn irrecoverable_when_partitioned() {
+        let topo = generate::path(3, 10.0).unwrap();
+        let table = RoutingTable::compute(&topo, &FullView);
+        let scenario = FailureScenario::from_parts(&topo, [NodeId(1)], []);
+        let net = Network::new(&topo, &scenario, &table);
+        assert!(matches!(
+            net.classify(NodeId(0), NodeId(2)),
+            CaseKind::Irrecoverable { initiator: NodeId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn unreachable_neighbors_list() {
+        let (topo, table) = grid_net();
+        let scenario = FailureScenario::from_parts(&topo, [NodeId(4)], []);
+        let net = Network::new(&topo, &scenario, &table);
+        let un = net.unreachable_neighbors(NodeId(1));
+        assert_eq!(un.len(), 1);
+        assert_eq!(un[0].0, NodeId(4));
+        assert!(net.unreachable_neighbors(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn region_failure_classification_is_consistent() {
+        let topo = generate::isp_like(40, 90, 2000.0, 3).unwrap();
+        let table = RoutingTable::compute(&topo, &FullView);
+        let region = Region::circle((1000.0, 1000.0), 260.0);
+        let scenario = FailureScenario::from_region(&topo, &region);
+        let net = Network::new(&topo, &scenario, &table);
+        for s in topo.node_ids() {
+            for t in topo.node_ids() {
+                if s == t {
+                    continue;
+                }
+                match net.classify(s, t) {
+                    CaseKind::SourceFailed => assert!(scenario.is_node_failed(s)),
+                    CaseKind::NotAffected => {
+                        assert!(!scenario.is_node_failed(s));
+                    }
+                    CaseKind::Recoverable { initiator, failed_link } => {
+                        assert!(!scenario.is_link_usable(&topo, failed_link));
+                        assert!(is_reachable(&topo, &scenario, initiator, t));
+                    }
+                    CaseKind::Irrecoverable { initiator, failed_link } => {
+                        assert!(!scenario.is_link_usable(&topo, failed_link));
+                        assert!(!is_reachable(&topo, &scenario, initiator, t));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_distance_avoids_failures() {
+        let (topo, table) = grid_net();
+        let scenario = FailureScenario::from_parts(&topo, [NodeId(4)], []);
+        let net = Network::new(&topo, &scenario, &table);
+        // 3 -> 5 must route around the dead centre: 4 hops instead of 2.
+        assert_eq!(net.optimal_distance(NodeId(3), NodeId(5)), Some(4));
+        let dead = FailureScenario::from_parts(&topo, [NodeId(1), NodeId(3), NodeId(4)], []);
+        let net2 = Network::new(&topo, &dead, &table);
+        assert_eq!(net2.optimal_distance(NodeId(0), NodeId(8)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match topology")]
+    fn mismatched_table_rejected() {
+        let (_, table) = grid_net();
+        let other = generate::path(2, 1.0).unwrap();
+        let scenario = FailureScenario::none(&other);
+        let _ = Network::new(&other, &scenario, &table);
+    }
+
+    #[test]
+    fn walk_partitioned_topology_reports_no_route() {
+        let mut b = Topology::builder();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        let topo = b.build().unwrap();
+        let table = RoutingTable::compute(&topo, &FullView);
+        let scenario = FailureScenario::none(&topo);
+        let net = Network::new(&topo, &scenario, &table);
+        assert_eq!(net.default_walk(NodeId(0), NodeId(1)), WalkOutcome::NoRoute);
+    }
+}

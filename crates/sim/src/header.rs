@@ -1,0 +1,205 @@
+//! Packet-header fields and byte accounting.
+//!
+//! §III-B adds three fields to the packet header for RTR's first phase —
+//! `mode` (default vs. collection forwarding), `rec_init` (the recovery
+//! initiator's id), and `failed_link` (ids of failed links observed by
+//! routers adjacent to the failure area) — and §III-C adds `cross_link`.
+//! Link and node ids are 16 bits. The transmission-overhead metrics of
+//! §IV charge "the number of bytes used for recording information", i.e.
+//! the *variable* header content: recorded link ids and the source route.
+
+use rtr_topology::{LinkId, NodeId};
+
+/// Bytes per recorded link id (16-bit ids, §III-B).
+pub const LINK_ID_BYTES: usize = 2;
+
+/// Bytes per recorded node id (16-bit ids).
+pub const NODE_ID_BYTES: usize = 2;
+
+/// Payload size assumed by the wasted-transmission metric (§IV-D:
+/// "the packet size is 1,000 bytes plus the bytes in the packet header
+/// used for recovery").
+pub const PAYLOAD_BYTES: usize = 1000;
+
+/// How a packet is currently being forwarded (§III-B's `mode` bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardingMode {
+    /// `mode = 0`: normal forwarding by the routing table.
+    #[default]
+    Default,
+    /// `mode = 1`: RTR first-phase collection forwarding.
+    Collection,
+}
+
+/// An insertion-ordered duplicate-free set of link ids, as carried in the
+/// `failed_link` and `cross_link` header fields.
+///
+/// Lookup is linear; header sets stay tiny (a handful of links) so a flat
+/// vector beats a hash set and preserves the paper's recording order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinkIdSet {
+    ids: Vec<LinkId>,
+}
+
+impl LinkIdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `l`, returning true when it was not already present.
+    pub fn insert(&mut self, l: LinkId) -> bool {
+        if self.contains(l) {
+            false
+        } else {
+            self.ids.push(l);
+            true
+        }
+    }
+
+    /// Returns true when `l` is present.
+    pub fn contains(&self, l: LinkId) -> bool {
+        self.ids.contains(&l)
+    }
+
+    /// Number of recorded ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns true when no ids are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Recorded ids in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = LinkId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Header bytes this field occupies.
+    pub fn header_bytes(&self) -> usize {
+        self.ids.len() * LINK_ID_BYTES
+    }
+}
+
+impl Extend<LinkId> for LinkIdSet {
+    fn extend<T: IntoIterator<Item = LinkId>>(&mut self, iter: T) {
+        for l in iter {
+            self.insert(l);
+        }
+    }
+}
+
+impl FromIterator<LinkId> for LinkIdSet {
+    fn from_iter<T: IntoIterator<Item = LinkId>>(iter: T) -> Self {
+        let mut s = LinkIdSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl<'a> IntoIterator for &'a LinkIdSet {
+    type Item = LinkId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, LinkId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+/// The RTR first-phase header (§III-B, §III-C): mode, recovery initiator,
+/// recorded failed links, and recorded cross links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionHeader {
+    /// Forwarding mode; `Collection` while circling the failure area.
+    pub mode: ForwardingMode,
+    /// The recovery initiator that started the collection (`rec_init`).
+    pub rec_init: NodeId,
+    /// Ids of failed links recorded by routers adjacent to the failure
+    /// area (`failed_link`). Links incident to the initiator are *not*
+    /// recorded — the initiator already knows them.
+    pub failed_links: LinkIdSet,
+    /// Ids of links that later selections must not cross (`cross_link`).
+    pub cross_links: LinkIdSet,
+}
+
+impl CollectionHeader {
+    /// A fresh collection header for recovery initiator `rec_init`.
+    pub fn new(rec_init: NodeId) -> Self {
+        CollectionHeader {
+            mode: ForwardingMode::Collection,
+            rec_init,
+            failed_links: LinkIdSet::new(),
+            cross_links: LinkIdSet::new(),
+        }
+    }
+
+    /// Variable header bytes: the recorded failed-link and cross-link ids.
+    pub fn overhead_bytes(&self) -> usize {
+        self.failed_links.header_bytes() + self.cross_links.header_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_deduplicates_preserving_order() {
+        let mut s = LinkIdSet::new();
+        assert!(s.insert(LinkId(5)));
+        assert!(s.insert(LinkId(2)));
+        assert!(!s.insert(LinkId(5)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![LinkId(5), LinkId(2)]);
+        assert!(s.contains(LinkId(2)));
+        assert!(!s.contains(LinkId(9)));
+    }
+
+    #[test]
+    fn set_bytes_are_two_per_link() {
+        let s: LinkIdSet = [LinkId(1), LinkId(2), LinkId(3)].into_iter().collect();
+        assert_eq!(s.header_bytes(), 6);
+        assert_eq!(LinkIdSet::new().header_bytes(), 0);
+        assert!(LinkIdSet::new().is_empty());
+    }
+
+    #[test]
+    fn extend_and_from_iterator_dedupe() {
+        let mut s: LinkIdSet = [LinkId(1), LinkId(1)].into_iter().collect();
+        assert_eq!(s.len(), 1);
+        s.extend([LinkId(1), LinkId(2)]);
+        assert_eq!(s.len(), 2);
+        let collected: Vec<LinkId> = (&s).into_iter().collect();
+        assert_eq!(collected, vec![LinkId(1), LinkId(2)]);
+    }
+
+    #[test]
+    fn collection_header_bytes() {
+        let mut h = CollectionHeader::new(NodeId(6));
+        assert_eq!(h.mode, ForwardingMode::Collection);
+        assert_eq!(h.overhead_bytes(), 0);
+        h.failed_links.insert(LinkId(10));
+        h.failed_links.insert(LinkId(11));
+        h.cross_links.insert(LinkId(3));
+        assert_eq!(h.overhead_bytes(), 6);
+    }
+
+    #[test]
+    fn default_mode_is_default_forwarding() {
+        assert_eq!(ForwardingMode::default(), ForwardingMode::Default);
+    }
+
+    #[test]
+    fn paper_example_table1_sizes() {
+        // Table I, final row: failed_link has 5 entries, cross_link has 2.
+        let mut h = CollectionHeader::new(NodeId(6));
+        for l in [0u32, 1, 2, 3, 4] {
+            h.failed_links.insert(LinkId(l));
+        }
+        for l in [10u32, 11] {
+            h.cross_links.insert(LinkId(l));
+        }
+        assert_eq!(h.overhead_bytes(), 5 * LINK_ID_BYTES + 2 * LINK_ID_BYTES);
+    }
+}

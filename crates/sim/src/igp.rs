@@ -1,0 +1,225 @@
+//! IGP convergence model.
+//!
+//! The paper's motivation (§I, §II-B): after a failure, link-state IGPs
+//! converge by detecting the failure, flooding topology updates (LSAs),
+//! recomputing shortest paths, and installing new tables — a process that
+//! "usually takes several seconds even for a single link failure", during
+//! which packets on failed routing paths are dropped ("disconnection of an
+//! OC-192 link for 10 seconds can lead to about 12 million packets being
+//! dropped"). RTR exists to carry traffic across this window.
+//!
+//! This module models the per-router convergence timeline so experiments
+//! can quantify the loss window RTR closes: router `r` converges at
+//!
+//! ```text
+//! detection + flood_hops(r) · lsa_hop + spf + fib
+//! ```
+//!
+//! where `flood_hops(r)` is the live-graph hop distance from the nearest
+//! failure detector to `r`.
+
+use crate::delay::SimTime;
+use rtr_topology::{FailureScenario, GraphView, NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Timing parameters of IGP convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceModel {
+    /// Time for a router to declare an unreachable neighbor failed
+    /// (hello/BFD timeout).
+    pub detection: SimTime,
+    /// Per-hop LSA flooding delay (propagation + processing + pacing).
+    pub lsa_hop: SimTime,
+    /// SPF computation plus its hold-down/schedule delay.
+    pub spf: SimTime,
+    /// FIB (forwarding table) installation time.
+    pub fib: SimTime,
+}
+
+impl ConvergenceModel {
+    /// Classic untuned IS-IS/OSPF defaults: ~1 s hello-based detection,
+    /// paced flooding, conservative SPF hold-downs — the "several seconds"
+    /// regime the paper cites.
+    pub const CLASSIC: ConvergenceModel = ConvergenceModel {
+        detection: SimTime::from_millis(1_000),
+        lsa_hop: SimTime::from_millis(50),
+        spf: SimTime::from_millis(400),
+        fib: SimTime::from_millis(200),
+    };
+
+    /// Aggressively tuned sub-second convergence (Francois et al., the
+    /// paper's reference 10): fast detection, fast flooding, immediate SPF.
+    pub const TUNED: ConvergenceModel = ConvergenceModel {
+        detection: SimTime::from_millis(50),
+        lsa_hop: SimTime::from_millis(10),
+        spf: SimTime::from_millis(30),
+        fib: SimTime::from_millis(50),
+    };
+
+    /// Per-router convergence completion times. `None` for failed routers
+    /// and for routers no detector can reach (they never hear the LSAs).
+    pub fn convergence_times(
+        &self,
+        topo: &Topology,
+        scenario: &FailureScenario,
+    ) -> Vec<Option<SimTime>> {
+        // Detectors: live routers with at least one unusable incident link.
+        let mut dist: Vec<Option<u64>> = vec![None; topo.node_count()];
+        let mut queue = VecDeque::new();
+        for n in topo.node_ids() {
+            if scenario.is_node_failed(n) {
+                continue;
+            }
+            let detects = topo
+                .neighbors(n)
+                .iter()
+                .any(|&(_, l)| !scenario.is_link_usable(topo, l));
+            if detects {
+                dist[n.index()] = Some(0);
+                queue.push_back(n);
+            }
+        }
+        // Multi-source BFS over the live graph: LSA flooding.
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued nodes have distances");
+            for &(v, l) in topo.neighbors(u) {
+                if dist[v.index()].is_none() && scenario.is_link_usable(topo, l) {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist.iter()
+            .enumerate()
+            .map(|(i, d)| {
+                if scenario.is_node_failed(NodeId(i as u32)) {
+                    return None;
+                }
+                d.map(|hops| self.detection + self.lsa_hop * hops + self.spf + self.fib)
+            })
+            .collect()
+    }
+
+    /// Time by which every reachable live router has converged.
+    pub fn network_convergence_time(
+        &self,
+        topo: &Topology,
+        scenario: &FailureScenario,
+    ) -> Option<SimTime> {
+        self.convergence_times(topo, scenario)
+            .into_iter()
+            .flatten()
+            .max()
+    }
+}
+
+impl Default for ConvergenceModel {
+    fn default() -> Self {
+        ConvergenceModel::CLASSIC
+    }
+}
+
+/// Estimated packets dropped on one failed routing path during convergence
+/// without any fast-reroute protection: the flow's packet rate times the
+/// convergence time of the router that must repair the path.
+///
+/// `rate_pps` is the flow's packet rate (the paper's §I example: an OC-192
+/// link at 10 Gb/s with 1000-byte packets carries 1.25 M packets/s).
+pub fn unprotected_loss(convergence: SimTime, rate_pps: f64) -> f64 {
+    convergence.as_secs_f64() * rate_pps
+}
+
+/// Packets per second of a link of `gbps` gigabits/s carrying packets of
+/// `packet_bytes` bytes.
+pub fn packets_per_second(gbps: f64, packet_bytes: usize) -> f64 {
+    gbps * 1e9 / (packet_bytes as f64 * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{generate, Region};
+
+    #[test]
+    fn paper_oc192_example() {
+        // §I: OC-192 (10 Gb/s), 1000-byte packets, 10 s outage → ~12M
+        // packets. 10e9/8000 = 1.25M pps × 10 s = 12.5M.
+        let pps = packets_per_second(10.0, 1000);
+        assert!((pps - 1.25e6).abs() < 1.0);
+        let lost = unprotected_loss(SimTime::from_millis(10_000), pps);
+        assert!((lost - 12.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn detectors_converge_first() {
+        let topo = generate::path(5, 10.0).unwrap();
+        // Break the middle link 1-2: detectors are 1 and 2.
+        let l = topo.link_between(NodeId(1), NodeId(2)).unwrap();
+        let s = FailureScenario::single_link(&topo, l);
+        let m = ConvergenceModel::TUNED;
+        let times = m.convergence_times(&topo, &s);
+        let t = |i: u32| times[i as usize].unwrap();
+        assert_eq!(t(1), t(2));
+        assert!(t(0) > t(1), "LSA takes one hop to reach node 0");
+        assert_eq!(t(0) - t(1), m.lsa_hop);
+        assert_eq!(t(4) - t(3), m.lsa_hop);
+        // Base latency: detection + spf + fib at the detectors.
+        assert_eq!(t(1), m.detection + m.spf + m.fib);
+    }
+
+    #[test]
+    fn failed_routers_never_converge() {
+        let topo = generate::grid(3, 3, 10.0);
+        let s = FailureScenario::from_parts(&topo, [NodeId(4)], []);
+        let times = ConvergenceModel::CLASSIC.convergence_times(&topo, &s);
+        assert!(times[4].is_none());
+        for i in [0usize, 1, 2, 3, 5, 6, 7, 8] {
+            assert!(times[i].is_some(), "live router {i} converges");
+        }
+    }
+
+    #[test]
+    fn partitioned_routers_without_detectors_never_hear() {
+        // 0-1-2-3 path; cut BOTH links of node 1 and of node 2 such that
+        // segment {3} has no detector? Node 3's neighbor link 2-3 dead, so
+        // 3 is itself a detector. Build a case with an isolated island
+        // instead: 0-1  2-3 with the bridge 1-2 cut; both 1 and 2 detect.
+        // A no-detector island requires no adjacency to failures at all,
+        // which means its tables aren't stale — nothing to model. So we
+        // assert the complementary invariant: every live node in a
+        // partition containing a detector converges.
+        let topo = generate::path(4, 10.0).unwrap();
+        let l = topo.link_between(NodeId(1), NodeId(2)).unwrap();
+        let s = FailureScenario::single_link(&topo, l);
+        let times = ConvergenceModel::TUNED.convergence_times(&topo, &s);
+        assert!(times.iter().all(|t| t.is_some()));
+    }
+
+    #[test]
+    fn classic_is_slower_than_tuned() {
+        let topo = generate::isp_like(40, 90, 2000.0, 4).unwrap();
+        let s = FailureScenario::from_region(&topo, &Region::circle((1000.0, 1000.0), 250.0));
+        let classic = ConvergenceModel::CLASSIC
+            .network_convergence_time(&topo, &s)
+            .unwrap();
+        let tuned = ConvergenceModel::TUNED
+            .network_convergence_time(&topo, &s)
+            .unwrap();
+        assert!(classic > tuned);
+        // The paper's "several seconds" regime.
+        assert!(classic >= SimTime::from_millis(1_600));
+        assert_eq!(ConvergenceModel::default(), ConvergenceModel::CLASSIC);
+    }
+
+    #[test]
+    fn no_failure_means_no_detectors() {
+        let topo = generate::grid(2, 2, 10.0);
+        let s = FailureScenario::none(&topo);
+        let times = ConvergenceModel::CLASSIC.convergence_times(&topo, &s);
+        assert!(times.iter().all(|t| t.is_none()), "nothing to converge on");
+        assert_eq!(
+            ConvergenceModel::CLASSIC.network_convergence_time(&topo, &s),
+            None
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Packet-level forwarding simulator for the RTR reproduction.
+//!
+//! This crate is the measurement substrate under every experiment in §IV:
+//!
+//! * [`delay`] — simulated time and the paper's 1.8 ms-per-hop delay model;
+//! * [`header`] — the RTR packet-header fields (`mode`, `rec_init`,
+//!   `failed_link`, `cross_link`) with 16-bit-id byte accounting;
+//! * [`trace`] — hop-by-hop packet traces from which durations and
+//!   transmission overheads are derived;
+//! * [`engine`] — the network under failure: pre-failure routing tables
+//!   plus ground truth, the default-forwarding walk that locates the
+//!   recovery initiator, and §IV-A's test-case classification.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtr_topology::{generate, FailureScenario, FullView, NodeId};
+//! use rtr_routing::RoutingTable;
+//! use rtr_sim::{CaseKind, Network};
+//!
+//! let topo = generate::grid(3, 3, 10.0);
+//! let table = RoutingTable::compute(&topo, &FullView);
+//! let scenario = FailureScenario::from_parts(&topo, [NodeId(4)], []);
+//! let net = Network::new(&topo, &scenario, &table);
+//! // The centre node died: 3 -> 5 is blocked but recoverable.
+//! assert!(matches!(
+//!     net.classify(NodeId(3), NodeId(5)),
+//!     CaseKind::Recoverable { .. }
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod delay;
+pub mod engine;
+pub mod header;
+pub mod igp;
+pub mod load;
+pub mod trace;
+
+pub use delay::{DelayModel, SimTime};
+pub use igp::{packets_per_second, unprotected_loss, ConvergenceModel};
+pub use load::{replay, LoadSeries, TimedTrace};
+pub use engine::{CaseKind, Network, WalkOutcome};
+pub use header::{
+    CollectionHeader, ForwardingMode, LinkIdSet, LINK_ID_BYTES, NODE_ID_BYTES, PAYLOAD_BYTES,
+};
+pub use trace::{ForwardingTrace, TraceStep};

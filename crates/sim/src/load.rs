@@ -1,0 +1,221 @@
+//! Network-wide load accounting for concurrent recoveries.
+//!
+//! Figures 7 and 10 measure one test case at a time, but after a real
+//! disaster *every* recovery initiator runs phase 1 simultaneously and all
+//! recovered flows source-route at once. This module replays a set of
+//! timed hop traces against the shared topology and accumulates per-link
+//! and network-wide byte loads over time, quantifying the aggregate
+//! control-plane footprint of a recovery wave.
+
+use crate::delay::{DelayModel, SimTime};
+use crate::header::PAYLOAD_BYTES;
+use crate::trace::ForwardingTrace;
+use rtr_topology::{LinkId, NodeId, Topology};
+
+/// One flow to replay: a hop trace plus its start time and whether each
+/// hop carries a payload (data packets) or only header bytes would count.
+#[derive(Debug, Clone)]
+pub struct TimedTrace {
+    /// The hop-by-hop trace (header bytes recorded per step).
+    pub trace: ForwardingTrace,
+    /// When the flow's first hop leaves its starting node.
+    pub start: SimTime,
+    /// Count [`PAYLOAD_BYTES`] per hop in addition to header bytes.
+    pub with_payload: bool,
+}
+
+impl TimedTrace {
+    /// A trace starting at time zero carrying payloads.
+    pub fn immediate(trace: ForwardingTrace) -> Self {
+        TimedTrace { trace, start: SimTime::ZERO, with_payload: true }
+    }
+}
+
+/// Accumulated load: bytes put on the wire per time bin, network-wide and
+/// per link.
+#[derive(Debug, Clone)]
+pub struct LoadSeries {
+    bin: SimTime,
+    /// Total bytes transmitted network-wide in each bin.
+    pub total_bytes: Vec<u64>,
+    /// Per-link transmitted bytes over the whole replay.
+    pub per_link_bytes: Vec<u64>,
+}
+
+impl LoadSeries {
+    /// Bin width of the series.
+    pub fn bin_width(&self) -> SimTime {
+        self.bin
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.total_bytes.len()
+    }
+
+    /// Returns true when the series has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.total_bytes.is_empty()
+    }
+
+    /// The busiest link and its byte count, if any link carried traffic.
+    pub fn hottest_link(&self) -> Option<(LinkId, u64)> {
+        self.per_link_bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &b)| b)
+            .filter(|&(_, &b)| b > 0)
+            .map(|(i, &b)| (LinkId(i as u32), b))
+    }
+
+    /// Total bytes across the whole replay.
+    pub fn grand_total(&self) -> u64 {
+        self.per_link_bytes.iter().sum()
+    }
+}
+
+/// Replays `flows` over `topo`, attributing each hop's bytes to the link
+/// it traverses at the time it traverses it.
+///
+/// Consecutive trace nodes must be adjacent in `topo` (traces produced by
+/// the schemes always are); hops between non-adjacent nodes are skipped
+/// with a debug assertion.
+pub fn replay(
+    topo: &Topology,
+    delay: &DelayModel,
+    flows: &[TimedTrace],
+    bin: SimTime,
+    horizon: SimTime,
+) -> LoadSeries {
+    assert!(bin.as_micros() > 0, "bin width must be positive");
+    let bins = (horizon.as_micros() / bin.as_micros() + 1) as usize;
+    let mut total_bytes = vec![0u64; bins];
+    let mut per_link_bytes = vec![0u64; topo.link_count()];
+
+    for flow in flows {
+        let nodes: Vec<NodeId> = flow.trace.nodes().collect();
+        let steps = flow.trace.steps();
+        for (i, w) in nodes.windows(2).enumerate() {
+            let Some(link) = topo.link_between(w[0], w[1]) else {
+                debug_assert!(false, "trace hop {} -> {} is not a link", w[0], w[1]);
+                continue;
+            };
+            // Bytes leaving w[0]: header carried on departure plus payload.
+            let mut bytes = steps[i].header_bytes as u64;
+            if flow.with_payload {
+                bytes += PAYLOAD_BYTES as u64;
+            }
+            let t = flow.start + delay.per_hop() * i as u64;
+            per_link_bytes[link.index()] += bytes;
+            let idx = (t.as_micros() / bin.as_micros()) as usize;
+            if idx < bins {
+                total_bytes[idx] += bytes;
+            }
+        }
+    }
+
+    LoadSeries { bin, total_bytes, per_link_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::generate;
+
+    fn line_trace(hops: usize, header: usize) -> ForwardingTrace {
+        let mut t = ForwardingTrace::start(NodeId(0), header);
+        for i in 0..hops {
+            t.record_hop(NodeId((i + 1) as u32), header);
+        }
+        t
+    }
+
+    #[test]
+    fn single_flow_accounting() {
+        let topo = generate::path(4, 10.0).unwrap();
+        let flow = TimedTrace::immediate(line_trace(3, 10));
+        let series = replay(
+            &topo,
+            &DelayModel::PAPER,
+            &[flow],
+            SimTime::from_millis(1),
+            SimTime::from_millis(10),
+        );
+        // 3 hops × (1000 + 10) bytes.
+        assert_eq!(series.grand_total(), 3 * 1010);
+        // Every path link carried exactly one packet.
+        assert!(series.per_link_bytes.iter().all(|&b| b == 1010));
+        // Hop i lands in the bin of i × 1.8 ms.
+        assert_eq!(series.total_bytes[0], 1010); // t = 0
+        assert_eq!(series.total_bytes[1], 1010); // t = 1.8 ms
+        assert_eq!(series.total_bytes[3], 1010); // t = 3.6 ms
+        assert_eq!(series.len(), 11);
+        assert!(!series.is_empty());
+    }
+
+    #[test]
+    fn concurrent_flows_superpose() {
+        let topo = generate::path(3, 10.0).unwrap();
+        let a = TimedTrace::immediate(line_trace(2, 0));
+        let b = TimedTrace {
+            trace: line_trace(2, 0),
+            start: SimTime::from_millis(5),
+            with_payload: true,
+        };
+        let series = replay(
+            &topo,
+            &DelayModel::PAPER,
+            &[a, b],
+            SimTime::from_millis(1),
+            SimTime::from_millis(20),
+        );
+        assert_eq!(series.grand_total(), 4 * 1000);
+        // Both flows share the same links.
+        assert_eq!(series.per_link_bytes, vec![2000, 2000]);
+        // The delayed flow's first hop lands in the 5 ms bin.
+        assert_eq!(series.total_bytes[5], 1000);
+    }
+
+    #[test]
+    fn header_only_flows() {
+        let topo = generate::path(3, 10.0).unwrap();
+        let f = TimedTrace {
+            trace: line_trace(2, 8),
+            start: SimTime::ZERO,
+            with_payload: false,
+        };
+        let series = replay(
+            &topo,
+            &DelayModel::PAPER,
+            &[f],
+            SimTime::from_millis(1),
+            SimTime::from_millis(5),
+        );
+        assert_eq!(series.grand_total(), 16);
+        assert_eq!(series.hottest_link().unwrap().1, 8);
+    }
+
+    #[test]
+    fn horizon_clips_late_hops() {
+        let topo = generate::path(4, 10.0).unwrap();
+        let f = TimedTrace::immediate(line_trace(3, 0));
+        let series = replay(
+            &topo,
+            &DelayModel::PAPER,
+            &[f],
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+        );
+        // Per-link totals still count everything; the time series clips.
+        assert_eq!(series.grand_total(), 3000);
+        assert_eq!(series.total_bytes.iter().sum::<u64>(), 2000);
+        assert_eq!(series.bin_width(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_rejected() {
+        let topo = generate::path(2, 10.0).unwrap();
+        let _ = replay(&topo, &DelayModel::PAPER, &[], SimTime::ZERO, SimTime::from_millis(1));
+    }
+}

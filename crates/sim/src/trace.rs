@@ -1,0 +1,188 @@
+//! Hop-by-hop forwarding traces.
+//!
+//! Every §IV metric is derivable from where a packet was at each hop and
+//! how many variable header bytes it carried there: phase-1 duration
+//! (Fig. 7), transmission overhead over time (Fig. 10), and wasted
+//! transmission (Fig. 13, Table IV).
+
+use crate::delay::{DelayModel, SimTime};
+use rtr_topology::NodeId;
+
+/// One position of a packet: the node it sits at and the variable header
+/// bytes it carries there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The node the packet is at.
+    pub node: NodeId,
+    /// Variable header bytes carried while leaving this node.
+    pub header_bytes: usize,
+}
+
+/// A forwarding trace: the packet's position at time 0 plus one step per
+/// hop, each hop taking [`DelayModel::per_hop`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ForwardingTrace {
+    steps: Vec<TraceStep>,
+}
+
+impl ForwardingTrace {
+    /// Starts a trace at `start` carrying `header_bytes`.
+    pub fn start(start: NodeId, header_bytes: usize) -> Self {
+        ForwardingTrace {
+            steps: vec![TraceStep { node: start, header_bytes }],
+        }
+    }
+
+    /// Records arrival at `node` now carrying `header_bytes`.
+    pub fn record_hop(&mut self, node: NodeId, header_bytes: usize) {
+        self.steps.push(TraceStep { node, header_bytes });
+    }
+
+    /// All steps, starting position first.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of hops traversed (steps minus the starting position).
+    pub fn hops(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// The node the packet currently sits at.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty (defaulted) trace.
+    pub fn current_node(&self) -> NodeId {
+        self.steps.last().expect("trace has a starting step").node
+    }
+
+    /// Wall-clock duration of the whole trace under `delay`.
+    pub fn duration(&self, delay: &DelayModel) -> SimTime {
+        delay.for_hops(self.hops())
+    }
+
+    /// Header bytes carried at simulated time `t` (clamped to the final
+    /// value once the trace ends).
+    pub fn header_bytes_at(&self, delay: &DelayModel, t: SimTime) -> usize {
+        let per_hop = delay.per_hop().as_micros().max(1);
+        let idx = (t.as_micros() / per_hop) as usize;
+        let idx = idx.min(self.steps.len() - 1);
+        self.steps[idx].header_bytes
+    }
+
+    /// Header bytes at the end of the trace.
+    pub fn final_header_bytes(&self) -> usize {
+        self.steps.last().map_or(0, |s| s.header_bytes)
+    }
+
+    /// Largest header the packet ever carried.
+    pub fn max_header_bytes(&self) -> usize {
+        self.steps.iter().map(|s| s.header_bytes).max().unwrap_or(0)
+    }
+
+    /// Mean header bytes across all steps (the expected overhead of a
+    /// packet observed at a uniformly random point of the trace).
+    pub fn mean_header_bytes(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.header_bytes as f64).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// The sequence of nodes visited.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.steps.iter().map(|s| s.node)
+    }
+
+    /// Appends another trace (e.g. a phase-2 walk after a phase-1 loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` does not start at this trace's current node.
+    pub fn extend_with(&mut self, other: &ForwardingTrace) {
+        assert_eq!(
+            self.current_node(),
+            other.steps[0].node,
+            "appended trace must continue from the current node"
+        );
+        self.steps.extend_from_slice(&other.steps[1..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ForwardingTrace {
+        let mut t = ForwardingTrace::start(NodeId(0), 0);
+        t.record_hop(NodeId(1), 2);
+        t.record_hop(NodeId(2), 4);
+        t.record_hop(NodeId(0), 4);
+        t
+    }
+
+    #[test]
+    fn hops_and_duration() {
+        let t = sample();
+        assert_eq!(t.hops(), 3);
+        assert_eq!(t.duration(&DelayModel::PAPER).as_millis_f64(), 5.4);
+        assert_eq!(t.current_node(), NodeId(0));
+    }
+
+    #[test]
+    fn bytes_at_time_steps() {
+        let t = sample();
+        let d = DelayModel::PAPER;
+        assert_eq!(t.header_bytes_at(&d, SimTime::ZERO), 0);
+        assert_eq!(t.header_bytes_at(&d, SimTime::from_micros(1_800)), 2);
+        assert_eq!(t.header_bytes_at(&d, SimTime::from_micros(3_600)), 4);
+        // Clamped after the end.
+        assert_eq!(t.header_bytes_at(&d, SimTime::from_millis(100)), 4);
+        // Mid-hop uses the last completed hop.
+        assert_eq!(t.header_bytes_at(&d, SimTime::from_micros(1_799)), 0);
+    }
+
+    #[test]
+    fn byte_statistics() {
+        let t = sample();
+        assert_eq!(t.final_header_bytes(), 4);
+        assert_eq!(t.max_header_bytes(), 4);
+        assert_eq!(t.mean_header_bytes(), 2.5);
+    }
+
+    #[test]
+    fn empty_default_trace() {
+        let t = ForwardingTrace::default();
+        assert_eq!(t.hops(), 0);
+        assert_eq!(t.final_header_bytes(), 0);
+        assert_eq!(t.max_header_bytes(), 0);
+        assert_eq!(t.mean_header_bytes(), 0.0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = sample();
+        let mut b = ForwardingTrace::start(NodeId(0), 6);
+        b.record_hop(NodeId(5), 6);
+        a.extend_with(&b);
+        assert_eq!(a.hops(), 4);
+        assert_eq!(a.current_node(), NodeId(5));
+        assert_eq!(a.final_header_bytes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "continue from the current node")]
+    fn extend_rejects_discontinuity() {
+        let mut a = sample();
+        let b = ForwardingTrace::start(NodeId(9), 0);
+        a.extend_with(&b);
+    }
+
+    #[test]
+    fn nodes_iterator() {
+        let t = sample();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0)]);
+    }
+}

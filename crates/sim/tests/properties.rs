@@ -1,0 +1,117 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use rtr_routing::RoutingTable;
+use rtr_sim::{
+    CaseKind, DelayModel, ForwardingTrace, LinkIdSet, Network, SimTime, WalkOutcome,
+};
+use rtr_topology::{generate, is_reachable, FailureScenario, FullView, LinkId, NodeId, Region};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The default walk's outcome agrees with classification: blocked walks
+    /// produce initiators whose link really is dead, deliveries only happen
+    /// over live paths.
+    #[test]
+    fn walk_and_classification_agree(
+        n in 6..30usize,
+        seed in 0..300u64,
+        cx in 0.0..2000.0f64,
+        cy in 0.0..2000.0f64,
+        r in 30.0..400.0f64,
+    ) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let table = RoutingTable::compute(&topo, &FullView);
+        let s = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
+        let net = Network::new(&topo, &s, &table);
+        for src in topo.node_ids() {
+            for dest in topo.node_ids() {
+                if src == dest {
+                    continue;
+                }
+                match net.default_walk(src, dest) {
+                    WalkOutcome::SourceFailed => prop_assert!(s.is_node_failed(src)),
+                    WalkOutcome::Delivered { hops } => {
+                        prop_assert!(hops <= topo.node_count());
+                        prop_assert!(!s.is_node_failed(src));
+                    }
+                    WalkOutcome::Blocked { initiator, failed_link, hops_to_initiator } => {
+                        use rtr_topology::GraphView;
+                        prop_assert!(!s.is_link_usable(&topo, failed_link));
+                        prop_assert!(topo.link(failed_link).is_incident_to(initiator));
+                        prop_assert!(hops_to_initiator < topo.node_count());
+                        // Classification refines the walk consistently.
+                        match net.classify(src, dest) {
+                            CaseKind::Recoverable { initiator: i2, .. } => {
+                                prop_assert_eq!(i2, initiator);
+                                prop_assert!(is_reachable(&topo, &s, initiator, dest));
+                            }
+                            CaseKind::Irrecoverable { initiator: i2, .. } => {
+                                prop_assert_eq!(i2, initiator);
+                                prop_assert!(!is_reachable(&topo, &s, initiator, dest));
+                            }
+                            other => prop_assert!(false, "blocked walk classified {other:?}"),
+                        }
+                    }
+                    WalkOutcome::NoRoute => prop_assert!(false, "connected topology"),
+                }
+            }
+        }
+    }
+
+    /// Trace time accounting: bytes-at-time is piecewise constant on hop
+    /// boundaries and the duration scales linearly with hops.
+    #[test]
+    fn trace_time_accounting(hops in 0..40usize, base in 0..30usize) {
+        let mut t = ForwardingTrace::start(NodeId(0), base);
+        for i in 0..hops {
+            t.record_hop(NodeId((i + 1) as u32), base + 2 * (i + 1));
+        }
+        let d = DelayModel::PAPER;
+        prop_assert_eq!(t.duration(&d).as_micros(), 1_800 * hops as u64);
+        for i in 0..=hops {
+            let at = SimTime::from_micros(1_800 * i as u64);
+            prop_assert_eq!(t.header_bytes_at(&d, at), base + 2 * i);
+            // Just before the next hop boundary the value is unchanged.
+            let just_before = SimTime::from_micros(1_800 * (i as u64 + 1) - 1);
+            prop_assert_eq!(t.header_bytes_at(&d, just_before), base + 2 * i);
+        }
+        prop_assert_eq!(t.final_header_bytes(), base + 2 * hops);
+        prop_assert_eq!(t.max_header_bytes(), base + 2 * hops);
+    }
+
+    /// LinkIdSet is a set: idempotent insertion, order-preserving, byte
+    /// count always 2 × len.
+    #[test]
+    fn link_id_set_semantics(ids in proptest::collection::vec(0u32..200, 0..60)) {
+        let mut set = LinkIdSet::new();
+        let mut reference = Vec::new();
+        for &id in &ids {
+            let l = LinkId(id);
+            let inserted = set.insert(l);
+            prop_assert_eq!(inserted, !reference.contains(&l));
+            if inserted {
+                reference.push(l);
+            }
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), reference.clone());
+        prop_assert_eq!(set.header_bytes(), 2 * reference.len());
+        for l in &reference {
+            prop_assert!(set.contains(*l));
+        }
+    }
+
+    /// SimTime arithmetic is consistent with integer microseconds.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..1_000_000, b in 0u64..1_000_000, k in 0u64..100) {
+        let (ta, tb) = (SimTime::from_micros(a), SimTime::from_micros(b));
+        prop_assert_eq!((ta + tb).as_micros(), a + b);
+        prop_assert_eq!((ta * k).as_micros(), a * k);
+        prop_assert_eq!(ta.saturating_sub(tb).as_micros(), a.saturating_sub(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert!((ta.as_millis_f64() - a as f64 / 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Precomputed cross-link table.
+//!
+//! RTR's first phase must avoid selecting a link that geometrically crosses
+//! certain other links (Constraints 1 and 2 in §III-C). The paper states
+//! that "for each link, routers precompute the set of links across it"; this
+//! module is that precomputation. A bounding-box prefilter keeps the O(m²)
+//! construction fast for ISP-scale graphs (a few hundred links).
+
+use crate::geometry::segments_cross;
+use crate::graph::{LinkId, Topology};
+
+/// For every link, the sorted list of links that properly cross it.
+///
+/// Crossing is symmetric: `a ∈ crossings(b)` iff `b ∈ crossings(a)`.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_topology::{Topology, Point, CrossLinkTable, LinkId};
+/// # fn main() -> Result<(), rtr_topology::TopologyError> {
+/// let mut b = Topology::builder();
+/// let v0 = b.add_node(Point::new(0.0, 0.0));
+/// let v1 = b.add_node(Point::new(2.0, 2.0));
+/// let v2 = b.add_node(Point::new(0.0, 2.0));
+/// let v3 = b.add_node(Point::new(2.0, 0.0));
+/// let d1 = b.add_link(v0, v1, 1)?;
+/// let d2 = b.add_link(v2, v3, 1)?;
+/// let topo = b.build()?;
+/// let table = CrossLinkTable::new(&topo);
+/// assert!(table.crosses(d1, d2));
+/// assert_eq!(table.crossings_of(d1), &[d2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossLinkTable {
+    crossings: Vec<Vec<LinkId>>,
+    total_pairs: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Bbox {
+    min_x: f64,
+    max_x: f64,
+    min_y: f64,
+    max_y: f64,
+}
+
+impl Bbox {
+    fn overlaps(self, other: Bbox) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+}
+
+impl CrossLinkTable {
+    /// Builds the table for every link of `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let m = topo.link_count();
+        let mut crossings: Vec<Vec<LinkId>> = vec![Vec::new(); m];
+        let segs: Vec<_> = topo.link_ids().map(|l| topo.segment(l)).collect();
+        let boxes: Vec<Bbox> = segs
+            .iter()
+            .map(|s| Bbox {
+                min_x: s.a.x.min(s.b.x),
+                max_x: s.a.x.max(s.b.x),
+                min_y: s.a.y.min(s.b.y),
+                max_y: s.a.y.max(s.b.y),
+            })
+            .collect();
+        let mut total_pairs = 0;
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if boxes[i].overlaps(boxes[j]) && segments_cross(segs[i], segs[j]) {
+                    crossings[i].push(LinkId(j as u32));
+                    crossings[j].push(LinkId(i as u32));
+                    total_pairs += 1;
+                }
+            }
+        }
+        for list in &mut crossings {
+            list.sort_unstable();
+        }
+        CrossLinkTable { crossings, total_pairs }
+    }
+
+    /// The links properly crossing `l`, sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range for the topology the table was built on.
+    pub fn crossings_of(&self, l: LinkId) -> &[LinkId] {
+        &self.crossings[l.index()]
+    }
+
+    /// Returns true when links `a` and `b` properly cross.
+    pub fn crosses(&self, a: LinkId, b: LinkId) -> bool {
+        self.crossings[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Returns true when `l` crosses no other link.
+    pub fn is_cross_free(&self, l: LinkId) -> bool {
+        self.crossings[l.index()].is_empty()
+    }
+
+    /// Total number of crossing pairs in the topology. Zero means the
+    /// embedding is planar as drawn.
+    pub fn crossing_pair_count(&self) -> usize {
+        self.total_pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::Topology;
+
+    #[test]
+    fn planar_graph_has_no_crossings() {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(2.0, 0.0));
+        let v2 = b.add_node(Point::new(1.0, 2.0));
+        b.add_link(v0, v1, 1).unwrap();
+        b.add_link(v1, v2, 1).unwrap();
+        b.add_link(v2, v0, 1).unwrap();
+        let topo = b.build().unwrap();
+        let t = CrossLinkTable::new(&topo);
+        assert_eq!(t.crossing_pair_count(), 0);
+        for l in topo.link_ids() {
+            assert!(t.is_cross_free(l));
+        }
+    }
+
+    #[test]
+    fn x_crossing_is_symmetric() {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(2.0, 2.0));
+        let v2 = b.add_node(Point::new(0.0, 2.0));
+        let v3 = b.add_node(Point::new(2.0, 0.0));
+        let d1 = b.add_link(v0, v1, 1).unwrap();
+        let d2 = b.add_link(v2, v3, 1).unwrap();
+        // A non-crossing side link.
+        let side = b.add_link(v0, v2, 1).unwrap();
+        let topo = b.build().unwrap();
+        let t = CrossLinkTable::new(&topo);
+        assert!(t.crosses(d1, d2));
+        assert!(t.crosses(d2, d1));
+        assert!(!t.crosses(d1, side));
+        assert_eq!(t.crossing_pair_count(), 1);
+    }
+
+    #[test]
+    fn shared_endpoint_links_do_not_cross() {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(2.0, 0.0));
+        let v2 = b.add_node(Point::new(1.0, 2.0));
+        let l1 = b.add_link(v0, v1, 1).unwrap();
+        let l2 = b.add_link(v0, v2, 1).unwrap();
+        let topo = b.build().unwrap();
+        let t = CrossLinkTable::new(&topo);
+        assert!(!t.crosses(l1, l2));
+    }
+
+    #[test]
+    fn multiple_crossings_recorded_sorted() {
+        // One long horizontal link crossed by two verticals.
+        let mut b = Topology::builder();
+        let w = b.add_node(Point::new(-5.0, 0.0));
+        let e = b.add_node(Point::new(5.0, 0.0));
+        let n1 = b.add_node(Point::new(-2.0, 2.0));
+        let s1 = b.add_node(Point::new(-2.0, -2.0));
+        let n2 = b.add_node(Point::new(2.0, 2.0));
+        let s2 = b.add_node(Point::new(2.0, -2.0));
+        let horizontal = b.add_link(w, e, 1).unwrap();
+        let vert1 = b.add_link(n1, s1, 1).unwrap();
+        let vert2 = b.add_link(n2, s2, 1).unwrap();
+        let topo = b.build().unwrap();
+        let t = CrossLinkTable::new(&topo);
+        assert_eq!(t.crossings_of(horizontal), &[vert1, vert2]);
+        assert_eq!(t.crossings_of(vert1), &[horizontal]);
+        assert_eq!(t.crossing_pair_count(), 2);
+    }
+}

@@ -1,0 +1,476 @@
+//! Deterministic topology generators.
+//!
+//! The paper evaluates on eight Rocketfuel-derived ISP topologies whose raw
+//! data is not redistributable. [`isp_like`] produces *synthetic twins*: a
+//! geometric graph with an exact node and link count, grown as a
+//! nearest-neighbor tree (reproducing the tree branches of sparse ASes like
+//! AS7018) plus distance-biased shortcut links (reproducing the dense meshes
+//! of ASes like AS3549). All generators are deterministic given their seed.
+//!
+//! Regular generators (grid, ring, path, star) back unit tests where the
+//! right answer is known by inspection; [`gabriel`] produces a planar graph
+//! for exercising RTR's planar-graph forwarding rule in isolation.
+
+use crate::geometry::Point;
+use crate::graph::{NodeId, Topology, TopologyError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors from topology generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// Fewer links requested than needed for connectivity (n − 1).
+    TooFewLinks {
+        /// Requested node count.
+        nodes: usize,
+        /// Requested link count.
+        links: usize,
+    },
+    /// More links requested than a simple graph on n nodes can hold.
+    TooManyLinks {
+        /// Requested node count.
+        nodes: usize,
+        /// Requested link count.
+        links: usize,
+    },
+    /// Fewer than the minimum number of nodes for the requested shape.
+    TooFewNodes {
+        /// Minimum nodes the shape requires.
+        need: usize,
+        /// Nodes actually requested.
+        got: usize,
+    },
+    /// The underlying topology construction failed.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::TooFewLinks { nodes, links } => {
+                write!(f, "{links} links cannot connect {nodes} nodes (need at least {})", nodes.saturating_sub(1))
+            }
+            GenerateError::TooManyLinks { nodes, links } => {
+                write!(f, "{links} links exceed the simple-graph maximum for {nodes} nodes")
+            }
+            GenerateError::TooFewNodes { need, got } => {
+                write!(f, "need at least {need} nodes, got {got}")
+            }
+            GenerateError::Topology(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenerateError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for GenerateError {
+    fn from(e: TopologyError) -> Self {
+        GenerateError::Topology(e)
+    }
+}
+
+/// Places `n` points uniformly at random in the square `[0, extent]²`.
+pub fn random_positions(n: usize, extent: f64, rng: &mut StdRng) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+        .collect()
+}
+
+/// An ISP-like connected geometric graph with exactly `n` nodes and `m`
+/// links, embedded in `[0, extent]²`, deterministic in `seed`.
+///
+/// Construction: uniform node placement; a nearest-neighbor attachment tree
+/// for connectivity; then the remaining `m − (n − 1)` links chosen among all
+/// unused pairs in ascending order of jittered Euclidean distance, biasing
+/// toward short, geographically plausible links. All link costs are 1
+/// (hop-count routing, matching the paper's evaluation).
+///
+/// # Errors
+///
+/// Fails when `m < n − 1` (cannot connect) or `m` exceeds `n(n−1)/2`.
+pub fn isp_like(n: usize, m: usize, extent: f64, seed: u64) -> Result<Topology, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::TooFewNodes { need: 1, got: 0 });
+    }
+    if m + 1 < n {
+        return Err(GenerateError::TooFewLinks { nodes: n, links: m });
+    }
+    if m > n * (n - 1) / 2 {
+        return Err(GenerateError::TooManyLinks { nodes: n, links: m });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions = random_positions(n, extent, &mut rng);
+
+    let mut b = Topology::builder();
+    for &p in &positions {
+        b.add_node(p);
+    }
+
+    // Nearest-neighbor attachment tree: node i joins its nearest predecessor.
+    for i in 1..n {
+        let nearest = (0..i)
+            .min_by(|&a, &c| {
+                positions[i]
+                    .distance_squared(positions[a])
+                    .total_cmp(&positions[i].distance_squared(positions[c]))
+            })
+            .expect("i >= 1, so predecessors exist");
+        b.add_link(NodeId(i as u32), NodeId(nearest as u32), 1)?;
+    }
+
+    // Remaining links: all unused pairs, shortest (jittered) first.
+    let mut remaining = m - (n - 1);
+    if remaining > 0 {
+        let mut candidates: Vec<(f64, u32, u32)> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !b.has_link(NodeId(i as u32), NodeId(j as u32)) {
+                    let d = positions[i].distance(positions[j]);
+                    let jitter = 1.0 + rng.gen_range(0.0..0.75);
+                    candidates.push((d * jitter, i as u32, j as u32));
+                }
+            }
+        }
+        candidates.sort_by(|a, c| a.0.total_cmp(&c.0));
+        for (_, i, j) in candidates {
+            if remaining == 0 {
+                break;
+            }
+            b.add_link(NodeId(i), NodeId(j), 1)?;
+            remaining -= 1;
+        }
+    }
+    debug_assert_eq!(remaining, 0);
+
+    Ok(b.build()?)
+}
+
+/// A rows × cols grid with unit link costs and `spacing` between nodes.
+/// Node `(r, c)` has id `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn grid(rows: usize, cols: usize, spacing: f64) -> Topology {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = Topology::builder();
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_node(Point::new(c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = NodeId((r * cols + c) as u32);
+            if c + 1 < cols {
+                b.add_link(id, NodeId((r * cols + c + 1) as u32), 1).expect("grid links are unique");
+            }
+            if r + 1 < rows {
+                b.add_link(id, NodeId(((r + 1) * cols + c) as u32), 1).expect("grid links are unique");
+            }
+        }
+    }
+    b.build().expect("grid coordinates are finite")
+}
+
+/// A cycle of `n` nodes placed on a circle of the given `radius`.
+///
+/// # Errors
+///
+/// Fails when `n < 3`.
+pub fn ring(n: usize, radius: f64) -> Result<Topology, GenerateError> {
+    if n < 3 {
+        return Err(GenerateError::TooFewNodes { need: 3, got: n });
+    }
+    let mut b = Topology::builder();
+    for i in 0..n {
+        let theta = std::f64::consts::TAU * i as f64 / n as f64;
+        b.add_node(Point::new(radius * theta.cos(), radius * theta.sin()));
+    }
+    for i in 0..n {
+        b.add_link(NodeId(i as u32), NodeId(((i + 1) % n) as u32), 1)?;
+    }
+    Ok(b.build()?)
+}
+
+/// A path of `n` nodes along the x-axis with the given `spacing`.
+///
+/// # Errors
+///
+/// Fails when `n == 0`.
+pub fn path(n: usize, spacing: f64) -> Result<Topology, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::TooFewNodes { need: 1, got: 0 });
+    }
+    let mut b = Topology::builder();
+    for i in 0..n {
+        b.add_node(Point::new(i as f64 * spacing, 0.0));
+    }
+    for i in 1..n {
+        b.add_link(NodeId((i - 1) as u32), NodeId(i as u32), 1)?;
+    }
+    Ok(b.build()?)
+}
+
+/// A star: node 0 at the center, `n − 1` leaves on a circle around it.
+///
+/// # Errors
+///
+/// Fails when `n < 2`.
+pub fn star(n: usize, radius: f64) -> Result<Topology, GenerateError> {
+    if n < 2 {
+        return Err(GenerateError::TooFewNodes { need: 2, got: n });
+    }
+    let mut b = Topology::builder();
+    b.add_node(Point::new(0.0, 0.0));
+    for i in 1..n {
+        let theta = std::f64::consts::TAU * (i - 1) as f64 / (n - 1) as f64;
+        b.add_node(Point::new(radius * theta.cos(), radius * theta.sin()));
+        b.add_link(NodeId(0), NodeId(i as u32), 1)?;
+    }
+    Ok(b.build()?)
+}
+
+/// A random geometric *tree*: each node joins its nearest predecessor.
+/// Produces the free branches the paper observes in AS7018.
+///
+/// # Errors
+///
+/// Fails when `n == 0`.
+pub fn random_tree(n: usize, extent: f64, seed: u64) -> Result<Topology, GenerateError> {
+    isp_like(n, n.saturating_sub(1), extent, seed)
+}
+
+/// The Gabriel graph of `n` random points: an edge `(u, v)` exists iff no
+/// third point lies inside the circle with diameter `uv`. Gabriel graphs are
+/// planar and connected — the natural fixture for RTR's planar forwarding
+/// rule (§III-B).
+///
+/// # Errors
+///
+/// Fails when `n == 0`.
+pub fn gabriel(n: usize, extent: f64, seed: u64) -> Result<Topology, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::TooFewNodes { need: 1, got: 0 });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions = random_positions(n, extent, &mut rng);
+    let mut b = Topology::builder();
+    for &p in &positions {
+        b.add_node(p);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mid = Point::new(
+                (positions[i].x + positions[j].x) / 2.0,
+                (positions[i].y + positions[j].y) / 2.0,
+            );
+            let r2 = positions[i].distance_squared(positions[j]) / 4.0;
+            let blocked = (0..n)
+                .filter(|&k| k != i && k != j)
+                .any(|k| mid.distance_squared(positions[k]) < r2 - 1e-12);
+            if !blocked {
+                b.add_link(NodeId(i as u32), NodeId(j as u32), 1)?;
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Rebuilds `topo` with fresh random per-direction link costs drawn
+/// uniformly from `min..=max` (deterministic in `seed`). Geometry and
+/// adjacency are preserved.
+///
+/// The paper's evaluation uses hop-count routing (all costs 1), but its
+/// model explicitly allows asymmetric costs (§II-A: "links can be
+/// asymmetric, i.e. c(i,j) ≠ c(j,i)"); this reweighting exercises that
+/// generality in tests and sensitivity experiments.
+///
+/// # Panics
+///
+/// Panics if `min` is zero or `min > max` (costs must be positive).
+pub fn with_random_costs(topo: &Topology, min: u32, max: u32, seed: u64) -> Topology {
+    assert!(min >= 1 && min <= max, "cost range must be positive and ordered");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC057);
+    let mut b = Topology::builder();
+    for n in topo.node_ids() {
+        b.add_node(topo.position(n));
+    }
+    for l in topo.link_ids() {
+        let (x, y) = topo.link(l).endpoints();
+        let cab = rng.gen_range(min..=max);
+        let cba = rng.gen_range(min..=max);
+        b.add_link_asymmetric(x, y, cab, cba)
+            .expect("source topology is a valid simple graph");
+    }
+    b.build().expect("source topology has finite coordinates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isp_like_exact_counts_and_connected() {
+        let topo = isp_like(58, 108, 2000.0, 209).unwrap();
+        assert_eq!(topo.node_count(), 58);
+        assert_eq!(topo.link_count(), 108);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn isp_like_is_deterministic() {
+        let a = isp_like(30, 60, 2000.0, 42).unwrap();
+        let b = isp_like(30, 60, 2000.0, 42).unwrap();
+        for n in a.node_ids() {
+            assert_eq!(a.position(n), b.position(n));
+        }
+        for l in a.link_ids() {
+            assert_eq!(a.link(l).endpoints(), b.link(l).endpoints());
+        }
+    }
+
+    #[test]
+    fn isp_like_different_seeds_differ() {
+        let a = isp_like(30, 60, 2000.0, 1).unwrap();
+        let b = isp_like(30, 60, 2000.0, 2).unwrap();
+        let same = a
+            .node_ids()
+            .all(|n| a.position(n) == b.position(n));
+        assert!(!same);
+    }
+
+    #[test]
+    fn isp_like_dense_graph() {
+        // As dense as AS3549: 61 nodes, 486 links.
+        let topo = isp_like(61, 486, 2000.0, 3549).unwrap();
+        assert_eq!(topo.link_count(), 486);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn isp_like_rejects_impossible_counts() {
+        assert!(matches!(
+            isp_like(10, 8, 2000.0, 0),
+            Err(GenerateError::TooFewLinks { .. })
+        ));
+        assert!(matches!(
+            isp_like(5, 11, 2000.0, 0),
+            Err(GenerateError::TooManyLinks { .. })
+        ));
+        assert!(matches!(
+            isp_like(0, 0, 2000.0, 0),
+            Err(GenerateError::TooFewNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn isp_like_complete_graph_boundary() {
+        let topo = isp_like(5, 10, 100.0, 7).unwrap();
+        assert_eq!(topo.link_count(), 10);
+        for n in topo.node_ids() {
+            assert_eq!(topo.degree(n), 4);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let topo = grid(3, 4, 10.0);
+        assert_eq!(topo.node_count(), 12);
+        // 3 rows × 3 horizontal + 2 rows of 4 vertical = 9 + 8 = 17.
+        assert_eq!(topo.link_count(), 17);
+        assert!(topo.is_connected());
+        assert!(topo.is_planar_embedding());
+        // Corner degree 2, edge degree 3, interior degree 4.
+        assert_eq!(topo.degree(NodeId(0)), 2);
+        assert_eq!(topo.degree(NodeId(1)), 3);
+        assert_eq!(topo.degree(NodeId(5)), 4);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let topo = ring(6, 100.0).unwrap();
+        assert_eq!(topo.node_count(), 6);
+        assert_eq!(topo.link_count(), 6);
+        for n in topo.node_ids() {
+            assert_eq!(topo.degree(n), 2);
+        }
+        assert!(ring(2, 10.0).is_err());
+    }
+
+    #[test]
+    fn path_structure() {
+        let topo = path(5, 10.0).unwrap();
+        assert_eq!(topo.link_count(), 4);
+        assert_eq!(topo.degree(NodeId(0)), 1);
+        assert_eq!(topo.degree(NodeId(2)), 2);
+        assert!(path(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn star_structure() {
+        let topo = star(7, 50.0).unwrap();
+        assert_eq!(topo.degree(NodeId(0)), 6);
+        for i in 1..7 {
+            assert_eq!(topo.degree(NodeId(i)), 1);
+        }
+        assert!(star(1, 1.0).is_err());
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let topo = random_tree(40, 2000.0, 11).unwrap();
+        assert_eq!(topo.link_count(), 39);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn gabriel_is_planar_and_connected() {
+        let topo = gabriel(40, 2000.0, 5).unwrap();
+        assert!(topo.is_connected(), "Gabriel graphs are connected");
+        assert!(topo.is_planar_embedding(), "Gabriel graphs are planar");
+    }
+
+    #[test]
+    fn with_random_costs_preserves_structure() {
+        let base = isp_like(20, 45, 2000.0, 3).unwrap();
+        let weighted = with_random_costs(&base, 1, 10, 7);
+        assert_eq!(weighted.node_count(), base.node_count());
+        assert_eq!(weighted.link_count(), base.link_count());
+        for l in base.link_ids() {
+            assert_eq!(weighted.link(l).endpoints(), base.link(l).endpoints());
+            let (a, _) = weighted.link(l).endpoints();
+            let c = weighted.cost_from(l, a);
+            assert!((1..=10).contains(&c));
+        }
+        // Deterministic.
+        let again = with_random_costs(&base, 1, 10, 7);
+        for l in base.link_ids() {
+            let (a, b2) = base.link(l).endpoints();
+            assert_eq!(again.cost_from(l, a), weighted.cost_from(l, a));
+            assert_eq!(again.cost_from(l, b2), weighted.cost_from(l, b2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cost range")]
+    fn with_random_costs_rejects_zero_min() {
+        let base = isp_like(5, 6, 100.0, 1).unwrap();
+        let _ = with_random_costs(&base, 0, 5, 1);
+    }
+
+    #[test]
+    fn generate_error_display() {
+        let e = GenerateError::TooFewLinks { nodes: 10, links: 3 };
+        assert_eq!(e.to_string(), "3 links cannot connect 10 nodes (need at least 9)");
+    }
+}

@@ -1,0 +1,256 @@
+//! The eight ISP topologies of the paper's Table II, plus a plain-text
+//! topology format so real Rocketfuel-derived data can be dropped in.
+//!
+//! The Rocketfuel measurement data itself is not redistributable, so
+//! [`synthetic_twin`] generates a deterministic geometric graph with the
+//! *exact* node and link count the paper reports for each AS (see DESIGN.md
+//! §4 for why this preserves the evaluation's behaviour). If you have real
+//! topology files, load them with [`parse_topology`] instead.
+
+use crate::generate::isp_like;
+use crate::graph::{NodeId, Topology, TopologyError};
+use crate::Point;
+
+/// The side length of the paper's placement area (§IV-A).
+pub const AREA_EXTENT: f64 = 2000.0;
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IspProfile {
+    /// AS name, e.g. `"AS209"`.
+    pub name: &'static str,
+    /// AS number (also the deterministic generator seed).
+    pub asn: u32,
+    /// Number of routers.
+    pub nodes: usize,
+    /// Number of links.
+    pub links: usize,
+}
+
+/// The eight topologies of Table II, in the paper's column order.
+pub const TABLE2: [IspProfile; 8] = [
+    IspProfile { name: "AS209", asn: 209, nodes: 58, links: 108 },
+    IspProfile { name: "AS701", asn: 701, nodes: 83, links: 219 },
+    IspProfile { name: "AS1239", asn: 1239, nodes: 52, links: 84 },
+    IspProfile { name: "AS3320", asn: 3320, nodes: 70, links: 355 },
+    IspProfile { name: "AS3549", asn: 3549, nodes: 61, links: 486 },
+    IspProfile { name: "AS3561", asn: 3561, nodes: 92, links: 329 },
+    IspProfile { name: "AS4323", asn: 4323, nodes: 51, links: 161 },
+    IspProfile { name: "AS7018", asn: 7018, nodes: 115, links: 148 },
+];
+
+/// Looks up a Table II profile by name (case-sensitive, e.g. `"AS209"`).
+pub fn profile(name: &str) -> Option<IspProfile> {
+    TABLE2.iter().copied().find(|p| p.name == name)
+}
+
+impl IspProfile {
+    /// Average node degree, `2·links / nodes`.
+    pub fn average_degree(&self) -> f64 {
+        2.0 * self.links as f64 / self.nodes as f64
+    }
+
+    /// Generates this profile's synthetic twin (see module docs).
+    pub fn synthesize(&self) -> Topology {
+        synthetic_twin(*self)
+    }
+}
+
+/// Generates the deterministic synthetic twin for a Table II profile:
+/// exactly `profile.nodes` routers and `profile.links` links placed in the
+/// paper's 2000 × 2000 area, seeded by the AS number.
+pub fn synthetic_twin(profile: IspProfile) -> Topology {
+    isp_like(profile.nodes, profile.links, AREA_EXTENT, profile.asn as u64)
+        .expect("Table II profiles are all generable")
+}
+
+/// An alternative twin with a topology-independent random embedding
+/// (preferential-attachment adjacency, uniform coordinates). Used by the
+/// embedding ablation bench: RTR's phase 1 assumes links mostly connect
+/// geographically close routers, and this variant quantifies how much the
+/// boundary walk degrades when that correlation is absent.
+pub fn synthetic_twin_random_embedding(profile: IspProfile) -> Topology {
+    crate::pa::isp_like_pa(profile.nodes, profile.links, AREA_EXTENT, profile.asn as u64)
+        .expect("Table II profiles are all generable")
+}
+
+/// Generates all eight synthetic twins paired with their profiles.
+pub fn all_twins() -> Vec<(IspProfile, Topology)> {
+    TABLE2.iter().map(|&p| (p, synthetic_twin(p))).collect()
+}
+
+/// Parses a topology from the plain-text interchange format:
+///
+/// ```text
+/// # comment
+/// node <x> <y>
+/// link <a> <b> [cost_ab [cost_ba]]
+/// ```
+///
+/// Node ids are assigned in order of appearance starting at 0. Costs
+/// default to 1 (hop-count routing).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Parse`] on malformed lines and the usual
+/// construction errors for bad graph structure.
+pub fn parse_topology(text: &str) -> Result<Topology, TopologyError> {
+    let mut b = Topology::builder();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line has a first token");
+        let parse_err = |what: &str| TopologyError::Parse(format!("line {}: {what}", lineno + 1));
+        match kind {
+            "node" => {
+                let x: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("expected `node <x> <y>`"))?;
+                let y: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("expected `node <x> <y>`"))?;
+                b.add_node(Point::new(x, y));
+            }
+            "link" => {
+                let a: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("expected `link <a> <b> [cost_ab [cost_ba]]`"))?;
+                let bb: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("expected `link <a> <b> [cost_ab [cost_ba]]`"))?;
+                let cost_ab: u32 = match parts.next() {
+                    Some(s) => s.parse().map_err(|_| parse_err("bad cost"))?,
+                    None => 1,
+                };
+                let cost_ba: u32 = match parts.next() {
+                    Some(s) => s.parse().map_err(|_| parse_err("bad cost"))?,
+                    None => cost_ab,
+                };
+                b.add_link_asymmetric(NodeId(a), NodeId(bb), cost_ab, cost_ba)?;
+            }
+            other => return Err(parse_err(&format!("unknown directive `{other}`"))),
+        }
+    }
+    b.build()
+}
+
+/// Serializes a topology to the plain-text interchange format accepted by
+/// [`parse_topology`].
+pub fn to_text(topo: &Topology) -> String {
+    let mut out = String::new();
+    for n in topo.node_ids() {
+        let p = topo.position(n);
+        out.push_str(&format!("node {} {}\n", p.x, p.y));
+    }
+    for l in topo.link_ids() {
+        let link = topo.link(l);
+        let (a, b) = link.endpoints();
+        out.push_str(&format!(
+            "link {} {} {} {}\n",
+            a.0,
+            b.0,
+            link.cost_from(a),
+            link.cost_from(b)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_counts() {
+        assert_eq!(TABLE2.len(), 8);
+        let as209 = profile("AS209").unwrap();
+        assert_eq!((as209.nodes, as209.links), (58, 108));
+        let as3549 = profile("AS3549").unwrap();
+        assert_eq!((as3549.nodes, as3549.links), (61, 486));
+        let as7018 = profile("AS7018").unwrap();
+        assert_eq!((as7018.nodes, as7018.links), (115, 148));
+        assert!(profile("AS9999").is_none());
+    }
+
+    #[test]
+    fn every_twin_matches_its_profile_and_is_connected() {
+        for (p, topo) in all_twins() {
+            assert_eq!(topo.node_count(), p.nodes, "{}", p.name);
+            assert_eq!(topo.link_count(), p.links, "{}", p.name);
+            assert!(topo.is_connected(), "{} must be connected", p.name);
+            // All nodes inside the paper's 2000 × 2000 area.
+            for n in topo.node_ids() {
+                let pos = topo.position(n);
+                assert!(pos.x >= 0.0 && pos.x <= AREA_EXTENT);
+                assert!(pos.y >= 0.0 && pos.y <= AREA_EXTENT);
+            }
+        }
+    }
+
+    #[test]
+    fn twins_are_deterministic() {
+        let p = profile("AS1239").unwrap();
+        let a = synthetic_twin(p);
+        let b = p.synthesize();
+        for n in a.node_ids() {
+            assert_eq!(a.position(n), b.position(n));
+        }
+    }
+
+    #[test]
+    fn average_degree() {
+        let p = IspProfile { name: "X", asn: 1, nodes: 10, links: 15 };
+        assert_eq!(p.average_degree(), 3.0);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let p = profile("AS1239").unwrap();
+        let topo = synthetic_twin(p);
+        let text = to_text(&topo);
+        let back = parse_topology(&text).unwrap();
+        assert_eq!(back.node_count(), topo.node_count());
+        assert_eq!(back.link_count(), topo.link_count());
+        for n in topo.node_ids() {
+            assert_eq!(back.position(n), topo.position(n));
+        }
+        for l in topo.link_ids() {
+            assert_eq!(back.link(l).endpoints(), topo.link(l).endpoints());
+        }
+    }
+
+    #[test]
+    fn parse_costs_and_comments() {
+        let text = "# test\nnode 0 0\nnode 1 0\n\nlink 0 1 3 7\n";
+        let topo = parse_topology(text).unwrap();
+        let l = topo.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(topo.cost_from(l, NodeId(0)), 3);
+        assert_eq!(topo.cost_from(l, NodeId(1)), 7);
+    }
+
+    #[test]
+    fn parse_default_cost_is_one() {
+        let topo = parse_topology("node 0 0\nnode 1 1\nlink 0 1\n").unwrap();
+        let l = topo.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(topo.cost_from(l, NodeId(0)), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse_topology("node 1"), Err(TopologyError::Parse(_))));
+        assert!(matches!(parse_topology("frob 1 2"), Err(TopologyError::Parse(_))));
+        assert!(matches!(
+            parse_topology("node 0 0\nlink 0 5"),
+            Err(TopologyError::UnknownNode(_))
+        ));
+        let err = parse_topology("link a b").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Preferential-attachment ISP-like generator with a topology-independent
+//! geometric embedding — the faithful analogue of the paper's setup.
+//!
+//! §IV-A places the Rocketfuel routers "randomly in a 2000 × 2000 area":
+//! coordinates are drawn *independently of adjacency*. ISP router-level
+//! graphs have heavy-tailed degree distributions, which preferential
+//! attachment reproduces. [`isp_like_pa`] therefore grows a
+//! preferential-attachment tree plus degree-biased extra links, and only
+//! afterwards assigns uniform random coordinates.
+
+use crate::generate::{random_positions, GenerateError};
+use crate::graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An ISP-like connected graph with exactly `n` nodes and `m` links whose
+/// embedding is independent of its adjacency (matching the paper's random
+/// node placement), deterministic in `seed`.
+///
+/// Construction: a preferential-attachment tree (each new node attaches to
+/// an existing node with probability proportional to degree + 1), then the
+/// remaining links between degree-biased random pairs. All costs are 1.
+///
+/// # Errors
+///
+/// Fails when `m < n − 1` or `m > n(n−1)/2` (same contract as
+/// [`crate::generate::isp_like`]).
+pub fn isp_like_pa(n: usize, m: usize, extent: f64, seed: u64) -> Result<Topology, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::TooFewNodes { need: 1, got: 0 });
+    }
+    if m + 1 < n {
+        return Err(GenerateError::TooFewLinks { nodes: n, links: m });
+    }
+    if m > n * (n - 1) / 2 {
+        return Err(GenerateError::TooManyLinks { nodes: n, links: m });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a7e_51fe);
+    let positions = random_positions(n, extent, &mut rng);
+    let mut b = Topology::builder();
+    for &p in &positions {
+        b.add_node(p);
+    }
+
+    // Degree-weighted sampling support: a flat list with each node repeated
+    // once per incident link end, plus one baseline entry per node.
+    let mut degree_pool: Vec<u32> = vec![0];
+    for i in 1..n {
+        let pick = degree_pool[rng.gen_range(0..degree_pool.len())];
+        let target = if (pick as usize) < i { pick } else { rng.gen_range(0..i as u32) };
+        b.add_link(NodeId(i as u32), NodeId(target), 1)?;
+        degree_pool.push(i as u32);
+        degree_pool.push(target);
+        degree_pool.push(i as u32);
+    }
+
+    let mut remaining = m - (n - 1);
+    let mut attempts = 0usize;
+    let attempt_budget = 200 * m + 10_000;
+    while remaining > 0 && attempts < attempt_budget {
+        attempts += 1;
+        let a = degree_pool[rng.gen_range(0..degree_pool.len())];
+        let c = rng.gen_range(0..n as u32);
+        if a == c || b.has_link(NodeId(a), NodeId(c)) {
+            continue;
+        }
+        b.add_link(NodeId(a), NodeId(c), 1)?;
+        degree_pool.push(a);
+        degree_pool.push(c);
+        remaining -= 1;
+    }
+    // Dense graphs can exhaust degree-biased sampling; fill uniformly.
+    if remaining > 0 {
+        'fill: for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if remaining == 0 {
+                    break 'fill;
+                }
+                if !b.has_link(NodeId(i), NodeId(j)) {
+                    b.add_link(NodeId(i), NodeId(j), 1)?;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(remaining, 0);
+
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts_and_connected() {
+        for (n, m, seed) in [(58, 108, 209u64), (61, 486, 3549), (115, 148, 7018)] {
+            let topo = isp_like_pa(n, m, 2000.0, seed).unwrap();
+            assert_eq!(topo.node_count(), n);
+            assert_eq!(topo.link_count(), m);
+            assert!(topo.is_connected());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = isp_like_pa(40, 90, 2000.0, 5).unwrap();
+        let b = isp_like_pa(40, 90, 2000.0, 5).unwrap();
+        for l in a.link_ids() {
+            assert_eq!(a.link(l).endpoints(), b.link(l).endpoints());
+        }
+        for n in a.node_ids() {
+            assert_eq!(a.position(n), b.position(n));
+        }
+    }
+
+    #[test]
+    fn has_hubs() {
+        // Preferential attachment should produce at least one high-degree
+        // hub, unlike a uniform random graph.
+        let topo = isp_like_pa(80, 160, 2000.0, 11).unwrap();
+        let max_degree = topo.node_ids().map(|n| topo.degree(n)).max().unwrap();
+        assert!(max_degree >= 10, "max degree {max_degree} too small for PA");
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        assert!(isp_like_pa(10, 5, 2000.0, 0).is_err());
+        assert!(isp_like_pa(4, 7, 2000.0, 0).is_err());
+        assert!(isp_like_pa(0, 0, 2000.0, 0).is_err());
+    }
+
+    #[test]
+    fn dense_boundary() {
+        let topo = isp_like_pa(6, 15, 100.0, 3).unwrap();
+        assert_eq!(topo.link_count(), 15);
+    }
+}

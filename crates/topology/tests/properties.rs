@@ -1,0 +1,182 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+use rtr_topology::geometry::{ccw_angle, segments_cross, segments_intersect, Circle, Point, Segment};
+use rtr_topology::{generate, CrossLinkTable, FailureScenario, LinkId, NodeId, Region};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0..2000.0f64, 0.0..2000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Segment::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric_and_nonnegative(a in arb_point(), b in arb_point()) {
+        prop_assert!(a.distance(b) >= 0.0);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn crossing_is_symmetric(s1 in arb_segment(), s2 in arb_segment()) {
+        prop_assert_eq!(segments_cross(s1, s2), segments_cross(s2, s1));
+        prop_assert_eq!(segments_intersect(s1, s2), segments_intersect(s2, s1));
+    }
+
+    #[test]
+    fn crossing_implies_intersection(s1 in arb_segment(), s2 in arb_segment()) {
+        if segments_cross(s1, s2) {
+            prop_assert!(segments_intersect(s1, s2));
+        }
+    }
+
+    #[test]
+    fn segment_never_crosses_itself(s in arb_segment()) {
+        prop_assert!(!segments_cross(s, s));
+    }
+
+    #[test]
+    fn ccw_angle_in_half_open_range(
+        a in (-1.0..1.0f64, -1.0..1.0f64),
+        b in (-1.0..1.0f64, -1.0..1.0f64),
+    ) {
+        prop_assume!(a.0.abs() + a.1.abs() > 1e-6 && b.0.abs() + b.1.abs() > 1e-6);
+        let angle = ccw_angle(a, b);
+        prop_assert!(angle > 0.0 && angle <= std::f64::consts::TAU + 1e-9);
+    }
+
+    #[test]
+    fn ccw_angles_of_opposite_orders_sum_to_tau(
+        a in (-1.0..1.0f64, -1.0..1.0f64),
+        b in (-1.0..1.0f64, -1.0..1.0f64),
+    ) {
+        prop_assume!(a.0.abs() + a.1.abs() > 1e-6 && b.0.abs() + b.1.abs() > 1e-6);
+        // Unless the directions are collinear, angle(a→b) + angle(b→a) = 2π.
+        let fwd = ccw_angle(a, b);
+        let back = ccw_angle(b, a);
+        let tau = std::f64::consts::TAU;
+        let sum = fwd + back;
+        prop_assert!((sum - tau).abs() < 1e-6 || (sum - 2.0 * tau).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circle_segment_test_matches_distance(c in arb_point(), r in 1.0..500.0f64, s in arb_segment()) {
+        let circle = Circle::new(c, r);
+        prop_assert_eq!(
+            circle.intersects_segment(s),
+            s.distance_to_point(c) <= r
+        );
+    }
+
+    #[test]
+    fn isp_like_always_connected_with_exact_counts(
+        n in 2..40usize,
+        extra in 0..60usize,
+        seed in 0..1000u64,
+    ) {
+        let max = n * (n - 1) / 2;
+        let m = (n - 1 + extra).min(max);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        prop_assert_eq!(topo.node_count(), n);
+        prop_assert_eq!(topo.link_count(), m);
+        prop_assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn crosslink_table_symmetric(n in 4..25usize, seed in 0..200u64) {
+        let max = n * (n - 1) / 2;
+        let m = (2 * n).min(max);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let table = CrossLinkTable::new(&topo);
+        for a in topo.link_ids() {
+            for &b in table.crossings_of(a) {
+                prop_assert!(table.crosses(b, a));
+                prop_assert!(a != b);
+                // Crossing links never share an endpoint.
+                let (a1, a2) = topo.link(a).endpoints();
+                let lb = topo.link(b);
+                prop_assert!(!lb.is_incident_to(a1) && !lb.is_incident_to(a2));
+            }
+        }
+    }
+
+    #[test]
+    fn region_failure_is_monotone_in_radius(
+        seed in 0..200u64,
+        cx in 0.0..2000.0f64,
+        cy in 0.0..2000.0f64,
+        r1 in 20.0..300.0f64,
+        grow in 1.0..200.0f64,
+    ) {
+        let topo = generate::isp_like(30, 60, 2000.0, seed).unwrap();
+        let small = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r1));
+        let big = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r1 + grow));
+        // Everything failed under the small region also fails under the big one.
+        for n in topo.node_ids() {
+            if small.is_node_failed(n) {
+                prop_assert!(big.is_node_failed(n));
+            }
+        }
+        for l in topo.link_ids() {
+            if small.is_link_failed(l) {
+                prop_assert!(big.is_link_failed(l));
+            }
+        }
+    }
+
+    #[test]
+    fn node_in_region_fails_all_incident_links(
+        seed in 0..100u64,
+        cx in 0.0..2000.0f64,
+        cy in 0.0..2000.0f64,
+        r in 20.0..400.0f64,
+    ) {
+        let topo = generate::isp_like(25, 50, 2000.0, seed).unwrap();
+        let s = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
+        for n in topo.node_ids() {
+            if s.is_node_failed(n) {
+                for &(_, l) in topo.neighbors(n) {
+                    // The link's segment touches the region at the failed
+                    // endpoint, so it must be marked failed too.
+                    prop_assert!(s.is_link_failed(l));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn union_region_failure_equals_merged_scenarios() {
+    let topo = generate::isp_like(30, 70, 2000.0, 9).unwrap();
+    let r1 = Region::circle((500.0, 500.0), 200.0);
+    let r2 = Region::circle((1500.0, 1500.0), 150.0);
+    let both = FailureScenario::from_region(&topo, &Region::Union(vec![r1.clone(), r2.clone()]));
+    let mut merged = FailureScenario::from_region(&topo, &r1);
+    merged.merge(&FailureScenario::from_region(&topo, &r2));
+    for n in topo.node_ids() {
+        assert_eq!(both.is_node_failed(n), merged.is_node_failed(n));
+    }
+    for l in topo.link_ids() {
+        assert_eq!(both.is_link_failed(l), merged.is_link_failed(l));
+    }
+}
+
+#[test]
+fn table2_twin_ids_fit_packet_headers() {
+    for (p, topo) in rtr_topology::isp::all_twins() {
+        assert!(topo.node_count() <= u16::MAX as usize, "{}", p.name);
+        assert!(topo.link_count() <= u16::MAX as usize, "{}", p.name);
+        // Spot-check id round-trips.
+        let n = NodeId((topo.node_count() - 1) as u32);
+        assert_eq!(n.index(), topo.node_count() - 1);
+        let l = LinkId((topo.link_count() - 1) as u32);
+        assert_eq!(l.index(), topo.link_count() - 1);
+    }
+}

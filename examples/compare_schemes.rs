@@ -1,0 +1,112 @@
+//! Head-to-head comparison of RTR, FCP, and MRC on one random disaster —
+//! a miniature, human-readable version of the paper's Table III.
+//!
+//! Run with (topology name and radius optional):
+//!
+//! ```text
+//! cargo run --release --example compare_schemes -- AS701 280
+//! ```
+
+use rtr::baselines::{fcp_route, mrc_recover, Mrc};
+use rtr::core::RtrSession;
+use rtr::routing::{shortest_path, RoutingTable};
+use rtr::sim::{CaseKind, Network};
+use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, Region};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "AS701".into());
+    let radius: f64 = args.next().map_or(280.0, |r| r.parse().expect("radius must be a number"));
+
+    let profile = isp::profile(&name).unwrap_or_else(|| {
+        eprintln!("unknown topology {name}; pick one of Table II (AS209, AS701, ...)");
+        std::process::exit(2);
+    });
+    let topo = profile.synthesize();
+    let table = RoutingTable::compute(&topo, &FullView);
+    let crosslinks = CrossLinkTable::new(&topo);
+    let mrc = Mrc::build(&topo, 5).expect("Table II twins are connected");
+
+    let region = Region::circle((1000.0, 1000.0), radius);
+    let scenario = FailureScenario::from_region(&topo, &region);
+    println!(
+        "{name}: radius-{radius} failure kills {} routers, cuts {} links",
+        scenario.failed_node_count(),
+        scenario.failed_link_count()
+    );
+
+    let net = Network::new(&topo, &scenario, &table);
+    let mut sessions: std::collections::BTreeMap<_, RtrSession<'_, _>> = Default::default();
+    let mut rows = Stats::default();
+
+    for s in topo.node_ids() {
+        for t in topo.node_ids() {
+            if s == t {
+                continue;
+            }
+            let CaseKind::Recoverable { initiator, failed_link } = net.classify(s, t) else {
+                continue;
+            };
+            rows.cases += 1;
+            let optimal = shortest_path(&topo, &scenario, initiator, t)
+                .expect("recoverable")
+                .cost();
+
+            let session = sessions.entry(initiator).or_insert_with(|| {
+                RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+            });
+            let rtr = session.recover(t);
+            if rtr.is_delivered() {
+                rows.rtr_delivered += 1;
+                rows.rtr_stretch_sum += rtr.path.unwrap().cost() as f64 / optimal as f64;
+            }
+
+            let fcp = fcp_route(&topo, &scenario, initiator, failed_link, t);
+            if fcp.is_delivered() {
+                rows.fcp_delivered += 1;
+                rows.fcp_stretch_sum += fcp.cost_traversed as f64 / optimal as f64;
+                rows.fcp_calcs += fcp.sp_calculations;
+            }
+
+            let m = mrc_recover(&topo, &mrc, &scenario, initiator, failed_link, t);
+            if m.is_delivered() {
+                rows.mrc_delivered += 1;
+                rows.mrc_stretch_sum += m.cost_traversed as f64 / optimal as f64;
+            }
+        }
+    }
+
+    let pct = |n: usize| 100.0 * n as f64 / rows.cases.max(1) as f64;
+    println!("\nrecoverable cases: {}", rows.cases);
+    println!("scheme  recovery%   avg stretch   SP calcs");
+    println!(
+        "RTR     {:8.1}   {:11.3}   {:>8}",
+        pct(rows.rtr_delivered),
+        rows.rtr_stretch_sum / rows.rtr_delivered.max(1) as f64,
+        sessions.len() // one SPT per initiator serves every destination
+    );
+    println!(
+        "FCP     {:8.1}   {:11.3}   {:>8}",
+        pct(rows.fcp_delivered),
+        rows.fcp_stretch_sum / rows.fcp_delivered.max(1) as f64,
+        rows.fcp_calcs
+    );
+    println!(
+        "MRC     {:8.1}   {:11.3}   {:>8}",
+        pct(rows.mrc_delivered),
+        rows.mrc_stretch_sum / rows.mrc_delivered.max(1) as f64,
+        "0 (precomputed)"
+    );
+}
+
+#[derive(Default)]
+struct Stats {
+    cases: usize,
+    rtr_delivered: usize,
+    rtr_stretch_sum: f64,
+    fcp_delivered: usize,
+    fcp_stretch_sum: f64,
+    fcp_calcs: usize,
+    mrc_delivered: usize,
+    mrc_stretch_sum: f64,
+}

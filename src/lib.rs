@@ -1,0 +1,24 @@
+//! # RTR — Reactive Two-phase Rerouting
+//!
+//! Facade crate for the reproduction of *"Optimal Recovery from
+//! Large-Scale Failures in IP Networks"* (Zheng, Cao, La Porta, Swami —
+//! ICDCS 2012). Re-exports the workspace crates under one roof:
+//!
+//! * [`topology`] — network model, geometry, generators, failure areas;
+//! * [`routing`] — Dijkstra, incremental SPT, routing tables, source routes;
+//! * [`sim`] — packet headers, delay model, traces, the network under failure;
+//! * [`core`] — the RTR protocol itself (phase 1 + phase 2);
+//! * [`baselines`] — the FCP and MRC comparators;
+//! * [`eval`] — the experiment harness regenerating every table and figure.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rtr_baselines as baselines;
+pub use rtr_core as core;
+pub use rtr_eval as eval;
+pub use rtr_routing as routing;
+pub use rtr_sim as sim;
+pub use rtr_topology as topology;
