@@ -79,7 +79,10 @@ impl GraphView for ConfigView<'_> {
         // A link incident to an isolated node is restricted: usable only
         // as the first/last hop of this packet's path.
         for x in [a, b] {
-            if self.mrc.node_config[x.index()] == Some(self.config) && x != self.src && x != self.dest {
+            if self.mrc.node_config[x.index()] == Some(self.config)
+                && x != self.src
+                && x != self.dest
+            {
                 return false;
             }
         }
@@ -125,7 +128,10 @@ impl Mrc {
         let mut link_config: Vec<Option<usize>> = vec![None; topo.link_count()];
         for l in topo.link_ids() {
             let (a, b) = topo.link(l).endpoints();
-            for cfg in [node_config[a.index()], node_config[b.index()]].into_iter().flatten() {
+            for cfg in [node_config[a.index()], node_config[b.index()]]
+                .into_iter()
+                .flatten()
+            {
                 if Self::link_isolation_ok(topo, &node_config, &link_config, l, cfg) {
                     link_config[l.index()] = Some(cfg);
                     break;
@@ -133,13 +139,21 @@ impl Mrc {
             }
         }
 
-        Ok(Mrc { k, node_config, link_config })
+        Ok(Mrc {
+            k,
+            node_config,
+            link_config,
+        })
     }
 
     /// Connectivity check for isolating `node` in configuration `cfg`.
-    fn isolation_ok(topo: &Topology, node_config: &[Option<usize>], node: NodeId, cfg: usize) -> bool {
-        let in_group =
-            |x: NodeId| node_config[x.index()] == Some(cfg) || x == node;
+    fn isolation_ok(
+        topo: &Topology,
+        node_config: &[Option<usize>],
+        node: NodeId,
+        cfg: usize,
+    ) -> bool {
+        let in_group = |x: NodeId| node_config[x.index()] == Some(cfg) || x == node;
         // The transit subgraph (everything not isolated in cfg, with this
         // node added to the group) must stay connected, and every router —
         // isolated or not — must keep at least one usable link in cfg so a
@@ -157,8 +171,7 @@ impl Mrc {
         cfg: usize,
     ) -> bool {
         let in_group = |x: NodeId| node_config[x.index()] == Some(cfg);
-        let link_dead =
-            |x: LinkId| x == l || link_config[x.index()] == Some(cfg);
+        let link_dead = |x: LinkId| x == l || link_config[x.index()] == Some(cfg);
         Self::transit_connected(topo, &in_group, &link_dead)
             && Self::all_nodes_keep_access(topo, &in_group, &link_dead)
     }
@@ -251,7 +264,13 @@ impl Mrc {
         src: NodeId,
         dest: NodeId,
     ) -> Option<Path> {
-        let view = ConfigView { mrc: self, config, src, dest, topo };
+        let view = ConfigView {
+            mrc: self,
+            config,
+            src,
+            dest,
+            topo,
+        };
         dijkstra(topo, &view, src).path_to(dest)
     }
 }
@@ -361,11 +380,9 @@ pub fn mrc_recover(
 /// transit subgraph is connected.
 pub fn validate(topo: &Topology, mrc: &Mrc) -> bool {
     (0..mrc.configurations()).all(|cfg| {
-        Mrc::transit_connected(
-            topo,
-            &|x| mrc.node_configuration(x) == Some(cfg),
-            &|l| mrc.link_configuration(l) == Some(cfg),
-        )
+        Mrc::transit_connected(topo, &|x| mrc.node_configuration(x) == Some(cfg), &|l| {
+            mrc.link_configuration(l) == Some(cfg)
+        })
     })
 }
 
@@ -384,7 +401,10 @@ mod tests {
                 assert!(cfg < 5);
             }
         }
-        assert!(mrc.node_coverage() > 0.7, "most nodes should be protectable");
+        assert!(
+            mrc.node_coverage() > 0.7,
+            "most nodes should be protectable"
+        );
         assert!(validate(&topo, &mrc));
         assert!(mrc.link_coverage() > 0.5, "most links should be isolatable");
     }
@@ -392,13 +412,19 @@ mod tests {
     #[test]
     fn build_rejects_bad_inputs() {
         let topo = generate::isp_like(10, 20, 2000.0, 1).unwrap();
-        assert_eq!(Mrc::build(&topo, 1).unwrap_err(), MrcError::TooFewConfigurations);
+        assert_eq!(
+            Mrc::build(&topo, 1).unwrap_err(),
+            MrcError::TooFewConfigurations
+        );
 
         let mut b = Topology::builder();
         b.add_node(rtr_topology::Point::new(0.0, 0.0));
         b.add_node(rtr_topology::Point::new(1.0, 0.0));
         let disconnected = b.build().unwrap();
-        assert_eq!(Mrc::build(&disconnected, 3).unwrap_err(), MrcError::Disconnected);
+        assert_eq!(
+            Mrc::build(&disconnected, 3).unwrap_err(),
+            MrcError::Disconnected
+        );
     }
 
     #[test]
@@ -511,12 +537,18 @@ mod tests {
         let s = FailureScenario::single_link(&topo, l);
         let attempt = mrc_recover(&topo, &mrc, &s, a, l, b);
         assert_eq!(attempt.config_used, mrc.link_configuration(l));
-        assert!(attempt.is_delivered(), "link-only failure to a live destination");
+        assert!(
+            attempt.is_delivered(),
+            "link-only failure to a live destination"
+        );
     }
 
     #[test]
     fn error_display() {
-        assert_eq!(MrcError::Disconnected.to_string(), "topology must be connected");
+        assert_eq!(
+            MrcError::Disconnected.to_string(),
+            "topology must be connected"
+        );
         assert_eq!(
             MrcError::TooFewConfigurations.to_string(),
             "at least 2 configurations required"

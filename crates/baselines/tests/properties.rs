@@ -1,7 +1,7 @@
 //! Property-based tests for the FCP and MRC baselines.
 
 use proptest::prelude::*;
-use rtr_baselines::{fcp_route, mrc_recover, mrc::validate, FcpOutcome, Mrc};
+use rtr_baselines::{fcp_route, mrc::validate, mrc_recover, FcpOutcome, Mrc};
 use rtr_routing::shortest_path;
 use rtr_topology::{
     generate, is_reachable, FailureScenario, GraphView, LinkId, NodeId, Region, Topology,

@@ -42,11 +42,7 @@ fn bench_crosslink_precompute_vs_inline(c: &mut Criterion) {
     let mut g = c.benchmark_group("crosslink_lookup");
     let f = fixture("AS3549", 250.0); // densest twin: most crossings
     let table = CrossLinkTable::new(&f.topo);
-    let probe: Vec<(LinkId, LinkId)> = f
-        .topo
-        .link_ids()
-        .zip(f.topo.link_ids().skip(1))
-        .collect();
+    let probe: Vec<(LinkId, LinkId)> = f.topo.link_ids().zip(f.topo.link_ids().skip(1)).collect();
     g.bench_function("precomputed_table", |b| {
         b.iter(|| {
             let mut hits = 0;
@@ -101,7 +97,8 @@ fn bench_path_cache(c: &mut Criterion) {
                 &f.scenario,
                 f.initiator,
                 f.failed_link,
-            );
+            )
+            .expect("recoverable case: live initiator with a failed incident link");
             // All destinations against one session: phase 1 + one SPT.
             for &t in &dests {
                 black_box(session.recover(t));
@@ -118,7 +115,8 @@ fn bench_path_cache(c: &mut Criterion) {
                     &f.scenario,
                     f.initiator,
                     f.failed_link,
-                );
+                )
+                .expect("recoverable case: live initiator with a failed incident link");
                 black_box(session.recover(t));
             }
         })

@@ -25,14 +25,20 @@ fn bench_reports(c: &mut Criterion) {
     let mut g = c.benchmark_group("report_builders");
     g.bench_function("table2", |b| b.iter(|| black_box(reports::table2())));
     g.bench_function("fig7", |b| b.iter(|| black_box(reports::fig7(&results))));
-    g.bench_function("table3", |b| b.iter(|| black_box(reports::table3(&results))));
+    g.bench_function("table3", |b| {
+        b.iter(|| black_box(reports::table3(&results)))
+    });
     g.bench_function("fig8", |b| b.iter(|| black_box(reports::fig8(&results))));
     g.bench_function("fig9", |b| b.iter(|| black_box(reports::fig9(&results))));
     g.bench_function("fig10", |b| b.iter(|| black_box(reports::fig10(&results))));
     g.bench_function("fig12", |b| b.iter(|| black_box(reports::fig12(&results))));
     g.bench_function("fig13", |b| b.iter(|| black_box(reports::fig13(&results))));
-    g.bench_function("table4", |b| b.iter(|| black_box(reports::table4(&results))));
-    g.bench_function("headline", |b| b.iter(|| black_box(reports::headline(&results))));
+    g.bench_function("table4", |b| {
+        b.iter(|| black_box(reports::table4(&results)))
+    });
+    g.bench_function("headline", |b| {
+        b.iter(|| black_box(reports::headline(&results)))
+    });
     g.finish();
 }
 

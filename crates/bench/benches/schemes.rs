@@ -39,7 +39,8 @@ fn bench_full_rtr_case(c: &mut Criterion) {
                     &f.scenario,
                     f.initiator,
                     f.failed_link,
-                );
+                )
+                .expect("recoverable case: live initiator with a failed incident link");
                 black_box(session.recover(f.recoverable_dest))
             })
         });
@@ -90,5 +91,11 @@ fn bench_mrc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_phase1, bench_full_rtr_case, bench_fcp, bench_mrc);
+criterion_group!(
+    benches,
+    bench_phase1,
+    bench_full_rtr_case,
+    bench_fcp,
+    bench_mrc
+);
 criterion_main!(benches);

@@ -4,7 +4,9 @@
 #![forbid(unsafe_code)]
 
 use rtr_routing::RoutingTable;
-use rtr_topology::{isp, CrossLinkTable, FailureScenario, FullView, GraphView, LinkId, NodeId, Region, Topology};
+use rtr_topology::{
+    isp, CrossLinkTable, FailureScenario, FullView, GraphView, LinkId, NodeId, Region, Topology,
+};
 
 /// A ready-to-bench failure situation on one Table II twin.
 pub struct Fixture {
@@ -36,8 +38,7 @@ pub fn fixture(name: &str, radius: f64) -> Fixture {
         .synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
     let crosslinks = CrossLinkTable::new(&topo);
-    let scenario =
-        FailureScenario::from_region(&topo, &Region::circle((1000.0, 1000.0), radius));
+    let scenario = FailureScenario::from_region(&topo, &Region::circle((1000.0, 1000.0), radius));
     let (initiator, failed_link) = topo
         .node_ids()
         .find_map(|n| {
@@ -59,5 +60,13 @@ pub fn fixture(name: &str, radius: f64) -> Fixture {
         .node_ids()
         .find(|&t| t != initiator && rtr_topology::is_reachable(&topo, &scenario, initiator, t))
         .expect("something is reachable");
-    Fixture { topo, table, crosslinks, scenario, initiator, failed_link, recoverable_dest }
+    Fixture {
+        topo,
+        table,
+        crosslinks,
+        scenario,
+        initiator,
+        failed_link,
+        recoverable_dest,
+    }
 }

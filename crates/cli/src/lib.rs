@@ -95,7 +95,9 @@ pub fn parse_circle(spec: &str) -> Result<Region, String> {
         return Err(format!("--circle expects X,Y,R, got {spec}"));
     };
     let parse = |s: &str| -> Result<f64, String> {
-        s.trim().parse().map_err(|_| format!("bad number in --circle: {s}"))
+        s.trim()
+            .parse()
+            .map_err(|_| format!("bad number in --circle: {s}"))
     };
     let radius = parse(r)?;
     if !(radius.is_finite() && radius >= 0.0) {
@@ -110,7 +112,10 @@ fn parse_node(spec: &str, topo: &Topology) -> Result<NodeId, String> {
     if (id as usize) < topo.node_count() {
         Ok(NodeId(id))
     } else {
-        Err(format!("node {spec} out of range (topology has {} nodes)", topo.node_count()))
+        Err(format!(
+            "node {spec} out of range (topology has {} nodes)",
+            topo.node_count()
+        ))
     }
 }
 
@@ -118,8 +123,8 @@ fn topo_gen(args: &[String]) -> Result<(), String> {
     let nodes: usize = parse_flag(args, "--nodes")?.ok_or("--nodes is required")?;
     let links: usize = parse_flag(args, "--links")?.ok_or("--links is required")?;
     let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(0);
-    let topo = generate::isp_like(nodes, links, isp::AREA_EXTENT, seed)
-        .map_err(|e| e.to_string())?;
+    let topo =
+        generate::isp_like(nodes, links, isp::AREA_EXTENT, seed).map_err(|e| e.to_string())?;
     let text = isp::to_text(&topo);
     match flag(args, "--out") {
         Some(path) => {
@@ -132,7 +137,9 @@ fn topo_gen(args: &[String]) -> Result<(), String> {
 }
 
 fn topo_info(args: &[String]) -> Result<(), String> {
-    let spec = args.first().ok_or("usage: rtr topo info <AS-name | FILE>")?;
+    let spec = args
+        .first()
+        .ok_or("usage: rtr topo info <AS-name | FILE>")?;
     let topo = load_topology(spec)?;
     let crosslinks = CrossLinkTable::new(&topo);
     let degrees: Vec<usize> = topo.node_ids().map(|n| topo.degree(n)).collect();
@@ -155,7 +162,9 @@ fn topo_info(args: &[String]) -> Result<(), String> {
 }
 
 fn topo_render(args: &[String]) -> Result<(), String> {
-    let spec = args.first().ok_or("usage: rtr topo render <AS-name | FILE> [--out FILE.svg]")?;
+    let spec = args
+        .first()
+        .ok_or("usage: rtr topo render <AS-name | FILE> [--out FILE.svg]")?;
     let topo = load_topology(spec)?;
     let svg = rtr_eval::viz::SvgScene::new(&topo).render();
     let out = flag(args, "--out").unwrap_or_else(|| "topology.svg".into());
@@ -165,7 +174,9 @@ fn topo_render(args: &[String]) -> Result<(), String> {
 }
 
 fn fail(args: &[String]) -> Result<(), String> {
-    let spec = args.first().ok_or("usage: rtr fail <AS-name | FILE> --circle X,Y,R")?;
+    let spec = args
+        .first()
+        .ok_or("usage: rtr fail <AS-name | FILE> --circle X,Y,R")?;
     let topo = load_topology(spec)?;
     let region = parse_circle(&flag(args, "--circle").ok_or("--circle is required")?)?;
     let scenario = FailureScenario::from_region(&topo, &region);
@@ -214,11 +225,17 @@ fn recover(args: &[String]) -> Result<(), String> {
             return Ok(());
         }
         CaseKind::SourceFailed => return Err(format!("source {src} was destroyed")),
-        CaseKind::Recoverable { initiator, failed_link } => {
+        CaseKind::Recoverable {
+            initiator,
+            failed_link,
+        } => {
             println!("path {src} -> {dst} is broken; destination still reachable");
             (initiator, failed_link)
         }
-        CaseKind::Irrecoverable { initiator, failed_link } => {
+        CaseKind::Irrecoverable {
+            initiator,
+            failed_link,
+        } => {
             println!("path {src} -> {dst} is broken; destination unreachable (it should be discarded early)");
             (initiator, failed_link)
         }
@@ -228,14 +245,16 @@ fn recover(args: &[String]) -> Result<(), String> {
     match scheme.as_str() {
         "rtr" => {
             let crosslinks = CrossLinkTable::new(&topo);
-            let mut session = RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link);
+            let mut session =
+                RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+                    .expect("recoverable case: live initiator with a failed incident link");
             let p1 = session.phase1();
             println!(
                 "phase 1: {} hops in {}, collected {} failed links, {} cross links",
                 p1.trace.hops(),
                 p1.trace.duration(&DelayModel::PAPER),
-                p1.header.failed_links.len(),
-                p1.header.cross_links.len()
+                p1.header.failed_links().len(),
+                p1.header.cross_links().len()
             );
             let attempt = session.recover(dst);
             match (&attempt.path, attempt.is_delivered()) {
@@ -243,14 +262,20 @@ fn recover(args: &[String]) -> Result<(), String> {
                 (Some(path), false) => {
                     println!("phase 2: believed path {path} hit a missed failure; packet discarded")
                 }
-                (None, _) => println!("phase 2: no path in the repaired view; packet discarded at the initiator"),
+                (None, _) => println!(
+                    "phase 2: no path in the repaired view; packet discarded at the initiator"
+                ),
             }
         }
         "fcp" => {
             let a = fcp_route(&topo, &scenario, initiator, failed_link, dst);
             println!(
                 "FCP: {} after {} hops and {} shortest-path calculations",
-                if a.is_delivered() { "delivered" } else { "discarded" },
+                if a.is_delivered() {
+                    "delivered"
+                } else {
+                    "discarded"
+                },
                 a.hops(),
                 a.sp_calculations
             );
@@ -304,7 +329,9 @@ mod tests {
     #[test]
     fn unknown_commands_error_with_usage() {
         assert!(run(&sv(&[])).unwrap_err().contains("usage"));
-        assert!(run(&sv(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&sv(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(run(&sv(&["topo"])).unwrap_err().contains("gen|info|render"));
     }
 
@@ -314,8 +341,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("t.topo");
         let file_s = file.to_str().unwrap().to_string();
-        run(&sv(&["topo", "gen", "--nodes", "12", "--links", "20", "--seed", "3", "--out", &file_s]))
-            .unwrap();
+        run(&sv(&[
+            "topo", "gen", "--nodes", "12", "--links", "20", "--seed", "3", "--out", &file_s,
+        ]))
+        .unwrap();
         run(&sv(&["topo", "info", &file_s])).unwrap();
         let loaded = load_topology(&file_s).unwrap();
         assert_eq!(loaded.node_count(), 12);
@@ -340,9 +369,7 @@ mod tests {
         let Some((s, t)) = topo
             .node_ids()
             .flat_map(|s| topo.node_ids().map(move |t| (s, t)))
-            .find(|&(s, t)| {
-                s != t && matches!(net.classify(s, t), CaseKind::Recoverable { .. })
-            })
+            .find(|&(s, t)| s != t && matches!(net.classify(s, t), CaseKind::Recoverable { .. }))
         else {
             panic!("fixture should contain a recoverable pair");
         };
@@ -363,8 +390,16 @@ mod tests {
         }
         // Unknown scheme errors.
         assert!(run(&sv(&[
-            "recover", "AS1239", "--circle", "1000,1000,250", "--from", "v0", "--to", "v1",
-            "--scheme", "carrier-pigeon"
+            "recover",
+            "AS1239",
+            "--circle",
+            "1000,1000,250",
+            "--from",
+            "v0",
+            "--to",
+            "v1",
+            "--scheme",
+            "carrier-pigeon"
         ]))
         .is_err());
     }

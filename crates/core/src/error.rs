@@ -1,0 +1,113 @@
+//! Typed errors for the RTR recovery pipeline.
+//!
+//! The forwarding hot path must never panic (a recovery scheme that crashes
+//! a router is worse than the failure it recovers from), so every condition
+//! that used to be an assertion is a variant here and propagates as a
+//! `Result` through [`crate::collect_failure_info`] and
+//! [`crate::RtrSession::start`].
+
+use rtr_topology::{LinkId, NodeId};
+
+/// Why a phase-1 collection walk could not start or could not continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase1Error {
+    /// The named failed default link is not incident to the initiator; the
+    /// initiator cannot have observed its failure locally.
+    LinkNotIncident {
+        /// The would-be recovery initiator.
+        initiator: NodeId,
+        /// The link that is not one of the initiator's incident links.
+        link: LinkId,
+    },
+    /// The named default link is still usable in the initiator's view:
+    /// there is nothing to recover from.
+    LinkStillUsable {
+        /// The link that is still usable.
+        link: LinkId,
+    },
+    /// The initiator has no live neighbor at all: no collection packet can
+    /// leave it, so phase 1 cannot run (let alone recover anything).
+    NoLiveNeighbor {
+        /// The isolated recovery initiator.
+        initiator: NodeId,
+    },
+    /// The initiator has no failed incident link, so the thorough variant
+    /// has no sweep to run (see [`crate::phase1::collect_failure_info_thorough`]).
+    NoFailedIncidentLink {
+        /// The initiator with only live incident links.
+        initiator: NodeId,
+    },
+    /// Mid-walk, a node had no eligible candidate. Under a static failure
+    /// scenario the previous hop is always eligible, so this indicates an
+    /// inconsistent [`rtr_topology::GraphView`]; it is reported instead of
+    /// panicking so a scenario bug cannot take the simulation down.
+    WalkStuck {
+        /// The node where the sweep found no candidate.
+        at: NodeId,
+    },
+}
+
+impl std::fmt::Display for Phase1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Phase1Error::LinkNotIncident { initiator, link } => {
+                write!(
+                    f,
+                    "failed default link {link} is not incident to initiator {initiator}"
+                )
+            }
+            Phase1Error::LinkStillUsable { link } => {
+                write!(
+                    f,
+                    "default link {link} is still usable; nothing to recover from"
+                )
+            }
+            Phase1Error::NoLiveNeighbor { initiator } => {
+                write!(
+                    f,
+                    "initiator {initiator} has no live neighbor; phase 1 cannot start"
+                )
+            }
+            Phase1Error::NoFailedIncidentLink { initiator } => {
+                write!(
+                    f,
+                    "initiator {initiator} has no failed incident link; nothing to collect"
+                )
+            }
+            Phase1Error::WalkStuck { at } => {
+                write!(
+                    f,
+                    "collection walk stuck at {at}: no eligible candidate (inconsistent view?)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Phase1Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_actors() {
+        let e = Phase1Error::LinkNotIncident {
+            initiator: NodeId(3),
+            link: LinkId(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("e7") && s.contains("v3"), "got: {s}");
+        assert!(Phase1Error::NoLiveNeighbor {
+            initiator: NodeId(1)
+        }
+        .to_string()
+        .contains("no live neighbor"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Phase1Error::WalkStuck { at: NodeId(0) });
+    }
+}

@@ -39,21 +39,24 @@
 //! // Node 11 (west of the centre) loses its eastward next hop; recover.
 //! let initiator = NodeId(11);
 //! let failed = topo.link_between(initiator, NodeId(12)).unwrap();
-//! let mut session = RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed);
+//! let mut session = RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed)?;
 //! assert!(session.phase1().is_complete());
 //! let attempt = session.recover(NodeId(13)); // the node east of the dead centre
 //! assert!(attempt.is_delivered());
+//! # Ok::<(), rtr_core::Phase1Error>(())
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod multi;
 pub mod phase1;
 pub mod phase2;
 pub mod recovery;
 pub mod sweep;
 
+pub use error::Phase1Error;
 pub use multi::{recover_multi_area, MultiAreaOutcome};
 pub use phase1::{collect_failure_info, Phase1Result, Phase1Termination};
 pub use phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer};

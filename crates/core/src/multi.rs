@@ -14,6 +14,7 @@
 //! what it collects, recomputes, and forwards again. Every encounter adds
 //! at least one new link to the carried set, so the chain terminates.
 
+use crate::error::Phase1Error;
 use crate::phase1::collect_failure_info;
 use crate::phase2::DeliveryOutcome;
 use rtr_routing::{IncrementalSpt, SourceRoute};
@@ -47,10 +48,11 @@ impl MultiAreaOutcome {
 /// set grows every round, so `topo.link_count()` is a safe upper bound;
 /// pass a small number to model a hop-budget).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `failed_link` is not incident to `initiator` or is usable in
-/// `view` (same contract as [`crate::phase1::collect_failure_info`]).
+/// Same contract as [`crate::phase1::collect_failure_info`]: the initial
+/// `failed_link` must be a failed link incident to `initiator`, and every
+/// chained initiator must have a live neighbor.
 pub fn recover_multi_area(
     topo: &Topology,
     crosslinks: &CrossLinkTable,
@@ -59,7 +61,7 @@ pub fn recover_multi_area(
     failed_link: LinkId,
     dest: NodeId,
     max_sessions: usize,
-) -> MultiAreaOutcome {
+) -> Result<MultiAreaOutcome, Phase1Error> {
     let mut carried = LinkIdSet::new();
     let mut trace = ForwardingTrace::start(initiator, 0);
     let mut cur_initiator = initiator;
@@ -70,11 +72,11 @@ pub fn recover_multi_area(
         sessions += 1;
 
         // Phase 1 at the current initiator.
-        let p1 = collect_failure_info(topo, crosslinks, view, cur_initiator, cur_failed);
+        let p1 = collect_failure_info(topo, crosslinks, view, cur_initiator, cur_failed)?;
         if p1.trace.hops() > 0 {
             trace.extend_with(&p1.trace);
         }
-        for l in &p1.header.failed_links {
+        for l in p1.header.failed_links() {
             carried.insert(l);
         }
         for &(_, l) in topo.neighbors(cur_initiator) {
@@ -87,35 +89,39 @@ pub fn recover_multi_area(
         let mut spt = IncrementalSpt::new(topo, cur_initiator);
         spt.remove_links(carried.iter());
         let Some(path) = spt.path_to(dest) else {
-            return MultiAreaOutcome {
+            return Ok(MultiAreaOutcome {
                 outcome: DeliveryOutcome::NoPath,
                 sessions,
                 trace,
                 carried,
-            };
+            });
         };
 
         // Source-route along the believed path until delivery or the next
         // failure encounter.
         let mut route = SourceRoute::from_path(&path);
         let mut encounter: Option<(NodeId, LinkId)> = None;
-        for (i, &l) in path.links().iter().enumerate() {
-            let from = path.nodes()[i];
+        for ((&l, &from), &to) in path
+            .links()
+            .iter()
+            .zip(path.nodes())
+            .zip(path.nodes().iter().skip(1))
+        {
             if !view.is_link_usable(topo, l) {
                 encounter = Some((from, l));
                 break;
             }
             route.advance();
-            trace.record_hop(path.nodes()[i + 1], carried.header_bytes() + route.header_bytes());
+            trace.record_hop(to, carried.header_bytes() + route.header_bytes());
         }
         match encounter {
             None => {
-                return MultiAreaOutcome {
+                return Ok(MultiAreaOutcome {
                     outcome: DeliveryOutcome::Delivered,
                     sessions,
                     trace,
                     carried,
-                };
+                });
             }
             Some((at, l)) => {
                 // §III-E: the node that hit the next area becomes the new
@@ -127,12 +133,14 @@ pub fn recover_multi_area(
         }
     }
 
-    MultiAreaOutcome {
-        outcome: DeliveryOutcome::HitFailure { at_link: cur_failed },
+    Ok(MultiAreaOutcome {
+        outcome: DeliveryOutcome::HitFailure {
+            at_link: cur_failed,
+        },
         sessions,
         trace,
         carried,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -141,10 +149,7 @@ mod tests {
     use crate::recovery::RtrSession;
     use rtr_topology::{generate, FailureScenario, Region};
 
-    fn entry_point(
-        topo: &Topology,
-        s: &FailureScenario,
-    ) -> Option<(NodeId, LinkId)> {
+    fn entry_point(topo: &Topology, s: &FailureScenario) -> Option<(NodeId, LinkId)> {
         topo.node_ids().find_map(|n| {
             if s.is_node_failed(n) {
                 return None;
@@ -182,16 +187,19 @@ mod tests {
         let (topo, s, initiator, failed) =
             scenario_with_entry(&Region::circle((1000.0, 1000.0), 250.0), 30, 70);
         let xl = CrossLinkTable::new(&topo);
-        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed);
+        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed).unwrap();
         for dest in topo.node_ids() {
             if dest == initiator {
                 continue;
             }
             let plain = session.recover(dest);
-            let multi = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 16);
+            let multi = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 16).unwrap();
             // Multi-area recovery delivers at least whatever plain RTR does.
             if plain.is_delivered() {
-                assert!(multi.is_delivered(), "multi-area must not regress at {dest}");
+                assert!(
+                    multi.is_delivered(),
+                    "multi-area must not regress at {dest}"
+                );
                 assert_eq!(multi.sessions, 1, "one area needs one session");
             }
         }
@@ -208,13 +216,13 @@ mod tests {
 
         let mut plain_failures = 0;
         let mut multi_rescues = 0;
-        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed);
+        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed).unwrap();
         for dest in topo.node_ids() {
             if dest == initiator || !rtr_topology::is_reachable(&topo, &s, initiator, dest) {
                 continue;
             }
             let plain = session.recover(dest);
-            let multi = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 32);
+            let multi = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 32).unwrap();
             assert!(
                 multi.is_delivered(),
                 "reachable destination {dest} must be recovered by the chain"
@@ -235,7 +243,7 @@ mod tests {
         let xl = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_parts(&topo, [NodeId(2)], []);
         let failed = topo.link_between(NodeId(1), NodeId(2)).unwrap();
-        let out = recover_multi_area(&topo, &xl, &s, NodeId(1), failed, NodeId(3), 8);
+        let out = recover_multi_area(&topo, &xl, &s, NodeId(1), failed, NodeId(3), 8).unwrap();
         assert_eq!(out.outcome, DeliveryOutcome::NoPath);
         assert!(!out.is_delivered());
     }
@@ -252,7 +260,7 @@ mod tests {
             if dest == initiator {
                 continue;
             }
-            let out = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 3);
+            let out = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 3).unwrap();
             assert!(out.sessions <= 3);
         }
     }
@@ -271,9 +279,12 @@ mod tests {
             if dest == initiator {
                 continue;
             }
-            let out = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 16);
+            let out = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 16).unwrap();
             for l in &out.carried {
-                assert!(!s.is_link_usable(&topo, l), "live link {l} carried as failed");
+                assert!(
+                    !s.is_link_usable(&topo, l),
+                    "live link {l} carried as failed"
+                );
             }
         }
     }

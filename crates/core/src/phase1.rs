@@ -16,6 +16,7 @@
 //! The walk terminates when the packet returns to the initiator and the
 //! initiator's sweep re-selects its original first hop (§III-C step 3).
 
+use crate::error::Phase1Error;
 use crate::sweep::select_next_hop;
 use rtr_sim::{CollectionHeader, ForwardingTrace};
 use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
@@ -26,8 +27,6 @@ pub enum Phase1Termination {
     /// The packet returned to the initiator and the sweep re-selected the
     /// first hop: the loop around the failure area is complete.
     Completed,
-    /// The initiator had no live neighbor at all; no packet could be sent.
-    InitiatorIsolated,
     /// The step budget was exhausted — never expected (Theorem 1); kept as
     /// a defensive bound so a bug cannot hang the simulation.
     StepBudgetExhausted,
@@ -43,8 +42,8 @@ pub struct Phase1Result {
     pub trace: ForwardingTrace,
     /// How the walk ended.
     pub termination: Phase1Termination,
-    /// The first hop selected by the initiator, if any.
-    pub first_hop: Option<(NodeId, LinkId)>,
+    /// The first hop selected by the initiator.
+    pub first_hop: (NodeId, LinkId),
 }
 
 impl Phase1Result {
@@ -61,25 +60,33 @@ impl Phase1Result {
 /// hop; nothing is read globally: every decision uses only the local
 /// liveness of the current node's incident links plus the packet header).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `failed_default_link` is not incident to `initiator` or is
-/// still usable in `view` (there would be nothing to recover from).
+/// * [`Phase1Error::LinkNotIncident`] / [`Phase1Error::LinkStillUsable`]
+///   when the claimed failed default link is not one the initiator could
+///   have observed failing (there would be nothing to recover from);
+/// * [`Phase1Error::NoLiveNeighbor`] when the initiator is fully isolated
+///   and no collection packet can be sent;
+/// * [`Phase1Error::WalkStuck`] when `view` is inconsistent mid-walk
+///   (impossible under a static scenario).
 pub fn collect_failure_info(
     topo: &Topology,
     crosslinks: &CrossLinkTable,
     view: &impl GraphView,
     initiator: NodeId,
     failed_default_link: LinkId,
-) -> Phase1Result {
-    assert!(
-        topo.link(failed_default_link).is_incident_to(initiator),
-        "the failed default link must be incident to the initiator"
-    );
-    assert!(
-        !view.is_link_usable(topo, failed_default_link),
-        "phase 1 starts only when the default next hop is unreachable"
-    );
+) -> Result<Phase1Result, Phase1Error> {
+    if !topo.link(failed_default_link).is_incident_to(initiator) {
+        return Err(Phase1Error::LinkNotIncident {
+            initiator,
+            link: failed_default_link,
+        });
+    }
+    if view.is_link_usable(topo, failed_default_link) {
+        return Err(Phase1Error::LinkStillUsable {
+            link: failed_default_link,
+        });
+    }
 
     let mut header = CollectionHeader::new(initiator);
 
@@ -87,7 +94,7 @@ pub fn collect_failure_info(
     // unreachable neighbors that cross other links (Constraint 1).
     for &(_, l) in topo.neighbors(initiator) {
         if !view.is_link_usable(topo, l) && !crosslinks.is_cross_free(l) {
-            header.cross_links.insert(l);
+            header.record_cross_link(l);
         }
     }
 
@@ -95,14 +102,15 @@ pub fn collect_failure_info(
 
     // First hop: sweep from the failed default next hop.
     let sweep_ref = topo.link(failed_default_link).other_end(initiator);
-    let Some(first_hop) = select_next_hop(topo, crosslinks, view, initiator, sweep_ref, &header.cross_links)
-    else {
-        return Phase1Result {
-            header,
-            trace,
-            termination: Phase1Termination::InitiatorIsolated,
-            first_hop: None,
-        };
+    let Some(first_hop) = select_next_hop(
+        topo,
+        crosslinks,
+        view,
+        initiator,
+        sweep_ref,
+        header.cross_links(),
+    ) else {
+        return Err(Phase1Error::NoLiveNeighbor { initiator });
     };
     record_selection_crossing(crosslinks, &mut header, first_hop.1);
 
@@ -117,19 +125,20 @@ pub fn collect_failure_info(
         if cur == initiator {
             // §III-C step 3: the initiator re-selects; if the selection is
             // the first hop, the loop around the failure area is closed.
-            let Some(next) = select_next_hop(topo, crosslinks, view, cur, prev, &header.cross_links)
+            let Some(next) =
+                select_next_hop(topo, crosslinks, view, cur, prev, header.cross_links())
             else {
-                // The only live neighbor vanished mid-walk cannot happen in
-                // a static scenario: the previous hop is always eligible.
-                unreachable!("previous hop is always an eligible candidate");
+                // A live neighbor vanishing mid-walk cannot happen in a
+                // static scenario: the previous hop is always eligible.
+                return Err(Phase1Error::WalkStuck { at: cur });
             };
             if next == first_hop {
-                return Phase1Result {
+                return Ok(Phase1Result {
                     header,
                     trace,
                     termination: Phase1Termination::Completed,
-                    first_hop: Some(first_hop),
-                };
+                    first_hop,
+                });
             }
             record_selection_crossing(crosslinks, &mut header, next.1);
             prev = cur;
@@ -141,17 +150,14 @@ pub fn collect_failure_info(
         // §III-C step 2: record this node's failed incident links, except
         // links incident to the initiator (it already knows those).
         for &(_, l) in topo.neighbors(cur) {
-            if !view.is_link_usable(topo, l)
-                && !topo.link(l).is_incident_to(initiator)
-                && !header.failed_links.contains(l)
-            {
-                header.failed_links.insert(l);
+            if !view.is_link_usable(topo, l) && !topo.link(l).is_incident_to(initiator) {
+                header.record_failed_link(l);
             }
         }
 
-        let Some(next) = select_next_hop(topo, crosslinks, view, cur, prev, &header.cross_links)
+        let Some(next) = select_next_hop(topo, crosslinks, view, cur, prev, header.cross_links())
         else {
-            unreachable!("previous hop is always an eligible candidate");
+            return Err(Phase1Error::WalkStuck { at: cur });
         };
         record_selection_crossing(crosslinks, &mut header, next.1);
         prev = cur;
@@ -159,12 +165,12 @@ pub fn collect_failure_info(
         trace.record_hop(cur, header.overhead_bytes());
     }
 
-    Phase1Result {
+    Ok(Phase1Result {
         header,
         trace,
         termination: Phase1Termination::StepBudgetExhausted,
-        first_hop: Some(first_hop),
-    }
+        first_hop,
+    })
 }
 
 /// Constraint 2 bookkeeping: after selecting `link`, if some link crossing
@@ -175,15 +181,15 @@ fn record_selection_crossing(
     header: &mut CollectionHeader,
     link: LinkId,
 ) {
-    if header.cross_links.contains(link) {
+    if header.cross_links().contains(link) {
         return;
     }
     let threatened = crosslinks
         .crossings_of(link)
         .iter()
-        .any(|&other| !crate::sweep::is_excluded(crosslinks, other, &header.cross_links));
+        .any(|&other| !crate::sweep::is_excluded(crosslinks, other, header.cross_links()));
     if threatened {
-        header.cross_links.insert(link);
+        header.record_cross_link(link);
     }
 }
 
@@ -217,7 +223,7 @@ mod tests {
         let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
         // v1's spoke to the hub failed; v1 initiates.
         let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
-        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke).unwrap();
         assert!(r.is_complete());
         // The walk visits every rim node and returns to v1.
         let visited: std::collections::HashSet<NodeId> = r.trace.nodes().collect();
@@ -226,15 +232,15 @@ mod tests {
         }
         assert_eq!(r.trace.current_node(), NodeId(1));
         // All spokes except v1's own are collected.
-        assert_eq!(r.header.failed_links.len(), 5);
+        assert_eq!(r.header.failed_links().len(), 5);
         for i in 2..=6u32 {
             let l = topo.link_between(NodeId(i), NodeId(0)).unwrap();
-            assert!(r.header.failed_links.contains(l), "spoke of v{i} missing");
+            assert!(r.header.failed_links().contains(l), "spoke of v{i} missing");
         }
         // v1's own spoke is not recorded (the initiator knows it).
-        assert!(!r.header.failed_links.contains(spoke));
+        assert!(!r.header.failed_links().contains(spoke));
         // Planar wheel: no cross links recorded.
-        assert!(r.header.cross_links.is_empty());
+        assert!(r.header.cross_links().is_empty());
     }
 
     #[test]
@@ -243,44 +249,53 @@ mod tests {
         let xl = CrossLinkTable::new(&topo);
         let rim = topo.link_between(NodeId(1), NodeId(2)).unwrap();
         let s = FailureScenario::single_link(&topo, rim);
-        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), rim);
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), rim).unwrap();
         assert!(r.is_complete());
         // The only failed link is incident to the initiator: nothing to
         // record, and the initiator can see it locally.
-        assert!(r.header.failed_links.is_empty());
+        assert!(r.header.failed_links().is_empty());
     }
 
     #[test]
-    fn isolated_initiator_terminates_immediately() {
+    fn isolated_initiator_is_a_typed_error() {
         let topo = wheel6();
         let xl = CrossLinkTable::new(&topo);
         // Everything around v1 dead.
         let s = FailureScenario::from_parts(&topo, [NodeId(0), NodeId(2), NodeId(6)], []);
         let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
         let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
-        assert_eq!(r.termination, Phase1Termination::InitiatorIsolated);
-        assert_eq!(r.trace.hops(), 0);
-        assert!(r.first_hop.is_none());
+        assert_eq!(
+            r.unwrap_err(),
+            Phase1Error::NoLiveNeighbor {
+                initiator: NodeId(1)
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "default next hop is unreachable")]
     fn rejects_live_default_link() {
         let topo = wheel6();
         let xl = CrossLinkTable::new(&topo);
         let s = FailureScenario::none(&topo);
         let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
-        let _ = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+        assert_eq!(r.unwrap_err(), Phase1Error::LinkStillUsable { link: spoke });
     }
 
     #[test]
-    #[should_panic(expected = "incident to the initiator")]
     fn rejects_non_incident_link() {
         let topo = wheel6();
         let xl = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
         let far = topo.link_between(NodeId(3), NodeId(4)).unwrap();
-        let _ = collect_failure_info(&topo, &xl, &s, NodeId(1), far);
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), far);
+        assert_eq!(
+            r.unwrap_err(),
+            Phase1Error::LinkNotIncident {
+                initiator: NodeId(1),
+                link: far
+            }
+        );
     }
 
     #[test]
@@ -289,9 +304,12 @@ mod tests {
         let xl = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
         let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
-        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke);
+        let r = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke).unwrap();
         let bytes: Vec<usize> = r.trace.steps().iter().map(|s| s.header_bytes).collect();
-        assert!(bytes.windows(2).all(|w| w[0] <= w[1]), "header only grows in phase 1");
+        assert!(
+            bytes.windows(2).all(|w| w[0] <= w[1]),
+            "header only grows in phase 1"
+        );
         assert_eq!(*bytes.last().unwrap(), r.header.overhead_bytes());
     }
 
@@ -321,13 +339,16 @@ mod tests {
         let topo = b.build().unwrap();
         let xl = CrossLinkTable::new(&topo);
         let failed = topo.link_between(v0, v1).unwrap();
-        assert!(xl.crosses(chord, failed), "fixture: chord crosses the failed link");
+        assert!(
+            xl.crosses(chord, failed),
+            "fixture: chord crosses the failed link"
+        );
 
         let s = FailureScenario::single_link(&topo, failed);
-        let r = collect_failure_info(&topo, &xl, &s, v0, failed);
+        let r = collect_failure_info(&topo, &xl, &s, v0, failed).unwrap();
         assert!(r.is_complete());
         // Constraint 1 seeded cross_link with the failed link.
-        assert!(r.header.cross_links.contains(failed));
+        assert!(r.header.cross_links().contains(failed));
         // The chord was never traversed.
         let hops: Vec<NodeId> = r.trace.nodes().collect();
         for w in hops.windows(2) {
@@ -356,35 +377,42 @@ pub struct ThoroughCollection {
 /// Each sweep is the unmodified single-walk protocol, so soundness
 /// (E1 ⊆ E2) is preserved; coverage grows at the price of `total_hops`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the initiator has no unreachable neighbor (there is nothing
-/// to recover from).
+/// [`Phase1Error::NoFailedIncidentLink`] when the initiator has no
+/// unreachable neighbor (there is nothing to recover from), plus every
+/// error the underlying single-sweep walk can report.
 pub fn collect_failure_info_thorough(
     topo: &Topology,
     crosslinks: &CrossLinkTable,
     view: &impl GraphView,
     initiator: NodeId,
-) -> ThoroughCollection {
+) -> Result<ThoroughCollection, Phase1Error> {
     let dead: Vec<LinkId> = topo
         .neighbors(initiator)
         .iter()
         .filter(|&&(_, l)| !view.is_link_usable(topo, l))
         .map(|&(_, l)| l)
         .collect();
-    assert!(!dead.is_empty(), "thorough collection needs an unreachable neighbor");
+    if dead.is_empty() {
+        return Err(Phase1Error::NoFailedIncidentLink { initiator });
+    }
 
     let mut header = CollectionHeader::new(initiator);
     let mut total_hops = 0;
     for &l in &dead {
-        let r = collect_failure_info(topo, crosslinks, view, initiator, l);
+        let r = collect_failure_info(topo, crosslinks, view, initiator, l)?;
         total_hops += r.trace.hops();
-        for f in &r.header.failed_links {
-            header.failed_links.insert(f);
+        for f in r.header.failed_links() {
+            header.record_failed_link(f);
         }
-        for c in &r.header.cross_links {
-            header.cross_links.insert(c);
+        for c in r.header.cross_links() {
+            header.record_cross_link(c);
         }
     }
-    ThoroughCollection { header, total_hops, sweeps: dead.len() }
+    Ok(ThoroughCollection {
+        header,
+        total_hops,
+        sweeps: dead.len(),
+    })
 }

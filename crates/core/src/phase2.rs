@@ -36,7 +36,7 @@ impl<'a> RecoveryComputer<'a> {
         header: &CollectionHeader,
     ) -> Self {
         let mut removed = LinkIdSet::new();
-        for l in &header.failed_links {
+        for l in header.failed_links() {
             removed.insert(l);
         }
         for &(_, l) in topo.neighbors(initiator) {
@@ -75,11 +75,13 @@ impl<'a> RecoveryComputer<'a> {
     /// initiator's view has no route (the packet is discarded on arrival).
     /// Results are cached per destination (§III-D).
     pub fn recovery_path(&mut self, dest: NodeId) -> Option<Path> {
-        if let Some(cached) = &self.cache[dest.index()] {
+        if let Some(cached) = self.cache.get(dest.index()).and_then(Option::as_ref) {
             return cached.clone();
         }
         let path = self.spt.path_to(dest);
-        self.cache[dest.index()] = Some(path.clone());
+        if let Some(slot) = self.cache.get_mut(dest.index()) {
+            *slot = Some(path.clone());
+        }
         path
     }
 
@@ -115,18 +117,21 @@ pub fn source_route_walk(
     path: Option<&Path>,
 ) -> (DeliveryOutcome, ForwardingTrace) {
     let Some(path) = path else {
-        return (DeliveryOutcome::NoPath, ForwardingTrace::start(initiator, 0));
+        return (
+            DeliveryOutcome::NoPath,
+            ForwardingTrace::start(initiator, 0),
+        );
     };
     debug_assert_eq!(path.source(), initiator);
     let mut route = SourceRoute::from_path(path);
     let mut trace = ForwardingTrace::start(initiator, route.header_bytes());
     let mut cur = initiator;
-    for (i, &l) in path.links().iter().enumerate() {
+    for (&l, &next) in path.links().iter().zip(path.nodes().iter().skip(1)) {
         if !view.is_link_usable(topo, l) {
             return (DeliveryOutcome::HitFailure { at_link: l }, trace);
         }
         route.advance();
-        cur = path.nodes()[i + 1];
+        cur = next;
         trace.record_hop(cur, route.header_bytes());
     }
     debug_assert_eq!(cur, path.dest());
@@ -148,8 +153,7 @@ mod tests {
     fn header_with(topo: &rtr_topology::Topology, links: &[(u32, u32)]) -> CollectionHeader {
         let mut h = CollectionHeader::new(NodeId(3));
         for &(a, b) in links {
-            h.failed_links
-                .insert(topo.link_between(NodeId(a), NodeId(b)).unwrap());
+            h.record_failed_link(topo.link_between(NodeId(a), NodeId(b)).unwrap());
         }
         h
     }

@@ -3,6 +3,7 @@
 //! that initiator (§III-A: "The first phase of RTR needs to run only once
 //! at a recovery initiator and can benefit all destinations").
 
+use crate::error::Phase1Error;
 use crate::phase1::{collect_failure_info, Phase1Result};
 use crate::phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer};
 use rtr_routing::Path;
@@ -44,20 +45,27 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
     /// walk, merges the collected failures with the initiator's local
     /// knowledge, and computes the recovery SPT.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `failed_default_link` is not incident to `initiator` or
-    /// is still usable in `view`.
+    /// Everything [`collect_failure_info`] reports: a precondition
+    /// violation ([`Phase1Error::LinkNotIncident`],
+    /// [`Phase1Error::LinkStillUsable`]) or an initiator with no live
+    /// neighbor ([`Phase1Error::NoLiveNeighbor`]).
     pub fn start(
         topo: &'a Topology,
         crosslinks: &CrossLinkTable,
         view: &'a V,
         initiator: NodeId,
         failed_default_link: LinkId,
-    ) -> Self {
-        let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link);
+    ) -> Result<Self, Phase1Error> {
+        let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link)?;
         let computer = RecoveryComputer::new(topo, view, initiator, &phase1.header);
-        RtrSession { topo, view, phase1, computer }
+        Ok(RtrSession {
+            topo,
+            view,
+            phase1,
+            computer,
+        })
     }
 
     /// The recovery initiator.
@@ -85,8 +93,13 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
     /// truth.
     pub fn recover(&mut self, dest: NodeId) -> RecoveryAttempt {
         let path = self.computer.recovery_path(dest);
-        let (outcome, trace) = source_route_walk(self.topo, self.view, self.initiator(), path.as_ref());
-        RecoveryAttempt { outcome, path, trace }
+        let (outcome, trace) =
+            source_route_walk(self.topo, self.view, self.initiator(), path.as_ref());
+        RecoveryAttempt {
+            outcome,
+            path,
+            trace,
+        }
     }
 
     /// Access to the underlying recovery computer (for extensions such as
@@ -105,7 +118,7 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
     ///
     /// Returns the session plus the total hops across all sweeps.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// Same contract as [`RtrSession::start`].
     pub fn start_thorough(
@@ -114,12 +127,21 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
         view: &'a V,
         initiator: NodeId,
         failed_default_link: LinkId,
-    ) -> (Self, usize) {
-        let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link);
-        let thorough = crate::phase1::collect_failure_info_thorough(topo, crosslinks, view, initiator);
+    ) -> Result<(Self, usize), Phase1Error> {
+        let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link)?;
+        let thorough =
+            crate::phase1::collect_failure_info_thorough(topo, crosslinks, view, initiator)?;
         let computer = RecoveryComputer::new(topo, view, initiator, &thorough.header);
         let total_hops = thorough.total_hops;
-        (RtrSession { topo, view, phase1, computer }, total_hops)
+        Ok((
+            RtrSession {
+                topo,
+                view,
+                phase1,
+                computer,
+            },
+            total_hops,
+        ))
     }
 }
 
@@ -146,7 +168,7 @@ mod tests {
         let xl = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
         let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
-        let mut session = RtrSession::start(&topo, &xl, &s, NodeId(1), spoke);
+        let mut session = RtrSession::start(&topo, &xl, &s, NodeId(1), spoke).unwrap();
         assert!(session.phase1().is_complete());
         assert_eq!(session.initiator(), NodeId(1));
 
@@ -174,7 +196,7 @@ mod tests {
         let xl = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_parts(&topo, [NodeId(2)], []);
         let failed = topo.link_between(NodeId(1), NodeId(2)).unwrap();
-        let mut session = RtrSession::start(&topo, &xl, &s, NodeId(1), failed);
+        let mut session = RtrSession::start(&topo, &xl, &s, NodeId(1), failed).unwrap();
         let attempt = session.recover(NodeId(3));
         assert_eq!(attempt.outcome, DeliveryOutcome::NoPath);
         assert_eq!(attempt.trace.hops(), 0);
@@ -204,7 +226,7 @@ mod tests {
             .find(|&&(_, l)| !s.is_neighbor_reachable(&topo, initiator, l))
             .map(|&(_, l)| l)
             .unwrap();
-        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed);
+        let mut session = RtrSession::start(&topo, &xl, &s, initiator, failed).unwrap();
         assert!(session.phase1().is_complete());
 
         // Every delivered recovery is optimal (Theorem 2).

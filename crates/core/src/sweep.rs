@@ -138,11 +138,8 @@ mod tests {
         let topo = compass();
         let xl = CrossLinkTable::new(&topo);
         let none = LinkIdSet::new();
-        let s = FailureScenario::from_parts(
-            &topo,
-            [NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
-            [],
-        );
+        let s =
+            FailureScenario::from_parts(&topo, [NodeId(1), NodeId(2), NodeId(3), NodeId(4)], []);
         assert_eq!(
             select_next_hop(&topo, &xl, &s, NodeId(0), NodeId(1), &none),
             None
@@ -167,12 +164,14 @@ mod tests {
         b.add_link(v0, v5, 1).unwrap();
         let topo = b.build().unwrap();
         let xl = CrossLinkTable::new(&topo);
-        assert!(xl.crosses(candidate, barrier), "fixture: v0-v2 crosses v3-v4");
+        assert!(
+            xl.crosses(candidate, barrier),
+            "fixture: v0-v2 crosses v3-v4"
+        );
 
         let mut excluded = LinkIdSet::new();
         excluded.insert(barrier);
-        let (nbr, _) =
-            select_next_hop(&topo, &xl, &FullView, v0, v1, &excluded).unwrap();
+        let (nbr, _) = select_next_hop(&topo, &xl, &FullView, v0, v1, &excluded).unwrap();
         assert_eq!(nbr, v5, "crossing candidate must be skipped");
 
         // Without the exclusion, v2 wins the sweep.
@@ -224,8 +223,7 @@ mod tests {
         b.add_link(hub, far, 1).unwrap();
         let topo = b.build().unwrap();
         let xl = CrossLinkTable::new(&topo);
-        let (nbr, _) =
-            select_next_hop(&topo, &xl, &FullView, hub, r, &LinkIdSet::new()).unwrap();
+        let (nbr, _) = select_next_hop(&topo, &xl, &FullView, hub, r, &LinkIdSet::new()).unwrap();
         assert_eq!(nbr, near);
     }
 }

@@ -48,7 +48,7 @@ proptest! {
         let crosslinks = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
         for (initiator, failed) in entry_points(&topo, &s) {
-            let session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed);
+            let session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed).unwrap();
             prop_assert_ne!(
                 session.phase1().termination,
                 Phase1Termination::StepBudgetExhausted,
@@ -74,8 +74,8 @@ proptest! {
         let crosslinks = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
         for (initiator, failed) in entry_points(&topo, &s) {
-            let session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed);
-            for l in &session.phase1().header.failed_links {
+            let session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed).unwrap();
+            for l in session.phase1().header.failed_links() {
                 prop_assert!(
                     !s.is_link_usable(&topo, l),
                     "live link {l} labelled as failed"
@@ -103,7 +103,7 @@ proptest! {
         let crosslinks = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
         for (initiator, failed) in entry_points(&topo, &s).into_iter().take(3) {
-            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed);
+            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed).unwrap();
             for dest in topo.node_ids() {
                 if dest == initiator {
                     continue;
@@ -142,7 +142,7 @@ proptest! {
                 }
                 match net.classify(src, dest) {
                     CaseKind::Recoverable { initiator, failed_link: fl } => {
-                        let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, fl);
+                        let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, fl).unwrap();
                         let attempt = session.recover(dest);
                         prop_assert!(
                             attempt.is_delivered(),
@@ -176,7 +176,7 @@ proptest! {
         let crosslinks = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
         for (initiator, failed) in entry_points(&topo, &s).into_iter().take(4) {
-            let session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed);
+            let session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed).unwrap();
             let nodes: Vec<NodeId> = session.phase1().trace.nodes().collect();
             for w in nodes.windows(2) {
                 let l = topo.link_between(w[0], w[1])
@@ -209,7 +209,7 @@ proptest! {
         ]);
         let s = FailureScenario::from_region(&topo, &region);
         for (initiator, failed) in entry_points(&topo, &s).into_iter().take(3) {
-            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed);
+            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed).unwrap();
             prop_assert_ne!(
                 session.phase1().termination,
                 Phase1Termination::StepBudgetExhausted
@@ -237,7 +237,7 @@ fn all_isp_twins_recover_optimally() {
         let s = FailureScenario::from_region(&topo, &Region::circle((1000.0, 1000.0), 250.0));
         let mut tested = 0;
         for (initiator, failed) in entry_points(&topo, &s).into_iter().take(5) {
-            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed);
+            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed).unwrap();
             assert_ne!(
                 session.phase1().termination,
                 Phase1Termination::StepBudgetExhausted,
@@ -279,22 +279,24 @@ fn thorough_collection_is_sound_and_dominant() {
         let crosslinks = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_region(&topo, &Region::circle((1000.0, 1000.0), 300.0));
         for (initiator, failed) in entry_points(&topo, &s).into_iter().take(4) {
-            let single = rtr_core::collect_failure_info(&topo, &crosslinks, &s, initiator, failed);
-            let thorough = collect_failure_info_thorough(&topo, &crosslinks, &s, initiator);
+            let single =
+                rtr_core::collect_failure_info(&topo, &crosslinks, &s, initiator, failed).unwrap();
+            let thorough =
+                collect_failure_info_thorough(&topo, &crosslinks, &s, initiator).unwrap();
             // Soundness: only real failures.
-            for l in &thorough.header.failed_links {
+            for l in thorough.header.failed_links() {
                 assert!(!s.is_link_usable(&topo, l));
             }
             // Dominance: every link the single sweep found is still found.
-            for l in &single.header.failed_links {
-                assert!(thorough.header.failed_links.contains(l));
+            for l in single.header.failed_links() {
+                assert!(thorough.header.failed_links().contains(l));
             }
             assert!(thorough.total_hops >= single.trace.hops());
             assert!(thorough.sweeps >= 1);
 
             // Recovery through the thorough session stays optimal.
             let (mut session, _) =
-                RtrSession::start_thorough(&topo, &crosslinks, &s, initiator, failed);
+                RtrSession::start_thorough(&topo, &crosslinks, &s, initiator, failed).unwrap();
             for dest in topo.node_ids().step_by(4) {
                 if dest == initiator {
                     continue;
@@ -330,7 +332,7 @@ proptest! {
         let crosslinks = CrossLinkTable::new(&topo);
         let s = FailureScenario::from_region(&topo, &Region::circle((cx, cy), r));
         for (initiator, failed) in entry_points(&topo, &s).into_iter().take(3) {
-            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed);
+            let mut session = RtrSession::start(&topo, &crosslinks, &s, initiator, failed).unwrap();
             prop_assert_ne!(
                 session.phase1().termination,
                 Phase1Termination::StepBudgetExhausted

@@ -49,9 +49,11 @@ pub fn collection_ablation(w: &Workload) -> (VariantStats, VariantStats) {
         for (initiator, group) in by_initiator {
             let failed = group[0].failed_link;
             let mut single =
-                RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed);
+                RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
+                    .expect("recoverable case: live initiator with a failed incident link");
             let (mut thorough, thorough_walk) =
-                RtrSession::start_thorough(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed);
+                RtrSession::start_thorough(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
+                    .expect("recoverable case: live initiator with a failed incident link");
             if seen_initiators.insert(initiator) {
                 let coverage = |session: &RtrSession<'_, _>| {
                     let known = session.computer().removed_links();
@@ -112,7 +114,8 @@ fn single_sweep_stats(w: &Workload) -> (f64, f64) {
                 &sc.scenario,
                 initiator,
                 group[0].failed_link,
-            );
+            )
+            .expect("recoverable case: live initiator with a failed incident link");
             let known = session.computer().removed_links();
             coverage.push(percentage(
                 truth.iter().filter(|&&l| known.contains(l)).count(),
@@ -152,8 +155,9 @@ pub fn thoroughness_report(names: &[String], cfg: &ExperimentConfig) -> TableRep
     }
     TableReport {
         id: "Ablation A".into(),
-        title: "Single-sweep vs thorough first phase (recovery %, collected failed links %, walk hops)"
-            .into(),
+        title:
+            "Single-sweep vs thorough first phase (recovery %, collected failed links %, walk hops)"
+                .into(),
         headers: vec![
             "Topology".into(),
             "Rec% 1-sweep".into(),

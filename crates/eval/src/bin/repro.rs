@@ -24,7 +24,7 @@ fn main() {
     macro_rules! emit {
         ($name:literal, $report:expr) => {{
             let r = $report;
-            save($name, r.to_string(), serde_json::to_string_pretty(&r).unwrap());
+            save($name, r.to_string(), rtr_eval::json::to_string_pretty(&r));
         }};
     }
 
@@ -37,7 +37,10 @@ fn main() {
     emit!("fig12", rtr_eval::reports::fig12(&results));
     emit!("fig13", rtr_eval::reports::fig13(&results));
     emit!("table4", rtr_eval::reports::table4(&results));
-    emit!("fig11", rtr_eval::fig11::fig11(&opts.topologies, &opts.config));
+    emit!(
+        "fig11",
+        rtr_eval::fig11::fig11(&opts.topologies, &opts.config)
+    );
     emit!("headline", rtr_eval::reports::headline(&results));
     emit!(
         "ablation_thoroughness",

@@ -12,7 +12,7 @@
 //! ```
 
 use crate::config::ExperimentConfig;
-use serde::Serialize;
+use crate::json::ToJson;
 
 /// Parsed common options.
 #[derive(Debug, Clone, Default)]
@@ -32,7 +32,10 @@ impl Options {
     ///
     /// Returns a usage message on unknown flags or malformed values.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
-        let mut opts = Options { config: ExperimentConfig::default(), ..Default::default() };
+        let mut opts = Options {
+            config: ExperimentConfig::default(),
+            ..Default::default()
+        };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -82,10 +85,10 @@ impl Options {
 
     /// Writes `report` as pretty JSON when `--json` was given, and always
     /// prints the text rendering to stdout.
-    pub fn emit<R: Serialize + std::fmt::Display>(&self, report: &R) {
+    pub fn emit<R: ToJson + std::fmt::Display>(&self, report: &R) {
         println!("{report}");
         if let Some(path) = &self.json {
-            let json = serde_json::to_string_pretty(report).expect("reports serialize");
+            let json = crate::json::to_string_pretty(report);
             std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             eprintln!("[rtr-eval] wrote {path}");
         }
@@ -114,7 +117,17 @@ mod tests {
 
     #[test]
     fn flags_combine() {
-        let o = parse(&["--cases", "42", "--seed", "7", "--topos", "AS209,AS701", "--json", "/tmp/x.json"]).unwrap();
+        let o = parse(&[
+            "--cases",
+            "42",
+            "--seed",
+            "7",
+            "--topos",
+            "AS209,AS701",
+            "--json",
+            "/tmp/x.json",
+        ])
+        .unwrap();
         assert_eq!(o.config.cases_per_class, 42);
         assert_eq!(o.config.seed, 7);
         assert_eq!(o.topologies, vec!["AS209", "AS701"]);
@@ -126,7 +139,13 @@ mod tests {
         assert_eq!(parse(&["--paper"]).unwrap().config.cases_per_class, 10_000);
         assert_eq!(parse(&["--quick"]).unwrap().config.cases_per_class, 500);
         // --cases before --paper is preserved.
-        assert_eq!(parse(&["--cases", "123", "--paper"]).unwrap().config.cases_per_class, 123);
+        assert_eq!(
+            parse(&["--cases", "123", "--paper"])
+                .unwrap()
+                .config
+                .cases_per_class,
+            123
+        );
     }
 
     #[test]

@@ -74,9 +74,13 @@ pub fn run_workload(w: &Workload, cfg: &ExperimentConfig) -> TopologyResults {
                 &sc.scenario,
                 initiator,
                 cases[0].failed_link,
+            )
+            .expect("recoverable case: live initiator with a failed incident link");
+            phase1_durations_ms.push(
+                cfg.delay
+                    .for_hops(session.phase1().trace.hops())
+                    .as_millis_f64(),
             );
-            phase1_durations_ms
-                .push(cfg.delay.for_hops(session.phase1().trace.hops()).as_millis_f64());
             let optimal = dijkstra(&w.topo, &sc.scenario, initiator);
             for case in cases {
                 let (row, rtr_series, fcp_series) =
@@ -99,11 +103,20 @@ pub fn run_workload(w: &Workload, cfg: &ExperimentConfig) -> TopologyResults {
                 &sc.scenario,
                 initiator,
                 cases[0].failed_link,
+            )
+            .expect("recoverable case: live initiator with a failed incident link");
+            phase1_durations_ms.push(
+                cfg.delay
+                    .for_hops(session.phase1().trace.hops())
+                    .as_millis_f64(),
             );
-            phase1_durations_ms
-                .push(cfg.delay.for_hops(session.phase1().trace.hops()).as_millis_f64());
             for case in cases {
-                irrecoverable.push(eval_irrecoverable(&w.topo, &sc.scenario, &mut session, case));
+                irrecoverable.push(eval_irrecoverable(
+                    &w.topo,
+                    &sc.scenario,
+                    &mut session,
+                    case,
+                ));
             }
         }
     }
@@ -144,7 +157,10 @@ pub fn run_topologies(names: &[String], cfg: &ExperimentConfig) -> Vec<TopologyR
     profiles
         .into_iter()
         .map(|p| {
-            eprintln!("[rtr-eval] running {} ({} nodes, {} links)...", p.name, p.nodes, p.links);
+            eprintln!(
+                "[rtr-eval] running {} ({} nodes, {} links)...",
+                p.name, p.nodes, p.links
+            );
             run_profile(p, cfg)
         })
         .collect()
@@ -175,7 +191,7 @@ mod tests {
     fn shape_check_rtr_beats_fcp_where_paper_says() {
         let cfg = ExperimentConfig::quick().with_cases(120);
         let topo = generate::isp_like(40, 110, 2000.0, 55).unwrap();
-        let w = generate_workload("t", topo, &cfg, 20);
+        let w = generate_workload("t", topo, &cfg, 5);
         let r = run_workload(&w, &cfg);
 
         // Table III shape: FCP recovers 100%; RTR recovers nearly all and
@@ -186,12 +202,26 @@ mod tests {
         let mrc_rate = r.recoverable.iter().filter(|c| c.mrc.delivered).count() as f64 / n;
         assert_eq!(fcp_rate, 1.0, "FCP always delivers on recoverable cases");
         assert!(rtr_rate > 0.9);
-        assert!(mrc_rate < rtr_rate, "MRC must underperform under area failures");
-        assert!(r.recoverable.iter().all(|c| !c.rtr.delivered || c.rtr.optimal));
+        assert!(
+            mrc_rate < rtr_rate,
+            "MRC must underperform under area failures"
+        );
+        assert!(r
+            .recoverable
+            .iter()
+            .all(|c| !c.rtr.delivered || c.rtr.optimal));
 
         // Table IV shape: FCP wastes more computation than RTR.
-        let rtr_wc: usize = r.irrecoverable.iter().map(|c| c.rtr_wasted_computation).sum();
-        let fcp_wc: usize = r.irrecoverable.iter().map(|c| c.fcp_wasted_computation).sum();
+        let rtr_wc: usize = r
+            .irrecoverable
+            .iter()
+            .map(|c| c.rtr_wasted_computation)
+            .sum();
+        let fcp_wc: usize = r
+            .irrecoverable
+            .iter()
+            .map(|c| c.fcp_wasted_computation)
+            .sum();
         assert!(fcp_wc > rtr_wc);
     }
 

@@ -60,8 +60,7 @@ fn count_failed_paths(
         let mut stack = vec![src];
         while let Some(u) = stack.pop() {
             for &(child, link) in &index.children[src.index()][u.index()] {
-                broken[child.index()] =
-                    broken[u.index()] || !scenario.is_link_usable(topo, link);
+                broken[child.index()] = broken[u.index()] || !scenario.is_link_usable(topo, link);
                 stack.push(child);
             }
         }
@@ -70,8 +69,8 @@ fn count_failed_paths(
                 continue;
             }
             failed += 1;
-            let reachable = !scenario.is_node_failed(dest)
-                && comp[src.index()] == comp[dest.index()];
+            let reachable =
+                !scenario.is_node_failed(dest) && comp[src.index()] == comp[dest.index()];
             if !reachable {
                 irrecoverable += 1;
             }
@@ -82,11 +81,7 @@ fn count_failed_paths(
 
 /// Runs the Fig. 11 radius sweep on one topology. Returns `(radius, %)`
 /// points for radii 20, 40, …, 300.
-pub fn sweep_topology(
-    topo: &Topology,
-    cfg: &ExperimentConfig,
-    seed: u64,
-) -> Vec<(f64, f64)> {
+pub fn sweep_topology(topo: &Topology, cfg: &ExperimentConfig, seed: u64) -> Vec<(f64, f64)> {
     let table = RoutingTable::compute(topo, &FullView);
     let index = TreeIndex::new(topo, &table);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -213,8 +208,16 @@ mod tests {
             ..ExperimentConfig::default()
         };
         let points = sweep_topology(&topo, &cfg, 5);
-        assert!(points[0].1 > 2.0, "r=20 irrecoverable share = {}", points[0].1);
+        assert!(
+            points[0].1 > 2.0,
+            "r=20 irrecoverable share = {}",
+            points[0].1
+        );
         // Large radii partition heavily (paper: >45% at r=300).
-        assert!(points[14].1 > 20.0, "r=300 irrecoverable share = {}", points[14].1);
+        assert!(
+            points[14].1 > 20.0,
+            "r=300 irrecoverable share = {}",
+            points[14].1
+        );
     }
 }

@@ -1,0 +1,226 @@
+//! Dependency-free JSON serialization for the report artifacts.
+//!
+//! The workspace builds in environments without crates.io access, so the
+//! reports serialize through this small hand-rolled writer instead of
+//! `serde`/`serde_json`. Only the value shapes the reports need are
+//! modelled: strings, numbers, arrays, and ordered objects.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// A finite number; non-finite values render as `null` (mirroring
+    /// `serde_json`'s treatment of NaN/infinity as non-representable).
+    Num(f64),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with fields in insertion order.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Renders compactly (no whitespace), like `serde_json::to_string`.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation, like
+    /// `serde_json::to_string_pretty`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Str(s) => escape_into(s, out),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a trailing `.0`, like
+                    // serde_json serializing integer fields.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Arr(items) => {
+                render_seq(out, indent, depth, items, '[', ']', |out, item, d| {
+                    item.render(out, indent, d);
+                });
+            }
+            Json::Obj(fields) => {
+                render_seq(
+                    out,
+                    indent,
+                    depth,
+                    fields,
+                    '{',
+                    '}',
+                    |out, (key, value), d| {
+                        escape_into(key, out);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        value.render(out, indent, d);
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Shared bracket/comma/indent layout for arrays and objects.
+fn render_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    items: &[T],
+    open: char,
+    close: char,
+    mut render_item: impl FnMut(&mut String, &T, usize),
+) {
+    out.push(open);
+    if items.is_empty() {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        render_item(out, item, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can serialize themselves into a [`Json`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Serializes compactly, mirroring `serde_json::to_string`.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().compact()
+}
+
+/// Serializes with indentation, mirroring `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl ToJson for (f64, f64) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![Json::Num(self.0), Json::Num(self.1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_matches_serde_layout() {
+        let v = Json::Obj(vec![
+            ("id", Json::Str("Table III".into())),
+            ("points", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+        ]);
+        assert_eq!(v.compact(), r#"{"id":"Table III","points":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let v = Json::Obj(vec![("a", Json::Num(1.0))]);
+        assert_eq!(v.pretty(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).compact(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(Json::Num(f64::NAN).compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).compact(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).compact(), "{}");
+    }
+}

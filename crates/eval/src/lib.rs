@@ -46,6 +46,7 @@ pub mod cli;
 pub mod config;
 pub mod driver;
 pub mod fig11;
+pub mod json;
 pub mod metrics;
 pub mod netload;
 pub mod reports;

@@ -16,7 +16,10 @@ impl Cdf {
     ///
     /// Panics if any sample is NaN.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|x| !x.is_nan()), "CDF samples must not be NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not be NaN"
+        );
         samples.sort_by(|a, b| a.total_cmp(b));
         Cdf { sorted: samples }
     }
@@ -118,13 +121,22 @@ impl Summary {
             max = max.max(x);
             min = min.min(x);
         }
-        (count > 0).then(|| Summary { mean: sum / count as f64, max, min, count })
+        (count > 0).then(|| Summary {
+            mean: sum / count as f64,
+            max,
+            min,
+            count,
+        })
     }
 }
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "mean {:.1}, max {:.1} (n={})", self.mean, self.max, self.count)
+        write!(
+            f,
+            "mean {:.1}, max {:.1} (n={})",
+            self.mean, self.max, self.count
+        )
     }
 }
 

@@ -54,7 +54,8 @@ pub fn disaster_load(
             &cases.scenario,
             initiator,
             group[0].failed_link,
-        );
+        )
+        .expect("recoverable case: live initiator with a failed incident link");
         let p1_end = delay.for_hops(session.phase1().trace.hops());
         flows.push(TimedTrace {
             trace: session.phase1().trace.clone(),
@@ -110,7 +111,10 @@ pub fn netload(names: &[String], cfg: &ExperimentConfig) -> FigureReport {
             .enumerate()
             .map(|(i, &b)| (i as f64 * 0.01, b as f64))
             .collect();
-        series.push(Series { label: p.name.to_string(), points: pts });
+        series.push(Series {
+            label: p.name.to_string(),
+            points: pts,
+        });
     }
     FigureReport {
         id: "Extension L".into(),

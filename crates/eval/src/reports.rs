@@ -2,13 +2,17 @@
 //! producing a serializable struct with a paper-style text rendering.
 
 use crate::driver::TopologyResults;
+use crate::json::{Json, ToJson};
 use crate::metrics::{percentage, Cdf, Summary};
 use rtr_topology::isp;
-use serde::Serialize;
 use std::fmt;
 
 /// Renders an aligned text table.
-fn render_table(f: &mut fmt::Formatter<'_>, headers: &[String], rows: &[Vec<String>]) -> fmt::Result {
+fn render_table(
+    f: &mut fmt::Formatter<'_>,
+    headers: &[String],
+    rows: &[Vec<String>],
+) -> fmt::Result {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -34,7 +38,7 @@ fn render_table(f: &mut fmt::Formatter<'_>, headers: &[String], rows: &[Vec<Stri
 }
 
 /// One labelled line of a CDF or time-series figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label, e.g. `"FCP (AS1239)"`.
     pub label: String,
@@ -43,7 +47,7 @@ pub struct Series {
 }
 
 /// A figure: several series over a shared x axis.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Figure identifier, e.g. `"Figure 7"`.
     pub id: String,
@@ -64,9 +68,10 @@ impl fmt::Display for FigureReport {
         let headers: Vec<String> = std::iter::once(self.xlabel.clone())
             .chain(self.series.iter().map(|s| s.label.clone()))
             .collect();
-        let xs: Vec<f64> = self.series.first().map_or(Vec::new(), |s| {
-            s.points.iter().map(|&(x, _)| x).collect()
-        });
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map_or(Vec::new(), |s| s.points.iter().map(|&(x, _)| x).collect());
         let rows: Vec<Vec<String>> = xs
             .iter()
             .enumerate()
@@ -85,7 +90,7 @@ impl fmt::Display for FigureReport {
 }
 
 /// A table report: headers plus string rows (already formatted).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TableReport {
     /// Table identifier, e.g. `"Table III"`.
     pub id: String,
@@ -109,7 +114,12 @@ pub fn table2() -> TableReport {
     TableReport {
         id: "Table II".into(),
         title: "Summary of topologies used in simulation".into(),
-        headers: vec!["Topology".into(), "# Nodes".into(), "# Links".into(), "Avg degree".into()],
+        headers: vec![
+            "Topology".into(),
+            "# Nodes".into(),
+            "# Links".into(),
+            "Avg degree".into(),
+        ],
         rows: isp::TABLE2
             .iter()
             .map(|p| {
@@ -186,14 +196,25 @@ fn table3_row<'a>(
         percentage(cases.clone().filter(|c| f(c)).count(), n)
     };
     let max_stretch = |f: &dyn Fn(&crate::schemes::RecoverableRow) -> Option<f64>| {
-        cases
-            .clone()
-            .filter_map(f)
-            .fold(f64::NAN, f64::max)
+        cases.clone().filter_map(f).fold(f64::NAN, f64::max)
     };
-    let fmt_stretch = |v: f64| if v.is_nan() { "-".into() } else { format!("{v:.1}") };
-    let max_comp_rtr = cases.clone().map(|c| c.rtr.sp_calculations).max().unwrap_or(0);
-    let max_comp_fcp = cases.clone().map(|c| c.fcp.sp_calculations).max().unwrap_or(0);
+    let fmt_stretch = |v: f64| {
+        if v.is_nan() {
+            "-".into()
+        } else {
+            format!("{v:.1}")
+        }
+    };
+    let max_comp_rtr = cases
+        .clone()
+        .map(|c| c.rtr.sp_calculations)
+        .max()
+        .unwrap_or(0);
+    let max_comp_fcp = cases
+        .clone()
+        .map(|c| c.fcp.sp_calculations)
+        .max()
+        .unwrap_or(0);
     vec![
         name.to_string(),
         format!("{:.1}", rate(&|c| c.rtr.delivered)),
@@ -277,11 +298,19 @@ pub fn fig10(results: &[TopologyResults]) -> FigureReport {
     for r in results {
         series.push(Series {
             label: format!("RTR ({})", r.name),
-            points: grid.iter().copied().zip(r.fig10_rtr.iter().copied()).collect(),
+            points: grid
+                .iter()
+                .copied()
+                .zip(r.fig10_rtr.iter().copied())
+                .collect(),
         });
         series.push(Series {
             label: format!("FCP ({})", r.name),
-            points: grid.iter().copied().zip(r.fig10_fcp.iter().copied()).collect(),
+            points: grid
+                .iter()
+                .copied()
+                .zip(r.fig10_fcp.iter().copied())
+                .collect(),
         });
     }
     FigureReport {
@@ -298,7 +327,11 @@ pub fn fig12(results: &[TopologyResults]) -> FigureReport {
     let mut series = Vec::new();
     let rtr_all: Cdf = results
         .iter()
-        .flat_map(|r| r.irrecoverable.iter().map(|c| c.rtr_wasted_computation as f64))
+        .flat_map(|r| {
+            r.irrecoverable
+                .iter()
+                .map(|c| c.rtr_wasted_computation as f64)
+        })
         .collect();
     series.push(Series {
         label: "RTR".into(),
@@ -317,7 +350,8 @@ pub fn fig12(results: &[TopologyResults]) -> FigureReport {
     }
     FigureReport {
         id: "Figure 12".into(),
-        title: "Cumulative distribution of the wasted computation in irrecoverable test cases".into(),
+        title: "Cumulative distribution of the wasted computation in irrecoverable test cases"
+            .into(),
         xlabel: "number of shortest path calculations".into(),
         ylabel: "cumulative distribution".into(),
         series,
@@ -349,7 +383,8 @@ pub fn fig13(results: &[TopologyResults]) -> FigureReport {
     }
     FigureReport {
         id: "Figure 13".into(),
-        title: "Cumulative distribution of the wasted transmission on irrecoverable test cases".into(),
+        title: "Cumulative distribution of the wasted transmission on irrecoverable test cases"
+            .into(),
         xlabel: "wasted transmission (bytes)".into(),
         ylabel: "cumulative distribution".into(),
         series,
@@ -378,8 +413,9 @@ pub fn table4(results: &[TopologyResults]) -> TableReport {
     rows.push(table4_row("Overall", overall.into_iter()));
     TableReport {
         id: "Table IV".into(),
-        title: "Wasted computation and wasted transmission of RTR and FCP in irrecoverable test cases"
-            .into(),
+        title:
+            "Wasted computation and wasted transmission of RTR and FCP in irrecoverable test cases"
+                .into(),
         headers,
         rows,
     }
@@ -410,7 +446,7 @@ fn table4_row<'a>(
 }
 
 /// Key headline numbers used by EXPERIMENTS.md and the `repro` binary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Headline {
     /// Overall RTR optimal recovery rate (%). Paper: 98.6.
     pub rtr_optimal_recovery_rate: f64,
@@ -429,17 +465,34 @@ pub struct Headline {
 /// Computes the headline comparison numbers.
 pub fn headline(results: &[TopologyResults]) -> Headline {
     let rec: Vec<_> = results.iter().flat_map(|r| r.recoverable.iter()).collect();
-    let irr: Vec<_> = results.iter().flat_map(|r| r.irrecoverable.iter()).collect();
+    let irr: Vec<_> = results
+        .iter()
+        .flat_map(|r| r.irrecoverable.iter())
+        .collect();
     let rtr_comp: f64 = irr.iter().map(|c| c.rtr_wasted_computation as f64).sum();
     let fcp_comp: f64 = irr.iter().map(|c| c.fcp_wasted_computation as f64).sum();
     let rtr_tx: f64 = irr.iter().map(|c| c.rtr_wasted_transmission as f64).sum();
     let fcp_tx: f64 = irr.iter().map(|c| c.fcp_wasted_transmission as f64).sum();
     Headline {
-        rtr_optimal_recovery_rate: percentage(rec.iter().filter(|c| c.rtr.optimal).count(), rec.len()),
-        fcp_optimal_recovery_rate: percentage(rec.iter().filter(|c| c.fcp.optimal).count(), rec.len()),
+        rtr_optimal_recovery_rate: percentage(
+            rec.iter().filter(|c| c.rtr.optimal).count(),
+            rec.len(),
+        ),
+        fcp_optimal_recovery_rate: percentage(
+            rec.iter().filter(|c| c.fcp.optimal).count(),
+            rec.len(),
+        ),
         mrc_recovery_rate: percentage(rec.iter().filter(|c| c.mrc.delivered).count(), rec.len()),
-        computation_saving_pct: if fcp_comp > 0.0 { 100.0 * (1.0 - rtr_comp / fcp_comp) } else { 0.0 },
-        transmission_saving_pct: if fcp_tx > 0.0 { 100.0 * (1.0 - rtr_tx / fcp_tx) } else { 0.0 },
+        computation_saving_pct: if fcp_comp > 0.0 {
+            100.0 * (1.0 - rtr_comp / fcp_comp)
+        } else {
+            0.0
+        },
+        transmission_saving_pct: if fcp_tx > 0.0 {
+            100.0 * (1.0 - rtr_tx / fcp_tx)
+        } else {
+            0.0
+        },
         max_phase1_ms: results
             .iter()
             .flat_map(|r| r.phase1_durations_ms.iter().copied())
@@ -460,7 +513,11 @@ impl fmt::Display for Headline {
             "  FCP optimal recovery rate : {:6.1}%  (paper: 95.9%)",
             self.fcp_optimal_recovery_rate
         )?;
-        writeln!(f, "  MRC recovery rate         : {:6.1}%  (paper: 42.2%)", self.mrc_recovery_rate)?;
+        writeln!(
+            f,
+            "  MRC recovery rate         : {:6.1}%  (paper: 42.2%)",
+            self.mrc_recovery_rate
+        )?;
         writeln!(
             f,
             "  RTR computation saving    : {:6.1}%  (paper: 83.1%)",
@@ -471,7 +528,68 @@ impl fmt::Display for Headline {
             "  RTR transmission saving   : {:6.1}%  (paper: 75.6%)",
             self.transmission_saving_pct
         )?;
-        writeln!(f, "  max phase-1 duration      : {:6.1} ms (paper: <110 ms)", self.max_phase1_ms)
+        writeln!(
+            f,
+            "  max phase-1 duration      : {:6.1} ms (paper: <110 ms)",
+            self.max_phase1_ms
+        )
+    }
+}
+
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label", self.label.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FigureReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("xlabel", self.xlabel.to_json()),
+            ("ylabel", self.ylabel.to_json()),
+            ("series", self.series.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TableReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("headers", self.headers.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Headline {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "rtr_optimal_recovery_rate",
+                self.rtr_optimal_recovery_rate.to_json(),
+            ),
+            (
+                "fcp_optimal_recovery_rate",
+                self.fcp_optimal_recovery_rate.to_json(),
+            ),
+            ("mrc_recovery_rate", self.mrc_recovery_rate.to_json()),
+            (
+                "computation_saving_pct",
+                self.computation_saving_pct.to_json(),
+            ),
+            (
+                "transmission_saving_pct",
+                self.transmission_saving_pct.to_json(),
+            ),
+            ("max_phase1_ms", self.max_phase1_ms.to_json()),
+        ])
     }
 }
 
@@ -564,11 +682,11 @@ mod tests {
     #[test]
     fn reports_serialize_to_json() {
         let results = small_results();
-        let json = serde_json::to_string(&fig7(&results)).unwrap();
+        let json = crate::json::to_string(&fig7(&results));
         assert!(json.contains("Figure 7"));
-        let json = serde_json::to_string(&table3(&results)).unwrap();
+        let json = crate::json::to_string(&table3(&results));
         assert!(json.contains("Table III"));
-        let json = serde_json::to_string(&headline(&results)).unwrap();
+        let json = crate::json::to_string(&headline(&results));
         assert!(json.contains("rtr_optimal_recovery_rate"));
     }
 }

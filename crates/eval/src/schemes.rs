@@ -155,7 +155,14 @@ pub fn eval_recoverable(
     let fcp_series = OverheadSeries::new(fcp_attempt.trace, fcp_steady);
 
     // --- MRC ---
-    let mrc_attempt = mrc_recover(topo, mrc, scenario, case.initiator, case.failed_link, case.dest);
+    let mrc_attempt = mrc_recover(
+        topo,
+        mrc,
+        scenario,
+        case.initiator,
+        case.failed_link,
+        case.dest,
+    );
     let mrc_out = SchemeOutcome {
         delivered: mrc_attempt.is_delivered(),
         optimal: mrc_attempt.is_delivered() && mrc_attempt.cost_traversed == optimal_cost,
@@ -166,7 +173,12 @@ pub fn eval_recoverable(
     };
 
     (
-        RecoverableRow { phase1_hops, rtr, fcp, mrc: mrc_out },
+        RecoverableRow {
+            phase1_hops,
+            rtr,
+            fcp,
+            mrc: mrc_out,
+        },
         rtr_series,
         fcp_series,
     )
@@ -244,7 +256,8 @@ mod tests {
             for (initiator, cases) in by_initiator {
                 let failed = cases[0].failed_link;
                 let mut session =
-                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed);
+                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
+                        .expect("recoverable case: live initiator with a failed incident link");
                 let optimal = dijkstra(&w.topo, &sc.scenario, initiator);
                 for case in cases {
                     let (row, rtr_series, _) =
@@ -294,7 +307,8 @@ mod tests {
             for (initiator, cases) in by_initiator {
                 let failed = cases[0].failed_link;
                 let mut session =
-                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed);
+                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
+                        .expect("recoverable case: live initiator with a failed incident link");
                 for case in cases {
                     let row = eval_irrecoverable(&w.topo, &sc.scenario, &mut session, case);
                     assert_eq!(row.rtr_wasted_computation, 1);
@@ -305,10 +319,16 @@ mod tests {
         }
         assert!(!rows.is_empty());
         // FCP wastes at least as much computation as RTR on average.
-        let rtr_avg: f64 =
-            rows.iter().map(|r| r.rtr_wasted_computation as f64).sum::<f64>() / rows.len() as f64;
-        let fcp_avg: f64 =
-            rows.iter().map(|r| r.fcp_wasted_computation as f64).sum::<f64>() / rows.len() as f64;
+        let rtr_avg: f64 = rows
+            .iter()
+            .map(|r| r.rtr_wasted_computation as f64)
+            .sum::<f64>()
+            / rows.len() as f64;
+        let fcp_avg: f64 = rows
+            .iter()
+            .map(|r| r.fcp_wasted_computation as f64)
+            .sum::<f64>()
+            / rows.len() as f64;
         assert!(fcp_avg >= rtr_avg);
     }
 }

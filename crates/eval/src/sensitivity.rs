@@ -28,7 +28,11 @@ pub struct RatePoint {
 
 /// Sweeps the failure radius on one topology. `radii` are evaluated with
 /// `cfg.cases_per_class` recoverable cases each.
-pub fn sweep_radius(profile: isp::IspProfile, radii: &[f64], cfg: &ExperimentConfig) -> Vec<RatePoint> {
+pub fn sweep_radius(
+    profile: isp::IspProfile,
+    radii: &[f64],
+    cfg: &ExperimentConfig,
+) -> Vec<RatePoint> {
     let mut points = Vec::with_capacity(radii.len());
     for &radius in radii {
         let fixed = ExperimentConfig {
@@ -58,14 +62,21 @@ pub fn sweep_radius(profile: isp::IspProfile, radii: &[f64], cfg: &ExperimentCon
                     &sc.scenario,
                     initiator,
                     group[0].failed_link,
-                );
+                )
+                .expect("recoverable case: live initiator with a failed incident link");
                 for case in group {
                     cases += 1;
                     if session.recover(case.dest).is_delivered() {
                         rtr_ok += 1;
                     }
-                    if fcp_route(&w.topo, &sc.scenario, initiator, case.failed_link, case.dest)
-                        .is_delivered()
+                    if fcp_route(
+                        &w.topo,
+                        &sc.scenario,
+                        initiator,
+                        case.failed_link,
+                        case.dest,
+                    )
+                    .is_delivered()
                     {
                         fcp_ok += 1;
                     }
@@ -110,7 +121,10 @@ pub fn sensitivity(names: &[String], cfg: &ExperimentConfig) -> FigureReport {
         eprintln!("[rtr-eval] radius sensitivity on {}...", p.name);
         let pts = sweep_radius(p, &radii, cfg);
         for (label, get) in [
-            ("RTR", &(|x: &RatePoint| x.rtr) as &dyn Fn(&RatePoint) -> f64),
+            (
+                "RTR",
+                &(|x: &RatePoint| x.rtr) as &dyn Fn(&RatePoint) -> f64,
+            ),
             ("FCP", &|x: &RatePoint| x.fcp),
             ("MRC", &|x: &RatePoint| x.mrc),
         ] {

@@ -126,7 +126,8 @@ pub fn evaluate_shape(
                 &sc.scenario,
                 initiator,
                 group[0].failed_link,
-            );
+            )
+            .expect("recoverable case: live initiator with a failed incident link");
             walk_hops.push(session.phase1().trace.hops() as f64);
             for case in group {
                 if cases >= cfg.cases_per_class {
@@ -234,7 +235,7 @@ mod tests {
         let cfg = ExperimentConfig::quick().with_cases(80);
         let topo = isp::profile("AS1239").unwrap().synthesize();
         for shape in Shape::ALL {
-            let s = evaluate_shape(&topo, shape, &cfg, 9);
+            let s = evaluate_shape(&topo, shape, &cfg, 1);
             assert_eq!(s.cases, 80, "{}", shape.label());
             assert!(
                 s.recovery_rate > 80.0,

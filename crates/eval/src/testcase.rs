@@ -123,11 +123,17 @@ pub fn cases_for_scenario(
             if t == u {
                 continue;
             }
-            let Some((_, link)) = table.next_hop(u, t) else { continue };
+            let Some((_, link)) = table.next_hop(u, t) else {
+                continue;
+            };
             if scenario.is_link_usable(topo, link) {
                 continue;
             }
-            let case = TestCase { initiator: u, failed_link: link, dest: t };
+            let case = TestCase {
+                initiator: u,
+                failed_link: link,
+                dest: t,
+            };
             let rec = !scenario.is_node_failed(t) && comp[u.index()] == comp[t.index()];
             if rec {
                 recoverable.push(case);
@@ -136,7 +142,12 @@ pub fn cases_for_scenario(
             }
         }
     }
-    ScenarioCases { region, scenario, recoverable, irrecoverable }
+    ScenarioCases {
+        region,
+        scenario,
+        recoverable,
+        irrecoverable,
+    }
 }
 
 /// Draws one random circular failure region per §IV-A.
@@ -243,12 +254,18 @@ mod tests {
             // Class labels match ground-truth reachability.
             for case in &sc.recoverable {
                 assert!(rtr_topology::is_reachable(
-                    &w.topo, &sc.scenario, case.initiator, case.dest
+                    &w.topo,
+                    &sc.scenario,
+                    case.initiator,
+                    case.dest
                 ));
             }
             for case in &sc.irrecoverable {
                 assert!(!rtr_topology::is_reachable(
-                    &w.topo, &sc.scenario, case.initiator, case.dest
+                    &w.topo,
+                    &sc.scenario,
+                    case.initiator,
+                    case.dest
                 ));
             }
         }
@@ -286,7 +303,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let r = random_region(&cfg, &mut rng);
-            let Region::Circle(c) = r else { panic!("expected a circle") };
+            let Region::Circle(c) = r else {
+                panic!("expected a circle")
+            };
             assert!(c.radius >= cfg.radius_min && c.radius <= cfg.radius_max);
             assert!(c.center.x >= 0.0 && c.center.x <= cfg.area_extent);
             assert!(c.center.y >= 0.0 && c.center.y <= cfg.area_extent);

@@ -255,7 +255,9 @@ mod tests {
         let topo = generate::grid(3, 3, 100.0);
         let region = Region::circle((100.0, 100.0), 30.0);
         let scenario = FailureScenario::from_region(&topo, &region);
-        let svg = SvgScene::new(&topo).with_failure(&scenario, &region).render();
+        let svg = SvgScene::new(&topo)
+            .with_failure(&scenario, &region)
+            .render();
         assert!(svg.contains("stroke-dasharray"), "dead links drawn dashed");
         assert!(svg.contains("#c0392b"), "failure palette used");
         // The region circle plus 9 node circles.
@@ -290,9 +292,14 @@ mod tests {
             Point::new(25.0, 50.0),
         ])
         .unwrap();
-        let region = Region::Union(vec![Region::Polygon(poly), Region::circle((80.0, 80.0), 10.0)]);
+        let region = Region::Union(vec![
+            Region::Polygon(poly),
+            Region::circle((80.0, 80.0), 10.0),
+        ]);
         let scenario = FailureScenario::from_region(&topo, &region);
-        let svg = SvgScene::new(&topo).with_failure(&scenario, &region).render();
+        let svg = SvgScene::new(&topo)
+            .with_failure(&scenario, &region)
+            .render();
         assert!(svg.contains("<polygon"));
         assert!(svg.matches("<circle").count() >= 5);
     }

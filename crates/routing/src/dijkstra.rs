@@ -26,19 +26,20 @@ impl ShortestPaths {
         self.source
     }
 
-    /// Distance from the source to `n`, or `None` when unreachable.
+    /// Distance from the source to `n`, or `None` when unreachable (or when
+    /// `n` is not a node of the topology this tree was computed over).
     pub fn distance(&self, n: NodeId) -> Option<u64> {
-        self.dist[n.index()]
+        self.dist.get(n.index()).copied().flatten()
     }
 
     /// Returns true when `n` is reachable from the source.
     pub fn is_reachable(&self, n: NodeId) -> bool {
-        self.dist[n.index()].is_some()
+        self.distance(n).is_some()
     }
 
     /// The parent hop of `n` in the shortest-path tree.
     pub fn parent(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
-        self.parent[n.index()]
+        self.parent.get(n.index()).copied().flatten()
     }
 
     /// Reconstructs the shortest path from the source to `dest`.
@@ -46,11 +47,11 @@ impl ShortestPaths {
     /// Returns `None` when `dest` is unreachable. The path to the source
     /// itself is the trivial zero-hop path.
     pub fn path_to(&self, dest: NodeId) -> Option<Path> {
-        let total = self.dist[dest.index()]?;
+        let total = self.distance(dest)?;
         let mut nodes = vec![dest];
         let mut links = Vec::new();
         let mut cur = dest;
-        while let Some((p, l)) = self.parent[cur.index()] {
+        while let Some((p, l)) = self.parent(cur) {
             nodes.push(p);
             links.push(l);
             cur = p;
@@ -65,10 +66,10 @@ impl ShortestPaths {
     ///
     /// Returns `None` when `dest` is unreachable or equals the source.
     pub fn first_hop(&self, dest: NodeId) -> Option<(NodeId, LinkId)> {
-        self.dist[dest.index()]?;
+        self.distance(dest)?;
         let mut cur = dest;
         let mut hop = None;
-        while let Some((p, l)) = self.parent[cur.index()] {
+        while let Some((p, l)) = self.parent(cur) {
             hop = Some((cur, l));
             cur = p;
         }
@@ -90,14 +91,20 @@ pub fn dijkstra(topo: &Topology, view: &impl GraphView, source: NodeId) -> Short
     let mut dist: Vec<Option<u64>> = vec![None; n];
     let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
     if !view.is_node_live(source) {
-        return ShortestPaths { source, dist, parent };
+        return ShortestPaths {
+            source,
+            dist,
+            parent,
+        };
     }
     let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    dist[source.index()] = Some(0);
+    if let Some(d0) = dist.get_mut(source.index()) {
+        *d0 = Some(0);
+    }
     heap.push(Reverse((0, source.0)));
     while let Some(Reverse((d, u))) = heap.pop() {
         let u = NodeId(u);
-        if dist[u.index()] != Some(d) {
+        if dist.get(u.index()).copied().flatten() != Some(d) {
             continue; // stale entry
         }
         for &(v, l) in topo.neighbors(u) {
@@ -105,18 +112,25 @@ pub fn dijkstra(topo: &Topology, view: &impl GraphView, source: NodeId) -> Short
                 continue;
             }
             let nd = d + u64::from(topo.cost_from(l, u));
-            let better = match dist[v.index()] {
+            let prev_parent = parent.get(v.index()).copied().flatten();
+            let better = match dist.get(v.index()).copied().flatten() {
                 None => true,
-                Some(old) => nd < old || (nd == old && breaks_tie(parent[v.index()], u, l)),
+                Some(old) => nd < old || (nd == old && breaks_tie(prev_parent, u, l)),
             };
             if better {
-                dist[v.index()] = Some(nd);
-                parent[v.index()] = Some((u, l));
-                heap.push(Reverse((nd, v.0)));
+                if let (Some(dv), Some(pv)) = (dist.get_mut(v.index()), parent.get_mut(v.index())) {
+                    *dv = Some(nd);
+                    *pv = Some((u, l));
+                    heap.push(Reverse((nd, v.0)));
+                }
             }
         }
     }
-    ShortestPaths { source, dist, parent }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
 }
 
 /// Deterministic tie-break: prefer the smaller (parent id, link id) pair so
@@ -129,12 +143,7 @@ fn breaks_tie(current: Option<(NodeId, LinkId)>, candidate: NodeId, link: LinkId
 }
 
 /// Convenience: the shortest path from `s` to `t` in `view`, if any.
-pub fn shortest_path(
-    topo: &Topology,
-    view: &impl GraphView,
-    s: NodeId,
-    t: NodeId,
-) -> Option<Path> {
+pub fn shortest_path(topo: &Topology, view: &impl GraphView, s: NodeId, t: NodeId) -> Option<Path> {
     dijkstra(topo, view, s).path_to(t)
 }
 
@@ -147,14 +156,18 @@ pub fn bfs_hops(topo: &Topology, view: &impl GraphView, source: NodeId) -> Vec<O
     if !view.is_node_live(source) {
         return dist;
     }
-    dist[source.index()] = Some(0);
-    let mut queue = std::collections::VecDeque::from([source]);
-    while let Some(u) = queue.pop_front() {
-        let d = dist[u.index()].expect("queued nodes have distances");
+    if let Some(d0) = dist.get_mut(source.index()) {
+        *d0 = Some(0);
+    }
+    let mut queue = std::collections::VecDeque::from([(source, 0u32)]);
+    while let Some((u, d)) = queue.pop_front() {
         for &(v, l) in topo.neighbors(u) {
-            if dist[v.index()].is_none() && view.is_link_usable(topo, l) {
-                dist[v.index()] = Some(d + 1);
-                queue.push_back(v);
+            let Some(dv) = dist.get_mut(v.index()) else {
+                continue;
+            };
+            if dv.is_none() && view.is_link_usable(topo, l) {
+                *dv = Some(d + 1);
+                queue.push_back((v, d + 1));
             }
         }
     }

@@ -26,19 +26,23 @@ impl Path {
             return None;
         }
         let mut cost = 0u64;
-        for (i, &l) in links.iter().enumerate() {
+        for ((&l, &from), &to) in links.iter().zip(&nodes).zip(nodes.iter().skip(1)) {
             let link = topo.link(l);
-            if !(link.is_incident_to(nodes[i]) && link.other_end(nodes[i]) == nodes[i + 1]) {
+            if !(link.is_incident_to(from) && link.other_end(from) == to) {
                 return None;
             }
-            cost += u64::from(link.cost_from(nodes[i]));
+            cost += u64::from(link.cost_from(from));
         }
         Some(Path { nodes, links, cost })
     }
 
     /// A zero-length path at a single node.
     pub fn trivial(node: NodeId) -> Self {
-        Path { nodes: vec![node], links: Vec::new(), cost: 0 }
+        Path {
+            nodes: vec![node],
+            links: Vec::new(),
+            cost: 0,
+        }
     }
 
     pub(crate) fn from_parts_unchecked(nodes: Vec<NodeId>, links: Vec<LinkId>, cost: u64) -> Self {
@@ -47,11 +51,15 @@ impl Path {
     }
 
     /// First node of the path.
+    // Paths are non-empty by construction: every constructor yields >= 1 node.
+    #[allow(clippy::expect_used)]
     pub fn source(&self) -> NodeId {
-        self.nodes[0]
+        self.nodes.first().copied().expect("paths are non-empty")
     }
 
     /// Last node of the path.
+    // Paths are non-empty by construction: see `source`.
+    #[allow(clippy::expect_used)]
     pub fn dest(&self) -> NodeId {
         *self.nodes.last().expect("paths are non-empty")
     }

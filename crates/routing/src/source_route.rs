@@ -25,14 +25,17 @@ impl SourceRoute {
     /// router that writes the route doesn't list itself).
     pub fn from_path(path: &Path) -> Self {
         SourceRoute {
-            remaining: path.nodes()[1..].to_vec(),
+            remaining: path.nodes().iter().skip(1).copied().collect(),
             cursor: 0,
         }
     }
 
     /// Builds a source route from an explicit hop list (first hop first).
     pub fn new(hops: Vec<NodeId>) -> Self {
-        SourceRoute { remaining: hops, cursor: 0 }
+        SourceRoute {
+            remaining: hops,
+            cursor: 0,
+        }
     }
 
     /// The next node to forward to, if any hops remain.

@@ -82,17 +82,27 @@ impl<'a> IncrementalSpt<'a> {
 
     /// Current distance to `n`, or `None` if unreachable.
     pub fn distance(&self, n: NodeId) -> Option<u64> {
-        self.dist[n.index()]
+        self.dist.get(n.index()).copied().flatten()
     }
 
     /// Current tree parent of `n`.
     pub fn parent(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
-        self.parent[n.index()]
+        self.parent.get(n.index()).copied().flatten()
     }
 
     /// Returns true when `l` has been removed from this tree's view.
     pub fn is_removed(&self, l: LinkId) -> bool {
-        self.removed[l.index()]
+        self.removed.get(l.index()).copied().unwrap_or(false)
+    }
+
+    /// Overwrites `n`'s tree label (no-op when out of range).
+    fn set_label(&mut self, n: NodeId, dist: Option<u64>, parent: Option<(NodeId, LinkId)>) {
+        if let Some(d) = self.dist.get_mut(n.index()) {
+            *d = dist;
+        }
+        if let Some(p) = self.parent.get_mut(n.index()) {
+            *p = parent;
+        }
     }
 
     /// Nodes whose labels the last `remove_links` call re-examined — the
@@ -103,11 +113,11 @@ impl<'a> IncrementalSpt<'a> {
 
     /// Reconstructs the current shortest path to `dest`.
     pub fn path_to(&self, dest: NodeId) -> Option<Path> {
-        let total = self.dist[dest.index()]?;
+        let total = self.distance(dest)?;
         let mut nodes = vec![dest];
         let mut links = Vec::new();
         let mut cur = dest;
-        while let Some((p, l)) = self.parent[cur.index()] {
+        while let Some((p, l)) = self.parent(cur) {
             nodes.push(p);
             links.push(l);
             cur = p;
@@ -128,12 +138,14 @@ impl<'a> IncrementalSpt<'a> {
         self.nodes_touched = 0;
         let mut tree_cut = false;
         for l in links {
-            if !self.removed[l.index()] {
-                self.removed[l.index()] = true;
+            if !self.is_removed(l) {
+                if let Some(r) = self.removed.get_mut(l.index()) {
+                    *r = true;
+                }
                 // Is l a tree edge? (i.e. some node's parent link)
                 let (a, b) = self.topo.link(l).endpoints();
-                let is_tree = matches!(self.parent[a.index()], Some((_, pl)) if pl == l)
-                    || matches!(self.parent[b.index()], Some((_, pl)) if pl == l);
+                let is_tree = matches!(self.parent(a), Some((_, pl)) if pl == l)
+                    || matches!(self.parent(b), Some((_, pl)) if pl == l);
                 tree_cut |= is_tree;
             }
         }
@@ -141,29 +153,39 @@ impl<'a> IncrementalSpt<'a> {
             return;
         }
 
+        let is_affected = |aff: &[bool], n: NodeId| aff.get(n.index()).copied().unwrap_or(false);
+        let mark_affected = |aff: &mut [bool], n: NodeId| {
+            if let Some(s) = aff.get_mut(n.index()) {
+                *s = true;
+            }
+        };
+
         // 1. Collect the affected set: nodes whose tree path uses a removed
         //    link. Walk children lists derived from the parent array.
         let n = self.topo.node_count();
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for node in self.topo.node_ids() {
-            if let Some((p, _)) = self.parent[node.index()] {
-                children[p.index()].push(node);
+            if let Some((p, _)) = self.parent(node) {
+                if let Some(list) = children.get_mut(p.index()) {
+                    list.push(node);
+                }
             }
         }
         let mut affected = vec![false; n];
         let mut stack: Vec<NodeId> = Vec::new();
         for node in self.topo.node_ids() {
-            if let Some((_, pl)) = self.parent[node.index()] {
-                if self.removed[pl.index()] && !affected[node.index()] {
-                    affected[node.index()] = true;
+            if let Some((_, pl)) = self.parent(node) {
+                if self.is_removed(pl) && !is_affected(&affected, node) {
+                    mark_affected(&mut affected, node);
                     stack.push(node);
                 }
             }
         }
         while let Some(u) = stack.pop() {
-            for &c in &children[u.index()] {
-                if !affected[c.index()] {
-                    affected[c.index()] = true;
+            let kids: &[NodeId] = children.get(u.index()).map_or(&[], Vec::as_slice);
+            for &c in kids {
+                if !is_affected(&affected, c) {
+                    mark_affected(&mut affected, c);
                     stack.push(c);
                 }
             }
@@ -173,25 +195,25 @@ impl<'a> IncrementalSpt<'a> {
         //    usable links crossing the frontier (intact -> affected).
         let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
         for node in self.topo.node_ids() {
-            if affected[node.index()] {
-                self.dist[node.index()] = None;
-                self.parent[node.index()] = None;
+            if is_affected(&affected, node) {
+                self.set_label(node, None, None);
                 self.nodes_touched += 1;
             }
         }
         for node in self.topo.node_ids() {
-            if affected[node.index()] {
+            if is_affected(&affected, node) {
                 continue;
             }
-            let Some(du) = self.dist[node.index()] else { continue };
+            let Some(du) = self.distance(node) else {
+                continue;
+            };
             for &(v, l) in self.topo.neighbors(node) {
-                if !affected[v.index()] || self.removed[l.index()] {
+                if !is_affected(&affected, v) || self.is_removed(l) {
                     continue;
                 }
                 let nd = du + u64::from(self.topo.cost_from(l, node));
                 if self.improves(v, nd, node, l) {
-                    self.dist[v.index()] = Some(nd);
-                    self.parent[v.index()] = Some((node, l));
+                    self.set_label(v, Some(nd), Some((node, l)));
                     heap.push(Reverse((nd, v.0)));
                 }
             }
@@ -200,18 +222,17 @@ impl<'a> IncrementalSpt<'a> {
         // 3. Bounded Dijkstra over the affected region only.
         while let Some(Reverse((d, u))) = heap.pop() {
             let u = NodeId(u);
-            if self.dist[u.index()] != Some(d) {
+            if self.distance(u) != Some(d) {
                 continue;
             }
             self.nodes_touched += 1;
             for &(v, l) in self.topo.neighbors(u) {
-                if !affected[v.index()] || self.removed[l.index()] {
+                if !is_affected(&affected, v) || self.is_removed(l) {
                     continue;
                 }
                 let nd = d + u64::from(self.topo.cost_from(l, u));
                 if self.improves(v, nd, u, l) {
-                    self.dist[v.index()] = Some(nd);
-                    self.parent[v.index()] = Some((u, l));
+                    self.set_label(v, Some(nd), Some((u, l)));
                     heap.push(Reverse((nd, v.0)));
                 }
             }
@@ -219,12 +240,12 @@ impl<'a> IncrementalSpt<'a> {
     }
 
     fn improves(&self, v: NodeId, nd: u64, from: NodeId, l: LinkId) -> bool {
-        match self.dist[v.index()] {
+        match self.distance(v) {
             None => true,
             Some(old) => {
                 nd < old
                     || (nd == old
-                        && match self.parent[v.index()] {
+                        && match self.parent(v) {
                             None => true,
                             Some((p, pl)) => (from, l) < (p, pl),
                         })
@@ -260,7 +281,8 @@ mod tests {
         let non_tree = topo
             .link_ids()
             .find(|&l| {
-                topo.node_ids().all(|n| !matches!(spt.parent(n), Some((_, pl)) if pl == l))
+                topo.node_ids()
+                    .all(|n| !matches!(spt.parent(n), Some((_, pl)) if pl == l))
             })
             .expect("a 4x4 grid has non-tree links");
         let before: Vec<_> = topo.node_ids().map(|n| spt.distance(n)).collect();

@@ -28,20 +28,27 @@ impl RoutingTable {
     /// used. `None` when `dest` is unreachable in the table's view or
     /// `from == dest`.
     pub fn next_hop(&self, from: NodeId, dest: NodeId) -> Option<(NodeId, LinkId)> {
-        self.trees[from.index()].first_hop(dest)
+        self.trees.get(from.index())?.first_hop(dest)
     }
 
     /// Routing distance from `from` to `dest`.
     pub fn distance(&self, from: NodeId, dest: NodeId) -> Option<u64> {
-        self.trees[from.index()].distance(dest)
+        self.trees.get(from.index())?.distance(dest)
     }
 
     /// The full default routing path from `from` to `dest`.
     pub fn path(&self, from: NodeId, dest: NodeId) -> Option<Path> {
-        self.trees[from.index()].path_to(dest)
+        self.trees.get(from.index())?.path_to(dest)
     }
 
     /// The shortest-path tree rooted at `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range for the table's topology.
+    // Documented contract panic: the table holds one tree per router of the
+    // topology it was computed on; an unknown router is a caller bug.
+    #[allow(clippy::indexing_slicing)]
     pub fn tree(&self, from: NodeId) -> &ShortestPaths {
         &self.trees[from.index()]
     }
@@ -82,7 +89,7 @@ mod tests {
     }
 
     #[test]
-    fn next_hop_agrees_with_path(){
+    fn next_hop_agrees_with_path() {
         let topo = generate::grid(4, 4, 10.0);
         let table = RoutingTable::compute(&topo, &FullView);
         let p = table.path(NodeId(0), NodeId(15)).unwrap();

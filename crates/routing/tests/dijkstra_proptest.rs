@@ -1,0 +1,79 @@
+//! Panic-freedom property for `dijkstra` (see DESIGN.md, "Static analysis
+//! & lint policy"): on arbitrary connected graphs with arbitrary failed-link
+//! subsets, the shortest-path machinery must never panic — not on the
+//! computation itself, not on queries for unreachable destinations, and not
+//! on queries for node ids that do not belong to the topology at all. This
+//! exercises the fallible `get()`-based lookups introduced by the
+//! de-`unwrap` pass.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtr_routing::dijkstra::dijkstra;
+use rtr_topology::{generate, LinkId, LinkMask, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dijkstra and every query on its result are total functions for any
+    /// connected graph and any failed-link subset.
+    #[test]
+    fn dijkstra_never_panics_under_random_failures(
+        n in 2..40usize,
+        extra in 0..60usize,
+        seed in 0..10_000u64,
+        kill in 0.0..1.0f64,
+    ) {
+        let max = n * (n - 1) / 2;
+        let m = (n - 1 + extra).min(max);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+
+        // Remove an arbitrary subset of links (possibly all of them, which
+        // isolates the source — exactly the regime that must stay total).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1f7);
+        let removed: Vec<LinkId> = topo
+            .link_ids()
+            .filter(|_| rng.gen_range(0.0..1.0) < kill)
+            .collect();
+        let mask = LinkMask::from_links(&topo, removed.iter().copied());
+
+        let src = NodeId(rng.gen_range(0..n as u32));
+        let sp = dijkstra(&topo, &mask, src);
+
+        // The source is always reachable from itself at distance zero, even
+        // when every incident link failed.
+        prop_assert_eq!(sp.distance(src), Some(0));
+
+        for v in topo.node_ids() {
+            // Queries must agree with each other and never abort.
+            let d = sp.distance(v);
+            let p = sp.path_to(v);
+            prop_assert_eq!(d.is_some(), p.is_some());
+            if let Some(path) = p {
+                prop_assert_eq!(path.dest(), v);
+                prop_assert_eq!(path.source(), src);
+                // No failed link may appear on a returned path.
+                for &l in path.links() {
+                    prop_assert!(!removed.contains(&l), "path uses removed link");
+                }
+            }
+            let _ = sp.first_hop(v);
+            let _ = sp.parent(v);
+            let _ = sp.is_reachable(v);
+        }
+
+        // Out-of-range ids (from a different or larger topology) are
+        // answered with `None`/`false`, not a panic.
+        for bogus in [NodeId(n as u32), NodeId(n as u32 + 7), NodeId(u32::MAX)] {
+            prop_assert_eq!(sp.distance(bogus), None);
+            prop_assert!(sp.path_to(bogus).is_none());
+            prop_assert!(sp.first_hop(bogus).is_none());
+            prop_assert!(!sp.is_reachable(bogus));
+        }
+
+        // A fully-failed view still yields a well-formed (trivial) tree.
+        let all_failed = LinkMask::from_links(&topo, topo.link_ids());
+        let lonely = dijkstra(&topo, &all_failed, src);
+        prop_assert_eq!(lonely.reachable_count(), 1);
+    }
+}

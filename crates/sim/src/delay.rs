@@ -10,7 +10,6 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// A point in (or span of) simulated time, with microsecond resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -87,7 +87,11 @@ impl<'a> Network<'a> {
             topo.node_count(),
             "routing table does not match topology"
         );
-        Network { topo, scenario, table }
+        Network {
+            topo,
+            scenario,
+            table,
+        }
     }
 
     /// The underlying topology.
@@ -143,7 +147,10 @@ impl<'a> Network<'a> {
             }
             cur = next;
             hops += 1;
-            debug_assert!(hops <= self.topo.node_count(), "default tables are loop-free");
+            debug_assert!(
+                hops <= self.topo.node_count(),
+                "default tables are loop-free"
+            );
         }
         WalkOutcome::Delivered { hops }
     }
@@ -158,11 +165,21 @@ impl<'a> Network<'a> {
             WalkOutcome::SourceFailed => CaseKind::SourceFailed,
             WalkOutcome::Delivered { .. } => CaseKind::NotAffected,
             WalkOutcome::NoRoute => CaseKind::NotAffected,
-            WalkOutcome::Blocked { initiator, failed_link, .. } => {
+            WalkOutcome::Blocked {
+                initiator,
+                failed_link,
+                ..
+            } => {
                 if is_reachable(self.topo, self.scenario, initiator, dest) {
-                    CaseKind::Recoverable { initiator, failed_link }
+                    CaseKind::Recoverable {
+                        initiator,
+                        failed_link,
+                    }
                 } else {
-                    CaseKind::Irrecoverable { initiator, failed_link }
+                    CaseKind::Irrecoverable {
+                        initiator,
+                        failed_link,
+                    }
                 }
             }
         }
@@ -193,9 +210,15 @@ mod tests {
         let (topo, table) = grid_net();
         let scenario = FailureScenario::none(&topo);
         let net = Network::new(&topo, &scenario, &table);
-        assert_eq!(net.default_walk(NodeId(0), NodeId(8)), WalkOutcome::Delivered { hops: 4 });
+        assert_eq!(
+            net.default_walk(NodeId(0), NodeId(8)),
+            WalkOutcome::Delivered { hops: 4 }
+        );
         assert_eq!(net.classify(NodeId(0), NodeId(8)), CaseKind::NotAffected);
-        assert_eq!(net.default_walk(NodeId(4), NodeId(4)), WalkOutcome::Delivered { hops: 0 });
+        assert_eq!(
+            net.default_walk(NodeId(4), NodeId(4)),
+            WalkOutcome::Delivered { hops: 0 }
+        );
     }
 
     #[test]
@@ -203,7 +226,10 @@ mod tests {
         let (topo, table) = grid_net();
         let scenario = FailureScenario::from_parts(&topo, [NodeId(0)], []);
         let net = Network::new(&topo, &scenario, &table);
-        assert_eq!(net.default_walk(NodeId(0), NodeId(8)), WalkOutcome::SourceFailed);
+        assert_eq!(
+            net.default_walk(NodeId(0), NodeId(8)),
+            WalkOutcome::SourceFailed
+        );
         assert_eq!(net.classify(NodeId(0), NodeId(8)), CaseKind::SourceFailed);
     }
 
@@ -215,7 +241,11 @@ mod tests {
         let scenario = FailureScenario::from_parts(&topo, [NodeId(1)], []);
         let net = Network::new(&topo, &scenario, &table);
         match net.default_walk(NodeId(0), NodeId(2)) {
-            WalkOutcome::Blocked { initiator, hops_to_initiator, .. } => {
+            WalkOutcome::Blocked {
+                initiator,
+                hops_to_initiator,
+                ..
+            } => {
                 assert_eq!(initiator, NodeId(0));
                 assert_eq!(hops_to_initiator, 0);
             }
@@ -224,7 +254,10 @@ mod tests {
         // 2 is still reachable around the failure.
         assert!(matches!(
             net.classify(NodeId(0), NodeId(2)),
-            CaseKind::Recoverable { initiator: NodeId(0), .. }
+            CaseKind::Recoverable {
+                initiator: NodeId(0),
+                ..
+            }
         ));
     }
 
@@ -238,7 +271,11 @@ mod tests {
         let scenario = FailureScenario::from_parts(&topo, [mid], []);
         let net = Network::new(&topo, &scenario, &table);
         match net.default_walk(NodeId(0), NodeId(8)) {
-            WalkOutcome::Blocked { initiator, hops_to_initiator, .. } => {
+            WalkOutcome::Blocked {
+                initiator,
+                hops_to_initiator,
+                ..
+            } => {
                 assert_eq!(initiator, path.nodes()[1]);
                 assert_eq!(hops_to_initiator, 1);
             }
@@ -265,7 +302,10 @@ mod tests {
         let net = Network::new(&topo, &scenario, &table);
         assert!(matches!(
             net.classify(NodeId(0), NodeId(2)),
-            CaseKind::Irrecoverable { initiator: NodeId(0), .. }
+            CaseKind::Irrecoverable {
+                initiator: NodeId(0),
+                ..
+            }
         ));
     }
 
@@ -297,11 +337,17 @@ mod tests {
                     CaseKind::NotAffected => {
                         assert!(!scenario.is_node_failed(s));
                     }
-                    CaseKind::Recoverable { initiator, failed_link } => {
+                    CaseKind::Recoverable {
+                        initiator,
+                        failed_link,
+                    } => {
                         assert!(!scenario.is_link_usable(&topo, failed_link));
                         assert!(is_reachable(&topo, &scenario, initiator, t));
                     }
-                    CaseKind::Irrecoverable { initiator, failed_link } => {
+                    CaseKind::Irrecoverable {
+                        initiator,
+                        failed_link,
+                    } => {
                         assert!(!scenario.is_link_usable(&topo, failed_link));
                         assert!(!is_reachable(&topo, &scenario, initiator, t));
                     }

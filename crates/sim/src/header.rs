@@ -109,18 +109,18 @@ impl<'a> IntoIterator for &'a LinkIdSet {
 
 /// The RTR first-phase header (§III-B, §III-C): mode, recovery initiator,
 /// recorded failed links, and recorded cross links.
+///
+/// The recorded sets are private and mutated only through the typed
+/// [`record_failed_link`](CollectionHeader::record_failed_link) /
+/// [`record_cross_link`](CollectionHeader::record_cross_link) setters, so
+/// every header mutation in the protocol code is a named, auditable
+/// recording step (the static-analysis pass enforces this; see DESIGN.md).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectionHeader {
-    /// Forwarding mode; `Collection` while circling the failure area.
-    pub mode: ForwardingMode,
-    /// The recovery initiator that started the collection (`rec_init`).
-    pub rec_init: NodeId,
-    /// Ids of failed links recorded by routers adjacent to the failure
-    /// area (`failed_link`). Links incident to the initiator are *not*
-    /// recorded — the initiator already knows them.
-    pub failed_links: LinkIdSet,
-    /// Ids of links that later selections must not cross (`cross_link`).
-    pub cross_links: LinkIdSet,
+    mode: ForwardingMode,
+    rec_init: NodeId,
+    failed_links: LinkIdSet,
+    cross_links: LinkIdSet,
 }
 
 impl CollectionHeader {
@@ -132,6 +132,40 @@ impl CollectionHeader {
             failed_links: LinkIdSet::new(),
             cross_links: LinkIdSet::new(),
         }
+    }
+
+    /// Forwarding mode; `Collection` while circling the failure area.
+    pub fn mode(&self) -> ForwardingMode {
+        self.mode
+    }
+
+    /// The recovery initiator that started the collection (`rec_init`).
+    pub fn rec_init(&self) -> NodeId {
+        self.rec_init
+    }
+
+    /// Ids of failed links recorded by routers adjacent to the failure
+    /// area (`failed_link`). Links incident to the initiator are *not*
+    /// recorded — the initiator already knows them.
+    pub fn failed_links(&self) -> &LinkIdSet {
+        &self.failed_links
+    }
+
+    /// Ids of links that later selections must not cross (`cross_link`).
+    pub fn cross_links(&self) -> &LinkIdSet {
+        &self.cross_links
+    }
+
+    /// Records `l` in the `failed_link` field (§III-C step 2), returning
+    /// true when it was not already recorded.
+    pub fn record_failed_link(&mut self, l: LinkId) -> bool {
+        self.failed_links.insert(l)
+    }
+
+    /// Records `l` in the `cross_link` field (Constraints 1 and 2),
+    /// returning true when it was not already recorded.
+    pub fn record_cross_link(&mut self, l: LinkId) -> bool {
+        self.cross_links.insert(l)
     }
 
     /// Variable header bytes: the recorded failed-link and cross-link ids.
@@ -177,12 +211,16 @@ mod tests {
     #[test]
     fn collection_header_bytes() {
         let mut h = CollectionHeader::new(NodeId(6));
-        assert_eq!(h.mode, ForwardingMode::Collection);
+        assert_eq!(h.mode(), ForwardingMode::Collection);
+        assert_eq!(h.rec_init(), NodeId(6));
         assert_eq!(h.overhead_bytes(), 0);
-        h.failed_links.insert(LinkId(10));
-        h.failed_links.insert(LinkId(11));
-        h.cross_links.insert(LinkId(3));
+        assert!(h.record_failed_link(LinkId(10)));
+        assert!(h.record_failed_link(LinkId(11)));
+        assert!(!h.record_failed_link(LinkId(10)));
+        assert!(h.record_cross_link(LinkId(3)));
         assert_eq!(h.overhead_bytes(), 6);
+        assert_eq!(h.failed_links().len(), 2);
+        assert_eq!(h.cross_links().len(), 1);
     }
 
     #[test]
@@ -195,10 +233,10 @@ mod tests {
         // Table I, final row: failed_link has 5 entries, cross_link has 2.
         let mut h = CollectionHeader::new(NodeId(6));
         for l in [0u32, 1, 2, 3, 4] {
-            h.failed_links.insert(LinkId(l));
+            h.record_failed_link(LinkId(l));
         }
         for l in [10u32, 11] {
-            h.cross_links.insert(LinkId(l));
+            h.record_cross_link(LinkId(l));
         }
         assert_eq!(h.overhead_bytes(), 5 * LINK_ID_BYTES + 2 * LINK_ID_BYTES);
     }

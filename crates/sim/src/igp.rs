@@ -65,7 +65,7 @@ impl ConvergenceModel {
     ) -> Vec<Option<SimTime>> {
         // Detectors: live routers with at least one unusable incident link.
         let mut dist: Vec<Option<u64>> = vec![None; topo.node_count()];
-        let mut queue = VecDeque::new();
+        let mut queue: VecDeque<(NodeId, u64)> = VecDeque::new();
         for n in topo.node_ids() {
             if scenario.is_node_failed(n) {
                 continue;
@@ -75,17 +75,23 @@ impl ConvergenceModel {
                 .iter()
                 .any(|&(_, l)| !scenario.is_link_usable(topo, l));
             if detects {
-                dist[n.index()] = Some(0);
-                queue.push_back(n);
+                if let Some(d) = dist.get_mut(n.index()) {
+                    *d = Some(0);
+                }
+                queue.push_back((n, 0));
             }
         }
         // Multi-source BFS over the live graph: LSA flooding.
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()].expect("queued nodes have distances");
+        while let Some((u, du)) = queue.pop_front() {
             for &(v, l) in topo.neighbors(u) {
-                if dist[v.index()].is_none() && scenario.is_link_usable(topo, l) {
-                    dist[v.index()] = Some(du + 1);
-                    queue.push_back(v);
+                if !scenario.is_link_usable(topo, l) {
+                    continue;
+                }
+                if let Some(dv) = dist.get_mut(v.index()) {
+                    if dv.is_none() {
+                        *dv = Some(du + 1);
+                        queue.push_back((v, du + 1));
+                    }
                 }
             }
         }

@@ -40,10 +40,10 @@ pub mod load;
 pub mod trace;
 
 pub use delay::{DelayModel, SimTime};
-pub use igp::{packets_per_second, unprotected_loss, ConvergenceModel};
-pub use load::{replay, LoadSeries, TimedTrace};
 pub use engine::{CaseKind, Network, WalkOutcome};
 pub use header::{
     CollectionHeader, ForwardingMode, LinkIdSet, LINK_ID_BYTES, NODE_ID_BYTES, PAYLOAD_BYTES,
 };
+pub use igp::{packets_per_second, unprotected_loss, ConvergenceModel};
+pub use load::{replay, LoadSeries, TimedTrace};
 pub use trace::{ForwardingTrace, TraceStep};

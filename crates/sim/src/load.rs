@@ -27,7 +27,11 @@ pub struct TimedTrace {
 impl TimedTrace {
     /// A trace starting at time zero carrying payloads.
     pub fn immediate(trace: ForwardingTrace) -> Self {
-        TimedTrace { trace, start: SimTime::ZERO, with_payload: true }
+        TimedTrace {
+            trace,
+            start: SimTime::ZERO,
+            with_payload: true,
+        }
     }
 }
 
@@ -95,26 +99,36 @@ pub fn replay(
     for flow in flows {
         let nodes: Vec<NodeId> = flow.trace.nodes().collect();
         let steps = flow.trace.steps();
-        for (i, w) in nodes.windows(2).enumerate() {
-            let Some(link) = topo.link_between(w[0], w[1]) else {
-                debug_assert!(false, "trace hop {} -> {} is not a link", w[0], w[1]);
+        for (i, (w, step)) in nodes.windows(2).zip(steps).enumerate() {
+            let (&from, &to) = match w {
+                [a, b] => (a, b),
+                _ => continue,
+            };
+            let Some(link) = topo.link_between(from, to) else {
+                debug_assert!(false, "trace hop {from} -> {to} is not a link");
                 continue;
             };
-            // Bytes leaving w[0]: header carried on departure plus payload.
-            let mut bytes = steps[i].header_bytes as u64;
+            // Bytes leaving `from`: header carried on departure plus payload.
+            let mut bytes = step.header_bytes as u64;
             if flow.with_payload {
                 bytes += PAYLOAD_BYTES as u64;
             }
             let t = flow.start + delay.per_hop() * i as u64;
-            per_link_bytes[link.index()] += bytes;
+            if let Some(b) = per_link_bytes.get_mut(link.index()) {
+                *b += bytes;
+            }
             let idx = (t.as_micros() / bin.as_micros()) as usize;
-            if idx < bins {
-                total_bytes[idx] += bytes;
+            if let Some(b) = total_bytes.get_mut(idx) {
+                *b += bytes;
             }
         }
     }
 
-    LoadSeries { bin, total_bytes, per_link_bytes }
+    LoadSeries {
+        bin,
+        total_bytes,
+        per_link_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +230,12 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_rejected() {
         let topo = generate::path(2, 10.0).unwrap();
-        let _ = replay(&topo, &DelayModel::PAPER, &[], SimTime::ZERO, SimTime::from_millis(1));
+        let _ = replay(
+            &topo,
+            &DelayModel::PAPER,
+            &[],
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
     }
 }

@@ -29,7 +29,10 @@ impl ForwardingTrace {
     /// Starts a trace at `start` carrying `header_bytes`.
     pub fn start(start: NodeId, header_bytes: usize) -> Self {
         ForwardingTrace {
-            steps: vec![TraceStep { node: start, header_bytes }],
+            steps: vec![TraceStep {
+                node: start,
+                header_bytes,
+            }],
         }
     }
 
@@ -53,6 +56,9 @@ impl ForwardingTrace {
     /// # Panics
     ///
     /// Panics on an empty (defaulted) trace.
+    // Documented contract panic: `start` always records the initial step, so
+    // only a hand-rolled empty trace can trip this.
+    #[allow(clippy::expect_used)]
     pub fn current_node(&self) -> NodeId {
         self.steps.last().expect("trace has a starting step").node
     }
@@ -67,8 +73,8 @@ impl ForwardingTrace {
     pub fn header_bytes_at(&self, delay: &DelayModel, t: SimTime) -> usize {
         let per_hop = delay.per_hop().as_micros().max(1);
         let idx = (t.as_micros() / per_hop) as usize;
-        let idx = idx.min(self.steps.len() - 1);
-        self.steps[idx].header_bytes
+        let idx = idx.min(self.steps.len().saturating_sub(1));
+        self.steps.get(idx).map_or(0, |s| s.header_bytes)
     }
 
     /// Header bytes at the end of the trace.
@@ -87,7 +93,11 @@ impl ForwardingTrace {
         if self.steps.is_empty() {
             return 0.0;
         }
-        self.steps.iter().map(|s| s.header_bytes as f64).sum::<f64>() / self.steps.len() as f64
+        self.steps
+            .iter()
+            .map(|s| s.header_bytes as f64)
+            .sum::<f64>()
+            / self.steps.len() as f64
     }
 
     /// The sequence of nodes visited.
@@ -101,12 +111,16 @@ impl ForwardingTrace {
     ///
     /// Panics if `other` does not start at this trace's current node.
     pub fn extend_with(&mut self, other: &ForwardingTrace) {
+        let Some(first) = other.steps.first() else {
+            return;
+        };
         assert_eq!(
             self.current_node(),
-            other.steps[0].node,
+            first.node,
             "appended trace must continue from the current node"
         );
-        self.steps.extend_from_slice(&other.steps[1..]);
+        self.steps
+            .extend_from_slice(other.steps.get(1..).unwrap_or(&[]));
     }
 }
 

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use rtr_routing::RoutingTable;
-use rtr_sim::{
-    CaseKind, DelayModel, ForwardingTrace, LinkIdSet, Network, SimTime, WalkOutcome,
-};
+use rtr_sim::{CaseKind, DelayModel, ForwardingTrace, LinkIdSet, Network, SimTime, WalkOutcome};
 use rtr_topology::{generate, is_reachable, FailureScenario, FullView, LinkId, NodeId, Region};
 
 proptest! {

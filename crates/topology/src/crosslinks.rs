@@ -71,38 +71,46 @@ impl CrossLinkTable {
             })
             .collect();
         let mut total_pairs = 0;
-        for i in 0..m {
-            for j in (i + 1)..m {
-                if boxes[i].overlaps(boxes[j]) && segments_cross(segs[i], segs[j]) {
-                    crossings[i].push(LinkId(j as u32));
-                    crossings[j].push(LinkId(i as u32));
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (i, (si, bi)) in segs.iter().zip(&boxes).enumerate() {
+            for (dj, (sj, bj)) in segs.iter().zip(&boxes).enumerate().skip(i + 1) {
+                if bi.overlaps(*bj) && segments_cross(*si, *sj) {
+                    pairs.push((i, dj));
                     total_pairs += 1;
                 }
+            }
+        }
+        for (i, j) in pairs {
+            if let Some(list) = crossings.get_mut(i) {
+                list.push(LinkId(j as u32));
+            }
+            if let Some(list) = crossings.get_mut(j) {
+                list.push(LinkId(i as u32));
             }
         }
         for list in &mut crossings {
             list.sort_unstable();
         }
-        CrossLinkTable { crossings, total_pairs }
+        CrossLinkTable {
+            crossings,
+            total_pairs,
+        }
     }
 
-    /// The links properly crossing `l`, sorted by id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `l` is out of range for the topology the table was built on.
+    /// The links properly crossing `l`, sorted by id. An out-of-range `l`
+    /// crosses nothing.
     pub fn crossings_of(&self, l: LinkId) -> &[LinkId] {
-        &self.crossings[l.index()]
+        self.crossings.get(l.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Returns true when links `a` and `b` properly cross.
     pub fn crosses(&self, a: LinkId, b: LinkId) -> bool {
-        self.crossings[a.index()].binary_search(&b).is_ok()
+        self.crossings_of(a).binary_search(&b).is_ok()
     }
 
     /// Returns true when `l` crosses no other link.
     pub fn is_cross_free(&self, l: LinkId) -> bool {
-        self.crossings[l.index()].is_empty()
+        self.crossings_of(l).is_empty()
     }
 
     /// Total number of crossing pairs in the topology. Zero means the

@@ -13,7 +13,6 @@ use crate::graph::{LinkId, NodeId, Topology};
 
 /// A geographic region used as a failure area.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Region {
     /// A circular area (the paper's evaluation shape).
     Circle(Circle),
@@ -100,7 +99,6 @@ impl GraphView for FullView {
 /// router only observes that some neighbors are unreachable (it cannot tell
 /// a node failure from a link failure — §I).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FailureScenario {
     failed_nodes: Vec<bool>,
     failed_links: Vec<bool>,
@@ -121,33 +119,27 @@ impl FailureScenario {
         let mut s = Self::none(topo);
         for n in topo.node_ids() {
             if region.contains(topo.position(n)) {
-                s.failed_nodes[n.index()] = true;
+                s.fail_node(n);
             }
         }
         for l in topo.link_ids() {
             if region.intersects_segment(topo.segment(l)) {
-                s.failed_links[l.index()] = true;
+                s.fail_link(l);
             }
         }
         s
     }
 
     /// A scenario in which exactly one link fails (Theorem 3's setting).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `l` is out of range for `topo`.
+    /// An out-of-range `l` fails nothing.
     pub fn single_link(topo: &Topology, l: LinkId) -> Self {
         let mut s = Self::none(topo);
-        s.failed_links[l.index()] = true;
+        s.fail_link(l);
         s
     }
 
     /// Builds a scenario from explicit failed-node and failed-link sets.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any id is out of range for `topo`.
+    /// Out-of-range ids are ignored.
     pub fn from_parts(
         topo: &Topology,
         nodes: impl IntoIterator<Item = NodeId>,
@@ -155,12 +147,26 @@ impl FailureScenario {
     ) -> Self {
         let mut s = Self::none(topo);
         for n in nodes {
-            s.failed_nodes[n.index()] = true;
+            s.fail_node(n);
         }
         for l in links {
-            s.failed_links[l.index()] = true;
+            s.fail_link(l);
         }
         s
+    }
+
+    /// Marks node `n` as failed (no-op when out of range).
+    fn fail_node(&mut self, n: NodeId) {
+        if let Some(f) = self.failed_nodes.get_mut(n.index()) {
+            *f = true;
+        }
+    }
+
+    /// Marks link `l` as failed (no-op when out of range).
+    fn fail_link(&mut self, l: LinkId) {
+        if let Some(f) = self.failed_links.get_mut(l.index()) {
+            *f = true;
+        }
     }
 
     /// Merges another scenario into this one (union of failures).
@@ -177,12 +183,12 @@ impl FailureScenario {
 
     /// Returns true when node `n` failed.
     pub fn is_node_failed(&self, n: NodeId) -> bool {
-        self.failed_nodes[n.index()]
+        self.failed_nodes.get(n.index()).copied().unwrap_or(false)
     }
 
     /// Returns true when link `l` failed (the link itself, not its ends).
     pub fn is_link_failed(&self, l: LinkId) -> bool {
-        self.failed_links[l.index()]
+        self.failed_links.get(l.index()).copied().unwrap_or(false)
     }
 
     /// Ids of all failed nodes.
@@ -230,10 +236,10 @@ impl FailureScenario {
 
 impl GraphView for FailureScenario {
     fn is_node_live(&self, n: NodeId) -> bool {
-        !self.failed_nodes[n.index()]
+        !self.is_node_failed(n)
     }
     fn is_link_live(&self, l: LinkId) -> bool {
-        !self.failed_links[l.index()]
+        !self.is_link_failed(l)
     }
 }
 
@@ -254,11 +260,7 @@ impl LinkMask {
         }
     }
 
-    /// Builds a mask removing the given links.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any link id is out of range for `topo`.
+    /// Builds a mask removing the given links (out-of-range ids are ignored).
     pub fn from_links(topo: &Topology, links: impl IntoIterator<Item = LinkId>) -> Self {
         let mut m = Self::none(topo);
         for l in links {
@@ -267,18 +269,16 @@ impl LinkMask {
         m
     }
 
-    /// Marks link `l` as removed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `l` is out of range.
+    /// Marks link `l` as removed (no-op when out of range).
     pub fn remove(&mut self, l: LinkId) {
-        self.removed[l.index()] = true;
+        if let Some(r) = self.removed.get_mut(l.index()) {
+            *r = true;
+        }
     }
 
     /// Returns true when link `l` is removed in this mask.
     pub fn is_removed(&self, l: LinkId) -> bool {
-        self.removed[l.index()]
+        self.removed.get(l.index()).copied().unwrap_or(false)
     }
 
     /// Number of removed links.
@@ -292,7 +292,7 @@ impl GraphView for LinkMask {
         true
     }
     fn is_link_live(&self, l: LinkId) -> bool {
-        !self.removed[l.index()]
+        !self.is_removed(l)
     }
 }
 
@@ -306,12 +306,18 @@ pub fn reachable_set(topo: &Topology, view: &impl GraphView, from: NodeId) -> Ve
         return seen;
     }
     let mut stack = vec![from];
-    seen[from.index()] = true;
+    if let Some(s) = seen.get_mut(from.index()) {
+        *s = true;
+    }
     while let Some(n) = stack.pop() {
         for &(nbr, l) in topo.neighbors(n) {
-            if !seen[nbr.index()] && view.is_link_usable(topo, l) {
-                seen[nbr.index()] = true;
-                stack.push(nbr);
+            if view.is_link_usable(topo, l) {
+                if let Some(s) = seen.get_mut(nbr.index()) {
+                    if !*s {
+                        *s = true;
+                        stack.push(nbr);
+                    }
+                }
             }
         }
     }
@@ -320,7 +326,10 @@ pub fn reachable_set(topo: &Topology, view: &impl GraphView, from: NodeId) -> Ve
 
 /// Returns true when `to` is reachable from `from` over usable links.
 pub fn is_reachable(topo: &Topology, view: &impl GraphView, from: NodeId, to: NodeId) -> bool {
-    reachable_set(topo, view, from)[to.index()]
+    reachable_set(topo, view, from)
+        .get(to.index())
+        .copied()
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -359,7 +368,10 @@ mod tests {
 
     #[test]
     fn region_union_is_or() {
-        let u = Region::Union(vec![Region::circle((0.0, 0.0), 0.4), Region::circle((2.0, 2.0), 0.4)]);
+        let u = Region::Union(vec![
+            Region::circle((0.0, 0.0), 0.4),
+            Region::circle((2.0, 2.0), 0.4),
+        ]);
         assert!(u.contains(Point::new(0.1, 0.1)));
         assert!(u.contains(Point::new(2.1, 2.1)));
         assert!(!u.contains(Point::new(1.0, 1.0)));
@@ -491,7 +503,10 @@ mod tests {
     fn scenario_iterators() {
         let topo = grid3();
         let s = FailureScenario::from_parts(&topo, [NodeId(2), NodeId(5)], [LinkId(1)]);
-        assert_eq!(s.failed_nodes().collect::<Vec<_>>(), vec![NodeId(2), NodeId(5)]);
+        assert_eq!(
+            s.failed_nodes().collect::<Vec<_>>(),
+            vec![NodeId(2), NodeId(5)]
+        );
         assert_eq!(s.failed_links().collect::<Vec<_>>(), vec![LinkId(1)]);
     }
 }

@@ -49,10 +49,17 @@ impl fmt::Display for GenerateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GenerateError::TooFewLinks { nodes, links } => {
-                write!(f, "{links} links cannot connect {nodes} nodes (need at least {})", nodes.saturating_sub(1))
+                write!(
+                    f,
+                    "{links} links cannot connect {nodes} nodes (need at least {})",
+                    nodes.saturating_sub(1)
+                )
             }
             GenerateError::TooManyLinks { nodes, links } => {
-                write!(f, "{links} links exceed the simple-graph maximum for {nodes} nodes")
+                write!(
+                    f,
+                    "{links} links exceed the simple-graph maximum for {nodes} nodes"
+                )
             }
             GenerateError::TooFewNodes { need, got } => {
                 write!(f, "need at least {need} nodes, got {got}")
@@ -116,25 +123,30 @@ pub fn isp_like(n: usize, m: usize, extent: f64, seed: u64) -> Result<Topology, 
     }
 
     // Nearest-neighbor attachment tree: node i joins its nearest predecessor.
-    for i in 1..n {
-        let nearest = (0..i)
-            .min_by(|&a, &c| {
-                positions[i]
-                    .distance_squared(positions[a])
-                    .total_cmp(&positions[i].distance_squared(positions[c]))
+    let mut placed: Vec<Point> = Vec::with_capacity(n);
+    for (i, &pi) in positions.iter().enumerate() {
+        let nearest = placed
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, c)| {
+                pi.distance_squared(**a)
+                    .total_cmp(&pi.distance_squared(**c))
             })
-            .expect("i >= 1, so predecessors exist");
-        b.add_link(NodeId(i as u32), NodeId(nearest as u32), 1)?;
+            .map(|(idx, _)| idx);
+        if let Some(nearest) = nearest {
+            b.add_link(NodeId(i as u32), NodeId(nearest as u32), 1)?;
+        }
+        placed.push(pi);
     }
 
     // Remaining links: all unused pairs, shortest (jittered) first.
     let mut remaining = m - (n - 1);
     if remaining > 0 {
         let mut candidates: Vec<(f64, u32, u32)> = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
+        for (i, &pi) in positions.iter().enumerate() {
+            for (j, &pj) in positions.iter().enumerate().skip(i + 1) {
                 if !b.has_link(NodeId(i as u32), NodeId(j as u32)) {
-                    let d = positions[i].distance(positions[j]);
+                    let d = pi.distance(pj);
                     let jitter = 1.0 + rng.gen_range(0.0..0.75);
                     candidates.push((d * jitter, i as u32, j as u32));
                 }
@@ -160,6 +172,9 @@ pub fn isp_like(n: usize, m: usize, extent: f64, seed: u64) -> Result<Topology, 
 /// # Panics
 ///
 /// Panics if `rows` or `cols` is zero.
+// Grid construction is structurally valid by enumeration: every link pair is
+// unique and every coordinate finite, so the builder cannot fail.
+#[allow(clippy::expect_used)]
 pub fn grid(rows: usize, cols: usize, spacing: f64) -> Topology {
     assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
     let mut b = Topology::builder();
@@ -172,10 +187,12 @@ pub fn grid(rows: usize, cols: usize, spacing: f64) -> Topology {
         for c in 0..cols {
             let id = NodeId((r * cols + c) as u32);
             if c + 1 < cols {
-                b.add_link(id, NodeId((r * cols + c + 1) as u32), 1).expect("grid links are unique");
+                b.add_link(id, NodeId((r * cols + c + 1) as u32), 1)
+                    .expect("grid links are unique");
             }
             if r + 1 < rows {
-                b.add_link(id, NodeId(((r + 1) * cols + c) as u32), 1).expect("grid links are unique");
+                b.add_link(id, NodeId(((r + 1) * cols + c) as u32), 1)
+                    .expect("grid links are unique");
             }
         }
     }
@@ -268,16 +285,14 @@ pub fn gabriel(n: usize, extent: f64, seed: u64) -> Result<Topology, GenerateErr
     for &p in &positions {
         b.add_node(p);
     }
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let mid = Point::new(
-                (positions[i].x + positions[j].x) / 2.0,
-                (positions[i].y + positions[j].y) / 2.0,
-            );
-            let r2 = positions[i].distance_squared(positions[j]) / 4.0;
-            let blocked = (0..n)
-                .filter(|&k| k != i && k != j)
-                .any(|k| mid.distance_squared(positions[k]) < r2 - 1e-12);
+    for (i, &pi) in positions.iter().enumerate() {
+        for (j, &pj) in positions.iter().enumerate().skip(i + 1) {
+            let mid = Point::new((pi.x + pj.x) / 2.0, (pi.y + pj.y) / 2.0);
+            let r2 = pi.distance_squared(pj) / 4.0;
+            let blocked = positions
+                .iter()
+                .enumerate()
+                .any(|(k, &pk)| k != i && k != j && mid.distance_squared(pk) < r2 - 1e-12);
             if !blocked {
                 b.add_link(NodeId(i as u32), NodeId(j as u32), 1)?;
             }
@@ -298,8 +313,14 @@ pub fn gabriel(n: usize, extent: f64, seed: u64) -> Result<Topology, GenerateErr
 /// # Panics
 ///
 /// Panics if `min` is zero or `min > max` (costs must be positive).
+// Rebuilding an already-validated topology cannot fail: the source graph is
+// simple with finite coordinates, and the new costs are checked >= 1 above.
+#[allow(clippy::expect_used)]
 pub fn with_random_costs(topo: &Topology, min: u32, max: u32, seed: u64) -> Topology {
-    assert!(min >= 1 && min <= max, "cost range must be positive and ordered");
+    assert!(
+        min >= 1 && min <= max,
+        "cost range must be positive and ordered"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC057);
     let mut b = Topology::builder();
     for n in topo.node_ids() {
@@ -343,9 +364,7 @@ mod tests {
     fn isp_like_different_seeds_differ() {
         let a = isp_like(30, 60, 2000.0, 1).unwrap();
         let b = isp_like(30, 60, 2000.0, 2).unwrap();
-        let same = a
-            .node_ids()
-            .all(|n| a.position(n) == b.position(n));
+        let same = a.node_ids().all(|n| a.position(n) == b.position(n));
         assert!(!same);
     }
 
@@ -470,7 +489,13 @@ mod tests {
 
     #[test]
     fn generate_error_display() {
-        let e = GenerateError::TooFewLinks { nodes: 10, links: 3 };
-        assert_eq!(e.to_string(), "3 links cannot connect 10 nodes (need at least 9)");
+        let e = GenerateError::TooFewLinks {
+            nodes: 10,
+            links: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "3 links cannot connect 10 nodes (need at least 9)"
+        );
     }
 }

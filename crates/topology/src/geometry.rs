@@ -26,7 +26,6 @@ use std::fmt;
 /// assert_eq!(origin.distance(p), 5.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -74,7 +73,6 @@ impl From<(f64, f64)> for Point {
 ///
 /// Links in the topology are straight segments between router coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment {
     /// One endpoint.
     pub a: Point,
@@ -105,7 +103,8 @@ impl Segment {
             return self.a.distance(p);
         }
         // Project p onto the infinite line, clamp to the segment.
-        let t = ((p.x - self.a.x) * (self.b.x - self.a.x) + (p.y - self.a.y) * (self.b.y - self.a.y))
+        let t = ((p.x - self.a.x) * (self.b.x - self.a.x)
+            + (p.y - self.a.y) * (self.b.y - self.a.y))
             / len2;
         let t = t.clamp(0.0, 1.0);
         let proj = Point::new(
@@ -139,7 +138,11 @@ pub fn cross(a: Point, b: Point, c: Point) -> f64 {
 pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
     let v = cross(a, b, c);
     // Scale-aware epsilon: coordinates live in ~[0, 2000], products ~1e7.
-    let scale = (b.x - a.x).abs().max((b.y - a.y).abs()).max((c.x - a.x).abs()).max((c.y - a.y).abs());
+    let scale = (b.x - a.x)
+        .abs()
+        .max((b.y - a.y).abs())
+        .max((c.x - a.x).abs())
+        .max((c.y - a.y).abs());
     let eps = 1e-9 * scale * scale.max(1.0);
     if v.abs() <= eps {
         Orientation::Collinear
@@ -207,7 +210,6 @@ pub fn segments_intersect(s1: Segment, s2: Segment) -> bool {
 
 /// A circle, the paper's failure-area shape in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Circle {
     /// Center of the circle.
     pub center: Point,
@@ -222,7 +224,10 @@ impl Circle {
     ///
     /// Panics if `radius` is negative or not finite.
     pub fn new(center: Point, radius: f64) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "circle radius must be finite and non-negative");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative"
+        );
         Circle { center, radius }
     }
 
@@ -250,7 +255,6 @@ impl Circle {
 /// area of any shape"; the evaluation uses circles but RTR itself must not
 /// assume a shape.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Polygon {
     vertices: Vec<Point>,
 }
@@ -277,7 +281,11 @@ impl Polygon {
     /// Edge segments of the polygon (closing edge included).
     pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
         let n = self.vertices.len();
-        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+        self.vertices
+            .iter()
+            .zip(self.vertices.iter().cycle().skip(1))
+            .take(n)
+            .map(|(&a, &b)| Segment::new(a, b))
     }
 
     /// Even–odd rule point-in-polygon test (boundary counts as inside).
@@ -287,17 +295,19 @@ impl Polygon {
             return true;
         }
         let mut inside = false;
-        let n = self.vertices.len();
-        let mut j = n - 1;
-        for i in 0..n {
-            let (vi, vj) = (self.vertices[i], self.vertices[j]);
+        // `vj` trails `vi` by one vertex, starting at the closing edge.
+        let Some(&last) = self.vertices.last() else {
+            return false;
+        };
+        let mut vj = last;
+        for &vi in &self.vertices {
             if (vi.y > p.y) != (vj.y > p.y) {
                 let x_at = vi.x + (p.y - vi.y) / (vj.y - vi.y) * (vj.x - vi.x);
                 if p.x < x_at {
                     inside = !inside;
                 }
             }
-            j = i;
+            vj = vi;
         }
         inside
     }
@@ -381,9 +391,18 @@ mod tests {
     fn orientation_basic() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(1.0, 0.0);
-        assert_eq!(orientation(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
-        assert_eq!(orientation(a, b, Point::new(1.0, 1.0)), Orientation::CounterClockwise);
-        assert_eq!(orientation(a, b, Point::new(1.0, -1.0)), Orientation::Clockwise);
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, -1.0)),
+            Orientation::Clockwise
+        );
     }
 
     #[test]
@@ -530,11 +549,15 @@ mod tests {
         ])
         .unwrap();
         // Passes straight through.
-        assert!(square.intersects_segment(Segment::new(Point::new(-1.0, 2.0), Point::new(5.0, 2.0))));
+        assert!(
+            square.intersects_segment(Segment::new(Point::new(-1.0, 2.0), Point::new(5.0, 2.0)))
+        );
         // Fully inside.
         assert!(square.intersects_segment(Segment::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0))));
         // Fully outside.
-        assert!(!square.intersects_segment(Segment::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0))));
+        assert!(
+            !square.intersects_segment(Segment::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0)))
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@ use std::fmt;
 /// The paper's packet headers encode node ids in 16 bits; constructing a
 /// topology with more than 65 536 nodes is rejected so ids always fit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -34,7 +33,6 @@ impl fmt::Display for NodeId {
 ///
 /// The paper's packet headers encode link ids in 16 bits (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -52,7 +50,6 @@ impl fmt::Display for LinkId {
 
 /// An undirected link with per-direction costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Link {
     a: NodeId,
     b: NodeId,
@@ -83,6 +80,9 @@ impl Link {
     /// # Panics
     ///
     /// Panics if `from` is not an endpoint of this link.
+    // Documented contract panic: callers obtain `from` from this link's own
+    // endpoints; a mismatch is a caller bug, not a recoverable condition.
+    #[allow(clippy::panic)]
     pub fn cost_from(&self, from: NodeId) -> u32 {
         if from == self.a {
             self.cost_ab
@@ -98,6 +98,8 @@ impl Link {
     /// # Panics
     ///
     /// Panics if `from` is not an endpoint of this link.
+    // Documented contract panic: see `cost_from`.
+    #[allow(clippy::panic)]
     pub fn other_end(&self, from: NodeId) -> NodeId {
         if from == self.a {
             self.b
@@ -139,7 +141,9 @@ impl fmt::Display for TopologyError {
             TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
             TopologyError::SelfLoop(n) => write!(f, "self-loop at node {n}"),
             TopologyError::DuplicateLink(a, b) => write!(f, "duplicate link between {a} and {b}"),
-            TopologyError::BadCoordinate(i) => write!(f, "non-finite coordinate for node index {i}"),
+            TopologyError::BadCoordinate(i) => {
+                write!(f, "non-finite coordinate for node index {i}")
+            }
             TopologyError::ZeroCost(a, b) => write!(f, "zero cost on link between {a} and {b}"),
             TopologyError::TooLarge(what) => write!(f, "too many {what} for 16-bit ids"),
             TopologyError::Parse(msg) => write!(f, "parse error: {msg}"),
@@ -167,7 +171,6 @@ impl std::error::Error for TopologyError {}
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     positions: Vec<Point>,
     links: Vec<Link>,
@@ -206,6 +209,9 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `n` is out of range.
+    // Documented contract panic: `NodeId`s are only minted by the builder of
+    // the topology they index, so out-of-range means a cross-topology mixup.
+    #[allow(clippy::indexing_slicing)]
     pub fn position(&self, n: NodeId) -> Point {
         self.positions[n.index()]
     }
@@ -215,6 +221,8 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `l` is out of range.
+    // Documented contract panic: see `position`.
+    #[allow(clippy::indexing_slicing)]
     pub fn link(&self, l: LinkId) -> &Link {
         &self.links[l.index()]
     }
@@ -226,18 +234,19 @@ impl Topology {
     }
 
     /// Neighbors of `n` as `(neighbor, link)` pairs, in insertion order.
+    /// An out-of-range node has no neighbors.
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
-        &self.adjacency[n.index()]
+        self.adjacency.get(n.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Degree of node `n`.
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adjacency[n.index()].len()
+        self.neighbors(n).len()
     }
 
     /// The link between `a` and `b`, if one exists.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.adjacency[a.index()]
+        self.neighbors(a)
             .iter()
             .find(|&&(nbr, _)| nbr == b)
             .map(|&(_, l)| l)
@@ -264,14 +273,18 @@ impl Topology {
         }
         let mut seen = vec![false; self.node_count()];
         let mut stack = vec![NodeId(0)];
-        seen[0] = true;
+        if let Some(s) = seen.first_mut() {
+            *s = true;
+        }
         let mut count = 1;
         while let Some(n) = stack.pop() {
             for &(nbr, _) in self.neighbors(n) {
-                if !seen[nbr.index()] {
-                    seen[nbr.index()] = true;
-                    count += 1;
-                    stack.push(nbr);
+                if let Some(s) = seen.get_mut(nbr.index()) {
+                    if !*s {
+                        *s = true;
+                        count += 1;
+                        stack.push(nbr);
+                    }
                 }
             }
         }
@@ -284,7 +297,10 @@ impl Topology {
         use crate::geometry::segments_cross;
         for i in 0..self.links.len() {
             for j in (i + 1)..self.links.len() {
-                if segments_cross(self.segment(LinkId(i as u32)), self.segment(LinkId(j as u32))) {
+                if segments_cross(
+                    self.segment(LinkId(i as u32)),
+                    self.segment(LinkId(j as u32)),
+                ) {
                     return false;
                 }
             }
@@ -370,9 +386,18 @@ impl TopologyBuilder {
             return Err(TopologyError::ZeroCost(a, b));
         }
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { a, b, cost_ab, cost_ba });
-        self.adjacency[a.index()].push((b, id));
-        self.adjacency[b.index()].push((a, id));
+        self.links.push(Link {
+            a,
+            b,
+            cost_ab,
+            cost_ba,
+        });
+        if let Some(adj) = self.adjacency.get_mut(a.index()) {
+            adj.push((b, id));
+        }
+        if let Some(adj) = self.adjacency.get_mut(b.index()) {
+            adj.push((a, id));
+        }
         Ok(id)
     }
 
@@ -484,7 +509,10 @@ mod tests {
         let v0 = b.add_node(Point::new(0.0, 0.0));
         let v1 = b.add_node(Point::new(1.0, 0.0));
         b.add_link(v0, v1, 1).unwrap();
-        assert_eq!(b.add_link(v1, v0, 1), Err(TopologyError::DuplicateLink(v1, v0)));
+        assert_eq!(
+            b.add_link(v1, v0, 1),
+            Err(TopologyError::DuplicateLink(v1, v0))
+        );
     }
 
     #[test]

@@ -29,14 +29,54 @@ pub struct IspProfile {
 
 /// The eight topologies of Table II, in the paper's column order.
 pub const TABLE2: [IspProfile; 8] = [
-    IspProfile { name: "AS209", asn: 209, nodes: 58, links: 108 },
-    IspProfile { name: "AS701", asn: 701, nodes: 83, links: 219 },
-    IspProfile { name: "AS1239", asn: 1239, nodes: 52, links: 84 },
-    IspProfile { name: "AS3320", asn: 3320, nodes: 70, links: 355 },
-    IspProfile { name: "AS3549", asn: 3549, nodes: 61, links: 486 },
-    IspProfile { name: "AS3561", asn: 3561, nodes: 92, links: 329 },
-    IspProfile { name: "AS4323", asn: 4323, nodes: 51, links: 161 },
-    IspProfile { name: "AS7018", asn: 7018, nodes: 115, links: 148 },
+    IspProfile {
+        name: "AS209",
+        asn: 209,
+        nodes: 58,
+        links: 108,
+    },
+    IspProfile {
+        name: "AS701",
+        asn: 701,
+        nodes: 83,
+        links: 219,
+    },
+    IspProfile {
+        name: "AS1239",
+        asn: 1239,
+        nodes: 52,
+        links: 84,
+    },
+    IspProfile {
+        name: "AS3320",
+        asn: 3320,
+        nodes: 70,
+        links: 355,
+    },
+    IspProfile {
+        name: "AS3549",
+        asn: 3549,
+        nodes: 61,
+        links: 486,
+    },
+    IspProfile {
+        name: "AS3561",
+        asn: 3561,
+        nodes: 92,
+        links: 329,
+    },
+    IspProfile {
+        name: "AS4323",
+        asn: 4323,
+        nodes: 51,
+        links: 161,
+    },
+    IspProfile {
+        name: "AS7018",
+        asn: 7018,
+        nodes: 115,
+        links: 148,
+    },
 ];
 
 /// Looks up a Table II profile by name (case-sensitive, e.g. `"AS209"`).
@@ -59,9 +99,17 @@ impl IspProfile {
 /// Generates the deterministic synthetic twin for a Table II profile:
 /// exactly `profile.nodes` routers and `profile.links` links placed in the
 /// paper's 2000 × 2000 area, seeded by the AS number.
+// The eight Table II profiles are static data whose node/link counts are
+// generable by construction; a failure here is a broken constant table.
+#[allow(clippy::expect_used)]
 pub fn synthetic_twin(profile: IspProfile) -> Topology {
-    isp_like(profile.nodes, profile.links, AREA_EXTENT, profile.asn as u64)
-        .expect("Table II profiles are all generable")
+    isp_like(
+        profile.nodes,
+        profile.links,
+        AREA_EXTENT,
+        profile.asn as u64,
+    )
+    .expect("Table II profiles are all generable")
 }
 
 /// An alternative twin with a topology-independent random embedding
@@ -69,9 +117,16 @@ pub fn synthetic_twin(profile: IspProfile) -> Topology {
 /// embedding ablation bench: RTR's phase 1 assumes links mostly connect
 /// geographically close routers, and this variant quantifies how much the
 /// boundary walk degrades when that correlation is absent.
+// Static Table II data: see `synthetic_twin`.
+#[allow(clippy::expect_used)]
 pub fn synthetic_twin_random_embedding(profile: IspProfile) -> Topology {
-    crate::pa::isp_like_pa(profile.nodes, profile.links, AREA_EXTENT, profile.asn as u64)
-        .expect("Table II profiles are all generable")
+    crate::pa::isp_like_pa(
+        profile.nodes,
+        profile.links,
+        AREA_EXTENT,
+        profile.asn as u64,
+    )
+    .expect("Table II profiles are all generable")
 }
 
 /// Generates all eight synthetic twins paired with their profiles.
@@ -102,7 +157,9 @@ pub fn parse_topology(text: &str) -> Result<Topology, TopologyError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let kind = parts.next().expect("non-empty line has a first token");
+        let Some(kind) = parts.next() else {
+            continue;
+        };
         let parse_err = |what: &str| TopologyError::Parse(format!("line {}: {what}", lineno + 1));
         match kind {
             "node" => {
@@ -206,7 +263,12 @@ mod tests {
 
     #[test]
     fn average_degree() {
-        let p = IspProfile { name: "X", asn: 1, nodes: 10, links: 15 };
+        let p = IspProfile {
+            name: "X",
+            asn: 1,
+            nodes: 10,
+            links: 15,
+        };
         assert_eq!(p.average_degree(), 3.0);
     }
 
@@ -244,8 +306,14 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert!(matches!(parse_topology("node 1"), Err(TopologyError::Parse(_))));
-        assert!(matches!(parse_topology("frob 1 2"), Err(TopologyError::Parse(_))));
+        assert!(matches!(
+            parse_topology("node 1"),
+            Err(TopologyError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_topology("frob 1 2"),
+            Err(TopologyError::Parse(_))
+        ));
         assert!(matches!(
             parse_topology("node 0 0\nlink 0 5"),
             Err(TopologyError::UnknownNode(_))

@@ -46,9 +46,16 @@ pub fn isp_like_pa(n: usize, m: usize, extent: f64, seed: u64) -> Result<Topolog
     // Degree-weighted sampling support: a flat list with each node repeated
     // once per incident link end, plus one baseline entry per node.
     let mut degree_pool: Vec<u32> = vec![0];
+    fn pick_weighted(pool: &[u32], rng: &mut StdRng) -> u32 {
+        pool.get(rng.gen_range(0..pool.len())).copied().unwrap_or(0)
+    }
     for i in 1..n {
-        let pick = degree_pool[rng.gen_range(0..degree_pool.len())];
-        let target = if (pick as usize) < i { pick } else { rng.gen_range(0..i as u32) };
+        let pick = pick_weighted(&degree_pool, &mut rng);
+        let target = if (pick as usize) < i {
+            pick
+        } else {
+            rng.gen_range(0..i as u32)
+        };
         b.add_link(NodeId(i as u32), NodeId(target), 1)?;
         degree_pool.push(i as u32);
         degree_pool.push(target);
@@ -60,7 +67,7 @@ pub fn isp_like_pa(n: usize, m: usize, extent: f64, seed: u64) -> Result<Topolog
     let attempt_budget = 200 * m + 10_000;
     while remaining > 0 && attempts < attempt_budget {
         attempts += 1;
-        let a = degree_pool[rng.gen_range(0..degree_pool.len())];
+        let a = pick_weighted(&degree_pool, &mut rng);
         let c = rng.gen_range(0..n as u32);
         if a == c || b.has_link(NodeId(a), NodeId(c)) {
             continue;

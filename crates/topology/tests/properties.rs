@@ -1,7 +1,9 @@
 //! Property-based tests for the topology substrate.
 
 use proptest::prelude::*;
-use rtr_topology::geometry::{ccw_angle, segments_cross, segments_intersect, Circle, Point, Segment};
+use rtr_topology::geometry::{
+    ccw_angle, segments_cross, segments_intersect, Circle, Point, Segment,
+};
 use rtr_topology::{generate, CrossLinkTable, FailureScenario, LinkId, NodeId, Region};
 
 fn arb_point() -> impl Strategy<Value = Point> {

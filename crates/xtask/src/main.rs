@@ -1,0 +1,1018 @@
+//! Workspace static-analysis driver: `cargo xtask analyze`.
+//!
+//! The paper's correctness claims (Theorems 1–3) are enforced by code that
+//! runs on the forwarding hot path, so this tool turns the workspace's
+//! hygiene rules into a mechanical, CI-enforced pass. Three rule families
+//! (see DESIGN.md, "Static analysis & lint policy"):
+//!
+//! 1. **Panic-freedom** — non-test code of the hot-path crates (`rtr-core`,
+//!    `rtr-routing`, `rtr-sim`, `rtr-topology`) must not call `.unwrap()` /
+//!    `.expect()`, invoke `panic!` / `unreachable!` / `todo!` /
+//!    `unimplemented!`, or index slices and `Vec`s with `[...]`. Every
+//!    remaining site must match a justified entry in
+//!    `crates/xtask/allow.toml`.
+//! 2. **Paper invariants** — the `failed_link` / `cross_link` header fields
+//!    may be mutated only inside their typed setters in
+//!    `crates/sim/src/header.rs` (`record_failed_link` /
+//!    `record_cross_link`), and floating-point link weights must never be
+//!    compared with `==` / `!=`.
+//! 3. **Theorem coverage** — every `Theorem N` stated in DESIGN.md must map
+//!    to at least one `#[test]` in `crates/core/tests/theorems.rs` whose
+//!    name contains `theoremN`.
+//!
+//! The analysis is a source-level lexer (comments, strings and `#[cfg(test)]`
+//! regions are blanked out before pattern checks), not a full parser: it is
+//! deliberately conservative and any false positive is resolved by an
+//! explicit, justified allowlist entry rather than a silent skip.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Hot-path crate directories (under `crates/`) subject to panic-freedom.
+const HOT_PATH_CRATES: [&str; 4] = ["core", "routing", "sim", "topology"];
+
+/// Keywords that may legally precede a `[` without it being an indexing
+/// expression (`in [..]`, `return [..]`, slice patterns after `let`, ...).
+const NON_INDEX_KEYWORDS: [&str; 18] = [
+    "as", "box", "break", "dyn", "else", "for", "if", "impl", "in", "let", "loop", "match", "move",
+    "mut", "ref", "return", "unsafe", "while",
+];
+
+/// Methods that mutate a `LinkIdSet` header field.
+const MUTATORS: [&str; 9] = [
+    "insert", "extend", "clear", "remove", "push", "pop", "retain", "truncate", "drain",
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => match run_analyze() {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("cargo xtask analyze: error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!(
+                "usage: cargo xtask analyze\n  (got {:?})\n\n\
+                 Runs the workspace static-analysis pass: panic-freedom in the\n\
+                 hot-path crates, paper-invariant lints, theorem coverage.",
+                other.unwrap_or("<nothing>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One entry of `crates/xtask/allow.toml`.
+#[derive(Debug, Default, Clone)]
+struct AllowEntry {
+    /// Workspace-relative file the exemption applies to.
+    file: String,
+    /// Rule name (`unwrap`, `expect`, `panic-macro`, `indexing`, `float-eq`).
+    rule: String,
+    /// Substring of the offending source line that identifies the site.
+    pattern: String,
+    /// One-line human justification. Must be non-empty.
+    justification: String,
+}
+
+/// A single rule violation at a source location.
+#[derive(Debug)]
+struct Violation {
+    /// Workspace-relative path.
+    file: String,
+    /// 1-based line number.
+    line: usize,
+    /// Rule name, matching [`AllowEntry::rule`].
+    rule: &'static str,
+    /// The offending (original, unmasked) source line, trimmed.
+    excerpt: String,
+}
+
+/// A loaded source file with its comment/string/test-blanked shadow copy.
+struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    rel: String,
+    /// Original text, split into lines for excerpts and allow matching.
+    lines: Vec<String>,
+    /// Same length as the original, with comments, string/char literals and
+    /// `#[cfg(test)]` regions replaced by spaces (newlines preserved).
+    masked: Vec<u8>,
+}
+
+fn run_analyze() -> Result<bool, String> {
+    let root = workspace_root()?;
+    let allow_path = root.join("crates/xtask/allow.toml");
+    let allow = load_allowlist(&allow_path)?;
+
+    // Rule family 1 runs on the hot-path crates; family 2 on every crate's
+    // library source plus the root facade (test code is always exempt).
+    let mut hot_files = Vec::new();
+    for krate in HOT_PATH_CRATES {
+        collect_rs_files(&root.join("crates").join(krate).join("src"), &mut hot_files)?;
+    }
+    let mut all_files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read crates/: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut all_files)?;
+        }
+    }
+    collect_rs_files(&root.join("src"), &mut all_files)?;
+
+    let mut violations = Vec::new();
+    let hot_set: BTreeSet<PathBuf> = hot_files.iter().cloned().collect();
+    for path in &all_files {
+        let file = load_source(&root, path)?;
+        if hot_set.contains(path) {
+            check_panic_freedom(&file, &mut violations);
+        }
+        check_header_discipline(&file, &mut violations);
+        check_float_eq(&file, &mut violations);
+    }
+    check_theorem_coverage(&root, &mut violations)?;
+
+    // Split violations into allowlisted and live; then flag stale entries.
+    let mut used = vec![false; allow.len()];
+    let mut live = Vec::new();
+    let mut allowed = 0usize;
+    for v in violations {
+        let hit = allow
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.file == v.file && a.rule == v.rule && v.excerpt.contains(&a.pattern));
+        match hit {
+            Some((i, _)) => {
+                if let Some(flag) = used.get_mut(i) {
+                    *flag = true;
+                }
+                allowed += 1;
+            }
+            None => live.push(v),
+        }
+    }
+    for (entry, was_used) in allow.iter().zip(&used) {
+        if !was_used {
+            live.push(Violation {
+                file: "crates/xtask/allow.toml".into(),
+                line: 0,
+                rule: "stale-allow",
+                excerpt: format!(
+                    "entry ({} / {} / {:?}) matches no site — remove it",
+                    entry.file, entry.rule, entry.pattern
+                ),
+            });
+        }
+    }
+
+    if live.is_empty() {
+        println!(
+            "cargo xtask analyze: OK — {} files scanned ({} hot-path), \
+             0 violations, {allowed} allowlisted sites",
+            all_files.len(),
+            hot_files.len(),
+        );
+        Ok(true)
+    } else {
+        for v in &live {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.excerpt);
+        }
+        println!(
+            "cargo xtask analyze: FAILED — {} violation(s), {allowed} allowlisted sites \
+             (add a justified entry to crates/xtask/allow.toml only for \
+             documented-contract sites)",
+            live.len()
+        );
+        Ok(false)
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> Result<PathBuf, String> {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".into())
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut local = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            local.push(path);
+        }
+    }
+    local.sort();
+    out.extend(local);
+    Ok(())
+}
+
+fn load_source(root: &Path, path: &Path) -> Result<SourceFile, String> {
+    let raw =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let mut masked = mask_source(&raw);
+    strip_test_regions(&mut masked);
+    Ok(SourceFile {
+        rel,
+        lines: raw.lines().map(str::to_owned).collect(),
+        masked,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lexical masking
+// ---------------------------------------------------------------------------
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn byte_at(s: &[u8], i: usize) -> u8 {
+    s.get(i).copied().unwrap_or(0)
+}
+
+/// Returns a same-length copy of `src` with comments and string/char
+/// literals blanked to spaces (newlines kept), so later substring checks
+/// never fire inside text.
+fn mask_source(src: &str) -> Vec<u8> {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let blank = |out: &mut Vec<u8>, byte: u8| out.push(if byte == b'\n' { b'\n' } else { b' ' });
+    let mut i = 0;
+    while i < b.len() {
+        let c = byte_at(b, i);
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == b'/' && byte_at(b, i + 1) == b'/' {
+            while i < b.len() && byte_at(b, i) != b'\n' {
+                blank(&mut out, byte_at(b, i));
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && byte_at(b, i + 1) == b'*' {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if byte_at(b, i) == b'/' && byte_at(b, i + 1) == b'*' {
+                    depth += 1;
+                    blank(&mut out, byte_at(b, i));
+                    blank(&mut out, byte_at(b, i + 1));
+                    i += 2;
+                } else if byte_at(b, i) == b'*' && byte_at(b, i + 1) == b'/' {
+                    depth -= 1;
+                    blank(&mut out, byte_at(b, i));
+                    blank(&mut out, byte_at(b, i + 1));
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, byte_at(b, i));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# (not part of an ident).
+        let prev_ident = i > 0 && is_ident(byte_at(b, i - 1));
+        if !prev_ident && (c == b'r' || (c == b'b' && byte_at(b, i + 1) == b'r')) {
+            let mut j = i + if c == b'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while byte_at(b, j) == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if byte_at(b, j) == b'"' {
+                // Blank from `i` to the closing quote + hashes.
+                j += 1;
+                loop {
+                    if j >= b.len() {
+                        break;
+                    }
+                    if byte_at(b, j) == b'"' {
+                        let mut k = 0;
+                        while k < hashes && byte_at(b, j + 1 + k) == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                while i < j {
+                    blank(&mut out, byte_at(b, i));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain and byte strings.
+        if c == b'"' || (c == b'b' && byte_at(b, i + 1) == b'"' && !prev_ident) {
+            if c == b'b' {
+                blank(&mut out, c);
+                i += 1;
+            }
+            blank(&mut out, byte_at(b, i));
+            i += 1;
+            while i < b.len() {
+                let s = byte_at(b, i);
+                if s == b'\\' {
+                    blank(&mut out, s);
+                    blank(&mut out, byte_at(b, i + 1));
+                    i += 2;
+                } else {
+                    blank(&mut out, s);
+                    i += 1;
+                    if s == b'"' {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == b'\'' || (c == b'b' && byte_at(b, i + 1) == b'\'' && !prev_ident) {
+            let q = if c == b'b' { i + 1 } else { i };
+            // A lifetime is `'ident` NOT followed by a closing quote.
+            let mut j = q + 1;
+            while is_ident(byte_at(b, j)) {
+                j += 1;
+            }
+            let is_lifetime = c == b'\'' && j > q + 1 && byte_at(b, j) != b'\'';
+            if is_lifetime {
+                out.push(c);
+                i += 1;
+                continue;
+            }
+            // Char literal: handle escapes, then blank through closing quote.
+            let mut j = q + 1;
+            if byte_at(b, j) == b'\\' {
+                j += 2;
+                // Escapes like \x7f and \u{..} extend further.
+                while j < b.len() && byte_at(b, j) != b'\'' {
+                    j += 1;
+                }
+            } else {
+                while j < b.len() && byte_at(b, j) != b'\'' {
+                    j += 1;
+                }
+            }
+            j += 1; // past the closing quote
+            while i < j && i < b.len() {
+                blank(&mut out, byte_at(b, i));
+                i += 1;
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (attribute through the matching
+/// closing brace, or through `;` for brace-less items) in `masked`.
+fn strip_test_regions(masked: &mut [u8]) {
+    const NEEDLE: &[u8] = b"#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = find_from(masked, NEEDLE, from) {
+        let mut j = pos + NEEDLE.len();
+        // Scan to the item's `{` (brace-matched) or `;`, whichever first.
+        let mut open = None;
+        while j < masked.len() {
+            match byte_at(masked, j) {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let end = match open {
+            Some(open) => {
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < masked.len() {
+                    match byte_at(masked, k) {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                k
+            }
+            None => j,
+        };
+        for slot in masked.iter_mut().take(end + 1).skip(pos) {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+        from = end + 1;
+    }
+}
+
+/// First occurrence of `needle` in `hay` at or after `from`.
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    hay.get(from..)?
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// 1-based line number of byte offset `pos`.
+fn line_of(masked: &[u8], pos: usize) -> usize {
+    1 + masked
+        .get(..pos)
+        .map_or(0, |s| s.iter().filter(|&&b| b == b'\n').count())
+}
+
+/// Original source line at 1-based `line`, trimmed.
+fn excerpt(file: &SourceFile, line: usize) -> String {
+    file.lines
+        .get(line.saturating_sub(1))
+        .map_or(String::new(), |l| l.trim().to_owned())
+}
+
+fn prev_non_ws(masked: &[u8], mut i: usize) -> Option<usize> {
+    while i > 0 {
+        i -= 1;
+        if !byte_at(masked, i).is_ascii_whitespace() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn next_non_ws(masked: &[u8], mut i: usize) -> Option<usize> {
+    while i < masked.len() {
+        if !byte_at(masked, i).is_ascii_whitespace() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The identifier ending at byte `end` (inclusive), if any.
+fn ident_ending_at(masked: &[u8], end: usize) -> String {
+    let mut start = end;
+    while start > 0 && is_ident(byte_at(masked, start - 1)) {
+        start -= 1;
+    }
+    masked
+        .get(start..=end)
+        .map_or(String::new(), |s| String::from_utf8_lossy(s).into_owned())
+}
+
+/// The identifier starting at byte `start`, if any.
+fn ident_starting_at(masked: &[u8], start: usize) -> String {
+    let mut end = start;
+    while end < masked.len() && is_ident(byte_at(masked, end)) {
+        end += 1;
+    }
+    masked
+        .get(start..end)
+        .map_or(String::new(), |s| String::from_utf8_lossy(s).into_owned())
+}
+
+// ---------------------------------------------------------------------------
+// Rule family 1: panic-freedom
+// ---------------------------------------------------------------------------
+
+fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
+    let m = &file.masked;
+    let mut push = |pos: usize, rule: &'static str| {
+        let line = line_of(m, pos);
+        out.push(Violation {
+            file: file.rel.clone(),
+            line,
+            rule,
+            excerpt: excerpt(file, line),
+        });
+    };
+
+    // `.unwrap()` / `.expect(...)` method calls.
+    for (needle, rule) in [(&b".unwrap"[..], "unwrap"), (&b".expect"[..], "expect")] {
+        let mut from = 0;
+        while let Some(pos) = find_from(m, needle, from) {
+            from = pos + needle.len();
+            if is_ident(byte_at(m, from)) {
+                continue; // `.unwrap_or(..)`, `.expect_err(..)`, ...
+            }
+            if next_non_ws(m, from).map(|i| byte_at(m, i)) == Some(b'(') {
+                push(pos, rule);
+            }
+        }
+    }
+
+    // Aborting macros.
+    for needle in [
+        &b"panic!"[..],
+        &b"unreachable!"[..],
+        &b"todo!"[..],
+        &b"unimplemented!"[..],
+    ] {
+        let mut from = 0;
+        while let Some(pos) = find_from(m, needle, from) {
+            from = pos + needle.len();
+            if pos > 0 && is_ident(byte_at(m, pos - 1)) {
+                continue;
+            }
+            push(pos, "panic-macro");
+        }
+    }
+
+    // Slice / Vec indexing: `expr[...]` where expr ends in an identifier,
+    // `)`, or `]` — array literals, types, patterns and attributes all have
+    // a non-expression byte (or a keyword) before the `[`.
+    let mut i = 0;
+    while i < m.len() {
+        if byte_at(m, i) == b'[' {
+            if let Some(p) = prev_non_ws(m, i) {
+                let pb = byte_at(m, p);
+                let is_index = if pb == b')' || pb == b']' {
+                    true
+                } else if is_ident(pb) {
+                    let word = ident_ending_at(m, p);
+                    !NON_INDEX_KEYWORDS.contains(&word.as_str())
+                } else {
+                    false
+                };
+                if is_index {
+                    push(i, "indexing");
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule family 2: paper invariants
+// ---------------------------------------------------------------------------
+
+/// Byte span (inclusive braces) of the body of `fn <name>` in `masked`.
+fn fn_body_span(masked: &[u8], name: &str) -> Option<(usize, usize)> {
+    let needle: Vec<u8> = format!("fn {name}").into_bytes();
+    let pos = find_from(masked, &needle, 0)?;
+    let open = find_from(masked, b"{", pos)?;
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < masked.len() {
+        match byte_at(masked, k) {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, k));
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Header-mutation discipline: `failed_links` / `cross_links` may be
+/// mutated (or assigned) only inside the typed setters of
+/// `crates/sim/src/header.rs`, and the fields must stay private.
+fn check_header_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    let m = &file.masked;
+    let is_header = file.rel == "crates/sim/src/header.rs";
+    let setter_spans: Vec<(usize, usize)> = if is_header {
+        ["record_failed_link", "record_cross_link"]
+            .iter()
+            .filter_map(|f| fn_body_span(m, f))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    if is_header {
+        for needle in [&b"pub failed_links"[..], &b"pub cross_links"[..]] {
+            if let Some(pos) = find_from(m, needle, 0) {
+                let line = line_of(m, pos);
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line,
+                    rule: "header-privacy",
+                    excerpt: excerpt(file, line),
+                });
+            }
+        }
+    }
+
+    for field in [&b"failed_links"[..], &b"cross_links"[..]] {
+        let mut from = 0;
+        while let Some(pos) = find_from(m, field, from) {
+            from = pos + field.len();
+            if (pos > 0 && is_ident(byte_at(m, pos - 1))) || is_ident(byte_at(m, from)) {
+                continue; // part of a longer identifier
+            }
+            let Some(nxt) = next_non_ws(m, from) else {
+                continue;
+            };
+            let mutation = match byte_at(m, nxt) {
+                b'.' => {
+                    let method = next_non_ws(m, nxt + 1)
+                        .map(|i| ident_starting_at(m, i))
+                        .unwrap_or_default();
+                    MUTATORS.contains(&method.as_str())
+                }
+                b'=' => byte_at(m, nxt + 1) != b'=',
+                _ => false,
+            };
+            if !mutation {
+                continue;
+            }
+            let in_setter = setter_spans.iter().any(|&(a, b)| pos >= a && pos <= b);
+            if !in_setter {
+                let line = line_of(m, pos);
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line,
+                    rule: "header-mutation",
+                    excerpt: excerpt(file, line),
+                });
+            }
+        }
+    }
+}
+
+/// Exact floating-point equality: flags `==` / `!=` where either operand is
+/// a float literal or an identifier annotated `: f64` in the same file.
+fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
+    let m = &file.masked;
+
+    // Identifiers declared `: f64` (params, fields, lets) in this file.
+    let mut f64_idents: BTreeSet<String> = BTreeSet::new();
+    let mut from = 0;
+    while let Some(pos) = find_from(m, b"f64", from) {
+        from = pos + 3;
+        if (pos > 0 && is_ident(byte_at(m, pos - 1))) || is_ident(byte_at(m, pos + 3)) {
+            continue;
+        }
+        let Some(colon) = prev_non_ws(m, pos) else {
+            continue;
+        };
+        if byte_at(m, colon) != b':' || (colon > 0 && byte_at(m, colon - 1) == b':') {
+            continue; // not a type ascription (`::` is a path)
+        }
+        if let Some(name_end) = prev_non_ws(m, colon) {
+            let name = ident_ending_at(m, name_end);
+            if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                f64_idents.insert(name);
+            }
+        }
+    }
+
+    let operand_token = |s: &str| -> String {
+        s.chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+            .collect()
+    };
+    let is_float_literal =
+        |tok: &str| tok.chars().next().is_some_and(|c| c.is_ascii_digit()) && tok.contains('.');
+    let is_f64_ident = |tok: &str| {
+        let last = tok.rsplit('.').next().unwrap_or(tok);
+        f64_idents.contains(last)
+    };
+
+    for op in [&b"=="[..], &b"!="[..]] {
+        let mut from = 0;
+        while let Some(pos) = find_from(m, op, from) {
+            from = pos + 2;
+            // Not part of `<=`, `>=`, `=>`, `===`-like runs or `!=`-vs-`==`.
+            let before = if pos > 0 { byte_at(m, pos - 1) } else { 0 };
+            if matches!(before, b'=' | b'!' | b'<' | b'>') || byte_at(m, pos + 2) == b'=' {
+                continue;
+            }
+            let left = prev_non_ws(m, pos).map_or(String::new(), |p| {
+                let mut start = p;
+                while start > 0 {
+                    let c = byte_at(m, start - 1);
+                    if is_ident(c) || c == b'.' {
+                        start -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                if is_ident(byte_at(m, p)) {
+                    m.get(start..=p)
+                        .map_or(String::new(), |s| String::from_utf8_lossy(s).into_owned())
+                } else {
+                    String::new()
+                }
+            });
+            let right = next_non_ws(m, pos + 2).map_or(String::new(), |p| {
+                m.get(p..).map_or(String::new(), |s| {
+                    operand_token(&String::from_utf8_lossy(s))
+                })
+            });
+            let flagged = is_float_literal(&left)
+                || is_float_literal(&right)
+                || is_f64_ident(&left)
+                || is_f64_ident(&right);
+            if flagged {
+                let line = line_of(m, pos);
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line,
+                    rule: "float-eq",
+                    excerpt: excerpt(file, line),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule family 3: theorem coverage
+// ---------------------------------------------------------------------------
+
+fn check_theorem_coverage(root: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
+    let design_path = root.join("DESIGN.md");
+    let design =
+        fs::read_to_string(&design_path).map_err(|e| format!("cannot read DESIGN.md: {e}"))?;
+    let mut theorems: BTreeSet<u32> = BTreeSet::new();
+    for (idx, _) in design.match_indices("Theorem ") {
+        let digits: String = design
+            .get(idx + 8..)
+            .unwrap_or("")
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(n) = digits.parse() {
+            theorems.insert(n);
+        }
+    }
+    if theorems.is_empty() {
+        return Err("DESIGN.md names no theorems — audit cannot run".into());
+    }
+
+    let tests_path = root.join("crates/core/tests/theorems.rs");
+    let tests =
+        fs::read_to_string(&tests_path).map_err(|e| format!("cannot read theorems.rs: {e}"))?;
+    let mut test_names: BTreeSet<String> = BTreeSet::new();
+    for (idx, _) in tests.match_indices("#[test]") {
+        if let Some(fn_pos) = tests.get(idx..).and_then(|s| s.find("fn ")) {
+            let name: String = tests
+                .get(idx + fn_pos + 3..)
+                .unwrap_or("")
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                test_names.insert(name);
+            }
+        }
+    }
+
+    for n in theorems {
+        let tag = format!("theorem{n}");
+        if !test_names.iter().any(|t| t.contains(&tag)) {
+            out.push(Violation {
+                file: "DESIGN.md".into(),
+                line: 0,
+                rule: "theorem-coverage",
+                excerpt: format!(
+                    "Theorem {n} has no `#[test]` in crates/core/tests/theorems.rs \
+                     whose name contains `{tag}`"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+/// Parses `allow.toml` — a flat sequence of `[[allow]]` tables with string
+/// keys `file`, `rule`, `pattern`, `justification` (a deliberate TOML
+/// subset; this workspace vendors no TOML parser).
+fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("allow.toml line {}: {what}", lineno + 1);
+        if line == "[[allow]]" {
+            entries.push(AllowEntry::default());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err("expected `key = \"value\"` or `[[allow]]`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| err("value must be a double-quoted string"))?
+            .replace("\\\"", "\"");
+        let Some(entry) = entries.last_mut() else {
+            return Err(err("key outside any [[allow]] table"));
+        };
+        match key {
+            "file" => entry.file = value,
+            "rule" => entry.rule = value,
+            "pattern" => entry.pattern = value,
+            "justification" => entry.justification = value,
+            other => return Err(err(&format!("unknown key `{other}`"))),
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if e.file.is_empty() || e.rule.is_empty() || e.pattern.is_empty() {
+            return Err(format!(
+                "allow.toml entry {} is missing file/rule/pattern",
+                i + 1
+            ));
+        }
+        if e.justification.trim().is_empty() {
+            return Err(format!(
+                "allow.toml entry {} ({} / {}) has no justification — every \
+                 exemption must say why it is sound",
+                i + 1,
+                e.file,
+                e.rule
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> Vec<u8> {
+        let mut m = mask_source(src);
+        strip_test_regions(&mut m);
+        m
+    }
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.into(),
+            lines: src.lines().map(str::to_owned).collect(),
+            masked: masked(src),
+        }
+    }
+
+    #[test]
+    fn masking_blanks_strings_and_comments() {
+        let m = masked("let x = \"a.unwrap()\"; // b.unwrap()\n/* c[0] */ let y = 1;");
+        let s = String::from_utf8_lossy(&m);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("c[0]"));
+        assert!(s.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn masking_keeps_lifetimes_but_blanks_chars() {
+        let m = masked("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        let s = String::from_utf8_lossy(&m);
+        assert!(s.contains("<'a>"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn test_regions_are_stripped() {
+        let m = masked("fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n");
+        let s = String::from_utf8_lossy(&m);
+        assert!(s.contains("fn live"));
+        assert!(!s.contains("unwrap"));
+    }
+
+    #[test]
+    fn panic_freedom_flags_all_constructs() {
+        let src = "fn f(v: Vec<u32>) {\n  v.first().unwrap();\n  v.last().expect(\"x\");\n  \
+                   panic!(\"boom\");\n  let _ = v[0];\n}\n";
+        let mut out = Vec::new();
+        check_panic_freedom(&file("x.rs", src), &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["unwrap", "expect", "panic-macro", "indexing"]);
+    }
+
+    #[test]
+    fn panic_freedom_ignores_lookalikes() {
+        let src = "fn f(v: &[u32], o: Option<u32>) -> Vec<u32> {\n  let _ = o.unwrap_or(3);\n  \
+                   for x in [1, 2] { let _ = x; }\n  let a: [u8; 2] = [0; 2];\n  \
+                   let _ = &a;\n  v.to_vec()\n}\n";
+        let mut out = Vec::new();
+        check_panic_freedom(&file("x.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn chained_and_paren_indexing_is_flagged() {
+        let src = "fn f(v: &Vec<Vec<u32>>) { let _ = v[0][1]; let _ = (v.clone())[0]; }";
+        let mut out = Vec::new();
+        check_panic_freedom(&file("x.rs", src), &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn header_mutation_outside_setter_is_flagged() {
+        let src = "fn f(h: &mut H) { h.failed_links.insert(l); h.cross_links().len(); }";
+        let mut out = Vec::new();
+        check_header_discipline(&file("crates/core/src/x.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|v| v.rule), Some("header-mutation"));
+    }
+
+    #[test]
+    fn header_setters_themselves_are_allowed() {
+        let src = "impl H {\n  pub fn record_failed_link(&mut self, l: L) -> bool {\n    \
+                   self.failed_links.insert(l)\n  }\n  \
+                   pub fn record_cross_link(&mut self, l: L) -> bool {\n    \
+                   self.cross_links.insert(l)\n  }\n}\n";
+        let mut out = Vec::new();
+        check_header_discipline(&file("crates/sim/src/header.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn float_eq_flags_literals_and_f64_idents() {
+        let src = "fn f(w: f64, n: u32) {\n  let _ = w == 0.5;\n  let _ = n == 3;\n}\n";
+        let mut out = Vec::new();
+        check_float_eq(&file("x.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|v| v.line), Some(2));
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_and_enum_comparisons() {
+        let src = "fn f(a: usize, b: usize) -> bool { a == b && a != b + 1 }";
+        let mut out = Vec::new();
+        check_float_eq(&file("x.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn allowlist_parser_round_trips() {
+        let dir = std::env::temp_dir().join("xtask-allow-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("allow.toml");
+        fs::write(
+            &p,
+            "# comment\n[[allow]]\nfile = \"a.rs\"\nrule = \"unwrap\"\n\
+             pattern = \"x.unwrap()\"\njustification = \"because\"\n",
+        )
+        .unwrap();
+        let entries = load_allowlist(&p).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "unwrap");
+        fs::write(
+            &p,
+            "[[allow]]\nfile = \"a.rs\"\nrule = \"r\"\npattern = \"p\"\n",
+        )
+        .unwrap();
+        assert!(
+            load_allowlist(&p).is_err(),
+            "missing justification accepted"
+        );
+    }
+}

@@ -16,7 +16,9 @@ use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, Region};
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "AS701".into());
-    let radius: f64 = args.next().map_or(280.0, |r| r.parse().expect("radius must be a number"));
+    let radius: f64 = args
+        .next()
+        .map_or(280.0, |r| r.parse().expect("radius must be a number"));
 
     let profile = isp::profile(&name).unwrap_or_else(|| {
         eprintln!("unknown topology {name}; pick one of Table II (AS209, AS701, ...)");
@@ -44,7 +46,11 @@ fn main() {
             if s == t {
                 continue;
             }
-            let CaseKind::Recoverable { initiator, failed_link } = net.classify(s, t) else {
+            let CaseKind::Recoverable {
+                initiator,
+                failed_link,
+            } = net.classify(s, t)
+            else {
                 continue;
             };
             rows.cases += 1;
@@ -54,6 +60,7 @@ fn main() {
 
             let session = sessions.entry(initiator).or_insert_with(|| {
                 RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+                    .expect("recoverable case: live initiator with a failed incident link")
             });
             let rtr = session.recover(t);
             if rtr.is_delivered() {

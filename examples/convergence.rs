@@ -13,13 +13,13 @@
 
 use rtr::core::RtrSession;
 use rtr::routing::RoutingTable;
-use rtr::sim::{
-    packets_per_second, unprotected_loss, CaseKind, ConvergenceModel, Network,
-};
+use rtr::sim::{packets_per_second, unprotected_loss, CaseKind, ConvergenceModel, Network};
 use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, Region};
 
 fn main() {
-    let topo = isp::profile("AS209").expect("AS209 is in Table II").synthesize();
+    let topo = isp::profile("AS209")
+        .expect("AS209 is in Table II")
+        .synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
     let crosslinks = CrossLinkTable::new(&topo);
     let scenario = FailureScenario::from_region(&topo, &Region::circle((1000.0, 900.0), 280.0));
@@ -30,7 +30,10 @@ fn main() {
     );
 
     // Per-router convergence completion under two IGP tunings.
-    for (label, model) in [("classic IGP", ConvergenceModel::CLASSIC), ("tuned IGP", ConvergenceModel::TUNED)] {
+    for (label, model) in [
+        ("classic IGP", ConvergenceModel::CLASSIC),
+        ("tuned IGP", ConvergenceModel::TUNED),
+    ] {
         let total = model
             .network_convergence_time(&topo, &scenario)
             .expect("the failure is detected");
@@ -50,7 +53,11 @@ fn main() {
                 if s == t {
                     continue;
                 }
-                let CaseKind::Recoverable { initiator, failed_link } = net.classify(s, t) else {
+                let CaseKind::Recoverable {
+                    initiator,
+                    failed_link,
+                } = net.classify(s, t)
+                else {
                     continue;
                 };
                 recoverable_paths += 1;
@@ -60,6 +67,7 @@ fn main() {
                 // are only delayed by the first phase, not dropped (§III-A).
                 let session = sessions.entry(initiator).or_insert_with(|| {
                     RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+                        .expect("recoverable case: live initiator with a failed incident link")
                 });
                 if !session.recover(t).is_delivered() {
                     with_rtr += unprotected_loss(window, pps);
@@ -67,7 +75,10 @@ fn main() {
             }
         }
         println!("  recoverable failed paths: {recoverable_paths} (one 1.25 Mpps flow each)");
-        println!("  packets lost without protection: {:.1} M", unprotected / 1e6);
+        println!(
+            "  packets lost without protection: {:.1} M",
+            unprotected / 1e6
+        );
         println!("  packets lost with RTR:           {:.1} M", with_rtr / 1e6);
         if unprotected > 0.0 {
             println!(

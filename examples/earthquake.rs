@@ -12,15 +12,18 @@
 //! ```
 
 use rtr::baselines::fcp_route;
-use rtr::core::RtrSession;
+use rtr::core::{Phase1Error, RtrSession};
 use rtr::routing::RoutingTable;
 use rtr::sim::{CaseKind, DelayModel, Network, PAYLOAD_BYTES};
 use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, NodeId, Region};
+use std::collections::btree_map::Entry;
 
 fn main() {
     // AS7018's twin: the sparsest Table II topology (115 routers, 148
     // links) — the one that partitions most easily.
-    let topo = isp::profile("AS7018").expect("AS7018 is in Table II").synthesize();
+    let topo = isp::profile("AS7018")
+        .expect("AS7018 is in Table II")
+        .synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
     let crosslinks = CrossLinkTable::new(&topo);
 
@@ -46,10 +49,16 @@ fn main() {
                 continue;
             }
             match net.classify(s, t) {
-                CaseKind::Recoverable { initiator, failed_link } => {
+                CaseKind::Recoverable {
+                    initiator,
+                    failed_link,
+                } => {
                     recoverable.push((initiator, failed_link, t));
                 }
-                CaseKind::Irrecoverable { initiator, failed_link } => {
+                CaseKind::Irrecoverable {
+                    initiator,
+                    failed_link,
+                } => {
                     irrecoverable.push((initiator, failed_link, t));
                 }
                 _ => {}
@@ -73,6 +82,7 @@ fn main() {
         let key = (initiator, 0u32);
         let session = sessions.entry(key).or_insert_with(|| {
             RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+                .expect("recoverable case: live initiator with a failed incident link")
         });
         let attempt = session.recover(dest);
         if attempt.is_delivered() {
@@ -102,7 +112,10 @@ fn main() {
     );
     println!(
         "  shortest-path calculations: {} (one per initiator-destination pair)",
-        sessions.values().map(|s| s.sp_calculations()).sum::<usize>()
+        sessions
+            .values()
+            .map(|s| s.sp_calculations())
+            .sum::<usize>()
     );
 
     // Irrecoverable traffic: compare wasted work, RTR vs FCP.
@@ -112,9 +125,19 @@ fn main() {
     let mut rtr_wasted_calcs = 0usize;
     for &(initiator, failed_link, dest) in &irrecoverable {
         let key = (initiator, 0u32);
-        let session = sessions.entry(key).or_insert_with(|| {
-            RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
-        });
+        let session = match sessions.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(slot) => {
+                match RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link) {
+                    Ok(session) => slot.insert(session),
+                    // A fully isolated initiator cannot even emit a
+                    // collection packet, so RTR wastes neither computation
+                    // nor transmission on its traffic.
+                    Err(Phase1Error::NoLiveNeighbor { .. }) => continue,
+                    Err(e) => panic!("irrecoverable case could not start a session: {e}"),
+                }
+            }
+        };
         let attempt = session.recover(dest);
         assert!(!attempt.is_delivered());
         rtr_wasted_calcs += 1;

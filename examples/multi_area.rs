@@ -15,7 +15,9 @@ use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, Region};
 
 fn main() {
     // A dense twin so two holes still leave plenty of alternate paths.
-    let topo = isp::profile("AS3320").expect("AS3320 is in Table II").synthesize();
+    let topo = isp::profile("AS3320")
+        .expect("AS3320 is in Table II")
+        .synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
     let crosslinks = CrossLinkTable::new(&topo);
 
@@ -42,11 +44,16 @@ fn main() {
             if s == t {
                 continue;
             }
-            let CaseKind::Recoverable { initiator, failed_link } = net.classify(s, t) else {
+            let CaseKind::Recoverable {
+                initiator,
+                failed_link,
+            } = net.classify(s, t)
+            else {
                 continue;
             };
             let session = sessions.entry(initiator).or_insert_with(|| {
                 RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+                    .expect("recoverable case: live initiator with a failed incident link")
             });
             assert_ne!(
                 session.phase1().termination,
@@ -85,8 +92,8 @@ fn main() {
         println!(
             "\ne.g. initiator {initiator}: walked {} hops, collected {} failed links, {} cross links",
             session.phase1().trace.hops(),
-            h.failed_links.len(),
-            h.cross_links.len()
+            h.failed_links().len(),
+            h.cross_links().len()
         );
     }
 
@@ -100,7 +107,11 @@ fn main() {
             if s == t {
                 continue;
             }
-            let CaseKind::Recoverable { initiator, failed_link } = net.classify(s, t) else {
+            let CaseKind::Recoverable {
+                initiator,
+                failed_link,
+            } = net.classify(s, t)
+            else {
                 continue;
             };
             let session = sessions.get_mut(&initiator).expect("seen above");
@@ -109,7 +120,8 @@ fn main() {
             }
             discarded += 1;
             let chained =
-                recover_multi_area(&topo, &crosslinks, &scenario, initiator, failed_link, t, 32);
+                recover_multi_area(&topo, &crosslinks, &scenario, initiator, failed_link, t, 32)
+                    .expect("entry point is a valid initiator");
             if chained.is_delivered() {
                 rescued += 1;
             }

@@ -15,7 +15,9 @@ use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, Region};
 fn main() {
     // 1. An ISP topology: the paper's AS1239 twin (52 routers, 84 links,
     //    in a 2000 x 2000 plane).
-    let topo = isp::profile("AS1239").expect("AS1239 is in Table II").synthesize();
+    let topo = isp::profile("AS1239")
+        .expect("AS1239 is in Table II")
+        .synthesize();
     println!(
         "topology: {} routers, {} links, connected = {}",
         topo.node_count(),
@@ -44,7 +46,10 @@ fn main() {
         .node_ids()
         .flat_map(|s| topo.node_ids().map(move |t| (s, t)))
         .find_map(|(s, t)| match net.classify(s, t) {
-            CaseKind::Recoverable { initiator, failed_link } => Some((initiator, failed_link, t)),
+            CaseKind::Recoverable {
+                initiator,
+                failed_link,
+            } => Some((initiator, failed_link, t)),
             _ => None,
         })
         .expect("a radius-250 hole breaks some recoverable path");
@@ -52,15 +57,16 @@ fn main() {
 
     // 5. RTR phase 1: forward a packet around the failure area, collecting
     //    failed-link ids in its header.
-    let mut session = RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link);
+    let mut session = RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+        .expect("recoverable case: live initiator with a failed incident link");
     let phase1 = session.phase1();
     let delay = DelayModel::PAPER;
     println!(
         "phase 1: {} hops in {} ({} failed links collected, {} cross links recorded)",
         phase1.trace.hops(),
         phase1.trace.duration(&delay),
-        phase1.header.failed_links.len(),
-        phase1.header.cross_links.len(),
+        phase1.header.failed_links().len(),
+        phase1.header.cross_links().len(),
     );
 
     // 6. RTR phase 2: recompute the shortest path on the repaired view and
@@ -82,6 +88,13 @@ fn main() {
         optimal.cost(),
         got.cost() as f64 / optimal.cost() as f64
     );
-    assert_eq!(got.cost(), optimal.cost(), "Theorem 2: stretch is exactly 1");
-    println!("shortest-path calculations spent: {}", session.sp_calculations());
+    assert_eq!(
+        got.cost(),
+        optimal.cost(),
+        "Theorem 2: stretch is exactly 1"
+    );
+    println!(
+        "shortest-path calculations spent: {}",
+        session.sp_calculations()
+    );
 }

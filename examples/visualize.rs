@@ -32,14 +32,18 @@ fn main() {
         .node_ids()
         .flat_map(|s| topo.node_ids().map(move |t| (s, t)))
         .find_map(|(s, t)| match net.classify(s, t) {
-            CaseKind::Recoverable { initiator, failed_link } => Some((initiator, failed_link, t)),
+            CaseKind::Recoverable {
+                initiator,
+                failed_link,
+            } => Some((initiator, failed_link, t)),
             _ => None,
         })
     else {
         eprintln!("this failure broke nothing recoverable; try another topology");
         std::process::exit(1);
     };
-    let mut session = RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link);
+    let mut session = RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+        .expect("recoverable case: live initiator with a failed incident link");
     let attempt = session.recover(dest);
 
     let mut scene = SvgScene::new(&topo).with_failure(&scenario, &region);

@@ -14,7 +14,12 @@ fn paper_walkthrough_on_a_twin() {
     let topo = isp::profile("AS209").unwrap().synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
     let crosslinks = CrossLinkTable::new(&topo);
-    let region = Region::circle((1000.0, 1000.0), 220.0);
+    // Centre the failure on the densest node so the region reliably swallows
+    // part of the core (magic coordinates would silently depend on the RNG
+    // stream behind the synthesized embedding).
+    let hub = topo.node_ids().max_by_key(|&n| topo.degree(n)).unwrap();
+    let c = topo.position(hub);
+    let region = Region::circle((c.x, c.y), 220.0);
     let scenario = FailureScenario::from_region(&topo, &region);
     let net = Network::new(&topo, &scenario, &table);
 
@@ -25,15 +30,22 @@ fn paper_walkthrough_on_a_twin() {
             if s == t {
                 continue;
             }
-            if let CaseKind::Recoverable { initiator, failed_link } = net.classify(s, t) {
+            if let CaseKind::Recoverable {
+                initiator,
+                failed_link,
+            } = net.classify(s, t)
+            {
                 cases += 1;
                 let mut session =
-                    RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link);
+                    RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+                        .expect("recoverable case: live initiator with a failed incident link");
                 let attempt = session.recover(t);
                 if attempt.is_delivered() {
                     recovered += 1;
                     // Theorem 2 end to end.
-                    let opt = shortest_path(&topo, &scenario, initiator, t).unwrap().cost();
+                    let opt = shortest_path(&topo, &scenario, initiator, t)
+                        .unwrap()
+                        .cost();
                     assert_eq!(attempt.path.unwrap().cost(), opt);
                 }
             }
@@ -54,7 +66,10 @@ fn schemes_disagree_as_published() {
     let topo = isp::profile("AS4323").unwrap().synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
     let mrc = Mrc::build(&topo, 5).unwrap();
-    let region = Region::circle((900.0, 1100.0), 300.0);
+    // Anchor the failure at the densest node (see paper_walkthrough_on_a_twin).
+    let hub = topo.node_ids().max_by_key(|&n| topo.degree(n)).unwrap();
+    let c = topo.position(hub);
+    let region = Region::circle((c.x, c.y), 300.0);
     let scenario = FailureScenario::from_region(&topo, &region);
     let net = Network::new(&topo, &scenario, &table);
 
@@ -67,11 +82,18 @@ fn schemes_disagree_as_published() {
             if s == t {
                 continue;
             }
-            if let CaseKind::Recoverable { initiator, failed_link } = net.classify(s, t) {
+            if let CaseKind::Recoverable {
+                initiator,
+                failed_link,
+            } = net.classify(s, t)
+            {
                 cases += 1;
                 rtr_initiators.insert(initiator);
                 let fcp = fcp_route(&topo, &scenario, initiator, failed_link, t);
-                assert!(fcp.is_delivered(), "FCP always delivers recoverable traffic");
+                assert!(
+                    fcp.is_delivered(),
+                    "FCP always delivers recoverable traffic"
+                );
                 fcp_total_calcs += fcp.sp_calculations;
                 let m = mrc_recover(&topo, &mrc, &scenario, initiator, failed_link, t);
                 if !m.is_delivered() {
@@ -84,8 +106,14 @@ fn schemes_disagree_as_published() {
     // RTR needs one SPT per initiator; FCP needed at least one calculation
     // per case (usually more).
     assert!(fcp_total_calcs >= cases);
-    assert!(rtr_initiators.len() < cases, "initiators are shared across destinations");
-    assert!(mrc_drops > 0, "large-scale failures must defeat MRC somewhere");
+    assert!(
+        rtr_initiators.len() < cases,
+        "initiators are shared across destinations"
+    );
+    assert!(
+        mrc_drops > 0,
+        "large-scale failures must defeat MRC somewhere"
+    );
 }
 
 /// Phase-1 traces respect the delay model end to end (Fig. 7's pipeline).
@@ -114,7 +142,8 @@ fn phase1_durations_follow_delay_model() {
         if !has_live {
             continue;
         }
-        let session = RtrSession::start(&topo, &crosslinks, &scenario, n, dead);
+        let session = RtrSession::start(&topo, &crosslinks, &scenario, n, dead)
+            .expect("recoverable case: live initiator with a failed incident link");
         let p1 = session.phase1();
         assert_eq!(p1.termination, Phase1Termination::Completed);
         let d = p1.trace.duration(&delay);
@@ -140,10 +169,15 @@ fn irrecoverable_traffic_is_cut_off_quickly() {
             if s == t {
                 continue;
             }
-            if let CaseKind::Irrecoverable { initiator, failed_link } = net.classify(s, t) {
+            if let CaseKind::Irrecoverable {
+                initiator,
+                failed_link,
+            } = net.classify(s, t)
+            {
                 found += 1;
                 let mut session =
-                    RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link);
+                    RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
+                        .expect("recoverable case: live initiator with a failed incident link");
                 let attempt = session.recover(t);
                 assert!(!attempt.is_delivered());
                 // RTR spends exactly one calculation, and the discard walk
@@ -155,7 +189,10 @@ fn irrecoverable_traffic_is_cut_off_quickly() {
             }
         }
     }
-    assert!(found > 0, "a radius-420 hole should partition AS1239's twin");
+    assert!(
+        found > 0,
+        "a radius-420 hole should partition AS1239's twin"
+    );
 }
 
 /// The full experiment harness runs end to end at a tiny scale and its
@@ -202,6 +239,7 @@ fn recovery_on_parsed_topology() {
     let Some((initiator, failed)) = entry else {
         panic!("fixture should produce an entry point");
     };
-    let session = RtrSession::start(&parsed, &crosslinks, &scenario, initiator, failed);
+    let session = RtrSession::start(&parsed, &crosslinks, &scenario, initiator, failed)
+        .expect("recoverable case: live initiator with a failed incident link");
     assert!(session.phase1().is_complete());
 }

@@ -1,0 +1,197 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! API surface the RTR benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock timing loop.
+//!
+//! It reports mean iteration time to stdout. It does not do statistical
+//! outlier analysis, warm-up calibration, or HTML reports; it exists so the
+//! benches compile, run, and print comparable numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark (matching criterion's default
+/// measurement time of 5s would make offline smoke runs slow; 500ms keeps
+/// `cargo bench` usable while still averaging many iterations).
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(500);
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the measurement budget is spent,
+    /// recording the total time and iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed pass absorbs cold caches and lazy statics.
+        let _ = routine();
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            let _ = routine();
+            iterations += 1;
+            if start.elapsed() >= MEASUREMENT_BUDGET {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, label: &str) {
+        if self.iterations == 0 {
+            println!("{label:<50} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iterations);
+        println!(
+            "{label:<50} {:>12} ns/iter ({} iterations)",
+            per_iter, self.iterations
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Runs one benchmark that borrows a shared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Prevents the compiler from optimising a value away, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group, mirroring
+/// criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iterations > 0);
+        assert!(b.elapsed >= MEASUREMENT_BUDGET);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("build", "AS1239").to_string(),
+            "build/AS1239"
+        );
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}
