@@ -15,9 +15,17 @@
 //! "try every possible link to reach the destination before discarding
 //! packets" (§IV-D).
 
-use rtr_routing::{dijkstra::dijkstra, Path};
+use rtr_routing::{DijkstraScratch, Path};
 use rtr_sim::{ForwardingTrace, LinkIdSet, LINK_ID_BYTES, NODE_ID_BYTES};
 use rtr_topology::{GraphView, LinkId, LinkMask, NodeId, Topology};
+
+/// Reusable buffers for repeated [`fcp_route_in`] calls: the Dijkstra
+/// scratch plus the believed-view mask rebuilt at every encounter.
+#[derive(Debug, Clone, Default)]
+pub struct FcpScratch {
+    sp: DijkstraScratch,
+    mask: LinkMask,
+}
 
 /// Why an FCP packet stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,21 +72,25 @@ fn header_bytes(failures: &LinkIdSet, remaining_route_hops: usize) -> usize {
     failures.len() * LINK_ID_BYTES + remaining_route_hops * NODE_ID_BYTES
 }
 
-/// Computes the FCP view at `node`: the full topology minus carried
-/// failures and minus the node's locally observed failed incident links.
-fn believed_view(
+/// Computes the FCP view at `node` into `mask`: the full topology minus
+/// carried failures and minus the node's locally observed failed incident
+/// links.
+fn believed_view_into(
+    mask: &mut LinkMask,
     topo: &Topology,
     ground_truth: &impl GraphView,
     node: NodeId,
     carried: &LinkIdSet,
-) -> LinkMask {
-    let mut mask = LinkMask::from_links(topo, carried.iter());
+) {
+    mask.reset(topo);
+    for l in carried.iter() {
+        mask.remove(l);
+    }
     for &(_, l) in topo.neighbors(node) {
         if !ground_truth.is_link_usable(topo, l) {
             mask.remove(l);
         }
     }
-    mask
 }
 
 /// Routes one packet from `initiator` to `dest` with FCP over the ground
@@ -95,6 +107,31 @@ pub fn fcp_route(
     initiator: NodeId,
     initial_failed_link: LinkId,
     dest: NodeId,
+) -> FcpAttempt {
+    fcp_route_in(
+        topo,
+        view,
+        initiator,
+        initial_failed_link,
+        dest,
+        &mut FcpScratch::default(),
+    )
+}
+
+/// Like [`fcp_route`], but reuses the caller's [`FcpScratch`] so the
+/// per-encounter recomputation allocates nothing after warm-up (beyond the
+/// recomputed source-route path itself).
+///
+/// # Panics
+///
+/// Same contract as [`fcp_route`].
+pub fn fcp_route_in(
+    topo: &Topology,
+    view: &impl GraphView,
+    initiator: NodeId,
+    initial_failed_link: LinkId,
+    dest: NodeId,
+    scratch: &mut FcpScratch,
 ) -> FcpAttempt {
     assert!(
         topo.link(initial_failed_link).is_incident_to(initiator),
@@ -116,8 +153,8 @@ pub fn fcp_route(
     // Each recomputation adds at least one newly encountered link to the
     // carried set, so at most `link_count` recomputations can happen.
     loop {
-        let mask = believed_view(topo, view, cur, &carried);
-        let sp = dijkstra(topo, &mask, cur);
+        believed_view_into(&mut scratch.mask, topo, view, cur, &carried);
+        let sp = scratch.sp.run(topo, &scratch.mask, cur);
         sp_calculations += 1;
         let Some(path): Option<Path> = sp.path_to(dest) else {
             return FcpAttempt {

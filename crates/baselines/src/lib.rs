@@ -38,5 +38,5 @@
 pub mod fcp;
 pub mod mrc;
 
-pub use fcp::{fcp_route, FcpAttempt, FcpOutcome};
-pub use mrc::{mrc_recover, Mrc, MrcAttempt, MrcError, MrcOutcome};
+pub use fcp::{fcp_route, fcp_route_in, FcpAttempt, FcpOutcome, FcpScratch};
+pub use mrc::{mrc_recover, mrc_recover_in, Mrc, MrcAttempt, MrcError, MrcOutcome};

@@ -18,8 +18,7 @@
 //! link is isolated in the configuration of one of its endpoints when that
 //! keeps the configuration connected.
 
-use rtr_routing::dijkstra::dijkstra;
-use rtr_routing::Path;
+use rtr_routing::{DijkstraScratch, Path};
 use rtr_topology::{GraphView, LinkId, NodeId, Topology};
 use std::fmt;
 
@@ -264,6 +263,20 @@ impl Mrc {
         src: NodeId,
         dest: NodeId,
     ) -> Option<Path> {
+        self.backup_path_in(topo, config, src, dest, &mut DijkstraScratch::new())
+    }
+
+    /// Like [`backup_path`](Self::backup_path), but reuses the caller's
+    /// Dijkstra buffers — the per-case MRC computation in the evaluation
+    /// hot loop.
+    pub fn backup_path_in(
+        &self,
+        topo: &Topology,
+        config: usize,
+        src: NodeId,
+        dest: NodeId,
+        scratch: &mut DijkstraScratch,
+    ) -> Option<Path> {
         let view = ConfigView {
             mrc: self,
             config,
@@ -271,7 +284,7 @@ impl Mrc {
             dest,
             topo,
         };
-        dijkstra(topo, &view, src).path_to(dest)
+        scratch.run(topo, &view, src).path_to(dest)
     }
 }
 
@@ -326,6 +339,28 @@ pub fn mrc_recover(
     failed_link: LinkId,
     dest: NodeId,
 ) -> MrcAttempt {
+    mrc_recover_in(
+        topo,
+        mrc,
+        view,
+        initiator,
+        failed_link,
+        dest,
+        &mut DijkstraScratch::new(),
+    )
+}
+
+/// Like [`mrc_recover`], but reuses the caller's Dijkstra buffers across
+/// cases.
+pub fn mrc_recover_in(
+    topo: &Topology,
+    mrc: &Mrc,
+    view: &impl GraphView,
+    initiator: NodeId,
+    failed_link: LinkId,
+    dest: NodeId,
+    scratch: &mut DijkstraScratch,
+) -> MrcAttempt {
     let next_hop = topo.link(failed_link).other_end(initiator);
     let config = if next_hop == dest {
         mrc.link_configuration(failed_link)
@@ -342,7 +377,7 @@ pub fn mrc_recover(
         };
     };
 
-    let Some(path) = mrc.backup_path(topo, config, initiator, dest) else {
+    let Some(path) = mrc.backup_path_in(topo, config, initiator, dest, scratch) else {
         return MrcAttempt {
             outcome: MrcOutcome::NoBackupPath,
             config_used: Some(config),

@@ -1,0 +1,123 @@
+//! Records evaluation-driver wall times into `BENCH_eval.json`: per
+//! Table II topology, the `run_workload` wall time on one worker versus
+//! the parallel path, plus the incremental-SPT `nodes_touched` work proxy
+//! (how few nodes each recovery session re-examines compared to a full
+//! Dijkstra over the whole graph — the driver's allocation/work saving).
+//!
+//! Run through `cargo xtask bench-record`, which places the artifact at
+//! the repository root. Timings are medians of [`RUNS`] runs; the file
+//! also records the host's available parallelism so speedups on small
+//! machines read honestly.
+
+use rtr_core::{RecoveryScratch, RtrSession};
+use rtr_eval::json::Json;
+use rtr_eval::testcase::{generate_workload, Workload};
+use rtr_eval::{config::ExperimentConfig, driver, par};
+use rtr_topology::{isp, NodeId};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Cases per class per topology (bench scale; the paper uses 10 000).
+const CASES: usize = 120;
+
+/// Worker count of the parallel measurement.
+const PAR_THREADS: usize = 8;
+
+/// Timed repetitions per configuration (the median is recorded).
+const RUNS: usize = 3;
+
+fn median_secs(w: &Workload, cfg: &ExperimentConfig) -> f64 {
+    let mut secs: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(driver::run_workload(w, cfg));
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    secs[RUNS / 2]
+}
+
+/// Mean incremental-SPT nodes re-examined per recovery session, mirroring
+/// the driver's once-per-initiator session starts (scratch reuse and all).
+fn mean_nodes_touched(w: &Workload) -> f64 {
+    let mut scratch = RecoveryScratch::default();
+    let mut total = 0usize;
+    let mut sessions = 0usize;
+    for sc in &w.scenarios {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for case in &sc.recoverable {
+            if !seen.insert(case.initiator) {
+                continue;
+            }
+            let session = RtrSession::start_in(
+                &w.topo,
+                &w.crosslinks,
+                &sc.scenario,
+                case.initiator,
+                case.failed_link,
+                &mut scratch,
+            )
+            .expect("recoverable case: live initiator with a failed incident link");
+            total += session.computer().nodes_touched();
+            sessions += 1;
+            session.recycle(&mut scratch);
+        }
+    }
+    if sessions == 0 {
+        0.0
+    } else {
+        total as f64 / sessions as f64
+    }
+}
+
+fn main() {
+    let host = par::resolve_threads(0);
+    eprintln!(
+        "[bench_eval] host parallelism {host}, {CASES} cases/class, \
+         serial vs {PAR_THREADS} threads, median of {RUNS} runs"
+    );
+
+    let mut rows = Vec::new();
+    for p in isp::TABLE2 {
+        let serial_cfg = ExperimentConfig::quick().with_cases(CASES).with_threads(1);
+        let w = generate_workload(
+            p.name,
+            p.synthesize(),
+            &serial_cfg,
+            serial_cfg.seed ^ u64::from(p.asn),
+        );
+        let serial = median_secs(&w, &serial_cfg);
+        let parallel = median_secs(&w, &serial_cfg.clone().with_threads(PAR_THREADS));
+        let touched = mean_nodes_touched(&w);
+        eprintln!(
+            "[bench_eval] {:>8}: serial {serial:.4}s, {PAR_THREADS} threads {parallel:.4}s \
+             (x{:.2}), mean nodes touched {touched:.1}/{}",
+            p.name,
+            serial / parallel,
+            p.nodes
+        );
+        rows.push(Json::Obj(vec![
+            ("name", Json::Str(p.name.to_string())),
+            ("nodes", Json::Num(p.nodes as f64)),
+            ("links", Json::Num(p.links as f64)),
+            ("serial_secs", Json::Num(serial)),
+            ("parallel_secs", Json::Num(parallel)),
+            ("speedup", Json::Num(serial / parallel)),
+            ("mean_nodes_touched", Json::Num(touched)),
+        ]));
+    }
+
+    let report = Json::Obj(vec![
+        ("host_parallelism", Json::Num(host as f64)),
+        ("cases_per_class", Json::Num(CASES as f64)),
+        ("parallel_threads", Json::Num(PAR_THREADS as f64)),
+        ("runs_per_median", Json::Num(RUNS as f64)),
+        ("topologies", Json::Arr(rows)),
+    ]);
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_eval.json".to_string());
+    std::fs::write(&path, report.pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("[bench_eval] wrote {path}");
+}

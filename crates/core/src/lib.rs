@@ -59,5 +59,5 @@ pub mod sweep;
 pub use error::Phase1Error;
 pub use multi::{recover_multi_area, MultiAreaOutcome};
 pub use phase1::{collect_failure_info, Phase1Result, Phase1Termination};
-pub use phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer};
+pub use phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer, RecoveryScratch};
 pub use recovery::{RecoveryAttempt, RtrSession};

@@ -17,9 +17,9 @@
 use crate::error::Phase1Error;
 use crate::phase1::collect_failure_info;
 use crate::phase2::DeliveryOutcome;
-use rtr_routing::{IncrementalSpt, SourceRoute};
+use rtr_routing::{IncrementalSpt, BYTES_PER_HOP};
 use rtr_sim::{ForwardingTrace, LinkIdSet};
-use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
+use rtr_topology::{CrossLinkTable, GraphView, LinkId, LinkMask, NodeId, Topology};
 
 /// The result of a multi-area recovery chain.
 #[derive(Debug, Clone)]
@@ -63,10 +63,16 @@ pub fn recover_multi_area(
     max_sessions: usize,
 ) -> Result<MultiAreaOutcome, Phase1Error> {
     let mut carried = LinkIdSet::new();
+    // Mirror of `carried` in mask form, so chained sessions can seed their
+    // SPT directly from the carried view instead of replaying removals.
+    let mut mask = LinkMask::none(topo);
     let mut trace = ForwardingTrace::start(initiator, 0);
     let mut cur_initiator = initiator;
     let mut cur_failed = failed_link;
     let mut sessions = 0usize;
+    // One SPT reused (buffers and all) across the whole chain; re-rooted
+    // per session via `reset` over the carried-link mask.
+    let mut spt = IncrementalSpt::new(topo, initiator);
 
     while sessions < max_sessions {
         sessions += 1;
@@ -78,16 +84,23 @@ pub fn recover_multi_area(
         }
         for l in p1.header.failed_links() {
             carried.insert(l);
+            mask.remove(l);
         }
         for &(_, l) in topo.neighbors(cur_initiator) {
             if !view.is_link_usable(topo, l) {
                 carried.insert(l);
+                mask.remove(l);
             }
         }
 
-        // Phase 2 on the union of everything the packet knows.
-        let mut spt = IncrementalSpt::new(topo, cur_initiator);
-        spt.remove_links(carried.iter());
+        // Phase 2 on the union of everything the packet knows. The first
+        // session repairs the intact tree incrementally; chained sessions
+        // re-root the same buffers over the accumulated carried mask.
+        if sessions == 1 {
+            spt.remove_links(carried.iter());
+        } else {
+            spt.reset(&mask, cur_initiator);
+        }
         let Some(path) = spt.path_to(dest) else {
             return Ok(MultiAreaOutcome {
                 outcome: DeliveryOutcome::NoPath,
@@ -98,8 +111,9 @@ pub fn recover_multi_area(
         };
 
         // Source-route along the believed path until delivery or the next
-        // failure encounter.
-        let mut route = SourceRoute::from_path(&path);
+        // failure encounter. Header bytes are the carried failure set plus
+        // the shrinking source route (2 per remaining hop).
+        let mut remaining = path.hops();
         let mut encounter: Option<(NodeId, LinkId)> = None;
         for ((&l, &from), &to) in path
             .links()
@@ -111,8 +125,8 @@ pub fn recover_multi_area(
                 encounter = Some((from, l));
                 break;
             }
-            route.advance();
-            trace.record_hop(to, carried.header_bytes() + route.header_bytes());
+            remaining = remaining.saturating_sub(1);
+            trace.record_hop(to, carried.header_bytes() + remaining * BYTES_PER_HOP);
         }
         match encounter {
             None => {
@@ -127,6 +141,7 @@ pub fn recover_multi_area(
                 // §III-E: the node that hit the next area becomes the new
                 // recovery initiator; the carried header keeps growing.
                 carried.insert(l);
+                mask.remove(l);
                 cur_initiator = at;
                 cur_failed = l;
             }
@@ -262,6 +277,93 @@ mod tests {
             }
             let out = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 3).unwrap();
             assert!(out.sessions <= 3);
+        }
+    }
+
+    /// Reference implementation of the chain loop that builds a fresh
+    /// `IncrementalSpt::new` + bulk `remove_links` per session (the
+    /// pre-scratch-reuse behavior). The production path seeds chained
+    /// sessions via `reset` over the carried mask; outcomes must agree.
+    fn reference_outcome(
+        topo: &Topology,
+        crosslinks: &CrossLinkTable,
+        view: &impl GraphView,
+        initiator: NodeId,
+        failed_link: LinkId,
+        dest: NodeId,
+        max_sessions: usize,
+    ) -> (DeliveryOutcome, usize, Vec<LinkId>) {
+        let sorted = |c: &LinkIdSet| {
+            let mut v: Vec<LinkId> = c.iter().collect();
+            v.sort();
+            v
+        };
+        let mut carried = LinkIdSet::new();
+        let mut cur_initiator = initiator;
+        let mut cur_failed = failed_link;
+        let mut sessions = 0usize;
+        while sessions < max_sessions {
+            sessions += 1;
+            let p1 =
+                collect_failure_info(topo, crosslinks, view, cur_initiator, cur_failed).unwrap();
+            for l in p1.header.failed_links() {
+                carried.insert(l);
+            }
+            for &(_, l) in topo.neighbors(cur_initiator) {
+                if !view.is_link_usable(topo, l) {
+                    carried.insert(l);
+                }
+            }
+            let mut spt = IncrementalSpt::new(topo, cur_initiator);
+            spt.remove_links(carried.iter());
+            let Some(path) = spt.path_to(dest) else {
+                return (DeliveryOutcome::NoPath, sessions, sorted(&carried));
+            };
+            let mut encounter = None;
+            for (&l, &from) in path.links().iter().zip(path.nodes()) {
+                if !view.is_link_usable(topo, l) {
+                    encounter = Some((from, l));
+                    break;
+                }
+            }
+            match encounter {
+                None => return (DeliveryOutcome::Delivered, sessions, sorted(&carried)),
+                Some((at, l)) => {
+                    carried.insert(l);
+                    cur_initiator = at;
+                    cur_failed = l;
+                }
+            }
+        }
+        (
+            DeliveryOutcome::HitFailure {
+                at_link: cur_failed,
+            },
+            sessions,
+            sorted(&carried),
+        )
+    }
+
+    #[test]
+    fn spt_reuse_preserves_outcomes() {
+        let region = Region::Union(vec![
+            Region::circle((600.0, 600.0), 250.0),
+            Region::circle((1400.0, 1400.0), 250.0),
+        ]);
+        let (topo, s, initiator, failed) = scenario_with_entry(&region, 45, 110);
+        let xl = CrossLinkTable::new(&topo);
+        for dest in topo.node_ids() {
+            if dest == initiator {
+                continue;
+            }
+            let got = recover_multi_area(&topo, &xl, &s, initiator, failed, dest, 16).unwrap();
+            let (outcome, sessions, carried) =
+                reference_outcome(&topo, &xl, &s, initiator, failed, dest, 16);
+            assert_eq!(got.outcome, outcome, "outcome changed at {dest}");
+            assert_eq!(got.sessions, sessions, "session count changed at {dest}");
+            let mut got_carried: Vec<LinkId> = got.carried.iter().collect();
+            got_carried.sort();
+            assert_eq!(got_carried, carried, "carried set changed at {dest}");
         }
     }
 

@@ -9,9 +9,20 @@
 //! per-test-case computational overhead is exactly one shortest-path
 //! calculation — the paper's Table III/IV "RTR = 1" column.
 
-use rtr_routing::{IncrementalSpt, Path, SourceRoute};
+use rtr_routing::{IncrementalSpt, Path, SourceRoute, SptScratch, BYTES_PER_HOP};
 use rtr_sim::{CollectionHeader, ForwardingTrace, LinkIdSet};
-use rtr_topology::{GraphView, LinkId, NodeId, Topology};
+use rtr_topology::{FullView, GraphView, LinkId, NodeId, Topology};
+
+/// Reusable buffers for building [`RecoveryComputer`]s without per-case
+/// allocations: the SPT label/repair buffers plus the path cache.
+///
+/// The evaluation driver holds one per worker and recycles it through every
+/// case of a topology sweep (see [`RecoveryComputer::recycle`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryScratch {
+    spt: SptScratch,
+    cache: Vec<Option<Option<Path>>>,
+}
 
 /// The recovery initiator's post-collection view and path cache.
 #[derive(Debug)]
@@ -35,6 +46,25 @@ impl<'a> RecoveryComputer<'a> {
         initiator: NodeId,
         header: &CollectionHeader,
     ) -> Self {
+        Self::new_in(
+            topo,
+            local_view,
+            initiator,
+            header,
+            &mut RecoveryScratch::default(),
+        )
+    }
+
+    /// Like [`new`](Self::new), but takes the SPT and cache buffers out of
+    /// `scratch` (leaving it empty) instead of allocating fresh ones.
+    /// [`recycle`](Self::recycle) gives them back.
+    pub fn new_in(
+        topo: &'a Topology,
+        local_view: &impl GraphView,
+        initiator: NodeId,
+        header: &CollectionHeader,
+        scratch: &mut RecoveryScratch,
+    ) -> Self {
         let mut removed = LinkIdSet::new();
         for l in header.failed_links() {
             removed.insert(l);
@@ -44,14 +74,28 @@ impl<'a> RecoveryComputer<'a> {
                 removed.insert(l);
             }
         }
-        let mut spt = IncrementalSpt::new(topo, initiator);
+        let mut spt = IncrementalSpt::with_view_in(
+            topo,
+            &FullView,
+            initiator,
+            std::mem::take(&mut scratch.spt),
+        );
         spt.remove_links(removed.iter());
+        let mut cache = std::mem::take(&mut scratch.cache);
+        cache.clear();
+        cache.resize(topo.node_count(), None);
         RecoveryComputer {
             spt,
-            cache: vec![None; topo.node_count()],
+            cache,
             sp_calculations: 1,
             removed,
         }
+    }
+
+    /// Returns this computer's buffers to `scratch` for the next case.
+    pub fn recycle(self, scratch: &mut RecoveryScratch) {
+        scratch.spt = self.spt.into_scratch();
+        scratch.cache = self.cache;
     }
 
     /// The initiator this computer recovers for.
@@ -69,6 +113,12 @@ impl<'a> RecoveryComputer<'a> {
     /// all destinations, so this stays 1.
     pub fn sp_calculations(&self) -> usize {
         self.sp_calculations
+    }
+
+    /// Nodes the incremental SPT re-examined while building this view —
+    /// the per-case work proxy recorded by the driver bench.
+    pub fn nodes_touched(&self) -> usize {
+        self.spt.nodes_touched()
     }
 
     /// The believed shortest recovery path to `dest`, or `None` when the
@@ -123,16 +173,19 @@ pub fn source_route_walk(
         );
     };
     debug_assert_eq!(path.source(), initiator);
-    let mut route = SourceRoute::from_path(path);
-    let mut trace = ForwardingTrace::start(initiator, route.header_bytes());
+    // Header bytes equal the serialized source route (2 per remaining hop,
+    // consumed hops stripped); tracked as a counter so the walk itself
+    // performs no allocation beyond the trace.
+    let mut remaining = path.hops();
+    let mut trace = ForwardingTrace::start(initiator, remaining * BYTES_PER_HOP);
     let mut cur = initiator;
     for (&l, &next) in path.links().iter().zip(path.nodes().iter().skip(1)) {
         if !view.is_link_usable(topo, l) {
             return (DeliveryOutcome::HitFailure { at_link: l }, trace);
         }
-        route.advance();
+        remaining = remaining.saturating_sub(1);
         cur = next;
-        trace.record_hop(cur, route.header_bytes());
+        trace.record_hop(cur, remaining * BYTES_PER_HOP);
     }
     debug_assert_eq!(cur, path.dest());
     (DeliveryOutcome::Delivered, trace)

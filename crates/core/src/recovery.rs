@@ -5,7 +5,7 @@
 
 use crate::error::Phase1Error;
 use crate::phase1::{collect_failure_info, Phase1Result};
-use crate::phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer};
+use crate::phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer, RecoveryScratch};
 use rtr_routing::Path;
 use rtr_sim::ForwardingTrace;
 use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
@@ -58,14 +58,47 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
         initiator: NodeId,
         failed_default_link: LinkId,
     ) -> Result<Self, Phase1Error> {
+        Self::start_in(
+            topo,
+            crosslinks,
+            view,
+            initiator,
+            failed_default_link,
+            &mut RecoveryScratch::default(),
+        )
+    }
+
+    /// Like [`start`](Self::start), but builds the recovery computer from
+    /// recycled buffers (see [`RecoveryScratch`]) so the evaluation hot
+    /// loop starts sessions without transient allocations. Hand the buffers
+    /// back with [`recycle`](Self::recycle) when the session is done. When
+    /// phase 1 fails, `scratch` is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RtrSession::start`].
+    pub fn start_in(
+        topo: &'a Topology,
+        crosslinks: &CrossLinkTable,
+        view: &'a V,
+        initiator: NodeId,
+        failed_default_link: LinkId,
+        scratch: &mut RecoveryScratch,
+    ) -> Result<Self, Phase1Error> {
         let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link)?;
-        let computer = RecoveryComputer::new(topo, view, initiator, &phase1.header);
+        let computer = RecoveryComputer::new_in(topo, view, initiator, &phase1.header, scratch);
         Ok(RtrSession {
             topo,
             view,
             phase1,
             computer,
         })
+    }
+
+    /// Returns this session's computer buffers to `scratch` for the next
+    /// case.
+    pub fn recycle(self, scratch: &mut RecoveryScratch) {
+        self.computer.recycle(scratch);
     }
 
     /// The recovery initiator.

@@ -5,6 +5,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    let results = rtr_eval::driver::run_topologies(&opts.topologies, &opts.config);
+    let results =
+        rtr_eval::driver::run_topologies(&opts.topologies, &opts.config).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     opts.emit(&rtr_eval::reports::fig7(&results));
 }

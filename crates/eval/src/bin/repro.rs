@@ -12,7 +12,11 @@ fn main() {
     let out_dir = Path::new("results");
     std::fs::create_dir_all(out_dir).expect("create results/");
 
-    let results = rtr_eval::driver::run_topologies(&opts.topologies, &opts.config);
+    let results =
+        rtr_eval::driver::run_topologies(&opts.topologies, &opts.config).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
 
     let mut text = String::new();
     let mut save = |name: &str, rendered: String, json: String| {

@@ -9,6 +9,9 @@
 //! --seed S         base RNG seed
 //! --topos A,B,...  comma-separated topology names (default: all eight)
 //! --json PATH      also write the report as JSON
+//! --threads N      driver worker threads (0 = auto via RTR_THREADS or
+//!                  available parallelism, 1 = serial; results are
+//!                  byte-identical at every setting)
 //! ```
 
 use crate::config::ExperimentConfig;
@@ -46,14 +49,18 @@ impl Options {
                 }
                 "--paper" => {
                     let cases = opts.config.cases_per_class;
-                    opts.config = ExperimentConfig::paper().with_seed(opts.config.seed);
+                    opts.config = ExperimentConfig::paper()
+                        .with_seed(opts.config.seed)
+                        .with_threads(opts.config.threads);
                     // --cases given earlier still wins.
                     if cases != ExperimentConfig::default().cases_per_class {
                         opts.config.cases_per_class = cases;
                     }
                 }
                 "--quick" => {
-                    opts.config = ExperimentConfig::quick().with_seed(opts.config.seed);
+                    opts.config = ExperimentConfig::quick()
+                        .with_seed(opts.config.seed)
+                        .with_threads(opts.config.threads);
                 }
                 "--seed" => {
                     let v = it.next().ok_or("--seed requires a value")?;
@@ -66,6 +73,11 @@ impl Options {
                 }
                 "--json" => {
                     opts.json = Some(it.next().ok_or("--json requires a path")?);
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads requires a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+                    opts.config.threads = n;
                 }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -97,7 +109,8 @@ impl Options {
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "\
-usage: <experiment> [--cases N] [--paper|--quick] [--seed S] [--topos AS209,AS701,...] [--json PATH]";
+usage: <experiment> [--cases N] [--paper|--quick] [--seed S] [--topos AS209,AS701,...] \
+[--json PATH] [--threads N]";
 
 #[cfg(test)]
 mod tests {
@@ -126,12 +139,15 @@ mod tests {
             "AS209,AS701",
             "--json",
             "/tmp/x.json",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(o.config.cases_per_class, 42);
         assert_eq!(o.config.seed, 7);
         assert_eq!(o.topologies, vec!["AS209", "AS701"]);
         assert_eq!(o.json.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(o.config.threads, 4);
     }
 
     #[test]
@@ -146,6 +162,14 @@ mod tests {
                 .cases_per_class,
             123
         );
+        // --threads before a preset is preserved too.
+        assert_eq!(
+            parse(&["--threads", "2", "--quick"])
+                .unwrap()
+                .config
+                .threads,
+            2
+        );
     }
 
     #[test]
@@ -154,5 +178,13 @@ mod tests {
         assert!(parse(&["--cases", "xyz"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "-2"]).is_err());
+    }
+
+    #[test]
+    fn threads_defaults_to_auto() {
+        assert_eq!(parse(&[]).unwrap().config.threads, 0);
+        assert_eq!(parse(&["--threads", "0"]).unwrap().config.threads, 0);
     }
 }

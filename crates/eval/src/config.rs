@@ -24,6 +24,10 @@ pub struct ExperimentConfig {
     pub mrc_configurations: usize,
     /// Failure areas per radius step in the Fig. 11 sweep (paper: 1000).
     pub fig11_areas_per_radius: usize,
+    /// Worker threads for the driver (`0` = auto: the `RTR_THREADS`
+    /// environment variable, else available parallelism; `1` = serial).
+    /// Results are byte-identical at every setting.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -55,6 +59,12 @@ impl ExperimentConfig {
         self.seed = seed;
         self
     }
+
+    /// Overrides the worker-thread count (`0` = auto, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -68,6 +78,7 @@ impl Default for ExperimentConfig {
             delay: DelayModel::PAPER,
             mrc_configurations: 5,
             fig11_areas_per_radius: 1000,
+            threads: 0,
         }
     }
 }
@@ -88,8 +99,13 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = ExperimentConfig::quick().with_cases(42).with_seed(7);
+        let c = ExperimentConfig::quick()
+            .with_cases(42)
+            .with_seed(7)
+            .with_threads(3);
         assert_eq!(c.cases_per_class, 42);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.threads, 3);
+        assert_eq!(ExperimentConfig::default().threads, 0, "auto by default");
     }
 }

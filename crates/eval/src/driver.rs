@@ -1,15 +1,29 @@
 //! The experiment driver: runs all three schemes over a workload and
 //! aggregates everything the figures and tables need in one pass.
+//!
+//! # Parallelism and determinism
+//!
+//! Scenarios are independent, so [`run_workload`] maps contiguous
+//! scenario chunks across the [`crate::par`] executor (one scratch set
+//! per worker) and [`run_topologies`] maps whole topologies. Every
+//! per-scenario partial result ([`ScenarioOutcome`]) is folded into the
+//! final [`TopologyResults`] *in scenario order on one thread*, and the
+//! serial path (`--threads 1`) runs the exact same fold — so output is
+//! byte-identical at every worker count, floating-point sums included.
 
 use crate::config::ExperimentConfig;
-use crate::schemes::{eval_irrecoverable, eval_recoverable, IrrecoverableRow, RecoverableRow};
-use crate::testcase::{generate_workload, TestCase, Workload};
-use rtr_baselines::Mrc;
-use rtr_core::RtrSession;
-use rtr_routing::dijkstra::dijkstra;
+use crate::par;
+use crate::schemes::{
+    eval_irrecoverable_in, eval_recoverable_in, IrrecoverableRow, RecoverableRow,
+};
+use crate::testcase::{generate_workload, ScenarioCases, TestCase, Workload};
+use rtr_baselines::{FcpScratch, Mrc};
+use rtr_core::{RecoveryScratch, RtrSession};
+use rtr_routing::DijkstraScratch;
 use rtr_sim::SimTime;
 use rtr_topology::{isp, NodeId};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Number of sample points of the Fig. 10 time grid (0..=1 s).
 pub const FIG10_POINTS: usize = 101;
@@ -54,71 +68,167 @@ fn by_initiator(cases: &[TestCase]) -> BTreeMap<NodeId, Vec<&TestCase>> {
     map
 }
 
-/// Runs all schemes over one workload.
+/// Per-worker reusable buffers: one of each scratch type the per-case
+/// hot loop needs, recycled across every scenario the worker processes.
+#[derive(Debug, Default)]
+struct CaseScratch {
+    /// RTR session buffers (incremental SPT + path cache).
+    recovery: RecoveryScratch,
+    /// Ground-truth shortest-path tree per initiator.
+    optimal: DijkstraScratch,
+    /// FCP recomputation buffers.
+    fcp: FcpScratch,
+    /// MRC backup-path buffers.
+    mrc: DijkstraScratch,
+}
+
+/// Partial results of one scenario: the rows in case order plus the
+/// Fig. 10 *sums* (normalisation happens once, after the ordered fold).
+#[derive(Debug)]
+struct ScenarioOutcome {
+    recoverable: Vec<RecoverableRow>,
+    irrecoverable: Vec<IrrecoverableRow>,
+    phase1_durations_ms: Vec<f64>,
+    fig10_rtr_sum: Vec<f64>,
+    fig10_fcp_sum: Vec<f64>,
+    fig10_count: usize,
+}
+
+/// Runs all three schemes over one scenario's cases.
+fn run_scenario(
+    w: &Workload,
+    cfg: &ExperimentConfig,
+    mrc: &Mrc,
+    sc: &ScenarioCases,
+    scratch: &mut CaseScratch,
+) -> ScenarioOutcome {
+    let mut out = ScenarioOutcome {
+        recoverable: Vec::with_capacity(sc.recoverable.len()),
+        irrecoverable: Vec::with_capacity(sc.irrecoverable.len()),
+        phase1_durations_ms: Vec::new(),
+        fig10_rtr_sum: vec![0.0f64; FIG10_POINTS],
+        fig10_fcp_sum: vec![0.0f64; FIG10_POINTS],
+        fig10_count: 0,
+    };
+
+    // Recoverable cases: one RTR session and one ground-truth SPT per
+    // initiator (phase 1 runs once per initiator, §III-A).
+    for (initiator, cases) in by_initiator(&sc.recoverable) {
+        let session = RtrSession::start_in(
+            &w.topo,
+            &w.crosslinks,
+            &sc.scenario,
+            initiator,
+            cases[0].failed_link,
+            &mut scratch.recovery,
+        );
+        let mut session =
+            session.expect("recoverable case: live initiator with a failed incident link");
+        out.phase1_durations_ms.push(
+            cfg.delay
+                .for_hops(session.phase1().trace.hops())
+                .as_millis_f64(),
+        );
+        let optimal = scratch.optimal.run(&w.topo, &sc.scenario, initiator);
+        for case in cases {
+            let (row, rtr_series, fcp_series) = eval_recoverable_in(
+                &w.topo,
+                &sc.scenario,
+                &mut session,
+                mrc,
+                optimal,
+                case,
+                &mut scratch.fcp,
+                &mut scratch.mrc,
+            );
+            for (i, (r, f)) in out
+                .fig10_rtr_sum
+                .iter_mut()
+                .zip(out.fig10_fcp_sum.iter_mut())
+                .enumerate()
+            {
+                let t = SimTime::from_millis(i as u64 * FIG10_STEP_MS);
+                *r += rtr_series.sample(&cfg.delay, t);
+                *f += fcp_series.sample(&cfg.delay, t);
+            }
+            out.fig10_count += 1;
+            out.recoverable.push(row);
+        }
+        session.recycle(&mut scratch.recovery);
+    }
+
+    // Irrecoverable cases.
+    for (initiator, cases) in by_initiator(&sc.irrecoverable) {
+        let session = RtrSession::start_in(
+            &w.topo,
+            &w.crosslinks,
+            &sc.scenario,
+            initiator,
+            cases[0].failed_link,
+            &mut scratch.recovery,
+        );
+        let mut session =
+            session.expect("irrecoverable case: live initiator with a failed incident link");
+        out.phase1_durations_ms.push(
+            cfg.delay
+                .for_hops(session.phase1().trace.hops())
+                .as_millis_f64(),
+        );
+        for case in cases {
+            out.irrecoverable.push(eval_irrecoverable_in(
+                &w.topo,
+                &sc.scenario,
+                &mut session,
+                case,
+                &mut scratch.fcp,
+            ));
+        }
+        session.recycle(&mut scratch.recovery);
+    }
+
+    out
+}
+
+/// Runs all schemes over one workload, mapping scenario chunks across
+/// `cfg.threads` workers (see the module docs for the determinism
+/// argument).
 pub fn run_workload(w: &Workload, cfg: &ExperimentConfig) -> TopologyResults {
     let mrc = Mrc::build(&w.topo, cfg.mrc_configurations).expect("Table II twins are connected");
+    let threads = par::resolve_threads(cfg.threads);
+
+    // One contiguous chunk per worker; each worker reuses a single
+    // scratch set across all scenarios of its chunk, so the per-case
+    // loop allocates nothing transient after warm-up.
+    let chunks = par::chunk_ranges(w.scenarios.len(), threads);
+    let per_chunk: Vec<Vec<ScenarioOutcome>> = par::map_indexed(threads, &chunks, |_, range| {
+        let mut scratch = CaseScratch::default();
+        w.scenarios[range.clone()]
+            .iter()
+            .map(|sc| run_scenario(w, cfg, &mrc, sc, &mut scratch))
+            .collect()
+    });
+
+    // Deterministic fold in scenario order on this thread. The serial
+    // path produces the identical chunk layout collapsed to one chunk,
+    // and `a1 + a2 + ...` is associated the same way either way because
+    // per-scenario sums are formed first in both.
     let mut recoverable = Vec::with_capacity(w.recoverable_count());
     let mut irrecoverable = Vec::with_capacity(w.irrecoverable_count());
     let mut phase1_durations_ms = Vec::new();
     let mut fig10_rtr = vec![0.0f64; FIG10_POINTS];
     let mut fig10_fcp = vec![0.0f64; FIG10_POINTS];
     let mut fig10_count = 0usize;
-
-    for sc in &w.scenarios {
-        // Recoverable cases: one RTR session and one ground-truth SPT per
-        // initiator (phase 1 runs once per initiator, §III-A).
-        for (initiator, cases) in by_initiator(&sc.recoverable) {
-            let mut session = RtrSession::start(
-                &w.topo,
-                &w.crosslinks,
-                &sc.scenario,
-                initiator,
-                cases[0].failed_link,
-            )
-            .expect("recoverable case: live initiator with a failed incident link");
-            phase1_durations_ms.push(
-                cfg.delay
-                    .for_hops(session.phase1().trace.hops())
-                    .as_millis_f64(),
-            );
-            let optimal = dijkstra(&w.topo, &sc.scenario, initiator);
-            for case in cases {
-                let (row, rtr_series, fcp_series) =
-                    eval_recoverable(&w.topo, &sc.scenario, &mut session, &mrc, &optimal, case);
-                for (i, (r, f)) in fig10_rtr.iter_mut().zip(fig10_fcp.iter_mut()).enumerate() {
-                    let t = SimTime::from_millis(i as u64 * FIG10_STEP_MS);
-                    *r += rtr_series.sample(&cfg.delay, t);
-                    *f += fcp_series.sample(&cfg.delay, t);
-                }
-                fig10_count += 1;
-                recoverable.push(row);
-            }
+    for sc in per_chunk.into_iter().flatten() {
+        recoverable.extend(sc.recoverable);
+        irrecoverable.extend(sc.irrecoverable);
+        phase1_durations_ms.extend(sc.phase1_durations_ms);
+        for (acc, part) in fig10_rtr.iter_mut().zip(&sc.fig10_rtr_sum) {
+            *acc += part;
         }
-
-        // Irrecoverable cases.
-        for (initiator, cases) in by_initiator(&sc.irrecoverable) {
-            let mut session = RtrSession::start(
-                &w.topo,
-                &w.crosslinks,
-                &sc.scenario,
-                initiator,
-                cases[0].failed_link,
-            )
-            .expect("recoverable case: live initiator with a failed incident link");
-            phase1_durations_ms.push(
-                cfg.delay
-                    .for_hops(session.phase1().trace.hops())
-                    .as_millis_f64(),
-            );
-            for case in cases {
-                irrecoverable.push(eval_irrecoverable(
-                    &w.topo,
-                    &sc.scenario,
-                    &mut session,
-                    case,
-                ));
-            }
+        for (acc, part) in fig10_fcp.iter_mut().zip(&sc.fig10_fcp_sum) {
+            *acc += part;
         }
+        fig10_count += sc.fig10_count;
     }
 
     if fig10_count > 0 {
@@ -144,26 +254,55 @@ pub fn run_profile(profile: isp::IspProfile, cfg: &ExperimentConfig) -> Topology
     run_workload(&w, cfg)
 }
 
-/// Runs every topology in `names` (all eight Table II twins when empty).
-pub fn run_topologies(names: &[String], cfg: &ExperimentConfig) -> Vec<TopologyResults> {
+/// A requested topology name that is not one of the Table II twins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTopology(pub String);
+
+impl fmt::Display for UnknownTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown topology {:?} (expected one of", self.0)?;
+        for (i, p) in isp::TABLE2.iter().enumerate() {
+            write!(f, "{} {}", if i == 0 { "" } else { "," }, p.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for UnknownTopology {}
+
+/// Runs every topology in `names` (all eight Table II twins when empty),
+/// fanning whole topologies out across the thread budget; any leftover
+/// budget parallelises scenarios inside each topology.
+///
+/// # Errors
+///
+/// Returns [`UnknownTopology`] when a name is not in Table II; nothing
+/// runs in that case.
+pub fn run_topologies(
+    names: &[String],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<TopologyResults>, UnknownTopology> {
     let profiles: Vec<isp::IspProfile> = if names.is_empty() {
         isp::TABLE2.to_vec()
     } else {
         names
             .iter()
-            .map(|n| isp::profile(n).unwrap_or_else(|| panic!("unknown topology {n}")))
-            .collect()
+            .map(|n| isp::profile(n).ok_or_else(|| UnknownTopology(n.clone())))
+            .collect::<Result<_, _>>()?
     };
-    profiles
-        .into_iter()
-        .map(|p| {
-            eprintln!(
-                "[rtr-eval] running {} ({} nodes, {} links)...",
-                p.name, p.nodes, p.links
-            );
-            run_profile(p, cfg)
-        })
-        .collect()
+
+    // Split the budget: outer workers take whole topologies, and each
+    // passes its share of the remainder down to `run_workload`.
+    let threads = par::resolve_threads(cfg.threads);
+    let outer = threads.min(profiles.len()).max(1);
+    let inner_cfg = cfg.clone().with_threads((threads / outer).max(1));
+    Ok(par::map_indexed(outer, &profiles, |_, p| {
+        eprintln!(
+            "[rtr-eval] running {} ({} nodes, {} links)...",
+            p.name, p.nodes, p.links
+        );
+        run_profile(*p, &inner_cfg)
+    }))
 }
 
 #[cfg(test)]
@@ -231,5 +370,34 @@ mod tests {
         assert_eq!(grid.len(), FIG10_POINTS);
         assert_eq!(grid[0], 0.0);
         assert_eq!(*grid.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        // The whole determinism contract in one test: the same workload
+        // on 1 worker and on several must serialize identically, down to
+        // the last bit of every floating-point mean.
+        let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
+        let cfg = ExperimentConfig::quick().with_cases(40).with_threads(1);
+        let w = generate_workload("t", topo, &cfg, 2);
+        let serial = format!("{:?}", run_workload(&w, &cfg));
+        assert!(
+            w.scenarios.len() > 1,
+            "fixture must exercise cross-scenario merging"
+        );
+        for threads in [2, 4, 7] {
+            let cfg = cfg.clone().with_threads(threads);
+            let parallel = format!("{:?}", run_workload(&w, &cfg));
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn unknown_topology_is_a_typed_error() {
+        let cfg = ExperimentConfig::quick().with_cases(1);
+        let err = run_topologies(&["ASnope".to_string()], &cfg).unwrap_err();
+        assert_eq!(err, UnknownTopology("ASnope".to_string()));
+        let msg = err.to_string();
+        assert!(msg.contains("ASnope") && msg.contains("AS1239"), "{msg}");
     }
 }

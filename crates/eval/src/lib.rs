@@ -31,12 +31,17 @@
 //! ```
 //! use rtr_eval::{config::ExperimentConfig, driver, reports};
 //!
-//! // A quick single-topology run (500 cases per class).
-//! let cfg = ExperimentConfig::quick().with_cases(50);
-//! let results = driver::run_topologies(&["AS1239".to_string()], &cfg);
+//! // A quick single-topology run (500 cases per class), serial.
+//! let cfg = ExperimentConfig::quick().with_cases(50).with_threads(1);
+//! let results = driver::run_topologies(&["AS1239".to_string()], &cfg)
+//!     .expect("AS1239 is a Table II topology");
 //! let table3 = reports::table3(&results);
 //! assert!(table3.to_string().contains("AS1239"));
 //! ```
+//!
+//! The driver parallelises scenarios and topologies across the [`par`]
+//! executor (`--threads` / `RTR_THREADS`); results are byte-identical at
+//! every worker count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,6 +54,7 @@ pub mod fig11;
 pub mod json;
 pub mod metrics;
 pub mod netload;
+pub mod par;
 pub mod reports;
 pub mod schemes;
 pub mod sensitivity;
@@ -57,4 +63,4 @@ pub mod testcase;
 pub mod viz;
 
 pub use config::ExperimentConfig;
-pub use driver::{run_topologies, TopologyResults};
+pub use driver::{run_topologies, TopologyResults, UnknownTopology};

@@ -1,0 +1,175 @@
+//! A minimal fork-join executor for scenario- and topology-level
+//! parallelism.
+//!
+//! Built directly on [`std::thread::scope`] — the workspace vendors its
+//! dependencies offline, so no rayon. The model is deliberately simple:
+//! [`map_indexed`] fans a slice of work items out to a fixed pool of
+//! scoped workers that pull indices from a shared atomic counter, and
+//! returns the results *in input order*. Callers therefore get the exact
+//! same result vector regardless of worker count; determinism of the
+//! merged output reduces to folding that vector sequentially.
+//!
+//! Worker-count resolution ([`resolve_threads`]) follows the CLI
+//! contract: an explicit `--threads N` wins, else the `RTR_THREADS`
+//! environment variable, else [`std::thread::available_parallelism`].
+//! `1` runs the caller's closure on the current thread with no pool at
+//! all — exactly the serial path.
+//!
+//! `cargo xtask analyze` denies `std::thread::spawn` everywhere else in
+//! the workspace, so this module is the single place threads are born.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted when no explicit thread count is given.
+pub const THREADS_ENV: &str = "RTR_THREADS";
+
+/// Resolves a requested worker count: `requested` if nonzero, else the
+/// `RTR_THREADS` environment variable (when set to a positive integer),
+/// else [`std::thread::available_parallelism`] (1 when unknown).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one (the larger ranges first). Returns an empty
+/// vector when `n == 0`.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Applies `f(index, item)` to every item of `items`, running up to
+/// `threads` scoped workers, and returns the results in input order.
+///
+/// With `threads <= 1` (or fewer than two items) no thread is spawned:
+/// the closure runs on the current thread in a plain loop, which is
+/// byte-for-byte today's serial path. Otherwise `min(threads, len)`
+/// workers pull indices from a shared counter, so an uneven workload
+/// load-balances instead of stalling on the slowest fixed chunk.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                // Each index is claimed by exactly one worker, so the
+                // lock is uncontended; it exists only to satisfy
+                // `forbid(unsafe_code)` while writing disjoint slots.
+                if let Some(slot) = slots.get(i) {
+                    if let Ok(mut guard) = slot.lock() {
+                        *guard = Some(r);
+                    }
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every index below items.len() was claimed and filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_explicit_wins() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(8), 8);
+    }
+
+    #[test]
+    fn resolve_auto_is_positive() {
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_in_order_without_overlap() {
+        for n in 0..20 {
+            for parts in 1..6 {
+                let ranges = chunk_ranges(n, parts);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+                if n > 0 {
+                    assert_eq!(ranges.len(), parts.min(n));
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(max - min <= 1, "balanced: {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..57).collect();
+        let serial = map_indexed(1, &items, |i, &x| (i, x * x));
+        for threads in [2, 3, 8, 100] {
+            let parallel = map_indexed(threads, &items, |i, &x| (i, x * x));
+            assert_eq!(parallel, serial);
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_indexed(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(map_indexed(4, &[7u32], |i, &x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn workers_actually_share_the_items() {
+        // With more items than threads every item is still processed
+        // exactly once (the atomic counter hands out each index once).
+        let items: Vec<usize> = (0..200).collect();
+        let out = map_indexed(4, &items, |_, &x| x);
+        assert_eq!(out, items);
+    }
+}

@@ -2,9 +2,9 @@
 //! derived §IV metrics.
 
 use crate::testcase::TestCase;
-use rtr_baselines::{fcp_route, mrc_recover, Mrc};
+use rtr_baselines::{fcp_route_in, mrc_recover_in, FcpScratch, Mrc};
 use rtr_core::RtrSession;
-use rtr_routing::ShortestPaths;
+use rtr_routing::{DijkstraScratch, ShortestPaths};
 use rtr_sim::{DelayModel, ForwardingTrace, SimTime, PAYLOAD_BYTES};
 use rtr_topology::{FailureScenario, Topology};
 
@@ -120,6 +120,32 @@ pub fn eval_recoverable(
     optimal: &ShortestPaths,
     case: &TestCase,
 ) -> (RecoverableRow, OverheadSeries, OverheadSeries) {
+    eval_recoverable_in(
+        topo,
+        scenario,
+        session,
+        mrc,
+        optimal,
+        case,
+        &mut FcpScratch::default(),
+        &mut DijkstraScratch::new(),
+    )
+}
+
+/// Like [`eval_recoverable`], but reuses the caller's FCP and MRC
+/// shortest-path buffers so the driver's per-case hot loop performs no
+/// transient allocations in the baselines.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_recoverable_in(
+    topo: &Topology,
+    scenario: &FailureScenario,
+    session: &mut RtrSession<'_, FailureScenario>,
+    mrc: &Mrc,
+    optimal: &ShortestPaths,
+    case: &TestCase,
+    fcp_scratch: &mut FcpScratch,
+    mrc_scratch: &mut DijkstraScratch,
+) -> (RecoverableRow, OverheadSeries, OverheadSeries) {
     debug_assert_eq!(session.initiator(), case.initiator);
     let optimal_cost = optimal
         .distance(case.dest)
@@ -142,7 +168,14 @@ pub fn eval_recoverable(
     let rtr_series = OverheadSeries::new(rtr_trace, steady);
 
     // --- FCP ---
-    let fcp_attempt = fcp_route(topo, scenario, case.initiator, case.failed_link, case.dest);
+    let fcp_attempt = fcp_route_in(
+        topo,
+        scenario,
+        case.initiator,
+        case.failed_link,
+        case.dest,
+        fcp_scratch,
+    );
     let fcp = SchemeOutcome {
         delivered: fcp_attempt.is_delivered(),
         optimal: fcp_attempt.is_delivered() && fcp_attempt.cost_traversed == optimal_cost,
@@ -155,13 +188,14 @@ pub fn eval_recoverable(
     let fcp_series = OverheadSeries::new(fcp_attempt.trace, fcp_steady);
 
     // --- MRC ---
-    let mrc_attempt = mrc_recover(
+    let mrc_attempt = mrc_recover_in(
         topo,
         mrc,
         scenario,
         case.initiator,
         case.failed_link,
         case.dest,
+        mrc_scratch,
     );
     let mrc_out = SchemeOutcome {
         delivered: mrc_attempt.is_delivered(),
@@ -192,13 +226,31 @@ pub fn eval_irrecoverable(
     session: &mut RtrSession<'_, FailureScenario>,
     case: &TestCase,
 ) -> IrrecoverableRow {
+    eval_irrecoverable_in(topo, scenario, session, case, &mut FcpScratch::default())
+}
+
+/// Like [`eval_irrecoverable`], but reuses the caller's FCP buffers.
+pub fn eval_irrecoverable_in(
+    topo: &Topology,
+    scenario: &FailureScenario,
+    session: &mut RtrSession<'_, FailureScenario>,
+    case: &TestCase,
+    fcp_scratch: &mut FcpScratch,
+) -> IrrecoverableRow {
     debug_assert_eq!(session.initiator(), case.initiator);
 
     let attempt = session.recover(case.dest);
     debug_assert!(!attempt.is_delivered(), "case is irrecoverable");
     let rtr_wasted_transmission = wasted_transmission(&attempt.trace);
 
-    let fcp_attempt = fcp_route(topo, scenario, case.initiator, case.failed_link, case.dest);
+    let fcp_attempt = fcp_route_in(
+        topo,
+        scenario,
+        case.initiator,
+        case.failed_link,
+        case.dest,
+        fcp_scratch,
+    );
     debug_assert!(!fcp_attempt.is_delivered(), "case is irrecoverable");
 
     IrrecoverableRow {

@@ -48,18 +48,12 @@ impl ShortestPaths {
     /// itself is the trivial zero-hop path.
     pub fn path_to(&self, dest: NodeId) -> Option<Path> {
         let total = self.distance(dest)?;
-        let mut nodes = vec![dest];
-        let mut links = Vec::new();
-        let mut cur = dest;
-        while let Some((p, l)) = self.parent(cur) {
-            nodes.push(p);
-            links.push(l);
-            cur = p;
-        }
-        debug_assert_eq!(cur, self.source);
-        nodes.reverse();
-        links.reverse();
-        Some(Path::from_parts_unchecked(nodes, links, total))
+        Some(crate::path::from_parent_walk(
+            self.source,
+            dest,
+            total,
+            |n| self.parent(n),
+        ))
     }
 
     /// First hop from the source toward `dest`: `(next_node, link)`.
@@ -67,13 +61,7 @@ impl ShortestPaths {
     /// Returns `None` when `dest` is unreachable or equals the source.
     pub fn first_hop(&self, dest: NodeId) -> Option<(NodeId, LinkId)> {
         self.distance(dest)?;
-        let mut cur = dest;
-        let mut hop = None;
-        while let Some((p, l)) = self.parent(cur) {
-            hop = Some((cur, l));
-            cur = p;
-        }
-        hop
+        crate::path::first_hop_from_parent_walk(dest, |n| self.parent(n))
     }
 
     /// Number of reachable nodes, including the source.
@@ -82,22 +70,91 @@ impl ShortestPaths {
     }
 }
 
-/// Runs Dijkstra from `source` over the links usable in `view`.
+/// Reusable buffers for repeated Dijkstra runs.
 ///
-/// Directed costs are respected (`cost_from` the tail of each traversal).
-/// If `source` itself is dead in `view`, everything is unreachable.
-pub fn dijkstra(topo: &Topology, view: &impl GraphView, source: NodeId) -> ShortestPaths {
-    let n = topo.node_count();
-    let mut dist: Vec<Option<u64>> = vec![None; n];
-    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-    if !view.is_node_live(source) {
-        return ShortestPaths {
-            source,
-            dist,
-            parent,
-        };
+/// The evaluation hot loop performs thousands of shortest-path computations
+/// per scenario sweep; allocating the dist/parent vectors and the binary
+/// heap anew each time dominates small-topology runtimes. A scratch keeps
+/// those buffers alive across calls: [`run`](Self::run) clears them while
+/// retaining capacity, so repeated calls on same-sized topologies perform no
+/// transient heap allocations once warmed up.
+#[derive(Debug, Clone)]
+pub struct DijkstraScratch {
+    paths: ShortestPaths,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DijkstraScratch {
+            paths: ShortestPaths {
+                source: NodeId(0),
+                dist: Vec::new(),
+                parent: Vec::new(),
+            },
+            heap: BinaryHeap::new(),
+        }
     }
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+
+    /// Runs Dijkstra from `source` over the links usable in `view`, reusing
+    /// this scratch's buffers.
+    ///
+    /// The returned tree borrows the scratch; clone it (or call the
+    /// allocating [`dijkstra`] wrapper) if it must outlive the next `run`.
+    pub fn run(
+        &mut self,
+        topo: &Topology,
+        view: &impl GraphView,
+        source: NodeId,
+    ) -> &ShortestPaths {
+        self.paths.source = source;
+        run_raw(
+            topo,
+            view,
+            source,
+            &mut self.paths.dist,
+            &mut self.paths.parent,
+            &mut self.heap,
+        );
+        &self.paths
+    }
+
+    /// The tree produced by the most recent [`run`](Self::run).
+    pub fn paths(&self) -> &ShortestPaths {
+        &self.paths
+    }
+}
+
+impl Default for DijkstraScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shared Dijkstra kernel: relaxes into caller-owned buffers.
+///
+/// Buffers are cleared and resized to the topology (capacity is retained),
+/// so callers that hold them across invocations allocate nothing after
+/// warm-up. Also used by [`IncrementalSpt`](crate::IncrementalSpt) to
+/// (re)build its tree without an intermediate `ShortestPaths`.
+pub(crate) fn run_raw(
+    topo: &Topology,
+    view: &impl GraphView,
+    source: NodeId,
+    dist: &mut Vec<Option<u64>>,
+    parent: &mut Vec<Option<(NodeId, LinkId)>>,
+    heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+) {
+    let n = topo.node_count();
+    dist.clear();
+    dist.resize(n, None);
+    parent.clear();
+    parent.resize(n, None);
+    heap.clear();
+    if !view.is_node_live(source) {
+        return;
+    }
     if let Some(d0) = dist.get_mut(source.index()) {
         *d0 = Some(0);
     }
@@ -126,11 +183,19 @@ pub fn dijkstra(topo: &Topology, view: &impl GraphView, source: NodeId) -> Short
             }
         }
     }
-    ShortestPaths {
-        source,
-        dist,
-        parent,
-    }
+}
+
+/// Runs Dijkstra from `source` over the links usable in `view`.
+///
+/// Directed costs are respected (`cost_from` the tail of each traversal).
+/// If `source` itself is dead in `view`, everything is unreachable.
+///
+/// Allocates fresh buffers per call; hot loops should hold a
+/// [`DijkstraScratch`] instead.
+pub fn dijkstra(topo: &Topology, view: &impl GraphView, source: NodeId) -> ShortestPaths {
+    let mut scratch = DijkstraScratch::new();
+    scratch.run(topo, view, source);
+    scratch.paths
 }
 
 /// Deterministic tie-break: prefer the smaller (parent id, link id) pair so
@@ -303,6 +368,39 @@ mod tests {
             let re = Path::new(&topo, p.nodes().to_vec(), p.links().to_vec()).unwrap();
             assert_eq!(re.cost(), p.cost());
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let topo = generate::isp_like(40, 90, 2000.0, 17).unwrap();
+        let mut scratch = DijkstraScratch::new();
+        for src in [NodeId(0), NodeId(7), NodeId(39), NodeId(3)] {
+            let fresh = dijkstra(&topo, &FullView, src);
+            let reused = scratch.run(&topo, &FullView, src);
+            assert_eq!(reused.source(), src);
+            for n in topo.node_ids() {
+                assert_eq!(reused.distance(n), fresh.distance(n));
+                assert_eq!(reused.parent(n), fresh.parent(n));
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_views_and_sizes() {
+        let big = generate::isp_like(40, 90, 2000.0, 17).unwrap();
+        let small = diamond();
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&big, &FullView, NodeId(5));
+        // Shrinking to a smaller topology must not leak stale labels.
+        let l = small.link_between(NodeId(0), NodeId(2)).unwrap();
+        let s = FailureScenario::single_link(&small, l);
+        let reused = scratch.run(&small, &s, NodeId(0));
+        let fresh = dijkstra(&small, &s, NodeId(0));
+        for n in small.node_ids() {
+            assert_eq!(reused.distance(n), fresh.distance(n));
+            assert_eq!(reused.parent(n), fresh.parent(n));
+        }
+        assert_eq!(scratch.paths().distance(NodeId(3)), Some(4));
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod source_route;
 pub mod spt;
 pub mod table;
 
-pub use dijkstra::{bfs_hops, shortest_path, ShortestPaths};
+pub use dijkstra::{bfs_hops, shortest_path, DijkstraScratch, ShortestPaths};
 pub use path::Path;
 pub use source_route::{SourceRoute, BYTES_PER_HOP};
-pub use spt::IncrementalSpt;
+pub use spt::{IncrementalSpt, SptScratch};
 pub use table::RoutingTable;

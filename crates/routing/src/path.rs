@@ -106,6 +106,49 @@ impl Path {
     }
 }
 
+/// Rebuilds the path from `source` to `dest` by walking parent pointers
+/// back from `dest` (shared by the Dijkstra and incremental-SPT trees).
+///
+/// `parent_of` returns the parent edge of a node in the tree, or `None`
+/// at the root. `total` is the already-known path cost.
+pub(crate) fn from_parent_walk(
+    source: NodeId,
+    dest: NodeId,
+    total: u64,
+    parent_of: impl Fn(NodeId) -> Option<(NodeId, LinkId)>,
+) -> Path {
+    let mut nodes = vec![dest];
+    let mut links = Vec::new();
+    let mut cur = dest;
+    while let Some((p, l)) = parent_of(cur) {
+        nodes.push(p);
+        links.push(l);
+        cur = p;
+    }
+    debug_assert_eq!(cur, source);
+    nodes.reverse();
+    links.reverse();
+    Path::from_parts_unchecked(nodes, links, total)
+}
+
+/// First hop out of the tree root toward `dest`: the deepest parent edge on
+/// the walk from `dest` back to the root, as `(next_node, link)`.
+///
+/// Returns `None` when `dest` is the root itself. Callers check
+/// reachability first.
+pub(crate) fn first_hop_from_parent_walk(
+    dest: NodeId,
+    parent_of: impl Fn(NodeId) -> Option<(NodeId, LinkId)>,
+) -> Option<(NodeId, LinkId)> {
+    let mut cur = dest;
+    let mut hop = None;
+    while let Some((p, l)) = parent_of(cur) {
+        hop = Some((cur, l));
+        cur = p;
+    }
+    hop
+}
+
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, n) in self.nodes.iter().enumerate() {

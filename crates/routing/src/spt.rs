@@ -11,11 +11,28 @@
 //! [`IncrementalSpt::nodes_touched`] exposes how much work each update did,
 //! backing the incremental-vs-full ablation bench.
 
-use crate::dijkstra::{dijkstra, ShortestPaths};
 use crate::path::Path;
 use rtr_topology::{GraphView, LinkId, NodeId, Topology};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Owned buffer bundle for building [`IncrementalSpt`]s without fresh
+/// allocations.
+///
+/// An `IncrementalSpt` borrows its topology, so it cannot itself outlive a
+/// per-topology loop; the scratch carries just the label and repair buffers
+/// between trees. Build with [`IncrementalSpt::with_view_in`], recover the
+/// buffers with [`IncrementalSpt::into_scratch`].
+#[derive(Debug, Clone, Default)]
+pub struct SptScratch {
+    dist: Vec<Option<u64>>,
+    parent: Vec<Option<(NodeId, LinkId)>>,
+    removed: Vec<bool>,
+    children: Vec<Vec<NodeId>>,
+    affected: Vec<bool>,
+    stack: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
 
 /// A shortest-path tree that supports removing links incrementally.
 ///
@@ -42,6 +59,12 @@ pub struct IncrementalSpt<'a> {
     parent: Vec<Option<(NodeId, LinkId)>>,
     removed: Vec<bool>,
     nodes_touched: usize,
+    // Persistent repair scratch: cleared (capacity retained) by each
+    // `remove_links`/`reset`, so steady-state updates allocate nothing.
+    children: Vec<Vec<NodeId>>,
+    affected: Vec<bool>,
+    stack: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
 }
 
 impl<'a> IncrementalSpt<'a> {
@@ -53,26 +76,70 @@ impl<'a> IncrementalSpt<'a> {
     /// Builds the initial tree on an arbitrary starting view. Links dead in
     /// `view` are treated as already removed.
     pub fn with_view(topo: &'a Topology, view: &impl GraphView, source: NodeId) -> Self {
-        let sp = dijkstra(topo, view, source);
-        let removed = topo
-            .link_ids()
-            .map(|l| !view.is_link_usable(topo, l))
-            .collect();
+        Self::with_view_in(topo, view, source, SptScratch::default())
+    }
+
+    /// Like [`with_view`](Self::with_view), but recycles the buffers of a
+    /// previous tree (see [`into_scratch`](Self::into_scratch)) so repeated
+    /// session construction allocates nothing after warm-up.
+    pub fn with_view_in(
+        topo: &'a Topology,
+        view: &impl GraphView,
+        source: NodeId,
+        scratch: SptScratch,
+    ) -> Self {
         let mut me = IncrementalSpt {
             topo,
             source,
-            dist: Vec::new(),
-            parent: Vec::new(),
-            removed,
+            dist: scratch.dist,
+            parent: scratch.parent,
+            removed: scratch.removed,
             nodes_touched: 0,
+            children: scratch.children,
+            affected: scratch.affected,
+            stack: scratch.stack,
+            heap: scratch.heap,
         };
-        me.load(&sp);
+        me.reset(view, source);
         me
     }
 
-    fn load(&mut self, sp: &ShortestPaths) {
-        self.dist = self.topo.node_ids().map(|n| sp.distance(n)).collect();
-        self.parent = self.topo.node_ids().map(|n| sp.parent(n)).collect();
+    /// Dissolves the tree into its buffer bundle for reuse by the next one.
+    pub fn into_scratch(self) -> SptScratch {
+        SptScratch {
+            dist: self.dist,
+            parent: self.parent,
+            removed: self.removed,
+            children: self.children,
+            affected: self.affected,
+            stack: self.stack,
+            heap: self.heap,
+        }
+    }
+
+    /// Recomputes the tree from scratch over `view`, rooted at `source`,
+    /// reusing every internal buffer.
+    ///
+    /// Equivalent to building a fresh tree with [`with_view`](Self::with_view)
+    /// but without its allocations — the seed for chained multi-area
+    /// recovery sessions, which re-root the same tree per initiator.
+    pub fn reset(&mut self, view: &impl GraphView, source: NodeId) {
+        self.source = source;
+        crate::dijkstra::run_raw(
+            self.topo,
+            view,
+            source,
+            &mut self.dist,
+            &mut self.parent,
+            &mut self.heap,
+        );
+        self.removed.clear();
+        self.removed.extend(
+            self.topo
+                .link_ids()
+                .map(|l| !view.is_link_usable(self.topo, l)),
+        );
+        self.nodes_touched = 0;
     }
 
     /// The tree's source node.
@@ -114,18 +181,12 @@ impl<'a> IncrementalSpt<'a> {
     /// Reconstructs the current shortest path to `dest`.
     pub fn path_to(&self, dest: NodeId) -> Option<Path> {
         let total = self.distance(dest)?;
-        let mut nodes = vec![dest];
-        let mut links = Vec::new();
-        let mut cur = dest;
-        while let Some((p, l)) = self.parent(cur) {
-            nodes.push(p);
-            links.push(l);
-            cur = p;
-        }
-        debug_assert_eq!(cur, self.source);
-        nodes.reverse();
-        links.reverse();
-        Some(Path::from_parts_unchecked(nodes, links, total))
+        Some(crate::path::from_parent_walk(
+            self.source,
+            dest,
+            total,
+            |n| self.parent(n),
+        ))
     }
 
     /// Removes a batch of links and repairs the tree.
@@ -161,9 +222,20 @@ impl<'a> IncrementalSpt<'a> {
         };
 
         // 1. Collect the affected set: nodes whose tree path uses a removed
-        //    link. Walk children lists derived from the parent array.
+        //    link. Walk children lists derived from the parent array. The
+        //    scratch buffers live on `self` (taken here, restored below) so
+        //    only their first use allocates; clearing retains capacity.
         let n = self.topo.node_count();
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut children = std::mem::take(&mut self.children);
+        let mut affected = std::mem::take(&mut self.affected);
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut heap = std::mem::take(&mut self.heap);
+        if children.len() < n {
+            children.resize_with(n, Vec::new);
+        }
+        for list in children.iter_mut() {
+            list.clear();
+        }
         for node in self.topo.node_ids() {
             if let Some((p, _)) = self.parent(node) {
                 if let Some(list) = children.get_mut(p.index()) {
@@ -171,8 +243,9 @@ impl<'a> IncrementalSpt<'a> {
                 }
             }
         }
-        let mut affected = vec![false; n];
-        let mut stack: Vec<NodeId> = Vec::new();
+        affected.clear();
+        affected.resize(n, false);
+        stack.clear();
         for node in self.topo.node_ids() {
             if let Some((_, pl)) = self.parent(node) {
                 if self.is_removed(pl) && !is_affected(&affected, node) {
@@ -193,7 +266,7 @@ impl<'a> IncrementalSpt<'a> {
 
         // 2. Invalidate affected labels and seed the repair heap from
         //    usable links crossing the frontier (intact -> affected).
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        heap.clear();
         for node in self.topo.node_ids() {
             if is_affected(&affected, node) {
                 self.set_label(node, None, None);
@@ -237,6 +310,11 @@ impl<'a> IncrementalSpt<'a> {
                 }
             }
         }
+
+        self.children = children;
+        self.affected = affected;
+        self.stack = stack;
+        self.heap = heap;
     }
 
     fn improves(&self, v: NodeId, nd: u64, from: NodeId, l: LinkId) -> bool {
@@ -257,6 +335,7 @@ impl<'a> IncrementalSpt<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dijkstra::dijkstra;
     use rtr_topology::{generate, LinkMask};
 
     /// Oracle: distances after incremental removal must equal a fresh
@@ -374,6 +453,40 @@ mod tests {
         assert_eq!(spt.nodes_touched(), 0);
         let after: Vec<_> = topo.node_ids().map(|n| spt.distance(n)).collect();
         assert_eq!(snapshot, after);
+    }
+
+    #[test]
+    fn reset_matches_fresh_with_view() {
+        let topo = generate::isp_like(35, 80, 2000.0, 42).unwrap();
+        let removed: Vec<LinkId> = topo.link_ids().step_by(5).collect();
+        let mask = LinkMask::from_links(&topo, removed.iter().copied());
+        // Dirty the tree first so reset has real state to clear.
+        let mut spt = IncrementalSpt::new(&topo, NodeId(0));
+        spt.remove_links(topo.link_ids().take(10));
+        for src in [NodeId(2), NodeId(17), NodeId(34)] {
+            spt.reset(&mask, src);
+            let fresh = IncrementalSpt::with_view(&topo, &mask, src);
+            assert_eq!(spt.source(), src);
+            assert_eq!(spt.nodes_touched(), 0);
+            for n in topo.node_ids() {
+                assert_eq!(spt.distance(n), fresh.distance(n));
+                assert_eq!(spt.parent(n), fresh.parent(n));
+            }
+            for l in topo.link_ids() {
+                assert_eq!(spt.is_removed(l), fresh.is_removed(l));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_then_remove_links_matches_oracle() {
+        let topo = generate::isp_like(30, 70, 2000.0, 9).unwrap();
+        let mut spt = IncrementalSpt::new(&topo, NodeId(0));
+        spt.remove_links(topo.link_ids().take(8));
+        spt.reset(&rtr_topology::FullView, NodeId(4));
+        let removed: Vec<LinkId> = topo.link_ids().skip(3).step_by(6).collect();
+        spt.remove_links(removed.iter().copied());
+        assert_matches_oracle(&topo, &spt, &removed);
     }
 
     #[test]

@@ -10,7 +10,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtr_routing::dijkstra::dijkstra;
-use rtr_topology::{generate, LinkId, LinkMask, NodeId};
+use rtr_routing::DijkstraScratch;
+use rtr_topology::{generate, FullView, LinkId, LinkMask, NodeId};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -75,5 +76,55 @@ proptest! {
         let all_failed = LinkMask::from_links(&topo, topo.link_ids());
         let lonely = dijkstra(&topo, &all_failed, src);
         prop_assert_eq!(lonely.reachable_count(), 1);
+    }
+
+    /// A reused `DijkstraScratch` — dirtied by runs over other sources,
+    /// other views, and even other topologies — always produces exactly
+    /// the tree a fresh `dijkstra` call does. This is the contract the
+    /// zero-allocation evaluation hot loop rests on.
+    #[test]
+    fn dijkstra_scratch_reuse_equals_fresh(
+        n in 2..30usize,
+        extra in 0..40usize,
+        seed in 0..10_000u64,
+        kill in 0.0..0.8f64,
+        sources in proptest::collection::vec(0..30u32, 1..6),
+    ) {
+        let max = n * (n - 1) / 2;
+        let m = (n - 1 + extra).min(max);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5c4a);
+        let removed: Vec<LinkId> = topo
+            .link_ids()
+            .filter(|_| rng.gen_range(0.0..1.0) < kill)
+            .collect();
+        let mask = LinkMask::from_links(&topo, removed.iter().copied());
+
+        // Dirty the scratch on a different topology first, then alternate
+        // views and sources on the real one.
+        let mut scratch = DijkstraScratch::new();
+        let other = generate::isp_like(12, 20, 2000.0, seed ^ 9).unwrap();
+        let _ = scratch.run(&other, &FullView, NodeId(3));
+
+        for s in sources {
+            let src = NodeId(s % n as u32);
+            for view_full in [true, false] {
+                let reused = if view_full {
+                    scratch.run(&topo, &FullView, src).clone()
+                } else {
+                    scratch.run(&topo, &mask, src).clone()
+                };
+                let fresh = if view_full {
+                    dijkstra(&topo, &FullView, src)
+                } else {
+                    dijkstra(&topo, &mask, src)
+                };
+                for v in topo.node_ids() {
+                    prop_assert_eq!(reused.distance(v), fresh.distance(v));
+                    prop_assert_eq!(reused.parent(v), fresh.parent(v));
+                }
+            }
+        }
     }
 }

@@ -247,7 +247,7 @@ impl GraphView for FailureScenario {
 /// learned (or assumes) to be dead. Nodes are never removed — a router
 /// cannot distinguish node failures from link failures, so its recomputation
 /// removes links only (§III-B, second phase).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkMask {
     removed: Vec<bool>,
 }
@@ -267,6 +267,14 @@ impl LinkMask {
             m.remove(l);
         }
         m
+    }
+
+    /// Clears the mask for reuse over `topo`: every link usable again.
+    /// Retains capacity, so a mask held across iterations never reallocates
+    /// on same-sized topologies.
+    pub fn reset(&mut self, topo: &Topology) {
+        self.removed.clear();
+        self.removed.resize(topo.link_count(), false);
     }
 
     /// Marks link `l` as removed (no-op when out of range).

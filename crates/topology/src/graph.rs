@@ -174,8 +174,14 @@ impl std::error::Error for TopologyError {}
 pub struct Topology {
     positions: Vec<Point>,
     links: Vec<Link>,
-    /// adjacency\[n\] = (neighbor, link) pairs, in insertion order.
-    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+    /// CSR adjacency: node `n`'s `(neighbor, link)` pairs live at
+    /// `adj_entries[adj_offsets[n] .. adj_offsets[n + 1]]`, in insertion
+    /// order. One flat allocation keeps the per-node neighbor scans of the
+    /// shortest-path kernels on contiguous memory instead of chasing a
+    /// `Vec<Vec<_>>` pointer per node.
+    adj_offsets: Vec<u32>,
+    /// Flat `(neighbor, link)` entries backing [`Topology::neighbors`].
+    adj_entries: Vec<(NodeId, LinkId)>,
 }
 
 impl Topology {
@@ -236,7 +242,17 @@ impl Topology {
     /// Neighbors of `n` as `(neighbor, link)` pairs, in insertion order.
     /// An out-of-range node has no neighbors.
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
-        self.adjacency.get(n.index()).map_or(&[], Vec::as_slice)
+        let i = n.index();
+        match (
+            self.adj_offsets.get(i).copied(),
+            self.adj_offsets.get(i + 1).copied(),
+        ) {
+            (Some(start), Some(end)) => self
+                .adj_entries
+                .get(start as usize..end as usize)
+                .unwrap_or(&[]),
+            _ => &[],
+        }
     }
 
     /// Degree of node `n`.
@@ -417,10 +433,20 @@ impl TopologyBuilder {
         if self.links.len() > u16::MAX as usize + 1 {
             return Err(TopologyError::TooLarge("links"));
         }
+        // Flatten the builder's per-node lists into the CSR layout. Entry
+        // counts are bounded by 2 * links <= 2^17, so offsets fit in u32.
+        let mut adj_offsets = Vec::with_capacity(self.adjacency.len() + 1);
+        let mut adj_entries = Vec::with_capacity(2 * self.links.len());
+        adj_offsets.push(0u32);
+        for list in &self.adjacency {
+            adj_entries.extend_from_slice(list);
+            adj_offsets.push(adj_entries.len() as u32);
+        }
         Ok(Topology {
             positions: self.positions,
             links: self.links,
-            adjacency: self.adjacency,
+            adj_offsets,
+            adj_entries,
         })
     }
 }
@@ -455,6 +481,36 @@ mod tests {
         assert_eq!(topo.degree(NodeId(0)), 2);
         let nbrs: Vec<NodeId> = topo.neighbors(NodeId(0)).iter().map(|&(n, _)| n).collect();
         assert_eq!(nbrs, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn out_of_range_node_has_no_neighbors() {
+        let topo = triangle();
+        assert!(topo.neighbors(NodeId(99)).is_empty());
+        assert_eq!(topo.degree(NodeId(99)), 0);
+    }
+
+    #[test]
+    fn csr_neighbors_match_builder_insertion_order() {
+        // A star inserted hub-last: every rim node's first neighbor is the
+        // next rim node (ring links first), then the hub.
+        let mut b = Topology::builder();
+        let hub = b.add_node(Point::new(0.0, 0.0));
+        let mut rim = Vec::new();
+        for i in 0..4 {
+            rim.push(b.add_node(Point::new(1.0 + i as f64, 0.0)));
+        }
+        for i in 0..4usize {
+            b.add_link(rim[i], rim[(i + 1) % 4], 1).unwrap();
+        }
+        for &r in &rim {
+            b.add_link(hub, r, 1).unwrap();
+        }
+        let topo = b.build().unwrap();
+        let hub_nbrs: Vec<NodeId> = topo.neighbors(hub).iter().map(|&(n, _)| n).collect();
+        assert_eq!(hub_nbrs, rim);
+        let r0: Vec<NodeId> = topo.neighbors(rim[0]).iter().map(|&(n, _)| n).collect();
+        assert_eq!(r0, vec![rim[1], rim[3], hub]);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! 3. **Theorem coverage** — every `Theorem N` stated in DESIGN.md must map
 //!    to at least one `#[test]` in `crates/core/tests/theorems.rs` whose
 //!    name contains `theoremN`.
+//! 4. **Thread discipline** — `thread::spawn` / `thread::scope` appear only
+//!    in the fork-join executor (`crates/eval/src/par.rs`), the one place
+//!    threads are born, so the driver's determinism argument stays local.
+//!
+//! `cargo xtask bench-record` regenerates `BENCH_eval.json` at the
+//! workspace root via the `bench_eval` binary of `rtr-bench`.
 //!
 //! The analysis is a source-level lexer (comments, strings and `#[cfg(test)]`
 //! regions are blanked out before pattern checks), not a full parser: it is
@@ -56,16 +62,45 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("bench-record") => match run_bench_record() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("cargo xtask bench-record: error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!(
-                "usage: cargo xtask analyze\n  (got {:?})\n\n\
-                 Runs the workspace static-analysis pass: panic-freedom in the\n\
-                 hot-path crates, paper-invariant lints, theorem coverage.",
+                "usage: cargo xtask <analyze|bench-record>\n  (got {:?})\n\n\
+                 analyze       Runs the workspace static-analysis pass: panic-freedom\n\
+                 \x20             in the hot-path crates, paper-invariant lints, theorem\n\
+                 \x20             coverage, thread discipline.\n\
+                 bench-record  Regenerates BENCH_eval.json at the workspace root\n\
+                 \x20             (driver wall times serial vs parallel).",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the `bench_eval` recorder and leaves `BENCH_eval.json` at the
+/// workspace root.
+fn run_bench_record() -> Result<(), String> {
+    let root = workspace_root()?;
+    let out = root.join("BENCH_eval.json");
+    let status = std::process::Command::new("cargo")
+        .args(["run", "--release", "-p", "rtr-bench", "--bin", "bench_eval"])
+        .arg("--")
+        .arg(&out)
+        .current_dir(&root)
+        .status()
+        .map_err(|e| format!("cannot launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("bench_eval exited with {status}"));
+    }
+    println!("cargo xtask bench-record: wrote {}", out.display());
+    Ok(())
 }
 
 /// One entry of `crates/xtask/allow.toml`.
@@ -138,6 +173,7 @@ fn run_analyze() -> Result<bool, String> {
         }
         check_header_discipline(&file, &mut violations);
         check_float_eq(&file, &mut violations);
+        check_thread_discipline(&file, &mut violations);
     }
     check_theorem_coverage(&root, &mut violations)?;
 
@@ -762,6 +798,32 @@ fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// The one file allowed to create threads: the fork-join executor.
+const THREAD_EXECUTOR: &str = "crates/eval/src/par.rs";
+
+/// Thread discipline: `thread::spawn` / `thread::scope` only inside the
+/// executor module. Everything else must go through `rtr_eval::par`, so
+/// the scenario-order merge stays the single determinism argument.
+fn check_thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel == THREAD_EXECUTOR {
+        return;
+    }
+    let m = &file.masked;
+    for needle in [&b"thread::spawn"[..], &b"thread::scope"[..]] {
+        let mut from = 0;
+        while let Some(pos) = find_from(m, needle, from) {
+            from = pos + needle.len();
+            let line = line_of(m, pos);
+            out.push(Violation {
+                file: file.rel.clone(),
+                line,
+                rule: "thread-discipline",
+                excerpt: excerpt(file, line),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Rule family 3: theorem coverage
 // ---------------------------------------------------------------------------
@@ -988,6 +1050,23 @@ mod tests {
         let src = "fn f(a: usize, b: usize) -> bool { a == b && a != b + 1 }";
         let mut out = Vec::new();
         check_float_eq(&file("x.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn thread_discipline_flags_spawns_outside_executor() {
+        let src = "fn f() { std::thread::spawn(|| {}); thread::scope(|s| {}); }";
+        let mut out = Vec::new();
+        check_thread_discipline(&file("crates/core/src/x.rs", src), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.rule == "thread-discipline"));
+    }
+
+    #[test]
+    fn thread_discipline_exempts_the_executor_module() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        let mut out = Vec::new();
+        check_thread_discipline(&file("crates/eval/src/par.rs", src), &mut out);
         assert!(out.is_empty(), "false positives: {out:?}");
     }
 

@@ -200,7 +200,8 @@ fn irrecoverable_traffic_is_cut_off_quickly() {
 #[test]
 fn harness_end_to_end_tiny_scale() {
     let cfg = rtr::eval::ExperimentConfig::quick().with_cases(80);
-    let results = rtr::eval::run_topologies(&["AS209".to_string()], &cfg);
+    let results = rtr::eval::run_topologies(&["AS209".to_string()], &cfg)
+        .expect("AS209 is a Table II topology");
     assert_eq!(results.len(), 1);
     let h = rtr::eval::reports::headline(&results);
     assert!(h.rtr_optimal_recovery_rate > 80.0);
