@@ -154,7 +154,8 @@ pub fn fcp_route_in(
     // carried set, so at most `link_count` recomputations can happen.
     loop {
         believed_view_into(&mut scratch.mask, topo, view, cur, &carried);
-        let sp = scratch.sp.run(topo, &scratch.mask, cur);
+        // Early-exit at `dest`: only `path_to(dest)` is consumed below.
+        let sp = scratch.sp.run_to(topo, &scratch.mask, cur, dest);
         sp_calculations += 1;
         let Some(path): Option<Path> = sp.path_to(dest) else {
             return FcpAttempt {

@@ -284,7 +284,8 @@ impl Mrc {
             dest,
             topo,
         };
-        scratch.run(topo, &view, src).path_to(dest)
+        // Early-exit at `dest`: only `path_to(dest)` is consumed.
+        scratch.run_to(topo, &view, src, dest).path_to(dest)
     }
 }
 

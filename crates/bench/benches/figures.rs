@@ -48,8 +48,10 @@ fn bench_fig11(c: &mut Criterion) {
         ..ExperimentConfig::default()
     };
     c.bench_function("fig11_sweep_AS1239_20areas", |b| {
-        let topo = rtr_topology::isp::profile("AS1239").unwrap().synthesize();
-        b.iter(|| black_box(fig11::sweep_topology(&topo, &cfg, 1)))
+        let base = rtr_eval::baseline::Baseline::for_profile(
+            &rtr_topology::isp::profile("AS1239").unwrap(),
+        );
+        b.iter(|| black_box(fig11::sweep_topology(&base, &cfg, 1)))
     });
 }
 

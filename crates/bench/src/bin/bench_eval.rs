@@ -10,8 +10,9 @@
 //! machines read honestly.
 
 use rtr_core::{RecoveryScratch, RtrSession};
+use rtr_eval::baseline::Baseline;
 use rtr_eval::json::Json;
-use rtr_eval::testcase::{generate_workload, Workload};
+use rtr_eval::testcase::{generate_workload_shared, Workload};
 use rtr_eval::{config::ExperimentConfig, driver, par};
 use rtr_topology::{isp, NodeId};
 use std::collections::BTreeSet;
@@ -30,7 +31,41 @@ fn median_secs(w: &Workload, cfg: &ExperimentConfig) -> f64 {
     let mut secs: Vec<f64> = (0..RUNS)
         .map(|_| {
             let t = Instant::now();
-            std::hint::black_box(driver::run_workload(w, cfg));
+            std::hint::black_box(driver::run_workload(w, cfg)).expect("Table II twins build MRC");
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    secs[RUNS / 2]
+}
+
+/// Median wall time of re-running every phase-1 boundary sweep of the
+/// workload (one session start per unique initiator, scratch reuse as in
+/// the driver) — the `is_excluded` bitset hot path in isolation.
+fn median_sweep_secs(w: &Workload) -> f64 {
+    let mut scratch = RecoveryScratch::default();
+    let mut secs: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            for sc in &w.scenarios {
+                let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+                for case in sc.recoverable.iter().chain(&sc.irrecoverable) {
+                    if !seen.insert(case.initiator) {
+                        continue;
+                    }
+                    let session = RtrSession::start_in(
+                        w.topo(),
+                        w.crosslinks(),
+                        &sc.scenario,
+                        case.initiator,
+                        case.failed_link,
+                        &mut scratch,
+                    )
+                    .expect("cases always have a live initiator with a failed incident link");
+                    std::hint::black_box(session.phase1().trace.hops());
+                    session.recycle(&mut scratch);
+                }
+            }
             t.elapsed().as_secs_f64()
         })
         .collect();
@@ -51,8 +86,8 @@ fn mean_nodes_touched(w: &Workload) -> f64 {
                 continue;
             }
             let session = RtrSession::start_in(
-                &w.topo,
-                &w.crosslinks,
+                w.topo(),
+                w.crosslinks(),
                 &sc.scenario,
                 case.initiator,
                 case.failed_link,
@@ -81,18 +116,19 @@ fn main() {
     let mut rows = Vec::new();
     for p in isp::TABLE2 {
         let serial_cfg = ExperimentConfig::quick().with_cases(CASES).with_threads(1);
-        let w = generate_workload(
+        let w = generate_workload_shared(
             p.name,
-            p.synthesize(),
+            Baseline::for_profile(&p),
             &serial_cfg,
             serial_cfg.seed ^ u64::from(p.asn),
         );
         let serial = median_secs(&w, &serial_cfg);
         let parallel = median_secs(&w, &serial_cfg.clone().with_threads(PAR_THREADS));
+        let sweep = median_sweep_secs(&w);
         let touched = mean_nodes_touched(&w);
         eprintln!(
             "[bench_eval] {:>8}: serial {serial:.4}s, {PAR_THREADS} threads {parallel:.4}s \
-             (x{:.2}), mean nodes touched {touched:.1}/{}",
+             (x{:.2}), sweep {sweep:.4}s, mean nodes touched {touched:.1}/{}",
             p.name,
             serial / parallel,
             p.nodes
@@ -104,6 +140,7 @@ fn main() {
             ("serial_secs", Json::Num(serial)),
             ("parallel_secs", Json::Num(parallel)),
             ("speedup", Json::Num(serial / parallel)),
+            ("sweep_secs", Json::Num(sweep)),
             ("mean_nodes_touched", Json::Num(touched)),
         ]));
     }

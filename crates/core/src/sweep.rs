@@ -73,8 +73,14 @@ pub fn select_next_hop(
 
 /// Returns true when `link` properly crosses any link in `excluded`
 /// (and therefore must not be selected by the sweep).
+///
+/// Word-parallel: the excluded set's bitset is ANDed against `link`'s
+/// precomputed crossing-mask row, so the cost is a handful of word
+/// operations regardless of how many links the header has recorded.
 pub fn is_excluded(crosslinks: &CrossLinkTable, link: LinkId, excluded: &LinkIdSet) -> bool {
-    excluded.iter().any(|e| crosslinks.crosses(link, e))
+    excluded
+        .bits()
+        .intersects_words(crosslinks.crossing_mask(link))
 }
 
 #[cfg(test)]

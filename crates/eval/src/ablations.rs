@@ -9,12 +9,13 @@
 //!   coordinates independent), quantifying how much RTR's boundary walk
 //!   relies on geography matching topology.
 
+use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::metrics::percentage;
 use crate::reports::TableReport;
-use crate::testcase::{generate_workload, Workload};
+use crate::testcase::{generate_workload_shared, Workload};
 use rtr_core::RtrSession;
-use rtr_topology::{isp, Topology};
+use rtr_topology::isp;
 use std::collections::BTreeSet;
 
 /// Aggregate outcome of evaluating one RTR variant over a workload.
@@ -40,7 +41,7 @@ pub fn collection_ablation(w: &Workload) -> (VariantStats, VariantStats) {
     let mut thorough_hops = Vec::new();
 
     for sc in &w.scenarios {
-        let truth: Vec<_> = sc.scenario.unusable_links(&w.topo).collect();
+        let truth: Vec<_> = sc.scenario.unusable_links(w.topo()).collect();
         let mut seen_initiators = BTreeSet::new();
         let mut by_initiator: std::collections::BTreeMap<_, Vec<_>> = Default::default();
         for c in &sc.recoverable {
@@ -49,11 +50,16 @@ pub fn collection_ablation(w: &Workload) -> (VariantStats, VariantStats) {
         for (initiator, group) in by_initiator {
             let failed = group[0].failed_link;
             let mut single =
-                RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
+                RtrSession::start(w.topo(), w.crosslinks(), &sc.scenario, initiator, failed)
                     .expect("recoverable case: live initiator with a failed incident link");
-            let (mut thorough, thorough_walk) =
-                RtrSession::start_thorough(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
-                    .expect("recoverable case: live initiator with a failed incident link");
+            let (mut thorough, thorough_walk) = RtrSession::start_thorough(
+                w.topo(),
+                w.crosslinks(),
+                &sc.scenario,
+                initiator,
+                failed,
+            )
+            .expect("recoverable case: live initiator with a failed incident link");
             if seen_initiators.insert(initiator) {
                 let coverage = |session: &RtrSession<'_, _>| {
                     let known = session.computer().removed_links();
@@ -102,15 +108,15 @@ fn single_sweep_stats(w: &Workload) -> (f64, f64) {
     let mut cases = 0usize;
     let mut coverage = Vec::new();
     for sc in &w.scenarios {
-        let truth: Vec<_> = sc.scenario.unusable_links(&w.topo).collect();
+        let truth: Vec<_> = sc.scenario.unusable_links(w.topo()).collect();
         let mut by_initiator: std::collections::BTreeMap<_, Vec<_>> = Default::default();
         for c in &sc.recoverable {
             by_initiator.entry(c.initiator).or_default().push(c);
         }
         for (initiator, group) in by_initiator {
             let mut session = RtrSession::start(
-                &w.topo,
-                &w.crosslinks,
+                w.topo(),
+                w.crosslinks(),
                 &sc.scenario,
                 initiator,
                 group[0].failed_link,
@@ -141,7 +147,12 @@ pub fn thoroughness_report(names: &[String], cfg: &ExperimentConfig) -> TableRep
     let mut rows = Vec::new();
     for p in profiles {
         eprintln!("[rtr-eval] thoroughness ablation on {}...", p.name);
-        let w = generate_workload(p.name, p.synthesize(), cfg, cfg.seed ^ u64::from(p.asn));
+        let w = generate_workload_shared(
+            p.name,
+            Baseline::for_profile(&p),
+            cfg,
+            cfg.seed ^ u64::from(p.asn),
+        );
         let (single, thorough) = collection_ablation(&w);
         rows.push(vec![
             p.name.to_string(),
@@ -177,12 +188,16 @@ pub fn embedding_report(names: &[String], cfg: &ExperimentConfig) -> TableReport
     let mut rows = Vec::new();
     for p in profiles {
         eprintln!("[rtr-eval] embedding ablation on {}...", p.name);
-        let run = |topo: Topology| {
-            let w = generate_workload(p.name, topo, cfg, cfg.seed ^ u64::from(p.asn));
+        let run = |base: std::sync::Arc<Baseline>| {
+            let w = generate_workload_shared(p.name, base, cfg, cfg.seed ^ u64::from(p.asn));
             single_sweep_stats(&w)
         };
-        let (geo_rec, geo_cov) = run(p.synthesize());
-        let (rnd_rec, rnd_cov) = run(isp::synthetic_twin_random_embedding(p));
+        // The geometric twin reuses the process-wide cached baseline; the
+        // random embedding is ablation-only, so its baseline stays fresh.
+        let (geo_rec, geo_cov) = run(Baseline::for_profile(&p));
+        let (rnd_rec, rnd_cov) = run(std::sync::Arc::new(Baseline::new(
+            isp::synthetic_twin_random_embedding(p),
+        )));
         rows.push(vec![
             p.name.to_string(),
             format!("{geo_rec:.1}"),
@@ -219,6 +234,7 @@ fn resolve(names: &[String]) -> Vec<isp::IspProfile> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testcase::generate_workload;
 
     #[test]
     fn thorough_never_collects_less_or_recovers_less() {

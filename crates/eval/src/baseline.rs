@@ -1,0 +1,174 @@
+//! Shared per-topology baseline artifacts.
+//!
+//! Every experiment over a topology needs the same immutable pre-failure
+//! state: the all-pairs routing table, the crossing table for RTR's first
+//! phase, and (new in this milestone) a per-source index of destinations
+//! bucketed by first-hop link. A [`Baseline`] bundles all three, computed
+//! once; the figN drivers share one `Arc<Baseline>` per Table II twin via
+//! [`Baseline::for_profile`], so no binary recomputes
+//! `RoutingTable::compute` for a topology it has already seen.
+//!
+//! The first-hop buckets turn the §IV test-case harvest from an O(n²)
+//! next-hop probe per scenario into a walk over only the *failed* links'
+//! buckets: a destination's default path from `u` starts over exactly one
+//! incident link of `u`, so the destinations affected by a failure are
+//! precisely the union of the unusable incident links' buckets.
+
+use rtr_routing::RoutingTable;
+use rtr_topology::{isp, CrossLinkTable, FullView, NodeId, Topology};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Immutable per-topology baseline: topology, pre-failure routing table,
+/// crossing table, and the first-hop destination index.
+///
+/// Cheap to share: experiments hold it behind an [`Arc`] and the parallel
+/// executor's workers borrow it read-only.
+#[derive(Debug)]
+pub struct Baseline {
+    topo: Topology,
+    table: RoutingTable,
+    crosslinks: CrossLinkTable,
+    /// Bucket offsets: node `u`'s incident-link buckets occupy
+    /// `buckets[slot_base[u] .. slot_base[u + 1]]`, one bucket per entry
+    /// of `topo.neighbors(u)` in neighbor order.
+    slot_base: Vec<usize>,
+    /// `buckets[slot_base[u] + k]` = destinations whose default first hop
+    /// from `u` is `topo.neighbors(u)[k]`'s link, ascending by id.
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl Baseline {
+    /// Computes the full baseline for `topo` (routing table, crossing
+    /// table, first-hop buckets).
+    pub fn new(topo: Topology) -> Self {
+        let table = RoutingTable::compute(&topo, &FullView);
+        let crosslinks = CrossLinkTable::new(&topo);
+        let mut slot_base = Vec::with_capacity(topo.node_count() + 1);
+        let mut total = 0usize;
+        for u in topo.node_ids() {
+            slot_base.push(total);
+            total += topo.neighbors(u).len();
+        }
+        slot_base.push(total);
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); total];
+        for u in topo.node_ids() {
+            let nbrs = topo.neighbors(u);
+            let base = slot_base.get(u.index()).copied().unwrap_or(0);
+            // `t` ascends, so every bucket ends up sorted by destination.
+            for t in topo.node_ids() {
+                if t == u {
+                    continue;
+                }
+                let Some((_, link)) = table.next_hop(u, t) else {
+                    continue;
+                };
+                if let Some(k) = nbrs.iter().position(|&(_, l)| l == link) {
+                    if let Some(bucket) = buckets.get_mut(base + k) {
+                        bucket.push(t);
+                    }
+                }
+            }
+        }
+        Baseline {
+            topo,
+            table,
+            crosslinks,
+            slot_base,
+            buckets,
+        }
+    }
+
+    /// The topology this baseline was computed for.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Pre-failure routing tables (all sources).
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Precomputed link-crossing table for RTR's first phase.
+    pub fn crosslinks(&self) -> &CrossLinkTable {
+        &self.crosslinks
+    }
+
+    /// Destinations whose default first hop from `u` is `u`'s `slot`-th
+    /// incident link (`topo.neighbors(u)[slot]`), ascending by id. Empty
+    /// for out-of-range arguments.
+    pub fn dests_via(&self, u: NodeId, slot: usize) -> &[NodeId] {
+        self.slot_base
+            .get(u.index())
+            .and_then(|base| self.buckets.get(base + slot))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The shared baseline of a Table II twin, computed on first request
+    /// and cached per process.
+    ///
+    /// Safe to cache: [`isp::IspProfile::synthesize`] is deterministic, so
+    /// every caller would compute the identical artifact.
+    pub fn for_profile(profile: &isp::IspProfile) -> Arc<Baseline> {
+        static CACHE: OnceLock<Mutex<HashMap<u32, Arc<Baseline>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(
+            map.entry(profile.asn)
+                .or_insert_with(|| Arc::new(Baseline::new(profile.synthesize()))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::generate;
+
+    #[test]
+    fn buckets_partition_reachable_destinations() {
+        let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
+        let base = Baseline::new(topo);
+        let topo = base.topo();
+        for u in topo.node_ids() {
+            let mut seen = Vec::new();
+            for (k, &(_, link)) in topo.neighbors(u).iter().enumerate() {
+                let mut prev = None;
+                for &t in base.dests_via(u, k) {
+                    // Bucket membership means the table's first hop is
+                    // exactly this incident link.
+                    assert_eq!(base.table().next_hop(u, t).map(|(_, l)| l), Some(link));
+                    assert!(prev < Some(t), "bucket sorted ascending");
+                    prev = Some(t);
+                    seen.push(t);
+                }
+            }
+            // Every reachable destination appears in exactly one bucket.
+            seen.sort_unstable();
+            let expected: Vec<NodeId> = topo
+                .node_ids()
+                .filter(|&t| t != u && base.table().next_hop(u, t).is_some())
+                .collect();
+            assert_eq!(seen, expected);
+        }
+    }
+
+    #[test]
+    fn for_profile_returns_the_same_arc() {
+        let p = isp::profile("AS209").unwrap();
+        let a = Baseline::for_profile(&p);
+        let b = Baseline::for_profile(&p);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup hits the cache");
+        assert_eq!(a.topo().node_count(), p.nodes);
+    }
+
+    #[test]
+    fn dests_via_is_total_over_out_of_range() {
+        let topo = generate::path(3, 10.0).unwrap();
+        let base = Baseline::new(topo);
+        assert!(base.dests_via(NodeId(0), 99).is_empty());
+        assert!(base.dests_via(NodeId(99), 0).is_empty());
+    }
+}

@@ -11,13 +11,14 @@
 //! serial path (`--threads 1`) runs the exact same fold — so output is
 //! byte-identical at every worker count, floating-point sums included.
 
+use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::par;
 use crate::schemes::{
     eval_irrecoverable_in, eval_recoverable_in, IrrecoverableRow, RecoverableRow,
 };
-use crate::testcase::{generate_workload, ScenarioCases, TestCase, Workload};
-use rtr_baselines::{FcpScratch, Mrc};
+use crate::testcase::{generate_workload_shared, ScenarioCases, TestCase, Workload};
+use rtr_baselines::{FcpScratch, Mrc, MrcError};
 use rtr_core::{RecoveryScratch, RtrSession};
 use rtr_routing::DijkstraScratch;
 use rtr_sim::SimTime;
@@ -115,8 +116,8 @@ fn run_scenario(
     // initiator (phase 1 runs once per initiator, §III-A).
     for (initiator, cases) in by_initiator(&sc.recoverable) {
         let session = RtrSession::start_in(
-            &w.topo,
-            &w.crosslinks,
+            w.topo(),
+            w.crosslinks(),
             &sc.scenario,
             initiator,
             cases[0].failed_link,
@@ -129,10 +130,10 @@ fn run_scenario(
                 .for_hops(session.phase1().trace.hops())
                 .as_millis_f64(),
         );
-        let optimal = scratch.optimal.run(&w.topo, &sc.scenario, initiator);
+        let optimal = scratch.optimal.run(w.topo(), &sc.scenario, initiator);
         for case in cases {
             let (row, rtr_series, fcp_series) = eval_recoverable_in(
-                &w.topo,
+                w.topo(),
                 &sc.scenario,
                 &mut session,
                 mrc,
@@ -160,8 +161,8 @@ fn run_scenario(
     // Irrecoverable cases.
     for (initiator, cases) in by_initiator(&sc.irrecoverable) {
         let session = RtrSession::start_in(
-            &w.topo,
-            &w.crosslinks,
+            w.topo(),
+            w.crosslinks(),
             &sc.scenario,
             initiator,
             cases[0].failed_link,
@@ -176,7 +177,7 @@ fn run_scenario(
         );
         for case in cases {
             out.irrecoverable.push(eval_irrecoverable_in(
-                &w.topo,
+                w.topo(),
                 &sc.scenario,
                 &mut session,
                 case,
@@ -192,8 +193,20 @@ fn run_scenario(
 /// Runs all schemes over one workload, mapping scenario chunks across
 /// `cfg.threads` workers (see the module docs for the determinism
 /// argument).
-pub fn run_workload(w: &Workload, cfg: &ExperimentConfig) -> TopologyResults {
-    let mrc = Mrc::build(&w.topo, cfg.mrc_configurations).expect("Table II twins are connected");
+///
+/// # Errors
+///
+/// Returns [`MrcUnavailable`] when the MRC baseline cannot be built for
+/// the workload's topology (disconnected, or too few configurations);
+/// the Table II twins never trigger this.
+pub fn run_workload(
+    w: &Workload,
+    cfg: &ExperimentConfig,
+) -> Result<TopologyResults, MrcUnavailable> {
+    let mrc = Mrc::build(w.topo(), cfg.mrc_configurations).map_err(|error| MrcUnavailable {
+        topology: w.name.clone(),
+        error,
+    })?;
     let threads = par::resolve_threads(cfg.threads);
 
     // One contiguous chunk per worker; each worker reuses a single
@@ -237,20 +250,33 @@ pub fn run_workload(w: &Workload, cfg: &ExperimentConfig) -> TopologyResults {
         }
     }
 
-    TopologyResults {
+    Ok(TopologyResults {
         name: w.name.clone(),
         recoverable,
         irrecoverable,
         phase1_durations_ms,
         fig10_rtr,
         fig10_fcp,
-    }
+    })
 }
 
-/// Generates the workload for one Table II profile and runs it.
-pub fn run_profile(profile: isp::IspProfile, cfg: &ExperimentConfig) -> TopologyResults {
-    let topo = profile.synthesize();
-    let w = generate_workload(profile.name, topo, cfg, cfg.seed ^ u64::from(profile.asn));
+/// Generates the workload for one Table II profile (reusing the shared
+/// per-topology baseline) and runs it.
+///
+/// # Errors
+///
+/// Propagates [`MrcUnavailable`] from [`run_workload`].
+pub fn run_profile(
+    profile: isp::IspProfile,
+    cfg: &ExperimentConfig,
+) -> Result<TopologyResults, MrcUnavailable> {
+    let baseline = Baseline::for_profile(&profile);
+    let w = generate_workload_shared(
+        profile.name,
+        baseline,
+        cfg,
+        cfg.seed ^ u64::from(profile.asn),
+    );
     run_workload(&w, cfg)
 }
 
@@ -270,18 +296,83 @@ impl fmt::Display for UnknownTopology {
 
 impl std::error::Error for UnknownTopology {}
 
+/// The MRC baseline could not be built for a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrcUnavailable {
+    /// Display name of the topology.
+    pub topology: String,
+    /// Why `Mrc::build` refused.
+    pub error: MrcError,
+}
+
+impl fmt::Display for MrcUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot build MRC baseline for {}: {}",
+            self.topology, self.error
+        )
+    }
+}
+
+impl std::error::Error for MrcUnavailable {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Any error the experiment driver can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A requested topology name is not in Table II.
+    UnknownTopology(UnknownTopology),
+    /// The MRC baseline could not be built.
+    Mrc(MrcUnavailable),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownTopology(e) => e.fmt(f),
+            EvalError::Mrc(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::UnknownTopology(e) => Some(e),
+            EvalError::Mrc(e) => Some(e),
+        }
+    }
+}
+
+impl From<UnknownTopology> for EvalError {
+    fn from(e: UnknownTopology) -> Self {
+        EvalError::UnknownTopology(e)
+    }
+}
+
+impl From<MrcUnavailable> for EvalError {
+    fn from(e: MrcUnavailable) -> Self {
+        EvalError::Mrc(e)
+    }
+}
+
 /// Runs every topology in `names` (all eight Table II twins when empty),
 /// fanning whole topologies out across the thread budget; any leftover
 /// budget parallelises scenarios inside each topology.
 ///
 /// # Errors
 ///
-/// Returns [`UnknownTopology`] when a name is not in Table II; nothing
-/// runs in that case.
+/// Returns [`EvalError::UnknownTopology`] when a name is not in Table II
+/// (nothing runs in that case), and [`EvalError::Mrc`] when a topology's
+/// MRC baseline cannot be built.
 pub fn run_topologies(
     names: &[String],
     cfg: &ExperimentConfig,
-) -> Result<Vec<TopologyResults>, UnknownTopology> {
+) -> Result<Vec<TopologyResults>, EvalError> {
     let profiles: Vec<isp::IspProfile> = if names.is_empty() {
         isp::TABLE2.to_vec()
     } else {
@@ -296,18 +387,22 @@ pub fn run_topologies(
     let threads = par::resolve_threads(cfg.threads);
     let outer = threads.min(profiles.len()).max(1);
     let inner_cfg = cfg.clone().with_threads((threads / outer).max(1));
-    Ok(par::map_indexed(outer, &profiles, |_, p| {
+    par::map_indexed(outer, &profiles, |_, p| {
         eprintln!(
             "[rtr-eval] running {} ({} nodes, {} links)...",
             p.name, p.nodes, p.links
         );
         run_profile(*p, &inner_cfg)
-    }))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, MrcUnavailable>>()
+    .map_err(EvalError::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testcase::generate_workload;
     use rtr_topology::generate;
 
     #[test]
@@ -315,7 +410,7 @@ mod tests {
         let cfg = ExperimentConfig::quick().with_cases(40);
         let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
         let w = generate_workload("t", topo, &cfg, 2);
-        let r = run_workload(&w, &cfg);
+        let r = run_workload(&w, &cfg).expect("connected fixture");
         assert_eq!(r.recoverable.len(), 40);
         assert_eq!(r.irrecoverable.len(), 40);
         assert!(!r.phase1_durations_ms.is_empty());
@@ -331,7 +426,7 @@ mod tests {
         let cfg = ExperimentConfig::quick().with_cases(120);
         let topo = generate::isp_like(40, 110, 2000.0, 55).unwrap();
         let w = generate_workload("t", topo, &cfg, 5);
-        let r = run_workload(&w, &cfg);
+        let r = run_workload(&w, &cfg).expect("connected fixture");
 
         // Table III shape: FCP recovers 100%; RTR recovers nearly all and
         // every delivered RTR path is optimal; MRC is far worse.
@@ -396,8 +491,33 @@ mod tests {
     fn unknown_topology_is_a_typed_error() {
         let cfg = ExperimentConfig::quick().with_cases(1);
         let err = run_topologies(&["ASnope".to_string()], &cfg).unwrap_err();
-        assert_eq!(err, UnknownTopology("ASnope".to_string()));
+        assert_eq!(
+            err,
+            EvalError::UnknownTopology(UnknownTopology("ASnope".to_string()))
+        );
         let msg = err.to_string();
         assert!(msg.contains("ASnope") && msg.contains("AS1239"), "{msg}");
+    }
+
+    #[test]
+    fn disconnected_topology_surfaces_mrc_error() {
+        // Two disjoint segments: MRC cannot build any configuration, and
+        // `run_workload` must surface that as a typed error rather than
+        // panicking (the old `.expect("Table II twins are connected")`).
+        let mut b = rtr_topology::Topology::builder();
+        b.add_node(rtr_topology::Point::new(0.0, 0.0));
+        b.add_node(rtr_topology::Point::new(1.0, 0.0));
+        let topo = b.build().expect("two isolated nodes build fine");
+        let w = Workload {
+            name: "split".to_string(),
+            baseline: std::sync::Arc::new(Baseline::new(topo)),
+            scenarios: Vec::new(),
+        };
+        let cfg = ExperimentConfig::quick().with_cases(1);
+        let err = run_workload(&w, &cfg).unwrap_err();
+        assert_eq!(err.topology, "split");
+        assert_eq!(err.error, MrcError::Disconnected);
+        let msg = err.to_string();
+        assert!(msg.contains("split"), "{msg}");
     }
 }

@@ -5,6 +5,7 @@
 //! (live-source, destination pairs whose default path is broken), not
 //! deduplicated test cases, and sweeps a fixed radius per batch of areas.
 
+use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::metrics::percentage;
 use crate::reports::{FigureReport, Series};
@@ -12,7 +13,7 @@ use crate::testcase::component_labels;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtr_routing::RoutingTable;
-use rtr_topology::{isp, FailureScenario, FullView, GraphView, LinkId, NodeId, Region, Topology};
+use rtr_topology::{isp, FailureScenario, GraphView, LinkId, NodeId, Region, Topology};
 
 /// Per-source shortest-path-tree children lists, precomputed once per
 /// topology so each scenario's broken-path count is O(n) per source.
@@ -79,11 +80,12 @@ fn count_failed_paths(
     (failed, irrecoverable)
 }
 
-/// Runs the Fig. 11 radius sweep on one topology. Returns `(radius, %)`
-/// points for radii 20, 40, …, 300.
-pub fn sweep_topology(topo: &Topology, cfg: &ExperimentConfig, seed: u64) -> Vec<(f64, f64)> {
-    let table = RoutingTable::compute(topo, &FullView);
-    let index = TreeIndex::new(topo, &table);
+/// Runs the Fig. 11 radius sweep on one topology (via its shared
+/// [`Baseline`], so the routing table is computed at most once per
+/// process). Returns `(radius, %)` points for radii 20, 40, …, 300.
+pub fn sweep_topology(base: &Baseline, cfg: &ExperimentConfig, seed: u64) -> Vec<(f64, f64)> {
+    let topo = base.topo();
+    let index = TreeIndex::new(topo, base.table());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut points = Vec::new();
     let mut radius = 20.0;
@@ -120,10 +122,10 @@ pub fn fig11(names: &[String], cfg: &ExperimentConfig) -> FigureReport {
         .into_iter()
         .map(|p| {
             eprintln!("[rtr-eval] fig11 sweep on {}...", p.name);
-            let topo = p.synthesize();
+            let base = Baseline::for_profile(&p);
             Series {
                 label: p.name.to_string(),
-                points: sweep_topology(&topo, cfg, cfg.seed ^ 0xF11 ^ u64::from(p.asn)),
+                points: sweep_topology(&base, cfg, cfg.seed ^ 0xF11 ^ u64::from(p.asn)),
             }
         })
         .collect();
@@ -140,7 +142,7 @@ pub fn fig11(names: &[String], cfg: &ExperimentConfig) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtr_topology::generate;
+    use rtr_topology::{generate, FullView};
 
     #[test]
     fn count_failed_paths_matches_bruteforce() {
@@ -182,7 +184,7 @@ mod tests {
             fig11_areas_per_radius: 60,
             ..ExperimentConfig::default()
         };
-        let points = sweep_topology(&topo, &cfg, 9);
+        let points = sweep_topology(&Baseline::new(topo), &cfg, 9);
         assert_eq!(points.len(), 15); // 20..=300 step 20
         assert_eq!(points[0].0, 20.0);
         assert_eq!(points[14].0, 300.0);
@@ -202,12 +204,12 @@ mod tests {
         // with it. Our synthetic twins route more paths through dense hubs
         // than the real Rocketfuel maps, diluting the share, so we assert
         // a nonzero floor rather than the paper's >20%.
-        let topo = rtr_topology::isp::profile("AS1239").unwrap().synthesize();
+        let base = Baseline::for_profile(&rtr_topology::isp::profile("AS1239").unwrap());
         let cfg = ExperimentConfig {
             fig11_areas_per_radius: 100,
             ..ExperimentConfig::default()
         };
-        let points = sweep_topology(&topo, &cfg, 5);
+        let points = sweep_topology(&base, &cfg, 5);
         assert!(
             points[0].1 > 2.0,
             "r=20 irrecoverable share = {}",

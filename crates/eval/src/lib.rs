@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod baseline;
 pub mod cli;
 pub mod config;
 pub mod driver;

@@ -6,15 +6,15 @@
 //! concurrently (via [`rtr_sim::load::replay`]) and reports bytes on the
 //! wire over time plus the hottest link.
 
+use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::reports::{FigureReport, Series};
 use crate::testcase::{cases_for_scenario, random_region};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtr_core::RtrSession;
-use rtr_routing::RoutingTable;
 use rtr_sim::{load, DelayModel, SimTime, TimedTrace};
-use rtr_topology::{isp, CrossLinkTable, FailureScenario, FullView};
+use rtr_topology::{isp, FailureScenario};
 
 /// Replays one disaster on one topology; returns the network-wide byte
 /// series (bin width 10 ms over the first second) and the hottest link's
@@ -24,16 +24,16 @@ pub fn disaster_load(
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> (load::LoadSeries, f64) {
-    let topo = profile.synthesize();
-    let table = RoutingTable::compute(&topo, &FullView);
-    let crosslinks = CrossLinkTable::new(&topo);
+    let baseline = Baseline::for_profile(&profile);
+    let topo = baseline.topo();
+    let crosslinks = baseline.crosslinks();
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Draw regions until one actually breaks something.
     let cases = loop {
         let region = random_region(cfg, &mut rng);
-        let scenario = FailureScenario::from_region(&topo, &region);
-        let cases = cases_for_scenario(&topo, &table, region, scenario);
+        let scenario = FailureScenario::from_region(topo, &region);
+        let cases = cases_for_scenario(&baseline, region, scenario);
         if !cases.recoverable.is_empty() {
             break cases;
         }
@@ -49,8 +49,8 @@ pub fn disaster_load(
     let delay = DelayModel::PAPER;
     for (initiator, group) in by_initiator {
         let mut session = RtrSession::start(
-            &topo,
-            &crosslinks,
+            topo,
+            crosslinks,
             &cases.scenario,
             initiator,
             group[0].failed_link,
@@ -75,7 +75,7 @@ pub fn disaster_load(
     }
 
     let series = load::replay(
-        &topo,
+        topo,
         &delay,
         &flows,
         SimTime::from_millis(10),

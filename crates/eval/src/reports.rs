@@ -605,7 +605,7 @@ mod tests {
         let cfg = ExperimentConfig::quick().with_cases(40);
         let topo = generate::isp_like(30, 70, 2000.0, 12).unwrap();
         let w = generate_workload("T1", topo, &cfg, 7);
-        vec![run_workload(&w, &cfg)]
+        vec![run_workload(&w, &cfg).expect("connected fixture")]
     }
 
     #[test]

@@ -297,7 +297,7 @@ mod tests {
         let topo = generate::isp_like(35, 80, 2000.0, 21).unwrap();
         let cfg = ExperimentConfig::quick().with_cases(60);
         let w = generate_workload("t", topo, &cfg, 3);
-        let mrc = Mrc::build(&w.topo, 5).unwrap();
+        let mrc = Mrc::build(w.topo(), 5).unwrap();
         let mut rows = Vec::new();
         for sc in &w.scenarios {
             let mut by_initiator: std::collections::BTreeMap<_, Vec<&crate::testcase::TestCase>> =
@@ -308,12 +308,18 @@ mod tests {
             for (initiator, cases) in by_initiator {
                 let failed = cases[0].failed_link;
                 let mut session =
-                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
+                    RtrSession::start(w.topo(), w.crosslinks(), &sc.scenario, initiator, failed)
                         .expect("recoverable case: live initiator with a failed incident link");
-                let optimal = dijkstra(&w.topo, &sc.scenario, initiator);
+                let optimal = dijkstra(w.topo(), &sc.scenario, initiator);
                 for case in cases {
-                    let (row, rtr_series, _) =
-                        eval_recoverable(&w.topo, &sc.scenario, &mut session, &mrc, &optimal, case);
+                    let (row, rtr_series, _) = eval_recoverable(
+                        w.topo(),
+                        &sc.scenario,
+                        &mut session,
+                        &mrc,
+                        &optimal,
+                        case,
+                    );
                     // Theorem 2: RTR delivered => optimal, stretch exactly 1.
                     if row.rtr.delivered {
                         assert!(row.rtr.optimal);
@@ -359,10 +365,10 @@ mod tests {
             for (initiator, cases) in by_initiator {
                 let failed = cases[0].failed_link;
                 let mut session =
-                    RtrSession::start(&w.topo, &w.crosslinks, &sc.scenario, initiator, failed)
+                    RtrSession::start(w.topo(), w.crosslinks(), &sc.scenario, initiator, failed)
                         .expect("recoverable case: live initiator with a failed incident link");
                 for case in cases {
-                    let row = eval_irrecoverable(&w.topo, &sc.scenario, &mut session, case);
+                    let row = eval_irrecoverable(w.topo(), &sc.scenario, &mut session, case);
                     assert_eq!(row.rtr_wasted_computation, 1);
                     assert!(row.fcp_wasted_computation >= 1);
                     rows.push(row);

@@ -5,10 +5,11 @@
 //! extension sweeps the radius for the *recovery rates* of all three
 //! schemes, showing where each one starts to break down as disasters grow.
 
+use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::metrics::percentage;
 use crate::reports::{FigureReport, Series};
-use crate::testcase::generate_workload;
+use crate::testcase::generate_workload_shared;
 use rtr_baselines::{fcp_route, mrc_recover, Mrc};
 use rtr_core::RtrSession;
 use rtr_topology::isp;
@@ -34,17 +35,18 @@ pub fn sweep_radius(
     cfg: &ExperimentConfig,
 ) -> Vec<RatePoint> {
     let mut points = Vec::with_capacity(radii.len());
+    // One baseline for the whole sweep — only the failure radius varies.
+    let baseline = Baseline::for_profile(&profile);
+    let mrc = Mrc::build(baseline.topo(), cfg.mrc_configurations).expect("twins are connected");
     for &radius in radii {
         let fixed = ExperimentConfig {
             radius_min: radius,
             radius_max: radius,
             ..cfg.clone()
         };
-        let topo = profile.synthesize();
-        let mrc = Mrc::build(&topo, fixed.mrc_configurations).expect("twins are connected");
-        let w = generate_workload(
+        let w = generate_workload_shared(
             profile.name,
-            topo,
+            std::sync::Arc::clone(&baseline),
             &fixed,
             cfg.seed ^ u64::from(profile.asn) ^ radius.to_bits(),
         );
@@ -57,8 +59,8 @@ pub fn sweep_radius(
             }
             for (initiator, group) in by_initiator {
                 let mut session = RtrSession::start(
-                    &w.topo,
-                    &w.crosslinks,
+                    w.topo(),
+                    w.crosslinks(),
                     &sc.scenario,
                     initiator,
                     group[0].failed_link,
@@ -70,7 +72,7 @@ pub fn sweep_radius(
                         rtr_ok += 1;
                     }
                     if fcp_route(
-                        &w.topo,
+                        w.topo(),
                         &sc.scenario,
                         initiator,
                         case.failed_link,
@@ -81,7 +83,7 @@ pub fn sweep_radius(
                         fcp_ok += 1;
                     }
                     if mrc_recover(
-                        &w.topo,
+                        w.topo(),
                         &mrc,
                         &sc.scenario,
                         initiator,

@@ -7,6 +7,7 @@
 //! optimality, phase-1 length) is a property of the damage, not of the
 //! circle.
 
+use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::metrics::percentage;
 use crate::reports::TableReport;
@@ -14,10 +15,8 @@ use crate::testcase::cases_for_scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtr_core::RtrSession;
-use rtr_routing::{shortest_path, RoutingTable};
-use rtr_topology::{
-    isp, CrossLinkTable, FailureScenario, FullView, Point, Polygon, Region, Topology,
-};
+use rtr_routing::shortest_path;
+use rtr_topology::{isp, FailureScenario, Point, Polygon, Region};
 
 /// The failure-area shapes under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,16 +86,16 @@ pub struct ShapeStats {
     pub cases: usize,
 }
 
-/// Evaluates RTR under one shape on one topology, over
-/// `cfg.cases_per_class` recoverable cases.
+/// Evaluates RTR under one shape on one topology (via its shared
+/// [`Baseline`]), over `cfg.cases_per_class` recoverable cases.
 pub fn evaluate_shape(
-    topo: &Topology,
+    base: &Baseline,
     shape: Shape,
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> ShapeStats {
-    let table = RoutingTable::compute(topo, &FullView);
-    let crosslinks = CrossLinkTable::new(topo);
+    let topo = base.topo();
+    let crosslinks = base.crosslinks();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cases = 0usize;
     let mut delivered = 0usize;
@@ -111,7 +110,7 @@ pub fn evaluate_shape(
         let r = rng.gen_range(cfg.radius_min..=cfg.radius_max);
         let region = shape.region(cx, cy, r);
         let scenario = FailureScenario::from_region(topo, &region);
-        let sc = cases_for_scenario(topo, &table, region, scenario);
+        let sc = cases_for_scenario(base, region, scenario);
         let mut by_initiator: std::collections::BTreeMap<_, Vec<_>> = Default::default();
         for c in &sc.recoverable {
             by_initiator.entry(c.initiator).or_default().push(c);
@@ -122,7 +121,7 @@ pub fn evaluate_shape(
             }
             let mut session = RtrSession::start(
                 topo,
-                &crosslinks,
+                crosslinks,
                 &sc.scenario,
                 initiator,
                 group[0].failed_link,
@@ -169,10 +168,10 @@ pub fn shapes(names: &[String], cfg: &ExperimentConfig) -> TableReport {
     let mut rows = Vec::new();
     for p in profiles {
         eprintln!("[rtr-eval] shape comparison on {}...", p.name);
-        let topo = p.synthesize();
+        let base = Baseline::for_profile(&p);
         let mut row = vec![p.name.to_string()];
         for shape in Shape::ALL {
-            let s = evaluate_shape(&topo, shape, cfg, cfg.seed ^ u64::from(p.asn) ^ 0x5AFE);
+            let s = evaluate_shape(&base, shape, cfg, cfg.seed ^ u64::from(p.asn) ^ 0x5AFE);
             row.push(format!("{:.1}", s.recovery_rate));
             row.push(format!("{:.1}", s.mean_walk_hops));
         }
@@ -233,9 +232,9 @@ mod tests {
     #[test]
     fn every_shape_recovers_most_cases() {
         let cfg = ExperimentConfig::quick().with_cases(80);
-        let topo = isp::profile("AS1239").unwrap().synthesize();
+        let base = Baseline::for_profile(&isp::profile("AS1239").unwrap());
         for shape in Shape::ALL {
-            let s = evaluate_shape(&topo, shape, &cfg, 1);
+            let s = evaluate_shape(&base, shape, &cfg, 1);
             assert_eq!(s.cases, 80, "{}", shape.label());
             assert!(
                 s.recovery_rate > 80.0,

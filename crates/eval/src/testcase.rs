@@ -8,13 +8,13 @@
 //! are *recoverable* when the destination is still reachable from the
 //! initiator in the ground truth, *irrecoverable* otherwise.
 
+use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtr_routing::RoutingTable;
-use rtr_topology::{
-    CrossLinkTable, FailureScenario, FullView, GraphView, LinkId, NodeId, Region, Topology,
-};
+use rtr_topology::{CrossLinkTable, FailureScenario, GraphView, LinkId, NodeId, Region, Topology};
+use std::sync::Arc;
 
 /// One test case: the recovery starts at `initiator` (whose default next
 /// hop over `failed_link` is unreachable) toward `dest`.
@@ -41,23 +41,36 @@ pub struct ScenarioCases {
     pub irrecoverable: Vec<TestCase>,
 }
 
-/// A full per-topology workload: the topology with its precomputed routing
-/// state plus enough failure scenarios to fill both case classes.
+/// A full per-topology workload: the shared baseline (topology, routing
+/// table, crossing table, first-hop buckets) plus enough failure scenarios
+/// to fill both case classes.
 #[derive(Debug)]
 pub struct Workload {
     /// Display name (e.g. `"AS209"`).
     pub name: String,
-    /// The topology under test.
-    pub topo: Topology,
-    /// Pre-failure routing tables (shared by all scenarios).
-    pub table: RoutingTable,
-    /// Precomputed link-crossing table for RTR's first phase.
-    pub crosslinks: CrossLinkTable,
+    /// Immutable per-topology baseline, shared read-only across workers
+    /// (and across workloads of the same topology).
+    pub baseline: Arc<Baseline>,
     /// Scenarios with their test cases.
     pub scenarios: Vec<ScenarioCases>,
 }
 
 impl Workload {
+    /// The topology under test.
+    pub fn topo(&self) -> &Topology {
+        self.baseline.topo()
+    }
+
+    /// Pre-failure routing tables (shared by all scenarios).
+    pub fn table(&self) -> &RoutingTable {
+        self.baseline.table()
+    }
+
+    /// Precomputed link-crossing table for RTR's first phase.
+    pub fn crosslinks(&self) -> &CrossLinkTable {
+        self.baseline.crosslinks()
+    }
+
     /// Total recoverable cases across scenarios.
     pub fn recoverable_count(&self) -> usize {
         self.scenarios.iter().map(|s| s.recoverable.len()).sum()
@@ -97,38 +110,45 @@ pub fn component_labels(topo: &Topology, scenario: &FailureScenario) -> Vec<usiz
 /// `(u, t)` where live router `u`'s default next hop toward `t` is
 /// unreachable. (Any failed routing path through `u` toward `t` yields this
 /// same recovery process, so the pair *is* the test case.)
+///
+/// A destination's default first hop from `u` is always one of `u`'s
+/// incident links, so instead of probing `next_hop(u, t)` for all n² pairs
+/// this walks only the *unusable* incident links' precomputed destination
+/// buckets — O(failed × affected). Re-sorting the harvested pairs by
+/// destination restores the exact `(u` ascending`, t` ascending`)` emission
+/// order of the former full probe, keeping outputs byte-identical.
 pub fn cases_for_scenario(
-    topo: &Topology,
-    table: &RoutingTable,
+    base: &Baseline,
     region: Region,
     scenario: FailureScenario,
 ) -> ScenarioCases {
+    let topo = base.topo();
     let comp = component_labels(topo, &scenario);
     let mut recoverable = Vec::new();
     let mut irrecoverable = Vec::new();
+    let mut affected: Vec<(NodeId, LinkId)> = Vec::new();
     for u in topo.node_ids() {
         if scenario.is_node_failed(u) {
             continue;
         }
         // A node with no live neighbor cannot even start recovery; the
         // evaluation skips it like a failed source.
-        let has_live = topo
-            .neighbors(u)
-            .iter()
-            .any(|&(_, l)| scenario.is_link_usable(topo, l));
+        let mut has_live = false;
+        affected.clear();
+        for (slot, &(_, link)) in topo.neighbors(u).iter().enumerate() {
+            if scenario.is_link_usable(topo, link) {
+                has_live = true;
+            } else {
+                affected.extend(base.dests_via(u, slot).iter().map(|&t| (t, link)));
+            }
+        }
         if !has_live {
             continue;
         }
-        for t in topo.node_ids() {
-            if t == u {
-                continue;
-            }
-            let Some((_, link)) = table.next_hop(u, t) else {
-                continue;
-            };
-            if scenario.is_link_usable(topo, link) {
-                continue;
-            }
+        // Each destination lives in exactly one bucket, so this sort is a
+        // permutation back to ascending-destination order.
+        affected.sort_unstable_by_key(|&(t, _)| t);
+        for &(t, link) in &affected {
             let case = TestCase {
                 initiator: u,
                 failed_link: link,
@@ -162,14 +182,27 @@ pub fn random_region(cfg: &ExperimentConfig, rng: &mut StdRng) -> Region {
 /// until `cfg.cases_per_class` recoverable *and* irrecoverable cases are
 /// collected (surplus cases in the final scenarios are trimmed so both
 /// classes have exactly the requested size).
+///
+/// Computes a fresh [`Baseline`] for `topo`; callers that already hold one
+/// (e.g. via [`Baseline::for_profile`]) should use
+/// [`generate_workload_shared`] instead.
 pub fn generate_workload(
     name: impl Into<String>,
     topo: Topology,
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> Workload {
-    let table = RoutingTable::compute(&topo, &FullView);
-    let crosslinks = CrossLinkTable::new(&topo);
+    generate_workload_shared(name, Arc::new(Baseline::new(topo)), cfg, seed)
+}
+
+/// Like [`generate_workload`], over an already-computed shared baseline.
+pub fn generate_workload_shared(
+    name: impl Into<String>,
+    baseline: Arc<Baseline>,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Workload {
+    let topo = baseline.topo();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut scenarios = Vec::new();
     let (mut rec, mut irr) = (0usize, 0usize);
@@ -182,11 +215,11 @@ pub fn generate_workload(
             break;
         }
         let region = random_region(cfg, &mut rng);
-        let scenario = FailureScenario::from_region(&topo, &region);
+        let scenario = FailureScenario::from_region(topo, &region);
         if scenario.failed_node_count() == 0 && scenario.failed_link_count() == 0 {
             continue;
         }
-        let mut cases = cases_for_scenario(&topo, &table, region, scenario);
+        let mut cases = cases_for_scenario(&baseline, region, scenario);
         cases.recoverable.truncate(target.saturating_sub(rec));
         cases.irrecoverable.truncate(target.saturating_sub(irr));
         if cases.recoverable.is_empty() && cases.irrecoverable.is_empty() {
@@ -198,9 +231,7 @@ pub fn generate_workload(
     }
     Workload {
         name: name.into(),
-        topo,
-        table,
-        crosslinks,
+        baseline,
         scenarios,
     }
 }
@@ -245,16 +276,22 @@ mod tests {
             for case in sc.recoverable.iter().chain(&sc.irrecoverable) {
                 // The initiator is live and its default next hop is dead.
                 assert!(!sc.scenario.is_node_failed(case.initiator));
-                assert!(!sc.scenario.is_link_usable(&w.topo, case.failed_link));
-                assert!(w.topo.link(case.failed_link).is_incident_to(case.initiator));
-                let (nh, l) = w.table.next_hop(case.initiator, case.dest).unwrap();
+                assert!(!sc.scenario.is_link_usable(w.topo(), case.failed_link));
+                assert!(w
+                    .topo()
+                    .link(case.failed_link)
+                    .is_incident_to(case.initiator));
+                let (nh, l) = w.table().next_hop(case.initiator, case.dest).unwrap();
                 assert_eq!(l, case.failed_link);
-                assert_eq!(w.topo.link(case.failed_link).other_end(case.initiator), nh);
+                assert_eq!(
+                    w.topo().link(case.failed_link).other_end(case.initiator),
+                    nh
+                );
             }
             // Class labels match ground-truth reachability.
             for case in &sc.recoverable {
                 assert!(rtr_topology::is_reachable(
-                    &w.topo,
+                    w.topo(),
                     &sc.scenario,
                     case.initiator,
                     case.dest
@@ -262,7 +299,7 @@ mod tests {
             }
             for case in &sc.irrecoverable {
                 assert!(!rtr_topology::is_reachable(
-                    &w.topo,
+                    w.topo(),
                     &sc.scenario,
                     case.initiator,
                     case.dest
@@ -285,16 +322,75 @@ mod tests {
     #[test]
     fn cases_for_scenario_classifies_grid() {
         let topo = generate::grid(3, 3, 10.0);
-        let table = RoutingTable::compute(&topo, &FullView);
+        let base = Baseline::new(topo);
         let region = Region::circle((10.0, 10.0), 1.0); // centre node only
-        let scenario = FailureScenario::from_region(&topo, &region);
-        let cases = cases_for_scenario(&topo, &table, region, scenario);
+        let scenario = FailureScenario::from_region(base.topo(), &region);
+        let cases = cases_for_scenario(&base, region, scenario);
         // Centre node failed: neighbors lose routes *through* it but every
         // live destination stays reachable; the only irrecoverable dest is
         // the centre itself.
         assert!(!cases.recoverable.is_empty());
         assert!(cases.irrecoverable.iter().all(|c| c.dest == NodeId(4)));
         assert!(!cases.irrecoverable.is_empty());
+    }
+
+    #[test]
+    fn bucket_walk_matches_full_next_hop_probe() {
+        // Reference: the former O(n²) probe of `next_hop(u, t)` for every
+        // pair. The bucket walk must reproduce its case lists exactly —
+        // same membership, same order.
+        let topo = generate::isp_like(35, 80, 2000.0, 3).unwrap();
+        let base = Baseline::new(topo);
+        let topo = base.topo();
+        let cfg = quick_cfg();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut scenarios_seen = 0;
+        while scenarios_seen < 10 {
+            let region = random_region(&cfg, &mut rng);
+            let scenario = FailureScenario::from_region(topo, &region);
+            if scenario.failed_node_count() == 0 && scenario.failed_link_count() == 0 {
+                continue;
+            }
+            scenarios_seen += 1;
+            let comp = component_labels(topo, &scenario);
+            let (mut ref_rec, mut ref_irr) = (Vec::new(), Vec::new());
+            for u in topo.node_ids() {
+                if scenario.is_node_failed(u) {
+                    continue;
+                }
+                let has_live = topo
+                    .neighbors(u)
+                    .iter()
+                    .any(|&(_, l)| scenario.is_link_usable(topo, l));
+                if !has_live {
+                    continue;
+                }
+                for t in topo.node_ids() {
+                    if t == u {
+                        continue;
+                    }
+                    let Some((_, link)) = base.table().next_hop(u, t) else {
+                        continue;
+                    };
+                    if scenario.is_link_usable(topo, link) {
+                        continue;
+                    }
+                    let case = TestCase {
+                        initiator: u,
+                        failed_link: link,
+                        dest: t,
+                    };
+                    if !scenario.is_node_failed(t) && comp[u.index()] == comp[t.index()] {
+                        ref_rec.push(case);
+                    } else {
+                        ref_irr.push(case);
+                    }
+                }
+            }
+            let fast = cases_for_scenario(&base, region, scenario);
+            assert_eq!(fast.recoverable, ref_rec);
+            assert_eq!(fast.irrecoverable, ref_irr);
+        }
     }
 
     #[test]

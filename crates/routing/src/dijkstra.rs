@@ -113,6 +113,39 @@ impl DijkstraScratch {
             topo,
             view,
             source,
+            None,
+            &mut self.paths.dist,
+            &mut self.paths.parent,
+            &mut self.heap,
+        );
+        &self.paths
+    }
+
+    /// Runs Dijkstra from `source` but stops as soon as `target` is
+    /// settled. Only `target`'s distance, parent chain, and
+    /// [`path_to(target)`](ShortestPaths::path_to) are guaranteed final in
+    /// the returned tree; other nodes may be missing or carry provisional
+    /// labels.
+    ///
+    /// For the settled target, the result is bit-for-bit identical to a
+    /// full [`run`](Self::run): once the target pops with distance `d`,
+    /// every remaining heap entry has key ≥ `d` and all positive link
+    /// costs keep later relaxations strictly above `d`, so the target's
+    /// label — and every ancestor on its parent chain, settled at smaller
+    /// distances — can never change again.
+    pub fn run_to(
+        &mut self,
+        topo: &Topology,
+        view: &impl GraphView,
+        source: NodeId,
+        target: NodeId,
+    ) -> &ShortestPaths {
+        self.paths.source = source;
+        run_raw(
+            topo,
+            view,
+            source,
+            Some(target),
             &mut self.paths.dist,
             &mut self.paths.parent,
             &mut self.heap,
@@ -138,10 +171,15 @@ impl Default for DijkstraScratch {
 /// so callers that hold them across invocations allocate nothing after
 /// warm-up. Also used by [`IncrementalSpt`](crate::IncrementalSpt) to
 /// (re)build its tree without an intermediate `ShortestPaths`.
+///
+/// When `target` is set, the loop stops at the target's first non-stale
+/// pop; see [`DijkstraScratch::run_to`] for why that leaves the target's
+/// label and parent chain exactly as a full run would.
 pub(crate) fn run_raw(
     topo: &Topology,
     view: &impl GraphView,
     source: NodeId,
+    target: Option<NodeId>,
     dist: &mut Vec<Option<u64>>,
     parent: &mut Vec<Option<(NodeId, LinkId)>>,
     heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
@@ -163,6 +201,9 @@ pub(crate) fn run_raw(
         let u = NodeId(u);
         if dist.get(u.index()).copied().flatten() != Some(d) {
             continue; // stale entry
+        }
+        if target == Some(u) {
+            return; // settled: label and parent chain are final
         }
         for &(v, l) in topo.neighbors(u) {
             if !view.is_link_usable(topo, l) {
@@ -401,6 +442,28 @@ mod tests {
             assert_eq!(reused.parent(n), fresh.parent(n));
         }
         assert_eq!(scratch.paths().distance(NodeId(3)), Some(4));
+    }
+
+    #[test]
+    fn run_to_matches_full_run_for_target() {
+        let topo = generate::isp_like(40, 90, 2000.0, 17).unwrap();
+        let mut scratch = DijkstraScratch::new();
+        for src in [NodeId(0), NodeId(7), NodeId(39)] {
+            let full = dijkstra(&topo, &FullView, src);
+            for t in topo.node_ids() {
+                let early = scratch.run_to(&topo, &FullView, src, t);
+                assert_eq!(early.distance(t), full.distance(t));
+                assert_eq!(early.path_to(t), full.path_to(t), "{src:?}→{t:?}");
+            }
+        }
+        // And under failures, including unreachable targets.
+        let l = topo.link_ids().next().unwrap();
+        let s = FailureScenario::single_link(&topo, l);
+        let full = dijkstra(&topo, &s, NodeId(0));
+        for t in topo.node_ids() {
+            let early = scratch.run_to(&topo, &s, NodeId(0), t);
+            assert_eq!(early.path_to(t), full.path_to(t));
+        }
     }
 
     #[test]

@@ -129,6 +129,7 @@ impl<'a> IncrementalSpt<'a> {
             self.topo,
             view,
             source,
+            None,
             &mut self.dist,
             &mut self.parent,
             &mut self.heap,

@@ -8,7 +8,7 @@
 //! §IV charge "the number of bytes used for recording information", i.e.
 //! the *variable* header content: recorded link ids and the source route.
 
-use rtr_topology::{LinkId, NodeId};
+use rtr_topology::{LinkBitSet, LinkId, NodeId};
 
 /// Bytes per recorded link id (16-bit ids, §III-B).
 pub const LINK_ID_BYTES: usize = 2;
@@ -34,11 +34,22 @@ pub enum ForwardingMode {
 /// An insertion-ordered duplicate-free set of link ids, as carried in the
 /// `failed_link` and `cross_link` header fields.
 ///
-/// Lookup is linear; header sets stay tiny (a handful of links) so a flat
-/// vector beats a hash set and preserves the paper's recording order.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// The ordered id vector is the *wire format*: iteration order and
+/// [`header_bytes`](Self::header_bytes) accounting follow the paper's
+/// recording order exactly. A parallel [`LinkBitSet`] shadows the vector so
+/// membership is O(1) and the phase-1 sweep can intersect the whole set
+/// against a crossing mask word-parallel; equality deliberately compares
+/// the ordered ids only (the bitset is derived state).
+#[derive(Clone, Default)]
 pub struct LinkIdSet {
     ids: Vec<LinkId>,
+    bits: LinkBitSet,
+}
+
+impl std::fmt::Debug for LinkIdSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
 }
 
 impl LinkIdSet {
@@ -49,17 +60,24 @@ impl LinkIdSet {
 
     /// Inserts `l`, returning true when it was not already present.
     pub fn insert(&mut self, l: LinkId) -> bool {
-        if self.contains(l) {
-            false
-        } else {
+        if self.bits.insert(l) {
             self.ids.push(l);
             true
+        } else {
+            false
         }
     }
 
     /// Returns true when `l` is present.
+    #[inline]
     pub fn contains(&self, l: LinkId) -> bool {
-        self.ids.contains(&l)
+        self.bits.contains(l)
+    }
+
+    /// The membership bitset shadowing the ordered ids (for word-parallel
+    /// intersection against crossing masks).
+    pub fn bits(&self) -> &LinkBitSet {
+        &self.bits
     }
 
     /// Number of recorded ids.
@@ -82,6 +100,14 @@ impl LinkIdSet {
         self.ids.len() * LINK_ID_BYTES
     }
 }
+
+impl PartialEq for LinkIdSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids
+    }
+}
+
+impl Eq for LinkIdSet {}
 
 impl Extend<LinkId> for LinkIdSet {
     fn extend<T: IntoIterator<Item = LinkId>>(&mut self, iter: T) {

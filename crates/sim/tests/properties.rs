@@ -96,10 +96,16 @@ proptest! {
         }
         prop_assert_eq!(set.len(), reference.len());
         prop_assert_eq!(set.iter().collect::<Vec<_>>(), reference.clone());
+        // Wire-format accounting depends only on the ordered id list, so
+        // the bitset shadow cannot change header sizes (Fig. 12).
         prop_assert_eq!(set.header_bytes(), 2 * reference.len());
         for l in &reference {
             prop_assert!(set.contains(*l));
         }
+        // The shadow bitset holds exactly the recorded members.
+        let mut sorted = reference.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(set.bits().iter().collect::<Vec<_>>(), sorted);
     }
 
     /// SimTime arithmetic is consistent with integer microseconds.

@@ -9,7 +9,13 @@
 use crate::geometry::segments_cross;
 use crate::graph::{LinkId, Topology};
 
-/// For every link, the sorted list of links that properly cross it.
+/// Bits per crossing-mask word (matches [`crate::bitset::LinkBitSet`]).
+const WORD_BITS: usize = 64;
+
+/// For every link, the sorted list of links that properly cross it, plus a
+/// flat per-link crossing *bitmask* (one stride of `u64` words per link)
+/// so `crosses` is a single shift and the sweep's exclusion test is a
+/// word-parallel AND against the packet's `cross_link` bitset.
 ///
 /// Crossing is symmetric: `a ∈ crossings(b)` iff `b ∈ crossings(a)`.
 ///
@@ -35,6 +41,12 @@ use crate::graph::{LinkId, Topology};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrossLinkTable {
     crossings: Vec<Vec<LinkId>>,
+    /// Flat row-major bitmask matrix: row `l` spans
+    /// `masks[l * stride .. (l + 1) * stride]`, bit `b` of word `w` set
+    /// iff link `w * 64 + b` crosses `l`.
+    masks: Vec<u64>,
+    /// Words per mask row: `ceil(link_count / 64)`.
+    stride: usize,
     total_pairs: usize,
 }
 
@@ -91,8 +103,19 @@ impl CrossLinkTable {
         for list in &mut crossings {
             list.sort_unstable();
         }
+        let stride = m.div_ceil(WORD_BITS);
+        let mut masks = vec![0u64; m * stride];
+        for (i, list) in crossings.iter().enumerate() {
+            for other in list {
+                if let Some(w) = masks.get_mut(i * stride + other.index() / WORD_BITS) {
+                    *w |= 1u64 << (other.index() % WORD_BITS);
+                }
+            }
+        }
         CrossLinkTable {
             crossings,
+            masks,
+            stride,
             total_pairs,
         }
     }
@@ -103,9 +126,24 @@ impl CrossLinkTable {
         self.crossings.get(l.index()).map_or(&[], Vec::as_slice)
     }
 
-    /// Returns true when links `a` and `b` properly cross.
+    /// The crossing bitmask row of `l`: bit `b` of word `w` is set iff
+    /// link `w * 64 + b` properly crosses `l`. Empty for out-of-range `l`.
+    ///
+    /// Intersecting this row with a
+    /// [`LinkBitSet`](crate::bitset::LinkBitSet) answers "does `l` cross
+    /// any link of the set?" in `stride` AND operations.
+    pub fn crossing_mask(&self, l: LinkId) -> &[u64] {
+        let start = l.index() * self.stride;
+        self.masks
+            .get(start..start + self.stride)
+            .unwrap_or_default()
+    }
+
+    /// Returns true when links `a` and `b` properly cross (one bit test).
     pub fn crosses(&self, a: LinkId, b: LinkId) -> bool {
-        self.crossings_of(a).binary_search(&b).is_ok()
+        self.crossing_mask(a)
+            .get(b.index() / WORD_BITS)
+            .is_some_and(|w| w & (1u64 << (b.index() % WORD_BITS)) != 0)
     }
 
     /// Returns true when `l` crosses no other link.
@@ -173,6 +211,29 @@ mod tests {
         let topo = b.build().unwrap();
         let t = CrossLinkTable::new(&topo);
         assert!(!t.crosses(l1, l2));
+    }
+
+    #[test]
+    fn mask_rows_agree_with_lists() {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(2.0, 2.0));
+        let v2 = b.add_node(Point::new(0.0, 2.0));
+        let v3 = b.add_node(Point::new(2.0, 0.0));
+        let d1 = b.add_link(v0, v1, 1).unwrap();
+        let d2 = b.add_link(v2, v3, 1).unwrap();
+        let side = b.add_link(v0, v2, 1).unwrap();
+        let topo = b.build().unwrap();
+        let t = CrossLinkTable::new(&topo);
+        for l in topo.link_ids() {
+            let row = t.crossing_mask(l);
+            assert_eq!(row.len(), 1, "3 links fit one word");
+            let from_row: Vec<LinkId> = topo.link_ids().filter(|&o| t.crosses(l, o)).collect();
+            assert_eq!(from_row, t.crossings_of(l));
+        }
+        assert_eq!(t.crossing_mask(d1), &[1u64 << d2.index()]);
+        assert_eq!(t.crossing_mask(side), &[0]);
+        assert!(t.crossing_mask(LinkId(99)).is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the region abstraction here supports circles, polygons, and unions
 //! (multiple simultaneous failure areas).
 
+use crate::bitset::LinkBitSet;
 use crate::geometry::{Circle, Point, Polygon, Segment};
 use crate::graph::{LinkId, NodeId, Topology};
 
@@ -101,7 +102,12 @@ impl GraphView for FullView {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureScenario {
     failed_nodes: Vec<bool>,
-    failed_links: Vec<bool>,
+    /// Failed links as a word-parallel bitset; `is_link_failed` is the
+    /// single hottest query of the test-case harvest.
+    failed_link_bits: LinkBitSet,
+    /// Number of links in the topology this scenario was sized for; ids at
+    /// or beyond it are rejected by [`fail_link`](Self::fail_link).
+    link_count: usize,
 }
 
 impl FailureScenario {
@@ -109,7 +115,8 @@ impl FailureScenario {
     pub fn none(topo: &Topology) -> Self {
         FailureScenario {
             failed_nodes: vec![false; topo.node_count()],
-            failed_links: vec![false; topo.link_count()],
+            failed_link_bits: LinkBitSet::with_link_capacity(topo.link_count()),
+            link_count: topo.link_count(),
         }
     }
 
@@ -164,21 +171,19 @@ impl FailureScenario {
 
     /// Marks link `l` as failed (no-op when out of range).
     fn fail_link(&mut self, l: LinkId) {
-        if let Some(f) = self.failed_links.get_mut(l.index()) {
-            *f = true;
+        if l.index() < self.link_count {
+            self.failed_link_bits.insert(l);
         }
     }
 
     /// Merges another scenario into this one (union of failures).
     pub fn merge(&mut self, other: &FailureScenario) {
         assert_eq!(self.failed_nodes.len(), other.failed_nodes.len());
-        assert_eq!(self.failed_links.len(), other.failed_links.len());
+        assert_eq!(self.link_count, other.link_count);
         for (a, b) in self.failed_nodes.iter_mut().zip(&other.failed_nodes) {
             *a |= *b;
         }
-        for (a, b) in self.failed_links.iter_mut().zip(&other.failed_links) {
-            *a |= *b;
-        }
+        self.failed_link_bits.union_with(&other.failed_link_bits);
     }
 
     /// Returns true when node `n` failed.
@@ -187,8 +192,9 @@ impl FailureScenario {
     }
 
     /// Returns true when link `l` failed (the link itself, not its ends).
+    #[inline]
     pub fn is_link_failed(&self, l: LinkId) -> bool {
-        self.failed_links.get(l.index()).copied().unwrap_or(false)
+        self.failed_link_bits.contains(l)
     }
 
     /// Ids of all failed nodes.
@@ -200,13 +206,14 @@ impl FailureScenario {
             .map(|(i, _)| NodeId(i as u32))
     }
 
-    /// Ids of all failed links.
+    /// Ids of all failed links, ascending.
     pub fn failed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
-        self.failed_links
-            .iter()
-            .enumerate()
-            .filter(|&(_, &f)| f)
-            .map(|(i, _)| LinkId(i as u32))
+        self.failed_link_bits.iter()
+    }
+
+    /// The failed-link set as a bitset (for word-parallel queries).
+    pub fn failed_link_set(&self) -> &LinkBitSet {
+        &self.failed_link_bits
     }
 
     /// Number of failed nodes.
@@ -216,7 +223,7 @@ impl FailureScenario {
 
     /// Number of failed links (not counting links with failed endpoints).
     pub fn failed_link_count(&self) -> usize {
-        self.failed_links.iter().filter(|&&f| f).count()
+        self.failed_link_bits.len()
     }
 
     /// The set of *ground-truth unusable* links: failed links plus links

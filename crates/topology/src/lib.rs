@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitset;
 pub mod crosslinks;
 pub mod failure;
 pub mod generate;
@@ -48,6 +49,7 @@ pub mod graph;
 pub mod isp;
 pub mod pa;
 
+pub use bitset::LinkBitSet;
 pub use crosslinks::CrossLinkTable;
 pub use failure::{
     is_reachable, reachable_set, FailureScenario, FullView, GraphView, LinkMask, Region,

@@ -22,9 +22,18 @@
 //! 4. **Thread discipline** — `thread::spawn` / `thread::scope` appear only
 //!    in the fork-join executor (`crates/eval/src/par.rs`), the one place
 //!    threads are born, so the driver's determinism argument stays local.
+//! 5. **Link-set membership** — non-test code of `rtr-core` must test
+//!    link-set membership through the word-parallel bitset API
+//!    (`LinkIdSet::contains` / `LinkBitSet` / crossing masks): linear
+//!    `.iter().any(` chains and reference-taking `.contains(&` scans are
+//!    flagged, with justified exemptions in `allow.toml`.
 //!
 //! `cargo xtask bench-record` regenerates `BENCH_eval.json` at the
 //! workspace root via the `bench_eval` binary of `rtr-bench`.
+//! `cargo xtask bench-check` validates the committed `BENCH_eval.json`
+//! (parses, every topology row carries `serial_secs` and `sweep_secs`)
+//! and fails if a fresh quick-workload serial run regresses more than 2×
+//! against it.
 //!
 //! The analysis is a source-level lexer (comments, strings and `#[cfg(test)]`
 //! regions are blanked out before pattern checks), not a full parser: it is
@@ -69,14 +78,24 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("bench-check") => match run_bench_check() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("cargo xtask bench-check: error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!(
-                "usage: cargo xtask <analyze|bench-record>\n  (got {:?})\n\n\
+                "usage: cargo xtask <analyze|bench-record|bench-check>\n  (got {:?})\n\n\
                  analyze       Runs the workspace static-analysis pass: panic-freedom\n\
                  \x20             in the hot-path crates, paper-invariant lints, theorem\n\
-                 \x20             coverage, thread discipline.\n\
+                 \x20             coverage, thread discipline, link-set membership.\n\
                  bench-record  Regenerates BENCH_eval.json at the workspace root\n\
-                 \x20             (driver wall times serial vs parallel).",
+                 \x20             (driver wall times serial vs parallel).\n\
+                 bench-check   Validates the committed BENCH_eval.json (parses, rows\n\
+                 \x20             carry serial_secs/sweep_secs) and fails if a fresh\n\
+                 \x20             serial run regresses >2x against it.",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
@@ -103,12 +122,299 @@ fn run_bench_record() -> Result<(), String> {
     Ok(())
 }
 
+/// One topology row of `BENCH_eval.json`, as `bench-check` reads it.
+#[derive(Debug)]
+struct BenchRow {
+    name: String,
+    serial_secs: f64,
+}
+
+/// Reads `path` and extracts the per-topology rows, failing if the file
+/// does not parse as JSON or any row lacks a numeric `serial_secs` or
+/// `sweep_secs` field (the recorder's schema).
+fn parse_bench_rows(path: &Path) -> Result<Vec<BenchRow>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json_parse(&text).map_err(|e| format!("{} does not parse: {e}", path.display()))?;
+    let topologies = doc
+        .get("topologies")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{}: missing `topologies` array", path.display()))?;
+    if topologies.is_empty() {
+        return Err(format!("{}: `topologies` is empty", path.display()));
+    }
+    let mut rows = Vec::new();
+    for (i, row) in topologies.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{}: row {i} has no string `name`", path.display()))?
+            .to_owned();
+        let serial_secs = row
+            .get("serial_secs")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| {
+                format!(
+                    "{}: row `{name}` has no numeric `serial_secs`",
+                    path.display()
+                )
+            })?;
+        row.get("sweep_secs")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| {
+                format!(
+                    "{}: row `{name}` has no numeric `sweep_secs`",
+                    path.display()
+                )
+            })?;
+        rows.push(BenchRow { name, serial_secs });
+    }
+    Ok(rows)
+}
+
+/// Validates the committed `BENCH_eval.json` and guards against gross
+/// performance regressions: records a fresh file under `target/`, then
+/// fails if the fresh quick-workload serial total exceeds 2× the
+/// committed total (a coarse gate that survives CI-machine noise while
+/// catching algorithmic regressions).
+fn run_bench_check() -> Result<(), String> {
+    let root = workspace_root()?;
+    let committed = parse_bench_rows(&root.join("BENCH_eval.json"))?;
+
+    let fresh_dir = root.join("target").join("bench-check");
+    fs::create_dir_all(&fresh_dir)
+        .map_err(|e| format!("cannot create {}: {e}", fresh_dir.display()))?;
+    let fresh_path = fresh_dir.join("BENCH_eval.fresh.json");
+    let status = std::process::Command::new("cargo")
+        .args(["run", "--release", "-p", "rtr-bench", "--bin", "bench_eval"])
+        .arg("--")
+        .arg(&fresh_path)
+        .current_dir(&root)
+        .status()
+        .map_err(|e| format!("cannot launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("bench_eval exited with {status}"));
+    }
+    let fresh = parse_bench_rows(&fresh_path)?;
+
+    for c in &committed {
+        if !fresh.iter().any(|f| f.name == c.name) {
+            return Err(format!(
+                "fresh run is missing committed topology `{}`",
+                c.name
+            ));
+        }
+    }
+    let committed_total: f64 = committed.iter().map(|r| r.serial_secs).sum();
+    let fresh_total: f64 = fresh.iter().map(|r| r.serial_secs).sum();
+    if fresh_total > 2.0 * committed_total {
+        return Err(format!(
+            "quick-workload serial regression: fresh total {fresh_total:.4}s > \
+             2x committed total {committed_total:.4}s — investigate before \
+             re-recording with `cargo xtask bench-record`"
+        ));
+    }
+    println!(
+        "cargo xtask bench-check: OK — {} topologies, fresh serial total \
+         {fresh_total:.4}s vs committed {committed_total:.4}s (gate: 2x)",
+        committed.len()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (bench-check; this workspace vendors no JSON parser)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — just enough to read `BENCH_eval.json`.
+#[derive(Debug, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup; `None` on non-objects and absent keys.
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over the full input (trailing garbage is
+/// an error). Covers the JSON grammar the recorder emits — objects,
+/// arrays, strings with `\`-escapes, numbers, literals.
+fn json_parse(text: &str) -> Result<JsonValue, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let value = json_value(b, &mut pos)?;
+    json_skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn json_skip_ws(b: &[u8], pos: &mut usize) {
+    while byte_at(b, *pos).is_ascii_whitespace() && *pos < b.len() {
+        *pos += 1;
+    }
+}
+
+fn json_expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    json_skip_ws(b, pos);
+    if byte_at(b, *pos) != c {
+        return Err(format!("expected `{}` at byte {}", c as char, *pos));
+    }
+    *pos += 1;
+    Ok(())
+}
+
+fn json_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    json_skip_ws(b, pos);
+    match byte_at(b, *pos) {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            json_skip_ws(b, pos);
+            if byte_at(b, *pos) == b'}' {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                json_skip_ws(b, pos);
+                let key = json_string(b, pos)?;
+                json_expect(b, pos, b':')?;
+                members.push((key, json_value(b, pos)?));
+                json_skip_ws(b, pos);
+                match byte_at(b, *pos) {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            json_skip_ws(b, pos);
+            if byte_at(b, *pos) == b']' {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(json_value(b, pos)?);
+                json_skip_ws(b, pos);
+                match byte_at(b, *pos) {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        b'"' => json_string(b, pos).map(JsonValue::Str),
+        b't' if b.get(*pos..*pos + 4) == Some(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        b'f' if b.get(*pos..*pos + 5) == Some(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        b'n' if b.get(*pos..*pos + 4) == Some(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        _ => {
+            let start = *pos;
+            if byte_at(b, *pos) == b'-' {
+                *pos += 1;
+            }
+            while matches!(
+                byte_at(b, *pos),
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+            ) {
+                *pos += 1;
+            }
+            let tok = b
+                .get(start..*pos)
+                .map(String::from_utf8_lossy)
+                .unwrap_or_default();
+            tok.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("invalid value at byte {start}"))
+        }
+    }
+}
+
+fn json_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    json_expect(b, pos, b'"')?;
+    let mut out = Vec::new();
+    while *pos < b.len() {
+        match byte_at(b, *pos) {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"));
+            }
+            b'\\' => {
+                let esc = byte_at(b, *pos + 1);
+                out.push(match esc {
+                    b'n' => b'\n',
+                    b't' => b'\t',
+                    b'r' => b'\r',
+                    other => other, // `\"`, `\\`, `\/` — good enough here
+                });
+                *pos += 2;
+            }
+            c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
 /// One entry of `crates/xtask/allow.toml`.
 #[derive(Debug, Default, Clone)]
 struct AllowEntry {
     /// Workspace-relative file the exemption applies to.
     file: String,
-    /// Rule name (`unwrap`, `expect`, `panic-macro`, `indexing`, `float-eq`).
+    /// Rule name (`unwrap`, `expect`, `panic-macro`, `indexing`,
+    /// `float-eq`, `linkset-membership`, ...).
     rule: String,
     /// Substring of the offending source line that identifies the site.
     pattern: String,
@@ -174,6 +480,7 @@ fn run_analyze() -> Result<bool, String> {
         check_header_discipline(&file, &mut violations);
         check_float_eq(&file, &mut violations);
         check_thread_discipline(&file, &mut violations);
+        check_linkset_membership(&file, &mut violations);
     }
     check_theorem_coverage(&root, &mut violations)?;
 
@@ -825,6 +1132,65 @@ fn check_thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule family 5: link-set membership (bitset discipline)
+// ---------------------------------------------------------------------------
+
+/// The crate whose non-test code must do link-set membership through the
+/// word-parallel bitset API (`LinkIdSet::contains`, `LinkBitSet`,
+/// `CrossLinkTable::crossing_mask`): `rtr-core` holds the phase-1 sweep
+/// hot path, where a linear scan hides O(|set|) work per probe.
+const LINKSET_CRATE_PREFIX: &str = "crates/core/";
+
+/// Flags linear membership idioms in `rtr-core` non-test code:
+/// `.iter().any(` chains (whitespace-tolerant, so rustfmt-split chains
+/// still match) and reference-taking `.contains(&` (slice/`Vec`
+/// membership borrows its argument, while the bitset APIs take `LinkId`
+/// by value — a clean lexical split between the two).
+fn check_linkset_membership(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.rel.starts_with(LINKSET_CRATE_PREFIX) {
+        return;
+    }
+    let m = &file.masked;
+    let mut push = |pos: usize| {
+        let line = line_of(m, pos);
+        out.push(Violation {
+            file: file.rel.clone(),
+            line,
+            rule: "linkset-membership",
+            excerpt: excerpt(file, line),
+        });
+    };
+
+    // `.iter()` followed (across whitespace) by `.any(`. Anchored on the
+    // `any` token so the excerpt shows the predicate, not the receiver.
+    let mut from = 0;
+    while let Some(pos) = find_from(m, b".iter()", from) {
+        from = pos + b".iter()".len();
+        let Some(dot) = next_non_ws(m, from) else {
+            continue;
+        };
+        if byte_at(m, dot) != b'.' {
+            continue;
+        }
+        let Some(name) = next_non_ws(m, dot + 1) else {
+            continue;
+        };
+        if ident_starting_at(m, name) == "any" && byte_at(m, name + 3) == b'(' {
+            push(name);
+        }
+    }
+
+    // `.contains(&x)` — the borrowing form is always a linear scan.
+    let mut from = 0;
+    while let Some(pos) = find_from(m, b".contains(", from) {
+        from = pos + b".contains(".len();
+        if next_non_ws(m, from).map(|i| byte_at(m, i)) == Some(b'&') {
+            push(pos);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule family 3: theorem coverage
 // ---------------------------------------------------------------------------
 
@@ -1068,6 +1434,76 @@ mod tests {
         let mut out = Vec::new();
         check_thread_discipline(&file("crates/eval/src/par.rs", src), &mut out);
         assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn linkset_membership_flags_linear_scans_in_core() {
+        let src =
+            "fn f(v: &[L], s: &Set, x: L) -> bool {\n  v\n    .iter()\n    .any(|&l| l == x)\n  \
+                   || v.contains(&x)\n}\n";
+        let mut out = Vec::new();
+        check_linkset_membership(&file("crates/core/src/x.rs", src), &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["linkset-membership"; 2], "got: {out:?}");
+        // Split chains anchor on the `.any(` line.
+        assert_eq!(out.first().map(|v| v.line), Some(4));
+    }
+
+    #[test]
+    fn linkset_membership_ignores_bitset_api_and_other_crates() {
+        // Value-taking `contains` is the bitset API; `.iter().map(` is not
+        // a membership scan; test regions and other crates are exempt.
+        let core_ok = "fn f(h: &H, l: L) -> bool {\n  h.cross_links().contains(l)\n    \
+                       && h.ids().iter().map(|x| x.0).count() > 0\n}\n\
+                       #[cfg(test)]\nmod tests {\n  fn t(v: &[L], x: L) {\n    \
+                       assert!(v.iter().any(|&l| l == x) || v.contains(&x));\n  }\n}\n";
+        let mut out = Vec::new();
+        check_linkset_membership(&file("crates/core/src/x.rs", core_ok), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+
+        let eval = "fn f(v: &[L], x: L) -> bool { v.iter().any(|&l| l == x) || v.contains(&x) }";
+        check_linkset_membership(&file("crates/eval/src/x.rs", eval), &mut out);
+        assert!(out.is_empty(), "rule leaked outside crates/core: {out:?}");
+    }
+
+    #[test]
+    fn json_reader_handles_the_recorder_schema() {
+        let doc = json_parse(
+            "{\n  \"host_parallelism\": 8,\n  \"topologies\": [\n    \
+             {\"name\": \"AS3549\", \"serial_secs\": 0.0713, \"sweep_secs\": 1.5e-3},\n    \
+             {\"name\": \"AS209\", \"serial_secs\": 0.0014, \"sweep_secs\": 0.0002}\n  ]\n}",
+        )
+        .unwrap();
+        let rows = doc.get("topologies").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("name").and_then(JsonValue::as_str),
+            Some("AS3549")
+        );
+        assert_eq!(
+            rows[0].get("sweep_secs").and_then(JsonValue::as_f64),
+            Some(1.5e-3)
+        );
+        assert_eq!(
+            doc.get("host_parallelism").and_then(JsonValue::as_f64),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn json_reader_rejects_garbage() {
+        assert!(json_parse("{\"a\": }").is_err());
+        assert!(json_parse("[1, 2").is_err());
+        assert!(json_parse("{} trailing").is_err());
+        assert!(json_parse("\"unterminated").is_err());
+        // Literals and escapes round-trip.
+        assert_eq!(json_parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(json_parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(
+            json_parse("\"a\\\"b\"").unwrap(),
+            JsonValue::Str("a\"b".into())
+        );
+        assert_eq!(json_parse("-2.5e1").unwrap(), JsonValue::Num(-25.0));
     }
 
     #[test]
