@@ -4,16 +4,25 @@
 //! (how few nodes each recovery session re-examines compared to a full
 //! Dijkstra over the whole graph — the driver's allocation/work saving).
 //!
+//! The serial measurement is taken once per shortest-path queue kernel
+//! (`serial_secs_heap` vs `serial_secs_bucket`) and the phase-1 boundary
+//! sweep once per crossing-mask kernel (`sweep_secs_scalar` vs
+//! `sweep_secs_batched`, plus `sweep_secs_simd` when built with
+//! `--features simd`); `serial_secs` and `sweep_secs` always alias the
+//! default kernel's column, so downstream tooling keeps one stable name
+//! for "what the driver actually runs".
+//!
 //! Run through `cargo xtask bench-record`, which places the artifact at
 //! the repository root. Timings are medians of [`RUNS`] runs; the file
 //! also records the host's available parallelism so speedups on small
 //! machines read honestly.
 
-use rtr_core::{RecoveryScratch, RtrSession};
+use rtr_core::{RtrSession, SessionPool, SweepKernel};
 use rtr_eval::baseline::Baseline;
 use rtr_eval::json::Json;
 use rtr_eval::testcase::{generate_workload_shared, Workload};
 use rtr_eval::{config::ExperimentConfig, driver, par};
+use rtr_routing::{Kernels, QueueKernel};
 use rtr_topology::{isp, NodeId};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -40,10 +49,11 @@ fn median_secs(w: &Workload, cfg: &ExperimentConfig) -> f64 {
 }
 
 /// Median wall time of re-running every phase-1 boundary sweep of the
-/// workload (one session start per unique initiator, scratch reuse as in
-/// the driver) — the `is_excluded` bitset hot path in isolation.
-fn median_sweep_secs(w: &Workload) -> f64 {
-    let mut scratch = RecoveryScratch::default();
+/// workload (one session start per unique initiator, pooled buffers as in
+/// the driver) with the given crossing-mask kernel — the
+/// `SweepContext::is_excluded` hot path in isolation.
+fn median_sweep_secs(w: &Workload, sweep: SweepKernel) -> f64 {
+    let pool = SessionPool::with_kernels(Kernels::default(), sweep);
     let mut secs: Vec<f64> = (0..RUNS)
         .map(|_| {
             let t = Instant::now();
@@ -53,17 +63,16 @@ fn median_sweep_secs(w: &Workload) -> f64 {
                     if !seen.insert(case.initiator) {
                         continue;
                     }
-                    let session = RtrSession::start_in(
-                        w.topo(),
-                        w.crosslinks(),
-                        &sc.scenario,
-                        case.initiator,
-                        case.failed_link,
-                        &mut scratch,
-                    )
-                    .expect("cases always have a live initiator with a failed incident link");
+                    let session = pool
+                        .start_session(
+                            w.topo(),
+                            w.crosslinks(),
+                            &sc.scenario,
+                            case.initiator,
+                            case.failed_link,
+                        )
+                        .expect("cases always have a live initiator with a failed incident link");
                     std::hint::black_box(session.phase1().trace.hops());
-                    session.recycle(&mut scratch);
                 }
             }
             t.elapsed().as_secs_f64()
@@ -74,9 +83,9 @@ fn median_sweep_secs(w: &Workload) -> f64 {
 }
 
 /// Mean incremental-SPT nodes re-examined per recovery session, mirroring
-/// the driver's once-per-initiator session starts (scratch reuse and all).
+/// the driver's once-per-initiator session starts (buffer reuse and all).
 fn mean_nodes_touched(w: &Workload) -> f64 {
-    let mut scratch = RecoveryScratch::default();
+    let pool = SessionPool::new();
     let mut total = 0usize;
     let mut sessions = 0usize;
     for sc in &w.scenarios {
@@ -85,18 +94,17 @@ fn mean_nodes_touched(w: &Workload) -> f64 {
             if !seen.insert(case.initiator) {
                 continue;
             }
-            let session = RtrSession::start_in(
-                w.topo(),
-                w.crosslinks(),
-                &sc.scenario,
-                case.initiator,
-                case.failed_link,
-                &mut scratch,
-            )
-            .expect("recoverable case: live initiator with a failed incident link");
+            let session: &RtrSession<'_, _> = &pool
+                .start_session(
+                    w.topo(),
+                    w.crosslinks(),
+                    &sc.scenario,
+                    case.initiator,
+                    case.failed_link,
+                )
+                .expect("recoverable case: live initiator with a failed incident link");
             total += session.computer().nodes_touched();
             sessions += 1;
-            session.recycle(&mut scratch);
         }
     }
     if sessions == 0 {
@@ -122,27 +130,67 @@ fn main() {
             &serial_cfg,
             serial_cfg.seed ^ u64::from(p.asn),
         );
-        let serial = median_secs(&w, &serial_cfg);
+
+        // One serial measurement per queue kernel; the unsuffixed column
+        // aliases whatever `Kernels::default()` selects.
+        let serial_heap = median_secs(
+            &w,
+            &serial_cfg.clone().with_kernels(Kernels {
+                queue: QueueKernel::Heap,
+            }),
+        );
+        let serial_bucket = median_secs(
+            &w,
+            &serial_cfg.clone().with_kernels(Kernels {
+                queue: QueueKernel::Bucket,
+            }),
+        );
+        let serial = match Kernels::default().queue {
+            QueueKernel::Heap => serial_heap,
+            QueueKernel::Bucket => serial_bucket,
+        };
         let parallel = median_secs(&w, &serial_cfg.clone().with_threads(PAR_THREADS));
-        let sweep = median_sweep_secs(&w);
+
+        // One boundary-sweep measurement per crossing-mask kernel.
+        let sweep_scalar = median_sweep_secs(&w, SweepKernel::Scalar);
+        let sweep_batched = median_sweep_secs(&w, SweepKernel::Batched);
+        #[cfg(feature = "simd")]
+        let sweep_simd = median_sweep_secs(&w, SweepKernel::Simd);
+        let sweep = match SweepKernel::default() {
+            SweepKernel::Scalar => sweep_scalar,
+            SweepKernel::Batched => sweep_batched,
+            #[cfg(feature = "simd")]
+            SweepKernel::Simd => sweep_simd,
+        };
+
         let touched = mean_nodes_touched(&w);
         eprintln!(
-            "[bench_eval] {:>8}: serial {serial:.4}s, {PAR_THREADS} threads {parallel:.4}s \
-             (x{:.2}), sweep {sweep:.4}s, mean nodes touched {touched:.1}/{}",
+            "[bench_eval] {:>8}: serial {serial:.4}s (heap {serial_heap:.4}s, bucket \
+             {serial_bucket:.4}s), {PAR_THREADS} threads {parallel:.4}s (x{:.2}), sweep \
+             {sweep:.4}s (scalar {sweep_scalar:.4}s, batched {sweep_batched:.4}s), \
+             mean nodes touched {touched:.1}/{}",
             p.name,
             serial / parallel,
             p.nodes
         );
-        rows.push(Json::Obj(vec![
+        #[cfg_attr(not(feature = "simd"), allow(unused_mut))]
+        let mut row = vec![
             ("name", Json::Str(p.name.to_string())),
             ("nodes", Json::Num(p.nodes as f64)),
             ("links", Json::Num(p.links as f64)),
             ("serial_secs", Json::Num(serial)),
+            ("serial_secs_heap", Json::Num(serial_heap)),
+            ("serial_secs_bucket", Json::Num(serial_bucket)),
             ("parallel_secs", Json::Num(parallel)),
             ("speedup", Json::Num(serial / parallel)),
             ("sweep_secs", Json::Num(sweep)),
+            ("sweep_secs_scalar", Json::Num(sweep_scalar)),
+            ("sweep_secs_batched", Json::Num(sweep_batched)),
             ("mean_nodes_touched", Json::Num(touched)),
-        ]));
+        ];
+        #[cfg(feature = "simd")]
+        row.push(("sweep_secs_simd", Json::Num(sweep_simd)));
+        rows.push(Json::Obj(row));
     }
 
     let report = Json::Obj(vec![

@@ -17,7 +17,7 @@
 //! initiator's sweep re-selects its original first hop (§III-C step 3).
 
 use crate::error::Phase1Error;
-use crate::sweep::select_next_hop;
+use crate::sweep::{select_next_hop, SweepContext, SweepKernel};
 use rtr_sim::{CollectionHeader, ForwardingTrace};
 use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
 
@@ -76,6 +76,28 @@ pub fn collect_failure_info(
     initiator: NodeId,
     failed_default_link: LinkId,
 ) -> Result<Phase1Result, Phase1Error> {
+    collect_failure_info_with(
+        topo,
+        crosslinks,
+        view,
+        initiator,
+        failed_default_link,
+        SweepKernel::default(),
+    )
+}
+
+/// [`collect_failure_info`] with an explicit crossing-mask [`SweepKernel`]
+/// for the exclusion probes of every sweep on the walk. The kernel affects
+/// only throughput — every kernel computes the same predicate, so the walk
+/// (and therefore the whole recovery) is byte-identical across kernels.
+pub fn collect_failure_info_with(
+    topo: &Topology,
+    crosslinks: &CrossLinkTable,
+    view: &impl GraphView,
+    initiator: NodeId,
+    failed_default_link: LinkId,
+    sweep: SweepKernel,
+) -> Result<Phase1Result, Phase1Error> {
     if !topo.link(failed_default_link).is_incident_to(initiator) {
         return Err(Phase1Error::LinkNotIncident {
             initiator,
@@ -100,19 +122,20 @@ pub fn collect_failure_info(
 
     let mut trace = ForwardingTrace::start(initiator, header.overhead_bytes());
 
-    // First hop: sweep from the failed default next hop.
+    // First hop: sweep from the failed default next hop. The context is
+    // rebuilt per selection (three pointer copies) because the header's
+    // excluded set may grow after each one.
     let sweep_ref = topo.link(failed_default_link).other_end(initiator);
     let Some(first_hop) = select_next_hop(
         topo,
-        crosslinks,
         view,
         initiator,
         sweep_ref,
-        header.cross_links(),
+        &SweepContext::with_kernel(crosslinks, header.cross_links(), sweep),
     ) else {
         return Err(Phase1Error::NoLiveNeighbor { initiator });
     };
-    record_selection_crossing(crosslinks, &mut header, first_hop.1);
+    record_selection_crossing(crosslinks, &mut header, first_hop.1, sweep);
 
     // Defensive bound: Theorem 1 shows each link is traversed at most a
     // constant number of times; 4·m + 8 is far beyond any legal walk.
@@ -125,9 +148,13 @@ pub fn collect_failure_info(
         if cur == initiator {
             // §III-C step 3: the initiator re-selects; if the selection is
             // the first hop, the loop around the failure area is closed.
-            let Some(next) =
-                select_next_hop(topo, crosslinks, view, cur, prev, header.cross_links())
-            else {
+            let Some(next) = select_next_hop(
+                topo,
+                view,
+                cur,
+                prev,
+                &SweepContext::with_kernel(crosslinks, header.cross_links(), sweep),
+            ) else {
                 // A live neighbor vanishing mid-walk cannot happen in a
                 // static scenario: the previous hop is always eligible.
                 return Err(Phase1Error::WalkStuck { at: cur });
@@ -140,7 +167,7 @@ pub fn collect_failure_info(
                     first_hop,
                 });
             }
-            record_selection_crossing(crosslinks, &mut header, next.1);
+            record_selection_crossing(crosslinks, &mut header, next.1, sweep);
             prev = cur;
             cur = next.0;
             trace.record_hop(cur, header.overhead_bytes());
@@ -155,11 +182,16 @@ pub fn collect_failure_info(
             }
         }
 
-        let Some(next) = select_next_hop(topo, crosslinks, view, cur, prev, header.cross_links())
-        else {
+        let Some(next) = select_next_hop(
+            topo,
+            view,
+            cur,
+            prev,
+            &SweepContext::with_kernel(crosslinks, header.cross_links(), sweep),
+        ) else {
             return Err(Phase1Error::WalkStuck { at: cur });
         };
-        record_selection_crossing(crosslinks, &mut header, next.1);
+        record_selection_crossing(crosslinks, &mut header, next.1, sweep);
         prev = cur;
         cur = next.0;
         trace.record_hop(cur, header.overhead_bytes());
@@ -180,14 +212,16 @@ fn record_selection_crossing(
     crosslinks: &CrossLinkTable,
     header: &mut CollectionHeader,
     link: LinkId,
+    sweep: SweepKernel,
 ) {
     if header.cross_links().contains(link) {
         return;
     }
+    let ctx = SweepContext::with_kernel(crosslinks, header.cross_links(), sweep);
     let threatened = crosslinks
         .crossings_of(link)
         .iter()
-        .any(|&other| !crate::sweep::is_excluded(crosslinks, other, header.cross_links()));
+        .any(|&other| !ctx.is_excluded(other));
     if threatened {
         header.record_cross_link(link);
     }
@@ -388,6 +422,18 @@ pub fn collect_failure_info_thorough(
     view: &impl GraphView,
     initiator: NodeId,
 ) -> Result<ThoroughCollection, Phase1Error> {
+    collect_failure_info_thorough_with(topo, crosslinks, view, initiator, SweepKernel::default())
+}
+
+/// [`collect_failure_info_thorough`] with an explicit crossing-mask
+/// [`SweepKernel`] threaded through every per-neighbor sweep.
+pub fn collect_failure_info_thorough_with(
+    topo: &Topology,
+    crosslinks: &CrossLinkTable,
+    view: &impl GraphView,
+    initiator: NodeId,
+    sweep: SweepKernel,
+) -> Result<ThoroughCollection, Phase1Error> {
     let dead: Vec<LinkId> = topo
         .neighbors(initiator)
         .iter()
@@ -401,7 +447,7 @@ pub fn collect_failure_info_thorough(
     let mut header = CollectionHeader::new(initiator);
     let mut total_hops = 0;
     for &l in &dead {
-        let r = collect_failure_info(topo, crosslinks, view, initiator, l)?;
+        let r = collect_failure_info_with(topo, crosslinks, view, initiator, l, sweep)?;
         total_hops += r.trace.hops();
         for f in r.header.failed_links() {
             header.record_failed_link(f);

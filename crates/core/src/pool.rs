@@ -1,0 +1,326 @@
+//! One checkout/return facade over the three scratch-buffer idioms the
+//! evaluation hot loops grew: [`DijkstraScratch`] reuse, [`SptScratch`] +
+//! [`IncrementalSpt`] rebuilds, and [`RecoveryScratch`] +
+//! [`RtrSession::start_in`]/`recycle`.
+//!
+//! A [`SessionPool`] owns freelists of all three buffer kinds plus one
+//! kernel configuration ([`Kernels`] for the shortest-path queues,
+//! [`SweepKernel`] for the phase-1 crossing probes). Checkouts hand back
+//! RAII guards that deref to the live object and return the buffers to the
+//! pool on drop — callers never pair a `take` with a `recycle` by hand, and
+//! every computation drawn from one pool runs with the same kernels.
+//!
+//! The pool is single-threaded by design (`RefCell` freelists): the
+//! scenario-parallel driver builds one pool per worker, mirroring the
+//! one-scratch-per-worker layout it had before.
+
+use crate::error::Phase1Error;
+use crate::phase2::RecoveryScratch;
+use crate::recovery::RtrSession;
+use crate::sweep::SweepKernel;
+use rtr_routing::{DijkstraScratch, IncrementalSpt, Kernels, SptScratch};
+use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// A per-worker pool of recovery-session, Dijkstra, and SPT buffers, all
+/// preconfigured with one kernel selection.
+#[derive(Debug, Default)]
+pub struct SessionPool {
+    kernels: Kernels,
+    sweep: SweepKernel,
+    recovery: RefCell<Vec<RecoveryScratch>>,
+    dijkstra: RefCell<Vec<DijkstraScratch>>,
+    spt: RefCell<Vec<SptScratch>>,
+}
+
+impl SessionPool {
+    /// An empty pool using the default kernels.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty pool whose checkouts all run with `kernels` (shortest-path
+    /// queues) and `sweep` (phase-1 crossing-mask probes).
+    pub fn with_kernels(kernels: Kernels, sweep: SweepKernel) -> Self {
+        SessionPool {
+            kernels,
+            sweep,
+            ..Self::default()
+        }
+    }
+
+    /// The shortest-path queue kernels this pool's checkouts use.
+    pub fn kernels(&self) -> Kernels {
+        self.kernels
+    }
+
+    /// The crossing-mask kernel this pool's phase-1 walks use.
+    pub fn sweep_kernel(&self) -> SweepKernel {
+        self.sweep
+    }
+
+    /// Starts an [`RtrSession`] from pooled buffers. The returned guard
+    /// derefs to the session and recycles its buffers on drop.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RtrSession::start`]; on error the buffers go
+    /// straight back to the pool.
+    pub fn start_session<'p, 'a, V: GraphView>(
+        &'p self,
+        topo: &'a Topology,
+        crosslinks: &CrossLinkTable,
+        view: &'a V,
+        initiator: NodeId,
+        failed_default_link: LinkId,
+    ) -> Result<PooledSession<'p, 'a, V>, Phase1Error> {
+        let mut scratch = self
+            .recovery
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| RecoveryScratch::with_kernels(self.kernels, self.sweep));
+        match RtrSession::start_in(
+            topo,
+            crosslinks,
+            view,
+            initiator,
+            failed_default_link,
+            &mut scratch,
+        ) {
+            Ok(session) => Ok(PooledSession {
+                pool: self,
+                session: Some(session),
+                scratch: Some(scratch),
+            }),
+            Err(e) => {
+                // start_in leaves the scratch untouched on failure.
+                self.recovery.borrow_mut().push(scratch);
+                Err(e)
+            }
+        }
+    }
+
+    /// Checks out a [`DijkstraScratch`]. Multiple leases may be live at
+    /// once (the driver holds one for the optimal baseline and one for MRC
+    /// simultaneously); each returns to the freelist on drop.
+    pub fn dijkstra(&self) -> DijkstraLease<'_> {
+        let scratch = self
+            .dijkstra
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| DijkstraScratch::with_kernels(self.kernels));
+        DijkstraLease {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Builds an [`IncrementalSpt`] rooted at `source` over `view` from
+    /// pooled buffers. The guard derefs to the tree and banks its buffers
+    /// on drop.
+    pub fn incremental_spt<'p, 'a>(
+        &'p self,
+        topo: &'a Topology,
+        view: &impl GraphView,
+        source: NodeId,
+    ) -> SptLease<'p, 'a> {
+        let scratch = self
+            .spt
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| SptScratch::with_kernels(self.kernels));
+        SptLease {
+            pool: self,
+            spt: Some(IncrementalSpt::with_view_in(topo, view, source, scratch)),
+        }
+    }
+}
+
+/// RAII guard for a pooled [`RtrSession`]; derefs to the session and
+/// recycles its buffers into the owning [`SessionPool`] on drop.
+#[derive(Debug)]
+pub struct PooledSession<'p, 'a, V: GraphView> {
+    pool: &'p SessionPool,
+    session: Option<RtrSession<'a, V>>,
+    scratch: Option<RecoveryScratch>,
+}
+
+impl<'a, V: GraphView> Deref for PooledSession<'_, 'a, V> {
+    type Target = RtrSession<'a, V>;
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the session until drop
+    fn deref(&self) -> &Self::Target {
+        self.session.as_ref().expect("session present until drop")
+    }
+}
+
+impl<V: GraphView> DerefMut for PooledSession<'_, '_, V> {
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the session until drop
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.session.as_mut().expect("session present until drop")
+    }
+}
+
+impl<V: GraphView> Drop for PooledSession<'_, '_, V> {
+    fn drop(&mut self) {
+        if let (Some(session), Some(mut scratch)) = (self.session.take(), self.scratch.take()) {
+            session.recycle(&mut scratch);
+            self.pool.recovery.borrow_mut().push(scratch);
+        }
+    }
+}
+
+/// RAII guard for a pooled [`DijkstraScratch`].
+#[derive(Debug)]
+pub struct DijkstraLease<'p> {
+    pool: &'p SessionPool,
+    scratch: Option<DijkstraScratch>,
+}
+
+impl Deref for DijkstraLease<'_> {
+    type Target = DijkstraScratch;
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the scratch until drop
+    fn deref(&self) -> &Self::Target {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for DijkstraLease<'_> {
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the scratch until drop
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for DijkstraLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.dijkstra.borrow_mut().push(scratch);
+        }
+    }
+}
+
+/// RAII guard for a pooled [`IncrementalSpt`]; banks the tree's buffers on
+/// drop.
+#[derive(Debug)]
+pub struct SptLease<'p, 'a> {
+    pool: &'p SessionPool,
+    spt: Option<IncrementalSpt<'a>>,
+}
+
+impl<'a> Deref for SptLease<'_, 'a> {
+    type Target = IncrementalSpt<'a>;
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the tree until drop
+    fn deref(&self) -> &Self::Target {
+        self.spt.as_ref().expect("spt present until drop")
+    }
+}
+
+impl DerefMut for SptLease<'_, '_> {
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the tree until drop
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.spt.as_mut().expect("spt present until drop")
+    }
+}
+
+impl Drop for SptLease<'_, '_> {
+    fn drop(&mut self) {
+        if let Some(spt) = self.spt.take() {
+            self.pool.spt.borrow_mut().push(spt.into_scratch());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_routing::QueueKernel;
+    use rtr_topology::{generate, FailureScenario, FullView};
+
+    fn grid_case() -> (Topology, CrossLinkTable, FailureScenario, NodeId, LinkId) {
+        let topo = generate::grid(3, 3, 10.0);
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(4)], []);
+        let failed = topo.link_between(NodeId(3), NodeId(4)).unwrap();
+        (topo, xl, s, NodeId(3), failed)
+    }
+
+    #[test]
+    fn session_checkout_recovers_and_returns_buffers() {
+        let (topo, xl, s, init, failed) = grid_case();
+        let pool = SessionPool::new();
+        {
+            let mut session = pool.start_session(&topo, &xl, &s, init, failed).unwrap();
+            assert!(session.phase1().is_complete());
+            assert!(session.recover(NodeId(5)).is_delivered());
+        }
+        assert_eq!(pool.recovery.borrow().len(), 1, "buffers returned on drop");
+        // The recycled scratch (and its kernels) is reused by the next
+        // checkout instead of growing the freelist.
+        {
+            let _again = pool.start_session(&topo, &xl, &s, init, failed).unwrap();
+            assert_eq!(pool.recovery.borrow().len(), 0);
+        }
+        assert_eq!(pool.recovery.borrow().len(), 1);
+    }
+
+    #[test]
+    fn failed_start_returns_scratch_to_pool() {
+        let (topo, xl, s, init, _) = grid_case();
+        let pool = SessionPool::new();
+        // A live link is not a valid failed default link.
+        let live = topo.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert!(pool.start_session(&topo, &xl, &s, init, live).is_err());
+        assert_eq!(pool.recovery.borrow().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_dijkstra_leases_are_independent() {
+        let (topo, _, s, _, _) = grid_case();
+        let pool = SessionPool::with_kernels(
+            Kernels {
+                queue: QueueKernel::Heap,
+            },
+            SweepKernel::Scalar,
+        );
+        let mut a = pool.dijkstra();
+        let mut b = pool.dijkstra();
+        assert_eq!(a.kernels().queue, QueueKernel::Heap);
+        let da = a.run(&topo, &s, NodeId(0)).distance(NodeId(8));
+        let db = b.run(&topo, &FullView, NodeId(0)).distance(NodeId(8));
+        // Failed centre forces the longer way around.
+        assert_eq!(db, Some(4));
+        assert_eq!(da, db, "grid corner-to-corner detour costs the same");
+        drop(a);
+        drop(b);
+        assert_eq!(pool.dijkstra.borrow().len(), 2);
+    }
+
+    #[test]
+    fn spt_lease_matches_direct_incremental_spt() {
+        let (topo, _, s, _, _) = grid_case();
+        let pool = SessionPool::new();
+        {
+            let lease = pool.incremental_spt(&topo, &s, NodeId(0));
+            let direct = IncrementalSpt::with_view(&topo, &s, NodeId(0));
+            for v in topo.node_ids() {
+                assert_eq!(lease.distance(v), direct.distance(v));
+            }
+        }
+        assert_eq!(pool.spt.borrow().len(), 1);
+    }
+
+    #[test]
+    fn pool_pins_kernels_on_fresh_scratches() {
+        let pool = SessionPool::with_kernels(
+            Kernels {
+                queue: QueueKernel::Bucket,
+            },
+            SweepKernel::Batched,
+        );
+        assert_eq!(pool.kernels().queue, QueueKernel::Bucket);
+        assert_eq!(pool.sweep_kernel(), SweepKernel::Batched);
+        let lease = pool.dijkstra();
+        assert_eq!(lease.kernels().queue, QueueKernel::Bucket);
+    }
+}

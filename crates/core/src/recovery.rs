@@ -4,7 +4,7 @@
 //! at a recovery initiator and can benefit all destinations").
 
 use crate::error::Phase1Error;
-use crate::phase1::{collect_failure_info, Phase1Result};
+use crate::phase1::{collect_failure_info, collect_failure_info_with, Phase1Result};
 use crate::phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer, RecoveryScratch};
 use rtr_routing::Path;
 use rtr_sim::ForwardingTrace;
@@ -70,9 +70,10 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
 
     /// Like [`start`](Self::start), but builds the recovery computer from
     /// recycled buffers (see [`RecoveryScratch`]) so the evaluation hot
-    /// loop starts sessions without transient allocations. Hand the buffers
-    /// back with [`recycle`](Self::recycle) when the session is done. When
-    /// phase 1 fails, `scratch` is left untouched.
+    /// loop starts sessions without transient allocations, and runs both
+    /// phases with the kernels the scratch was configured with. Hand the
+    /// buffers back with [`recycle`](Self::recycle) when the session is
+    /// done. When phase 1 fails, `scratch` is left untouched.
     ///
     /// # Errors
     ///
@@ -85,7 +86,14 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
         failed_default_link: LinkId,
         scratch: &mut RecoveryScratch,
     ) -> Result<Self, Phase1Error> {
-        let phase1 = collect_failure_info(topo, crosslinks, view, initiator, failed_default_link)?;
+        let phase1 = collect_failure_info_with(
+            topo,
+            crosslinks,
+            view,
+            initiator,
+            failed_default_link,
+            scratch.sweep_kernel(),
+        )?;
         let computer = RecoveryComputer::new_in(topo, view, initiator, &phase1.header, scratch);
         Ok(RtrSession {
             topo,

@@ -15,6 +15,73 @@ use rtr_sim::LinkIdSet;
 use rtr_topology::geometry::ccw_angle;
 use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
 
+/// The intersection kernel used by [`SweepContext::is_excluded`]: scalar,
+/// portable 4×u64 batched, or (behind the `simd` feature) explicit AVX2.
+/// Re-exported from [`rtr_topology::kernels`], the single implementation
+/// site of all three lanes.
+pub use rtr_topology::MaskKernel as SweepKernel;
+
+/// Borrowed context for the crossing-exclusion probes of one sweep: the
+/// precomputed [`CrossLinkTable`], the packet's current excluded set, and
+/// the [`SweepKernel`] to run the word-AND with.
+///
+/// Constructing one is three pointer copies; phase 1 builds a fresh
+/// context per selection because the header's excluded set grows between
+/// selections. Holding the pieces together makes the kernel swap a single
+/// impl site ([`is_excluded`](Self::is_excluded)) instead of per-call
+/// argument plumbing.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepContext<'a> {
+    crosslinks: &'a CrossLinkTable,
+    excluded: &'a LinkIdSet,
+    kernel: SweepKernel,
+}
+
+impl<'a> SweepContext<'a> {
+    /// A context probing `excluded` against `crosslinks` with the default
+    /// kernel.
+    pub fn new(crosslinks: &'a CrossLinkTable, excluded: &'a LinkIdSet) -> Self {
+        Self::with_kernel(crosslinks, excluded, SweepKernel::default())
+    }
+
+    /// Like [`new`](Self::new), with an explicit kernel.
+    pub fn with_kernel(
+        crosslinks: &'a CrossLinkTable,
+        excluded: &'a LinkIdSet,
+        kernel: SweepKernel,
+    ) -> Self {
+        SweepContext {
+            crosslinks,
+            excluded,
+            kernel,
+        }
+    }
+
+    /// The crossing table this context probes against.
+    pub fn crosslinks(&self) -> &'a CrossLinkTable {
+        self.crosslinks
+    }
+
+    /// The excluded link set carried by the packet header.
+    pub fn excluded(&self) -> &'a LinkIdSet {
+        self.excluded
+    }
+
+    /// Returns true when `link` properly crosses any link in the excluded
+    /// set (and therefore must not be selected by the sweep).
+    ///
+    /// Word-parallel: the excluded set's bitset is ANDed against `link`'s
+    /// precomputed crossing-mask row through the selected kernel, so the
+    /// cost is a handful of word operations regardless of how many links
+    /// the header has recorded.
+    #[inline]
+    pub fn is_excluded(&self, link: LinkId) -> bool {
+        self.excluded
+            .bits()
+            .intersects_words_with(self.kernel, self.crosslinks.crossing_mask(link))
+    }
+}
+
 /// Selects the next hop at `at`, sweeping counterclockwise from the
 /// direction of `reference` (the previous hop, or the unreachable default
 /// next hop when `at` is the recovery initiator starting the phase).
@@ -22,7 +89,7 @@ use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
 /// A neighbor is eligible when:
 /// * it is reachable from `at` in `view` (the link and the neighbor are
 ///   live), and
-/// * its link does not properly cross any link in `excluded`.
+/// * its link does not properly cross any link in `ctx`'s excluded set.
 ///
 /// Ties in angle break by node id so selection is deterministic. Returns
 /// `None` only when *no* neighbor is eligible (the initiator is isolated).
@@ -33,11 +100,10 @@ use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
 /// always one of `at`'s incident links).
 pub fn select_next_hop(
     topo: &Topology,
-    crosslinks: &CrossLinkTable,
     view: &impl GraphView,
     at: NodeId,
     reference: NodeId,
-    excluded: &LinkIdSet,
+    ctx: &SweepContext<'_>,
 ) -> Option<(NodeId, LinkId)> {
     assert!(
         topo.link_between(at, reference).is_some(),
@@ -52,7 +118,7 @@ pub fn select_next_hop(
         if !view.is_link_usable(topo, link) {
             continue;
         }
-        if is_excluded(crosslinks, link, excluded) {
+        if ctx.is_excluded(link) {
             continue;
         }
         let pos = topo.position(nbr);
@@ -71,16 +137,11 @@ pub fn select_next_hop(
     best.map(|(_, nbr, link)| (nbr, link))
 }
 
-/// Returns true when `link` properly crosses any link in `excluded`
-/// (and therefore must not be selected by the sweep).
-///
-/// Word-parallel: the excluded set's bitset is ANDed against `link`'s
-/// precomputed crossing-mask row, so the cost is a handful of word
-/// operations regardless of how many links the header has recorded.
+/// Pre-`SweepContext` shim kept for out-of-tree callers; equivalent to
+/// `SweepContext::new(crosslinks, excluded).is_excluded(link)`.
+#[doc(hidden)]
 pub fn is_excluded(crosslinks: &CrossLinkTable, link: LinkId, excluded: &LinkIdSet) -> bool {
-    excluded
-        .bits()
-        .intersects_words(crosslinks.crossing_mask(link))
+    SweepContext::new(crosslinks, excluded).is_excluded(link)
 }
 
 #[cfg(test)]
@@ -108,11 +169,12 @@ mod tests {
         let topo = compass();
         let xl = CrossLinkTable::new(&topo);
         let none = LinkIdSet::new();
+        let ctx = SweepContext::new(&xl, &none);
         // Sweeping from east: first CCW neighbor is north.
-        let (nbr, _) = select_next_hop(&topo, &xl, &FullView, NodeId(0), NodeId(1), &none).unwrap();
+        let (nbr, _) = select_next_hop(&topo, &FullView, NodeId(0), NodeId(1), &ctx).unwrap();
         assert_eq!(nbr, NodeId(2));
         // Sweeping from north: first CCW neighbor is west.
-        let (nbr, _) = select_next_hop(&topo, &xl, &FullView, NodeId(0), NodeId(2), &none).unwrap();
+        let (nbr, _) = select_next_hop(&topo, &FullView, NodeId(0), NodeId(2), &ctx).unwrap();
         assert_eq!(nbr, NodeId(3));
     }
 
@@ -121,9 +183,10 @@ mod tests {
         let topo = compass();
         let xl = CrossLinkTable::new(&topo);
         let none = LinkIdSet::new();
+        let ctx = SweepContext::new(&xl, &none);
         // North dead: sweeping from east lands on west.
         let s = FailureScenario::from_parts(&topo, [NodeId(2)], []);
-        let (nbr, _) = select_next_hop(&topo, &xl, &s, NodeId(0), NodeId(1), &none).unwrap();
+        let (nbr, _) = select_next_hop(&topo, &s, NodeId(0), NodeId(1), &ctx).unwrap();
         assert_eq!(nbr, NodeId(3));
     }
 
@@ -132,10 +195,11 @@ mod tests {
         let topo = compass();
         let xl = CrossLinkTable::new(&topo);
         let none = LinkIdSet::new();
+        let ctx = SweepContext::new(&xl, &none);
         // Everything but the reference neighbor is dead: sweep returns the
         // reference (angle 2π) — the packet travels back where it came from.
         let s = FailureScenario::from_parts(&topo, [NodeId(2), NodeId(3), NodeId(4)], []);
-        let (nbr, _) = select_next_hop(&topo, &xl, &s, NodeId(0), NodeId(1), &none).unwrap();
+        let (nbr, _) = select_next_hop(&topo, &s, NodeId(0), NodeId(1), &ctx).unwrap();
         assert_eq!(nbr, NodeId(1));
     }
 
@@ -144,12 +208,10 @@ mod tests {
         let topo = compass();
         let xl = CrossLinkTable::new(&topo);
         let none = LinkIdSet::new();
+        let ctx = SweepContext::new(&xl, &none);
         let s =
             FailureScenario::from_parts(&topo, [NodeId(1), NodeId(2), NodeId(3), NodeId(4)], []);
-        assert_eq!(
-            select_next_hop(&topo, &xl, &s, NodeId(0), NodeId(1), &none),
-            None
-        );
+        assert_eq!(select_next_hop(&topo, &s, NodeId(0), NodeId(1), &ctx), None);
     }
 
     #[test]
@@ -177,12 +239,14 @@ mod tests {
 
         let mut excluded = LinkIdSet::new();
         excluded.insert(barrier);
-        let (nbr, _) = select_next_hop(&topo, &xl, &FullView, v0, v1, &excluded).unwrap();
+        let ctx = SweepContext::new(&xl, &excluded);
+        let (nbr, _) = select_next_hop(&topo, &FullView, v0, v1, &ctx).unwrap();
         assert_eq!(nbr, v5, "crossing candidate must be skipped");
 
         // Without the exclusion, v2 wins the sweep.
         let none = LinkIdSet::new();
-        let (nbr, _) = select_next_hop(&topo, &xl, &FullView, v0, v1, &none).unwrap();
+        let ctx = SweepContext::new(&xl, &none);
+        let (nbr, _) = select_next_hop(&topo, &FullView, v0, v1, &ctx).unwrap();
         assert_eq!(nbr, v2);
     }
 
@@ -198,12 +262,43 @@ mod tests {
         let topo = b.build().unwrap();
         let xl = CrossLinkTable::new(&topo);
         let mut excluded = LinkIdSet::new();
+        assert!(!SweepContext::new(&xl, &excluded).is_excluded(diag1));
+        // The legacy free-function shim agrees.
         assert!(!is_excluded(&xl, diag1, &excluded));
         excluded.insert(diag2);
+        assert!(SweepContext::new(&xl, &excluded).is_excluded(diag1));
         assert!(is_excluded(&xl, diag1, &excluded));
         // A link in the excluded set is not itself excluded from selection
         // (it may be part of the forwarding path).
-        assert!(!is_excluded(&xl, diag2, &excluded));
+        assert!(!SweepContext::new(&xl, &excluded).is_excluded(diag2));
+    }
+
+    #[test]
+    fn every_kernel_computes_the_same_exclusion() {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(10.0, 10.0));
+        let v2 = b.add_node(Point::new(0.0, 10.0));
+        let v3 = b.add_node(Point::new(10.0, 0.0));
+        let diag1 = b.add_link(v0, v1, 1).unwrap();
+        let diag2 = b.add_link(v2, v3, 1).unwrap();
+        let topo = b.build().unwrap();
+        let xl = CrossLinkTable::new(&topo);
+        let mut excluded = LinkIdSet::new();
+        excluded.insert(diag2);
+        let kernels = [
+            SweepKernel::Scalar,
+            SweepKernel::Batched,
+            #[cfg(feature = "simd")]
+            SweepKernel::Simd,
+        ];
+        for k in kernels {
+            let ctx = SweepContext::with_kernel(&xl, &excluded, k);
+            assert!(ctx.is_excluded(diag1), "{k:?}");
+            assert!(!ctx.is_excluded(diag2), "{k:?}");
+            assert_eq!(ctx.crosslinks() as *const _, &xl as *const _);
+            assert_eq!(ctx.excluded() as *const _, &excluded as *const _);
+        }
     }
 
     #[test]
@@ -212,7 +307,8 @@ mod tests {
         let topo = compass();
         let xl = CrossLinkTable::new(&topo);
         let none = LinkIdSet::new();
-        let _ = select_next_hop(&topo, &xl, &FullView, NodeId(1), NodeId(2), &none);
+        let ctx = SweepContext::new(&xl, &none);
+        let _ = select_next_hop(&topo, &FullView, NodeId(1), NodeId(2), &ctx);
     }
 
     #[test]
@@ -229,7 +325,9 @@ mod tests {
         b.add_link(hub, far, 1).unwrap();
         let topo = b.build().unwrap();
         let xl = CrossLinkTable::new(&topo);
-        let (nbr, _) = select_next_hop(&topo, &xl, &FullView, hub, r, &LinkIdSet::new()).unwrap();
+        let none = LinkIdSet::new();
+        let ctx = SweepContext::new(&xl, &none);
+        let (nbr, _) = select_next_hop(&topo, &FullView, hub, r, &ctx).unwrap();
         assert_eq!(nbr, near);
     }
 }

@@ -14,7 +14,7 @@
 //! incident link of `u`, so the destinations affected by a failure are
 //! precisely the union of the unusable incident links' buckets.
 
-use rtr_routing::RoutingTable;
+use rtr_routing::{Kernels, RoutingTable};
 use rtr_topology::{isp, CrossLinkTable, FullView, NodeId, Topology};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -42,7 +42,14 @@ impl Baseline {
     /// Computes the full baseline for `topo` (routing table, crossing
     /// table, first-hop buckets).
     pub fn new(topo: Topology) -> Self {
-        let table = RoutingTable::compute(&topo, &FullView);
+        Self::with_kernels(topo, Kernels::default())
+    }
+
+    /// Like [`new`](Self::new), computing the all-pairs routing table with
+    /// an explicit queue-kernel selection. The resulting artifact is
+    /// identical for every kernel; only the build time changes.
+    pub fn with_kernels(topo: Topology, kernels: Kernels) -> Self {
+        let table = RoutingTable::compute_with(&topo, &FullView, kernels);
         let crosslinks = CrossLinkTable::new(&topo);
         let mut slot_base = Vec::with_capacity(topo.node_count() + 1);
         let mut total = 0usize;

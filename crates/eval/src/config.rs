@@ -1,5 +1,7 @@
 //! Experiment configuration: the §IV-A simulation setup with scale knobs.
 
+use rtr_core::SweepKernel;
+use rtr_routing::Kernels;
 use rtr_sim::DelayModel;
 
 /// Parameters of the paper's simulation setup (§IV-A) plus scale knobs so
@@ -28,6 +30,13 @@ pub struct ExperimentConfig {
     /// environment variable, else available parallelism; `1` = serial).
     /// Results are byte-identical at every setting.
     pub threads: usize,
+    /// Shortest-path queue kernels (binary heap vs Dial bucket queue) used
+    /// by every Dijkstra/SPT run of the experiment. Results are
+    /// byte-identical across kernels; only throughput changes.
+    pub kernels: Kernels,
+    /// Crossing-mask kernel for phase-1 sweep exclusion probes. Results
+    /// are byte-identical across kernels; only throughput changes.
+    pub sweep: SweepKernel,
 }
 
 impl ExperimentConfig {
@@ -65,6 +74,18 @@ impl ExperimentConfig {
         self.threads = threads;
         self
     }
+
+    /// Overrides the shortest-path queue kernels.
+    pub fn with_kernels(mut self, kernels: Kernels) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
+    /// Overrides the phase-1 crossing-mask kernel.
+    pub fn with_sweep_kernel(mut self, sweep: SweepKernel) -> Self {
+        self.sweep = sweep;
+        self
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -79,6 +100,8 @@ impl Default for ExperimentConfig {
             mrc_configurations: 5,
             fig11_areas_per_radius: 1000,
             threads: 0,
+            kernels: Kernels::default(),
+            sweep: SweepKernel::default(),
         }
     }
 }
@@ -99,13 +122,22 @@ mod tests {
 
     #[test]
     fn builders() {
+        use rtr_routing::QueueKernel;
         let c = ExperimentConfig::quick()
             .with_cases(42)
             .with_seed(7)
-            .with_threads(3);
+            .with_threads(3)
+            .with_kernels(Kernels {
+                queue: QueueKernel::Heap,
+            })
+            .with_sweep_kernel(SweepKernel::Scalar);
         assert_eq!(c.cases_per_class, 42);
         assert_eq!(c.seed, 7);
         assert_eq!(c.threads, 3);
+        assert_eq!(c.kernels.queue, QueueKernel::Heap);
+        assert_eq!(c.sweep, SweepKernel::Scalar);
         assert_eq!(ExperimentConfig::default().threads, 0, "auto by default");
+        assert_eq!(ExperimentConfig::default().kernels, Kernels::default());
+        assert_eq!(ExperimentConfig::default().sweep, SweepKernel::default());
     }
 }

@@ -19,8 +19,7 @@ use crate::schemes::{
 };
 use crate::testcase::{generate_workload_shared, ScenarioCases, TestCase, Workload};
 use rtr_baselines::{FcpScratch, Mrc, MrcError};
-use rtr_core::{RecoveryScratch, RtrSession};
-use rtr_routing::DijkstraScratch;
+use rtr_core::SessionPool;
 use rtr_sim::SimTime;
 use rtr_topology::{isp, NodeId};
 use std::collections::BTreeMap;
@@ -69,18 +68,25 @@ fn by_initiator(cases: &[TestCase]) -> BTreeMap<NodeId, Vec<&TestCase>> {
     map
 }
 
-/// Per-worker reusable buffers: one of each scratch type the per-case
-/// hot loop needs, recycled across every scenario the worker processes.
+/// Per-worker reusable buffers: a [`SessionPool`] covering the RTR session,
+/// ground-truth, and MRC shortest-path buffers (all pinned to the config's
+/// kernels), plus the FCP recomputation buffers, recycled across every
+/// scenario the worker processes.
 #[derive(Debug, Default)]
 struct CaseScratch {
-    /// RTR session buffers (incremental SPT + path cache).
-    recovery: RecoveryScratch,
-    /// Ground-truth shortest-path tree per initiator.
-    optimal: DijkstraScratch,
+    /// Pooled RTR session / Dijkstra buffers with one kernel selection.
+    pool: SessionPool,
     /// FCP recomputation buffers.
     fcp: FcpScratch,
-    /// MRC backup-path buffers.
-    mrc: DijkstraScratch,
+}
+
+impl CaseScratch {
+    fn for_config(cfg: &ExperimentConfig) -> Self {
+        CaseScratch {
+            pool: SessionPool::with_kernels(cfg.kernels, cfg.sweep),
+            fcp: FcpScratch::default(),
+        }
+    }
 }
 
 /// Partial results of one scenario: the rows in case order plus the
@@ -113,15 +119,15 @@ fn run_scenario(
     };
 
     // Recoverable cases: one RTR session and one ground-truth SPT per
-    // initiator (phase 1 runs once per initiator, §III-A).
+    // initiator (phase 1 runs once per initiator, §III-A). The pool guards
+    // return every buffer at the end of each initiator's block.
     for (initiator, cases) in by_initiator(&sc.recoverable) {
-        let session = RtrSession::start_in(
+        let session = scratch.pool.start_session(
             w.topo(),
             w.crosslinks(),
             &sc.scenario,
             initiator,
             cases[0].failed_link,
-            &mut scratch.recovery,
         );
         let mut session =
             session.expect("recoverable case: live initiator with a failed incident link");
@@ -130,7 +136,9 @@ fn run_scenario(
                 .for_hops(session.phase1().trace.hops())
                 .as_millis_f64(),
         );
-        let optimal = scratch.optimal.run(w.topo(), &sc.scenario, initiator);
+        let mut optimal_lease = scratch.pool.dijkstra();
+        let mut mrc_lease = scratch.pool.dijkstra();
+        let optimal = optimal_lease.run(w.topo(), &sc.scenario, initiator);
         for case in cases {
             let (row, rtr_series, fcp_series) = eval_recoverable_in(
                 w.topo(),
@@ -140,7 +148,7 @@ fn run_scenario(
                 optimal,
                 case,
                 &mut scratch.fcp,
-                &mut scratch.mrc,
+                &mut mrc_lease,
             );
             for (i, (r, f)) in out
                 .fig10_rtr_sum
@@ -155,18 +163,16 @@ fn run_scenario(
             out.fig10_count += 1;
             out.recoverable.push(row);
         }
-        session.recycle(&mut scratch.recovery);
     }
 
     // Irrecoverable cases.
     for (initiator, cases) in by_initiator(&sc.irrecoverable) {
-        let session = RtrSession::start_in(
+        let session = scratch.pool.start_session(
             w.topo(),
             w.crosslinks(),
             &sc.scenario,
             initiator,
             cases[0].failed_link,
-            &mut scratch.recovery,
         );
         let mut session =
             session.expect("irrecoverable case: live initiator with a failed incident link");
@@ -184,7 +190,6 @@ fn run_scenario(
                 &mut scratch.fcp,
             ));
         }
-        session.recycle(&mut scratch.recovery);
     }
 
     out
@@ -214,7 +219,7 @@ pub fn run_workload(
     // loop allocates nothing transient after warm-up.
     let chunks = par::chunk_ranges(w.scenarios.len(), threads);
     let per_chunk: Vec<Vec<ScenarioOutcome>> = par::map_indexed(threads, &chunks, |_, range| {
-        let mut scratch = CaseScratch::default();
+        let mut scratch = CaseScratch::for_config(cfg);
         w.scenarios[range.clone()]
             .iter()
             .map(|sc| run_scenario(w, cfg, &mrc, sc, &mut scratch))
@@ -484,6 +489,40 @@ mod tests {
             let cfg = cfg.clone().with_threads(threads);
             let parallel = format!("{:?}", run_workload(&w, &cfg));
             assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn kernel_choice_never_changes_results() {
+        // The whole point of the Kernels API: heap vs bucket queue and
+        // scalar vs batched (vs AVX2) crossing masks are pure throughput
+        // knobs. Any combination must serialize the exact same results.
+        use rtr_core::SweepKernel;
+        use rtr_routing::{Kernels, QueueKernel};
+        let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
+        let cfg = ExperimentConfig::quick()
+            .with_cases(30)
+            .with_threads(1)
+            .with_kernels(Kernels {
+                queue: QueueKernel::Heap,
+            })
+            .with_sweep_kernel(SweepKernel::Scalar);
+        let w = generate_workload("t", topo, &cfg, 2);
+        let reference = format!("{:?}", run_workload(&w, &cfg));
+        let combos = [
+            (QueueKernel::Heap, SweepKernel::Batched),
+            (QueueKernel::Bucket, SweepKernel::Scalar),
+            (QueueKernel::Bucket, SweepKernel::Batched),
+            #[cfg(feature = "simd")]
+            (QueueKernel::Bucket, SweepKernel::Simd),
+        ];
+        for (queue, sweep) in combos {
+            let cfg = cfg
+                .clone()
+                .with_kernels(Kernels { queue })
+                .with_sweep_kernel(sweep);
+            let got = format!("{:?}", run_workload(&w, &cfg));
+            assert_eq!(reference, got, "diverged at {queue:?}/{sweep:?}");
         }
     }
 

@@ -7,10 +7,9 @@
 //! deterministically by node id so that every router computes the same
 //! paths, matching the consistent-view assumption of §II-A.
 
+use crate::kernels::{Kernels, MonoQueue, QueueKernel, QueueScratch};
 use crate::path::Path;
 use rtr_topology::{GraphView, LinkId, NodeId, Topology};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// The result of a single-source shortest-path computation.
 #[derive(Debug, Clone)]
@@ -81,20 +80,31 @@ impl ShortestPaths {
 #[derive(Debug, Clone)]
 pub struct DijkstraScratch {
     paths: ShortestPaths,
-    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    queue: QueueScratch,
 }
 
 impl DijkstraScratch {
-    /// An empty scratch; buffers grow on first use.
+    /// An empty scratch with the default [`Kernels`]; buffers grow on
+    /// first use.
     pub fn new() -> Self {
+        Self::with_kernels(Kernels::default())
+    }
+
+    /// An empty scratch running the given kernel configuration.
+    pub fn with_kernels(kernels: Kernels) -> Self {
         DijkstraScratch {
             paths: ShortestPaths {
                 source: NodeId(0),
                 dist: Vec::new(),
                 parent: Vec::new(),
             },
-            heap: BinaryHeap::new(),
+            queue: QueueScratch::with_kernels(kernels),
         }
+    }
+
+    /// The kernel configuration this scratch runs with.
+    pub fn kernels(&self) -> Kernels {
+        self.queue.kernels
     }
 
     /// Runs Dijkstra from `source` over the links usable in `view`, reusing
@@ -116,7 +126,33 @@ impl DijkstraScratch {
             None,
             &mut self.paths.dist,
             &mut self.paths.parent,
-            &mut self.heap,
+            &mut self.queue,
+            None,
+        );
+        &self.paths
+    }
+
+    /// Like [`run`](Self::run), but also appends every settled node to
+    /// `log` in pop order — the observation hook for the heap-vs-bucket
+    /// equivalence proptests. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn run_with_settle_log(
+        &mut self,
+        topo: &Topology,
+        view: &impl GraphView,
+        source: NodeId,
+        log: &mut Vec<NodeId>,
+    ) -> &ShortestPaths {
+        self.paths.source = source;
+        run_raw(
+            topo,
+            view,
+            source,
+            None,
+            &mut self.paths.dist,
+            &mut self.paths.parent,
+            &mut self.queue,
+            Some(log),
         );
         &self.paths
     }
@@ -148,7 +184,8 @@ impl DijkstraScratch {
             Some(target),
             &mut self.paths.dist,
             &mut self.paths.parent,
-            &mut self.heap,
+            &mut self.queue,
+            None,
         );
         &self.paths
     }
@@ -175,6 +212,12 @@ impl Default for DijkstraScratch {
 /// When `target` is set, the loop stops at the target's first non-stale
 /// pop; see [`DijkstraScratch::run_to`] for why that leaves the target's
 /// label and parent chain exactly as a full run would.
+///
+/// The relaxation loop is shared by both queue kernels ([`QueueKernel`]);
+/// the bucket queue reproduces the heap's pop order exactly (see
+/// [`crate::kernels`]), so results are identical bit for bit either way.
+/// `settle_log`, when given, receives every settled node in pop order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_raw(
     topo: &Topology,
     view: &impl GraphView,
@@ -182,25 +225,70 @@ pub(crate) fn run_raw(
     target: Option<NodeId>,
     dist: &mut Vec<Option<u64>>,
     parent: &mut Vec<Option<(NodeId, LinkId)>>,
-    heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    queue: &mut QueueScratch,
+    settle_log: Option<&mut Vec<NodeId>>,
 ) {
     let n = topo.node_count();
     dist.clear();
     dist.resize(n, None);
     parent.clear();
     parent.resize(n, None);
-    heap.clear();
     if !view.is_node_live(source) {
         return;
     }
+    match queue.kernels.queue {
+        QueueKernel::Heap => {
+            queue.heap.clear();
+            relax_loop(
+                topo,
+                view,
+                source,
+                target,
+                dist,
+                parent,
+                &mut queue.heap,
+                settle_log,
+            );
+        }
+        QueueKernel::Bucket => {
+            queue.dial.reset(topo.max_link_cost());
+            relax_loop(
+                topo,
+                view,
+                source,
+                target,
+                dist,
+                parent,
+                &mut queue.dial,
+                settle_log,
+            );
+        }
+    }
+}
+
+/// The relaxation loop, monomorphized per queue kernel.
+#[allow(clippy::too_many_arguments)]
+fn relax_loop<Q: MonoQueue>(
+    topo: &Topology,
+    view: &impl GraphView,
+    source: NodeId,
+    target: Option<NodeId>,
+    dist: &mut [Option<u64>],
+    parent: &mut [Option<(NodeId, LinkId)>],
+    queue: &mut Q,
+    mut settle_log: Option<&mut Vec<NodeId>>,
+) {
     if let Some(d0) = dist.get_mut(source.index()) {
         *d0 = Some(0);
     }
-    heap.push(Reverse((0, source.0)));
-    while let Some(Reverse((d, u))) = heap.pop() {
+    queue.push(0, source.0);
+    while let Some((d, u)) = queue.pop() {
         let u = NodeId(u);
         if dist.get(u.index()).copied().flatten() != Some(d) {
             continue; // stale entry
+        }
+        if let Some(log) = settle_log.as_deref_mut() {
+            log.push(u);
         }
         if target == Some(u) {
             return; // settled: label and parent chain are final
@@ -219,7 +307,7 @@ pub(crate) fn run_raw(
                 if let (Some(dv), Some(pv)) = (dist.get_mut(v.index()), parent.get_mut(v.index())) {
                     *dv = Some(nd);
                     *pv = Some((u, l));
-                    heap.push(Reverse((nd, v.0)));
+                    queue.push(nd, v.0);
                 }
             }
         }

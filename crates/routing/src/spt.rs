@@ -11,6 +11,7 @@
 //! [`IncrementalSpt::nodes_touched`] exposes how much work each update did,
 //! backing the incremental-vs-full ablation bench.
 
+use crate::kernels::{Kernels, QueueScratch};
 use crate::path::Path;
 use rtr_topology::{GraphView, LinkId, NodeId, Topology};
 use std::cmp::Reverse;
@@ -32,6 +33,27 @@ pub struct SptScratch {
     affected: Vec<bool>,
     stack: Vec<NodeId>,
     heap: BinaryHeap<Reverse<(u64, u32)>>,
+    queue: QueueScratch,
+}
+
+impl SptScratch {
+    /// An empty scratch whose full rebuilds ([`IncrementalSpt::reset`] and
+    /// initial construction) run the given kernel configuration. The
+    /// incremental repair of [`IncrementalSpt::remove_links`] always uses
+    /// the binary heap: its frontier seeds span more than the max link
+    /// cost, violating the bucket queue's monotonicity invariant (see
+    /// [`crate::kernels`]).
+    pub fn with_kernels(kernels: Kernels) -> Self {
+        SptScratch {
+            queue: QueueScratch::with_kernels(kernels),
+            ..Self::default()
+        }
+    }
+
+    /// The kernel configuration carried by this scratch.
+    pub fn kernels(&self) -> Kernels {
+        self.queue.kernels
+    }
 }
 
 /// A shortest-path tree that supports removing links incrementally.
@@ -65,6 +87,7 @@ pub struct IncrementalSpt<'a> {
     affected: Vec<bool>,
     stack: Vec<NodeId>,
     heap: BinaryHeap<Reverse<(u64, u32)>>,
+    queue: QueueScratch,
 }
 
 impl<'a> IncrementalSpt<'a> {
@@ -99,6 +122,7 @@ impl<'a> IncrementalSpt<'a> {
             affected: scratch.affected,
             stack: scratch.stack,
             heap: scratch.heap,
+            queue: scratch.queue,
         };
         me.reset(view, source);
         me
@@ -114,7 +138,13 @@ impl<'a> IncrementalSpt<'a> {
             affected: self.affected,
             stack: self.stack,
             heap: self.heap,
+            queue: self.queue,
         }
+    }
+
+    /// The kernel configuration this tree's full rebuilds run with.
+    pub fn kernels(&self) -> Kernels {
+        self.queue.kernels
     }
 
     /// Recomputes the tree from scratch over `view`, rooted at `source`,
@@ -132,7 +162,8 @@ impl<'a> IncrementalSpt<'a> {
             None,
             &mut self.dist,
             &mut self.parent,
-            &mut self.heap,
+            &mut self.queue,
+            None,
         );
         self.removed.clear();
         self.removed.extend(

@@ -6,7 +6,8 @@
 //! those first hops for all routers at once — the pre-failure "default
 //! routing" that RTR falls back on, plus the post-convergence state.
 
-use crate::dijkstra::{dijkstra, ShortestPaths};
+use crate::dijkstra::{DijkstraScratch, ShortestPaths};
+use crate::kernels::Kernels;
 use crate::path::Path;
 use rtr_topology::{GraphView, LinkId, NodeId, Topology};
 
@@ -20,7 +21,18 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// Computes the routing table every router would hold given `view`.
     pub fn compute(topo: &Topology, view: &impl GraphView) -> Self {
-        let trees = topo.node_ids().map(|n| dijkstra(topo, view, n)).collect();
+        Self::compute_with(topo, view, Kernels::default())
+    }
+
+    /// Like [`compute`](Self::compute), with an explicit queue-kernel
+    /// selection for the per-router Dijkstra runs. Kernels affect only
+    /// throughput, never the computed trees.
+    pub fn compute_with(topo: &Topology, view: &impl GraphView, kernels: Kernels) -> Self {
+        let mut scratch = DijkstraScratch::with_kernels(kernels);
+        let trees = topo
+            .node_ids()
+            .map(|n| scratch.run(topo, view, n).clone())
+            .collect();
         RoutingTable { trees }
     }
 

@@ -10,8 +10,37 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtr_routing::dijkstra::dijkstra;
-use rtr_routing::DijkstraScratch;
-use rtr_topology::{generate, FullView, LinkId, LinkMask, NodeId};
+use rtr_routing::{DijkstraScratch, IncrementalSpt, Kernels, QueueKernel, SptScratch};
+use rtr_topology::{generate, FullView, LinkId, LinkMask, NodeId, Point, Topology};
+
+/// A connected random graph with small random per-direction integer costs
+/// in `1..=max_cost` — the cost regime Dial's bucket queue is built for
+/// (and, at `max_cost == 1`, the maximal-tie regime of hop-count routing).
+fn small_cost_graph(n: usize, extra: usize, max_cost: u32, rng: &mut StdRng) -> Topology {
+    let mut b = Topology::builder();
+    for i in 0..n {
+        b.add_node(Point::new(i as f64, (i * 37 % 101) as f64));
+    }
+    let cost = |rng: &mut StdRng| rng.gen_range(1..=max_cost);
+    // Random spanning chain keeps the graph connected.
+    for i in 1..n {
+        let prev = rng.gen_range(0..i) as u32;
+        let (ca, cb) = (cost(rng), cost(rng));
+        b.add_link_asymmetric(NodeId(i as u32), NodeId(prev), ca, cb)
+            .expect("chain link is fresh");
+    }
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a == c || b.has_link(NodeId(a), NodeId(c)) {
+            continue;
+        }
+        let (ca, cb) = (cost(rng), cost(rng));
+        b.add_link_asymmetric(NodeId(a), NodeId(c), ca, cb)
+            .expect("checked fresh");
+    }
+    b.build().expect("finite coordinates, small graph")
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -125,6 +154,70 @@ proptest! {
                     prop_assert_eq!(reused.parent(v), fresh.parent(v));
                 }
             }
+        }
+    }
+
+    /// Tentpole equivalence pin: the Dial bucket queue produces exactly the
+    /// binary heap's result on random small-integer-cost graphs — same
+    /// distances, same parents, and the same settle (pop) order on ties —
+    /// for full runs, early-exit target runs, and `IncrementalSpt` resets,
+    /// under random failure subsets.
+    #[test]
+    fn bucket_queue_matches_heap_exactly(
+        n in 2..28usize,
+        extra in 0..50usize,
+        seed in 0..10_000u64,
+        max_cost in 1..8u32,
+        kill in 0.0..0.6f64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb0c4);
+        let topo = small_cost_graph(n, extra, max_cost, &mut rng);
+        let removed: Vec<LinkId> = topo
+            .link_ids()
+            .filter(|_| rng.gen_range(0.0..1.0) < kill)
+            .collect();
+        let mask = LinkMask::from_links(&topo, removed.iter().copied());
+
+        let mut heap = DijkstraScratch::with_kernels(Kernels { queue: QueueKernel::Heap });
+        let mut bucket = DijkstraScratch::with_kernels(Kernels { queue: QueueKernel::Bucket });
+        prop_assert_eq!(heap.kernels().queue, QueueKernel::Heap);
+        let (mut log_h, mut log_b) = (Vec::new(), Vec::new());
+        let sources = [NodeId(0), NodeId(rng.gen_range(0..n as u32))];
+        for src in sources {
+            log_h.clear();
+            log_b.clear();
+            let h = heap.run_with_settle_log(&topo, &mask, src, &mut log_h).clone();
+            let bk = bucket.run_with_settle_log(&topo, &mask, src, &mut log_b);
+            for v in topo.node_ids() {
+                prop_assert_eq!(h.distance(v), bk.distance(v), "distance at {}", v);
+                prop_assert_eq!(h.parent(v), bk.parent(v), "parent at {}", v);
+            }
+            prop_assert_eq!(&log_h, &log_b, "settle order diverged from {}", src);
+
+            // Early-exit runs settle the same target label either way.
+            for t in topo.node_ids() {
+                let hd = heap.run_to(&topo, &mask, src, t).path_to(t);
+                let bd = bucket.run_to(&topo, &mask, src, t).path_to(t);
+                prop_assert_eq!(hd, bd, "run_to {} -> {}", src, t);
+            }
+        }
+
+        // IncrementalSpt reset (full rebuild through run_raw) agrees too.
+        let spt_h = IncrementalSpt::with_view_in(
+            &topo,
+            &mask,
+            NodeId(0),
+            SptScratch::with_kernels(Kernels { queue: QueueKernel::Heap }),
+        );
+        let spt_b = IncrementalSpt::with_view_in(
+            &topo,
+            &mask,
+            NodeId(0),
+            SptScratch::with_kernels(Kernels { queue: QueueKernel::Bucket }),
+        );
+        for v in topo.node_ids() {
+            prop_assert_eq!(spt_h.distance(v), spt_b.distance(v));
+            prop_assert_eq!(spt_h.parent(v), spt_b.parent(v));
         }
     }
 }

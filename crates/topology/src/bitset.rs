@@ -115,7 +115,15 @@ impl LinkBitSet {
     /// crossing-mask matrix).
     #[inline]
     pub fn intersects_words(&self, words: &[u64]) -> bool {
-        self.words.iter().zip(words).any(|(a, b)| a & b != 0)
+        crate::kernels::intersect_any_scalar(&self.words, words)
+    }
+
+    /// Like [`intersects_words`](Self::intersects_words), but through an
+    /// explicit [`MaskKernel`](crate::MaskKernel) — the sweep hot path's
+    /// entry point for the batched/AVX2 lanes.
+    #[inline]
+    pub fn intersects_words_with(&self, kernel: crate::MaskKernel, words: &[u64]) -> bool {
+        crate::kernels::intersect_any(kernel, &self.words, words)
     }
 
     /// Adds every member of `other` (word-parallel OR).

@@ -182,6 +182,9 @@ pub struct Topology {
     adj_offsets: Vec<u32>,
     /// Flat `(neighbor, link)` entries backing [`Topology::neighbors`].
     adj_entries: Vec<(NodeId, LinkId)>,
+    /// Largest per-direction link cost, fixed at build time. Bounds the
+    /// key span of any Dijkstra frontier (see [`Topology::max_link_cost`]).
+    max_link_cost: u32,
 }
 
 impl Topology {
@@ -275,6 +278,17 @@ impl Topology {
     /// Panics if `from` is not an endpoint of `l`.
     pub fn cost_from(&self, l: LinkId, from: NodeId) -> u32 {
         self.link(l).cost_from(from)
+    }
+
+    /// The largest per-direction link cost in the topology, or 0 when it
+    /// has no links. Computed once at build time.
+    ///
+    /// Because all costs are positive and bounded by this value, every key
+    /// pushed by a Dijkstra run lies within `max_link_cost` of the key
+    /// being settled — the monotonicity bound that sizes the Dial bucket
+    /// queue in `rtr-routing`.
+    pub fn max_link_cost(&self) -> u32 {
+        self.max_link_cost
     }
 
     /// Euclidean length of link `l`'s embedding.
@@ -442,11 +456,18 @@ impl TopologyBuilder {
             adj_entries.extend_from_slice(list);
             adj_offsets.push(adj_entries.len() as u32);
         }
+        let max_link_cost = self
+            .links
+            .iter()
+            .map(|l| l.cost_ab.max(l.cost_ba))
+            .max()
+            .unwrap_or(0);
         Ok(Topology {
             positions: self.positions,
             links: self.links,
             adj_offsets,
             adj_entries,
+            max_link_cost,
         })
     }
 }
@@ -550,6 +571,19 @@ mod tests {
         let topo = b.build().unwrap();
         assert_eq!(topo.cost_from(l, v0), 3);
         assert_eq!(topo.cost_from(l, v1), 7);
+    }
+
+    #[test]
+    fn max_link_cost_tracks_both_directions() {
+        assert_eq!(triangle().max_link_cost(), 1);
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        let v2 = b.add_node(Point::new(2.0, 0.0));
+        b.add_link(v0, v1, 3).unwrap();
+        b.add_link_asymmetric(v1, v2, 2, 9).unwrap();
+        assert_eq!(b.build().unwrap().max_link_cost(), 9);
+        assert_eq!(Topology::builder().build().unwrap().max_link_cost(), 0);
     }
 
     #[test]

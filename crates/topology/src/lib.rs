@@ -38,7 +38,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden everywhere except the AVX2 intrinsics confined to
+// `kernels.rs`, which opt in locally when the `simd` feature is enabled.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 
 pub mod bitset;
 pub mod crosslinks;
@@ -47,6 +50,7 @@ pub mod generate;
 pub mod geometry;
 pub mod graph;
 pub mod isp;
+pub mod kernels;
 pub mod pa;
 
 pub use bitset::LinkBitSet;
@@ -57,3 +61,4 @@ pub use failure::{
 pub use generate::GenerateError;
 pub use geometry::{Circle, Point, Polygon, Segment};
 pub use graph::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError};
+pub use kernels::MaskKernel;

@@ -3,7 +3,17 @@
 //! identical to the linear scans it replaced.
 
 use proptest::prelude::*;
-use rtr_topology::{LinkBitSet, LinkId};
+use rtr_topology::{LinkBitSet, LinkId, MaskKernel};
+
+/// Every mask kernel compiled into this build.
+fn all_kernels() -> Vec<MaskKernel> {
+    vec![
+        MaskKernel::Scalar,
+        MaskKernel::Batched,
+        #[cfg(feature = "simd")]
+        MaskKernel::Simd,
+    ]
+}
 
 /// The reference model: sorted, deduplicated ids (LinkBitSet iterates
 /// ascending by construction).
@@ -53,6 +63,45 @@ proptest! {
         prop_assert_eq!(sa.intersects(&sb), expect);
         prop_assert_eq!(sb.intersects(&sa), expect);
         prop_assert_eq!(sa.intersects_words(sb.words()), expect);
+    }
+
+    /// Batched (and, when compiled in, AVX2) mask kernels agree with the
+    /// scalar baseline on raw word slices whose lengths straddle the 4-word
+    /// lane boundary: 0, 1, 3, 4, 5 words and beyond, independently per
+    /// side so mismatched lengths are exercised too.
+    #[test]
+    fn mask_kernels_match_scalar_on_lane_boundaries(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..10),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..10),
+        sparse_bit in 0usize..320,
+    ) {
+        let expect = a.iter().zip(&b).any(|(x, y)| x & y != 0);
+        let sa: LinkBitSet = a
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| {
+                (0..64).filter(move |i| word >> i & 1 == 1).map(move |i| LinkId((w * 64 + i) as u32))
+            })
+            .collect();
+        for k in all_kernels() {
+            prop_assert_eq!(
+                rtr_topology::kernels::intersect_any(k, &a, &b),
+                expect,
+                "{:?} on {} x {} words", k, a.len(), b.len()
+            );
+            prop_assert_eq!(sa.intersects_words_with(k, &b), expect, "{:?} via LinkBitSet", k);
+        }
+
+        // Random dense words rarely miss; pin the all-zero-but-one case so
+        // the "no intersection until the very last lane" path is covered.
+        let mut lone = vec![0u64; sparse_bit / 64 + 1];
+        if let Some(w) = lone.get_mut(sparse_bit / 64) {
+            *w = 1 << (sparse_bit % 64);
+        }
+        for k in all_kernels() {
+            prop_assert!(rtr_topology::kernels::intersect_any(k, &lone, &lone));
+            prop_assert!(!rtr_topology::kernels::intersect_any(k, &lone, &[]));
+        }
     }
 
     /// Union equals the merged reference; pre-sized and grown sets with

@@ -22,7 +22,11 @@
 //! 4. **Thread discipline** — `thread::spawn` / `thread::scope` appear only
 //!    in the fork-join executor (`crates/eval/src/par.rs`), the one place
 //!    threads are born, so the driver's determinism argument stays local.
-//! 5. **Link-set membership** — non-test code of `rtr-core` must test
+//! 5. **SIMD discipline** — `std::arch` / `core::arch` intrinsics appear
+//!    only in the crossing-mask kernel module
+//!    (`crates/topology/src/kernels.rs`), the one place `unsafe` vector
+//!    code is wrapped behind the safe `MaskKernel` dispatch.
+//! 6. **Link-set membership** — non-test code of `rtr-core` must test
 //!    link-set membership through the word-parallel bitset API
 //!    (`LinkIdSet::contains` / `LinkBitSet` / crossing masks): linear
 //!    `.iter().any(` chains and reference-taking `.contains(&` scans are
@@ -32,8 +36,9 @@
 //! workspace root via the `bench_eval` binary of `rtr-bench`.
 //! `cargo xtask bench-check` validates the committed `BENCH_eval.json`
 //! (parses, every topology row carries `serial_secs` and `sweep_secs`)
-//! and fails if a fresh quick-workload serial run regresses more than 2×
-//! against it.
+//! and fails if a fresh quick-workload run regresses more than 2× against
+//! it — on the serial total, or on any single topology's phase-1 sweep
+//! time (`sweep_secs`, with a 1 ms absolute floor for timer noise).
 //!
 //! The analysis is a source-level lexer (comments, strings and `#[cfg(test)]`
 //! regions are blanked out before pattern checks), not a full parser: it is
@@ -90,12 +95,13 @@ fn main() -> ExitCode {
                 "usage: cargo xtask <analyze|bench-record|bench-check>\n  (got {:?})\n\n\
                  analyze       Runs the workspace static-analysis pass: panic-freedom\n\
                  \x20             in the hot-path crates, paper-invariant lints, theorem\n\
-                 \x20             coverage, thread discipline, link-set membership.\n\
+                 \x20             coverage, thread/SIMD discipline, link-set membership.\n\
                  bench-record  Regenerates BENCH_eval.json at the workspace root\n\
-                 \x20             (driver wall times serial vs parallel).\n\
+                 \x20             (driver wall times serial vs parallel, per kernel).\n\
                  bench-check   Validates the committed BENCH_eval.json (parses, rows\n\
                  \x20             carry serial_secs/sweep_secs) and fails if a fresh\n\
-                 \x20             serial run regresses >2x against it.",
+                 \x20             run regresses >2x on the serial total or on any\n\
+                 \x20             topology's sweep_secs.",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
@@ -104,12 +110,23 @@ fn main() -> ExitCode {
 }
 
 /// Runs the `bench_eval` recorder and leaves `BENCH_eval.json` at the
-/// workspace root.
+/// workspace root. Records with `--features simd` so the committed
+/// artifact carries the full kernel matrix (`sweep_secs_simd` included;
+/// the kernel falls back to the batched path on non-AVX2 recorders).
 fn run_bench_record() -> Result<(), String> {
     let root = workspace_root()?;
     let out = root.join("BENCH_eval.json");
     let status = std::process::Command::new("cargo")
-        .args(["run", "--release", "-p", "rtr-bench", "--bin", "bench_eval"])
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "rtr-bench",
+            "--features",
+            "simd",
+            "--bin",
+            "bench_eval",
+        ])
         .arg("--")
         .arg(&out)
         .current_dir(&root)
@@ -127,6 +144,7 @@ fn run_bench_record() -> Result<(), String> {
 struct BenchRow {
     name: String,
     serial_secs: f64,
+    sweep_secs: f64,
 }
 
 /// Reads `path` and extracts the per-topology rows, failing if the file
@@ -159,7 +177,8 @@ fn parse_bench_rows(path: &Path) -> Result<Vec<BenchRow>, String> {
                     path.display()
                 )
             })?;
-        row.get("sweep_secs")
+        let sweep_secs = row
+            .get("sweep_secs")
             .and_then(JsonValue::as_f64)
             .ok_or_else(|| {
                 format!(
@@ -167,7 +186,11 @@ fn parse_bench_rows(path: &Path) -> Result<Vec<BenchRow>, String> {
                     path.display()
                 )
             })?;
-        rows.push(BenchRow { name, serial_secs });
+        rows.push(BenchRow {
+            name,
+            serial_secs,
+            sweep_secs,
+        });
     }
     Ok(rows)
 }
@@ -175,8 +198,11 @@ fn parse_bench_rows(path: &Path) -> Result<Vec<BenchRow>, String> {
 /// Validates the committed `BENCH_eval.json` and guards against gross
 /// performance regressions: records a fresh file under `target/`, then
 /// fails if the fresh quick-workload serial total exceeds 2× the
-/// committed total (a coarse gate that survives CI-machine noise while
-/// catching algorithmic regressions).
+/// committed total, or if any single topology's phase-1 sweep time
+/// exceeds 2× its committed `sweep_secs` plus 1 ms of absolute slack
+/// (the per-topology sweep is sub-millisecond on small graphs, so the
+/// floor keeps timer noise from tripping the ratio). Coarse gates that
+/// survive CI-machine noise while catching algorithmic regressions.
 fn run_bench_check() -> Result<(), String> {
     let root = workspace_root()?;
     let committed = parse_bench_rows(&root.join("BENCH_eval.json"))?;
@@ -198,10 +224,18 @@ fn run_bench_check() -> Result<(), String> {
     let fresh = parse_bench_rows(&fresh_path)?;
 
     for c in &committed {
-        if !fresh.iter().any(|f| f.name == c.name) {
+        let Some(f) = fresh.iter().find(|f| f.name == c.name) else {
             return Err(format!(
                 "fresh run is missing committed topology `{}`",
                 c.name
+            ));
+        };
+        if f.sweep_secs > 2.0 * c.sweep_secs + 0.001 {
+            return Err(format!(
+                "phase-1 sweep regression on `{}`: fresh sweep_secs {:.6}s > \
+                 2x committed {:.6}s + 1ms — investigate before re-recording \
+                 with `cargo xtask bench-record`",
+                c.name, f.sweep_secs, c.sweep_secs
             ));
         }
     }
@@ -216,7 +250,8 @@ fn run_bench_check() -> Result<(), String> {
     }
     println!(
         "cargo xtask bench-check: OK — {} topologies, fresh serial total \
-         {fresh_total:.4}s vs committed {committed_total:.4}s (gate: 2x)",
+         {fresh_total:.4}s vs committed {committed_total:.4}s (gates: 2x \
+         total, 2x+1ms per-topology sweep)",
         committed.len()
     );
     Ok(())
@@ -480,6 +515,7 @@ fn run_analyze() -> Result<bool, String> {
         check_header_discipline(&file, &mut violations);
         check_float_eq(&file, &mut violations);
         check_thread_discipline(&file, &mut violations);
+        check_simd_discipline(&file, &mut violations);
         check_linkset_membership(&file, &mut violations);
     }
     check_theorem_coverage(&root, &mut violations)?;
@@ -1131,6 +1167,34 @@ fn check_thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// The one file allowed to name CPU intrinsics: the crossing-mask kernel
+/// module, whose safe `MaskKernel` dispatch wraps the AVX2 path.
+const SIMD_KERNEL_MODULE: &str = "crates/topology/src/kernels.rs";
+
+/// SIMD discipline: `std::arch` / `core::arch` tokens only inside the
+/// kernel module. Every intrinsic (and the `unsafe` it drags along) stays
+/// behind one safe, feature-detected dispatch point, so the rest of the
+/// workspace remains portable stable Rust.
+fn check_simd_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel == SIMD_KERNEL_MODULE {
+        return;
+    }
+    let m = &file.masked;
+    for needle in [&b"std::arch"[..], &b"core::arch"[..]] {
+        let mut from = 0;
+        while let Some(pos) = find_from(m, needle, from) {
+            from = pos + needle.len();
+            let line = line_of(m, pos);
+            out.push(Violation {
+                file: file.rel.clone(),
+                line,
+                rule: "simd-discipline",
+                excerpt: excerpt(file, line),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Rule family 5: link-set membership (bitset discipline)
 // ---------------------------------------------------------------------------
@@ -1434,6 +1498,29 @@ mod tests {
         let mut out = Vec::new();
         check_thread_discipline(&file("crates/eval/src/par.rs", src), &mut out);
         assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn simd_discipline_flags_intrinsics_outside_the_kernel_module() {
+        let src = "fn f() {\n  use std::arch::x86_64::_mm256_and_si256;\n  \
+                   let _ = core::arch::x86_64::_mm_and_si128;\n}\n";
+        let mut out = Vec::new();
+        check_simd_discipline(&file("crates/core/src/x.rs", src), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.rule == "simd-discipline"));
+    }
+
+    #[test]
+    fn simd_discipline_exempts_the_kernel_module_and_comments() {
+        let src = "fn f() { let _ = std::arch::is_x86_feature_detected!(\"avx2\"); }";
+        let mut out = Vec::new();
+        check_simd_discipline(&file("crates/topology/src/kernels.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+
+        // Doc comments naming `std::arch` are masked before matching.
+        let doc = "//! Kernels use `std::arch` elsewhere.\nfn f() {}\n";
+        check_simd_discipline(&file("crates/core/src/x.rs", doc), &mut out);
+        assert!(out.is_empty(), "comment text flagged: {out:?}");
     }
 
     #[test]
