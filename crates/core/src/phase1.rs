@@ -18,6 +18,7 @@
 
 use crate::error::Phase1Error;
 use crate::sweep::{select_next_hop, SweepContext, SweepKernel};
+use rtr_obs::{Event, NoopSink, TraceSink};
 use rtr_sim::{CollectionHeader, ForwardingTrace};
 use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
 
@@ -98,6 +99,38 @@ pub fn collect_failure_info_with(
     failed_default_link: LinkId,
     sweep: SweepKernel,
 ) -> Result<Phase1Result, Phase1Error> {
+    collect_failure_info_traced(
+        topo,
+        crosslinks,
+        view,
+        initiator,
+        failed_default_link,
+        sweep,
+        &mut NoopSink,
+    )
+}
+
+/// [`collect_failure_info_with`] with an observability [`TraceSink`].
+///
+/// Emits [`Event::SweepHop`] once per recorded hop (so the event count
+/// equals [`ForwardingTrace::hops`]), [`Event::CrossLinkExcluded`] /
+/// [`Event::FailedLinkAppended`] once per link *newly* recorded in the
+/// header (duplicates are silent, so event count × `LINK_ID_BYTES` is
+/// exactly the header overhead). With [`NoopSink`] this monomorphizes to
+/// the untraced walk.
+///
+/// # Errors
+///
+/// Exactly those of [`collect_failure_info`].
+pub fn collect_failure_info_traced<S: TraceSink>(
+    topo: &Topology,
+    crosslinks: &CrossLinkTable,
+    view: &impl GraphView,
+    initiator: NodeId,
+    failed_default_link: LinkId,
+    sweep: SweepKernel,
+    sink: &mut S,
+) -> Result<Phase1Result, Phase1Error> {
     if !topo.link(failed_default_link).is_incident_to(initiator) {
         return Err(Phase1Error::LinkNotIncident {
             initiator,
@@ -115,8 +148,11 @@ pub fn collect_failure_info_with(
     // §III-C step 1: seed cross_link with the initiator's links to
     // unreachable neighbors that cross other links (Constraint 1).
     for &(_, l) in topo.neighbors(initiator) {
-        if !view.is_link_usable(topo, l) && !crosslinks.is_cross_free(l) {
-            header.record_cross_link(l);
+        if !view.is_link_usable(topo, l)
+            && !crosslinks.is_cross_free(l)
+            && header.record_cross_link(l)
+        {
+            sink.emit(Event::CrossLinkExcluded { link: l });
         }
     }
 
@@ -135,7 +171,7 @@ pub fn collect_failure_info_with(
     ) else {
         return Err(Phase1Error::NoLiveNeighbor { initiator });
     };
-    record_selection_crossing(crosslinks, &mut header, first_hop.1, sweep);
+    record_selection_crossing(crosslinks, &mut header, first_hop.1, sweep, sink);
 
     // Defensive bound: Theorem 1 shows each link is traversed at most a
     // constant number of times; 4·m + 8 is far beyond any legal walk.
@@ -143,6 +179,10 @@ pub fn collect_failure_info_with(
 
     let (mut prev, mut cur) = (initiator, first_hop.0);
     trace.record_hop(cur, header.overhead_bytes());
+    sink.emit(Event::SweepHop {
+        node: cur,
+        header_bytes: header.overhead_bytes(),
+    });
 
     for _ in 0..max_steps {
         if cur == initiator {
@@ -167,18 +207,25 @@ pub fn collect_failure_info_with(
                     first_hop,
                 });
             }
-            record_selection_crossing(crosslinks, &mut header, next.1, sweep);
+            record_selection_crossing(crosslinks, &mut header, next.1, sweep, sink);
             prev = cur;
             cur = next.0;
             trace.record_hop(cur, header.overhead_bytes());
+            sink.emit(Event::SweepHop {
+                node: cur,
+                header_bytes: header.overhead_bytes(),
+            });
             continue;
         }
 
         // §III-C step 2: record this node's failed incident links, except
         // links incident to the initiator (it already knows those).
         for &(_, l) in topo.neighbors(cur) {
-            if !view.is_link_usable(topo, l) && !topo.link(l).is_incident_to(initiator) {
-                header.record_failed_link(l);
+            if !view.is_link_usable(topo, l)
+                && !topo.link(l).is_incident_to(initiator)
+                && header.record_failed_link(l)
+            {
+                sink.emit(Event::FailedLinkAppended { link: l });
             }
         }
 
@@ -191,10 +238,14 @@ pub fn collect_failure_info_with(
         ) else {
             return Err(Phase1Error::WalkStuck { at: cur });
         };
-        record_selection_crossing(crosslinks, &mut header, next.1, sweep);
+        record_selection_crossing(crosslinks, &mut header, next.1, sweep, sink);
         prev = cur;
         cur = next.0;
         trace.record_hop(cur, header.overhead_bytes());
+        sink.emit(Event::SweepHop {
+            node: cur,
+            header_bytes: header.overhead_bytes(),
+        });
     }
 
     Ok(Phase1Result {
@@ -208,11 +259,12 @@ pub fn collect_failure_info_with(
 /// Constraint 2 bookkeeping: after selecting `link`, if some link crossing
 /// it is not yet excluded by the header (and could therefore be selected
 /// later, crossing the forwarding path), record `link` in `cross_link`.
-fn record_selection_crossing(
+fn record_selection_crossing<S: TraceSink>(
     crosslinks: &CrossLinkTable,
     header: &mut CollectionHeader,
     link: LinkId,
     sweep: SweepKernel,
+    sink: &mut S,
 ) {
     if header.cross_links().contains(link) {
         return;
@@ -222,8 +274,8 @@ fn record_selection_crossing(
         .crossings_of(link)
         .iter()
         .any(|&other| !ctx.is_excluded(other));
-    if threatened {
-        header.record_cross_link(link);
+    if threatened && header.record_cross_link(link) {
+        sink.emit(Event::CrossLinkExcluded { link });
     }
 }
 
@@ -345,6 +397,48 @@ mod tests {
             "header only grows in phase 1"
         );
         assert_eq!(*bytes.last().unwrap(), r.header.overhead_bytes());
+    }
+
+    #[test]
+    fn traced_walk_events_match_trace_and_header() {
+        let topo = wheel6();
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(0)], []);
+        let spoke = topo.link_between(NodeId(1), NodeId(0)).unwrap();
+        let mut sink = rtr_obs::CollectingSink::new();
+        let r = collect_failure_info_traced(
+            &topo,
+            &xl,
+            &s,
+            NodeId(1),
+            spoke,
+            SweepKernel::default(),
+            &mut sink,
+        )
+        .unwrap();
+        // One SweepHop per recorded hop.
+        let hops = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::SweepHop { .. }))
+            .count();
+        assert_eq!(hops, r.trace.hops());
+        // Recording events are bijective with header bytes.
+        let recorded = sink
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::FailedLinkAppended { .. } | Event::CrossLinkExcluded { .. }
+                )
+            })
+            .count();
+        assert_eq!(recorded * rtr_sim::LINK_ID_BYTES, r.header.overhead_bytes());
+        // The traced walk equals the untraced one.
+        let u = collect_failure_info(&topo, &xl, &s, NodeId(1), spoke).unwrap();
+        assert_eq!(u.header.overhead_bytes(), r.header.overhead_bytes());
+        assert_eq!(u.trace.hops(), r.trace.hops());
     }
 
     /// Fig. 4's failure mode: a chord that crosses the initiator's failed

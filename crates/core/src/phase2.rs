@@ -10,6 +10,7 @@
 //! calculation — the paper's Table III/IV "RTR = 1" column.
 
 use crate::sweep::SweepKernel;
+use rtr_obs::{DiscardReason, Event, NoopSink, TraceSink};
 use rtr_routing::{IncrementalSpt, Kernels, Path, SourceRoute, SptScratch, BYTES_PER_HOP};
 use rtr_sim::{CollectionHeader, ForwardingTrace, LinkIdSet};
 use rtr_topology::{FullView, GraphView, LinkId, NodeId, Topology};
@@ -93,6 +94,21 @@ impl<'a> RecoveryComputer<'a> {
         header: &CollectionHeader,
         scratch: &mut RecoveryScratch,
     ) -> Self {
+        Self::new_traced_in(topo, local_view, initiator, header, scratch, &mut NoopSink)
+    }
+
+    /// [`new_in`](Self::new_in) with an observability [`TraceSink`]: emits
+    /// one [`Event::SptRecompute`] for the shortest-path calculation the
+    /// construction performs. With [`NoopSink`] this monomorphizes to
+    /// `new_in`.
+    pub fn new_traced_in<S: TraceSink>(
+        topo: &'a Topology,
+        local_view: &impl GraphView,
+        initiator: NodeId,
+        header: &CollectionHeader,
+        scratch: &mut RecoveryScratch,
+        sink: &mut S,
+    ) -> Self {
         let mut removed = LinkIdSet::new();
         for l in header.failed_links() {
             removed.insert(l);
@@ -108,7 +124,7 @@ impl<'a> RecoveryComputer<'a> {
             initiator,
             std::mem::take(&mut scratch.spt),
         );
-        spt.remove_links(removed.iter());
+        spt.remove_links_traced(removed.iter(), sink);
         let mut cache = std::mem::take(&mut scratch.cache);
         cache.clear();
         cache.resize(topo.node_count(), None);
@@ -194,13 +210,38 @@ pub fn source_route_walk(
     initiator: NodeId,
     path: Option<&Path>,
 ) -> (DeliveryOutcome, ForwardingTrace) {
+    source_route_walk_traced(topo, view, initiator, path, &mut NoopSink)
+}
+
+/// [`source_route_walk`] with an observability [`TraceSink`]: emits
+/// [`Event::SourceRouteInstalled`] when a believed path exists, and
+/// [`Event::PacketDiscarded`] when the packet fails to reach `dest`
+/// (immediately at the initiator for [`DeliveryOutcome::NoPath`], at the
+/// node before the dead link for [`DeliveryOutcome::HitFailure`]). With
+/// [`NoopSink`] this monomorphizes to `source_route_walk`.
+pub fn source_route_walk_traced<S: TraceSink>(
+    topo: &Topology,
+    view: &impl GraphView,
+    initiator: NodeId,
+    path: Option<&Path>,
+    sink: &mut S,
+) -> (DeliveryOutcome, ForwardingTrace) {
     let Some(path) = path else {
+        sink.emit(Event::PacketDiscarded {
+            at: initiator,
+            reason: DiscardReason::NoPath,
+        });
         return (
             DeliveryOutcome::NoPath,
             ForwardingTrace::start(initiator, 0),
         );
     };
     debug_assert_eq!(path.source(), initiator);
+    sink.emit(Event::SourceRouteInstalled {
+        dest: path.dest(),
+        cost: path.cost(),
+        hops: path.hops(),
+    });
     // Header bytes equal the serialized source route (2 per remaining hop,
     // consumed hops stripped); tracked as a counter so the walk itself
     // performs no allocation beyond the trace.
@@ -209,6 +250,10 @@ pub fn source_route_walk(
     let mut cur = initiator;
     for (&l, &next) in path.links().iter().zip(path.nodes().iter().skip(1)) {
         if !view.is_link_usable(topo, l) {
+            sink.emit(Event::PacketDiscarded {
+                at: cur,
+                reason: DiscardReason::HitFailure { link: l },
+            });
             return (DeliveryOutcome::HitFailure { at_link: l }, trace);
         }
         remaining = remaining.saturating_sub(1);

@@ -25,6 +25,24 @@ use std::ops::{Deref, DerefMut};
 
 /// A per-worker pool of recovery-session, Dijkstra, and SPT buffers, all
 /// preconfigured with one kernel selection.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_core::SessionPool;
+/// use rtr_topology::{generate, CrossLinkTable, FailureScenario, NodeId, Region};
+///
+/// let topo = generate::grid(5, 5, 100.0);
+/// let crosslinks = CrossLinkTable::new(&topo);
+/// let scenario = FailureScenario::from_region(&topo, &Region::circle((200.0, 200.0), 50.0));
+/// let failed = topo.link_between(NodeId(11), NodeId(12)).unwrap();
+///
+/// let pool = SessionPool::new();
+/// let mut session = pool.start_session(&topo, &crosslinks, &scenario, NodeId(11), failed)?;
+/// assert!(session.recover(NodeId(13)).is_delivered());
+/// drop(session); // buffers return to the pool for the next checkout
+/// # Ok::<(), rtr_core::Phase1Error>(())
+/// ```
 #[derive(Debug, Default)]
 pub struct SessionPool {
     kernels: Kernels,

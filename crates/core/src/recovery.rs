@@ -4,8 +4,9 @@
 //! at a recovery initiator and can benefit all destinations").
 
 use crate::error::Phase1Error;
-use crate::phase1::{collect_failure_info, collect_failure_info_with, Phase1Result};
-use crate::phase2::{source_route_walk, DeliveryOutcome, RecoveryComputer, RecoveryScratch};
+use crate::phase1::{collect_failure_info, collect_failure_info_traced, Phase1Result};
+use crate::phase2::{source_route_walk_traced, DeliveryOutcome, RecoveryComputer, RecoveryScratch};
+use rtr_obs::{NoopSink, TraceSink};
 use rtr_routing::Path;
 use rtr_sim::ForwardingTrace;
 use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
@@ -86,15 +87,45 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
         failed_default_link: LinkId,
         scratch: &mut RecoveryScratch,
     ) -> Result<Self, Phase1Error> {
-        let phase1 = collect_failure_info_with(
+        Self::start_traced_in(
+            topo,
+            crosslinks,
+            view,
+            initiator,
+            failed_default_link,
+            scratch,
+            &mut NoopSink,
+        )
+    }
+
+    /// [`start_in`](Self::start_in) with an observability
+    /// [`TraceSink`] receiving the phase-1 sweep events and the phase-2
+    /// [`SptRecompute`](rtr_obs::Event::SptRecompute). With [`NoopSink`]
+    /// this monomorphizes to `start_in`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RtrSession::start`].
+    pub fn start_traced_in<S: TraceSink>(
+        topo: &'a Topology,
+        crosslinks: &CrossLinkTable,
+        view: &'a V,
+        initiator: NodeId,
+        failed_default_link: LinkId,
+        scratch: &mut RecoveryScratch,
+        sink: &mut S,
+    ) -> Result<Self, Phase1Error> {
+        let phase1 = collect_failure_info_traced(
             topo,
             crosslinks,
             view,
             initiator,
             failed_default_link,
             scratch.sweep_kernel(),
+            sink,
         )?;
-        let computer = RecoveryComputer::new_in(topo, view, initiator, &phase1.header, scratch);
+        let computer =
+            RecoveryComputer::new_traced_in(topo, view, initiator, &phase1.header, scratch, sink);
         Ok(RtrSession {
             topo,
             view,
@@ -133,9 +164,18 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
     /// shortest path and source-routes one packet along it over the ground
     /// truth.
     pub fn recover(&mut self, dest: NodeId) -> RecoveryAttempt {
+        self.recover_traced(dest, &mut NoopSink)
+    }
+
+    /// [`recover`](Self::recover) with an observability [`TraceSink`]
+    /// receiving the packet's
+    /// [`SourceRouteInstalled`](rtr_obs::Event::SourceRouteInstalled) /
+    /// [`PacketDiscarded`](rtr_obs::Event::PacketDiscarded) events. With
+    /// [`NoopSink`] this monomorphizes to `recover`.
+    pub fn recover_traced<S: TraceSink>(&mut self, dest: NodeId, sink: &mut S) -> RecoveryAttempt {
         let path = self.computer.recovery_path(dest);
         let (outcome, trace) =
-            source_route_walk(self.topo, self.view, self.initiator(), path.as_ref());
+            source_route_walk_traced(self.topo, self.view, self.initiator(), path.as_ref(), sink);
         RecoveryAttempt {
             outcome,
             path,

@@ -9,10 +9,17 @@
 //! --seed S         base RNG seed
 //! --topos A,B,...  comma-separated topology names (default: all eight)
 //! --json PATH      also write the report as JSON
+//! --trace PATH     replay every scenario with a live trace sink and
+//!                  write one JSONL metrics line per scenario
 //! --threads N      driver worker threads (0 = auto via RTR_THREADS or
 //!                  available parallelism, 1 = serial; results are
 //!                  byte-identical at every setting)
 //! ```
+//!
+//! All output is routed through [`crate::writer`]: the report goes to
+//! stdout in one locked write, JSON/JSONL artifacts go to files, and
+//! status notices go to stderr — so `--trace` and report output can
+//! never interleave.
 
 use crate::config::ExperimentConfig;
 use crate::json::ToJson;
@@ -26,6 +33,8 @@ pub struct Options {
     pub topologies: Vec<String>,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional JSONL trace output path (see [`crate::trace`]).
+    pub trace: Option<String>,
 }
 
 impl Options {
@@ -74,6 +83,9 @@ impl Options {
                 "--json" => {
                     opts.json = Some(it.next().ok_or("--json requires a path")?);
                 }
+                "--trace" => {
+                    opts.trace = Some(it.next().ok_or("--trace requires a path")?);
+                }
                 "--threads" => {
                     let v = it.next().ok_or("--threads requires a value")?;
                     let n: usize = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
@@ -95,14 +107,21 @@ impl Options {
         Self::parse(std::env::args().skip(1))
     }
 
-    /// Writes `report` as pretty JSON when `--json` was given, and always
-    /// prints the text rendering to stdout.
+    /// Emits everything a binary owes for one run, all through
+    /// [`crate::writer`]: the text report to stdout, the pretty JSON to
+    /// the `--json` path, and the per-scenario JSONL metrics replay to
+    /// the `--trace` path.
     pub fn emit<R: ToJson + std::fmt::Display>(&self, report: &R) {
-        println!("{report}");
+        crate::writer::print_report(report);
         if let Some(path) = &self.json {
             let json = crate::json::to_string_pretty(report);
-            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-            eprintln!("[rtr-eval] wrote {path}");
+            crate::writer::write_file(path, &json).unwrap_or_else(|e| panic!("{e}"));
+            crate::writer::notice(format!("wrote {path}"));
+        }
+        if let Some(path) = &self.trace {
+            crate::trace::write_trace(&self.topologies, &self.config, path)
+                .unwrap_or_else(|e| panic!("{e}"));
+            crate::writer::notice(format!("wrote {path}"));
         }
     }
 }
@@ -110,7 +129,7 @@ impl Options {
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "\
 usage: <experiment> [--cases N] [--paper|--quick] [--seed S] [--topos AS209,AS701,...] \
-[--json PATH] [--threads N]";
+[--json PATH] [--trace PATH] [--threads N]";
 
 #[cfg(test)]
 mod tests {
@@ -139,6 +158,8 @@ mod tests {
             "AS209,AS701",
             "--json",
             "/tmp/x.json",
+            "--trace",
+            "/tmp/x.jsonl",
             "--threads",
             "4",
         ])
@@ -147,6 +168,7 @@ mod tests {
         assert_eq!(o.config.seed, 7);
         assert_eq!(o.topologies, vec!["AS209", "AS701"]);
         assert_eq!(o.json.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(o.trace.as_deref(), Some("/tmp/x.jsonl"));
         assert_eq!(o.config.threads, 4);
     }
 
@@ -175,6 +197,7 @@ mod tests {
     #[test]
     fn errors_on_bad_input() {
         assert!(parse(&["--cases"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--cases", "xyz"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--help"]).is_err());

@@ -60,7 +60,8 @@ impl TopologyResults {
 }
 
 /// Groups a scenario's cases by initiator, preserving deterministic order.
-fn by_initiator(cases: &[TestCase]) -> BTreeMap<NodeId, Vec<&TestCase>> {
+/// Shared with the `--trace` replay so both walk sessions identically.
+pub(crate) fn by_initiator(cases: &[TestCase]) -> BTreeMap<NodeId, Vec<&TestCase>> {
     let mut map: BTreeMap<NodeId, Vec<&TestCase>> = BTreeMap::new();
     for c in cases {
         map.entry(c.initiator).or_default().push(c);
@@ -393,10 +394,10 @@ pub fn run_topologies(
     let outer = threads.min(profiles.len()).max(1);
     let inner_cfg = cfg.clone().with_threads((threads / outer).max(1));
     par::map_indexed(outer, &profiles, |_, p| {
-        eprintln!(
-            "[rtr-eval] running {} ({} nodes, {} links)...",
+        crate::writer::notice(format!(
+            "running {} ({} nodes, {} links)...",
             p.name, p.nodes, p.links
-        );
+        ));
         run_profile(*p, &inner_cfg)
     })
     .into_iter()

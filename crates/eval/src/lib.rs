@@ -22,6 +22,7 @@
 //! | S — recovery rate vs radius | [`sensitivity`] | `sensitivity` |
 //! | L — concurrent-recovery network load | [`netload`] | `netload` |
 //! | F — equal-area failure shapes | [`shapes`] | `shapes` |
+//! | O — per-scenario trace metrics + recovery narrative | [`trace`] | `explain` |
 //!
 //! The `repro` binary runs every paper experiment plus the ablations and
 //! writes text + JSON artifacts to `results/`.
@@ -61,7 +62,9 @@ pub mod schemes;
 pub mod sensitivity;
 pub mod shapes;
 pub mod testcase;
+pub mod trace;
 pub mod viz;
+pub mod writer;
 
 pub use config::ExperimentConfig;
 pub use driver::{run_topologies, TopologyResults, UnknownTopology};

@@ -1,0 +1,62 @@
+//! The single funnel for everything `rtr-eval` writes.
+//!
+//! Every binary routes its output through these three helpers instead of
+//! calling `println!`/`eprintln!`/`std::fs::write` directly:
+//!
+//! * [`print_report`] — the human-readable report, written to stdout in
+//!   one locked write so concurrent stderr notices (or a `--trace` dump
+//!   finishing on another code path) can never interleave mid-report;
+//! * [`write_file`] — JSON / JSONL artifacts, written to disk (never to
+//!   stdout, so report text and machine-readable output cannot mix);
+//! * [`notice`] — `[rtr-eval]` progress/status lines, always on stderr.
+//!
+//! The separation is the stdout/stderr contract documented in
+//! EXPERIMENTS.md: stdout carries exactly one report per run, artifacts
+//! go to files, and everything else is stderr.
+
+use std::fmt::Display;
+use std::io::Write;
+
+/// Prints the text rendering of `report` to stdout as one locked,
+/// flushed write.
+pub fn print_report(report: &impl Display) {
+    let text = format!("{report}\n");
+    let mut out = std::io::stdout().lock();
+    // Ignoring I/O errors mirrors `println!` on a closed pipe without
+    // its panic.
+    let _ = out.write_all(text.as_bytes());
+    let _ = out.flush();
+}
+
+/// Writes an artifact (JSON report, JSONL trace, ...) to `path`.
+///
+/// # Errors
+///
+/// A human-readable message naming the path on I/O failure.
+pub fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Emits an `[rtr-eval]` status line on stderr.
+pub fn notice(msg: impl Display) {
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "[rtr-eval] {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_file_round_trips_and_reports_errors() {
+        let dir = std::env::temp_dir().join("rtr-eval-writer-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.jsonl");
+        let path = path.to_str().unwrap();
+        write_file(path, "{\"a\":1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "{\"a\":1}\n");
+
+        let err = write_file("/nonexistent-dir-rtr/x.json", "x").unwrap_err();
+        assert!(err.contains("/nonexistent-dir-rtr/x.json"));
+    }
+}

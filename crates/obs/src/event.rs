@@ -1,0 +1,195 @@
+//! The typed event taxonomy emitted by traced recovery sessions.
+//!
+//! Each variant corresponds to one observable step of the RTR protocol;
+//! the mapping back to the paper's figures is documented per variant and
+//! summarised in DESIGN.md §10. Events are small `Copy` values so that
+//! emitting one into a [`TraceSink`](crate::TraceSink) never allocates.
+
+use core::fmt;
+use rtr_topology::{LinkId, NodeId};
+
+/// Why a recovery packet failed to reach its destination in phase 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscardReason {
+    /// The initiator's post-removal SPT has no path to the destination:
+    /// the destination is unreachable (it may itself have failed).
+    NoPath,
+    /// The source route ran into a link that is actually down but was not
+    /// in the collected header (incomplete failure information).
+    HitFailure {
+        /// The dead link the packet tried to traverse.
+        link: LinkId,
+    },
+}
+
+/// One observable step of an RTR recovery session.
+///
+/// Phase 1 (§III-B/C of the paper) emits [`SweepHop`](Event::SweepHop),
+/// [`FailedLinkAppended`](Event::FailedLinkAppended) and
+/// [`CrossLinkExcluded`](Event::CrossLinkExcluded); phase 2 (§III-D)
+/// emits [`SptRecompute`](Event::SptRecompute),
+/// [`SourceRouteInstalled`](Event::SourceRouteInstalled) and
+/// [`PacketDiscarded`](Event::PacketDiscarded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The collection packet moved to `node` during the phase 1
+    /// counterclockwise sweep. Emitted once per recorded hop, so the
+    /// per-session count equals the Fig. 7 / Table III `phase1_hops`
+    /// metric, and `header_bytes` at the final hop is the Fig. 12
+    /// steady-state header overhead.
+    SweepHop {
+        /// The node the packet just arrived at.
+        node: NodeId,
+        /// Collection-header overhead (failed + cross link lists) in
+        /// bytes at this hop.
+        header_bytes: usize,
+    },
+    /// A link was newly appended to the header's failed-link list
+    /// (Constraint 2 bookkeeping). Duplicates are never re-emitted, so
+    /// `count × LINK_ID_BYTES` is exactly the failed-list share of the
+    /// header overhead.
+    FailedLinkAppended {
+        /// The dead link recorded in the header.
+        link: LinkId,
+    },
+    /// A link was newly added to the header's cross-link exclusion list
+    /// (Constraint 1 / selection-crossing bookkeeping, §III-C).
+    /// Duplicates are never re-emitted.
+    CrossLinkExcluded {
+        /// The excluded crossing link.
+        link: LinkId,
+    },
+    /// The initiator recomputed its shortest-path tree after removing the
+    /// collected failed links. Emitted once per shortest-path
+    /// calculation, so the per-session count equals the Table IV
+    /// `#SP calculations` metric.
+    SptRecompute {
+        /// The SPT source (the recovery initiator).
+        source: NodeId,
+        /// Number of tree labels invalidated and repaired by the
+        /// incremental recomputation (0 when no tree edge was cut).
+        nodes_touched: usize,
+    },
+    /// A recovery source route was written into a packet bound for
+    /// `dest`. `cost / optimal` is the Fig. 8 stretch once the walk
+    /// below delivers.
+    SourceRouteInstalled {
+        /// The packet's destination.
+        dest: NodeId,
+        /// Total link cost of the installed route.
+        cost: u64,
+        /// Number of hops in the installed route.
+        hops: usize,
+    },
+    /// A recovery packet was dropped before reaching its destination.
+    PacketDiscarded {
+        /// The node that dropped the packet.
+        at: NodeId,
+        /// Why the packet could not proceed.
+        reason: DiscardReason,
+    },
+}
+
+impl Event {
+    /// `true` for events emitted by the phase 1 collection sweep,
+    /// `false` for phase 2 recomputation / rerouting events.
+    #[must_use]
+    pub fn is_phase1(&self) -> bool {
+        matches!(
+            self,
+            Event::SweepHop { .. }
+                | Event::FailedLinkAppended { .. }
+                | Event::CrossLinkExcluded { .. }
+        )
+    }
+}
+
+impl fmt::Display for Event {
+    /// Renders the event as one line of the `explain` recovery narrative.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::SweepHop { node, header_bytes } => write!(
+                f,
+                "sweep packet arrives at {node} (header {header_bytes} B)"
+            ),
+            Event::FailedLinkAppended { link } => {
+                write!(f, "failed link {link} appended to header")
+            }
+            Event::CrossLinkExcluded { link } => {
+                write!(f, "cross link {link} excluded from sweep")
+            }
+            Event::SptRecompute {
+                source,
+                nodes_touched,
+            } => write!(
+                f,
+                "initiator {source} recomputes SPT ({nodes_touched} nodes touched)"
+            ),
+            Event::SourceRouteInstalled { dest, cost, hops } => write!(
+                f,
+                "source route to {dest} installed (cost {cost}, {hops} hops)"
+            ),
+            Event::PacketDiscarded { at, reason } => match reason {
+                DiscardReason::NoPath => {
+                    write!(f, "packet discarded at {at}: no path after recomputation")
+                }
+                DiscardReason::HitFailure { link } => {
+                    write!(f, "packet discarded at {at}: route hit dead link {link}")
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_classification_covers_all_variants() {
+        let phase1 = [
+            Event::SweepHop {
+                node: NodeId(1),
+                header_bytes: 2,
+            },
+            Event::FailedLinkAppended { link: LinkId(4) },
+            Event::CrossLinkExcluded { link: LinkId(5) },
+        ];
+        let phase2 = [
+            Event::SptRecompute {
+                source: NodeId(1),
+                nodes_touched: 3,
+            },
+            Event::SourceRouteInstalled {
+                dest: NodeId(2),
+                cost: 7,
+                hops: 2,
+            },
+            Event::PacketDiscarded {
+                at: NodeId(2),
+                reason: DiscardReason::NoPath,
+            },
+        ];
+        assert!(phase1.iter().all(Event::is_phase1));
+        assert!(!phase2.iter().any(Event::is_phase1));
+    }
+
+    #[test]
+    fn display_is_one_line_per_event() {
+        let events = [
+            Event::SweepHop {
+                node: NodeId(3),
+                header_bytes: 6,
+            },
+            Event::PacketDiscarded {
+                at: NodeId(9),
+                reason: DiscardReason::HitFailure { link: LinkId(2) },
+            },
+        ];
+        for e in events {
+            let line = e.to_string();
+            assert!(!line.is_empty());
+            assert!(!line.contains('\n'));
+        }
+    }
+}

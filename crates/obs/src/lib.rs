@@ -1,0 +1,62 @@
+//! # rtr-obs — observability for RTR recovery sessions
+//!
+//! A zero-overhead-when-disabled tracing and metrics layer for the RTR
+//! reproduction. The hot paths in `rtr-core` and `rtr-routing` emit typed
+//! [`Event`]s describing a recovery session as it unfolds — phase 1 sweep
+//! hops, header insertions, phase 2 SPT recomputations, source-route
+//! installations, packet discards — into a caller-supplied [`TraceSink`].
+//!
+//! The design contract (DESIGN.md §10):
+//!
+//! * **Disabled = free.** The traced entry points are generic over
+//!   `S: TraceSink` and the untraced public functions delegate with
+//!   [`NoopSink`], whose [`emit`](TraceSink::emit) body is empty and
+//!   `#[inline]`. Monomorphization erases every emission site, so the
+//!   untraced hot path compiles to the same code as before this crate
+//!   existed — re-verified on every change by `cargo xtask bench-check`.
+//! * **Enabled = exact.** Event emission is bijective with the quantities
+//!   the paper's figures measure: one [`Event::SweepHop`] per recorded
+//!   phase 1 hop, one [`Event::FailedLinkAppended`] /
+//!   [`Event::CrossLinkExcluded`] per link *newly* recorded in the
+//!   collection header (so `LINK_ID_BYTES ×` their count is exactly the
+//!   Fig. 12 header overhead), one [`Event::SptRecompute`] per shortest
+//!   path calculation counted by Table IV. The golden-trace test in
+//!   `rtr-eval` pins this bijection against the driver's own metrics.
+//! * **No printing from hot paths.** Hot-path crates never write to
+//!   stdout/stderr; observability flows only through sink calls
+//!   (enforced by the `cargo xtask analyze` print-discipline rule).
+//!
+//! [`MetricsRegistry`] is the batteries-included sink: monotonic counters
+//! plus coarse power-of-two histograms, aggregated per scenario by
+//! `rtr-eval` and dumped as JSONL via the eval CLI's `--trace` flag. The
+//! `explain` binary replays one scenario's event stream as a
+//! human-readable narrative built from each event's [`Display`]
+//! rendering.
+//!
+//! [`Display`]: core::fmt::Display
+//!
+//! # Examples
+//!
+//! ```
+//! use rtr_obs::{CollectingSink, Event, NoopSink, TraceSink};
+//! use rtr_topology::NodeId;
+//!
+//! // A sink observes a stream of typed events...
+//! let mut sink = CollectingSink::new();
+//! sink.emit(Event::SweepHop { node: NodeId(3), header_bytes: 4 });
+//! assert_eq!(sink.events().len(), 1);
+//!
+//! // ...while the no-op sink compiles every emission away.
+//! NoopSink.emit(Event::SweepHop { node: NodeId(3), header_bytes: 4 });
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{DiscardReason, Event};
+pub use metrics::{Histogram, MetricsRegistry, Phase};
+pub use sink::{CollectingSink, NoopSink, TraceSink};

@@ -1,0 +1,149 @@
+//! Trace sinks: where emitted [`Event`]s go.
+//!
+//! The hot paths are generic over [`TraceSink`] and monomorphized per
+//! sink, so the choice of sink is a compile-time one. [`NoopSink`] (the
+//! default used by every untraced public entry point) has an empty
+//! inlined [`emit`](TraceSink::emit), which erases all emission sites
+//! from the untraced build; [`CollectingSink`] buffers events for replay
+//! and golden tests; [`MetricsRegistry`](crate::MetricsRegistry) folds
+//! them into counters and histograms as they arrive.
+
+use crate::event::Event;
+
+/// A destination for recovery-session trace events.
+///
+/// Implementations must be infallible and must not panic: sinks are
+/// called from panic-free hot paths. Keep `emit` cheap — it runs once
+/// per protocol step.
+///
+/// # Examples
+///
+/// A custom sink that counts phase 1 sweep hops:
+///
+/// ```
+/// use rtr_obs::{Event, TraceSink};
+/// use rtr_topology::NodeId;
+///
+/// #[derive(Default)]
+/// struct HopCounter {
+///     hops: u64,
+/// }
+///
+/// impl TraceSink for HopCounter {
+///     fn emit(&mut self, event: Event) {
+///         if let Event::SweepHop { .. } = event {
+///             self.hops += 1;
+///         }
+///     }
+/// }
+///
+/// let mut sink = HopCounter::default();
+/// sink.emit(Event::SweepHop { node: NodeId(0), header_bytes: 0 });
+/// sink.emit(Event::FailedLinkAppended { link: rtr_topology::LinkId(1) });
+/// assert_eq!(sink.hops, 1);
+/// ```
+pub trait TraceSink {
+    /// Observes one recovery-session event.
+    fn emit(&mut self, event: Event);
+}
+
+/// Forwarding impl so traced entry points can take `&mut sink` without
+/// consuming the caller's sink.
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        (**self).emit(event);
+    }
+}
+
+/// The do-nothing sink: tracing disabled.
+///
+/// A zero-sized type whose [`emit`](TraceSink::emit) is empty and
+/// `#[inline]`; monomorphizing a traced entry point with `NoopSink`
+/// produces the same machine code as if the emission sites did not
+/// exist. Every untraced public function in `rtr-core` / `rtr-routing`
+/// delegates to its traced twin with a `NoopSink`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline]
+    fn emit(&mut self, _event: Event) {}
+}
+
+/// A sink that buffers every event in order, for replay and assertions.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingSink {
+    events: Vec<Event>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collecting sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events observed so far, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the buffered events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Drops all buffered events, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn emit(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_topology::{LinkId, NodeId};
+
+    #[test]
+    fn collecting_sink_preserves_order() {
+        let mut sink = CollectingSink::new();
+        let first = Event::SweepHop {
+            node: NodeId(1),
+            header_bytes: 0,
+        };
+        let second = Event::FailedLinkAppended { link: LinkId(3) };
+        sink.emit(first);
+        sink.emit(second);
+        assert_eq!(sink.events(), &[first, second]);
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn mut_ref_forwards_to_inner_sink() {
+        let mut sink = CollectingSink::new();
+        fn emit_via_generic<S: TraceSink>(mut sink: S, event: Event) {
+            sink.emit(event);
+        }
+        emit_via_generic(&mut sink, Event::CrossLinkExcluded { link: LinkId(0) });
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn noop_sink_is_zero_sized() {
+        assert_eq!(core::mem::size_of::<NoopSink>(), 0);
+        NoopSink.emit(Event::SweepHop {
+            node: NodeId(0),
+            header_bytes: 0,
+        });
+    }
+}

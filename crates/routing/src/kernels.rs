@@ -54,6 +54,24 @@ pub enum QueueKernel {
 /// kernel choice made once at pool/scratch construction follows every run
 /// without per-call plumbing. The default is the configuration kept after
 /// the PR 4 `BENCH_eval.json` comparison (see DESIGN.md §9).
+///
+/// Every kernel computes byte-identical results; only throughput differs.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_routing::{DijkstraScratch, Kernels, QueueKernel};
+/// use rtr_topology::{generate, FullView, NodeId};
+///
+/// let topo = generate::grid(4, 4, 10.0);
+/// let mut heap = DijkstraScratch::with_kernels(Kernels::baseline());
+/// let mut dial = DijkstraScratch::with_kernels(Kernels {
+///     queue: QueueKernel::Bucket,
+/// });
+/// let a = heap.run(&topo, &FullView, NodeId(0));
+/// let b = dial.run(&topo, &FullView, NodeId(0));
+/// assert_eq!(a.distance(NodeId(15)), b.distance(NodeId(15)));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Kernels {
     /// Queue used by full-SPT and early-exit Dijkstra runs.

@@ -25,7 +25,7 @@
 //! assert!(table.next_hop(NodeId(0), NodeId(8)).is_some());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod dijkstra;

@@ -13,6 +13,7 @@
 
 use crate::kernels::{Kernels, QueueScratch};
 use crate::path::Path;
+use rtr_obs::{Event, TraceSink};
 use rtr_topology::{GraphView, LinkId, NodeId, Topology};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -349,6 +350,24 @@ impl<'a> IncrementalSpt<'a> {
         self.heap = heap;
     }
 
+    /// Like [`remove_links`](Self::remove_links), additionally emitting
+    /// one [`Event::SptRecompute`](rtr_obs::Event::SptRecompute) into
+    /// `sink` once the repair completes (one emission per shortest-path
+    /// calculation — the Table IV `#SP` unit). With
+    /// [`NoopSink`](rtr_obs::NoopSink) this monomorphizes to exactly
+    /// `remove_links`.
+    pub fn remove_links_traced<S: TraceSink>(
+        &mut self,
+        links: impl IntoIterator<Item = LinkId>,
+        sink: &mut S,
+    ) {
+        self.remove_links(links);
+        sink.emit(Event::SptRecompute {
+            source: self.source,
+            nodes_touched: self.nodes_touched,
+        });
+    }
+
     fn improves(&self, v: NodeId, nd: u64, from: NodeId, l: LinkId) -> bool {
         match self.distance(v) {
             None => true,
@@ -412,6 +431,23 @@ mod tests {
         assert_matches_oracle(&topo, &spt, &[tree_link]);
         assert!(spt.nodes_touched() > 0);
         assert!(spt.is_removed(tree_link));
+    }
+
+    #[test]
+    fn traced_removal_emits_one_spt_recompute_event() {
+        let topo = generate::grid(5, 5, 10.0);
+        let mut spt = IncrementalSpt::new(&topo, NodeId(0));
+        let (_, tree_link) = spt.parent(NodeId(24)).unwrap();
+        let mut sink = rtr_obs::CollectingSink::new();
+        spt.remove_links_traced([tree_link], &mut sink);
+        assert_eq!(
+            sink.events(),
+            &[Event::SptRecompute {
+                source: NodeId(0),
+                nodes_touched: spt.nodes_touched(),
+            }]
+        );
+        assert_matches_oracle(&topo, &spt, &[tree_link]);
     }
 
     #[test]

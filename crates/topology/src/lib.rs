@@ -37,7 +37,7 @@
 //! assert!(failed < topo.node_count());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // `unsafe` is forbidden everywhere except the AVX2 intrinsics confined to
 // `kernels.rs`, which opt in locally when the `simd` feature is enabled.
 #![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]

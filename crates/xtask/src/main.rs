@@ -2,11 +2,11 @@
 //!
 //! The paper's correctness claims (Theorems 1–3) are enforced by code that
 //! runs on the forwarding hot path, so this tool turns the workspace's
-//! hygiene rules into a mechanical, CI-enforced pass. Three rule families
+//! hygiene rules into a mechanical, CI-enforced pass. The rule families
 //! (see DESIGN.md, "Static analysis & lint policy"):
 //!
 //! 1. **Panic-freedom** — non-test code of the hot-path crates (`rtr-core`,
-//!    `rtr-routing`, `rtr-sim`, `rtr-topology`) must not call `.unwrap()` /
+//!    `rtr-obs`, `rtr-routing`, `rtr-sim`, `rtr-topology`) must not call `.unwrap()` /
 //!    `.expect()`, invoke `panic!` / `unreachable!` / `todo!` /
 //!    `unimplemented!`, or index slices and `Vec`s with `[...]`. Every
 //!    remaining site must match a justified entry in
@@ -31,6 +31,11 @@
 //!    (`LinkIdSet::contains` / `LinkBitSet` / crossing masks): linear
 //!    `.iter().any(` chains and reference-taking `.contains(&` scans are
 //!    flagged, with justified exemptions in `allow.toml`.
+//! 7. **Print discipline** — non-test code of the hot-path crates must not
+//!    write to stdout/stderr (`println!` / `eprintln!` / `print!` /
+//!    `eprint!` / `dbg!`): event emission is confined to
+//!    `rtr_obs::TraceSink` calls, so instrumented runs and the `--trace`
+//!    replay observe everything the hot path reports (DESIGN.md §10).
 //!
 //! `cargo xtask bench-record` regenerates `BENCH_eval.json` at the
 //! workspace root via the `bench_eval` binary of `rtr-bench`.
@@ -50,8 +55,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Hot-path crate directories (under `crates/`) subject to panic-freedom.
-const HOT_PATH_CRATES: [&str; 4] = ["core", "routing", "sim", "topology"];
+/// Hot-path crate directories (under `crates/`) subject to panic-freedom
+/// and print discipline.
+const HOT_PATH_CRATES: [&str; 5] = ["core", "obs", "routing", "sim", "topology"];
 
 /// Keywords that may legally precede a `[` without it being an indexing
 /// expression (`in [..]`, `return [..]`, slice patterns after `let`, ...).
@@ -94,8 +100,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo xtask <analyze|bench-record|bench-check>\n  (got {:?})\n\n\
                  analyze       Runs the workspace static-analysis pass: panic-freedom\n\
-                 \x20             in the hot-path crates, paper-invariant lints, theorem\n\
-                 \x20             coverage, thread/SIMD discipline, link-set membership.\n\
+                 \x20             and print discipline in the hot-path crates,\n\
+                 \x20             paper-invariant lints, theorem coverage, thread/SIMD\n\
+                 \x20             discipline, link-set membership.\n\
                  bench-record  Regenerates BENCH_eval.json at the workspace root\n\
                  \x20             (driver wall times serial vs parallel, per kernel).\n\
                  bench-check   Validates the committed BENCH_eval.json (parses, rows\n\
@@ -511,6 +518,7 @@ fn run_analyze() -> Result<bool, String> {
         let file = load_source(&root, path)?;
         if hot_set.contains(path) {
             check_panic_freedom(&file, &mut violations);
+            check_print_discipline(&file, &mut violations);
         }
         check_header_discipline(&file, &mut violations);
         check_float_eq(&file, &mut violations);
@@ -1255,6 +1263,39 @@ fn check_linkset_membership(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule family 7: print discipline (hot-path crates emit via TraceSink only)
+// ---------------------------------------------------------------------------
+
+/// Macros that would write to stdout/stderr behind the observability
+/// layer's back.
+const PRINT_MACROS: [&[u8]; 5] = [b"println!", b"eprintln!", b"print!", b"eprint!", b"dbg!"];
+
+/// Print discipline: non-test code of the hot-path crates must not write
+/// to stdout/stderr directly. Event emission is confined to
+/// `rtr_obs::TraceSink` calls, so instrumented runs and the `--trace`
+/// replay observe everything the hot path reports (DESIGN.md §10) and the
+/// eval writer funnel keeps sole ownership of the process streams.
+fn check_print_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    let m = &file.masked;
+    for needle in PRINT_MACROS {
+        let mut from = 0;
+        while let Some(pos) = find_from(m, needle, from) {
+            from = pos + needle.len();
+            if pos > 0 && is_ident(byte_at(m, pos - 1)) {
+                continue; // `println!` seen inside `eprintln!`, `_dbg!`, ...
+            }
+            let line = line_of(m, pos);
+            out.push(Violation {
+                file: file.rel.clone(),
+                line,
+                rule: "print-discipline",
+                excerpt: excerpt(file, line),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule family 3: theorem coverage
 // ---------------------------------------------------------------------------
 
@@ -1551,6 +1592,32 @@ mod tests {
         let eval = "fn f(v: &[L], x: L) -> bool { v.iter().any(|&l| l == x) || v.contains(&x) }";
         check_linkset_membership(&file("crates/eval/src/x.rs", eval), &mut out);
         assert!(out.is_empty(), "rule leaked outside crates/core: {out:?}");
+    }
+
+    #[test]
+    fn print_discipline_flags_every_print_macro_once() {
+        let src = "fn f(x: u32) {\n  println!(\"{x}\");\n  eprintln!(\"{x}\");\n  \
+                   print!(\"{x}\");\n  eprint!(\"{x}\");\n  let _ = dbg!(x);\n}\n";
+        let mut out = Vec::new();
+        check_print_discipline(&file("crates/core/src/x.rs", src), &mut out);
+        assert_eq!(out.len(), 5, "got: {out:?}");
+        assert!(out.iter().all(|v| v.rule == "print-discipline"));
+        let lines: Vec<usize> = {
+            let mut l: Vec<usize> = out.iter().map(|v| v.line).collect();
+            l.sort_unstable();
+            l
+        };
+        assert_eq!(lines, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn print_discipline_ignores_comments_strings_and_tests() {
+        let src = "//! `println!` is banned here.\n\
+                   fn f() { let _ = \"println!(not code)\"; }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { println!(\"ok in tests\"); }\n}\n";
+        let mut out = Vec::new();
+        check_print_discipline(&file("crates/core/src/x.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
     }
 
     #[test]

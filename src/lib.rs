@@ -7,6 +7,7 @@
 //! * [`topology`] — network model, geometry, generators, failure areas;
 //! * [`routing`] — Dijkstra, incremental SPT, routing tables, source routes;
 //! * [`sim`] — packet headers, delay model, traces, the network under failure;
+//! * [`obs`] — trace events, sinks, and the metrics registry;
 //! * [`core`] — the RTR protocol itself (phase 1 + phase 2);
 //! * [`baselines`] — the FCP and MRC comparators;
 //! * [`eval`] — the experiment harness regenerating every table and figure.
@@ -19,6 +20,7 @@
 pub use rtr_baselines as baselines;
 pub use rtr_core as core;
 pub use rtr_eval as eval;
+pub use rtr_obs as obs;
 pub use rtr_routing as routing;
 pub use rtr_sim as sim;
 pub use rtr_topology as topology;
