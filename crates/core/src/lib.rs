@@ -64,7 +64,8 @@ pub use phase1::{
     Phase1Termination,
 };
 pub use phase2::{
-    source_route_walk, source_route_walk_traced, DeliveryOutcome, RecoveryComputer, RecoveryScratch,
+    source_route_walk, source_route_walk_reusing, source_route_walk_traced, DeliveryOutcome,
+    RecoveryComputer, RecoveryScratch,
 };
 pub use pool::{DijkstraLease, PooledSession, SessionPool, SptLease};
 pub use recovery::{RecoveryAttempt, RtrSession};

@@ -169,14 +169,25 @@ impl<'a> RecoveryComputer<'a> {
     /// initiator's view has no route (the packet is discarded on arrival).
     /// Results are cached per destination (§III-D).
     pub fn recovery_path(&mut self, dest: NodeId) -> Option<Path> {
-        if let Some(cached) = self.cache.get(dest.index()).and_then(Option::as_ref) {
-            return cached.clone();
+        self.recovery_path_ref(dest).cloned()
+    }
+
+    /// Borrowing form of [`Self::recovery_path`]: fills the per-destination
+    /// cache on first use, then hands out `&Path` without cloning — the
+    /// zero-allocation steady-state lookup used by
+    /// [`crate::RtrSession::recover_reusing`].
+    pub fn recovery_path_ref(&mut self, dest: NodeId) -> Option<&Path> {
+        let not_yet_computed = self.cache.get(dest.index()).is_some_and(Option::is_none);
+        if not_yet_computed {
+            let path = self.spt.path_to(dest);
+            if let Some(slot) = self.cache.get_mut(dest.index()) {
+                *slot = Some(path);
+            }
         }
-        let path = self.spt.path_to(dest);
-        if let Some(slot) = self.cache.get_mut(dest.index()) {
-            *slot = Some(path.clone());
-        }
-        path
+        self.cache
+            .get(dest.index())
+            .and_then(Option::as_ref)
+            .and_then(Option::as_ref)
     }
 
     /// The source route the initiator writes into recovered packets.
@@ -226,15 +237,31 @@ pub fn source_route_walk_traced<S: TraceSink>(
     path: Option<&Path>,
     sink: &mut S,
 ) -> (DeliveryOutcome, ForwardingTrace) {
+    let mut trace = ForwardingTrace::default();
+    let outcome = source_route_walk_reusing(topo, view, initiator, path, &mut trace, sink);
+    (outcome, trace)
+}
+
+/// [`source_route_walk_traced`] writing into a caller-owned trace:
+/// `trace` is restarted at `initiator` and then filled hop by hop, so a
+/// warm trace re-used across recoveries never reallocates (the
+/// steady-state contract checked by
+/// `crates/core/tests/alloc_discipline.rs`).
+pub fn source_route_walk_reusing<S: TraceSink>(
+    topo: &Topology,
+    view: &impl GraphView,
+    initiator: NodeId,
+    path: Option<&Path>,
+    trace: &mut ForwardingTrace,
+    sink: &mut S,
+) -> DeliveryOutcome {
     let Some(path) = path else {
         sink.emit(Event::PacketDiscarded {
             at: initiator,
             reason: DiscardReason::NoPath,
         });
-        return (
-            DeliveryOutcome::NoPath,
-            ForwardingTrace::start(initiator, 0),
-        );
+        trace.restart(initiator, 0);
+        return DeliveryOutcome::NoPath;
     };
     debug_assert_eq!(path.source(), initiator);
     sink.emit(Event::SourceRouteInstalled {
@@ -246,7 +273,7 @@ pub fn source_route_walk_traced<S: TraceSink>(
     // consumed hops stripped); tracked as a counter so the walk itself
     // performs no allocation beyond the trace.
     let mut remaining = path.hops();
-    let mut trace = ForwardingTrace::start(initiator, remaining * BYTES_PER_HOP);
+    trace.restart(initiator, remaining * BYTES_PER_HOP);
     let mut cur = initiator;
     for (&l, &next) in path.links().iter().zip(path.nodes().iter().skip(1)) {
         if !view.is_link_usable(topo, l) {
@@ -254,14 +281,14 @@ pub fn source_route_walk_traced<S: TraceSink>(
                 at: cur,
                 reason: DiscardReason::HitFailure { link: l },
             });
-            return (DeliveryOutcome::HitFailure { at_link: l }, trace);
+            return DeliveryOutcome::HitFailure { at_link: l };
         }
         remaining = remaining.saturating_sub(1);
         cur = next;
         trace.record_hop(cur, remaining * BYTES_PER_HOP);
     }
     debug_assert_eq!(cur, path.dest());
-    (DeliveryOutcome::Delivered, trace)
+    DeliveryOutcome::Delivered
 }
 
 #[cfg(test)]

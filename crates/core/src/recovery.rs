@@ -5,7 +5,10 @@
 
 use crate::error::Phase1Error;
 use crate::phase1::{collect_failure_info, collect_failure_info_traced, Phase1Result};
-use crate::phase2::{source_route_walk_traced, DeliveryOutcome, RecoveryComputer, RecoveryScratch};
+use crate::phase2::{
+    source_route_walk_reusing, source_route_walk_traced, DeliveryOutcome, RecoveryComputer,
+    RecoveryScratch,
+};
 use rtr_obs::{NoopSink, TraceSink};
 use rtr_routing::Path;
 use rtr_sim::ForwardingTrace;
@@ -183,6 +186,23 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
         }
     }
 
+    /// Steady-state form of [`recover`](Self::recover): looks the believed
+    /// path up by reference (no clone) and walks it into the caller-owned
+    /// `trace`. After one warm-up pass has grown the path cache and the
+    /// trace's step buffer, repeated calls perform **zero** heap
+    /// allocations — the contract proven by the counting-allocator test in
+    /// `crates/core/tests/alloc_discipline.rs`.
+    pub fn recover_reusing<S: TraceSink>(
+        &mut self,
+        dest: NodeId,
+        trace: &mut ForwardingTrace,
+        sink: &mut S,
+    ) -> DeliveryOutcome {
+        let initiator = self.computer.initiator();
+        let path = self.computer.recovery_path_ref(dest);
+        source_route_walk_reusing(self.topo, self.view, initiator, path, trace, sink)
+    }
+
     /// Access to the underlying recovery computer (for extensions such as
     /// multi-area recovery that need to seed further sessions).
     pub fn computer(&self) -> &RecoveryComputer<'a> {
@@ -267,6 +287,26 @@ mod tests {
         for i in 2..=8 {
             let a = session.recover(NodeId(i));
             assert!(a.is_delivered(), "v{i}");
+        }
+        assert_eq!(session.sp_calculations(), 1);
+    }
+
+    #[test]
+    fn recover_reusing_matches_recover() {
+        let topo = generate::grid(3, 3, 10.0);
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(4)], []);
+        let failed = topo.link_between(NodeId(3), NodeId(4)).unwrap();
+        let mut session = RtrSession::start(&topo, &xl, &s, NodeId(3), failed).unwrap();
+        let mut trace = ForwardingTrace::default();
+        for dest in topo.node_ids() {
+            if dest == NodeId(3) {
+                continue;
+            }
+            let outcome = session.recover_reusing(dest, &mut trace, &mut rtr_obs::NoopSink);
+            let attempt = session.recover(dest);
+            assert_eq!(outcome, attempt.outcome, "outcome mismatch for {dest}");
+            assert_eq!(trace, attempt.trace, "trace mismatch for {dest}");
         }
         assert_eq!(session.sp_calculations(), 1);
     }

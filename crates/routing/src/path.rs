@@ -101,8 +101,14 @@ impl Path {
 
     /// Returns true when the path visits no node twice.
     pub fn is_simple(&self) -> bool {
-        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
-        self.nodes.iter().all(|n| seen.insert(*n))
+        // Sort-and-dedup instead of a `HashSet` probe: node ids are `Ord`,
+        // and the hot-path crates ban randomized-order containers
+        // (determinism rule, DESIGN.md §7).
+        let mut sorted = self.nodes.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        sorted.len() == before
     }
 }
 

@@ -36,6 +36,19 @@ impl ForwardingTrace {
         }
     }
 
+    /// Clears the trace and restarts it at `start` carrying
+    /// `header_bytes`, keeping the step buffer's capacity — after the
+    /// first recovery grows it to its high-water mark, re-used traces
+    /// allocate nothing (the steady-state contract checked by
+    /// `crates/core/tests/alloc_discipline.rs`).
+    pub fn restart(&mut self, start: NodeId, header_bytes: usize) {
+        self.steps.clear();
+        self.steps.push(TraceStep {
+            node: start,
+            header_bytes,
+        });
+    }
+
     /// Records arrival at `node` now carrying `header_bytes`.
     pub fn record_hop(&mut self, node: NodeId, header_bytes: usize) {
         self.steps.push(TraceStep { node, header_bytes });
@@ -191,6 +204,19 @@ mod tests {
         let mut a = sample();
         let b = ForwardingTrace::start(NodeId(9), 0);
         a.extend_with(&b);
+    }
+
+    #[test]
+    fn restart_resets_without_losing_capacity() {
+        let mut t = sample();
+        let cap_before = t.steps.capacity();
+        t.restart(NodeId(7), 8);
+        assert_eq!(t.hops(), 0);
+        assert_eq!(t.current_node(), NodeId(7));
+        assert_eq!(t.final_header_bytes(), 8);
+        assert!(t.steps.capacity() >= cap_before.min(1));
+        // Equivalent to a fresh `start`.
+        assert_eq!(t, ForwardingTrace::start(NodeId(7), 8));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The `allow.toml` justification flow: every violation either goes away
+//! or is matched by an explicit, justified allowlist entry, and entries
+//! that no longer match anything are themselves violations (`stale-allow`).
+
+use crate::engine::Violation;
+use std::fs;
+use std::path::Path;
+
+/// One entry of `crates/xtask/allow.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct AllowEntry {
+    /// Workspace-relative file the exemption applies to.
+    pub file: String,
+    /// Rule name (`unwrap`, `expect`, `panic-macro`, `indexing`,
+    /// `float-eq`, `linkset-membership`, `determinism`, ...).
+    pub rule: String,
+    /// Substring of the offending source line that identifies the site.
+    pub pattern: String,
+    /// One-line human justification. Must be non-empty.
+    pub justification: String,
+}
+
+/// Parses `allow.toml` — a flat sequence of `[[allow]]` tables with string
+/// keys `file`, `rule`, `pattern`, `justification` (a deliberate TOML
+/// subset; this workspace vendors no TOML parser).
+///
+/// # Errors
+///
+/// Malformed lines, unknown keys, and entries missing any of the four
+/// required fields are reported with their line number.
+pub fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("allow.toml line {}: {what}", lineno + 1);
+        if line == "[[allow]]" {
+            entries.push(AllowEntry::default());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err("expected `key = \"value\"` or `[[allow]]`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| err("value must be a double-quoted string"))?
+            .replace("\\\"", "\"");
+        let Some(entry) = entries.last_mut() else {
+            return Err(err("key outside any [[allow]] table"));
+        };
+        match key {
+            "file" => entry.file = value,
+            "rule" => entry.rule = value,
+            "pattern" => entry.pattern = value,
+            "justification" => entry.justification = value,
+            other => return Err(err(&format!("unknown key `{other}`"))),
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if e.file.is_empty() || e.rule.is_empty() || e.pattern.is_empty() {
+            return Err(format!(
+                "allow.toml entry {} is missing file/rule/pattern",
+                i + 1
+            ));
+        }
+        if e.justification.trim().is_empty() {
+            return Err(format!(
+                "allow.toml entry {} ({} / {}) has no justification — every \
+                 exemption must say why it is sound",
+                i + 1,
+                e.file,
+                e.rule
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Splits `violations` into live and allowlisted, appending one
+/// `stale-allow` violation for every entry that matched nothing. Returns
+/// `(live, allowed_count)`.
+pub fn apply_allowlist(
+    violations: Vec<Violation>,
+    allow: &[AllowEntry],
+) -> (Vec<Violation>, usize) {
+    let mut used = vec![false; allow.len()];
+    let mut live = Vec::new();
+    let mut allowed = 0usize;
+    for v in violations {
+        let hit = allow
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.file == v.file && a.rule == v.rule && v.excerpt.contains(&a.pattern));
+        match hit {
+            Some((i, _)) => {
+                if let Some(flag) = used.get_mut(i) {
+                    *flag = true;
+                }
+                allowed += 1;
+            }
+            None => live.push(v),
+        }
+    }
+    for (entry, was_used) in allow.iter().zip(&used) {
+        if !was_used {
+            live.push(Violation {
+                file: "crates/xtask/allow.toml".into(),
+                line: 0,
+                rule: "stale-allow",
+                excerpt: format!(
+                    "entry ({} / {} / {:?}) matches no site — remove it",
+                    entry.file, entry.rule, entry.pattern
+                ),
+            });
+        }
+    }
+    (live, allowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parser_round_trips() {
+        let dir = std::env::temp_dir().join("xtask-allow-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("allow.toml");
+        fs::write(
+            &p,
+            "# comment\n[[allow]]\nfile = \"a.rs\"\nrule = \"unwrap\"\n\
+             pattern = \"x.unwrap()\"\njustification = \"because\"\n",
+        )
+        .unwrap();
+        let entries = load_allowlist(&p).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "unwrap");
+        fs::write(
+            &p,
+            "[[allow]]\nfile = \"a.rs\"\nrule = \"r\"\npattern = \"p\"\n",
+        )
+        .unwrap();
+        assert!(
+            load_allowlist(&p).is_err(),
+            "missing justification accepted"
+        );
+    }
+
+    #[test]
+    fn apply_allowlist_splits_and_flags_stale() {
+        let entries = vec![
+            AllowEntry {
+                file: "a.rs".into(),
+                rule: "unwrap".into(),
+                pattern: "x.unwrap()".into(),
+                justification: "ok".into(),
+            },
+            AllowEntry {
+                file: "b.rs".into(),
+                rule: "expect".into(),
+                pattern: "never-matches".into(),
+                justification: "ok".into(),
+            },
+        ];
+        let violations = vec![
+            Violation {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "unwrap",
+                excerpt: "let y = x.unwrap();".into(),
+            },
+            Violation {
+                file: "a.rs".into(),
+                line: 7,
+                rule: "unwrap",
+                excerpt: "let z = other.unwrap();".into(),
+            },
+        ];
+        let (live, allowed) = apply_allowlist(violations, &entries);
+        assert_eq!(allowed, 1);
+        // One un-allowed violation plus one stale-allow for the unused entry.
+        assert_eq!(live.len(), 2);
+        assert!(live.iter().any(|v| v.rule == "stale-allow"));
+        assert!(live.iter().any(|v| v.line == 7));
+    }
+}

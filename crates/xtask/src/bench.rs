@@ -1,0 +1,303 @@
+//! `cargo xtask bench-record` / `bench-check`: regenerate and validate
+//! the committed `BENCH_eval.json`.
+
+use crate::json::{json_parse, JsonValue};
+use std::fs;
+use std::path::Path;
+
+/// One topology row of `BENCH_eval.json`, as `bench-check` reads it.
+#[derive(Debug)]
+pub struct BenchRow {
+    /// Topology name (e.g. `AS3549`).
+    pub name: String,
+    /// Quick-workload serial wall time.
+    pub serial_secs: f64,
+    /// Phase-1 sweep wall time.
+    pub sweep_secs: f64,
+    /// Recorded serial/parallel speedup, when present.
+    pub speedup: Option<f64>,
+}
+
+/// The parts of `BENCH_eval.json` that `bench-check` validates.
+#[derive(Debug)]
+pub struct BenchFile {
+    /// `std::thread::available_parallelism()` on the recording host.
+    pub host_parallelism: Option<f64>,
+    /// Thread count the parallel measurement ran with.
+    pub parallel_threads: Option<f64>,
+    /// Per-topology rows.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Reads `path` and extracts the per-topology rows, failing if the file
+/// does not parse as JSON or any row lacks a numeric `serial_secs` or
+/// `sweep_secs` field (the recorder's schema).
+///
+/// # Errors
+///
+/// Reports the missing field or parse error with the file's path.
+pub fn parse_bench_file(path: &Path) -> Result<BenchFile, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json_parse(&text).map_err(|e| format!("{} does not parse: {e}", path.display()))?;
+    let topologies = doc
+        .get("topologies")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{}: missing `topologies` array", path.display()))?;
+    if topologies.is_empty() {
+        return Err(format!("{}: `topologies` is empty", path.display()));
+    }
+    let mut rows = Vec::new();
+    for (i, row) in topologies.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{}: row {i} has no string `name`", path.display()))?
+            .to_owned();
+        let serial_secs = row
+            .get("serial_secs")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| {
+                format!(
+                    "{}: row `{name}` has no numeric `serial_secs`",
+                    path.display()
+                )
+            })?;
+        let sweep_secs = row
+            .get("sweep_secs")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| {
+                format!(
+                    "{}: row `{name}` has no numeric `sweep_secs`",
+                    path.display()
+                )
+            })?;
+        let speedup = row.get("speedup").and_then(JsonValue::as_f64);
+        rows.push(BenchRow {
+            name,
+            serial_secs,
+            sweep_secs,
+            speedup,
+        });
+    }
+    Ok(BenchFile {
+        host_parallelism: doc.get("host_parallelism").and_then(JsonValue::as_f64),
+        parallel_threads: doc.get("parallel_threads").and_then(JsonValue::as_f64),
+        rows,
+    })
+}
+
+/// Validates the recorded speedups: a sub-1.0 speedup is a hard failure
+/// on a host with at least as many cores as the measurement used, but
+/// only a warning on an undersized recorder (oversubscribed threads slow
+/// each other down; the number says nothing about the algorithm). Returns
+/// the warnings to print.
+///
+/// # Errors
+///
+/// Fails on the first sub-1.0 speedup recorded on an adequately-sized
+/// host.
+pub fn check_speedups(file: &BenchFile) -> Result<Vec<String>, String> {
+    let (Some(host), Some(threads)) = (file.host_parallelism, file.parallel_threads) else {
+        return Ok(Vec::new()); // pre-speedup schema: nothing to check
+    };
+    let undersized = host < threads;
+    let mut warnings = Vec::new();
+    for row in &file.rows {
+        let Some(speedup) = row.speedup else { continue };
+        if speedup >= 1.0 {
+            continue;
+        }
+        if undersized {
+            warnings.push(format!(
+                "warning: `{}` records speedup {speedup:.3} < 1.0, but the recording \
+                 host is undersized (host_parallelism {host:.0} < parallel_threads \
+                 {threads:.0}) — oversubscription artifact, not gated; re-record on \
+                 a host with >= {threads:.0} cores for a meaningful number",
+                row.name
+            ));
+        } else {
+            return Err(format!(
+                "parallel regression on `{}`: recorded speedup {speedup:.3} < 1.0 on an \
+                 adequately-sized host (host_parallelism {host:.0} >= parallel_threads \
+                 {threads:.0}) — investigate before re-recording",
+                row.name
+            ));
+        }
+    }
+    Ok(warnings)
+}
+
+/// Runs the `bench_eval` recorder and leaves `BENCH_eval.json` at the
+/// workspace root. Records with `--features simd` so the committed
+/// artifact carries the full kernel matrix (`sweep_secs_simd` included;
+/// the kernel falls back to the batched path on non-AVX2 recorders).
+///
+/// # Errors
+///
+/// Fails when the recorder cannot be launched or exits non-zero.
+pub fn run_bench_record(root: &Path) -> Result<(), String> {
+    let out = root.join("BENCH_eval.json");
+    let status = std::process::Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "rtr-bench",
+            "--features",
+            "simd",
+            "--bin",
+            "bench_eval",
+        ])
+        .arg("--")
+        .arg(&out)
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("cannot launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("bench_eval exited with {status}"));
+    }
+    println!("cargo xtask bench-record: wrote {}", out.display());
+    Ok(())
+}
+
+/// Validates the committed `BENCH_eval.json` and guards against gross
+/// performance regressions: records a fresh file under `target/`, then
+/// fails if the fresh quick-workload serial total exceeds 2× the
+/// committed total, or if any single topology's phase-1 sweep time
+/// exceeds 2× its committed `sweep_secs` plus 1 ms of absolute slack
+/// (the per-topology sweep is sub-millisecond on small graphs, so the
+/// floor keeps timer noise from tripping the ratio). Coarse gates that
+/// survive CI-machine noise while catching algorithmic regressions.
+/// Recorded speedups are additionally validated via [`check_speedups`].
+///
+/// # Errors
+///
+/// Fails on parse errors, missing topologies, regression-gate trips, and
+/// sub-1.0 speedups recorded on adequately-sized hosts.
+pub fn run_bench_check(root: &Path) -> Result<(), String> {
+    let committed_file = parse_bench_file(&root.join("BENCH_eval.json"))?;
+    for warning in check_speedups(&committed_file)? {
+        println!("cargo xtask bench-check: {warning}");
+    }
+    let committed = &committed_file.rows;
+
+    let fresh_dir = root.join("target").join("bench-check");
+    fs::create_dir_all(&fresh_dir)
+        .map_err(|e| format!("cannot create {}: {e}", fresh_dir.display()))?;
+    let fresh_path = fresh_dir.join("BENCH_eval.fresh.json");
+    let status = std::process::Command::new("cargo")
+        .args(["run", "--release", "-p", "rtr-bench", "--bin", "bench_eval"])
+        .arg("--")
+        .arg(&fresh_path)
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("cannot launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("bench_eval exited with {status}"));
+    }
+    let fresh = parse_bench_file(&fresh_path)?.rows;
+
+    for c in committed {
+        let Some(f) = fresh.iter().find(|f| f.name == c.name) else {
+            return Err(format!(
+                "fresh run is missing committed topology `{}`",
+                c.name
+            ));
+        };
+        if f.sweep_secs > 2.0 * c.sweep_secs + 0.001 {
+            return Err(format!(
+                "phase-1 sweep regression on `{}`: fresh sweep_secs {:.6}s > \
+                 2x committed {:.6}s + 1ms — investigate before re-recording \
+                 with `cargo xtask bench-record`",
+                c.name, f.sweep_secs, c.sweep_secs
+            ));
+        }
+    }
+    let committed_total: f64 = committed.iter().map(|r| r.serial_secs).sum();
+    let fresh_total: f64 = fresh.iter().map(|r| r.serial_secs).sum();
+    if fresh_total > 2.0 * committed_total {
+        return Err(format!(
+            "quick-workload serial regression: fresh total {fresh_total:.4}s > \
+             2x committed total {committed_total:.4}s — investigate before \
+             re-recording with `cargo xtask bench-record`"
+        ));
+    }
+    println!(
+        "cargo xtask bench-check: OK — {} topologies, fresh serial total \
+         {fresh_total:.4}s vs committed {committed_total:.4}s (gates: 2x \
+         total, 2x+1ms per-topology sweep)",
+        committed.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_file(host: f64, threads: f64, speedups: &[f64]) -> BenchFile {
+        BenchFile {
+            host_parallelism: Some(host),
+            parallel_threads: Some(threads),
+            rows: speedups
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| BenchRow {
+                    name: format!("T{i}"),
+                    serial_secs: 1.0,
+                    sweep_secs: 0.001,
+                    speedup: Some(s),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn undersized_host_warns_instead_of_gating() {
+        let f = bench_file(1.0, 8.0, &[0.74, 0.93, 1.2]);
+        let warnings = check_speedups(&f).expect("undersized host must not gate");
+        assert_eq!(warnings.len(), 2, "got: {warnings:?}");
+        assert!(warnings.iter().all(|w| w.contains("undersized")));
+    }
+
+    #[test]
+    fn adequately_sized_host_gates_on_sub_unity_speedup() {
+        let f = bench_file(8.0, 8.0, &[1.5, 0.9]);
+        let err = check_speedups(&f).expect_err("regression must gate");
+        assert!(err.contains("T1"), "got: {err}");
+        assert!(check_speedups(&bench_file(16.0, 8.0, &[1.5, 3.2])).is_ok());
+    }
+
+    #[test]
+    fn pre_speedup_schema_passes() {
+        let f = BenchFile {
+            host_parallelism: None,
+            parallel_threads: None,
+            rows: Vec::new(),
+        };
+        assert!(check_speedups(&f).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_bench_file_reads_the_recorder_schema() {
+        let dir = std::env::temp_dir().join("xtask-bench-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_eval.json");
+        fs::write(
+            &p,
+            "{\"host_parallelism\": 4, \"parallel_threads\": 4, \"topologies\": [\
+             {\"name\": \"A\", \"serial_secs\": 0.5, \"sweep_secs\": 0.001, \"speedup\": 2.0}]}",
+        )
+        .unwrap();
+        let f = parse_bench_file(&p).unwrap();
+        assert_eq!(f.rows.len(), 1);
+        assert_eq!(f.rows[0].speedup, Some(2.0));
+        assert_eq!(f.host_parallelism, Some(4.0));
+        fs::write(&p, "{\"topologies\": [{\"name\": \"A\"}]}").unwrap();
+        assert!(
+            parse_bench_file(&p).is_err(),
+            "missing serial_secs accepted"
+        );
+    }
+}

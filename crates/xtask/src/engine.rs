@@ -1,0 +1,367 @@
+//! The source model the rule families run on: a file's token stream plus
+//! derived facts (line table, `#[cfg(test)]` membership, function body
+//! spans).
+//!
+//! Rules never look at raw bytes. They iterate *code positions* — indices
+//! into the non-comment token stream — and ask adjacency questions
+//! ("is this `.` followed by `unwrap` followed by `(`?"), which is immune
+//! to the two failure classes of the PR 1 byte scans: patterns split
+//! across rustfmt line breaks (false negatives) and identifiers that
+//! merely contain a banned name (false positives).
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A single rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Rule name, matching [`crate::allow::AllowEntry::rule`].
+    pub rule: &'static str,
+    /// The offending source line, trimmed (or a file-level message).
+    pub excerpt: String,
+}
+
+/// A loaded source file: original text, full token stream, and per-token
+/// `#[cfg(test)]` membership.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Original text.
+    pub text: String,
+    /// Full token stream, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of the non-comment tokens, in order. Rules
+    /// iterate these *code positions*.
+    pub code: Vec<usize>,
+    /// Byte offset of the start of each line (line 1 first).
+    line_starts: Vec<usize>,
+    /// Per-`toks` index: is the token inside a `#[cfg(test)]` item?
+    in_test: Vec<bool>,
+}
+
+/// Keywords that may legally precede a `[` without it being an indexing
+/// expression (`in [..]`, `return [..]`, slice patterns after `let`, ...).
+pub const NON_INDEX_KEYWORDS: [&str; 18] = [
+    "as", "box", "break", "dyn", "else", "for", "if", "impl", "in", "let", "loop", "match", "move",
+    "mut", "ref", "return", "unsafe", "while",
+];
+
+impl SourceFile {
+    /// Tokenizes `text` and derives the line table and test regions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`lex`] error (unterminated literal/comment) with
+    /// the file name attached.
+    pub fn parse(rel: &str, text: &str) -> Result<Self, String> {
+        let toks = lex(text).map_err(|e| format!("{rel}: {e}"))?;
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut file = SourceFile {
+            rel: rel.to_owned(),
+            text: text.to_owned(),
+            toks,
+            code,
+            line_starts,
+            in_test: Vec::new(),
+        };
+        file.in_test = file.mark_test_regions();
+        Ok(file)
+    }
+
+    /// Number of code positions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns true when the file holds no code tokens.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The token at code position `p`, if in range.
+    pub fn ctok(&self, p: usize) -> Option<&Tok> {
+        self.code.get(p).and_then(|&i| self.toks.get(i))
+    }
+
+    /// The text of the token at code position `p` (`""` out of range).
+    pub fn ct(&self, p: usize) -> &str {
+        self.ctok(p).map_or("", |t| t.text(&self.text))
+    }
+
+    /// The kind of the token at code position `p`.
+    pub fn ck(&self, p: usize) -> Option<TokKind> {
+        self.ctok(p).map(|t| t.kind)
+    }
+
+    /// Is the token at code position `p` inside a `#[cfg(test)]` item?
+    pub fn cin_test(&self, p: usize) -> bool {
+        self.code
+            .get(p)
+            .and_then(|&i| self.in_test.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// 1-based line number of byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// Original source line at 1-based `line`, trimmed.
+    pub fn excerpt(&self, line: usize) -> String {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1))
+            .map_or(String::new(), |l| l.trim().to_owned())
+    }
+
+    /// The full (trimmed) text of 1-based `line` — alias kept for rule
+    /// readability where the excerpt *is* the evidence.
+    pub fn line_text(&self, line: usize) -> &str {
+        let lo = self.line_starts.get(line.saturating_sub(1));
+        let hi = self.line_starts.get(line);
+        match (lo, hi) {
+            (Some(&lo), Some(&hi)) => self.text.get(lo..hi).unwrap_or("").trim_end(),
+            (Some(&lo), None) => self.text.get(lo..).unwrap_or("").trim_end(),
+            _ => "",
+        }
+    }
+
+    /// Builds a [`Violation`] of `rule` anchored at code position `p`.
+    pub fn violation(&self, rule: &'static str, p: usize) -> Violation {
+        let line = self.ctok(p).map_or(0, |t| self.line_of(t.lo));
+        Violation {
+            file: self.rel.clone(),
+            line,
+            rule,
+            excerpt: self.excerpt(line),
+        }
+    }
+
+    /// Code-position spans (inclusive braces) of every `fn <name>` body in
+    /// non-test code. Bodiless trait declarations (`fn name(..);`) are
+    /// skipped; multiple same-named functions all report.
+    pub fn fn_body_spans(&self, name: &str) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut p = 0;
+        while p + 1 < self.len() {
+            if self.ct(p) == "fn" && self.ct(p + 1) == name && !self.cin_test(p) {
+                let mut q = p + 2;
+                // Scan to the body's `{`, or give up at `;` (trait decl).
+                while q < self.len() && self.ct(q) != "{" && self.ct(q) != ";" {
+                    q += 1;
+                }
+                if self.ct(q) == "{" {
+                    if let Some(end) = self.match_brace(q) {
+                        spans.push((q, end));
+                        p = end;
+                    }
+                }
+            }
+            p += 1;
+        }
+        spans
+    }
+
+    /// Code position of the `}` matching the `{` at code position `open`.
+    fn match_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for q in open..self.len() {
+            match self.ct(q) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return Some(q);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Per-`toks`-index membership in a `#[cfg(test)]`-gated item: the
+    /// attribute itself through the matching closing brace (or through `;`
+    /// for brace-less items), plus any further attributes in between.
+    fn mark_test_regions(&self) -> Vec<bool> {
+        let mut in_test = vec![false; self.toks.len()];
+        let mut p = 0;
+        while p + 6 < self.len() {
+            let is_cfg_test = self.ct(p) == "#"
+                && self.ct(p + 1) == "["
+                && self.ct(p + 2) == "cfg"
+                && self.ct(p + 3) == "("
+                && self.ct(p + 4) == "test"
+                && self.ct(p + 5) == ")"
+                && self.ct(p + 6) == "]";
+            if !is_cfg_test {
+                p += 1;
+                continue;
+            }
+            let mut q = p + 7;
+            // Skip further attributes on the same item.
+            while self.ct(q) == "#" && self.ct(q + 1) == "[" {
+                let mut depth = 0usize;
+                while q < self.len() {
+                    match self.ct(q) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    q += 1;
+                }
+                q += 1;
+            }
+            // Scan to the item's `{` (brace-matched) or `;`.
+            while q < self.len() && self.ct(q) != "{" && self.ct(q) != ";" {
+                q += 1;
+            }
+            let end = if self.ct(q) == "{" {
+                self.match_brace(q).unwrap_or(self.len().saturating_sub(1))
+            } else {
+                q.min(self.len().saturating_sub(1))
+            };
+            for cp in p..=end {
+                if let Some(&ti) = self.code.get(cp) {
+                    if let Some(slot) = in_test.get_mut(ti) {
+                        *slot = true;
+                    }
+                }
+            }
+            p = end + 1;
+        }
+        in_test
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+pub fn workspace_root() -> Result<PathBuf, String> {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".into())
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut local = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            local.push(path);
+        }
+    }
+    local.sort();
+    out.extend(local);
+    Ok(())
+}
+
+/// Reads and parses one source file, recording its workspace-relative path.
+pub fn load_source(root: &Path, path: &Path) -> Result<SourceFile, String> {
+    let raw =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    SourceFile::parse(&rel, &raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", src).unwrap()
+    }
+
+    #[test]
+    fn code_positions_skip_comments() {
+        let f = file("a // comment\nb /* block */ c");
+        let texts: Vec<&str> = (0..f.len()).map(|p| f.ct(p)).collect();
+        assert_eq!(texts, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn line_numbers_and_excerpts() {
+        let f = file("let a = 1;\nlet b = 2;\n");
+        let p_b = (0..f.len()).find(|&p| f.ct(p) == "b").unwrap();
+        let v = f.violation("demo", p_b);
+        assert_eq!(v.line, 2);
+        assert_eq!(v.excerpt, "let b = 2;");
+        assert_eq!(f.line_text(2), "let b = 2;");
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let f = file(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n",
+        );
+        let find = |t: &str| (0..f.len()).find(|&p| f.ct(p) == t).unwrap();
+        assert!(!f.cin_test(find("live")));
+        assert!(f.cin_test(find("unwrap")));
+        assert!(!f.cin_test(find("after")));
+    }
+
+    #[test]
+    fn test_regions_cover_attributed_and_braceless_items() {
+        let f = file("#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn x() {} }\n#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        let find = |t: &str| (0..f.len()).find(|&p| f.ct(p) == t).unwrap();
+        assert!(f.cin_test(find("x")));
+        assert!(f.cin_test(find("bar")));
+        assert!(!f.cin_test(find("live")));
+    }
+
+    #[test]
+    fn fn_body_spans_skip_trait_decls_and_find_all_impls() {
+        let src = "trait Q { fn push(&mut self, x: u32); }\n\
+                   impl Q for A { fn push(&mut self, x: u32) { self.a(x) } }\n\
+                   impl Q for B { fn push(&mut self, x: u32) { self.b(x) } }\n";
+        let f = file(src);
+        let spans = f.fn_body_spans("push");
+        assert_eq!(spans.len(), 2);
+        for (lo, hi) in spans {
+            assert_eq!(f.ct(lo), "{");
+            assert_eq!(f.ct(hi), "}");
+        }
+    }
+
+    #[test]
+    fn fn_body_spans_ignore_test_fns() {
+        let f = file("#[cfg(test)]\nmod t { fn push() { Vec::<u8>::new(); } }\n");
+        assert!(f.fn_body_spans("push").is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Minimal JSON reader/writer (bench-check, `analyze --json`; this
+//! workspace vendors no JSON crate).
+
+/// A parsed JSON value — just enough for `BENCH_eval.json` and the
+/// `analyze --json` report.
+#[derive(Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in member order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup; `None` on non-objects and absent keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Serializes this value as compact JSON with escaped strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                // Integral values print without a fractional part so line
+                // numbers and counts read naturally.
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Str(s) => write_json_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal with `"`, `\` and control
+/// characters escaped.
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Recursive-descent JSON parser over the full input (trailing garbage is
+/// an error). Covers objects, arrays, strings with `\`-escapes, numbers,
+/// literals.
+///
+/// # Errors
+///
+/// Reports the byte offset of the first malformed construct.
+pub fn json_parse(text: &str) -> Result<JsonValue, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let value = json_value(b, &mut pos)?;
+    json_skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn byte_at(s: &[u8], i: usize) -> u8 {
+    s.get(i).copied().unwrap_or(0)
+}
+
+fn json_skip_ws(b: &[u8], pos: &mut usize) {
+    while byte_at(b, *pos).is_ascii_whitespace() && *pos < b.len() {
+        *pos += 1;
+    }
+}
+
+fn json_expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    json_skip_ws(b, pos);
+    if byte_at(b, *pos) != c {
+        return Err(format!("expected `{}` at byte {}", c as char, *pos));
+    }
+    *pos += 1;
+    Ok(())
+}
+
+fn json_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    json_skip_ws(b, pos);
+    match byte_at(b, *pos) {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            json_skip_ws(b, pos);
+            if byte_at(b, *pos) == b'}' {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                json_skip_ws(b, pos);
+                let key = json_string(b, pos)?;
+                json_expect(b, pos, b':')?;
+                members.push((key, json_value(b, pos)?));
+                json_skip_ws(b, pos);
+                match byte_at(b, *pos) {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            json_skip_ws(b, pos);
+            if byte_at(b, *pos) == b']' {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(json_value(b, pos)?);
+                json_skip_ws(b, pos);
+                match byte_at(b, *pos) {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        b'"' => json_string(b, pos).map(JsonValue::Str),
+        b't' if b.get(*pos..*pos + 4) == Some(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        b'f' if b.get(*pos..*pos + 5) == Some(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        b'n' if b.get(*pos..*pos + 4) == Some(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        _ => {
+            let start = *pos;
+            if byte_at(b, *pos) == b'-' {
+                *pos += 1;
+            }
+            while matches!(
+                byte_at(b, *pos),
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+            ) {
+                *pos += 1;
+            }
+            let tok = b
+                .get(start..*pos)
+                .map(String::from_utf8_lossy)
+                .unwrap_or_default();
+            tok.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("invalid value at byte {start}"))
+        }
+    }
+}
+
+fn json_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    json_expect(b, pos, b'"')?;
+    let mut out = Vec::new();
+    while *pos < b.len() {
+        match byte_at(b, *pos) {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"));
+            }
+            b'\\' => {
+                let esc = byte_at(b, *pos + 1);
+                out.push(match esc {
+                    b'n' => b'\n',
+                    b't' => b'\t',
+                    b'r' => b'\r',
+                    other => other, // `\"`, `\\`, `\/` — good enough here
+                });
+                *pos += 2;
+            }
+            c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reader_handles_the_recorder_schema() {
+        let doc = json_parse(
+            "{\n  \"host_parallelism\": 8,\n  \"topologies\": [\n    \
+             {\"name\": \"AS3549\", \"serial_secs\": 0.0713, \"sweep_secs\": 1.5e-3},\n    \
+             {\"name\": \"AS209\", \"serial_secs\": 0.0014, \"sweep_secs\": 0.0002}\n  ]\n}",
+        )
+        .unwrap();
+        let rows = doc.get("topologies").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("name").and_then(JsonValue::as_str),
+            Some("AS3549")
+        );
+        assert_eq!(
+            rows[0].get("sweep_secs").and_then(JsonValue::as_f64),
+            Some(1.5e-3)
+        );
+        assert_eq!(
+            doc.get("host_parallelism").and_then(JsonValue::as_f64),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn json_reader_rejects_garbage() {
+        assert!(json_parse("{\"a\": }").is_err());
+        assert!(json_parse("[1, 2").is_err());
+        assert!(json_parse("{} trailing").is_err());
+        assert!(json_parse("\"unterminated").is_err());
+        // Literals and escapes round-trip.
+        assert_eq!(json_parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(json_parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(
+            json_parse("\"a\\\"b\"").unwrap(),
+            JsonValue::Str("a\"b".into())
+        );
+        assert_eq!(json_parse("-2.5e1").unwrap(), JsonValue::Num(-25.0));
+    }
+
+    #[test]
+    fn emitter_escapes_and_round_trips() {
+        let v = JsonValue::Obj(vec![
+            ("s".into(), JsonValue::Str("a\"b\\c\nd".into())),
+            ("n".into(), JsonValue::Num(42.0)),
+            ("x".into(), JsonValue::Num(0.25)),
+            (
+                "a".into(),
+                JsonValue::Arr(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
+        ]);
+        let text = v.to_json();
+        let back = json_parse(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("n").and_then(JsonValue::as_f64), Some(42.0));
+    }
+}

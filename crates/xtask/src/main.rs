@@ -1,114 +1,62 @@
-//! Workspace static-analysis driver: `cargo xtask analyze`.
-//!
-//! The paper's correctness claims (Theorems 1–3) are enforced by code that
-//! runs on the forwarding hot path, so this tool turns the workspace's
-//! hygiene rules into a mechanical, CI-enforced pass. The rule families
-//! (see DESIGN.md, "Static analysis & lint policy"):
-//!
-//! 1. **Panic-freedom** — non-test code of the hot-path crates (`rtr-core`,
-//!    `rtr-obs`, `rtr-routing`, `rtr-sim`, `rtr-topology`) must not call `.unwrap()` /
-//!    `.expect()`, invoke `panic!` / `unreachable!` / `todo!` /
-//!    `unimplemented!`, or index slices and `Vec`s with `[...]`. Every
-//!    remaining site must match a justified entry in
-//!    `crates/xtask/allow.toml`.
-//! 2. **Paper invariants** — the `failed_link` / `cross_link` header fields
-//!    may be mutated only inside their typed setters in
-//!    `crates/sim/src/header.rs` (`record_failed_link` /
-//!    `record_cross_link`), and floating-point link weights must never be
-//!    compared with `==` / `!=`.
-//! 3. **Theorem coverage** — every `Theorem N` stated in DESIGN.md must map
-//!    to at least one `#[test]` in `crates/core/tests/theorems.rs` whose
-//!    name contains `theoremN`.
-//! 4. **Thread discipline** — `thread::spawn` / `thread::scope` appear only
-//!    in the fork-join executor (`crates/eval/src/par.rs`), the one place
-//!    threads are born, so the driver's determinism argument stays local.
-//! 5. **SIMD discipline** — `std::arch` / `core::arch` intrinsics appear
-//!    only in the crossing-mask kernel module
-//!    (`crates/topology/src/kernels.rs`), the one place `unsafe` vector
-//!    code is wrapped behind the safe `MaskKernel` dispatch.
-//! 6. **Link-set membership** — non-test code of `rtr-core` must test
-//!    link-set membership through the word-parallel bitset API
-//!    (`LinkIdSet::contains` / `LinkBitSet` / crossing masks): linear
-//!    `.iter().any(` chains and reference-taking `.contains(&` scans are
-//!    flagged, with justified exemptions in `allow.toml`.
-//! 7. **Print discipline** — non-test code of the hot-path crates must not
-//!    write to stdout/stderr (`println!` / `eprintln!` / `print!` /
-//!    `eprint!` / `dbg!`): event emission is confined to
-//!    `rtr_obs::TraceSink` calls, so instrumented runs and the `--trace`
-//!    replay observe everything the hot path reports (DESIGN.md §10).
-//!
-//! `cargo xtask bench-record` regenerates `BENCH_eval.json` at the
-//! workspace root via the `bench_eval` binary of `rtr-bench`.
-//! `cargo xtask bench-check` validates the committed `BENCH_eval.json`
-//! (parses, every topology row carries `serial_secs` and `sweep_secs`)
-//! and fails if a fresh quick-workload run regresses more than 2× against
-//! it — on the serial total, or on any single topology's phase-1 sweep
-//! time (`sweep_secs`, with a 1 ms absolute floor for timer noise).
-//!
-//! The analysis is a source-level lexer (comments, strings and `#[cfg(test)]`
-//! regions are blanked out before pattern checks), not a full parser: it is
-//! deliberately conservative and any false positive is resolved by an
-//! explicit, justified allowlist entry rather than a silent skip.
+//! Thin CLI over the [`xtask`] static-analysis library: argument parsing
+//! and output rendering only. The tokenizer, rule engine, rule families,
+//! allowlist flow and bench gates all live in the library (see
+//! `src/lib.rs`), where they are unit- and integration-tested.
 
-use std::collections::BTreeSet;
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Hot-path crate directories (under `crates/`) subject to panic-freedom
-/// and print discipline.
-const HOT_PATH_CRATES: [&str; 5] = ["core", "obs", "routing", "sim", "topology"];
-
-/// Keywords that may legally precede a `[` without it being an indexing
-/// expression (`in [..]`, `return [..]`, slice patterns after `let`, ...).
-const NON_INDEX_KEYWORDS: [&str; 18] = [
-    "as", "box", "break", "dyn", "else", "for", "if", "impl", "in", "let", "loop", "match", "move",
-    "mut", "ref", "return", "unsafe", "while",
-];
-
-/// Methods that mutate a `LinkIdSet` header field.
-const MUTATORS: [&str; 9] = [
-    "insert", "extend", "clear", "remove", "push", "pop", "retain", "truncate", "drain",
-];
+/// Output mode for `cargo xtask analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnalyzeMode {
+    /// Human-readable `file:line: [rule] excerpt` lines plus a summary.
+    Text,
+    /// Machine-readable JSON report on stdout.
+    Json,
+    /// Text output plus GitHub Actions `::error` annotations.
+    Github,
+    /// Print the rule registry table and exit.
+    ListRules,
+}
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("analyze") => match run_analyze() {
-            Ok(true) => ExitCode::SUCCESS,
-            Ok(false) => ExitCode::FAILURE,
-            Err(e) => {
-                eprintln!("cargo xtask analyze: error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("bench-record") => match run_bench_record() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("cargo xtask bench-record: error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("bench-check") => match run_bench_check() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("cargo xtask bench-check: error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let mode = match args.get(1).map(String::as_str) {
+                None => AnalyzeMode::Text,
+                Some("--json") => AnalyzeMode::Json,
+                Some("--github") => AnalyzeMode::Github,
+                Some("--list-rules") => AnalyzeMode::ListRules,
+                Some(other) => {
+                    eprintln!(
+                        "cargo xtask analyze: unknown flag `{other}` \
+                         (expected --json, --github, or --list-rules)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_analyze_cli(mode)
+        }
+        Some("bench-record") => run_bench(xtask::bench::run_bench_record, "bench-record"),
+        Some("bench-check") => run_bench(xtask::bench::run_bench_check, "bench-check"),
         other => {
             eprintln!(
-                "usage: cargo xtask <analyze|bench-record|bench-check>\n  (got {:?})\n\n\
-                 analyze       Runs the workspace static-analysis pass: panic-freedom\n\
-                 \x20             and print discipline in the hot-path crates,\n\
+                "usage: cargo xtask <analyze [--json|--github|--list-rules]|bench-record|bench-check>\n  \
+                 (got {:?})\n\n\
+                 analyze       Runs the workspace static-analysis pass: panic-freedom,\n\
+                 \x20             print/determinism discipline in the hot-path crates,\n\
                  \x20             paper-invariant lints, theorem coverage, thread/SIMD\n\
-                 \x20             discipline, link-set membership.\n\
+                 \x20             discipline, link-set membership, unsafe-audit, and\n\
+                 \x20             allocation discipline in steady-state functions.\n\
+                 \x20             --json emits a machine-readable report, --github adds\n\
+                 \x20             workflow ::error annotations, --list-rules prints the\n\
+                 \x20             rule registry (the DESIGN.md \u{a7}7 table).\n\
                  bench-record  Regenerates BENCH_eval.json at the workspace root\n\
                  \x20             (driver wall times serial vs parallel, per kernel).\n\
                  bench-check   Validates the committed BENCH_eval.json (parses, rows\n\
-                 \x20             carry serial_secs/sweep_secs) and fails if a fresh\n\
-                 \x20             run regresses >2x on the serial total or on any\n\
-                 \x20             topology's sweep_secs.",
+                 \x20             carry serial_secs/sweep_secs, speedups sane for the\n\
+                 \x20             recording host) and fails if a fresh run regresses\n\
+                 \x20             >2x on the serial total or on any topology's sweep_secs.",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
@@ -116,1572 +64,75 @@ fn main() -> ExitCode {
     }
 }
 
-/// Runs the `bench_eval` recorder and leaves `BENCH_eval.json` at the
-/// workspace root. Records with `--features simd` so the committed
-/// artifact carries the full kernel matrix (`sweep_secs_simd` included;
-/// the kernel falls back to the batched path on non-AVX2 recorders).
-fn run_bench_record() -> Result<(), String> {
-    let root = workspace_root()?;
-    let out = root.join("BENCH_eval.json");
-    let status = std::process::Command::new("cargo")
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "rtr-bench",
-            "--features",
-            "simd",
-            "--bin",
-            "bench_eval",
-        ])
-        .arg("--")
-        .arg(&out)
-        .current_dir(&root)
-        .status()
-        .map_err(|e| format!("cannot launch cargo: {e}"))?;
-    if !status.success() {
-        return Err(format!("bench_eval exited with {status}"));
-    }
-    println!("cargo xtask bench-record: wrote {}", out.display());
-    Ok(())
-}
-
-/// One topology row of `BENCH_eval.json`, as `bench-check` reads it.
-#[derive(Debug)]
-struct BenchRow {
-    name: String,
-    serial_secs: f64,
-    sweep_secs: f64,
-}
-
-/// Reads `path` and extracts the per-topology rows, failing if the file
-/// does not parse as JSON or any row lacks a numeric `serial_secs` or
-/// `sweep_secs` field (the recorder's schema).
-fn parse_bench_rows(path: &Path) -> Result<Vec<BenchRow>, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let doc = json_parse(&text).map_err(|e| format!("{} does not parse: {e}", path.display()))?;
-    let topologies = doc
-        .get("topologies")
-        .and_then(JsonValue::as_array)
-        .ok_or_else(|| format!("{}: missing `topologies` array", path.display()))?;
-    if topologies.is_empty() {
-        return Err(format!("{}: `topologies` is empty", path.display()));
-    }
-    let mut rows = Vec::new();
-    for (i, row) in topologies.iter().enumerate() {
-        let name = row
-            .get("name")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| format!("{}: row {i} has no string `name`", path.display()))?
-            .to_owned();
-        let serial_secs = row
-            .get("serial_secs")
-            .and_then(JsonValue::as_f64)
-            .ok_or_else(|| {
-                format!(
-                    "{}: row `{name}` has no numeric `serial_secs`",
-                    path.display()
-                )
-            })?;
-        let sweep_secs = row
-            .get("sweep_secs")
-            .and_then(JsonValue::as_f64)
-            .ok_or_else(|| {
-                format!(
-                    "{}: row `{name}` has no numeric `sweep_secs`",
-                    path.display()
-                )
-            })?;
-        rows.push(BenchRow {
-            name,
-            serial_secs,
-            sweep_secs,
-        });
-    }
-    Ok(rows)
-}
-
-/// Validates the committed `BENCH_eval.json` and guards against gross
-/// performance regressions: records a fresh file under `target/`, then
-/// fails if the fresh quick-workload serial total exceeds 2× the
-/// committed total, or if any single topology's phase-1 sweep time
-/// exceeds 2× its committed `sweep_secs` plus 1 ms of absolute slack
-/// (the per-topology sweep is sub-millisecond on small graphs, so the
-/// floor keeps timer noise from tripping the ratio). Coarse gates that
-/// survive CI-machine noise while catching algorithmic regressions.
-fn run_bench_check() -> Result<(), String> {
-    let root = workspace_root()?;
-    let committed = parse_bench_rows(&root.join("BENCH_eval.json"))?;
-
-    let fresh_dir = root.join("target").join("bench-check");
-    fs::create_dir_all(&fresh_dir)
-        .map_err(|e| format!("cannot create {}: {e}", fresh_dir.display()))?;
-    let fresh_path = fresh_dir.join("BENCH_eval.fresh.json");
-    let status = std::process::Command::new("cargo")
-        .args(["run", "--release", "-p", "rtr-bench", "--bin", "bench_eval"])
-        .arg("--")
-        .arg(&fresh_path)
-        .current_dir(&root)
-        .status()
-        .map_err(|e| format!("cannot launch cargo: {e}"))?;
-    if !status.success() {
-        return Err(format!("bench_eval exited with {status}"));
-    }
-    let fresh = parse_bench_rows(&fresh_path)?;
-
-    for c in &committed {
-        let Some(f) = fresh.iter().find(|f| f.name == c.name) else {
-            return Err(format!(
-                "fresh run is missing committed topology `{}`",
-                c.name
-            ));
+/// Runs the analyze pass and renders it in `mode`.
+fn run_analyze_cli(mode: AnalyzeMode) -> ExitCode {
+    if mode == AnalyzeMode::ListRules {
+        return match xtask::list_rules() {
+            Ok(table) => {
+                print!("{table}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cargo xtask analyze: error: {e}");
+                ExitCode::FAILURE
+            }
         };
-        if f.sweep_secs > 2.0 * c.sweep_secs + 0.001 {
-            return Err(format!(
-                "phase-1 sweep regression on `{}`: fresh sweep_secs {:.6}s > \
-                 2x committed {:.6}s + 1ms — investigate before re-recording \
-                 with `cargo xtask bench-record`",
-                c.name, f.sweep_secs, c.sweep_secs
-            ));
+    }
+    let report = match xtask::run_analyze() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("cargo xtask analyze: error: {e}");
+            return ExitCode::FAILURE;
         }
-    }
-    let committed_total: f64 = committed.iter().map(|r| r.serial_secs).sum();
-    let fresh_total: f64 = fresh.iter().map(|r| r.serial_secs).sum();
-    if fresh_total > 2.0 * committed_total {
-        return Err(format!(
-            "quick-workload serial regression: fresh total {fresh_total:.4}s > \
-             2x committed total {committed_total:.4}s — investigate before \
-             re-recording with `cargo xtask bench-record`"
-        ));
-    }
-    println!(
-        "cargo xtask bench-check: OK — {} topologies, fresh serial total \
-         {fresh_total:.4}s vs committed {committed_total:.4}s (gates: 2x \
-         total, 2x+1ms per-topology sweep)",
-        committed.len()
-    );
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader (bench-check; this workspace vendors no JSON parser)
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value — just enough to read `BENCH_eval.json`.
-#[derive(Debug, PartialEq)]
-enum JsonValue {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<JsonValue>),
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Object member lookup; `None` on non-objects and absent keys.
-    fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_array(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-/// Recursive-descent JSON parser over the full input (trailing garbage is
-/// an error). Covers the JSON grammar the recorder emits — objects,
-/// arrays, strings with `\`-escapes, numbers, literals.
-fn json_parse(text: &str) -> Result<JsonValue, String> {
-    let b = text.as_bytes();
-    let mut pos = 0usize;
-    let value = json_value(b, &mut pos)?;
-    json_skip_ws(b, &mut pos);
-    if pos != b.len() {
-        return Err(format!("trailing content at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn json_skip_ws(b: &[u8], pos: &mut usize) {
-    while byte_at(b, *pos).is_ascii_whitespace() && *pos < b.len() {
-        *pos += 1;
-    }
-}
-
-fn json_expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    json_skip_ws(b, pos);
-    if byte_at(b, *pos) != c {
-        return Err(format!("expected `{}` at byte {}", c as char, *pos));
-    }
-    *pos += 1;
-    Ok(())
-}
-
-fn json_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
-    json_skip_ws(b, pos);
-    match byte_at(b, *pos) {
-        b'{' => {
-            *pos += 1;
-            let mut members = Vec::new();
-            json_skip_ws(b, pos);
-            if byte_at(b, *pos) == b'}' {
-                *pos += 1;
-                return Ok(JsonValue::Obj(members));
+    };
+    match mode {
+        AnalyzeMode::Json => print!("{}", xtask::report_to_json(&report)),
+        AnalyzeMode::Github | AnalyzeMode::Text => {
+            if mode == AnalyzeMode::Github {
+                print!("{}", xtask::report_to_github(&report));
             }
-            loop {
-                json_skip_ws(b, pos);
-                let key = json_string(b, pos)?;
-                json_expect(b, pos, b':')?;
-                members.push((key, json_value(b, pos)?));
-                json_skip_ws(b, pos);
-                match byte_at(b, *pos) {
-                    b',' => *pos += 1,
-                    b'}' => {
-                        *pos += 1;
-                        return Ok(JsonValue::Obj(members));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
-                }
+            for v in &report.violations {
+                println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.excerpt);
             }
-        }
-        b'[' => {
-            *pos += 1;
-            let mut items = Vec::new();
-            json_skip_ws(b, pos);
-            if byte_at(b, *pos) == b']' {
-                *pos += 1;
-                return Ok(JsonValue::Arr(items));
-            }
-            loop {
-                items.push(json_value(b, pos)?);
-                json_skip_ws(b, pos);
-                match byte_at(b, *pos) {
-                    b',' => *pos += 1,
-                    b']' => {
-                        *pos += 1;
-                        return Ok(JsonValue::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
-                }
-            }
-        }
-        b'"' => json_string(b, pos).map(JsonValue::Str),
-        b't' if b.get(*pos..*pos + 4) == Some(b"true") => {
-            *pos += 4;
-            Ok(JsonValue::Bool(true))
-        }
-        b'f' if b.get(*pos..*pos + 5) == Some(b"false") => {
-            *pos += 5;
-            Ok(JsonValue::Bool(false))
-        }
-        b'n' if b.get(*pos..*pos + 4) == Some(b"null") => {
-            *pos += 4;
-            Ok(JsonValue::Null)
-        }
-        _ => {
-            let start = *pos;
-            if byte_at(b, *pos) == b'-' {
-                *pos += 1;
-            }
-            while matches!(
-                byte_at(b, *pos),
-                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
-            ) {
-                *pos += 1;
-            }
-            let tok = b
-                .get(start..*pos)
-                .map(String::from_utf8_lossy)
-                .unwrap_or_default();
-            tok.parse::<f64>()
-                .map(JsonValue::Num)
-                .map_err(|_| format!("invalid value at byte {start}"))
-        }
-    }
-}
-
-fn json_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    json_expect(b, pos, b'"')?;
-    let mut out = Vec::new();
-    while *pos < b.len() {
-        match byte_at(b, *pos) {
-            b'"' => {
-                *pos += 1;
-                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"));
-            }
-            b'\\' => {
-                let esc = byte_at(b, *pos + 1);
-                out.push(match esc {
-                    b'n' => b'\n',
-                    b't' => b'\t',
-                    b'r' => b'\r',
-                    other => other, // `\"`, `\\`, `\/` — good enough here
-                });
-                *pos += 2;
-            }
-            c => {
-                out.push(c);
-                *pos += 1;
-            }
-        }
-    }
-    Err("unterminated string".into())
-}
-
-/// One entry of `crates/xtask/allow.toml`.
-#[derive(Debug, Default, Clone)]
-struct AllowEntry {
-    /// Workspace-relative file the exemption applies to.
-    file: String,
-    /// Rule name (`unwrap`, `expect`, `panic-macro`, `indexing`,
-    /// `float-eq`, `linkset-membership`, ...).
-    rule: String,
-    /// Substring of the offending source line that identifies the site.
-    pattern: String,
-    /// One-line human justification. Must be non-empty.
-    justification: String,
-}
-
-/// A single rule violation at a source location.
-#[derive(Debug)]
-struct Violation {
-    /// Workspace-relative path.
-    file: String,
-    /// 1-based line number.
-    line: usize,
-    /// Rule name, matching [`AllowEntry::rule`].
-    rule: &'static str,
-    /// The offending (original, unmasked) source line, trimmed.
-    excerpt: String,
-}
-
-/// A loaded source file with its comment/string/test-blanked shadow copy.
-struct SourceFile {
-    /// Workspace-relative path with `/` separators.
-    rel: String,
-    /// Original text, split into lines for excerpts and allow matching.
-    lines: Vec<String>,
-    /// Same length as the original, with comments, string/char literals and
-    /// `#[cfg(test)]` regions replaced by spaces (newlines preserved).
-    masked: Vec<u8>,
-}
-
-fn run_analyze() -> Result<bool, String> {
-    let root = workspace_root()?;
-    let allow_path = root.join("crates/xtask/allow.toml");
-    let allow = load_allowlist(&allow_path)?;
-
-    // Rule family 1 runs on the hot-path crates; family 2 on every crate's
-    // library source plus the root facade (test code is always exempt).
-    let mut hot_files = Vec::new();
-    for krate in HOT_PATH_CRATES {
-        collect_rs_files(&root.join("crates").join(krate).join("src"), &mut hot_files)?;
-    }
-    let mut all_files = Vec::new();
-    let crates_dir = root.join("crates");
-    let entries = fs::read_dir(&crates_dir)
-        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("cannot read crates/: {e}"))?;
-        let src = entry.path().join("src");
-        if src.is_dir() {
-            collect_rs_files(&src, &mut all_files)?;
-        }
-    }
-    collect_rs_files(&root.join("src"), &mut all_files)?;
-
-    let mut violations = Vec::new();
-    let hot_set: BTreeSet<PathBuf> = hot_files.iter().cloned().collect();
-    for path in &all_files {
-        let file = load_source(&root, path)?;
-        if hot_set.contains(path) {
-            check_panic_freedom(&file, &mut violations);
-            check_print_discipline(&file, &mut violations);
-        }
-        check_header_discipline(&file, &mut violations);
-        check_float_eq(&file, &mut violations);
-        check_thread_discipline(&file, &mut violations);
-        check_simd_discipline(&file, &mut violations);
-        check_linkset_membership(&file, &mut violations);
-    }
-    check_theorem_coverage(&root, &mut violations)?;
-
-    // Split violations into allowlisted and live; then flag stale entries.
-    let mut used = vec![false; allow.len()];
-    let mut live = Vec::new();
-    let mut allowed = 0usize;
-    for v in violations {
-        let hit = allow
-            .iter()
-            .enumerate()
-            .find(|(_, a)| a.file == v.file && a.rule == v.rule && v.excerpt.contains(&a.pattern));
-        match hit {
-            Some((i, _)) => {
-                if let Some(flag) = used.get_mut(i) {
-                    *flag = true;
-                }
-                allowed += 1;
-            }
-            None => live.push(v),
-        }
-    }
-    for (entry, was_used) in allow.iter().zip(&used) {
-        if !was_used {
-            live.push(Violation {
-                file: "crates/xtask/allow.toml".into(),
-                line: 0,
-                rule: "stale-allow",
-                excerpt: format!(
-                    "entry ({} / {} / {:?}) matches no site — remove it",
-                    entry.file, entry.rule, entry.pattern
-                ),
-            });
-        }
-    }
-
-    if live.is_empty() {
-        println!(
-            "cargo xtask analyze: OK — {} files scanned ({} hot-path), \
-             0 violations, {allowed} allowlisted sites",
-            all_files.len(),
-            hot_files.len(),
-        );
-        Ok(true)
-    } else {
-        for v in &live {
-            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.excerpt);
-        }
-        println!(
-            "cargo xtask analyze: FAILED — {} violation(s), {allowed} allowlisted sites \
-             (add a justified entry to crates/xtask/allow.toml only for \
-             documented-contract sites)",
-            live.len()
-        );
-        Ok(false)
-    }
-}
-
-/// The workspace root, two levels above this crate's manifest.
-fn workspace_root() -> Result<PathBuf, String> {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
-        .ok_or_else(|| "cannot locate workspace root".into())
-}
-
-/// Recursively collects `.rs` files under `dir`, sorted for stable output.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    if !dir.is_dir() {
-        return Ok(());
-    }
-    let mut local = Vec::new();
-    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            local.push(path);
-        }
-    }
-    local.sort();
-    out.extend(local);
-    Ok(())
-}
-
-fn load_source(root: &Path, path: &Path) -> Result<SourceFile, String> {
-    let raw =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let rel = path
-        .strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace('\\', "/");
-    let mut masked = mask_source(&raw);
-    strip_test_regions(&mut masked);
-    Ok(SourceFile {
-        rel,
-        lines: raw.lines().map(str::to_owned).collect(),
-        masked,
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Lexical masking
-// ---------------------------------------------------------------------------
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-fn byte_at(s: &[u8], i: usize) -> u8 {
-    s.get(i).copied().unwrap_or(0)
-}
-
-/// Returns a same-length copy of `src` with comments and string/char
-/// literals blanked to spaces (newlines kept), so later substring checks
-/// never fire inside text.
-fn mask_source(src: &str) -> Vec<u8> {
-    let b = src.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let blank = |out: &mut Vec<u8>, byte: u8| out.push(if byte == b'\n' { b'\n' } else { b' ' });
-    let mut i = 0;
-    while i < b.len() {
-        let c = byte_at(b, i);
-        // Line comment (also covers `///` and `//!` doc comments).
-        if c == b'/' && byte_at(b, i + 1) == b'/' {
-            while i < b.len() && byte_at(b, i) != b'\n' {
-                blank(&mut out, byte_at(b, i));
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment, possibly nested.
-        if c == b'/' && byte_at(b, i + 1) == b'*' {
-            let mut depth = 0usize;
-            while i < b.len() {
-                if byte_at(b, i) == b'/' && byte_at(b, i + 1) == b'*' {
-                    depth += 1;
-                    blank(&mut out, byte_at(b, i));
-                    blank(&mut out, byte_at(b, i + 1));
-                    i += 2;
-                } else if byte_at(b, i) == b'*' && byte_at(b, i + 1) == b'/' {
-                    depth -= 1;
-                    blank(&mut out, byte_at(b, i));
-                    blank(&mut out, byte_at(b, i + 1));
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    blank(&mut out, byte_at(b, i));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw strings: r"..." / r#"..."# / br#"..."# (not part of an ident).
-        let prev_ident = i > 0 && is_ident(byte_at(b, i - 1));
-        if !prev_ident && (c == b'r' || (c == b'b' && byte_at(b, i + 1) == b'r')) {
-            let mut j = i + if c == b'b' { 2 } else { 1 };
-            let mut hashes = 0usize;
-            while byte_at(b, j) == b'#' {
-                hashes += 1;
-                j += 1;
-            }
-            if byte_at(b, j) == b'"' {
-                // Blank from `i` to the closing quote + hashes.
-                j += 1;
-                loop {
-                    if j >= b.len() {
-                        break;
-                    }
-                    if byte_at(b, j) == b'"' {
-                        let mut k = 0;
-                        while k < hashes && byte_at(b, j + 1 + k) == b'#' {
-                            k += 1;
-                        }
-                        if k == hashes {
-                            j += 1 + hashes;
-                            break;
-                        }
-                    }
-                    j += 1;
-                }
-                while i < j {
-                    blank(&mut out, byte_at(b, i));
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Plain and byte strings.
-        if c == b'"' || (c == b'b' && byte_at(b, i + 1) == b'"' && !prev_ident) {
-            if c == b'b' {
-                blank(&mut out, c);
-                i += 1;
-            }
-            blank(&mut out, byte_at(b, i));
-            i += 1;
-            while i < b.len() {
-                let s = byte_at(b, i);
-                if s == b'\\' {
-                    blank(&mut out, s);
-                    blank(&mut out, byte_at(b, i + 1));
-                    i += 2;
-                } else {
-                    blank(&mut out, s);
-                    i += 1;
-                    if s == b'"' {
-                        break;
-                    }
-                }
-            }
-            continue;
-        }
-        // Char literal vs. lifetime.
-        if c == b'\'' || (c == b'b' && byte_at(b, i + 1) == b'\'' && !prev_ident) {
-            let q = if c == b'b' { i + 1 } else { i };
-            // A lifetime is `'ident` NOT followed by a closing quote.
-            let mut j = q + 1;
-            while is_ident(byte_at(b, j)) {
-                j += 1;
-            }
-            let is_lifetime = c == b'\'' && j > q + 1 && byte_at(b, j) != b'\'';
-            if is_lifetime {
-                out.push(c);
-                i += 1;
-                continue;
-            }
-            // Char literal: handle escapes, then blank through closing quote.
-            let mut j = q + 1;
-            if byte_at(b, j) == b'\\' {
-                j += 2;
-                // Escapes like \x7f and \u{..} extend further.
-                while j < b.len() && byte_at(b, j) != b'\'' {
-                    j += 1;
-                }
+            if report.ok() {
+                println!(
+                    "cargo xtask analyze: OK — {} files scanned ({} hot-path), \
+                     0 violations, {} allowlisted sites",
+                    report.files_scanned, report.hot_files, report.allowed,
+                );
             } else {
-                while j < b.len() && byte_at(b, j) != b'\'' {
-                    j += 1;
-                }
-            }
-            j += 1; // past the closing quote
-            while i < j && i < b.len() {
-                blank(&mut out, byte_at(b, i));
-                i += 1;
-            }
-            continue;
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
-
-/// Blanks every `#[cfg(test)]`-gated item (attribute through the matching
-/// closing brace, or through `;` for brace-less items) in `masked`.
-fn strip_test_regions(masked: &mut [u8]) {
-    const NEEDLE: &[u8] = b"#[cfg(test)]";
-    let mut from = 0;
-    while let Some(pos) = find_from(masked, NEEDLE, from) {
-        let mut j = pos + NEEDLE.len();
-        // Scan to the item's `{` (brace-matched) or `;`, whichever first.
-        let mut open = None;
-        while j < masked.len() {
-            match byte_at(masked, j) {
-                b'{' => {
-                    open = Some(j);
-                    break;
-                }
-                b';' => break,
-                _ => j += 1,
+                println!(
+                    "cargo xtask analyze: FAILED — {} violation(s), {} allowlisted sites \
+                     (add a justified entry to crates/xtask/allow.toml only for \
+                     documented-contract sites)",
+                    report.violations.len(),
+                    report.allowed,
+                );
             }
         }
-        let end = match open {
-            Some(open) => {
-                let mut depth = 0usize;
-                let mut k = open;
-                while k < masked.len() {
-                    match byte_at(masked, k) {
-                        b'{' => depth += 1,
-                        b'}' => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                k
-            }
-            None => j,
-        };
-        for slot in masked.iter_mut().take(end + 1).skip(pos) {
-            if *slot != b'\n' {
-                *slot = b' ';
-            }
-        }
-        from = end + 1;
+        AnalyzeMode::ListRules => {}
     }
-}
-
-/// First occurrence of `needle` in `hay` at or after `from`.
-fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    hay.get(from..)?
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
-}
-
-/// 1-based line number of byte offset `pos`.
-fn line_of(masked: &[u8], pos: usize) -> usize {
-    1 + masked
-        .get(..pos)
-        .map_or(0, |s| s.iter().filter(|&&b| b == b'\n').count())
-}
-
-/// Original source line at 1-based `line`, trimmed.
-fn excerpt(file: &SourceFile, line: usize) -> String {
-    file.lines
-        .get(line.saturating_sub(1))
-        .map_or(String::new(), |l| l.trim().to_owned())
-}
-
-fn prev_non_ws(masked: &[u8], mut i: usize) -> Option<usize> {
-    while i > 0 {
-        i -= 1;
-        if !byte_at(masked, i).is_ascii_whitespace() {
-            return Some(i);
-        }
-    }
-    None
-}
-
-fn next_non_ws(masked: &[u8], mut i: usize) -> Option<usize> {
-    while i < masked.len() {
-        if !byte_at(masked, i).is_ascii_whitespace() {
-            return Some(i);
-        }
-        i += 1;
-    }
-    None
-}
-
-/// The identifier ending at byte `end` (inclusive), if any.
-fn ident_ending_at(masked: &[u8], end: usize) -> String {
-    let mut start = end;
-    while start > 0 && is_ident(byte_at(masked, start - 1)) {
-        start -= 1;
-    }
-    masked
-        .get(start..=end)
-        .map_or(String::new(), |s| String::from_utf8_lossy(s).into_owned())
-}
-
-/// The identifier starting at byte `start`, if any.
-fn ident_starting_at(masked: &[u8], start: usize) -> String {
-    let mut end = start;
-    while end < masked.len() && is_ident(byte_at(masked, end)) {
-        end += 1;
-    }
-    masked
-        .get(start..end)
-        .map_or(String::new(), |s| String::from_utf8_lossy(s).into_owned())
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 1: panic-freedom
-// ---------------------------------------------------------------------------
-
-fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
-    let m = &file.masked;
-    let mut push = |pos: usize, rule: &'static str| {
-        let line = line_of(m, pos);
-        out.push(Violation {
-            file: file.rel.clone(),
-            line,
-            rule,
-            excerpt: excerpt(file, line),
-        });
-    };
-
-    // `.unwrap()` / `.expect(...)` method calls.
-    for (needle, rule) in [(&b".unwrap"[..], "unwrap"), (&b".expect"[..], "expect")] {
-        let mut from = 0;
-        while let Some(pos) = find_from(m, needle, from) {
-            from = pos + needle.len();
-            if is_ident(byte_at(m, from)) {
-                continue; // `.unwrap_or(..)`, `.expect_err(..)`, ...
-            }
-            if next_non_ws(m, from).map(|i| byte_at(m, i)) == Some(b'(') {
-                push(pos, rule);
-            }
-        }
-    }
-
-    // Aborting macros.
-    for needle in [
-        &b"panic!"[..],
-        &b"unreachable!"[..],
-        &b"todo!"[..],
-        &b"unimplemented!"[..],
-    ] {
-        let mut from = 0;
-        while let Some(pos) = find_from(m, needle, from) {
-            from = pos + needle.len();
-            if pos > 0 && is_ident(byte_at(m, pos - 1)) {
-                continue;
-            }
-            push(pos, "panic-macro");
-        }
-    }
-
-    // Slice / Vec indexing: `expr[...]` where expr ends in an identifier,
-    // `)`, or `]` — array literals, types, patterns and attributes all have
-    // a non-expression byte (or a keyword) before the `[`.
-    let mut i = 0;
-    while i < m.len() {
-        if byte_at(m, i) == b'[' {
-            if let Some(p) = prev_non_ws(m, i) {
-                let pb = byte_at(m, p);
-                let is_index = if pb == b')' || pb == b']' {
-                    true
-                } else if is_ident(pb) {
-                    let word = ident_ending_at(m, p);
-                    !NON_INDEX_KEYWORDS.contains(&word.as_str())
-                } else {
-                    false
-                };
-                if is_index {
-                    push(i, "indexing");
-                }
-            }
-        }
-        i += 1;
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 2: paper invariants
-// ---------------------------------------------------------------------------
-
-/// Byte span (inclusive braces) of the body of `fn <name>` in `masked`.
-fn fn_body_span(masked: &[u8], name: &str) -> Option<(usize, usize)> {
-    let needle: Vec<u8> = format!("fn {name}").into_bytes();
-    let pos = find_from(masked, &needle, 0)?;
-    let open = find_from(masked, b"{", pos)?;
-    let mut depth = 0usize;
-    let mut k = open;
-    while k < masked.len() {
-        match byte_at(masked, k) {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((open, k));
-                }
-            }
-            _ => {}
-        }
-        k += 1;
-    }
-    None
-}
-
-/// Header-mutation discipline: `failed_links` / `cross_links` may be
-/// mutated (or assigned) only inside the typed setters of
-/// `crates/sim/src/header.rs`, and the fields must stay private.
-fn check_header_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
-    let m = &file.masked;
-    let is_header = file.rel == "crates/sim/src/header.rs";
-    let setter_spans: Vec<(usize, usize)> = if is_header {
-        ["record_failed_link", "record_cross_link"]
-            .iter()
-            .filter_map(|f| fn_body_span(m, f))
-            .collect()
+    if report.ok() {
+        ExitCode::SUCCESS
     } else {
-        Vec::new()
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one bench subcommand with the workspace root resolved.
+fn run_bench(f: fn(&std::path::Path) -> Result<(), String>, name: &str) -> ExitCode {
+    let root = match xtask::engine::workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("cargo xtask {name}: error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-
-    if is_header {
-        for needle in [&b"pub failed_links"[..], &b"pub cross_links"[..]] {
-            if let Some(pos) = find_from(m, needle, 0) {
-                let line = line_of(m, pos);
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line,
-                    rule: "header-privacy",
-                    excerpt: excerpt(file, line),
-                });
-            }
+    match f(&root) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cargo xtask {name}: error: {e}");
+            ExitCode::FAILURE
         }
-    }
-
-    for field in [&b"failed_links"[..], &b"cross_links"[..]] {
-        let mut from = 0;
-        while let Some(pos) = find_from(m, field, from) {
-            from = pos + field.len();
-            if (pos > 0 && is_ident(byte_at(m, pos - 1))) || is_ident(byte_at(m, from)) {
-                continue; // part of a longer identifier
-            }
-            let Some(nxt) = next_non_ws(m, from) else {
-                continue;
-            };
-            let mutation = match byte_at(m, nxt) {
-                b'.' => {
-                    let method = next_non_ws(m, nxt + 1)
-                        .map(|i| ident_starting_at(m, i))
-                        .unwrap_or_default();
-                    MUTATORS.contains(&method.as_str())
-                }
-                b'=' => byte_at(m, nxt + 1) != b'=',
-                _ => false,
-            };
-            if !mutation {
-                continue;
-            }
-            let in_setter = setter_spans.iter().any(|&(a, b)| pos >= a && pos <= b);
-            if !in_setter {
-                let line = line_of(m, pos);
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line,
-                    rule: "header-mutation",
-                    excerpt: excerpt(file, line),
-                });
-            }
-        }
-    }
-}
-
-/// Exact floating-point equality: flags `==` / `!=` where either operand is
-/// a float literal or an identifier annotated `: f64` in the same file.
-fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
-    let m = &file.masked;
-
-    // Identifiers declared `: f64` (params, fields, lets) in this file.
-    let mut f64_idents: BTreeSet<String> = BTreeSet::new();
-    let mut from = 0;
-    while let Some(pos) = find_from(m, b"f64", from) {
-        from = pos + 3;
-        if (pos > 0 && is_ident(byte_at(m, pos - 1))) || is_ident(byte_at(m, pos + 3)) {
-            continue;
-        }
-        let Some(colon) = prev_non_ws(m, pos) else {
-            continue;
-        };
-        if byte_at(m, colon) != b':' || (colon > 0 && byte_at(m, colon - 1) == b':') {
-            continue; // not a type ascription (`::` is a path)
-        }
-        if let Some(name_end) = prev_non_ws(m, colon) {
-            let name = ident_ending_at(m, name_end);
-            if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-                f64_idents.insert(name);
-            }
-        }
-    }
-
-    let operand_token = |s: &str| -> String {
-        s.chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
-            .collect()
-    };
-    let is_float_literal =
-        |tok: &str| tok.chars().next().is_some_and(|c| c.is_ascii_digit()) && tok.contains('.');
-    let is_f64_ident = |tok: &str| {
-        let last = tok.rsplit('.').next().unwrap_or(tok);
-        f64_idents.contains(last)
-    };
-
-    for op in [&b"=="[..], &b"!="[..]] {
-        let mut from = 0;
-        while let Some(pos) = find_from(m, op, from) {
-            from = pos + 2;
-            // Not part of `<=`, `>=`, `=>`, `===`-like runs or `!=`-vs-`==`.
-            let before = if pos > 0 { byte_at(m, pos - 1) } else { 0 };
-            if matches!(before, b'=' | b'!' | b'<' | b'>') || byte_at(m, pos + 2) == b'=' {
-                continue;
-            }
-            let left = prev_non_ws(m, pos).map_or(String::new(), |p| {
-                let mut start = p;
-                while start > 0 {
-                    let c = byte_at(m, start - 1);
-                    if is_ident(c) || c == b'.' {
-                        start -= 1;
-                    } else {
-                        break;
-                    }
-                }
-                if is_ident(byte_at(m, p)) {
-                    m.get(start..=p)
-                        .map_or(String::new(), |s| String::from_utf8_lossy(s).into_owned())
-                } else {
-                    String::new()
-                }
-            });
-            let right = next_non_ws(m, pos + 2).map_or(String::new(), |p| {
-                m.get(p..).map_or(String::new(), |s| {
-                    operand_token(&String::from_utf8_lossy(s))
-                })
-            });
-            let flagged = is_float_literal(&left)
-                || is_float_literal(&right)
-                || is_f64_ident(&left)
-                || is_f64_ident(&right);
-            if flagged {
-                let line = line_of(m, pos);
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line,
-                    rule: "float-eq",
-                    excerpt: excerpt(file, line),
-                });
-            }
-        }
-    }
-}
-
-/// The one file allowed to create threads: the fork-join executor.
-const THREAD_EXECUTOR: &str = "crates/eval/src/par.rs";
-
-/// Thread discipline: `thread::spawn` / `thread::scope` only inside the
-/// executor module. Everything else must go through `rtr_eval::par`, so
-/// the scenario-order merge stays the single determinism argument.
-fn check_thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
-    if file.rel == THREAD_EXECUTOR {
-        return;
-    }
-    let m = &file.masked;
-    for needle in [&b"thread::spawn"[..], &b"thread::scope"[..]] {
-        let mut from = 0;
-        while let Some(pos) = find_from(m, needle, from) {
-            from = pos + needle.len();
-            let line = line_of(m, pos);
-            out.push(Violation {
-                file: file.rel.clone(),
-                line,
-                rule: "thread-discipline",
-                excerpt: excerpt(file, line),
-            });
-        }
-    }
-}
-
-/// The one file allowed to name CPU intrinsics: the crossing-mask kernel
-/// module, whose safe `MaskKernel` dispatch wraps the AVX2 path.
-const SIMD_KERNEL_MODULE: &str = "crates/topology/src/kernels.rs";
-
-/// SIMD discipline: `std::arch` / `core::arch` tokens only inside the
-/// kernel module. Every intrinsic (and the `unsafe` it drags along) stays
-/// behind one safe, feature-detected dispatch point, so the rest of the
-/// workspace remains portable stable Rust.
-fn check_simd_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
-    if file.rel == SIMD_KERNEL_MODULE {
-        return;
-    }
-    let m = &file.masked;
-    for needle in [&b"std::arch"[..], &b"core::arch"[..]] {
-        let mut from = 0;
-        while let Some(pos) = find_from(m, needle, from) {
-            from = pos + needle.len();
-            let line = line_of(m, pos);
-            out.push(Violation {
-                file: file.rel.clone(),
-                line,
-                rule: "simd-discipline",
-                excerpt: excerpt(file, line),
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 5: link-set membership (bitset discipline)
-// ---------------------------------------------------------------------------
-
-/// The crate whose non-test code must do link-set membership through the
-/// word-parallel bitset API (`LinkIdSet::contains`, `LinkBitSet`,
-/// `CrossLinkTable::crossing_mask`): `rtr-core` holds the phase-1 sweep
-/// hot path, where a linear scan hides O(|set|) work per probe.
-const LINKSET_CRATE_PREFIX: &str = "crates/core/";
-
-/// Flags linear membership idioms in `rtr-core` non-test code:
-/// `.iter().any(` chains (whitespace-tolerant, so rustfmt-split chains
-/// still match) and reference-taking `.contains(&` (slice/`Vec`
-/// membership borrows its argument, while the bitset APIs take `LinkId`
-/// by value — a clean lexical split between the two).
-fn check_linkset_membership(file: &SourceFile, out: &mut Vec<Violation>) {
-    if !file.rel.starts_with(LINKSET_CRATE_PREFIX) {
-        return;
-    }
-    let m = &file.masked;
-    let mut push = |pos: usize| {
-        let line = line_of(m, pos);
-        out.push(Violation {
-            file: file.rel.clone(),
-            line,
-            rule: "linkset-membership",
-            excerpt: excerpt(file, line),
-        });
-    };
-
-    // `.iter()` followed (across whitespace) by `.any(`. Anchored on the
-    // `any` token so the excerpt shows the predicate, not the receiver.
-    let mut from = 0;
-    while let Some(pos) = find_from(m, b".iter()", from) {
-        from = pos + b".iter()".len();
-        let Some(dot) = next_non_ws(m, from) else {
-            continue;
-        };
-        if byte_at(m, dot) != b'.' {
-            continue;
-        }
-        let Some(name) = next_non_ws(m, dot + 1) else {
-            continue;
-        };
-        if ident_starting_at(m, name) == "any" && byte_at(m, name + 3) == b'(' {
-            push(name);
-        }
-    }
-
-    // `.contains(&x)` — the borrowing form is always a linear scan.
-    let mut from = 0;
-    while let Some(pos) = find_from(m, b".contains(", from) {
-        from = pos + b".contains(".len();
-        if next_non_ws(m, from).map(|i| byte_at(m, i)) == Some(b'&') {
-            push(pos);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 7: print discipline (hot-path crates emit via TraceSink only)
-// ---------------------------------------------------------------------------
-
-/// Macros that would write to stdout/stderr behind the observability
-/// layer's back.
-const PRINT_MACROS: [&[u8]; 5] = [b"println!", b"eprintln!", b"print!", b"eprint!", b"dbg!"];
-
-/// Print discipline: non-test code of the hot-path crates must not write
-/// to stdout/stderr directly. Event emission is confined to
-/// `rtr_obs::TraceSink` calls, so instrumented runs and the `--trace`
-/// replay observe everything the hot path reports (DESIGN.md §10) and the
-/// eval writer funnel keeps sole ownership of the process streams.
-fn check_print_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
-    let m = &file.masked;
-    for needle in PRINT_MACROS {
-        let mut from = 0;
-        while let Some(pos) = find_from(m, needle, from) {
-            from = pos + needle.len();
-            if pos > 0 && is_ident(byte_at(m, pos - 1)) {
-                continue; // `println!` seen inside `eprintln!`, `_dbg!`, ...
-            }
-            let line = line_of(m, pos);
-            out.push(Violation {
-                file: file.rel.clone(),
-                line,
-                rule: "print-discipline",
-                excerpt: excerpt(file, line),
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 3: theorem coverage
-// ---------------------------------------------------------------------------
-
-fn check_theorem_coverage(root: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
-    let design_path = root.join("DESIGN.md");
-    let design =
-        fs::read_to_string(&design_path).map_err(|e| format!("cannot read DESIGN.md: {e}"))?;
-    let mut theorems: BTreeSet<u32> = BTreeSet::new();
-    for (idx, _) in design.match_indices("Theorem ") {
-        let digits: String = design
-            .get(idx + 8..)
-            .unwrap_or("")
-            .chars()
-            .take_while(char::is_ascii_digit)
-            .collect();
-        if let Ok(n) = digits.parse() {
-            theorems.insert(n);
-        }
-    }
-    if theorems.is_empty() {
-        return Err("DESIGN.md names no theorems — audit cannot run".into());
-    }
-
-    let tests_path = root.join("crates/core/tests/theorems.rs");
-    let tests =
-        fs::read_to_string(&tests_path).map_err(|e| format!("cannot read theorems.rs: {e}"))?;
-    let mut test_names: BTreeSet<String> = BTreeSet::new();
-    for (idx, _) in tests.match_indices("#[test]") {
-        if let Some(fn_pos) = tests.get(idx..).and_then(|s| s.find("fn ")) {
-            let name: String = tests
-                .get(idx + fn_pos + 3..)
-                .unwrap_or("")
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                test_names.insert(name);
-            }
-        }
-    }
-
-    for n in theorems {
-        let tag = format!("theorem{n}");
-        if !test_names.iter().any(|t| t.contains(&tag)) {
-            out.push(Violation {
-                file: "DESIGN.md".into(),
-                line: 0,
-                rule: "theorem-coverage",
-                excerpt: format!(
-                    "Theorem {n} has no `#[test]` in crates/core/tests/theorems.rs \
-                     whose name contains `{tag}`"
-                ),
-            });
-        }
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// Allowlist
-// ---------------------------------------------------------------------------
-
-/// Parses `allow.toml` — a flat sequence of `[[allow]]` tables with string
-/// keys `file`, `rule`, `pattern`, `justification` (a deliberate TOML
-/// subset; this workspace vendors no TOML parser).
-fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let mut entries: Vec<AllowEntry> = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let err = |what: &str| format!("allow.toml line {}: {what}", lineno + 1);
-        if line == "[[allow]]" {
-            entries.push(AllowEntry::default());
-            continue;
-        }
-        let Some((key, value)) = line.split_once('=') else {
-            return Err(err("expected `key = \"value\"` or `[[allow]]`"));
-        };
-        let key = key.trim();
-        let value = value.trim();
-        let value = value
-            .strip_prefix('"')
-            .and_then(|v| v.strip_suffix('"'))
-            .ok_or_else(|| err("value must be a double-quoted string"))?
-            .replace("\\\"", "\"");
-        let Some(entry) = entries.last_mut() else {
-            return Err(err("key outside any [[allow]] table"));
-        };
-        match key {
-            "file" => entry.file = value,
-            "rule" => entry.rule = value,
-            "pattern" => entry.pattern = value,
-            "justification" => entry.justification = value,
-            other => return Err(err(&format!("unknown key `{other}`"))),
-        }
-    }
-    for (i, e) in entries.iter().enumerate() {
-        if e.file.is_empty() || e.rule.is_empty() || e.pattern.is_empty() {
-            return Err(format!(
-                "allow.toml entry {} is missing file/rule/pattern",
-                i + 1
-            ));
-        }
-        if e.justification.trim().is_empty() {
-            return Err(format!(
-                "allow.toml entry {} ({} / {}) has no justification — every \
-                 exemption must say why it is sound",
-                i + 1,
-                e.file,
-                e.rule
-            ));
-        }
-    }
-    Ok(entries)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn masked(src: &str) -> Vec<u8> {
-        let mut m = mask_source(src);
-        strip_test_regions(&mut m);
-        m
-    }
-
-    fn file(rel: &str, src: &str) -> SourceFile {
-        SourceFile {
-            rel: rel.into(),
-            lines: src.lines().map(str::to_owned).collect(),
-            masked: masked(src),
-        }
-    }
-
-    #[test]
-    fn masking_blanks_strings_and_comments() {
-        let m = masked("let x = \"a.unwrap()\"; // b.unwrap()\n/* c[0] */ let y = 1;");
-        let s = String::from_utf8_lossy(&m);
-        assert!(!s.contains("unwrap"));
-        assert!(!s.contains("c[0]"));
-        assert!(s.contains("let y = 1;"));
-    }
-
-    #[test]
-    fn masking_keeps_lifetimes_but_blanks_chars() {
-        let m = masked("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
-        let s = String::from_utf8_lossy(&m);
-        assert!(s.contains("<'a>"));
-        assert!(!s.contains("'x'"));
-    }
-
-    #[test]
-    fn test_regions_are_stripped() {
-        let m = masked("fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n");
-        let s = String::from_utf8_lossy(&m);
-        assert!(s.contains("fn live"));
-        assert!(!s.contains("unwrap"));
-    }
-
-    #[test]
-    fn panic_freedom_flags_all_constructs() {
-        let src = "fn f(v: Vec<u32>) {\n  v.first().unwrap();\n  v.last().expect(\"x\");\n  \
-                   panic!(\"boom\");\n  let _ = v[0];\n}\n";
-        let mut out = Vec::new();
-        check_panic_freedom(&file("x.rs", src), &mut out);
-        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
-        assert_eq!(rules, vec!["unwrap", "expect", "panic-macro", "indexing"]);
-    }
-
-    #[test]
-    fn panic_freedom_ignores_lookalikes() {
-        let src = "fn f(v: &[u32], o: Option<u32>) -> Vec<u32> {\n  let _ = o.unwrap_or(3);\n  \
-                   for x in [1, 2] { let _ = x; }\n  let a: [u8; 2] = [0; 2];\n  \
-                   let _ = &a;\n  v.to_vec()\n}\n";
-        let mut out = Vec::new();
-        check_panic_freedom(&file("x.rs", src), &mut out);
-        assert!(out.is_empty(), "false positives: {out:?}");
-    }
-
-    #[test]
-    fn chained_and_paren_indexing_is_flagged() {
-        let src = "fn f(v: &Vec<Vec<u32>>) { let _ = v[0][1]; let _ = (v.clone())[0]; }";
-        let mut out = Vec::new();
-        check_panic_freedom(&file("x.rs", src), &mut out);
-        assert_eq!(out.len(), 3);
-    }
-
-    #[test]
-    fn header_mutation_outside_setter_is_flagged() {
-        let src = "fn f(h: &mut H) { h.failed_links.insert(l); h.cross_links().len(); }";
-        let mut out = Vec::new();
-        check_header_discipline(&file("crates/core/src/x.rs", src), &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out.first().map(|v| v.rule), Some("header-mutation"));
-    }
-
-    #[test]
-    fn header_setters_themselves_are_allowed() {
-        let src = "impl H {\n  pub fn record_failed_link(&mut self, l: L) -> bool {\n    \
-                   self.failed_links.insert(l)\n  }\n  \
-                   pub fn record_cross_link(&mut self, l: L) -> bool {\n    \
-                   self.cross_links.insert(l)\n  }\n}\n";
-        let mut out = Vec::new();
-        check_header_discipline(&file("crates/sim/src/header.rs", src), &mut out);
-        assert!(out.is_empty(), "false positives: {out:?}");
-    }
-
-    #[test]
-    fn float_eq_flags_literals_and_f64_idents() {
-        let src = "fn f(w: f64, n: u32) {\n  let _ = w == 0.5;\n  let _ = n == 3;\n}\n";
-        let mut out = Vec::new();
-        check_float_eq(&file("x.rs", src), &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out.first().map(|v| v.line), Some(2));
-    }
-
-    #[test]
-    fn float_eq_ignores_integer_and_enum_comparisons() {
-        let src = "fn f(a: usize, b: usize) -> bool { a == b && a != b + 1 }";
-        let mut out = Vec::new();
-        check_float_eq(&file("x.rs", src), &mut out);
-        assert!(out.is_empty(), "false positives: {out:?}");
-    }
-
-    #[test]
-    fn thread_discipline_flags_spawns_outside_executor() {
-        let src = "fn f() { std::thread::spawn(|| {}); thread::scope(|s| {}); }";
-        let mut out = Vec::new();
-        check_thread_discipline(&file("crates/core/src/x.rs", src), &mut out);
-        assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|v| v.rule == "thread-discipline"));
-    }
-
-    #[test]
-    fn thread_discipline_exempts_the_executor_module() {
-        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
-        let mut out = Vec::new();
-        check_thread_discipline(&file("crates/eval/src/par.rs", src), &mut out);
-        assert!(out.is_empty(), "false positives: {out:?}");
-    }
-
-    #[test]
-    fn simd_discipline_flags_intrinsics_outside_the_kernel_module() {
-        let src = "fn f() {\n  use std::arch::x86_64::_mm256_and_si256;\n  \
-                   let _ = core::arch::x86_64::_mm_and_si128;\n}\n";
-        let mut out = Vec::new();
-        check_simd_discipline(&file("crates/core/src/x.rs", src), &mut out);
-        assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|v| v.rule == "simd-discipline"));
-    }
-
-    #[test]
-    fn simd_discipline_exempts_the_kernel_module_and_comments() {
-        let src = "fn f() { let _ = std::arch::is_x86_feature_detected!(\"avx2\"); }";
-        let mut out = Vec::new();
-        check_simd_discipline(&file("crates/topology/src/kernels.rs", src), &mut out);
-        assert!(out.is_empty(), "false positives: {out:?}");
-
-        // Doc comments naming `std::arch` are masked before matching.
-        let doc = "//! Kernels use `std::arch` elsewhere.\nfn f() {}\n";
-        check_simd_discipline(&file("crates/core/src/x.rs", doc), &mut out);
-        assert!(out.is_empty(), "comment text flagged: {out:?}");
-    }
-
-    #[test]
-    fn linkset_membership_flags_linear_scans_in_core() {
-        let src =
-            "fn f(v: &[L], s: &Set, x: L) -> bool {\n  v\n    .iter()\n    .any(|&l| l == x)\n  \
-                   || v.contains(&x)\n}\n";
-        let mut out = Vec::new();
-        check_linkset_membership(&file("crates/core/src/x.rs", src), &mut out);
-        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
-        assert_eq!(rules, vec!["linkset-membership"; 2], "got: {out:?}");
-        // Split chains anchor on the `.any(` line.
-        assert_eq!(out.first().map(|v| v.line), Some(4));
-    }
-
-    #[test]
-    fn linkset_membership_ignores_bitset_api_and_other_crates() {
-        // Value-taking `contains` is the bitset API; `.iter().map(` is not
-        // a membership scan; test regions and other crates are exempt.
-        let core_ok = "fn f(h: &H, l: L) -> bool {\n  h.cross_links().contains(l)\n    \
-                       && h.ids().iter().map(|x| x.0).count() > 0\n}\n\
-                       #[cfg(test)]\nmod tests {\n  fn t(v: &[L], x: L) {\n    \
-                       assert!(v.iter().any(|&l| l == x) || v.contains(&x));\n  }\n}\n";
-        let mut out = Vec::new();
-        check_linkset_membership(&file("crates/core/src/x.rs", core_ok), &mut out);
-        assert!(out.is_empty(), "false positives: {out:?}");
-
-        let eval = "fn f(v: &[L], x: L) -> bool { v.iter().any(|&l| l == x) || v.contains(&x) }";
-        check_linkset_membership(&file("crates/eval/src/x.rs", eval), &mut out);
-        assert!(out.is_empty(), "rule leaked outside crates/core: {out:?}");
-    }
-
-    #[test]
-    fn print_discipline_flags_every_print_macro_once() {
-        let src = "fn f(x: u32) {\n  println!(\"{x}\");\n  eprintln!(\"{x}\");\n  \
-                   print!(\"{x}\");\n  eprint!(\"{x}\");\n  let _ = dbg!(x);\n}\n";
-        let mut out = Vec::new();
-        check_print_discipline(&file("crates/core/src/x.rs", src), &mut out);
-        assert_eq!(out.len(), 5, "got: {out:?}");
-        assert!(out.iter().all(|v| v.rule == "print-discipline"));
-        let lines: Vec<usize> = {
-            let mut l: Vec<usize> = out.iter().map(|v| v.line).collect();
-            l.sort_unstable();
-            l
-        };
-        assert_eq!(lines, vec![2, 3, 4, 5, 6]);
-    }
-
-    #[test]
-    fn print_discipline_ignores_comments_strings_and_tests() {
-        let src = "//! `println!` is banned here.\n\
-                   fn f() { let _ = \"println!(not code)\"; }\n\
-                   #[cfg(test)]\nmod tests {\n  fn t() { println!(\"ok in tests\"); }\n}\n";
-        let mut out = Vec::new();
-        check_print_discipline(&file("crates/core/src/x.rs", src), &mut out);
-        assert!(out.is_empty(), "false positives: {out:?}");
-    }
-
-    #[test]
-    fn json_reader_handles_the_recorder_schema() {
-        let doc = json_parse(
-            "{\n  \"host_parallelism\": 8,\n  \"topologies\": [\n    \
-             {\"name\": \"AS3549\", \"serial_secs\": 0.0713, \"sweep_secs\": 1.5e-3},\n    \
-             {\"name\": \"AS209\", \"serial_secs\": 0.0014, \"sweep_secs\": 0.0002}\n  ]\n}",
-        )
-        .unwrap();
-        let rows = doc.get("topologies").and_then(JsonValue::as_array).unwrap();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(
-            rows[0].get("name").and_then(JsonValue::as_str),
-            Some("AS3549")
-        );
-        assert_eq!(
-            rows[0].get("sweep_secs").and_then(JsonValue::as_f64),
-            Some(1.5e-3)
-        );
-        assert_eq!(
-            doc.get("host_parallelism").and_then(JsonValue::as_f64),
-            Some(8.0)
-        );
-    }
-
-    #[test]
-    fn json_reader_rejects_garbage() {
-        assert!(json_parse("{\"a\": }").is_err());
-        assert!(json_parse("[1, 2").is_err());
-        assert!(json_parse("{} trailing").is_err());
-        assert!(json_parse("\"unterminated").is_err());
-        // Literals and escapes round-trip.
-        assert_eq!(json_parse("null").unwrap(), JsonValue::Null);
-        assert_eq!(json_parse("true").unwrap(), JsonValue::Bool(true));
-        assert_eq!(
-            json_parse("\"a\\\"b\"").unwrap(),
-            JsonValue::Str("a\"b".into())
-        );
-        assert_eq!(json_parse("-2.5e1").unwrap(), JsonValue::Num(-25.0));
-    }
-
-    #[test]
-    fn allowlist_parser_round_trips() {
-        let dir = std::env::temp_dir().join("xtask-allow-test");
-        fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("allow.toml");
-        fs::write(
-            &p,
-            "# comment\n[[allow]]\nfile = \"a.rs\"\nrule = \"unwrap\"\n\
-             pattern = \"x.unwrap()\"\njustification = \"because\"\n",
-        )
-        .unwrap();
-        let entries = load_allowlist(&p).unwrap();
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].rule, "unwrap");
-        fs::write(
-            &p,
-            "[[allow]]\nfile = \"a.rs\"\nrule = \"r\"\npattern = \"p\"\n",
-        )
-        .unwrap();
-        assert!(
-            load_allowlist(&p).is_err(),
-            "missing justification accepted"
-        );
     }
 }

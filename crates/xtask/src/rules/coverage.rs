@@ -1,0 +1,69 @@
+//! Theorem coverage: every `Theorem N` stated in DESIGN.md must map to at
+//! least one `#[test]` in `crates/core/tests/theorems.rs` whose name
+//! contains `theoremN`.
+
+use crate::engine::Violation;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// Runs the theorem-coverage audit against the workspace at `root`.
+///
+/// # Errors
+///
+/// Fails when DESIGN.md or the theorem test file cannot be read, or when
+/// DESIGN.md names no theorems at all (the audit would be vacuous).
+pub fn check(root: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
+    let design_path = root.join("DESIGN.md");
+    let design =
+        fs::read_to_string(&design_path).map_err(|e| format!("cannot read DESIGN.md: {e}"))?;
+    let mut theorems: BTreeSet<u32> = BTreeSet::new();
+    for (idx, _) in design.match_indices("Theorem ") {
+        let digits: String = design
+            .get(idx + 8..)
+            .unwrap_or("")
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(n) = digits.parse() {
+            theorems.insert(n);
+        }
+    }
+    if theorems.is_empty() {
+        return Err("DESIGN.md names no theorems — audit cannot run".into());
+    }
+
+    let tests_path = root.join("crates/core/tests/theorems.rs");
+    let tests =
+        fs::read_to_string(&tests_path).map_err(|e| format!("cannot read theorems.rs: {e}"))?;
+    let mut test_names: BTreeSet<String> = BTreeSet::new();
+    for (idx, _) in tests.match_indices("#[test]") {
+        if let Some(fn_pos) = tests.get(idx..).and_then(|s| s.find("fn ")) {
+            let name: String = tests
+                .get(idx + fn_pos + 3..)
+                .unwrap_or("")
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                test_names.insert(name);
+            }
+        }
+    }
+
+    for n in theorems {
+        let tag = format!("theorem{n}");
+        if !test_names.iter().any(|t| t.contains(&tag)) {
+            out.push(Violation {
+                file: "DESIGN.md".into(),
+                line: 0,
+                rule: "theorem-coverage",
+                excerpt: format!(
+                    "Theorem {n} has no `#[test]` in crates/core/tests/theorems.rs \
+                     whose name contains `{tag}`"
+                ),
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Determinism discipline: result-producing code in the hot-path crates
+//! must not name iteration-order-randomized containers, wall clocks, or
+//! thread-count probes. The workspace's core contract — byte-identical
+//! recovery results at any thread count — survives only if the hot path
+//! cannot observe the host.
+
+use crate::engine::{SourceFile, Violation};
+use crate::lexer::TokKind;
+
+/// Identifiers whose appearance in hot-path non-test code makes results
+/// host-dependent:
+///
+/// * `HashMap` / `HashSet` — iteration order is randomized per process
+///   (`RandomState`); any fold over it is nondeterministic. Use
+///   `BTreeMap` / `BTreeSet` / sorted `Vec`s / the bitset API.
+/// * `RandomState` / `DefaultHasher` — the per-process random seeds
+///   themselves.
+/// * `Instant` / `SystemTime` — wall clocks; timing must stay in the
+///   bench/eval layers, never feed recovery decisions.
+/// * `available_parallelism` — thread-count probes; hot-path behavior must
+///   not branch on how many cores the host has.
+const DENIED_IDENTS: [&str; 7] = [
+    "HashMap",
+    "HashSet",
+    "RandomState",
+    "DefaultHasher",
+    "Instant",
+    "SystemTime",
+    "available_parallelism",
+];
+
+/// Runs the determinism rule over `file` (hot-path crates only; the
+/// driver handles the scope).
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    for p in 0..file.len() {
+        if file.cin_test(p) {
+            continue;
+        }
+        if file.ck(p) == Some(TokKind::Ident) && DENIED_IDENTS.contains(&file.ct(p)) {
+            out.push(file.violation("determinism", p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/core/src/x.rs", src).unwrap()
+    }
+
+    #[test]
+    fn determinism_flags_randomized_containers_and_clocks() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() {\n  let t = std::time::Instant::now();\n  \
+                   let n = std::thread::available_parallelism();\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["determinism"; 3], "got: {out:?}");
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn determinism_ignores_tests_comments_and_lookalike_idents() {
+        let src = "//! `HashMap` is banned in hot-path code.\n\
+                   fn f(instant_replay: u32) -> u32 { instant_replay }\n\
+                   #[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n  \
+                   fn t() { let _ = HashSet::<u32>::new(); }\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn determinism_allows_btree_alternatives() {
+        let src = "use std::collections::{BTreeMap, BTreeSet};\n\
+                   fn f(m: &BTreeMap<u32, u32>) -> Option<&u32> { m.get(&1) }\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Paper invariants: the `failed_links` / `cross_links` header fields may
+//! be mutated only inside their typed setters in `crates/sim/src/header.rs`
+//! (and must stay private there), and floating-point link weights must
+//! never be compared with `==` / `!=`.
+
+use crate::engine::{SourceFile, Violation};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+/// Methods that mutate a `LinkIdSet` header field.
+const MUTATORS: [&str; 9] = [
+    "insert", "extend", "clear", "remove", "push", "pop", "retain", "truncate", "drain",
+];
+
+/// The header fields whose mutation is confined to their setters.
+const HEADER_FIELDS: [&str; 2] = ["failed_links", "cross_links"];
+
+/// Assignment operators (plain and compound) that write through a place
+/// expression. The PR 1 byte scanner only saw `=`; the token engine also
+/// catches compound assignment.
+const ASSIGN_OPS: [&str; 11] = [
+    "=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>=",
+];
+
+/// Header-mutation discipline: `failed_links` / `cross_links` may be
+/// mutated (or assigned) only inside the typed setters of
+/// `crates/sim/src/header.rs`, and the fields must stay private.
+pub fn check_header_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    let is_header = file.rel == "crates/sim/src/header.rs";
+    let setter_spans: Vec<(usize, usize)> = if is_header {
+        ["record_failed_link", "record_cross_link"]
+            .iter()
+            .flat_map(|f| file.fn_body_spans(f))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    for p in 0..file.len() {
+        if file.cin_test(p) || file.ck(p) != Some(TokKind::Ident) {
+            continue;
+        }
+        let word = file.ct(p);
+        if !HEADER_FIELDS.contains(&word) {
+            continue;
+        }
+        if is_header && p > 0 && file.ct(p - 1) == "pub" {
+            out.push(file.violation("header-privacy", p - 1));
+        }
+        let mutation = if file.ct(p + 1) == "." {
+            MUTATORS.contains(&file.ct(p + 2))
+        } else {
+            ASSIGN_OPS.contains(&file.ct(p + 1))
+        };
+        if !mutation {
+            continue;
+        }
+        let in_setter = setter_spans.iter().any(|&(a, b)| p >= a && p <= b);
+        if !in_setter {
+            out.push(file.violation("header-mutation", p));
+        }
+    }
+}
+
+/// Exact floating-point equality: flags `==` / `!=` where either operand is
+/// a float literal or an identifier annotated `: f64` in the same file.
+pub fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
+    // Identifiers declared `: f64` (params, fields, lets) in this file.
+    // `::` is a single distinct token, so path segments like `std::f64`
+    // never look like type ascriptions.
+    let mut f64_idents: BTreeSet<&str> = BTreeSet::new();
+    for p in 2..file.len() {
+        if file.ct(p) == "f64" && file.ct(p - 1) == ":" && file.ck(p - 2) == Some(TokKind::Ident) {
+            f64_idents.insert(file.ct(p - 2));
+        }
+    }
+
+    let is_float_literal = |p: usize| file.ck(p) == Some(TokKind::Num) && file.ct(p).contains('.');
+    // The last identifier of the dotted chain ending at code position `p`
+    // (`self.weight` -> `weight`), or `None` for non-identifiers.
+    let chain_tail_ident =
+        |p: usize| -> Option<&str> { (file.ck(p) == Some(TokKind::Ident)).then(|| file.ct(p)) };
+    // The last identifier of the dotted chain starting at `p`, walking
+    // forward over `.`-joined segments (`n.fract` -> `fract`).
+    let chain_head_ident = |mut p: usize| -> Option<&str> {
+        if file.ck(p) != Some(TokKind::Ident) {
+            return None;
+        }
+        while file.ct(p + 1) == "." && file.ck(p + 2) == Some(TokKind::Ident) {
+            p += 2;
+        }
+        Some(file.ct(p))
+    };
+
+    for p in 1..file.len() {
+        if file.cin_test(p) || !matches!(file.ct(p), "==" | "!=") {
+            continue;
+        }
+        let left_float = is_float_literal(p - 1);
+        let right_float = is_float_literal(p + 1);
+        let left_ident = chain_tail_ident(p - 1).is_some_and(|n| f64_idents.contains(n));
+        let right_ident = chain_head_ident(p + 1).is_some_and(|n| f64_idents.contains(n));
+        if left_float || right_float || left_ident || right_ident {
+            out.push(file.violation("float-eq", p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, src).unwrap()
+    }
+
+    #[test]
+    fn header_mutation_outside_setter_is_flagged() {
+        let src = "fn f(h: &mut H) { h.failed_links.insert(l); h.cross_links().len(); }";
+        let mut out = Vec::new();
+        check_header_discipline(&file("crates/core/src/x.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|v| v.rule), Some("header-mutation"));
+    }
+
+    #[test]
+    fn header_setters_themselves_are_allowed() {
+        let src = "impl H {\n  pub fn record_failed_link(&mut self, l: L) -> bool {\n    \
+                   self.failed_links.insert(l)\n  }\n  \
+                   pub fn record_cross_link(&mut self, l: L) -> bool {\n    \
+                   self.cross_links.insert(l)\n  }\n}\n";
+        let mut out = Vec::new();
+        check_header_discipline(&file("crates/sim/src/header.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn public_header_fields_are_flagged() {
+        let src = "pub struct H {\n  pub failed_links: S,\n  cross_links: S,\n}\n";
+        let mut out = Vec::new();
+        check_header_discipline(&file("crates/sim/src/header.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|v| v.rule), Some("header-privacy"));
+    }
+
+    #[test]
+    fn compound_assignment_counts_as_mutation() {
+        let src = "fn f(h: &mut H) { h.failed_links = other; h.cross_links &= mask; }";
+        let mut out = Vec::new();
+        check_header_discipline(&file("crates/core/src/x.rs", src), &mut out);
+        assert_eq!(out.len(), 2, "got: {out:?}");
+    }
+
+    #[test]
+    fn float_eq_flags_literals_and_f64_idents() {
+        let src = "fn f(w: f64, n: u32) {\n  let _ = w == 0.5;\n  let _ = n == 3;\n}\n";
+        let mut out = Vec::new();
+        check_float_eq(&file("x.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|v| v.line), Some(2));
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_and_enum_comparisons() {
+        let src = "fn f(a: usize, b: usize) -> bool { a == b && a != b + 1 }";
+        let mut out = Vec::new();
+        check_float_eq(&file("x.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn float_eq_sees_dotted_chains_and_ranges() {
+        // `0..2` lexes as `0` `..` `2` — no float literal, no flag; the
+        // dotted chain `q.len2` resolves to its `: f64`-annotated tail.
+        let src = "struct Q { len2: f64 }\nfn f(q: &Q, n: u32) -> bool {\n  \
+                   for _ in 0..2 {}\n  q.len2 == 0.0\n}\n";
+        let mut out = Vec::new();
+        check_float_eq(&file("x.rs", src), &mut out);
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert_eq!(out.first().map(|v| v.line), Some(4));
+    }
+}

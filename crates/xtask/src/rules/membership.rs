@@ -1,0 +1,85 @@
+//! Link-set membership: non-test code of `rtr-core` must test link-set
+//! membership through the word-parallel bitset API (`LinkIdSet::contains`
+//! / `LinkBitSet` / crossing masks), not linear scans.
+
+use crate::engine::{SourceFile, Violation};
+
+/// The crate whose non-test code must do link-set membership through the
+/// word-parallel bitset API: `rtr-core` holds the phase-1 sweep hot path,
+/// where a linear scan hides O(|set|) work per probe.
+pub const LINKSET_CRATE_PREFIX: &str = "crates/core/";
+
+/// Flags linear membership idioms in `rtr-core` non-test code:
+/// `.iter().any(` chains (token adjacency, so rustfmt-split chains still
+/// match) and reference-taking `.contains(&` (slice/`Vec` membership
+/// borrows its argument, while the bitset APIs take `LinkId` by value — a
+/// clean lexical split between the two).
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.rel.starts_with(LINKSET_CRATE_PREFIX) {
+        return;
+    }
+    for p in 0..file.len() {
+        if file.cin_test(p) {
+            continue;
+        }
+        // `.iter().any(` — anchored on the `any` token so the excerpt
+        // shows the predicate, not the receiver.
+        if file.ct(p) == "."
+            && file.ct(p + 1) == "iter"
+            && file.ct(p + 2) == "("
+            && file.ct(p + 3) == ")"
+            && file.ct(p + 4) == "."
+            && file.ct(p + 5) == "any"
+            && file.ct(p + 6) == "("
+        {
+            out.push(file.violation("linkset-membership", p + 5));
+        }
+        // `.contains(&x)` — the borrowing form is always a linear scan.
+        if file.ct(p) == "."
+            && file.ct(p + 1) == "contains"
+            && file.ct(p + 2) == "("
+            && file.ct(p + 3) == "&"
+        {
+            out.push(file.violation("linkset-membership", p + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, src).unwrap()
+    }
+
+    #[test]
+    fn linkset_membership_flags_linear_scans_in_core() {
+        let src =
+            "fn f(v: &[L], s: &Set, x: L) -> bool {\n  v\n    .iter()\n    .any(|&l| l == x)\n  \
+                   || v.contains(&x)\n}\n";
+        let mut out = Vec::new();
+        check(&file("crates/core/src/x.rs", src), &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["linkset-membership"; 2], "got: {out:?}");
+        // Split chains anchor on the `.any(` line.
+        assert_eq!(out.first().map(|v| v.line), Some(4));
+    }
+
+    #[test]
+    fn linkset_membership_ignores_bitset_api_and_other_crates() {
+        // Value-taking `contains` is the bitset API; `.iter().map(` is not
+        // a membership scan; test regions and other crates are exempt.
+        let core_ok = "fn f(h: &H, l: L) -> bool {\n  h.cross_links().contains(l)\n    \
+                       && h.ids().iter().map(|x| x.0).count() > 0\n}\n\
+                       #[cfg(test)]\nmod tests {\n  fn t(v: &[L], x: L) {\n    \
+                       assert!(v.iter().any(|&l| l == x) || v.contains(&x));\n  }\n}\n";
+        let mut out = Vec::new();
+        check(&file("crates/core/src/x.rs", core_ok), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+
+        let eval = "fn f(v: &[L], x: L) -> bool { v.iter().any(|&l| l == x) || v.contains(&x) }";
+        check(&file("crates/eval/src/x.rs", eval), &mut out);
+        assert!(out.is_empty(), "rule leaked outside crates/core: {out:?}");
+    }
+}

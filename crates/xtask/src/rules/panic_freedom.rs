@@ -1,0 +1,125 @@
+//! Panic-freedom: non-test code of the hot-path crates must not call
+//! `.unwrap()` / `.expect(..)`, invoke an aborting macro, or index with
+//! `expr[..]`. Every remaining site must match a justified `allow.toml`
+//! entry.
+
+use crate::engine::{SourceFile, Violation, NON_INDEX_KEYWORDS};
+use crate::lexer::TokKind;
+
+/// Macros that abort instead of returning an outcome.
+const ABORT_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the panic-freedom family over `file`.
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    for p in 0..file.len() {
+        if file.cin_test(p) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(..)` method calls. The token stream makes
+        // `.unwrap_or(..)` / `.expect_err(..)` distinct identifiers, so no
+        // suffix check is needed.
+        if file.ct(p) == "."
+            && matches!(file.ct(p + 1), "unwrap" | "expect")
+            && file.ct(p + 2) == "("
+        {
+            let rule = if file.ct(p + 1) == "unwrap" {
+                "unwrap"
+            } else {
+                "expect"
+            };
+            out.push(file.violation(rule, p + 1));
+        }
+        // Aborting macros.
+        if file.ck(p) == Some(TokKind::Ident)
+            && ABORT_MACROS.contains(&file.ct(p))
+            && file.ct(p + 1) == "!"
+        {
+            out.push(file.violation("panic-macro", p));
+        }
+        // Slice / Vec indexing: `expr[...]` where the previous token ends an
+        // expression — an identifier (that is not a keyword), `)`, or `]`.
+        // Array literals, types, patterns and attributes all have a
+        // non-expression token (or a keyword) before the `[`.
+        if file.ct(p) == "[" && p > 0 {
+            let prev = p - 1;
+            let is_index = match file.ct(prev) {
+                ")" | "]" => true,
+                word if file.ck(prev) == Some(TokKind::Ident) => {
+                    !NON_INDEX_KEYWORDS.contains(&word)
+                }
+                _ => false,
+            };
+            if is_index {
+                out.push(file.violation("indexing", p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", src).unwrap()
+    }
+
+    #[test]
+    fn panic_freedom_flags_all_constructs() {
+        let src = "fn f(v: Vec<u32>) {\n  v.first().unwrap();\n  v.last().expect(\"x\");\n  \
+                   panic!(\"boom\");\n  let _ = v[0];\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["unwrap", "expect", "panic-macro", "indexing"]);
+    }
+
+    #[test]
+    fn panic_freedom_ignores_lookalikes() {
+        let src = "fn f(v: &[u32], o: Option<u32>) -> Vec<u32> {\n  let _ = o.unwrap_or(3);\n  \
+                   for x in [1, 2] { let _ = x; }\n  let a: [u8; 2] = [0; 2];\n  \
+                   let _ = &a;\n  v.to_vec()\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn chained_and_paren_indexing_is_flagged() {
+        let src = "fn f(v: &Vec<Vec<u32>>) { let _ = v[0][1]; let _ = (v.clone())[0]; }";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn split_method_chains_still_match() {
+        // rustfmt puts long chains one call per line; the byte scanner of
+        // PR 1 matched `.unwrap` as a substring, the token engine matches
+        // `.`-`unwrap`-`(` adjacency regardless of whitespace.
+        let src = "fn f(o: Option<u32>) -> u32 {\n  o\n    .unwrap\n    ()\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|v| v.rule), Some("unwrap"));
+        // Anchored on the `unwrap` token's line.
+        assert_eq!(out.first().map(|v| v.line), Some(3));
+    }
+
+    #[test]
+    fn strings_comments_and_tests_are_exempt() {
+        let src = "fn f() { let _ = \"v.unwrap()\"; } // v.unwrap()\n\
+                   #[cfg(test)]\nmod tests {\n  fn t(v: Vec<u32>) { v.first().unwrap(); }\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn identifiers_containing_macro_names_are_not_flagged() {
+        let src = "fn f() { let my_panic = 1; let _ = my_panic; not_a_panic!(); }";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+}

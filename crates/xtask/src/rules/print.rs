@@ -1,0 +1,72 @@
+//! Print discipline: non-test code of the hot-path crates must not write
+//! to stdout/stderr directly — event emission is confined to
+//! `rtr_obs::TraceSink` calls, so instrumented runs and the `--trace`
+//! replay observe everything the hot path reports (DESIGN.md §10).
+
+use crate::engine::{SourceFile, Violation};
+use crate::lexer::TokKind;
+
+/// Macros that would write to stdout/stderr behind the observability
+/// layer's back.
+const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Runs the print-discipline rule over `file`.
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    for p in 0..file.len() {
+        if file.cin_test(p) {
+            continue;
+        }
+        if file.ck(p) == Some(TokKind::Ident)
+            && PRINT_MACROS.contains(&file.ct(p))
+            && file.ct(p + 1) == "!"
+        {
+            out.push(file.violation("print-discipline", p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/core/src/x.rs", src).unwrap()
+    }
+
+    #[test]
+    fn print_discipline_flags_every_print_macro_once() {
+        let src = "fn f(x: u32) {\n  println!(\"{x}\");\n  eprintln!(\"{x}\");\n  \
+                   print!(\"{x}\");\n  eprint!(\"{x}\");\n  let _ = dbg!(x);\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert_eq!(out.len(), 5, "got: {out:?}");
+        assert!(out.iter().all(|v| v.rule == "print-discipline"));
+        let lines: Vec<usize> = {
+            let mut l: Vec<usize> = out.iter().map(|v| v.line).collect();
+            l.sort_unstable();
+            l
+        };
+        assert_eq!(lines, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn print_discipline_ignores_comments_strings_and_tests() {
+        let src = "//! `println!` is banned here.\n\
+                   fn f() { let _ = \"println!(not code)\"; }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { println!(\"ok in tests\"); }\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn print_discipline_ignores_method_calls_and_longer_idents() {
+        // `w.print()` is a method, `pretty_print!` is a different macro —
+        // the byte scanner needed a preceding-ident check for the latter,
+        // the token engine gets both for free.
+        let src = "fn f(w: &W) { w.print(); pretty_print!(w); }";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+}

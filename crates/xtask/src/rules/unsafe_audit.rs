@@ -1,0 +1,116 @@
+//! Unsafe audit: every `unsafe` block / fn / impl in the workspace must
+//! carry an adjacent `SAFETY:` justification — a comment (line, block, or
+//! doc `# Safety` section) on the same line or on the comment/attribute
+//! lines directly above — naming the invariant the `unsafe` relies on.
+
+use crate::engine::{SourceFile, Violation};
+use crate::lexer::TokKind;
+
+/// Runs the unsafe-audit rule over `file`. Test code is *not* exempt: an
+/// unjustified `unsafe` in a test is still an unaudited proof obligation.
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    for p in 0..file.len() {
+        if file.ck(p) != Some(TokKind::Ident) || file.ct(p) != "unsafe" {
+            continue;
+        }
+        let Some(tok) = file.ctok(p) else { continue };
+        let line = file.line_of(tok.lo);
+        if !has_adjacent_safety_comment(file, line) {
+            out.push(file.violation("unsafe-audit", p));
+        }
+    }
+}
+
+/// True when `line` (1-based) or the run of comment / attribute lines
+/// directly above it mentions `SAFETY` / `Safety`.
+fn has_adjacent_safety_comment(file: &SourceFile, line: usize) -> bool {
+    if mentions_safety(file.line_text(line)) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let text = file.line_text(l).trim();
+        let is_adjacent = text.starts_with("//")
+            || text.starts_with("/*")
+            || text.starts_with('*')
+            || text.starts_with("*/")
+            || text.starts_with("#[")
+            || text.starts_with("#![");
+        if !is_adjacent {
+            return false;
+        }
+        if mentions_safety(text) {
+            return true;
+        }
+    }
+    false
+}
+
+fn mentions_safety(line: &str) -> bool {
+    line.contains("SAFETY") || line.contains("Safety")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/topology/src/x.rs", src).unwrap()
+    }
+
+    #[test]
+    fn unjustified_unsafe_is_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n  unsafe { *p }\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|v| v.rule), Some("unsafe-audit"));
+        assert_eq!(out.first().map(|v| v.line), Some(2));
+    }
+
+    #[test]
+    fn safety_comment_above_justifies_the_block() {
+        let src = "fn f(p: *const u8) -> u8 {\n  // SAFETY: caller guarantees `p` is valid.\n  \
+                   unsafe { *p }\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn safety_doc_section_above_attributes_justifies_the_fn() {
+        let src = "/// # Safety\n/// Caller must have checked AVX2.\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn g() {}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn same_line_safety_comment_counts() {
+        let src = "fn f(p: *const u8) -> u8 {\n  unsafe { *p } // SAFETY: p is valid.\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_justify() {
+        let src = "fn f(p: *const u8) -> u8 {\n  // fast path\n  unsafe { *p }\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn tests_are_not_exempt_and_strings_are() {
+        let src = "fn f() { let _ = \"unsafe\"; } // unsafe in a string is fine\n\
+                   #[cfg(test)]\nmod tests {\n  fn t(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+        let mut out = Vec::new();
+        check(&file(src), &mut out);
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert_eq!(out.first().map(|v| v.line), Some(4));
+    }
+}

@@ -1,0 +1,63 @@
+//! Corpus test: the hand-rolled lexer must handle every `.rs` file in this
+//! workspace — losslessly, with sane spans — since `cargo xtask analyze`
+//! runs over exactly that corpus. A file the lexer chokes on is a file the
+//! static-analysis pass silently cannot police.
+
+use xtask::engine::{collect_rs_files, workspace_root, SourceFile};
+use xtask::lexer::lex;
+
+#[test]
+fn every_workspace_file_lexes_losslessly() {
+    let root = workspace_root().expect("workspace root resolvable from xtask");
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files).expect("crates/ is walkable");
+    assert!(
+        files.len() >= 40,
+        "corpus suspiciously small: {} files",
+        files.len()
+    );
+
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let toks = lex(&src).unwrap_or_else(|e| panic!("lex {}: {e:?}", path.display()));
+
+        // Spans are in-bounds, non-empty, strictly ordered, and
+        // non-overlapping; the bytes between tokens are pure whitespace.
+        let mut prev_hi = 0usize;
+        for t in &toks {
+            assert!(t.lo < t.hi, "{}: empty span {t:?}", path.display());
+            assert!(t.hi <= src.len(), "{}: span out of bounds", path.display());
+            assert!(
+                t.lo >= prev_hi,
+                "{}: overlapping tokens at byte {}",
+                path.display(),
+                t.lo
+            );
+            let gap = src.get(prev_hi..t.lo).expect("gap is valid UTF-8 range");
+            assert!(
+                gap.chars().all(char::is_whitespace),
+                "{}: non-whitespace bytes {gap:?} dropped before byte {}",
+                path.display(),
+                t.lo
+            );
+            prev_hi = t.hi;
+        }
+        let tail = src.get(prev_hi..).expect("tail is valid UTF-8 range");
+        assert!(
+            tail.chars().all(char::is_whitespace),
+            "{}: non-whitespace trailing bytes dropped",
+            path.display()
+        );
+
+        // The rule engine's richer pass (test-region marking, line table)
+        // must accept the file too.
+        let rel = path
+            .strip_prefix(&root)
+            .expect("collected under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        SourceFile::parse(&rel, &src)
+            .unwrap_or_else(|e| panic!("SourceFile::parse {}: {e}", path.display()));
+    }
+}

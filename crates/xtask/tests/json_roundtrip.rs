@@ -1,0 +1,101 @@
+//! `analyze --json` output must round-trip through the workspace's own
+//! JSON parser: CI consumers (and the GitHub annotation step) parse what
+//! the emitter prints.
+
+use xtask::engine::Violation;
+use xtask::json::{json_parse, JsonValue};
+use xtask::{report_to_github, report_to_json, AnalyzeReport};
+
+fn sample_report() -> AnalyzeReport {
+    AnalyzeReport {
+        files_scanned: 96,
+        hot_files: 36,
+        allowed: 25,
+        violations: vec![
+            Violation {
+                file: "crates/core/src/sweep.rs".into(),
+                line: 42,
+                rule: "determinism",
+                excerpt: "let m: HashMap<u32, u32> = HashMap::new();".into(),
+            },
+            Violation {
+                file: "crates/xtask/src/json.rs".into(),
+                line: 7,
+                rule: "float-eq",
+                excerpt: "tricky \"quotes\" and\nnewline".into(),
+            },
+        ],
+    }
+}
+
+#[test]
+fn json_report_round_trips() {
+    let report = sample_report();
+    let text = report_to_json(&report);
+    let parsed = json_parse(&text).expect("emitter output parses");
+
+    assert_eq!(parsed.get("ok").and_then(JsonValue::as_str), None);
+    assert!(matches!(parsed.get("ok"), Some(JsonValue::Bool(false))));
+    assert_eq!(
+        parsed.get("files_scanned").and_then(JsonValue::as_f64),
+        Some(96.0)
+    );
+    assert_eq!(
+        parsed.get("hot_files").and_then(JsonValue::as_f64),
+        Some(36.0)
+    );
+    assert_eq!(
+        parsed.get("allowed").and_then(JsonValue::as_f64),
+        Some(25.0)
+    );
+
+    let vs = parsed
+        .get("violations")
+        .and_then(JsonValue::as_array)
+        .expect("violations array");
+    assert_eq!(vs.len(), 2);
+    let first = &vs[0];
+    assert_eq!(
+        first.get("file").and_then(JsonValue::as_str),
+        Some("crates/core/src/sweep.rs")
+    );
+    assert_eq!(first.get("line").and_then(JsonValue::as_f64), Some(42.0));
+    assert_eq!(
+        first.get("rule").and_then(JsonValue::as_str),
+        Some("determinism")
+    );
+    // Escaped quotes and newlines survive the trip.
+    assert_eq!(
+        vs[1].get("excerpt").and_then(JsonValue::as_str),
+        Some("tricky \"quotes\" and\nnewline")
+    );
+}
+
+#[test]
+fn clean_report_is_ok_and_empty() {
+    let report = AnalyzeReport {
+        files_scanned: 10,
+        hot_files: 4,
+        allowed: 0,
+        violations: Vec::new(),
+    };
+    assert!(report.ok());
+    let parsed = json_parse(&report_to_json(&report)).expect("parses");
+    assert!(matches!(parsed.get("ok"), Some(JsonValue::Bool(true))));
+    let vs = parsed
+        .get("violations")
+        .and_then(JsonValue::as_array)
+        .expect("violations array");
+    assert!(vs.is_empty());
+}
+
+#[test]
+fn github_annotations_escape_newlines() {
+    let report = sample_report();
+    let gh = report_to_github(&report);
+    let lines: Vec<&str> = gh.lines().collect();
+    assert_eq!(lines.len(), 2, "one annotation line per violation:\n{gh}");
+    assert!(lines[0].starts_with("::error file=crates/core/src/sweep.rs,line=42::"));
+    assert!(lines[1].contains("%0A"), "newline must be %0A-escaped");
+    assert!(!lines[1].contains('\n') || gh.ends_with('\n'));
+}
