@@ -70,15 +70,16 @@ impl<'a> SweepContext<'a> {
     /// Returns true when `link` properly crosses any link in the excluded
     /// set (and therefore must not be selected by the sweep).
     ///
-    /// Word-parallel: the excluded set's bitset is ANDed against `link`'s
-    /// precomputed crossing-mask row through the selected kernel, so the
-    /// cost is a handful of word operations regardless of how many links
-    /// the header has recorded.
+    /// On dense-mask tables this is word-parallel — the excluded set's
+    /// bitset is ANDed against `link`'s precomputed crossing-mask row
+    /// through the selected kernel — so the cost is a handful of word
+    /// operations regardless of how many links the header has recorded. On
+    /// sparse tables (above the dense-mask link threshold) it walks
+    /// `link`'s crossing list with O(1) bitset membership probes instead.
     #[inline]
     pub fn is_excluded(&self, link: LinkId) -> bool {
-        self.excluded
-            .bits()
-            .intersects_words_with(self.kernel, self.crosslinks.crossing_mask(link))
+        self.crosslinks
+            .crosses_any_with(self.kernel, link, self.excluded.bits())
     }
 }
 

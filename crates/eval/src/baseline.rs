@@ -49,8 +49,38 @@ impl Baseline {
     /// an explicit queue-kernel selection. The resulting artifact is
     /// identical for every kernel; only the build time changes.
     pub fn with_kernels(topo: Topology, kernels: Kernels) -> Self {
-        let table = RoutingTable::compute_with(&topo, &FullView, kernels);
+        Self::with_kernels_threads(topo, kernels, 1)
+    }
+
+    /// Like [`new`](Self::new), building the per-source artifacts on up to
+    /// `threads` workers (resolve a request with
+    /// [`par::resolve_threads`](crate::par::resolve_threads) first).
+    pub fn with_threads(topo: Topology, threads: usize) -> Self {
+        Self::with_kernels_threads(topo, Kernels::default(), threads)
+    }
+
+    /// The general entry point: explicit kernels *and* worker count.
+    ///
+    /// Every per-source artifact (shortest-path tree, first-hop buckets)
+    /// depends only on the immutable topology, so sources are split into
+    /// contiguous ranges fanned out through [`crate::par::map_indexed`]
+    /// and the per-range results concatenated in order — byte-identical to
+    /// the serial build at any thread count. `threads <= 1` never spawns.
+    pub fn with_kernels_threads(topo: Topology, kernels: Kernels, threads: usize) -> Self {
+        // 4 ranges per worker so one slow range (e.g. a hub-heavy id block)
+        // load-balances instead of stalling the join.
+        let ranges = crate::par::chunk_ranges(topo.node_count(), threads.max(1) * 4);
+        let tree_chunks = crate::par::map_indexed(threads, &ranges, |_, r| {
+            RoutingTable::compute_sources_with(
+                &topo,
+                &FullView,
+                kernels,
+                r.clone().map(|i| NodeId(i as u32)),
+            )
+        });
+        let table = RoutingTable::from_trees(tree_chunks.into_iter().flatten().collect());
         let crosslinks = CrossLinkTable::new(&topo);
+
         let mut slot_base = Vec::with_capacity(topo.node_count() + 1);
         let mut total = 0usize;
         for u in topo.node_ids() {
@@ -58,25 +88,53 @@ impl Baseline {
             total += topo.neighbors(u).len();
         }
         slot_base.push(total);
-        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); total];
-        for u in topo.node_ids() {
-            let nbrs = topo.neighbors(u);
-            let base = slot_base.get(u.index()).copied().unwrap_or(0);
-            // `t` ascends, so every bucket ends up sorted by destination.
-            for t in topo.node_ids() {
-                if t == u {
-                    continue;
+
+        let bucket_chunks = crate::par::map_indexed(threads, &ranges, |_, r| {
+            // Link-id → incident-slot scratch, filled and cleared per
+            // source, replacing the O(degree) position() scan per
+            // destination with an O(1) lookup.
+            let mut slot_of: Vec<usize> = vec![usize::MAX; topo.link_count()];
+            let mut out: Vec<Vec<NodeId>> = Vec::new();
+            for ui in r.clone() {
+                let u = NodeId(ui as u32);
+                let nbrs = topo.neighbors(u);
+                for (k, &(_, l)) in nbrs.iter().enumerate() {
+                    if let Some(s) = slot_of.get_mut(l.index()) {
+                        *s = k;
+                    }
                 }
-                let Some((_, link)) = table.next_hop(u, t) else {
-                    continue;
-                };
-                if let Some(k) = nbrs.iter().position(|&(_, l)| l == link) {
-                    if let Some(bucket) = buckets.get_mut(base + k) {
+                let start = out.len();
+                out.extend(std::iter::repeat_with(Vec::new).take(nbrs.len()));
+                // `t` ascends, so every bucket ends up sorted by
+                // destination.
+                for t in topo.node_ids() {
+                    if t == u {
+                        continue;
+                    }
+                    let Some((_, link)) = table.next_hop(u, t) else {
+                        continue;
+                    };
+                    // The first hop from `u` is incident to `u`, so the
+                    // scratch always holds a real slot here.
+                    let k = slot_of.get(link.index()).copied().unwrap_or(usize::MAX);
+                    if k == usize::MAX {
+                        continue;
+                    }
+                    if let Some(bucket) = out.get_mut(start + k) {
                         bucket.push(t);
                     }
                 }
+                for &(_, l) in nbrs {
+                    if let Some(s) = slot_of.get_mut(l.index()) {
+                        *s = usize::MAX;
+                    }
+                }
             }
-        }
+            out
+        });
+        let buckets: Vec<Vec<NodeId>> = bucket_chunks.into_iter().flatten().collect();
+        debug_assert_eq!(buckets.len(), total);
+
         Baseline {
             topo,
             table,
@@ -169,6 +227,25 @@ mod tests {
         let b = Baseline::for_profile(&p);
         assert!(Arc::ptr_eq(&a, &b), "second lookup hits the cache");
         assert_eq!(a.topo().node_count(), p.nodes);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let topo = generate::isp_like(40, 90, 2000.0, 12).unwrap();
+        let serial = Baseline::new(topo.clone());
+        for threads in [2, 3, 8] {
+            let par = Baseline::with_threads(topo.clone(), threads);
+            assert_eq!(par.crosslinks(), serial.crosslinks());
+            for u in topo.node_ids() {
+                for t in topo.node_ids() {
+                    assert_eq!(par.table().next_hop(u, t), serial.table().next_hop(u, t));
+                    assert_eq!(par.table().distance(u, t), serial.table().distance(u, t));
+                }
+                for k in 0..topo.neighbors(u).len() {
+                    assert_eq!(par.dests_via(u, k), serial.dests_via(u, k));
+                }
+            }
+        }
     }
 
     #[test]

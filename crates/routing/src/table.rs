@@ -28,11 +28,40 @@ impl RoutingTable {
     /// selection for the per-router Dijkstra runs. Kernels affect only
     /// throughput, never the computed trees.
     pub fn compute_with(topo: &Topology, view: &impl GraphView, kernels: Kernels) -> Self {
+        Self::from_trees(Self::compute_sources_with(
+            topo,
+            view,
+            kernels,
+            topo.node_ids(),
+        ))
+    }
+
+    /// Computes the shortest-path trees for a subset of sources, in the
+    /// order given, sharing one Dijkstra scratch across the runs.
+    ///
+    /// Each tree depends only on (`topo`, `view`, source), so callers may
+    /// split `topo.node_ids()` into contiguous ranges, compute each range
+    /// on its own thread, and concatenate the results with
+    /// [`from_trees`](Self::from_trees) — byte-identical to the serial
+    /// [`compute_with`](Self::compute_with) at any thread count.
+    pub fn compute_sources_with(
+        topo: &Topology,
+        view: &impl GraphView,
+        kernels: Kernels,
+        sources: impl IntoIterator<Item = NodeId>,
+    ) -> Vec<ShortestPaths> {
         let mut scratch = DijkstraScratch::with_kernels(kernels);
-        let trees = topo
-            .node_ids()
+        sources
+            .into_iter()
             .map(|n| scratch.run(topo, view, n).clone())
-            .collect();
+            .collect()
+    }
+
+    /// Assembles a table from per-source trees, where `trees[i]` must be
+    /// the tree rooted at `NodeId(i)` — the inverse of splitting
+    /// `topo.node_ids()` across [`compute_sources_with`](Self::compute_sources_with)
+    /// calls.
+    pub fn from_trees(trees: Vec<ShortestPaths>) -> Self {
         RoutingTable { trees }
     }
 

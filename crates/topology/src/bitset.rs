@@ -3,8 +3,8 @@
 //! The hot paths of the reproduction test link membership constantly: the
 //! phase-1 sweep asks "does this candidate cross any excluded link?" at
 //! every step, and the test-case harvest asks "is this link failed?" for
-//! every incident link of every node. Ids are dense (16-bit, assigned from
-//! zero by [`TopologyBuilder`](crate::TopologyBuilder)), so a flat `u64`
+//! every incident link of every node. Ids are dense (assigned from zero by
+//! [`TopologyBuilder`](crate::TopologyBuilder)), so a flat `u64`
 //! block array answers membership in one shift and intersection in a
 //! handful of ANDs — the data-structure counterpart of the incremental-SPF
 //! efficiency work this milestone follows.

@@ -3,19 +3,44 @@
 //! RTR's first phase must avoid selecting a link that geometrically crosses
 //! certain other links (Constraints 1 and 2 in §III-C). The paper states
 //! that "for each link, routers precompute the set of links across it"; this
-//! module is that precomputation. A bounding-box prefilter keeps the O(m²)
-//! construction fast for ISP-scale graphs (a few hundred links).
+//! module is that precomputation.
+//!
+//! Two builders produce the identical table: a bbox-filtered all-pairs scan
+//! ([`CrossLinkTable::new_all_pairs`], the O(m²) oracle, fine for the
+//! paper's few-hundred-link topologies) and a uniform-grid spatial index
+//! ([`CrossLinkTable::new_grid`], near-linear for the 100k-link scale
+//! sweep). [`CrossLinkTable::new`] picks by link count. The pair sets are
+//! proven identical by the `grid_index_matches_all_pairs` proptest.
+//!
+//! Storage is hybrid: per-link crossing *bitmask* rows (O(m²) bits, the
+//! fastest exclusion probe) are materialized only up to
+//! [`DENSE_MASK_MAX_LINKS`]; beyond that only the sorted crossing lists are
+//! kept and [`CrossLinkTable::crosses_any_with`] walks the (short) list
+//! with O(1) bitset membership per entry.
 
+use crate::bitset::LinkBitSet;
 use crate::geometry::segments_cross;
 use crate::graph::{LinkId, Topology};
+use crate::grid::{Bbox, SegmentGrid};
+use crate::kernels::MaskKernel;
 
 /// Bits per crossing-mask word (matches [`crate::bitset::LinkBitSet`]).
 const WORD_BITS: usize = 64;
 
-/// For every link, the sorted list of links that properly cross it, plus a
-/// flat per-link crossing *bitmask* (one stride of `u64` words per link)
-/// so `crosses` is a single shift and the sweep's exclusion test is a
-/// word-parallel AND against the packet's `cross_link` bitset.
+/// Largest link count for which [`CrossLinkTable::new`] uses the all-pairs
+/// oracle builder; above it the grid index wins.
+const ALL_PAIRS_MAX_LINKS: usize = 1024;
+
+/// Largest link count for which dense per-link crossing-mask rows are
+/// materialized (O(m²/8) bytes — 8 MiB at this cap). Larger tables keep
+/// only the sorted crossing lists; the sweep's exclusion probe goes
+/// through [`CrossLinkTable::crosses_any_with`], which handles both.
+pub const DENSE_MASK_MAX_LINKS: usize = 8192;
+
+/// For every link, the sorted list of links that properly cross it, plus —
+/// in dense mode — a flat per-link crossing *bitmask* (one stride of `u64`
+/// words per link) so `crosses` is a single shift and the sweep's exclusion
+/// test is a word-parallel AND against the packet's `cross_link` bitset.
 ///
 /// Crossing is symmetric: `a ∈ crossings(b)` iff `b ∈ crossings(a)`.
 ///
@@ -43,72 +68,102 @@ pub struct CrossLinkTable {
     crossings: Vec<Vec<LinkId>>,
     /// Flat row-major bitmask matrix: row `l` spans
     /// `masks[l * stride .. (l + 1) * stride]`, bit `b` of word `w` set
-    /// iff link `w * 64 + b` crosses `l`.
+    /// iff link `w * 64 + b` crosses `l`. Empty in sparse mode.
     masks: Vec<u64>,
-    /// Words per mask row: `ceil(link_count / 64)`.
+    /// Words per mask row: `ceil(link_count / 64)` in dense mode, 0 in
+    /// sparse mode.
     stride: usize,
+    /// Whether dense mask rows were materialized (`link_count` at most
+    /// [`DENSE_MASK_MAX_LINKS`]).
+    dense: bool,
     total_pairs: usize,
 }
 
-#[derive(Clone, Copy)]
-struct Bbox {
-    min_x: f64,
-    max_x: f64,
-    min_y: f64,
-    max_y: f64,
-}
-
-impl Bbox {
-    fn overlaps(self, other: Bbox) -> bool {
-        self.min_x <= other.max_x
-            && other.min_x <= self.max_x
-            && self.min_y <= other.max_y
-            && other.min_y <= self.max_y
-    }
-}
-
 impl CrossLinkTable {
-    /// Builds the table for every link of `topo`.
+    /// Builds the table for every link of `topo`: the all-pairs oracle for
+    /// small topologies, the grid index beyond [`ALL_PAIRS_MAX_LINKS`]
+    /// links. Both produce the identical table.
     pub fn new(topo: &Topology) -> Self {
+        if topo.link_count() <= ALL_PAIRS_MAX_LINKS {
+            Self::new_all_pairs(topo)
+        } else {
+            Self::new_grid(topo)
+        }
+    }
+
+    /// The bbox-filtered all-pairs builder — O(m²) candidate pairs, kept
+    /// as the oracle the grid builder is property-tested against.
+    pub fn new_all_pairs(topo: &Topology) -> Self {
         let m = topo.link_count();
         let mut crossings: Vec<Vec<LinkId>> = vec![Vec::new(); m];
         let segs: Vec<_> = topo.link_ids().map(|l| topo.segment(l)).collect();
-        let boxes: Vec<Bbox> = segs
-            .iter()
-            .map(|s| Bbox {
-                min_x: s.a.x.min(s.b.x),
-                max_x: s.a.x.max(s.b.x),
-                min_y: s.a.y.min(s.b.y),
-                max_y: s.a.y.max(s.b.y),
-            })
-            .collect();
-        let mut total_pairs = 0;
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let boxes: Vec<Bbox> = segs.iter().map(|s| Bbox::of_segment(*s)).collect();
         for (i, (si, bi)) in segs.iter().zip(&boxes).enumerate() {
-            for (dj, (sj, bj)) in segs.iter().zip(&boxes).enumerate().skip(i + 1) {
+            for (j, (sj, bj)) in segs.iter().zip(&boxes).enumerate().skip(i + 1) {
                 if bi.overlaps(*bj) && segments_cross(*si, *sj) {
-                    pairs.push((i, dj));
-                    total_pairs += 1;
+                    if let Some(list) = crossings.get_mut(i) {
+                        list.push(LinkId(j as u32));
+                    }
+                    if let Some(list) = crossings.get_mut(j) {
+                        list.push(LinkId(i as u32));
+                    }
                 }
             }
         }
-        for (i, j) in pairs {
-            if let Some(list) = crossings.get_mut(i) {
-                list.push(LinkId(j as u32));
+        Self::finish(m, crossings)
+    }
+
+    /// The spatial-index builder: constructs a fresh [`SegmentGrid`] and
+    /// delegates to [`with_grid`](Self::with_grid).
+    pub fn new_grid(topo: &Topology) -> Self {
+        Self::with_grid(topo, &SegmentGrid::new(topo))
+    }
+
+    /// Builds the table using an existing grid over `topo`'s segments
+    /// (lets callers that already built one — e.g. for failure-scenario
+    /// indexing — reuse it).
+    pub fn with_grid(topo: &Topology, grid: &SegmentGrid) -> Self {
+        let m = topo.link_count();
+        debug_assert_eq!(grid.link_count(), m, "grid built over a different topology");
+        let mut crossings: Vec<Vec<LinkId>> = vec![Vec::new(); m];
+        let segs: Vec<_> = topo.link_ids().map(|l| topo.segment(l)).collect();
+        grid.for_candidate_pairs(|i, j| {
+            let crossed = match (segs.get(i), segs.get(j)) {
+                (Some(si), Some(sj)) => segments_cross(*si, *sj),
+                _ => false,
+            };
+            if crossed {
+                if let Some(list) = crossings.get_mut(i) {
+                    list.push(LinkId(j as u32));
+                }
+                if let Some(list) = crossings.get_mut(j) {
+                    list.push(LinkId(i as u32));
+                }
             }
-            if let Some(list) = crossings.get_mut(j) {
-                list.push(LinkId(i as u32));
-            }
-        }
+        });
+        Self::finish(m, crossings)
+    }
+
+    /// Shared finisher: sorts the per-link lists, derives the pair count,
+    /// and materializes the dense mask rows when `m` is small enough.
+    fn finish(m: usize, mut crossings: Vec<Vec<LinkId>>) -> Self {
         for list in &mut crossings {
             list.sort_unstable();
+            debug_assert!(
+                list.windows(2).all(|w| w.first() != w.last()),
+                "builder reported a crossing pair twice"
+            );
         }
-        let stride = m.div_ceil(WORD_BITS);
-        let mut masks = vec![0u64; m * stride];
-        for (i, list) in crossings.iter().enumerate() {
-            for other in list {
-                if let Some(w) = masks.get_mut(i * stride + other.index() / WORD_BITS) {
-                    *w |= 1u64 << (other.index() % WORD_BITS);
+        let total_pairs = crossings.iter().map(Vec::len).sum::<usize>() / 2;
+        let dense = m <= DENSE_MASK_MAX_LINKS;
+        let stride = if dense { m.div_ceil(WORD_BITS) } else { 0 };
+        let mut masks = vec![0u64; if dense { m * stride } else { 0 }];
+        if dense {
+            for (i, list) in crossings.iter().enumerate() {
+                for other in list {
+                    if let Some(w) = masks.get_mut(i * stride + other.index() / WORD_BITS) {
+                        *w |= 1u64 << (other.index() % WORD_BITS);
+                    }
                 }
             }
         }
@@ -116,6 +171,7 @@ impl CrossLinkTable {
             crossings,
             masks,
             stride,
+            dense,
             total_pairs,
         }
     }
@@ -127,23 +183,53 @@ impl CrossLinkTable {
     }
 
     /// The crossing bitmask row of `l`: bit `b` of word `w` is set iff
-    /// link `w * 64 + b` properly crosses `l`. Empty for out-of-range `l`.
+    /// link `w * 64 + b` properly crosses `l`. Empty for out-of-range `l`
+    /// — and empty for *every* `l` when the table is in sparse mode
+    /// (see [`has_dense_masks`](Self::has_dense_masks)); callers wanting a
+    /// mode-independent probe use [`crosses_any_with`](Self::crosses_any_with).
     ///
     /// Intersecting this row with a
     /// [`LinkBitSet`](crate::bitset::LinkBitSet) answers "does `l` cross
     /// any link of the set?" in `stride` AND operations.
     pub fn crossing_mask(&self, l: LinkId) -> &[u64] {
+        if !self.dense {
+            return &[];
+        }
         let start = l.index() * self.stride;
         self.masks
             .get(start..start + self.stride)
             .unwrap_or_default()
     }
 
-    /// Returns true when links `a` and `b` properly cross (one bit test).
+    /// Whether dense per-link mask rows are materialized (tables over at
+    /// most [`DENSE_MASK_MAX_LINKS`] links).
+    pub fn has_dense_masks(&self) -> bool {
+        self.dense
+    }
+
+    /// Returns true when links `a` and `b` properly cross: one bit test in
+    /// dense mode, a binary search of `a`'s sorted crossing list otherwise.
     pub fn crosses(&self, a: LinkId, b: LinkId) -> bool {
-        self.crossing_mask(a)
-            .get(b.index() / WORD_BITS)
-            .is_some_and(|w| w & (1u64 << (b.index() % WORD_BITS)) != 0)
+        if self.dense {
+            self.crossing_mask(a)
+                .get(b.index() / WORD_BITS)
+                .is_some_and(|w| w & (1u64 << (b.index() % WORD_BITS)) != 0)
+        } else {
+            self.crossings_of(a).binary_search(&b).is_ok()
+        }
+    }
+
+    /// Returns true when `l` crosses any member of `set` — the phase-1
+    /// exclusion probe (Constraints 1 and 2). In dense mode this is a
+    /// word-parallel AND of `l`'s mask row against the set, run by
+    /// `kernel`; in sparse mode it walks `l`'s sorted crossing list (short
+    /// in realistic embeddings) with O(1) membership per entry.
+    pub fn crosses_any_with(&self, kernel: MaskKernel, l: LinkId, set: &LinkBitSet) -> bool {
+        if self.dense {
+            set.intersects_words_with(kernel, self.crossing_mask(l))
+        } else {
+            self.crossings_of(l).iter().any(|&o| set.contains(o))
+        }
     }
 
     /// Returns true when `l` crosses no other link.
@@ -225,6 +311,7 @@ mod tests {
         let side = b.add_link(v0, v2, 1).unwrap();
         let topo = b.build().unwrap();
         let t = CrossLinkTable::new(&topo);
+        assert!(t.has_dense_masks());
         for l in topo.link_ids() {
             let row = t.crossing_mask(l);
             assert_eq!(row.len(), 1, "3 links fit one word");
@@ -254,5 +341,47 @@ mod tests {
         assert_eq!(t.crossings_of(horizontal), &[vert1, vert2]);
         assert_eq!(t.crossings_of(vert1), &[horizontal]);
         assert_eq!(t.crossing_pair_count(), 2);
+    }
+
+    #[test]
+    fn grid_builder_matches_all_pairs_on_a_dense_mesh() {
+        let topo = crate::generate::isp_like(40, 180, 500.0, 99).unwrap();
+        let oracle = CrossLinkTable::new_all_pairs(&topo);
+        let grid = CrossLinkTable::new_grid(&topo);
+        assert_eq!(oracle, grid);
+        assert!(oracle.crossing_pair_count() > 0, "mesh should self-cross");
+    }
+
+    /// A sparse-mode table built over a synthetic segment soup: verifies
+    /// list/binary-search probes and `crosses_any_with` agree with a
+    /// dense table over the same geometry.
+    #[test]
+    fn sparse_mode_probes_agree_with_dense() {
+        let topo = crate::generate::isp_like(60, 200, 800.0, 7).unwrap();
+        let dense = CrossLinkTable::new_all_pairs(&topo);
+        assert!(dense.has_dense_masks());
+        // Force a sparse finish over the identical crossing lists.
+        let sparse = CrossLinkTable {
+            masks: Vec::new(),
+            stride: 0,
+            dense: false,
+            crossings: dense.crossings.clone(),
+            total_pairs: dense.total_pairs,
+        };
+        assert!(sparse.crossing_mask(LinkId(0)).is_empty());
+        let mut set = LinkBitSet::with_link_capacity(topo.link_count());
+        for l in topo.link_ids().take(40) {
+            set.insert(l);
+        }
+        for a in topo.link_ids() {
+            assert_eq!(
+                sparse.crosses_any_with(MaskKernel::Scalar, a, &set),
+                dense.crosses_any_with(MaskKernel::Scalar, a, &set),
+                "crosses_any_with diverges at {a}"
+            );
+            for b in topo.link_ids() {
+                assert_eq!(sparse.crosses(a, b), dense.crosses(a, b));
+            }
+        }
     }
 }

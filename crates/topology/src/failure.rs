@@ -11,6 +11,7 @@
 use crate::bitset::LinkBitSet;
 use crate::geometry::{Circle, Point, Polygon, Segment};
 use crate::graph::{LinkId, NodeId, Topology};
+use crate::grid::SegmentGrid;
 
 /// A geographic region used as a failure area.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +45,43 @@ impl Region {
             Region::Circle(c) => c.intersects_segment(s),
             Region::Polygon(poly) => poly.intersects_segment(s),
             Region::Union(parts) => parts.iter().any(|r| r.intersects_segment(s)),
+        }
+    }
+
+    /// The axis-aligned bounding box `(min, max)` of the region. Anything
+    /// the region touches lies inside it, so it is a sound prefilter for
+    /// spatial-index queries. An empty union degenerates to a point box at
+    /// the origin (it touches nothing).
+    pub fn bounding_box(&self) -> (Point, Point) {
+        match self {
+            Region::Circle(c) => (
+                Point::new(c.center.x - c.radius, c.center.y - c.radius),
+                Point::new(c.center.x + c.radius, c.center.y + c.radius),
+            ),
+            Region::Polygon(poly) => {
+                let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+                let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+                // Polygons have at least 3 vertices, so the fold is total.
+                for v in poly.vertices() {
+                    min = Point::new(min.x.min(v.x), min.y.min(v.y));
+                    max = Point::new(max.x.max(v.x), max.y.max(v.y));
+                }
+                (min, max)
+            }
+            Region::Union(parts) => {
+                let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+                let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for r in parts {
+                    let (lo, hi) = r.bounding_box();
+                    min = Point::new(min.x.min(lo.x), min.y.min(lo.y));
+                    max = Point::new(max.x.max(hi.x), max.y.max(hi.y));
+                }
+                if min.x > max.x {
+                    (Point::new(0.0, 0.0), Point::new(0.0, 0.0))
+                } else {
+                    (min, max)
+                }
+            }
         }
     }
 }
@@ -133,6 +171,33 @@ impl FailureScenario {
             if region.intersects_segment(topo.segment(l)) {
                 s.fail_link(l);
             }
+        }
+        s
+    }
+
+    /// Like [`from_region`](Self::from_region), but testing only the links
+    /// a [`SegmentGrid`] nominates for the region's bounding box instead
+    /// of every link — result-identical (every link touching the region
+    /// has a bounding box overlapping the region's), and near-linear in
+    /// scenario count at scale because the per-scenario work is
+    /// proportional to the links *near* the region, not all of them.
+    pub fn from_region_indexed(topo: &Topology, region: &Region, grid: &SegmentGrid) -> Self {
+        let mut s = Self::none(topo);
+        for n in topo.node_ids() {
+            if region.contains(topo.position(n)) {
+                s.fail_node(n);
+            }
+        }
+        let (min, max) = region.bounding_box();
+        let mut seen = LinkBitSet::with_link_capacity(topo.link_count());
+        let mut failed: Vec<LinkId> = Vec::new();
+        grid.for_candidates(min, max, &mut seen, |l| {
+            if region.intersects_segment(topo.segment(l)) {
+                failed.push(l);
+            }
+        });
+        for l in failed {
+            s.fail_link(l);
         }
         s
     }
@@ -423,6 +488,57 @@ mod tests {
         assert!(!s.is_node_failed(v1));
         assert!(s.is_link_failed(LinkId(0)));
         assert!(!s.is_link_usable(&topo, LinkId(0)));
+    }
+
+    #[test]
+    fn region_bounding_boxes_cover_their_shapes() {
+        let (min, max) = Region::circle((3.0, 4.0), 2.0).bounding_box();
+        assert_eq!((min.x, min.y, max.x, max.y), (1.0, 2.0, 5.0, 6.0));
+
+        let poly = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(2.0, 5.0),
+        ])
+        .unwrap();
+        let (min, max) = Region::from(poly).bounding_box();
+        assert_eq!((min.x, min.y, max.x, max.y), (0.0, 0.0, 4.0, 5.0));
+
+        let union = Region::Union(vec![
+            Region::circle((0.0, 0.0), 1.0),
+            Region::circle((10.0, 10.0), 1.0),
+        ]);
+        let (min, max) = union.bounding_box();
+        assert_eq!((min.x, min.y, max.x, max.y), (-1.0, -1.0, 11.0, 11.0));
+
+        let (min, max) = Region::Union(Vec::new()).bounding_box();
+        assert_eq!((min.x, min.y, max.x, max.y), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn from_region_indexed_matches_scan() {
+        let topo = crate::generate::isp_like(60, 140, 2000.0, 44).unwrap();
+        let grid = SegmentGrid::new(&topo);
+        for (cx, cy, r) in [
+            (1000.0, 1000.0, 250.0),
+            (0.0, 0.0, 400.0),
+            (1999.0, 40.0, 10.0),
+            (1000.0, 1000.0, 5000.0), // swallows everything
+        ] {
+            let region = Region::circle((cx, cy), r);
+            let scan = FailureScenario::from_region(&topo, &region);
+            let indexed = FailureScenario::from_region_indexed(&topo, &region, &grid);
+            assert_eq!(scan, indexed, "circle ({cx},{cy}) r={r}");
+        }
+        // A union region through the same path.
+        let union = Region::Union(vec![
+            Region::circle((200.0, 200.0), 150.0),
+            Region::circle((1800.0, 1800.0), 150.0),
+        ]);
+        assert_eq!(
+            FailureScenario::from_region(&topo, &union),
+            FailureScenario::from_region_indexed(&topo, &union, &grid)
+        );
     }
 
     #[test]

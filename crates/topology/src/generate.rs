@@ -13,6 +13,7 @@
 
 use crate::geometry::Point;
 use crate::graph::{NodeId, Topology, TopologyError};
+use crate::grid::PointGrid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -301,6 +302,279 @@ pub fn gabriel(n: usize, extent: f64, seed: u64) -> Result<Topology, GenerateErr
     Ok(b.build()?)
 }
 
+/// Grows a nearest-predecessor attachment tree over `positions` using a
+/// [`PointGrid`], adding the links to `b` — the scalable counterpart of
+/// [`isp_like`]'s O(n²) scan. Returns the grid with every point inserted,
+/// for reuse by the caller's extra-link stage.
+fn nn_tree(
+    b: &mut crate::graph::TopologyBuilder,
+    positions: &[Point],
+    extent: f64,
+) -> Result<PointGrid, GenerateError> {
+    // Roughly one point per cell keeps both insertion and the expanding-
+    // ring nearest search O(1) amortized for uniform placements.
+    let cell = (extent / (positions.len() as f64).sqrt()).max(f64::MIN_POSITIVE);
+    let mut pg = PointGrid::new(Point::new(0.0, 0.0), Point::new(extent, extent), cell);
+    for (i, &p) in positions.iter().enumerate() {
+        if let Some(nearest) = pg.nearest(p, positions) {
+            b.add_link(NodeId(i as u32), NodeId(nearest), 1)?;
+        }
+        pg.insert(i as u32, p);
+    }
+    Ok(pg)
+}
+
+/// A Waxman random graph with exactly `n` nodes and `m` links in
+/// `[0, extent]²`, deterministic in `seed`.
+///
+/// Connectivity comes from a nearest-predecessor tree; the remaining
+/// `m − (n − 1)` links are drawn by weighted sampling over *near* pairs
+/// with the Waxman probability weight `β · exp(−d / (α · L))` (`L` = the
+/// extent diagonal), so short links dominate for small `α` exactly as in
+/// Waxman's model. Candidate pairs are enumerated through a [`PointGrid`]
+/// radius query whose radius widens geometrically until enough candidates
+/// exist — near-linear for the sparse densities (`m ≈ 2n`) the scale
+/// sweep uses, never worse than the all-pairs scan.
+///
+/// # Errors
+///
+/// Fails when `n == 0`, `m < n − 1`, or `m` exceeds `n(n−1)/2`.
+///
+/// # Panics
+///
+/// Panics when `extent` is not positive and finite or `alpha`/`beta` are
+/// outside `(0, 1]`.
+pub fn waxman(
+    n: usize,
+    m: usize,
+    extent: f64,
+    alpha: f64,
+    beta: f64,
+    seed: u64,
+) -> Result<Topology, GenerateError> {
+    assert!(
+        extent > 0.0 && extent.is_finite(),
+        "extent must be positive and finite"
+    );
+    assert!(
+        alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0,
+        "Waxman parameters must lie in (0, 1]"
+    );
+    if n == 0 {
+        return Err(GenerateError::TooFewNodes { need: 1, got: 0 });
+    }
+    if m + 1 < n {
+        return Err(GenerateError::TooFewLinks { nodes: n, links: m });
+    }
+    if m > n * (n - 1) / 2 {
+        return Err(GenerateError::TooManyLinks { nodes: n, links: m });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions = random_positions(n, extent, &mut rng);
+    let mut b = Topology::builder();
+    for &p in &positions {
+        b.add_node(p);
+    }
+    let pg = nn_tree(&mut b, &positions, extent)?;
+
+    let remaining = m - (n - 1);
+    if remaining > 0 {
+        let diag = extent * std::f64::consts::SQRT_2;
+        // Radius sized so the expected near-pair count is ~8× the links
+        // still needed (uniform density: pairs within r ≈ n²πr²/(2A)).
+        let target = (8 * remaining).max(64) as f64;
+        let mut radius =
+            (extent / n as f64) * (2.0 * target / std::f64::consts::PI).sqrt().max(1.0);
+        radius = radius.clamp(extent / (n as f64).sqrt(), diag);
+        loop {
+            let mut cands: Vec<(f64, u32, u32)> = Vec::new();
+            for (i, &pi) in positions.iter().enumerate() {
+                pg.for_neighbors_within(pi, radius, &positions, |j, d| {
+                    if j as usize > i && !b.has_link(NodeId(i as u32), NodeId(j)) {
+                        let w = beta * (-d / (alpha * diag)).exp();
+                        // Exponential race: each candidate draws an arrival
+                        // time with rate `w`; the `remaining` earliest win.
+                        // Equivalent to weighted sampling without
+                        // replacement, deterministic in the draw order.
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        let key = -(1.0 - u).ln() / w;
+                        cands.push((key, i as u32, j));
+                    }
+                });
+            }
+            if cands.len() >= remaining || radius >= diag {
+                cands.sort_by(|a, c| a.0.total_cmp(&c.0).then(a.1.cmp(&c.1)).then(a.2.cmp(&c.2)));
+                for &(_, i, j) in cands.iter().take(remaining) {
+                    b.add_link(NodeId(i), NodeId(j), 1)?;
+                }
+                debug_assert!(cands.len() >= remaining, "diag radius enumerates all pairs");
+                break;
+            }
+            radius = (radius * 2.0).min(diag);
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// A Barabási–Albert preferential-attachment graph with coordinates:
+/// `n` nodes placed uniformly in `[0, extent]²`, seeded with a clique on
+/// the first `attach + 1` nodes, then each new node linking to `attach`
+/// distinct degree-proportional targets. Deterministic in `seed`;
+/// produces the heavy-tailed degree distributions of real AS graphs
+/// (total links: `attach·(attach+1)/2 + (n − attach − 1)·attach`).
+///
+/// Construction is O(n·attach) via the repeated-endpoint pool (each link
+/// endpoint appears once per degree, so uniform pool sampling *is*
+/// preferential attachment).
+///
+/// # Errors
+///
+/// Fails when `attach == 0` (cannot connect) or `n < attach + 1`.
+///
+/// # Panics
+///
+/// Panics when `extent` is not positive and finite.
+pub fn barabasi_albert(
+    n: usize,
+    attach: usize,
+    extent: f64,
+    seed: u64,
+) -> Result<Topology, GenerateError> {
+    assert!(
+        extent > 0.0 && extent.is_finite(),
+        "extent must be positive and finite"
+    );
+    if n == 0 {
+        return Err(GenerateError::TooFewNodes { need: 1, got: 0 });
+    }
+    if attach == 0 {
+        return Err(GenerateError::TooFewLinks { nodes: n, links: 0 });
+    }
+    if n < attach + 1 {
+        return Err(GenerateError::TooFewNodes {
+            need: attach + 1,
+            got: n,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions = random_positions(n, extent, &mut rng);
+    let mut b = Topology::builder();
+    for &p in &positions {
+        b.add_node(p);
+    }
+
+    // Endpoint pool: node id repeated once per unit of degree.
+    let m0 = attach + 1;
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * (m0 * (m0 - 1) / 2 + (n - m0) * attach));
+    for i in 0..m0 {
+        for j in (i + 1)..m0 {
+            b.add_link(NodeId(i as u32), NodeId(j as u32), 1)?;
+            pool.push(i as u32);
+            pool.push(j as u32);
+        }
+    }
+    let mut chosen: Vec<u32> = Vec::with_capacity(attach);
+    for v in m0..n {
+        chosen.clear();
+        // Rejection-sample `attach` distinct targets; at least `m0 > attach`
+        // distinct nodes are in the pool, so this terminates.
+        while chosen.len() < attach {
+            let t = pool.get(rng.gen_range(0..pool.len())).copied();
+            if let Some(t) = t {
+                if t != v as u32 && !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+        }
+        for &t in &chosen {
+            b.add_link(NodeId(v as u32), NodeId(t), 1)?;
+            pool.push(v as u32);
+            pool.push(t);
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// A two-level hierarchical PoP ISP: `pops` points of presence placed
+/// uniformly in `[0, extent]²`, each with two core routers and
+/// `access_per_pop` access routers dual-homed to both cores; PoPs are
+/// joined by a redundant backbone (a nearest-predecessor tree over the
+/// primary cores plus a parallel tree over the secondary cores), so no
+/// single backbone link partitions the network. Deterministic in `seed`.
+///
+/// Node ids are PoP-major: PoP `p` owns ids
+/// `p·(2 + access_per_pop) ..` in order `[core0, core1, access…]`, with
+/// totals `pops·(2 + access_per_pop)` nodes and
+/// `pops·(1 + 2·access_per_pop) + 2·(pops − 1)` links.
+///
+/// # Errors
+///
+/// Fails when `pops == 0`.
+///
+/// # Panics
+///
+/// Panics when `extent` is not positive and finite.
+pub fn hierarchical_isp(
+    pops: usize,
+    access_per_pop: usize,
+    extent: f64,
+    seed: u64,
+) -> Result<Topology, GenerateError> {
+    assert!(
+        extent > 0.0 && extent.is_finite(),
+        "extent must be positive and finite"
+    );
+    if pops == 0 {
+        return Err(GenerateError::TooFewNodes { need: 1, got: 0 });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = random_positions(pops, extent, &mut rng);
+    // PoP footprint well under the typical inter-PoP spacing.
+    let pop_radius = extent / (pops as f64).sqrt() / 4.0;
+
+    let per_pop = 2 + access_per_pop;
+    let mut b = Topology::builder();
+    let core0 = |p: usize| NodeId((p * per_pop) as u32);
+    let core1 = |p: usize| NodeId((p * per_pop + 1) as u32);
+    for &c in &centers {
+        let mut jittered = |spread: f64| {
+            Point::new(
+                c.x + rng.gen_range(-spread..spread),
+                c.y + rng.gen_range(-spread..spread),
+            )
+        };
+        let c0 = jittered(pop_radius / 4.0);
+        let c1 = jittered(pop_radius / 4.0);
+        let mut access = Vec::with_capacity(access_per_pop);
+        for _ in 0..access_per_pop {
+            access.push(jittered(pop_radius));
+        }
+        let i0 = b.add_node(c0);
+        let i1 = b.add_node(c1);
+        b.add_link(i0, i1, 1)?;
+        for a in access {
+            let ia = b.add_node(a);
+            b.add_link(ia, i0, 1)?;
+            b.add_link(ia, i1, 1)?;
+        }
+    }
+
+    // Redundant backbone: nearest-predecessor tree over PoP centers,
+    // mirrored across both core planes.
+    let cell = (extent / (pops as f64).sqrt()).max(f64::MIN_POSITIVE);
+    let mut pg = PointGrid::new(Point::new(0.0, 0.0), Point::new(extent, extent), cell);
+    for (p, &c) in centers.iter().enumerate() {
+        if let Some(q) = pg.nearest(c, &centers) {
+            b.add_link(core0(p), core0(q as usize), 1)?;
+            b.add_link(core1(p), core1(q as usize), 1)?;
+        }
+        pg.insert(p as u32, c);
+    }
+    Ok(b.build()?)
+}
+
 /// Rebuilds `topo` with fresh random per-direction link costs drawn
 /// uniformly from `min..=max` (deterministic in `seed`). Geometry and
 /// adjacency are preserved.
@@ -497,5 +771,164 @@ mod tests {
             e.to_string(),
             "3 links cannot connect 10 nodes (need at least 9)"
         );
+    }
+
+    /// Byte-identical reruns and seed sensitivity, shared by the scale
+    /// generators.
+    fn assert_deterministic(
+        gen: impl Fn(u64) -> Result<Topology, GenerateError>,
+        seed_a: u64,
+        seed_b: u64,
+    ) {
+        let a = gen(seed_a).unwrap();
+        let b = gen(seed_a).unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.link_count(), b.link_count());
+        for n in a.node_ids() {
+            assert_eq!(a.position(n), b.position(n));
+        }
+        for l in a.link_ids() {
+            assert_eq!(a.link(l).endpoints(), b.link(l).endpoints());
+        }
+        let c = gen(seed_b).unwrap();
+        let same_positions = a.node_count() == c.node_count()
+            && a.node_ids().all(|n| a.position(n) == c.position(n));
+        assert!(!same_positions, "seeds {seed_a} and {seed_b} agree");
+    }
+
+    #[test]
+    fn waxman_exact_counts_and_connected() {
+        let topo = waxman(200, 420, 2000.0, 0.15, 0.6, 11).unwrap();
+        assert_eq!(topo.node_count(), 200);
+        assert_eq!(topo.link_count(), 420);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn waxman_is_deterministic() {
+        assert_deterministic(|s| waxman(80, 170, 2000.0, 0.2, 0.5, s), 5, 6);
+    }
+
+    #[test]
+    fn waxman_prefers_short_links() {
+        // Small alpha strongly penalizes distance, so the mean link length
+        // should be well under the uniform-random-pair expectation (~0.52
+        // of the diagonal).
+        let topo = waxman(150, 400, 1000.0, 0.05, 1.0, 9).unwrap();
+        let mean = topo
+            .link_ids()
+            .map(|l| topo.segment(l).length())
+            .sum::<f64>()
+            / topo.link_count() as f64;
+        assert!(
+            mean < 0.25 * 1000.0 * std::f64::consts::SQRT_2,
+            "mean link length {mean} is not short-biased"
+        );
+    }
+
+    #[test]
+    fn waxman_rejects_impossible_counts() {
+        assert!(matches!(
+            waxman(10, 8, 100.0, 0.2, 0.5, 0),
+            Err(GenerateError::TooFewLinks { .. })
+        ));
+        assert!(matches!(
+            waxman(5, 11, 100.0, 0.2, 0.5, 0),
+            Err(GenerateError::TooManyLinks { .. })
+        ));
+        assert!(matches!(
+            waxman(0, 0, 100.0, 0.2, 0.5, 0),
+            Err(GenerateError::TooFewNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn barabasi_albert_counts_and_connected() {
+        let (n, attach) = (300, 2);
+        let topo = barabasi_albert(n, attach, 2000.0, 17).unwrap();
+        assert_eq!(topo.node_count(), n);
+        assert_eq!(topo.link_count(), 3 + (n - 3) * attach);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn barabasi_albert_is_deterministic() {
+        assert_deterministic(|s| barabasi_albert(120, 2, 2000.0, s), 3, 4);
+    }
+
+    #[test]
+    fn barabasi_albert_has_heavy_tail() {
+        // Preferential attachment concentrates degree: the busiest router
+        // should far exceed the mean degree (2·attach ≈ 4).
+        let topo = barabasi_albert(500, 2, 2000.0, 23).unwrap();
+        let max_deg = topo.node_ids().map(|n| topo.degree(n)).max().unwrap();
+        assert!(max_deg >= 12, "max degree {max_deg} is not heavy-tailed");
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_parameters() {
+        assert!(matches!(
+            barabasi_albert(0, 2, 100.0, 0),
+            Err(GenerateError::TooFewNodes { .. })
+        ));
+        assert!(matches!(
+            barabasi_albert(10, 0, 100.0, 0),
+            Err(GenerateError::TooFewLinks { .. })
+        ));
+        assert!(matches!(
+            barabasi_albert(2, 2, 100.0, 0),
+            Err(GenerateError::TooFewNodes { need: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn hierarchical_isp_structure() {
+        let (pops, access) = (12, 6);
+        let topo = hierarchical_isp(pops, access, 2000.0, 31).unwrap();
+        assert_eq!(topo.node_count(), pops * (2 + access));
+        assert_eq!(topo.link_count(), pops * (1 + 2 * access) + 2 * (pops - 1));
+        assert!(topo.is_connected());
+        // Every access router is dual-homed: degree exactly 2.
+        for p in 0..pops {
+            for a in 0..access {
+                let id = NodeId((p * (2 + access) + 2 + a) as u32);
+                assert_eq!(topo.degree(id), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_isp_survives_any_backbone_link() {
+        // The mirrored backbone means no single inter-PoP link partitions
+        // the graph: removing either plane's copy leaves the other.
+        let topo = hierarchical_isp(8, 3, 2000.0, 47).unwrap();
+        let mut mask = crate::failure::LinkMask::none(&topo);
+        for l in topo.link_ids() {
+            mask.reset(&topo);
+            mask.remove(l);
+            let reach = crate::failure::reachable_set(&topo, &mask, NodeId(0));
+            assert!(reach.iter().all(|&r| r), "link {l:?} is a cut edge");
+        }
+    }
+
+    #[test]
+    fn hierarchical_isp_is_deterministic() {
+        assert_deterministic(|s| hierarchical_isp(10, 5, 2000.0, s), 8, 9);
+    }
+
+    #[test]
+    fn hierarchical_isp_rejects_zero_pops() {
+        assert!(matches!(
+            hierarchical_isp(0, 4, 100.0, 0),
+            Err(GenerateError::TooFewNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn single_pop_isp_has_no_backbone() {
+        let topo = hierarchical_isp(1, 4, 500.0, 2).unwrap();
+        assert_eq!(topo.node_count(), 6);
+        assert_eq!(topo.link_count(), 1 + 2 * 4);
+        assert!(topo.is_connected());
     }
 }

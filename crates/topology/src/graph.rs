@@ -9,10 +9,22 @@
 use crate::geometry::{Point, Segment};
 use std::fmt;
 
+/// Maximum number of nodes or links in one topology (2²⁴).
+///
+/// Ids are assigned densely from zero, and several structures index by id:
+/// the CSR adjacency keeps `u32` offsets (entry count is `2 · links`, safe
+/// below 2²⁵), and per-link bitsets stay addressable. The paper's packet
+/// headers encode ids in 16 bits (§III-B) — the Table II topologies sit
+/// far inside that — but the scale sweep (`BENCH_scale.json`) drives the
+/// substrate to 100k+ nodes, so construction accepts the full 24-bit
+/// space; header-byte accounting remains exact for topologies within the
+/// 16-bit wire format.
+pub const MAX_IDS: usize = 1 << 24;
+
 /// Identifier of a node (router). Indexes into [`Topology`] storage.
 ///
-/// The paper's packet headers encode node ids in 16 bits; constructing a
-/// topology with more than 65 536 nodes is rejected so ids always fit.
+/// The paper's packet headers encode node ids in 16 bits; the substrate
+/// itself accepts up to [`MAX_IDS`] nodes for scale experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
@@ -31,7 +43,8 @@ impl fmt::Display for NodeId {
 
 /// Identifier of an undirected link. Indexes into [`Topology`] storage.
 ///
-/// The paper's packet headers encode link ids in 16 bits (§III-B).
+/// The paper's packet headers encode link ids in 16 bits (§III-B); the
+/// substrate itself accepts up to [`MAX_IDS`] links for scale experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
@@ -129,7 +142,7 @@ pub enum TopologyError {
     BadCoordinate(usize),
     /// A link cost of zero was supplied; costs must be positive.
     ZeroCost(NodeId, NodeId),
-    /// Too many nodes or links for 16-bit packet-header ids.
+    /// Too many nodes or links for the topology id space ([`MAX_IDS`]).
     TooLarge(&'static str),
     /// A topology file could not be parsed.
     Parse(String),
@@ -145,7 +158,9 @@ impl fmt::Display for TopologyError {
                 write!(f, "non-finite coordinate for node index {i}")
             }
             TopologyError::ZeroCost(a, b) => write!(f, "zero cost on link between {a} and {b}"),
-            TopologyError::TooLarge(what) => write!(f, "too many {what} for 16-bit ids"),
+            TopologyError::TooLarge(what) => {
+                write!(f, "too many {what} for the 24-bit topology id space")
+            }
             TopologyError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
@@ -436,19 +451,19 @@ impl TopologyBuilder {
     /// # Errors
     ///
     /// Fails if any coordinate is non-finite or if node/link counts exceed
-    /// the 16-bit id space used by packet headers.
+    /// the 24-bit topology id space ([`MAX_IDS`]).
     pub fn build(self) -> Result<Topology, TopologyError> {
         if let Some(i) = self.positions.iter().position(|p| !p.is_finite()) {
             return Err(TopologyError::BadCoordinate(i));
         }
-        if self.positions.len() > u16::MAX as usize + 1 {
+        if self.positions.len() > MAX_IDS {
             return Err(TopologyError::TooLarge("nodes"));
         }
-        if self.links.len() > u16::MAX as usize + 1 {
+        if self.links.len() > MAX_IDS {
             return Err(TopologyError::TooLarge("links"));
         }
         // Flatten the builder's per-node lists into the CSR layout. Entry
-        // counts are bounded by 2 * links <= 2^17, so offsets fit in u32.
+        // counts are bounded by 2 * links <= 2^25, so offsets fit in u32.
         let mut adj_offsets = Vec::with_capacity(self.adjacency.len() + 1);
         let mut adj_entries = Vec::with_capacity(2 * self.links.len());
         adj_offsets.push(0u32);
@@ -685,7 +700,7 @@ mod tests {
         );
         assert_eq!(
             TopologyError::TooLarge("nodes").to_string(),
-            "too many nodes for 16-bit ids"
+            "too many nodes for the 24-bit topology id space"
         );
     }
 }

@@ -1,0 +1,662 @@
+//! Uniform spatial grids over the topology's geometric embedding.
+//!
+//! The geometry layer has two super-linear construction paths that die
+//! first at scale: cross-link precomputation (all-pairs segment
+//! intersection, O(m²)) and failure-region application (every-link
+//! region tests per scenario). Both reduce to *rectangle stabbing*:
+//! find the segments whose bounding boxes overlap a query box. A
+//! [`SegmentGrid`] answers that in time proportional to the cells the
+//! query box covers, with cell size derived from the *median* segment
+//! length so a typical link occupies O(1) cells regardless of topology
+//! size.
+//!
+//! [`PointGrid`] is the point-set counterpart used by the scalable
+//! generators in [`crate::generate`]: incremental insertion plus an
+//! expanding-ring nearest-neighbor search replaces the O(n²)
+//! nearest-predecessor scan of the original `isp_like` construction.
+//!
+//! Everything here is deterministic: iteration follows cell order and
+//! ascending ids, never hash or allocation order, so generated
+//! topologies and cross-link tables are byte-identical across runs.
+
+use crate::bitset::LinkBitSet;
+use crate::geometry::{Point, Segment};
+use crate::graph::{LinkId, Topology};
+
+/// Axis-aligned bounding box of a segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Bbox {
+    pub(crate) min_x: f64,
+    pub(crate) max_x: f64,
+    pub(crate) min_y: f64,
+    pub(crate) max_y: f64,
+}
+
+impl Bbox {
+    /// The bounding box of segment `s`.
+    pub(crate) fn of_segment(s: Segment) -> Self {
+        Bbox {
+            min_x: s.a.x.min(s.b.x),
+            max_x: s.a.x.max(s.b.x),
+            min_y: s.a.y.min(s.b.y),
+            max_y: s.a.y.max(s.b.y),
+        }
+    }
+
+    /// Returns true when the two (closed) boxes share any point.
+    pub(crate) fn overlaps(self, other: Bbox) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+}
+
+/// Soft cap on total cell count, as a multiple of the link count: keeps
+/// the grid memory linear in m even when the median segment is tiny
+/// relative to the embedding extent.
+const CELLS_PER_LINK: usize = 4;
+
+/// A uniform grid over the bounding boxes of a topology's link segments.
+///
+/// Each link is registered in every cell its bounding box overlaps
+/// (CSR layout: one flat entry array plus per-cell offsets). Queries
+/// visit only the cells a query box covers; candidate pairs for
+/// intersection tests are enumerated per cell with a *canonical-cell*
+/// rule that reports each pair exactly once without any dedup set.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_topology::{Topology, Point, SegmentGrid, LinkBitSet};
+/// # fn main() -> Result<(), rtr_topology::TopologyError> {
+/// let mut b = Topology::builder();
+/// let v0 = b.add_node(Point::new(0.0, 0.0));
+/// let v1 = b.add_node(Point::new(10.0, 0.0));
+/// b.add_link(v0, v1, 1)?;
+/// let topo = b.build()?;
+/// let grid = SegmentGrid::new(&topo);
+/// let mut seen = LinkBitSet::with_link_capacity(topo.link_count());
+/// let mut hits = Vec::new();
+/// grid.for_candidates(
+///     Point::new(4.0, -1.0),
+///     Point::new(6.0, 1.0),
+///     &mut seen,
+///     |l| hits.push(l),
+/// );
+/// assert_eq!(hits.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentGrid {
+    /// Lower-left corner of the gridded area.
+    min_x: f64,
+    min_y: f64,
+    /// Cell side length (> 0).
+    cell: f64,
+    /// Grid dimensions in cells (both >= 1).
+    nx: usize,
+    ny: usize,
+    /// CSR offsets: cell `c`'s link indices live at
+    /// `entries[cell_start[c] .. cell_start[c + 1]]`, ascending.
+    cell_start: Vec<u32>,
+    /// Flat link-index entries backing the cells.
+    entries: Vec<u32>,
+    /// Per-link bounding boxes, indexed by link id.
+    boxes: Vec<Bbox>,
+}
+
+impl SegmentGrid {
+    /// Builds the grid over every link segment of `topo`.
+    ///
+    /// Cell size is the median segment length (robust against a few
+    /// continent-spanning backbone links skewing the mean), clamped so
+    /// the total cell count stays O(m).
+    pub fn new(topo: &Topology) -> Self {
+        let m = topo.link_count();
+        let boxes: Vec<Bbox> = topo
+            .link_ids()
+            .map(|l| Bbox::of_segment(topo.segment(l)))
+            .collect();
+
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for b in &boxes {
+            min_x = min_x.min(b.min_x);
+            min_y = min_y.min(b.min_y);
+            max_x = max_x.max(b.max_x);
+            max_y = max_y.max(b.max_y);
+        }
+        if m == 0 {
+            return SegmentGrid {
+                min_x: 0.0,
+                min_y: 0.0,
+                cell: 1.0,
+                nx: 1,
+                ny: 1,
+                cell_start: vec![0, 0],
+                entries: Vec::new(),
+                boxes,
+            };
+        }
+        let width = (max_x - min_x).max(0.0);
+        let height = (max_y - min_y).max(0.0);
+
+        let mut lengths: Vec<f64> = topo.link_ids().map(|l| topo.segment(l).length()).collect();
+        let mid = lengths.len() / 2;
+        lengths.select_nth_unstable_by(mid, f64::total_cmp);
+        let median = lengths.get(mid).copied().unwrap_or(0.0);
+        let mut cell = median;
+        if cell <= 0.0 {
+            // Degenerate embedding (coincident endpoints): fall back to a
+            // roughly sqrt(m) × sqrt(m) grid over the extent.
+            cell = (width.max(height) / (m as f64).sqrt()).max(1.0);
+        }
+        // Cap the cell count at CELLS_PER_LINK * m (plus slack for tiny
+        // topologies) so grid memory stays linear in the link count.
+        let cap = (CELLS_PER_LINK * m + 64) as f64;
+        let want = (width / cell + 1.0) * (height / cell + 1.0);
+        if want > cap {
+            cell *= (want / cap).sqrt();
+        }
+        let nx = ((width / cell).ceil() as usize).max(1);
+        let ny = ((height / cell).ceil() as usize).max(1);
+
+        let mut grid = SegmentGrid {
+            min_x,
+            min_y,
+            cell,
+            nx,
+            ny,
+            cell_start: vec![0u32; nx * ny + 1],
+            entries: Vec::new(),
+            boxes,
+        };
+
+        // Counting sort of (cell, link) incidences: count, prefix-sum,
+        // fill. Filling in ascending link order keeps every cell's entry
+        // list sorted by link id, so all downstream iteration is
+        // deterministic by construction.
+        for b in &grid.boxes {
+            let (x0, x1, y0, y1) = grid.cell_range(*b);
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    if let Some(c) = grid.cell_start.get_mut(iy * nx + ix + 1) {
+                        *c += 1;
+                    }
+                }
+            }
+        }
+        for c in 1..grid.cell_start.len() {
+            let prev = grid.cell_start.get(c - 1).copied().unwrap_or(0);
+            if let Some(v) = grid.cell_start.get_mut(c) {
+                *v += prev;
+            }
+        }
+        let mut cursor: Vec<u32> = grid.cell_start.clone();
+        let total = grid.cell_start.last().copied().unwrap_or(0) as usize;
+        let mut entries = vec![0u32; total];
+        for (i, b) in grid.boxes.iter().enumerate() {
+            let (x0, x1, y0, y1) = grid.cell_range(*b);
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    if let Some(pos) = cursor.get_mut(iy * nx + ix) {
+                        if let Some(e) = entries.get_mut(*pos as usize) {
+                            *e = i as u32;
+                        }
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        grid.entries = entries;
+        grid
+    }
+
+    /// Column index of coordinate `x`, clamped into the grid.
+    fn cell_x(&self, x: f64) -> usize {
+        let raw = ((x - self.min_x) / self.cell).floor();
+        (raw.max(0.0) as usize).min(self.nx - 1)
+    }
+
+    /// Row index of coordinate `y`, clamped into the grid.
+    fn cell_y(&self, y: f64) -> usize {
+        let raw = ((y - self.min_y) / self.cell).floor();
+        (raw.max(0.0) as usize).min(self.ny - 1)
+    }
+
+    /// Inclusive cell range `(x0, x1, y0, y1)` covered by a box.
+    fn cell_range(&self, b: Bbox) -> (usize, usize, usize, usize) {
+        (
+            self.cell_x(b.min_x),
+            self.cell_x(b.max_x),
+            self.cell_y(b.min_y),
+            self.cell_y(b.max_y),
+        )
+    }
+
+    /// The bounding box of link index `i` (out of range: `None`).
+    pub(crate) fn bbox(&self, i: usize) -> Option<Bbox> {
+        self.boxes.get(i).copied()
+    }
+
+    /// Number of links the grid was built over.
+    pub fn link_count(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Calls `f` once for every link whose bounding box overlaps the
+    /// query box `[min, max]`, in ascending id order per visited cell.
+    ///
+    /// `seen` is caller-provided dedup scratch (a link spanning several
+    /// cells is reported once); pass a set cleared between queries and
+    /// sized via [`LinkBitSet::with_link_capacity`] for the topology's
+    /// link count so this query never allocates.
+    pub fn for_candidates(
+        &self,
+        min: Point,
+        max: Point,
+        seen: &mut LinkBitSet,
+        mut f: impl FnMut(LinkId),
+    ) {
+        let q = Bbox {
+            min_x: min.x,
+            max_x: max.x,
+            min_y: min.y,
+            max_y: max.y,
+        };
+        let (x0, x1, y0, y1) = self.cell_range(q);
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                let c = iy * self.nx + ix;
+                let lo = self.cell_start.get(c).copied().unwrap_or(0) as usize;
+                let hi = self.cell_start.get(c + 1).copied().unwrap_or(0) as usize;
+                for &e in self.entries.get(lo..hi).unwrap_or(&[]) {
+                    let overlaps = self.boxes.get(e as usize).is_some_and(|b| b.overlaps(q));
+                    if overlaps && seen.insert(LinkId(e)) {
+                        f(LinkId(e));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Calls `f(i, j)` (with `i < j`) exactly once for every pair of
+    /// links whose bounding boxes overlap — the candidate set the exact
+    /// `segments_cross` test is run on.
+    ///
+    /// Dedup is by *canonical cell*: a pair sharing several cells is
+    /// reported only from the cell containing the lower-left corner of
+    /// their boxes' overlap region. That corner lies inside both boxes,
+    /// so both links are registered in that cell; every other shared
+    /// cell fails the corner test. No hash set, no sort — the pair set
+    /// is identical to the bbox-filtered all-pairs scan.
+    pub(crate) fn for_candidate_pairs(&self, mut f: impl FnMut(usize, usize)) {
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let c = iy * self.nx + ix;
+                let lo = self.cell_start.get(c).copied().unwrap_or(0) as usize;
+                let hi = self.cell_start.get(c + 1).copied().unwrap_or(0) as usize;
+                let cell = self.entries.get(lo..hi).unwrap_or(&[]);
+                for (k, &a) in cell.iter().enumerate() {
+                    let Some(ba) = self.bbox(a as usize) else {
+                        continue;
+                    };
+                    for &b in cell.get(k + 1..).unwrap_or(&[]) {
+                        let Some(bb) = self.bbox(b as usize) else {
+                            continue;
+                        };
+                        if !ba.overlaps(bb) {
+                            continue;
+                        }
+                        let ox = ba.min_x.max(bb.min_x);
+                        let oy = ba.min_y.max(bb.min_y);
+                        if self.cell_x(ox) == ix && self.cell_y(oy) == iy {
+                            f(a.min(b) as usize, a.max(b) as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A uniform grid over a point set, supporting incremental insertion and
+/// deterministic nearest-neighbor / radius queries.
+///
+/// Used by the scalable generators: the nearest-predecessor attachment
+/// tree and the near-pair candidate enumeration both become near-linear.
+/// Ties on distance break toward the smaller id, so results never depend
+/// on traversal incidentals.
+#[derive(Debug, Clone)]
+pub struct PointGrid {
+    min_x: f64,
+    min_y: f64,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<u32>>,
+}
+
+/// Out-of-range cell lookups read as empty.
+const EMPTY: &[u32] = &[];
+
+impl PointGrid {
+    /// An empty grid over `[min, max]` with the given cell side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` is not strictly positive and finite, or the
+    /// corners are not finite with `min <= max` per axis.
+    pub fn new(min: Point, max: Point, cell: f64) -> Self {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "cell side must be positive and finite"
+        );
+        assert!(
+            min.is_finite() && max.is_finite() && min.x <= max.x && min.y <= max.y,
+            "grid corners must be finite and ordered"
+        );
+        let nx = (((max.x - min.x) / cell).ceil() as usize).max(1);
+        let ny = (((max.y - min.y) / cell).ceil() as usize).max(1);
+        PointGrid {
+            min_x: min.x,
+            min_y: min.y,
+            cell,
+            nx,
+            ny,
+            cells: vec![Vec::new(); nx * ny],
+        }
+    }
+
+    /// Column index of coordinate `x`, clamped into the grid (points
+    /// outside the declared bounds land in border cells).
+    fn cell_x(&self, x: f64) -> usize {
+        let raw = ((x - self.min_x) / self.cell).floor();
+        (raw.max(0.0) as usize).min(self.nx - 1)
+    }
+
+    /// Row index of coordinate `y`, clamped into the grid.
+    fn cell_y(&self, y: f64) -> usize {
+        let raw = ((y - self.min_y) / self.cell).floor();
+        (raw.max(0.0) as usize).min(self.ny - 1)
+    }
+
+    /// Inserts point `id` at `p`.
+    pub fn insert(&mut self, id: u32, p: Point) {
+        let c = self.cell_y(p.y) * self.nx + self.cell_x(p.x);
+        if let Some(cell) = self.cells.get_mut(c) {
+            cell.push(id);
+        }
+    }
+
+    /// The inserted id nearest to `p` (its coordinates read from
+    /// `positions`), or `None` when the grid is empty. Distance ties
+    /// break toward the smaller id.
+    ///
+    /// Expanding-ring search: cells at Chebyshev ring `r` from the query
+    /// cell are at least `(r - 1) * cell` away, so once the best
+    /// candidate is closer than that bound no further ring can improve
+    /// on it.
+    pub fn nearest(&self, p: Point, positions: &[Point]) -> Option<u32> {
+        let cx = self.cell_x(p.x) as i64;
+        let cy = self.cell_y(p.y) as i64;
+        let max_ring = (self.nx.max(self.ny)) as i64;
+        let mut best: Option<(f64, u32)> = None;
+        for r in 0..=max_ring {
+            if let Some((d2, _)) = best {
+                let lower = ((r - 1).max(0) as f64) * self.cell;
+                if d2 <= lower * lower {
+                    break;
+                }
+            }
+            self.for_ring_cells(cx, cy, r, |cell| {
+                for &id in cell {
+                    let Some(&q) = positions.get(id as usize) else {
+                        continue;
+                    };
+                    let d2 = p.distance_squared(q);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bid)) => d2 < bd || (d2 == bd && id < bid),
+                    };
+                    if better {
+                        best = Some((d2, id));
+                    }
+                }
+            });
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Calls `f(id, distance)` for every inserted point within `radius`
+    /// of `p` (including coincident points), in cell order then
+    /// insertion order within a cell.
+    pub fn for_neighbors_within(
+        &self,
+        p: Point,
+        radius: f64,
+        positions: &[Point],
+        mut f: impl FnMut(u32, f64),
+    ) {
+        let x0 = self.cell_x(p.x - radius);
+        let x1 = self.cell_x(p.x + radius);
+        let y0 = self.cell_y(p.y - radius);
+        let y1 = self.cell_y(p.y + radius);
+        let r2 = radius * radius;
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                let ids = self
+                    .cells
+                    .get(iy * self.nx + ix)
+                    .map_or(EMPTY, Vec::as_slice);
+                for &id in ids {
+                    let Some(&q) = positions.get(id as usize) else {
+                        continue;
+                    };
+                    let d2 = p.distance_squared(q);
+                    if d2 <= r2 {
+                        f(id, d2.sqrt());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits the cells at Chebyshev distance exactly `r` from `(cx, cy)`
+    /// that lie inside the grid, row-major.
+    fn for_ring_cells(&self, cx: i64, cy: i64, r: i64, mut f: impl FnMut(&[u32])) {
+        let visit = |ix: i64, iy: i64, f: &mut dyn FnMut(&[u32])| {
+            if ix < 0 || iy < 0 || ix >= self.nx as i64 || iy >= self.ny as i64 {
+                return;
+            }
+            if let Some(cell) = self.cells.get(iy as usize * self.nx + ix as usize) {
+                f(cell);
+            }
+        };
+        if r == 0 {
+            visit(cx, cy, &mut f);
+            return;
+        }
+        for ix in (cx - r)..=(cx + r) {
+            visit(ix, cy - r, &mut f);
+            visit(ix, cy + r, &mut f);
+        }
+        for iy in (cy - r + 1)..=(cy + r - 1) {
+            visit(cx - r, iy, &mut f);
+            visit(cx + r, iy, &mut f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross_topo() -> Topology {
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(2.0, 2.0));
+        let v2 = b.add_node(Point::new(0.0, 2.0));
+        let v3 = b.add_node(Point::new(2.0, 0.0));
+        b.add_link(v0, v1, 1).unwrap();
+        b.add_link(v2, v3, 1).unwrap();
+        b.add_link(v0, v2, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn candidate_pairs_are_unique_and_cover_overlaps() {
+        let topo = cross_topo();
+        let grid = SegmentGrid::new(&topo);
+        let mut pairs = Vec::new();
+        grid.for_candidate_pairs(|i, j| pairs.push((i, j)));
+        pairs.sort_unstable();
+        let mut deduped = pairs.clone();
+        deduped.dedup();
+        assert_eq!(pairs, deduped, "canonical-cell rule must not duplicate");
+        // The two diagonals overlap; each diagonal also overlaps the side.
+        assert!(pairs.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn for_candidates_dedups_across_cells() {
+        // A single long link spans many cells of its own grid.
+        let mut b = Topology::builder();
+        let mut prev = b.add_node(Point::new(0.0, 0.0));
+        for i in 1..8 {
+            let n = b.add_node(Point::new(i as f64, (i % 2) as f64));
+            b.add_link(prev, n, 1).unwrap();
+            prev = n;
+        }
+        let far = b.add_node(Point::new(0.0, 100.0));
+        b.add_link(prev, far, 1).unwrap();
+        let topo = b.build().unwrap();
+        let grid = SegmentGrid::new(&topo);
+        let mut seen = LinkBitSet::with_link_capacity(topo.link_count());
+        let mut hits = Vec::new();
+        grid.for_candidates(
+            Point::new(-10.0, -10.0),
+            Point::new(110.0, 110.0),
+            &mut seen,
+            |l| hits.push(l),
+        );
+        hits.sort_unstable();
+        assert_eq!(hits, topo.link_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_candidates_misses_disjoint_boxes() {
+        let topo = cross_topo();
+        let grid = SegmentGrid::new(&topo);
+        let mut seen = LinkBitSet::with_link_capacity(topo.link_count());
+        let mut hits = 0;
+        grid.for_candidates(
+            Point::new(50.0, 50.0),
+            Point::new(60.0, 60.0),
+            &mut seen,
+            |_| hits += 1,
+        );
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn empty_topology_grid_is_total() {
+        let topo = Topology::builder().build().unwrap();
+        let grid = SegmentGrid::new(&topo);
+        assert_eq!(grid.link_count(), 0);
+        let mut seen = LinkBitSet::new();
+        grid.for_candidates(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            &mut seen,
+            |_| panic!("no links to report"),
+        );
+        grid.for_candidate_pairs(|_, _| panic!("no pairs to report"));
+    }
+
+    #[test]
+    fn point_grid_nearest_matches_linear_scan() {
+        let pts: Vec<Point> = (0..200)
+            .map(|i| {
+                let x = (i as f64 * 37.0) % 100.0;
+                let y = (i as f64 * 53.0) % 100.0;
+                Point::new(x, y)
+            })
+            .collect();
+        let mut pg = PointGrid::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0), 7.0);
+        for (i, &p) in pts.iter().enumerate() {
+            pg.insert(i as u32, p);
+        }
+        for probe in [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(99.9, 0.1),
+            Point::new(-5.0, 120.0), // outside the declared bounds
+        ] {
+            let got = pg.nearest(probe, &pts).unwrap();
+            let want = pts
+                .iter()
+                .enumerate()
+                .min_by(|(ai, a), (bi, b)| {
+                    probe
+                        .distance_squared(**a)
+                        .total_cmp(&probe.distance_squared(**b))
+                        .then(ai.cmp(bi))
+                })
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            assert_eq!(got, want, "probe {probe}");
+        }
+        assert_eq!(
+            PointGrid::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 1.0)
+                .nearest(Point::new(0.5, 0.5), &pts),
+            None
+        );
+    }
+
+    #[test]
+    fn point_grid_radius_query_matches_linear_scan() {
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i as f64 * 13.0) % 40.0, (i as f64 * 29.0) % 40.0))
+            .collect();
+        let mut pg = PointGrid::new(Point::new(0.0, 0.0), Point::new(40.0, 40.0), 5.0);
+        for (i, &p) in pts.iter().enumerate() {
+            pg.insert(i as u32, p);
+        }
+        let probe = Point::new(20.0, 20.0);
+        let radius = 9.5;
+        let mut got: Vec<u32> = Vec::new();
+        pg.for_neighbors_within(probe, radius, &pts, |id, d| {
+            assert!(d <= radius + 1e-9);
+            got.push(id);
+        });
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| probe.distance(**p) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grid_handles_coincident_points() {
+        // All nodes at one point: zero-length segments, degenerate extent.
+        let mut b = Topology::builder();
+        let v0 = b.add_node(Point::new(5.0, 5.0));
+        let v1 = b.add_node(Point::new(5.0, 5.0));
+        let v2 = b.add_node(Point::new(5.0, 5.0));
+        b.add_link(v0, v1, 1).unwrap();
+        b.add_link(v1, v2, 1).unwrap();
+        let topo = b.build().unwrap();
+        let grid = SegmentGrid::new(&topo);
+        let mut pairs = 0;
+        grid.for_candidate_pairs(|_, _| pairs += 1);
+        assert_eq!(pairs, 1, "both degenerate boxes overlap");
+    }
+}

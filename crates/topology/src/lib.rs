@@ -9,8 +9,13 @@
 //!   rule;
 //! * [`graph`] — the network model: routers with coordinates, links with
 //!   (possibly asymmetric) positive costs;
-//! * [`generate`] — deterministic topology generators, including the
-//!   ISP-like generator behind the synthetic Table II twins;
+//! * [`generate`] — deterministic topology generators: the ISP-like
+//!   generator behind the synthetic Table II twins, plus Waxman,
+//!   Barabási–Albert and hierarchical-PoP models for 10k–100k-node
+//!   scale runs;
+//! * [`grid`] — uniform-grid spatial indexes ([`SegmentGrid`],
+//!   [`PointGrid`]) behind cross-link construction, region harvests and
+//!   generator nearest-neighbor queries;
 //! * [`isp`] — the paper's Table II topology inventory and a plain-text
 //!   topology interchange format;
 //! * [`failure`] — geographic failure regions, ground-truth failure
@@ -49,6 +54,7 @@ pub mod failure;
 pub mod generate;
 pub mod geometry;
 pub mod graph;
+pub mod grid;
 pub mod isp;
 pub mod kernels;
 pub mod pa;
@@ -60,5 +66,6 @@ pub use failure::{
 };
 pub use generate::GenerateError;
 pub use geometry::{Circle, Point, Polygon, Segment};
-pub use graph::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError};
+pub use graph::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError, MAX_IDS};
+pub use grid::{PointGrid, SegmentGrid};
 pub use kernels::MaskKernel;

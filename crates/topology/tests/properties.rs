@@ -110,6 +110,43 @@ proptest! {
     }
 
     #[test]
+    fn grid_index_matches_all_pairs(
+        n in 4..30usize,
+        extra in 0..40usize,
+        seed in 0..400u64,
+    ) {
+        // Snapping the ISP-like layout to a coarse integer lattice forces
+        // collinear overlaps, shared endpoints, and T-junctions — exactly
+        // the degeneracies where a sloppy spatial index would diverge from
+        // the all-pairs oracle.
+        let max = n * (n - 1) / 2;
+        let m = (n - 1 + extra).min(max);
+        let smooth = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        for &lattice in &[0.0f64, 250.0] {
+            let mut b = rtr_topology::Topology::builder();
+            for node in smooth.node_ids() {
+                let p = smooth.position(node);
+                if lattice > 0.0 {
+                    b.add_node(Point::new(
+                        (p.x / lattice).round() * lattice,
+                        (p.y / lattice).round() * lattice,
+                    ));
+                } else {
+                    b.add_node(p);
+                }
+            }
+            for l in smooth.link_ids() {
+                let (a, z) = smooth.link(l).endpoints();
+                b.add_link(a, z, 1).unwrap();
+            }
+            let topo = b.build().unwrap();
+            let oracle = CrossLinkTable::new_all_pairs(&topo);
+            let grid = CrossLinkTable::new_grid(&topo);
+            prop_assert_eq!(&oracle, &grid);
+        }
+    }
+
+    #[test]
     fn region_failure_is_monotone_in_radius(
         seed in 0..200u64,
         cx in 0.0..2000.0f64,

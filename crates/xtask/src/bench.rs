@@ -1,9 +1,25 @@
-//! `cargo xtask bench-record` / `bench-check`: regenerate and validate
-//! the committed `BENCH_eval.json`.
+//! `cargo xtask bench-record` / `bench-check` / `bench-scale`: regenerate
+//! and validate the committed `BENCH_eval.json` and `BENCH_scale.json`.
 
 use crate::json::{json_parse, JsonValue};
 use std::fs;
 use std::path::Path;
+
+/// Schema tag the scale recorder writes and the checker requires.
+pub const SCALE_SCHEMA: &str = "bench-scale-v1";
+
+/// Minimum sweep points a full (non-smoke) `BENCH_scale.json` must carry
+/// (every generator × size combination the recorder doesn't skip).
+pub const SCALE_MIN_POINTS: usize = 12;
+
+/// A full sweep must reach at least this many nodes (the 100k tier, with
+/// slack for generators whose construction rounds the node count).
+pub const SCALE_MIN_MAX_NODES: f64 = 90_000.0;
+
+/// Hard ceiling on any recorded grid-indexed cross-link build: the whole
+/// point of the spatial index is that even the 100k-node tier builds in
+/// seconds, not the hours the all-pairs scan would take.
+pub const SCALE_MAX_CROSSLINK_SECS: f64 = 120.0;
 
 /// One topology row of `BENCH_eval.json`, as `bench-check` reads it.
 #[derive(Debug)]
@@ -87,6 +103,109 @@ pub fn parse_bench_file(path: &Path) -> Result<BenchFile, String> {
     })
 }
 
+/// One sweep point of `BENCH_scale.json`, as the checker reads it.
+#[derive(Debug)]
+pub struct ScalePoint {
+    /// Generator name (e.g. `waxman`).
+    pub generator: String,
+    /// Node count of the point.
+    pub nodes: f64,
+    /// Link count of the point.
+    pub links: f64,
+    /// Grid-indexed cross-link table build wall time.
+    pub crosslink_secs: f64,
+}
+
+/// Reads a `BENCH_scale.json` and validates its schema: the
+/// [`SCALE_SCHEMA`] tag, a non-empty `points` array, and per point a
+/// string `generator` plus numeric `nodes`, `links`, `build_secs`,
+/// `crosslink_secs`, `sweep_secs`, `recover_secs`, and `peak_rss_mb`.
+/// With `require_full`, additionally enforces the full-sweep floor:
+/// at least [`SCALE_MIN_POINTS`] points, a maximum node count of at
+/// least [`SCALE_MIN_MAX_NODES`], and every `crosslink_secs` under
+/// [`SCALE_MAX_CROSSLINK_SECS`].
+///
+/// # Errors
+///
+/// Reports the first missing field, schema mismatch, or floor violation
+/// with the file's path.
+pub fn parse_scale_file(path: &Path, require_full: bool) -> Result<Vec<ScalePoint>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json_parse(&text).map_err(|e| format!("{} does not parse: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(JsonValue::as_str);
+    if schema != Some(SCALE_SCHEMA) {
+        return Err(format!(
+            "{}: schema {schema:?} is not {SCALE_SCHEMA:?}",
+            path.display()
+        ));
+    }
+    let raw = doc
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{}: missing `points` array", path.display()))?;
+    if raw.is_empty() {
+        return Err(format!("{}: `points` is empty", path.display()));
+    }
+    let mut points = Vec::new();
+    for (i, p) in raw.iter().enumerate() {
+        let generator = p
+            .get("generator")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{}: point {i} has no string `generator`", path.display()))?
+            .to_owned();
+        let num = |field: &str| {
+            p.get(field).and_then(JsonValue::as_f64).ok_or_else(|| {
+                format!(
+                    "{}: point {i} (`{generator}`) has no numeric `{field}`",
+                    path.display()
+                )
+            })
+        };
+        // Fields not carried in `ScalePoint` are still schema-required.
+        for field in ["build_secs", "sweep_secs", "recover_secs", "peak_rss_mb"] {
+            num(field)?;
+        }
+        points.push(ScalePoint {
+            nodes: num("nodes")?,
+            links: num("links")?,
+            crosslink_secs: num("crosslink_secs")?,
+            generator,
+        });
+    }
+    if require_full {
+        if points.len() < SCALE_MIN_POINTS {
+            return Err(format!(
+                "{}: full sweep has {} points, need at least {SCALE_MIN_POINTS}",
+                path.display(),
+                points.len()
+            ));
+        }
+        let max_nodes = points.iter().map(|p| p.nodes).fold(0.0, f64::max);
+        if max_nodes < SCALE_MIN_MAX_NODES {
+            return Err(format!(
+                "{}: full sweep tops out at {max_nodes:.0} nodes, need at least \
+                 {SCALE_MIN_MAX_NODES:.0}",
+                path.display()
+            ));
+        }
+        for p in &points {
+            if p.crosslink_secs > SCALE_MAX_CROSSLINK_SECS {
+                return Err(format!(
+                    "{}: `{}` at {:.0} nodes took {:.1}s to build its cross-link \
+                     table (ceiling {SCALE_MAX_CROSSLINK_SECS:.0}s) — the spatial \
+                     index is not doing its job",
+                    path.display(),
+                    p.generator,
+                    p.nodes,
+                    p.crosslink_secs
+                ));
+            }
+        }
+    }
+    Ok(points)
+}
+
 /// Validates the recorded speedups: a sub-1.0 speedup is a hard failure
 /// on a host with at least as many cores as the measurement used, but
 /// only a warning on an undersized recorder (oversubscribed threads slow
@@ -161,6 +280,54 @@ pub fn run_bench_record(root: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the `bench_scale` recorder. A full run leaves `BENCH_scale.json`
+/// at the workspace root and enforces the full-sweep floor; `--smoke`
+/// (the CI scale-smoke job) sweeps only the 1k tier into
+/// `target/bench-scale/` and checks schema only.
+///
+/// # Errors
+///
+/// Fails when the recorder cannot be launched, exits non-zero, or writes
+/// a file that does not validate.
+pub fn run_bench_scale(root: &Path, smoke: bool) -> Result<(), String> {
+    let out = if smoke {
+        let dir = root.join("target").join("bench-scale");
+        fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        dir.join("BENCH_scale.smoke.json")
+    } else {
+        root.join("BENCH_scale.json")
+    };
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.args([
+        "run",
+        "--release",
+        "-p",
+        "rtr-bench",
+        "--bin",
+        "bench_scale",
+        "--",
+    ]);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let status = cmd
+        .arg(&out)
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("cannot launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("bench_scale exited with {status}"));
+    }
+    let points = parse_scale_file(&out, !smoke)?;
+    println!(
+        "cargo xtask bench-scale: wrote {} ({} points{})",
+        out.display(),
+        points.len(),
+        if smoke { ", smoke" } else { "" }
+    );
+    Ok(())
+}
+
 /// Validates the committed `BENCH_eval.json` and guards against gross
 /// performance regressions: records a fresh file under `target/`, then
 /// fails if the fresh quick-workload serial total exceeds 2× the
@@ -229,6 +396,14 @@ pub fn run_bench_check(root: &Path) -> Result<(), String> {
          total, 2x+1ms per-topology sweep)",
         committed.len()
     );
+
+    // The committed scale sweep is validated schema-only (no fresh run:
+    // the 100k tier is minutes of work, not a CI-check budget).
+    let scale_points = parse_scale_file(&root.join("BENCH_scale.json"), true)?;
+    println!(
+        "cargo xtask bench-check: OK — BENCH_scale.json carries {} full-sweep points",
+        scale_points.len()
+    );
     Ok(())
 }
 
@@ -277,6 +452,80 @@ mod tests {
             rows: Vec::new(),
         };
         assert!(check_speedups(&f).unwrap().is_empty());
+    }
+
+    fn scale_json(n_points: usize, max_nodes: f64, crosslink_secs: f64) -> String {
+        let points: Vec<String> = (0..n_points)
+            .map(|i| {
+                let nodes = if i == 0 { max_nodes } else { 1000.0 };
+                format!(
+                    "{{\"generator\": \"waxman\", \"nodes\": {nodes}, \"links\": {}, \
+                     \"build_secs\": 0.1, \"crosslink_secs\": {crosslink_secs}, \
+                     \"sweep_secs\": 0.01, \"recover_secs\": 0.01, \"peak_rss_mb\": 100}}",
+                    nodes * 2.0
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\": \"{SCALE_SCHEMA}\", \"points\": [{}]}}",
+            points.join(",")
+        )
+    }
+
+    fn write_scale(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xtask-bench-scale-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        fs::write(&p, text).unwrap();
+        p
+    }
+
+    #[test]
+    fn parse_scale_file_accepts_a_full_sweep() {
+        let p = write_scale("full.json", &scale_json(SCALE_MIN_POINTS, 100_000.0, 3.0));
+        let points = parse_scale_file(&p, true).unwrap();
+        assert_eq!(points.len(), SCALE_MIN_POINTS);
+        assert_eq!(points[0].generator, "waxman");
+        assert_eq!(points[0].nodes, 100_000.0);
+    }
+
+    #[test]
+    fn parse_scale_file_enforces_the_full_sweep_floor() {
+        let few = write_scale("few.json", &scale_json(3, 100_000.0, 3.0));
+        assert!(parse_scale_file(&few, true).unwrap_err().contains("points"));
+        // The same file passes as a smoke (schema-only) artifact.
+        assert_eq!(parse_scale_file(&few, false).unwrap().len(), 3);
+
+        let small = write_scale("small.json", &scale_json(SCALE_MIN_POINTS, 10_000.0, 3.0));
+        assert!(parse_scale_file(&small, true)
+            .unwrap_err()
+            .contains("tops out"));
+
+        let slow = write_scale("slow.json", &scale_json(SCALE_MIN_POINTS, 100_000.0, 500.0));
+        assert!(parse_scale_file(&slow, true)
+            .unwrap_err()
+            .contains("spatial index"));
+    }
+
+    #[test]
+    fn parse_scale_file_rejects_schema_drift() {
+        let bad_tag = write_scale(
+            "tag.json",
+            "{\"schema\": \"bench-scale-v0\", \"points\": [{}]}",
+        );
+        assert!(parse_scale_file(&bad_tag, false)
+            .unwrap_err()
+            .contains("schema"));
+
+        let missing_field = write_scale(
+            "field.json",
+            &format!(
+                "{{\"schema\": \"{SCALE_SCHEMA}\", \"points\": [\
+                 {{\"generator\": \"waxman\", \"nodes\": 1000}}]}}"
+            ),
+        );
+        let err = parse_scale_file(&missing_field, false).unwrap_err();
+        assert!(err.contains("build_secs"), "got: {err}");
     }
 
     #[test]

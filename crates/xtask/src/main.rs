@@ -39,9 +39,23 @@ fn main() -> ExitCode {
         }
         Some("bench-record") => run_bench(xtask::bench::run_bench_record, "bench-record"),
         Some("bench-check") => run_bench(xtask::bench::run_bench_check, "bench-check"),
+        Some("bench-scale") => {
+            let smoke = match args.get(1).map(String::as_str) {
+                None => false,
+                Some("--smoke") => true,
+                Some(other) => {
+                    eprintln!("cargo xtask bench-scale: unknown flag `{other}` (expected --smoke)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_bench(
+                move |root| xtask::bench::run_bench_scale(root, smoke),
+                "bench-scale",
+            )
+        }
         other => {
             eprintln!(
-                "usage: cargo xtask <analyze [--json|--github|--list-rules]|bench-record|bench-check>\n  \
+                "usage: cargo xtask <analyze [--json|--github|--list-rules]|bench-record|bench-check|bench-scale [--smoke]>\n  \
                  (got {:?})\n\n\
                  analyze       Runs the workspace static-analysis pass: panic-freedom,\n\
                  \x20             print/determinism discipline in the hot-path crates,\n\
@@ -56,7 +70,11 @@ fn main() -> ExitCode {
                  bench-check   Validates the committed BENCH_eval.json (parses, rows\n\
                  \x20             carry serial_secs/sweep_secs, speedups sane for the\n\
                  \x20             recording host) and fails if a fresh run regresses\n\
-                 \x20             >2x on the serial total or on any topology's sweep_secs.",
+                 \x20             >2x on the serial total or on any topology's sweep_secs;\n\
+                 \x20             also schema-validates the committed BENCH_scale.json.\n\
+                 bench-scale   Regenerates BENCH_scale.json at the workspace root\n\
+                 \x20             (1k-100k-node size sweep per generator); --smoke runs\n\
+                 \x20             only the 1k tier into target/bench-scale/ (the CI job).",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::FAILURE
@@ -120,7 +138,7 @@ fn run_analyze_cli(mode: AnalyzeMode) -> ExitCode {
 }
 
 /// Runs one bench subcommand with the workspace root resolved.
-fn run_bench(f: fn(&std::path::Path) -> Result<(), String>, name: &str) -> ExitCode {
+fn run_bench(f: impl FnOnce(&std::path::Path) -> Result<(), String>, name: &str) -> ExitCode {
     let root = match xtask::engine::workspace_root() {
         Ok(root) => root,
         Err(e) => {

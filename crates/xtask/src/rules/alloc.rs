@@ -18,10 +18,14 @@ use std::collections::BTreeSet;
 /// `(workspace-relative file, fn name)`. Every same-named non-test `fn`
 /// in the file is checked (trait impls share names deliberately: both
 /// `MonoQueue` impls run inside the Dijkstra inner loop).
-pub const STEADY_STATE_FNS: [(&str, &str); 14] = [
+pub const STEADY_STATE_FNS: [(&str, &str); 16] = [
     // Phase-1 sweep: next-hop selection and crossing-mask exclusion.
     ("crates/core/src/sweep.rs", "select_next_hop"),
     ("crates/core/src/sweep.rs", "is_excluded"),
+    // Hybrid dense/sparse crossing probe behind `is_excluded`, and the
+    // grid-index candidate query behind region harvests.
+    ("crates/topology/src/crosslinks.rs", "crosses_any_with"),
+    ("crates/topology/src/grid.rs", "for_candidates"),
     ("crates/core/src/phase1.rs", "collect_failure_info_traced"),
     ("crates/core/src/phase1.rs", "record_selection_crossing"),
     // Phase-2 walk: cached path lookup and the reusing source-route walk.
