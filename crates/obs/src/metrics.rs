@@ -106,6 +106,115 @@ impl Histogram {
         let len = HISTOGRAM_BUCKETS - self.buckets.iter().rev().take_while(|&&b| b == 0).count();
         self.buckets.get(..len).unwrap_or(&[])
     }
+
+    /// Inclusive upper bound of bucket `i`: the largest value that lands in
+    /// it. Bucket 0 holds only zeros; bucket `i > 0` spans
+    /// `[2^(i-1), 2^i - 1]`; the final catch-all bucket is unbounded and
+    /// reports [`u64::MAX`].
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// The `q`-quantile of the recorded values, reported as the inclusive
+    /// upper bound of the bucket holding the rank-`ceil(q·count)`
+    /// observation (`q` is clamped to `[0, 1]`). Returns `None` when the
+    /// histogram is empty.
+    ///
+    /// Buckets are power-of-two coarse, so the result is an upper bound on
+    /// the true sample quantile that is tight to within a factor of two:
+    /// it lands in the same bucket as the brute-force sorted-sample
+    /// quantile (the contract pinned by the oracle test below).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Folds every observation of `other` into `self` — the aggregation
+    /// step that merges per-worker histograms into a service-wide one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (acc, part) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *acc += part;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// A detached, plain-data copy of this histogram's state, for
+    /// cross-thread export and quantile queries after the live histogram
+    /// has moved on.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets,
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Histogram`]: bucket counts, observation
+/// count, and saturating sum, frozen at [`Histogram::snapshot`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of observations at snapshot time.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of observations at snapshot time.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the observations, or `None` if the snapshot is empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The raw bucket counts (see [`Histogram::buckets`]).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile of the snapshot; see [`Histogram::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile observation, 1-based; q = 0 still needs the
+        // first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(Histogram::bucket_upper_bound(i));
+            }
+        }
+        // Unreachable in practice: the bucket counts sum to `count`.
+        Some(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1))
+    }
 }
 
 /// Monotonic counters plus coarse histograms for one aggregation scope
@@ -320,6 +429,141 @@ mod tests {
         assert_eq!(reg.spt_nodes_touched(), 5);
         assert_eq!(reg.source_routes_installed(), 1);
         assert_eq!(reg.packets_discarded(), 1);
+    }
+
+    /// Deterministic xorshift stream so the oracle test needs no RNG dep.
+    fn xorshift_stream(mut state: u64, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    /// Brute-force sorted-sample quantile: the rank-`ceil(q·n)` value.
+    fn oracle_quantile(values: &[u64], q: f64) -> u64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantile_matches_sorted_sample_oracle_bucketwise() {
+        // Three shapes: uniform-ish 64-bit noise, a skewed low-range
+        // latency-like distribution, and a tiny sample.
+        let wide = xorshift_stream(0x5eed, 5000);
+        let lowish: Vec<u64> = xorshift_stream(0xbeef, 5000)
+            .into_iter()
+            .map(|v| v % 10_000)
+            .collect();
+        let tiny = vec![3u64, 9, 9, 200, 201];
+        for values in [&wide, &lowish, &tiny] {
+            let mut h = Histogram::new();
+            for &v in values.iter() {
+                h.record(v);
+            }
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let got = h.quantile(q).expect("non-empty histogram");
+                let oracle = oracle_quantile(values, q);
+                // Same power-of-two bucket as the true sample quantile...
+                assert_eq!(
+                    Histogram::bucket_index(got),
+                    Histogram::bucket_index(oracle),
+                    "q={q}: {got} vs oracle {oracle}"
+                );
+                // ...and an upper bound on it, tight to within 2x.
+                assert!(got >= oracle, "q={q}: {got} < oracle {oracle}");
+                if Histogram::bucket_index(oracle) < HISTOGRAM_BUCKETS - 1 {
+                    assert!(got <= oracle.max(1) * 2 - 1, "q={q}: {got} vs {oracle}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_pins_p50_p99_p999_on_a_known_sample() {
+        // 1000 observations: 900 of value 100, 98 of 5000, 2 of 100_000.
+        let mut h = Histogram::new();
+        for _ in 0..900 {
+            h.record(100);
+        }
+        for _ in 0..98 {
+            h.record(5000);
+        }
+        for _ in 0..2 {
+            h.record(100_000);
+        }
+        // p50 rank 500 -> value 100, bucket 7 [64,127] -> upper 127.
+        assert_eq!(h.quantile(0.5), Some(127));
+        // p99 rank 990 -> value 5000, bucket 13 [4096,8191] -> upper 8191.
+        assert_eq!(h.quantile(0.99), Some(8191));
+        // p999 rank 999 -> value 100_000, bucket 17 -> upper 131071.
+        assert_eq!(h.quantile(0.999), Some((1 << 17) - 1));
+        assert_eq!(h.quantile(0.0), Some(127), "q=0 is the first observation");
+        assert!(h.quantile(1.0).unwrap() >= 100_000);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q_and_none_when_empty() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        let mut h = Histogram::new();
+        for v in xorshift_stream(42, 300) {
+            h.record(v % 1_000_000);
+        }
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile must be monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let (a_vals, b_vals) = (xorshift_stream(1, 200), xorshift_stream(2, 333));
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for &v in &a_vals {
+            a.record(v % 50_000);
+            union.record(v % 50_000);
+        }
+        for &v in &b_vals {
+            b.record(v % 50_000);
+            union.record(v % 50_000);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn snapshot_freezes_state() {
+        let mut h = Histogram::new();
+        h.record(7);
+        let snap = h.snapshot();
+        h.record(9000);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum(), 7);
+        assert_eq!(snap.mean(), Some(7.0));
+        assert_eq!(snap.quantile(0.5), Some(7));
+        assert_eq!(snap.buckets()[Histogram::bucket_index(7)], 1);
+        assert_eq!(h.count(), 2, "the live histogram moved on");
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_inclusive_and_tight() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let hi = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(hi), i, "upper bound in bucket");
+            if i < HISTOGRAM_BUCKETS - 1 {
+                assert_eq!(Histogram::bucket_index(hi + 1), i + 1, "next value leaves");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! `rtr-serve` — the recovery daemon.
+//!
+//! Loads a fleet of topologies, builds their baselines (parallel build
+//! when threads are available), and serves recovery queries over the
+//! length-prefixed TCP protocol until a client sends a Shutdown frame;
+//! then drains the queue, reports per-worker counters, and exits 0 on a
+//! clean drain.
+//!
+//! ```text
+//! rtr-serve [--addr 127.0.0.1:4650] [--topos AS4323,AS7018] [--workers N]
+//! ```
+
+use rtr_eval::writer;
+use rtr_serve::{serve, Fleet, ServeConfig};
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    topos: Vec<String>,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:4650".into(),
+        topos: vec!["AS4323".into()],
+        workers: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--topos" => {
+                args.topos = value("--topos")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                args.workers = v.parse().map_err(|_| format!("bad --workers value: {v}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: rtr-serve [--addr HOST:PORT] \
+                     [--topos AS4323,AS7018] [--workers N]"
+                ))
+            }
+        }
+    }
+    if args.topos.is_empty() {
+        return Err("--topos needs at least one Table II name".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    writer::notice(format!(
+        "rtr-serve: building baselines for {}",
+        args.topos.join(", ")
+    ));
+    let fleet = Fleet::from_profiles(&args.topos, rtr_eval::par::resolve_threads(0))?;
+    let cfg = ServeConfig {
+        workers: args.workers,
+        bind: Some(args.addr.clone()),
+    };
+    let ((), report) = serve(&fleet, &cfg, |h| {
+        if let Some(addr) = h.addr() {
+            writer::notice(format!("rtr-serve: serving on {addr}"));
+        }
+        h.wait_shutdown();
+        writer::notice("rtr-serve: shutdown requested, draining");
+    })?;
+    writer::print_report(&report);
+    Ok(report.drained_clean)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            writer::notice("rtr-serve: drain left jobs behind");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            writer::notice(format!("rtr-serve: {e}"));
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! `loadgen` — the open-loop load harness for `rtr-serve`.
+//!
+//! Three modes:
+//!
+//! * **single run** (default): start an in-process service (or a
+//!   TCP-loopback one) and drive one load run, printing the report;
+//! * **`--connect ADDR`**: drive an already-running daemon over TCP
+//!   (`--shutdown` sends the drain frame afterwards and waits for the
+//!   acknowledgement — the CI smoke job's clean-drain check);
+//! * **`--sweep PATH`**: run the QPS × workers × transport benchmark
+//!   sweep and write `BENCH_serve.json` (`--smoke` shrinks it to the
+//!   CI tier). `cargo xtask bench-serve` shells to this mode.
+//!
+//! ```text
+//! loadgen [--topo AS4323] [--transport inproc|tcp] [--workers N]
+//!         [--qps F | --saturate K] [--duration SECS] [--seed N]
+//!         [--cases N]
+//! loadgen --connect 127.0.0.1:4650 [--topo-index 0] [--shutdown] ...
+//! loadgen --sweep BENCH_serve.json [--smoke]
+//! ```
+
+use rtr_eval::json::Json;
+use rtr_eval::{par, writer};
+use rtr_serve::load::{build_mix, run_load, InProc, TcpClient};
+use rtr_serve::proto::RecoverRequest;
+use rtr_serve::{serve, Fleet, LoadConfig, LoadMode, LoadReport, ServeConfig, ServiceReport};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Seed of the benchmark scenario mix (arbitrary, fixed for
+/// reproducibility).
+const MIX_SEED: u64 = 0x52_54_52;
+
+struct Args {
+    topo: String,
+    transport: String,
+    workers: usize,
+    mode: LoadMode,
+    duration_secs: f64,
+    seed: u64,
+    cases: usize,
+    connect: Option<String>,
+    topo_index: u16,
+    shutdown: bool,
+    sweep: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            topo: "AS4323".into(),
+            transport: "inproc".into(),
+            workers: 0,
+            mode: LoadMode::OpenLoop { target_qps: 500.0 },
+            duration_secs: 2.0,
+            seed: 1,
+            cases: 100,
+            connect: None,
+            topo_index: 0,
+            shutdown: false,
+            sweep: None,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        fn num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad {flag} value: {v}"))
+        }
+        match arg.as_str() {
+            "--topo" => args.topo = value("--topo")?,
+            "--transport" => args.transport = value("--transport")?,
+            "--workers" => args.workers = num("--workers", &value("--workers")?)?,
+            "--qps" => {
+                args.mode = LoadMode::OpenLoop {
+                    target_qps: num("--qps", &value("--qps")?)?,
+                }
+            }
+            "--saturate" => {
+                args.mode = LoadMode::Saturate {
+                    inflight: num("--saturate", &value("--saturate")?)?,
+                }
+            }
+            "--duration" => args.duration_secs = num("--duration", &value("--duration")?)?,
+            "--seed" => args.seed = num("--seed", &value("--seed")?)?,
+            "--cases" => args.cases = num("--cases", &value("--cases")?)?,
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--topo-index" => args.topo_index = num("--topo-index", &value("--topo-index")?)?,
+            "--shutdown" => args.shutdown = true,
+            "--sweep" => args.sweep = Some(value("--sweep")?),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other} (see module docs)")),
+        }
+    }
+    if args.transport != "inproc" && args.transport != "tcp" {
+        return Err(format!("--transport {} is not inproc|tcp", args.transport));
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> LoadConfig {
+    LoadConfig {
+        mode: args.mode,
+        duration_micros: (args.duration_secs * 1e6) as u64,
+        drain_timeout_micros: 20_000_000,
+        seed: args.seed,
+    }
+}
+
+/// Peak RSS (VmHWM) in MiB, from /proc.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Resets the VmHWM watermark so each sweep point reports its own peak.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Runs one (transport, workers, mode) point against a fresh service.
+fn run_point(
+    fleet: &Fleet,
+    mix: &[RecoverRequest],
+    transport: &str,
+    workers: usize,
+    cfg: &LoadConfig,
+) -> Result<(LoadReport, ServiceReport), String> {
+    let serve_cfg = ServeConfig {
+        workers,
+        bind: (transport == "tcp").then(|| "127.0.0.1:0".to_string()),
+    };
+    let (load, service_report) = serve(fleet, &serve_cfg, |h| -> Result<LoadReport, String> {
+        if transport == "tcp" {
+            let addr = h.addr().ok_or("service has no TCP address")?;
+            let mut t = TcpClient::connect(&addr.to_string())?;
+            run_load(&mut t, mix, cfg)
+        } else {
+            let mut t = InProc::new(h);
+            run_load(&mut t, mix, cfg)
+        }
+    })?;
+    Ok((load?, service_report))
+}
+
+fn quantiles(h: &rtr_obs::Histogram) -> (f64, f64, f64) {
+    (
+        h.quantile(0.50).unwrap_or(0) as f64,
+        h.quantile(0.99).unwrap_or(0) as f64,
+        h.quantile(0.999).unwrap_or(0) as f64,
+    )
+}
+
+fn point_row(
+    transport: &str,
+    workers: usize,
+    mode: &str,
+    target_qps: f64,
+    duration_secs: f64,
+    load: &LoadReport,
+    service: &ServiceReport,
+) -> Json {
+    let (sj50, sj99, sj999) = quantiles(&load.sojourn_micros);
+    let (sv50, sv99, sv999) = quantiles(&load.service_micros);
+    Json::Obj(vec![
+        ("transport", Json::Str(transport.to_string())),
+        ("workers", Json::Num(workers as f64)),
+        ("mode", Json::Str(mode.to_string())),
+        ("target_qps", Json::Num(target_qps)),
+        ("duration_secs", Json::Num(duration_secs)),
+        ("offered", Json::Num(load.offered as f64)),
+        ("completed", Json::Num(load.completed as f64)),
+        ("recoveries", Json::Num(load.recoveries as f64)),
+        ("delivered", Json::Num(load.delivered as f64)),
+        ("errors", Json::Num(load.errors as f64)),
+        ("recoveries_per_sec", Json::Num(load.recoveries_per_sec())),
+        ("sojourn_p50_us", Json::Num(sj50)),
+        ("sojourn_p99_us", Json::Num(sj99)),
+        ("sojourn_p999_us", Json::Num(sj999)),
+        ("service_p50_us", Json::Num(sv50)),
+        ("service_p99_us", Json::Num(sv99)),
+        ("service_p999_us", Json::Num(sv999)),
+        ("steals", Json::Num(service.steals() as f64)),
+        ("peak_rss_mb", Json::Num(peak_rss_mb())),
+        (
+            "drained_clean",
+            Json::Num(if load.drained_clean && service.drained_clean {
+                1.0
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
+/// The benchmark sweep behind `cargo xtask bench-serve`.
+fn run_sweep(path: &str, smoke: bool) -> Result<(), String> {
+    let host = par::resolve_threads(0);
+    let topo = "AS4323";
+    writer::notice(format!("loadgen: building {topo} baseline"));
+    let fleet = Fleet::from_profiles(&[topo.to_string()], host)?;
+    let entry = fleet.get(0).ok_or("empty fleet")?;
+    let baseline = Arc::clone(entry.baseline());
+    let mix_cases = if smoke { 60 } else { 200 };
+    let mix = build_mix(0, topo, &baseline, mix_cases, MIX_SEED);
+    let duration = if smoke { 1.0 } else { 3.0 };
+    let ladder: &[f64] = if smoke {
+        &[200.0]
+    } else {
+        &[250.0, 1000.0, 4000.0]
+    };
+    let mut worker_counts = vec![1usize, 2];
+    if !smoke && host >= 4 {
+        worker_counts.push(4);
+    }
+    let mut points = Vec::new();
+    for &workers in &worker_counts {
+        for transport in ["inproc", "tcp"] {
+            for &qps in ladder {
+                reset_peak_rss();
+                let cfg = LoadConfig::open_loop(qps, duration, MIX_SEED + workers as u64);
+                let (load, service) = run_point(&fleet, &mix, transport, workers, &cfg)?;
+                writer::notice(format!(
+                    "loadgen: {transport} x{workers} open @{qps}: \
+                     {:.0} recoveries/s, sojourn p99 {} us",
+                    load.recoveries_per_sec(),
+                    load.sojourn_micros.quantile(0.99).unwrap_or(0)
+                ));
+                points.push(point_row(
+                    transport, workers, "open", qps, duration, &load, &service,
+                ));
+            }
+            reset_peak_rss();
+            let cfg = LoadConfig::saturate(workers * 4, duration, MIX_SEED + workers as u64);
+            let (load, service) = run_point(&fleet, &mix, transport, workers, &cfg)?;
+            writer::notice(format!(
+                "loadgen: {transport} x{workers} saturate: {:.0} recoveries/s",
+                load.recoveries_per_sec()
+            ));
+            points.push(point_row(
+                transport, workers, "saturate", 0.0, duration, &load, &service,
+            ));
+        }
+    }
+    let doc = Json::Obj(vec![
+        ("schema", Json::Str("bench-serve-v1".into())),
+        ("host_parallelism", Json::Num(host as f64)),
+        ("topo", Json::Str(topo.into())),
+        ("smoke", Json::Num(if smoke { 1.0 } else { 0.0 })),
+        ("points", Json::Arr(points)),
+    ]);
+    writer::write_file(path, &format!("{}\n", doc.pretty()))?;
+    writer::notice(format!("loadgen: wrote {path}"));
+    Ok(())
+}
+
+/// Drives an external daemon over TCP; optionally sends Shutdown after.
+fn run_connect(args: &Args) -> Result<bool, String> {
+    let addr = args.connect.clone().ok_or("no --connect address")?;
+    writer::notice(format!(
+        "loadgen: building {} baseline for the request mix",
+        args.topo
+    ));
+    let fleet = Fleet::from_profiles(std::slice::from_ref(&args.topo), par::resolve_threads(0))?;
+    let entry = fleet.get(0).ok_or("empty fleet")?;
+    let mix = build_mix(
+        args.topo_index,
+        &args.topo,
+        entry.baseline(),
+        args.cases,
+        args.seed,
+    );
+    let mut client = TcpClient::connect(&addr)?;
+    let report = run_load(&mut client, &mix, &load_config(args))?;
+    writer::print_report(&report);
+    let mut clean = report.drained_clean;
+    if args.shutdown {
+        client.send_shutdown()?;
+        let acked = client.wait_shutting_down(5_000_000);
+        writer::notice(format!(
+            "loadgen: shutdown {}",
+            if acked {
+                "acknowledged"
+            } else {
+                "NOT acknowledged"
+            }
+        ));
+        clean = clean && acked;
+    }
+    Ok(clean)
+}
+
+/// One self-contained run: in-process service (or TCP loopback), one
+/// load run, both reports printed.
+fn run_single(args: &Args) -> Result<bool, String> {
+    writer::notice(format!("loadgen: building {} baseline", args.topo));
+    let fleet = Fleet::from_profiles(std::slice::from_ref(&args.topo), par::resolve_threads(0))?;
+    let entry = fleet.get(0).ok_or("empty fleet")?;
+    let mix = build_mix(0, &args.topo, entry.baseline(), args.cases, args.seed);
+    let (load, service) = run_point(
+        &fleet,
+        &mix,
+        &args.transport,
+        args.workers,
+        &load_config(args),
+    )?;
+    writer::print_report(&format!("{load}\n{service}"));
+    Ok(load.drained_clean && service.drained_clean)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            writer::notice(format!("loadgen: {e}"));
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = if let Some(path) = &args.sweep {
+        run_sweep(path, args.smoke).map(|()| true)
+    } else if args.connect.is_some() {
+        run_connect(&args)
+    } else {
+        run_single(&args)
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            writer::notice("loadgen: run did not drain clean");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            writer::notice(format!("loadgen: {e}"));
+            ExitCode::from(2)
+        }
+    }
+}

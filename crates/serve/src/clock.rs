@@ -1,0 +1,49 @@
+//! The single wall-clock module of the crate.
+//!
+//! The determinism rule bans `Instant` from hot-path crates because
+//! recovery *results* must never depend on the host. A latency-measuring
+//! service, however, exists to read the clock — so every timestamp is
+//! taken through [`Stamp`] here, and the static-analysis allowance covers
+//! exactly this file. Timing feeds histograms and reports only; no
+//! routing decision ever branches on it.
+
+use std::time::Instant;
+
+/// An opaque monotonic timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp(Instant);
+
+impl Stamp {
+    /// The current instant.
+    #[must_use]
+    pub fn now() -> Self {
+        Stamp(Instant::now())
+    }
+
+    /// Microseconds from `earlier` to `self` (0 if `earlier` is later).
+    #[must_use]
+    pub fn micros_since(&self, earlier: Stamp) -> u64 {
+        let d = self.0.saturating_duration_since(earlier.0);
+        u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Microseconds from `self` to now.
+    #[must_use]
+    pub fn elapsed_micros(&self) -> u64 {
+        Stamp::now().micros_since(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_monotone() {
+        let a = Stamp::now();
+        let b = Stamp::now();
+        assert_eq!(a.micros_since(b), 0, "earlier-since-later saturates to 0");
+        assert!(b.micros_since(a) < 10_000_000, "sane magnitude");
+        assert!(a.elapsed_micros() >= b.micros_since(a));
+    }
+}

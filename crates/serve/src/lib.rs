@@ -1,0 +1,41 @@
+//! Concurrent recovery service over the RTR session machinery.
+//!
+//! Every binary before this crate loaded a topology, ran its scenarios,
+//! and exited; `rtr-serve` turns recovery into a long-lived service so
+//! *sustained recoveries per second* and tail latency become measured
+//! numbers. The pieces:
+//!
+//! * [`proto`] — a length-prefixed binary protocol: a recovery query is
+//!   (topology, failure observation, initiator, destinations) and the
+//!   answer is the installed source routes with their walk outcomes;
+//! * [`fleet`] — the topologies the daemon serves, each with its
+//!   [`Baseline`](rtr_eval::baseline::Baseline) built once at startup
+//!   (reusing the parallel build) and a per-region scenario cache;
+//! * [`queue`] — a sharded, work-stealing run queue (std-only);
+//! * [`service`] — the worker runtime: `std::thread::scope`-scoped
+//!   workers, each owning a [`SessionPool`](rtr_core::SessionPool)
+//!   checkout, pulling jobs from the queue, with graceful drain on
+//!   shutdown and per-worker steal/queue-depth counters;
+//! * [`load`] — an open-loop load generator: Poisson arrivals at a
+//!   target QPS over a deterministic seeded scenario mix, recording
+//!   service and sojourn time into the
+//!   [`Histogram`](rtr_obs::Histogram)s from `rtr-obs`;
+//! * [`clock`] — the one module allowed to read the wall clock.
+//!
+//! Transports: an in-process channel (zero syscalls, for benchmarking
+//! the runtime itself) and TCP on a loopback or real port (the daemon
+//! binary). Served results are byte-identical to the `rtr-eval` driver
+//! for the same scenarios — pinned by `tests/serve_matches_driver.rs`.
+
+pub mod clock;
+pub mod fleet;
+pub mod load;
+pub mod proto;
+pub mod queue;
+pub mod service;
+
+pub use fleet::Fleet;
+pub use load::{LoadConfig, LoadMode, LoadReport};
+pub use proto::{DestResult, Outcome, RecoverRequest, RecoverResponse, Request, Response};
+pub use queue::RunQueue;
+pub use service::{serve, ServeConfig, ServiceHandle, ServiceReport};

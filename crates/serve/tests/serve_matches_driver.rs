@@ -1,0 +1,178 @@
+//! Served recovery answers are byte-identical to the serial driver.
+//!
+//! The oracle here deliberately bypasses every serving layer: it runs
+//! [`RtrSession`] directly with a fresh [`RecoveryScratch`] per request
+//! — the same primitive `rtr-eval`'s experiment driver uses — and
+//! encodes the expected wire payload itself. The service (work-stealing
+//! queue, pooled sessions, any worker count, either transport) must
+//! reproduce those bytes exactly.
+
+use rtr_core::phase2::{DeliveryOutcome, RecoveryScratch};
+use rtr_core::recovery::RtrSession;
+use rtr_eval::baseline::Baseline;
+use rtr_serve::load::{build_mix, InProc, TcpClient, Transport};
+use rtr_serve::proto::{
+    encode_response, DestResult, Outcome, RecoverRequest, RecoverResponse, Response,
+};
+use rtr_serve::{serve, Fleet, ServeConfig};
+use rtr_topology::{FailureScenario, NodeId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 77;
+const CASES: usize = 30;
+
+fn grid_fleet() -> (Fleet, Arc<Baseline>) {
+    let topo = rtr_topology::generate::grid(6, 6, 100.0);
+    let baseline = Arc::new(Baseline::new(topo));
+    let fleet = Fleet::from_baselines(vec![("grid6".to_string(), Arc::clone(&baseline))]);
+    (fleet, baseline)
+}
+
+fn mix(baseline: &Arc<Baseline>) -> Vec<RecoverRequest> {
+    let m = build_mix(0, "grid6", baseline, CASES, SEED);
+    assert!(m.len() > 3, "mix unexpectedly small: {} requests", m.len());
+    m
+}
+
+/// The serial oracle: one fresh session per request, no pooling, no
+/// queue, no threads. Returns the expected wire bytes keyed by id.
+fn oracle_bytes(baseline: &Baseline, mix: &[RecoverRequest]) -> BTreeMap<u64, Vec<u8>> {
+    let topo = baseline.topo();
+    let mut out = BTreeMap::new();
+    for req in mix {
+        let region = req.region.to_region().expect("mix regions are valid");
+        let scenario = FailureScenario::from_region(topo, &region);
+        let mut scratch = RecoveryScratch::default();
+        let mut session = RtrSession::start_in(
+            topo,
+            baseline.crosslinks(),
+            &scenario,
+            NodeId(req.initiator),
+            rtr_topology::LinkId(req.failed_link),
+            &mut scratch,
+        )
+        .expect("mix requests pass phase 1");
+        let results = req
+            .dests
+            .iter()
+            .map(|&dest| {
+                let attempt = session.recover(NodeId(dest));
+                let outcome = match attempt.outcome {
+                    DeliveryOutcome::Delivered => Outcome::Delivered,
+                    DeliveryOutcome::HitFailure { at_link } => {
+                        Outcome::HitFailure { at_link: at_link.0 }
+                    }
+                    DeliveryOutcome::NoPath => Outcome::NoPath,
+                };
+                let (cost, route) = attempt
+                    .path
+                    .as_ref()
+                    .map(|p| (p.cost(), p.nodes().iter().map(|n| n.0).collect()))
+                    .unwrap_or((0, Vec::new()));
+                DestResult {
+                    dest,
+                    outcome,
+                    cost,
+                    route,
+                }
+            })
+            .collect();
+        let resp = Response::Recover(RecoverResponse {
+            id: req.id,
+            results,
+            service_micros: 0,
+        });
+        out.insert(req.id, encode_response(&resp));
+    }
+    out
+}
+
+/// Pushes the whole mix through a transport and collects the responses
+/// with `service_micros` normalized to zero, keyed by id.
+fn collect<T: Transport>(t: &mut T, mix: &[RecoverRequest]) -> BTreeMap<u64, Vec<u8>> {
+    for req in mix {
+        assert_eq!(t.submit(req.clone()), Ok(true), "submit refused");
+    }
+    let mut got = BTreeMap::new();
+    let mut responses = Vec::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while got.len() < mix.len() {
+        assert!(std::time::Instant::now() < deadline, "responses timed out");
+        responses.clear();
+        t.poll(&mut responses).expect("poll failed");
+        for resp in responses.drain(..) {
+            match resp {
+                Response::Recover(mut r) => {
+                    r.service_micros = 0;
+                    let id = r.id;
+                    got.insert(id, encode_response(&Response::Recover(r)));
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    got
+}
+
+fn served_bytes(
+    fleet: &Fleet,
+    mix: &[RecoverRequest],
+    workers: usize,
+    tcp: bool,
+) -> BTreeMap<u64, Vec<u8>> {
+    let cfg = ServeConfig {
+        workers,
+        bind: tcp.then(|| "127.0.0.1:0".to_string()),
+    };
+    let (got, report) = serve(fleet, &cfg, |h| {
+        if tcp {
+            let addr = h.addr().expect("tcp bind requested").to_string();
+            let mut t = TcpClient::connect(&addr).expect("loopback connect");
+            collect(&mut t, mix)
+        } else {
+            let mut t = InProc::new(h);
+            collect(&mut t, mix)
+        }
+    })
+    .expect("serve failed");
+    assert!(report.drained_clean, "drain left jobs behind");
+    assert_eq!(report.jobs_completed(), mix.len() as u64);
+    got
+}
+
+#[test]
+fn served_responses_are_byte_identical_to_the_serial_driver() {
+    let (fleet, baseline) = grid_fleet();
+    let mix = mix(&baseline);
+    let expected = oracle_bytes(&baseline, &mix);
+    let got = served_bytes(&fleet, &mix, 2, false);
+    assert_eq!(got.len(), expected.len());
+    for (id, bytes) in &expected {
+        assert_eq!(
+            got.get(id),
+            Some(bytes),
+            "request {id}: served payload diverged from the serial driver"
+        );
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let (fleet, baseline) = grid_fleet();
+    let mix = mix(&baseline);
+    let one = served_bytes(&fleet, &mix, 1, false);
+    let three = served_bytes(&fleet, &mix, 3, false);
+    assert_eq!(one, three, "worker count changed served payloads");
+}
+
+#[test]
+fn tcp_loopback_matches_inproc() {
+    let (fleet, baseline) = grid_fleet();
+    let mix = mix(&baseline);
+    let inproc = served_bytes(&fleet, &mix, 2, false);
+    let tcp = served_bytes(&fleet, &mix, 2, true);
+    assert_eq!(inproc, tcp, "transport changed served payloads");
+}

@@ -57,7 +57,7 @@ pub fn run_analyze() -> Result<AnalyzeReport, String> {
     let allow_path = root.join("crates/xtask/allow.toml");
     let allow = allow::load_allowlist(&allow_path)?;
 
-    // Hot-path-scoped families run on the five hot-path crates; the rest
+    // Hot-path-scoped families run on the six hot-path crates; the rest
     // run on every crate's library source plus the root facade.
     let mut hot_files = Vec::new();
     for krate in rules::HOT_PATH_CRATES {

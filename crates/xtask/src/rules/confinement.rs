@@ -1,20 +1,27 @@
-//! Confinement rules: threads are created only in the fork-join executor,
-//! and CPU intrinsics are named only in the crossing-mask kernel module.
+//! Confinement rules: threads are created only in the fork-join executor
+//! and the service worker runtime, and CPU intrinsics are named only in
+//! the crossing-mask kernel module.
 
 use crate::engine::{SourceFile, Violation};
 
-/// The one file allowed to create threads: the fork-join executor.
+/// The batch-side file allowed to create threads: the fork-join executor.
 pub const THREAD_EXECUTOR: &str = "crates/eval/src/par.rs";
+
+/// The serving-side file allowed to create threads: `rtr-serve`'s worker
+/// runtime, where `serve()` scopes its worker and acceptor threads.
+pub const SERVE_RUNTIME: &str = "crates/serve/src/service.rs";
 
 /// The one file allowed to name CPU intrinsics: the crossing-mask kernel
 /// module, whose safe `MaskKernel` dispatch wraps the AVX2 path.
 pub const SIMD_KERNEL_MODULE: &str = "crates/topology/src/kernels.rs";
 
 /// Thread discipline: `thread::spawn` / `thread::scope` only inside the
-/// executor module. Everything else must go through `rtr_eval::par`, so
-/// the scenario-order merge stays the single determinism argument.
+/// executor module and the service runtime. Everything else must go
+/// through `rtr_eval::par` (batch) or `rtr_serve::serve` (serving), so
+/// each determinism argument — the scenario-order merge, the
+/// one-pool-per-worker session layout — stays local to one module.
 pub fn check_thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
-    if file.rel == THREAD_EXECUTOR {
+    if file.rel == THREAD_EXECUTOR || file.rel == SERVE_RUNTIME {
         return;
     }
     for p in 0..file.len() {
@@ -74,6 +81,17 @@ mod tests {
         let mut out = Vec::new();
         check_thread_discipline(&file("crates/eval/src/par.rs", src), &mut out);
         assert!(out.is_empty(), "false positives: {out:?}");
+    }
+
+    #[test]
+    fn thread_discipline_exempts_the_serve_runtime() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        let mut out = Vec::new();
+        check_thread_discipline(&file("crates/serve/src/service.rs", src), &mut out);
+        assert!(out.is_empty(), "false positives: {out:?}");
+        // Other serve modules stay confined.
+        check_thread_discipline(&file("crates/serve/src/load.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod unsafe_audit;
 
 /// Hot-path crate directories (under `crates/`) subject to panic-freedom,
 /// print and determinism discipline.
-pub const HOT_PATH_CRATES: [&str; 5] = ["core", "obs", "routing", "sim", "topology"];
+pub const HOT_PATH_CRATES: [&str; 6] = ["core", "obs", "routing", "serve", "sim", "topology"];
 
 /// Registry metadata for one rule, as printed by `--list-rules`.
 #[derive(Debug, Clone, Copy)]
@@ -83,8 +83,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "thread-discipline",
         family: "confinement",
-        scope: "everywhere except crates/eval/src/par.rs",
-        rationale: "threads are born in one fork-join executor, keeping the determinism argument local to the scenario-order merge",
+        scope: "everywhere except crates/eval/src/par.rs and crates/serve/src/service.rs",
+        rationale: "threads are born in the fork-join executor or the service worker runtime, keeping each determinism argument local to one module",
     },
     RuleInfo {
         name: "simd-discipline",

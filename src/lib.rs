@@ -10,7 +10,8 @@
 //! * [`obs`] — trace events, sinks, and the metrics registry;
 //! * [`core`] — the RTR protocol itself (phase 1 + phase 2);
 //! * [`baselines`] — the FCP and MRC comparators;
-//! * [`eval`] — the experiment harness regenerating every table and figure.
+//! * [`eval`] — the experiment harness regenerating every table and figure;
+//! * [`serve`] — the concurrent recovery service and its load harness.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -22,5 +23,6 @@ pub use rtr_core as core;
 pub use rtr_eval as eval;
 pub use rtr_obs as obs;
 pub use rtr_routing as routing;
+pub use rtr_serve as serve;
 pub use rtr_sim as sim;
 pub use rtr_topology as topology;
