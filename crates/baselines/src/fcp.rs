@@ -97,6 +97,11 @@ fn believed_view_into(
 /// truth `view`. `initial_failed_link` is the unreachable default next-hop
 /// link that triggered recovery (it seeds the carried failure set).
 ///
+/// *Deprecated-documented*: new code should route through the
+/// [`RecoveryScheme`](crate::RecoveryScheme) trait via [`crate::Fcp`]
+/// (pooled scratch, scheme selection as data); this free function remains
+/// as a thin convenience wrapper.
+///
 /// # Panics
 ///
 /// Panics if `initial_failed_link` is not incident to `initiator` or is
@@ -133,6 +138,29 @@ pub fn fcp_route_in(
     dest: NodeId,
     scratch: &mut FcpScratch,
 ) -> FcpAttempt {
+    fcp_route_scratch(
+        topo,
+        view,
+        initiator,
+        initial_failed_link,
+        dest,
+        &mut scratch.sp,
+        &mut scratch.mask,
+    )
+}
+
+/// The FCP routing loop over explicitly split buffers, so callers holding
+/// a combined scratch bundle (`rtr-core`'s `SchemeScratch`) can lend its
+/// pieces without owning an [`FcpScratch`].
+pub(crate) fn fcp_route_scratch(
+    topo: &Topology,
+    view: &impl GraphView,
+    initiator: NodeId,
+    initial_failed_link: LinkId,
+    dest: NodeId,
+    sp_scratch: &mut DijkstraScratch,
+    mask: &mut LinkMask,
+) -> FcpAttempt {
     assert!(
         topo.link(initial_failed_link).is_incident_to(initiator),
         "the triggering link must be incident to the initiator"
@@ -153,9 +181,9 @@ pub fn fcp_route_in(
     // Each recomputation adds at least one newly encountered link to the
     // carried set, so at most `link_count` recomputations can happen.
     loop {
-        believed_view_into(&mut scratch.mask, topo, view, cur, &carried);
+        believed_view_into(mask, topo, view, cur, &carried);
         // Early-exit at `dest`: only `path_to(dest)` is consumed below.
-        let sp = scratch.sp.run_to(topo, &scratch.mask, cur, dest);
+        let sp = sp_scratch.run_to(topo, &*mask, cur, dest);
         sp_calculations += 1;
         let Some(path): Option<Path> = sp.path_to(dest) else {
             return FcpAttempt {
@@ -169,14 +197,18 @@ pub fn fcp_route_in(
 
         // Walk the new source route until delivery or the next encounter.
         let mut encountered = None;
-        for (i, &l) in path.links().iter().enumerate() {
-            let from = path.nodes()[i];
+        let hops = path
+            .links()
+            .iter()
+            .zip(path.nodes())
+            .zip(path.nodes().iter().skip(1));
+        for (i, ((&l, &from), &to)) in hops.enumerate() {
             if !view.is_link_usable(topo, l) {
                 encountered = Some((from, l));
                 break;
             }
             cost_traversed += u64::from(topo.cost_from(l, from));
-            cur = path.nodes()[i + 1];
+            cur = to;
             let remaining = path.links().len() - (i + 1);
             trace.record_hop(cur, header_bytes(&carried, remaining));
         }

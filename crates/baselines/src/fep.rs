@@ -1,0 +1,285 @@
+//! Fast Emergency Paths — precomputed per-link OSPF detours (PAPERS.md;
+//! the IP fast-reroute family §VI positions RTR against).
+//!
+//! Every router pre-installs, for each of its links, an *emergency path*:
+//! the shortest detour around that one link computed on the intact
+//! topology with only that link removed. Forwarding is plain OSPF until a
+//! packet meets a dead link; the router then encapsulates the packet along
+//! the link's emergency path (each detour hop carries the failed link's id,
+//! [`LINK_ID_BYTES`]), which rejoins normal forwarding at the far endpoint.
+//! No computation happens at failure time — `sp_calculations` is always 0.
+//!
+//! Under a *single* link failure a detour is failure-free by construction.
+//! Under large-scale failures a detour may itself cross the failed region;
+//! FEP has no second-level protection, so the packet is dropped at the
+//! first dead detour hop — the brittleness Table III quantifies. Routing
+//! terminates because every completed detour lands on the primary next
+//! hop, whose intact distance to the destination strictly decreases.
+
+use crate::scheme::{RecoveryScheme, RouteOutcome, SchemeAttempt, SchemeCtx, SchemeId};
+use rtr_core::SchemeScratch;
+use rtr_routing::{DijkstraScratch, Path};
+use rtr_sim::{ForwardingTrace, LINK_ID_BYTES};
+use rtr_topology::{GraphView, LinkId, LinkMask, NodeId, Topology};
+
+/// The precomputed emergency-path table: for link `l` with endpoints
+/// `(a, b)`, slot 0 holds the detour from `a` to `b` and slot 1 the
+/// detour from `b` to `a`, both computed with only `l` removed. A `None`
+/// slot means the link is a bridge — no detour exists.
+#[derive(Debug, Clone)]
+pub struct Fep {
+    detours: Vec<[Option<Path>; 2]>,
+}
+
+impl Fep {
+    /// Precomputes both directed detours for every link of `topo`.
+    pub fn build(topo: &Topology) -> Self {
+        let mut scratch = DijkstraScratch::new();
+        let mut mask = LinkMask::none(topo);
+        let detours = topo
+            .link_ids()
+            .map(|l| {
+                mask.reset(topo);
+                mask.remove(l);
+                let (a, b) = topo.link(l).endpoints();
+                let forward = scratch.run_to(topo, &mask, a, b).path_to(b);
+                let reverse = scratch.run_to(topo, &mask, b, a).path_to(a);
+                [forward, reverse]
+            })
+            .collect();
+        Fep { detours }
+    }
+
+    /// The emergency path around `l` starting at endpoint `from`, or
+    /// `None` when `l` is a bridge (or `from` is not an endpoint of `l`).
+    pub fn detour_from(&self, topo: &Topology, l: LinkId, from: NodeId) -> Option<&Path> {
+        let (a, b) = topo.link(l).endpoints();
+        let slot = if from == a {
+            0
+        } else if from == b {
+            1
+        } else {
+            return None;
+        };
+        self.detours
+            .get(l.index())
+            .and_then(|pair| pair.get(slot))
+            .and_then(Option::as_ref)
+    }
+
+    /// Number of links whose both directed detours exist.
+    pub fn protected_links(&self) -> usize {
+        self.detours
+            .iter()
+            .filter(|pair| pair.iter().all(Option::is_some))
+            .count()
+    }
+}
+
+impl RecoveryScheme for Fep {
+    fn id(&self) -> SchemeId {
+        SchemeId::Fep
+    }
+
+    fn route_in(
+        &self,
+        ctx: SchemeCtx<'_>,
+        view: &dyn GraphView,
+        initiator: NodeId,
+        _failed_link: LinkId,
+        dest: NodeId,
+        scratch: &mut SchemeScratch,
+    ) -> SchemeAttempt {
+        let _ = scratch; // FEP is purely table-driven; no scratch needed.
+        let topo = ctx.topo;
+        let mut cur = initiator;
+        let mut cost = 0u64;
+        let mut trace = ForwardingTrace::start(initiator, 0);
+
+        let finish = |outcome, cost, trace| SchemeAttempt {
+            outcome,
+            cost_traversed: cost,
+            sp_calculations: 0,
+            trace,
+        };
+
+        // Primary hops strictly decrease the intact routing distance to
+        // `dest` (detours rejoin at the primary next hop), so the loop
+        // terminates within `node_count` iterations.
+        while cur != dest {
+            let Some((next, l)) = ctx.table.next_hop(cur, dest) else {
+                return finish(RouteOutcome::NoRoute, cost, trace);
+            };
+            if view.is_link_usable(topo, l) {
+                cost += u64::from(topo.cost_from(l, cur));
+                cur = next;
+                trace.record_hop(cur, 0);
+                continue;
+            }
+            // Primary link is dead: encapsulate along its emergency path.
+            let Some(detour) = self.detour_from(topo, l, cur) else {
+                // Bridge link — no detour was installable.
+                return finish(RouteOutcome::Dropped { at_link: l }, cost, trace);
+            };
+            for ((&dl, &from), &to) in detour
+                .links()
+                .iter()
+                .zip(detour.nodes())
+                .zip(detour.nodes().iter().skip(1))
+            {
+                if !view.is_link_usable(topo, dl) {
+                    // The detour itself crosses the failure: no second
+                    // level of protection, the packet is dropped here.
+                    return finish(RouteOutcome::Dropped { at_link: dl }, cost, trace);
+                }
+                cost += u64::from(topo.cost_from(dl, from));
+                cur = to;
+                trace.record_hop(cur, LINK_ID_BYTES);
+            }
+            debug_assert_eq!(cur, next, "detour must rejoin at the primary next hop");
+        }
+        finish(RouteOutcome::Delivered, cost, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_routing::RoutingTable;
+    use rtr_topology::{generate, CrossLinkTable, FailureScenario, FullView};
+
+    fn fixture(topo: &Topology) -> (CrossLinkTable, RoutingTable) {
+        (
+            CrossLinkTable::new(topo),
+            RoutingTable::compute(topo, &FullView),
+        )
+    }
+
+    #[test]
+    fn build_installs_detours_on_two_connected_topologies() {
+        let topo = generate::isp_like(25, 60, 2000.0, 7).unwrap();
+        let fep = Fep::build(&topo);
+        assert_eq!(fep.id(), SchemeId::Fep);
+        assert_eq!(fep.name(), "FEP");
+        // isp_like grows a 2-edge-connected mesh, so most links have both
+        // directed detours; at minimum *some* must exist.
+        assert!(fep.protected_links() > 0);
+        let l = topo.link_ids().next().unwrap();
+        let (a, b) = topo.link(l).endpoints();
+        if let Some(p) = fep.detour_from(&topo, l, a) {
+            assert_eq!(p.nodes().first(), Some(&a));
+            assert_eq!(p.nodes().last(), Some(&b));
+            assert!(!p.links().contains(&l));
+        }
+        // Non-endpoint lookups answer None rather than panicking.
+        let outsider = topo.node_ids().find(|&n| n != a && n != b).unwrap();
+        assert!(fep.detour_from(&topo, l, outsider).is_none());
+    }
+
+    #[test]
+    fn delivers_around_single_link_failures() {
+        let topo = generate::isp_like(30, 80, 2000.0, 9).unwrap();
+        let (crosslinks, table) = fixture(&topo);
+        let ctx = SchemeCtx {
+            topo: &topo,
+            crosslinks: &crosslinks,
+            table: &table,
+        };
+        let fep = Fep::build(&topo);
+        let mut scratch = SchemeScratch::new();
+        let mut delivered = 0usize;
+        for l in topo.link_ids().step_by(2) {
+            let (a, b) = topo.link(l).endpoints();
+            if fep.detour_from(&topo, l, a).is_none() {
+                continue;
+            }
+            // Only exercise cases where plain OSPF would cross `l` first.
+            if table.next_hop(a, b).map(|(_, pl)| pl) != Some(l) {
+                continue;
+            }
+            let s = FailureScenario::single_link(&topo, l);
+            let got = fep.route_in(ctx, &s, a, l, b, &mut scratch);
+            assert!(got.is_delivered(), "single-link detour must deliver ({l:?})");
+            assert_eq!(got.sp_calculations, 0);
+            // The whole walk is one detour: every hop after the start
+            // carries the failed link's id.
+            assert!(got
+                .trace
+                .steps()
+                .iter()
+                .skip(1)
+                .all(|st| st.header_bytes == LINK_ID_BYTES));
+            // The detour is at least as long as the broken shortest path.
+            assert!(got.cost_traversed >= u64::from(topo.link(l).cost_from(a)));
+            delivered += 1;
+        }
+        assert!(delivered > 5, "fixture too small: {delivered} deliveries");
+    }
+
+    #[test]
+    fn drops_when_the_detour_is_also_dead() {
+        // Deterministic second-failure construction: fail a link AND the
+        // first hop of its own emergency path — FEP has no second level
+        // of protection, so the packet must drop at the dead detour hop.
+        let topo = generate::isp_like(40, 100, 2000.0, 13).unwrap();
+        let (crosslinks, table) = fixture(&topo);
+        let ctx = SchemeCtx {
+            topo: &topo,
+            crosslinks: &crosslinks,
+            table: &table,
+        };
+        let fep = Fep::build(&topo);
+        let mut scratch = SchemeScratch::new();
+        let mut exercised = 0usize;
+        for l in topo.link_ids() {
+            let (a, b) = topo.link(l).endpoints();
+            if table.next_hop(a, b).map(|(_, pl)| pl) != Some(l) {
+                continue;
+            }
+            let Some(first_detour_link) = fep
+                .detour_from(&topo, l, a)
+                .and_then(|p| p.links().first().copied())
+            else {
+                continue;
+            };
+            let s = FailureScenario::from_parts(&topo, [], [l, first_detour_link]);
+            let got = fep.route_in(ctx, &s, a, l, b, &mut scratch);
+            assert_eq!(
+                got.outcome,
+                RouteOutcome::Dropped {
+                    at_link: first_detour_link
+                },
+                "link {l:?}"
+            );
+            assert_eq!(got.cost_traversed, 0, "dropped before any hop");
+            exercised += 1;
+            if exercised >= 10 {
+                break;
+            }
+        }
+        assert!(exercised > 0, "no protected primary link found");
+    }
+
+    #[test]
+    fn plain_forwarding_matches_routing_table_distance() {
+        // No failures at all: FEP is byte-for-byte OSPF.
+        let topo = generate::isp_like(20, 50, 2000.0, 5).unwrap();
+        let (crosslinks, table) = fixture(&topo);
+        let ctx = SchemeCtx {
+            topo: &topo,
+            crosslinks: &crosslinks,
+            table: &table,
+        };
+        let fep = Fep::build(&topo);
+        let mut scratch = SchemeScratch::new();
+        let s = FailureScenario::none(&topo);
+        let src = NodeId(0);
+        let l = topo.neighbors(src)[0].1;
+        for dest in topo.node_ids().skip(1).step_by(3) {
+            let got = fep.route_in(ctx, &s, src, l, dest, &mut scratch);
+            assert!(got.is_delivered());
+            assert_eq!(Some(got.cost_traversed), table.distance(src, dest));
+            assert!(got.trace.steps().iter().all(|st| st.header_bytes == 0));
+        }
+    }
+}

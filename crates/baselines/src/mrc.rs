@@ -71,14 +71,14 @@ impl GraphView for ConfigView<'_> {
     }
 
     fn is_link_live(&self, l: LinkId) -> bool {
-        if self.mrc.link_config[l.index()] == Some(self.config) {
+        if assigned(&self.mrc.link_config, l.index()) == Some(self.config) {
             return false;
         }
         let (a, b) = self.topo.link(l).endpoints();
         // A link incident to an isolated node is restricted: usable only
         // as the first/last hop of this packet's path.
         for x in [a, b] {
-            if self.mrc.node_config[x.index()] == Some(self.config)
+            if assigned(&self.mrc.node_config, x.index()) == Some(self.config)
                 && x != self.src
                 && x != self.dest
             {
@@ -86,6 +86,18 @@ impl GraphView for ConfigView<'_> {
             }
         }
         true
+    }
+}
+
+/// The assignment at `i`, total over out-of-range indices.
+fn assigned(v: &[Option<usize>], i: usize) -> Option<usize> {
+    v.get(i).copied().flatten()
+}
+
+/// Sets the assignment at `i` (no-op when out of range).
+fn assign(v: &mut [Option<usize>], i: usize, cfg: usize) {
+    if let Some(slot) = v.get_mut(i) {
+        *slot = Some(cfg);
     }
 }
 
@@ -115,7 +127,7 @@ impl Mrc {
             for attempt in 0..k {
                 let cfg = (node.index() + attempt) % k;
                 if Self::isolation_ok(topo, &node_config, node, cfg) {
-                    node_config[node.index()] = Some(cfg);
+                    assign(&mut node_config, node.index(), cfg);
                     break;
                 }
             }
@@ -127,12 +139,15 @@ impl Mrc {
         let mut link_config: Vec<Option<usize>> = vec![None; topo.link_count()];
         for l in topo.link_ids() {
             let (a, b) = topo.link(l).endpoints();
-            for cfg in [node_config[a.index()], node_config[b.index()]]
-                .into_iter()
-                .flatten()
+            for cfg in [
+                assigned(&node_config, a.index()),
+                assigned(&node_config, b.index()),
+            ]
+            .into_iter()
+            .flatten()
             {
                 if Self::link_isolation_ok(topo, &node_config, &link_config, l, cfg) {
-                    link_config[l.index()] = Some(cfg);
+                    assign(&mut link_config, l.index(), cfg);
                     break;
                 }
             }
@@ -152,7 +167,7 @@ impl Mrc {
         node: NodeId,
         cfg: usize,
     ) -> bool {
-        let in_group = |x: NodeId| node_config[x.index()] == Some(cfg) || x == node;
+        let in_group = |x: NodeId| assigned(node_config, x.index()) == Some(cfg) || x == node;
         // The transit subgraph (everything not isolated in cfg, with this
         // node added to the group) must stay connected, and every router —
         // isolated or not — must keep at least one usable link in cfg so a
@@ -169,8 +184,8 @@ impl Mrc {
         l: LinkId,
         cfg: usize,
     ) -> bool {
-        let in_group = |x: NodeId| node_config[x.index()] == Some(cfg);
-        let link_dead = |x: LinkId| x == l || link_config[x.index()] == Some(cfg);
+        let in_group = |x: NodeId| assigned(node_config, x.index()) == Some(cfg);
+        let link_dead = |x: LinkId| x == l || assigned(link_config, x.index()) == Some(cfg);
         Self::transit_connected(topo, &in_group, &link_dead)
             && Self::all_nodes_keep_access(topo, &in_group, &link_dead)
     }
@@ -204,12 +219,16 @@ impl Mrc {
         let total = topo.node_ids().filter(|&x| !isolated(x)).count();
         let mut seen = vec![false; topo.node_count()];
         let mut stack = vec![start];
-        seen[start.index()] = true;
+        if let Some(s) = seen.get_mut(start.index()) {
+            *s = true;
+        }
         let mut count = 1;
         while let Some(u) = stack.pop() {
             for &(v, l) in topo.neighbors(u) {
-                if !seen[v.index()] && !isolated(v) && !dead_link(l) {
-                    seen[v.index()] = true;
+                if seen.get(v.index()).copied() == Some(false) && !isolated(v) && !dead_link(l) {
+                    if let Some(s) = seen.get_mut(v.index()) {
+                        *s = true;
+                    }
                     count += 1;
                     stack.push(v);
                 }
@@ -226,7 +245,7 @@ impl Mrc {
     /// The configuration isolating `node`, or `None` when the node could
     /// not be protected (articulation points).
     pub fn node_configuration(&self, node: NodeId) -> Option<usize> {
-        self.node_config[node.index()]
+        assigned(&self.node_config, node.index())
     }
 
     /// Fraction of nodes that could be isolated in some configuration.
@@ -240,7 +259,7 @@ impl Mrc {
 
     /// The configuration isolating `link`, when one was found.
     pub fn link_configuration(&self, link: LinkId) -> Option<usize> {
-        self.link_config[link.index()]
+        assigned(&self.link_config, link.index())
     }
 
     /// Fraction of links that could be isolated (protected against
@@ -332,6 +351,11 @@ impl MrcAttempt {
 /// Per the MRC switching rule: if the unreachable next hop *is* the
 /// destination, switch to the configuration isolating the link; otherwise
 /// switch to the configuration isolating the next-hop node.
+///
+/// *Deprecated-documented*: new code should route through the
+/// [`RecoveryScheme`](crate::RecoveryScheme) trait (implemented by
+/// [`Mrc`] itself); this free function remains as a thin convenience
+/// wrapper.
 pub fn mrc_recover(
     topo: &Topology,
     mrc: &Mrc,
@@ -351,6 +375,25 @@ pub fn mrc_recover(
     )
 }
 
+/// The MRC switching rule at `at` observing dead `trigger` toward `dest`:
+/// the configuration isolating the link when the lost next hop *is* the
+/// destination, else the one isolating the next-hop node. Shared with
+/// eMRC, whose every re-switch applies the same rule.
+pub(crate) fn switching_config(
+    topo: &Topology,
+    mrc: &Mrc,
+    at: NodeId,
+    trigger: LinkId,
+    dest: NodeId,
+) -> Option<usize> {
+    let next_hop = topo.link(trigger).other_end(at);
+    if next_hop == dest {
+        mrc.link_configuration(trigger)
+    } else {
+        mrc.node_configuration(next_hop)
+    }
+}
+
 /// Like [`mrc_recover`], but reuses the caller's Dijkstra buffers across
 /// cases.
 pub fn mrc_recover_in(
@@ -362,12 +405,7 @@ pub fn mrc_recover_in(
     dest: NodeId,
     scratch: &mut DijkstraScratch,
 ) -> MrcAttempt {
-    let next_hop = topo.link(failed_link).other_end(initiator);
-    let config = if next_hop == dest {
-        mrc.link_configuration(failed_link)
-    } else {
-        mrc.node_configuration(next_hop)
-    };
+    let config = switching_config(topo, mrc, initiator, failed_link, dest);
     let Some(config) = config else {
         return MrcAttempt {
             outcome: MrcOutcome::NoBackupPath,
@@ -390,7 +428,7 @@ pub fn mrc_recover_in(
 
     let mut hops = 0usize;
     let mut cost = 0u64;
-    for (i, &l) in path.links().iter().enumerate() {
+    for (&l, &from) in path.links().iter().zip(path.nodes()) {
         if !view.is_link_usable(topo, l) {
             return MrcAttempt {
                 outcome: MrcOutcome::HitSecondFailure { at_link: l },
@@ -400,7 +438,7 @@ pub fn mrc_recover_in(
                 cost_traversed: cost,
             };
         }
-        cost += u64::from(topo.cost_from(l, path.nodes()[i]));
+        cost += u64::from(topo.cost_from(l, from));
         hops += 1;
     }
     MrcAttempt {

@@ -1,10 +1,16 @@
-//! Property-based tests for the FCP and MRC baselines.
+//! Property-based tests for the baseline schemes — the FCP/MRC free
+//! functions plus cross-scheme laws over the [`RecoveryScheme`] trait.
 
 use proptest::prelude::*;
-use rtr_baselines::{fcp_route, mrc::validate, mrc_recover, FcpOutcome, Mrc};
-use rtr_routing::shortest_path;
+use rtr_baselines::{
+    fcp_route, mrc::validate, mrc_recover, Emrc, Fcp, FcpOutcome, Fep, Mrc, RecoveryScheme, Rtr,
+    SchemeCtx,
+};
+use rtr_core::SchemeScratch;
+use rtr_routing::{shortest_path, RoutingTable};
 use rtr_topology::{
-    generate, is_reachable, FailureScenario, GraphView, LinkId, NodeId, Region, Topology,
+    generate, is_reachable, CrossLinkTable, FailureScenario, FullView, GraphView, LinkId, NodeId,
+    Region, Topology,
 };
 
 fn entry_points(topo: &Topology, s: &FailureScenario) -> Vec<(NodeId, LinkId)> {
@@ -164,6 +170,105 @@ proptest! {
                 delivered,
                 cases
             );
+        }
+    }
+
+    /// Cross-scheme law, driven through the [`RecoveryScheme`] trait, on
+    /// 2-edge-connected grids (no bridge, so one dead link never
+    /// partitions): RTR recovers every single-link failure at exactly the
+    /// post-failure optimum (Theorem 2), FCP recovers every one at stretch
+    /// >= 1, and the proactive schemes spend zero shortest-path
+    /// calculations and never undercut the optimum when they deliver.
+    #[test]
+    fn single_link_cross_scheme_laws(
+        rows in 3..6usize,
+        cols in 3..6usize,
+        link_pick in 0..10_000usize,
+        dest_pick in 0..10_000usize,
+    ) {
+        let topo = generate::grid(rows, cols, 100.0);
+        let failed = LinkId((link_pick % topo.link_count()) as u32);
+        let (initiator, _) = topo.link(failed).endpoints();
+        let dest = NodeId((dest_pick % topo.node_count()) as u32);
+        if dest == initiator {
+            return Ok(());
+        }
+        let s = FailureScenario::single_link(&topo, failed);
+        let crosslinks = CrossLinkTable::new(&topo);
+        let table = RoutingTable::compute(&topo, &FullView);
+        let ctx = SchemeCtx {
+            topo: &topo,
+            crosslinks: &crosslinks,
+            table: &table,
+        };
+        let mrc = Mrc::build(&topo, 5).unwrap();
+        let emrc = Emrc::from_mrc(mrc.clone());
+        let fep = Fep::build(&topo);
+        let mut scratch = SchemeScratch::new();
+        let optimal = shortest_path(&topo, &s, initiator, dest)
+            .expect("grids are 2-edge-connected")
+            .cost();
+
+        let rtr = Rtr.route_in(ctx, &s, initiator, failed, dest, &mut scratch);
+        prop_assert!(rtr.is_delivered(), "RTR must recover a single-link failure");
+        prop_assert_eq!(rtr.cost_traversed, optimal, "Theorem 2: RTR recovery is optimal");
+
+        let fcp = Fcp.route_in(ctx, &s, initiator, failed, dest, &mut scratch);
+        prop_assert!(fcp.is_delivered(), "FCP delivers whenever the destination is reachable");
+        prop_assert!(fcp.cost_traversed >= optimal);
+        prop_assert!(fcp.sp_calculations >= 1);
+
+        for scheme in [&mrc as &dyn RecoveryScheme, &emrc, &fep] {
+            let attempt = scheme.route_in(ctx, &s, initiator, failed, dest, &mut scratch);
+            prop_assert_eq!(
+                attempt.sp_calculations, 0,
+                "{} is proactive and must not compute at failure time", scheme.name()
+            );
+            if attempt.is_delivered() {
+                prop_assert!(
+                    attempt.cost_traversed >= optimal,
+                    "{} beat the post-failure optimum", scheme.name()
+                );
+            }
+        }
+    }
+
+    /// With exactly one failed link eMRC has nothing to re-switch on, so
+    /// it degenerates to MRC behind the trait: identical outcome, cost,
+    /// and hop count for every destination of either endpoint.
+    #[test]
+    fn emrc_degenerates_to_mrc_on_single_link_failures(
+        n in 10..30usize,
+        seed in 0..200u64,
+        link_pick in 0..10_000usize,
+    ) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let topo = generate::isp_like(n, m, 2000.0, seed).unwrap();
+        let crosslinks = CrossLinkTable::new(&topo);
+        let table = RoutingTable::compute(&topo, &FullView);
+        let ctx = SchemeCtx {
+            topo: &topo,
+            crosslinks: &crosslinks,
+            table: &table,
+        };
+        let mrc = Mrc::build(&topo, 5).unwrap();
+        let emrc = Emrc::from_mrc(mrc.clone());
+        let failed = LinkId((link_pick % topo.link_count()) as u32);
+        let (initiator, _) = topo.link(failed).endpoints();
+        let s = FailureScenario::single_link(&topo, failed);
+        let mut scratch = SchemeScratch::new();
+        for dest in topo.node_ids().step_by(3) {
+            if dest == initiator {
+                continue;
+            }
+            let m_at = mrc.route_in(ctx, &s, initiator, failed, dest, &mut scratch);
+            let e_at = emrc.route_in(ctx, &s, initiator, failed, dest, &mut scratch);
+            prop_assert_eq!(
+                e_at.outcome, m_at.outcome,
+                "single failure: eMRC must equal MRC ({} -> {})", initiator, dest
+            );
+            prop_assert_eq!(e_at.cost_traversed, m_at.cost_traversed);
+            prop_assert_eq!(e_at.hops(), m_at.hops());
         }
     }
 }

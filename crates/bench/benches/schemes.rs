@@ -1,12 +1,21 @@
 //! Scheme-level benchmarks: the costs a router actually pays — phase-1
-//! collection, phase-2 recomputation, a full RTR case, an FCP route, an
-//! MRC configuration build and recovery.
+//! collection, phase-2 recomputation, a full RTR case, and every
+//! comparator backend behind the [`RecoveryScheme`] trait (FCP, MRC,
+//! eMRC, FEP routing plus the MRC-family configuration builds).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rtr_baselines::{fcp_route, mrc_recover, Mrc};
-use rtr_bench::fixture;
-use rtr_core::{collect_failure_info, RtrSession};
+use rtr_baselines::{Fcp, Mrc, RecoveryScheme, SchemeCtx};
+use rtr_bench::{fixture, Fixture};
+use rtr_core::{collect_failure_info, RtrSession, SchemeScratch};
 use std::hint::black_box;
+
+fn scheme_ctx(f: &Fixture) -> SchemeCtx<'_> {
+    SchemeCtx {
+        topo: &f.topo,
+        crosslinks: &f.crosslinks,
+        table: &f.table,
+    }
+}
 
 fn bench_phase1(c: &mut Criterion) {
     let mut g = c.benchmark_group("phase1_collection");
@@ -52,14 +61,17 @@ fn bench_fcp(c: &mut Criterion) {
     let mut g = c.benchmark_group("fcp_route");
     for name in ["AS1239", "AS3320", "AS7018"] {
         let f = fixture(name, 250.0);
+        let mut scratch = SchemeScratch::new();
         g.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            let ctx = scheme_ctx(f);
             b.iter(|| {
-                black_box(fcp_route(
-                    &f.topo,
+                black_box(Fcp.route_in(
+                    ctx,
                     &f.scenario,
                     f.initiator,
                     f.failed_link,
                     f.recoverable_dest,
+                    &mut scratch,
                 ))
             })
         });
@@ -67,7 +79,7 @@ fn bench_fcp(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_mrc(c: &mut Criterion) {
+fn bench_mrc_family(c: &mut Criterion) {
     let mut g = c.benchmark_group("mrc");
     for name in ["AS1239", "AS3320"] {
         let f = fixture(name, 250.0);
@@ -75,15 +87,49 @@ fn bench_mrc(c: &mut Criterion) {
             b.iter(|| black_box(Mrc::build(&f.topo, 5).unwrap()))
         });
         let mrc = Mrc::build(&f.topo, 5).unwrap();
-        g.bench_with_input(BenchmarkId::new("recover", name), &f, |b, f| {
+        let emrc = rtr_baselines::Emrc::build(&f.topo, 5).unwrap();
+        let mut scratch = SchemeScratch::new();
+        for (label, scheme) in [
+            ("recover", &mrc as &dyn RecoveryScheme),
+            ("emrc_recover", &emrc),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, name), &f, |b, f| {
+                let ctx = scheme_ctx(f);
+                b.iter(|| {
+                    black_box(scheme.route_in(
+                        ctx,
+                        &f.scenario,
+                        f.initiator,
+                        f.failed_link,
+                        f.recoverable_dest,
+                        &mut scratch,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fep");
+    for name in ["AS1239", "AS3320"] {
+        let f = fixture(name, 250.0);
+        g.bench_with_input(BenchmarkId::new("build", name), &f, |b, f| {
+            b.iter(|| black_box(rtr_baselines::Fep::build(&f.topo)))
+        });
+        let fep = rtr_baselines::Fep::build(&f.topo);
+        let mut scratch = SchemeScratch::new();
+        g.bench_with_input(BenchmarkId::new("route", name), &f, |b, f| {
+            let ctx = scheme_ctx(f);
             b.iter(|| {
-                black_box(mrc_recover(
-                    &f.topo,
-                    &mrc,
+                black_box(fep.route_in(
+                    ctx,
                     &f.scenario,
                     f.initiator,
                     f.failed_link,
                     f.recoverable_dest,
+                    &mut scratch,
                 ))
             })
         });
@@ -96,6 +142,7 @@ criterion_group!(
     bench_phase1,
     bench_full_rtr_case,
     bench_fcp,
-    bench_mrc
+    bench_mrc_family,
+    bench_fep
 );
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! rtr topo info <AS-name | FILE>
 //! rtr topo render <AS-name | FILE> [--out FILE.svg]
 //! rtr fail <AS-name | FILE> --circle X,Y,R
-//! rtr recover <AS-name | FILE> --circle X,Y,R --from SRC --to DST [--scheme rtr|fcp|mrc]
+//! rtr recover <AS-name | FILE> --circle X,Y,R --from SRC --to DST [--scheme rtr|fcp|mrc|emrc|fep]
 //! ```
 //!
 //! Topologies are referenced either by their Table II name (`AS1239`) or by
@@ -16,8 +16,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use rtr_baselines::{fcp_route, mrc_recover, Mrc};
-use rtr_core::RtrSession;
+use rtr_baselines::{RouteOutcome, SchemeCtx, SchemeId, SchemeMask};
+use rtr_core::{RtrSession, SchemeScratch};
+use rtr_eval::schemes::build_comparators;
 use rtr_routing::RoutingTable;
 use rtr_sim::{CaseKind, DelayModel, Network};
 use rtr_topology::{
@@ -31,7 +32,7 @@ usage:
   rtr topo info <AS-name | FILE>
   rtr topo render <AS-name | FILE> [--out FILE.svg]
   rtr fail <AS-name | FILE> --circle X,Y,R
-  rtr recover <AS-name | FILE> --circle X,Y,R --from SRC --to DST [--scheme rtr|fcp|mrc]
+  rtr recover <AS-name | FILE> --circle X,Y,R --from SRC --to DST [--scheme rtr|fcp|mrc|emrc|fep]
 
 Table II names: AS209 AS701 AS1239 AS3320 AS3549 AS3561 AS4323 AS7018";
 
@@ -267,28 +268,45 @@ fn recover(args: &[String]) -> Result<(), String> {
                 ),
             }
         }
-        "fcp" => {
-            let a = fcp_route(&topo, &scenario, initiator, failed_link, dst);
+        other => {
+            let id = match other {
+                "fcp" => SchemeId::Fcp,
+                "mrc" => SchemeId::Mrc,
+                "emrc" => SchemeId::Emrc,
+                "fep" => SchemeId::Fep,
+                _ => {
+                    return Err(format!(
+                        "unknown scheme {other}; pick rtr, fcp, mrc, emrc, or fep"
+                    ))
+                }
+            };
+            let crosslinks = CrossLinkTable::new(&topo);
+            let table = RoutingTable::compute(&topo, &FullView);
+            let ctx = SchemeCtx {
+                topo: &topo,
+                crosslinks: &crosslinks,
+                table: &table,
+            };
+            let backend = build_comparators(&topo, SchemeMask::none().with(id), 5)
+                .map_err(|e| e.to_string())?
+                .pop()
+                .ok_or_else(|| format!("scheme {other} unavailable"))?;
+            let mut scratch = SchemeScratch::new();
+            let a = backend.route_in(ctx, &scenario, initiator, failed_link, dst, &mut scratch);
+            let verdict = match a.outcome {
+                RouteOutcome::Delivered => "delivered".to_string(),
+                RouteOutcome::Dropped { at_link } => {
+                    format!("dropped at dead link {at_link}")
+                }
+                RouteOutcome::NoRoute => "discarded (no route)".to_string(),
+            };
             println!(
-                "FCP: {} after {} hops and {} shortest-path calculations",
-                if a.is_delivered() {
-                    "delivered"
-                } else {
-                    "discarded"
-                },
+                "{}: {verdict} after {} hops and {} shortest-path calculations",
+                backend.name(),
                 a.hops(),
                 a.sp_calculations
             );
         }
-        "mrc" => {
-            let mrc = Mrc::build(&topo, 5).map_err(|e| e.to_string())?;
-            let a = mrc_recover(&topo, &mrc, &scenario, initiator, failed_link, dst);
-            println!(
-                "MRC: {:?} via configuration {:?} after {} hops",
-                a.outcome, a.config_used, a.hops_traversed
-            );
-        }
-        other => return Err(format!("unknown scheme {other}; pick rtr, fcp, or mrc")),
     }
     Ok(())
 }
@@ -373,7 +391,7 @@ mod tests {
         else {
             panic!("fixture should contain a recoverable pair");
         };
-        for scheme in ["rtr", "fcp", "mrc"] {
+        for scheme in ["rtr", "fcp", "mrc", "emrc", "fep"] {
             run(&sv(&[
                 "recover",
                 "AS1239",

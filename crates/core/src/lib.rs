@@ -67,6 +67,6 @@ pub use phase2::{
     source_route_walk, source_route_walk_reusing, source_route_walk_traced, DeliveryOutcome,
     RecoveryComputer, RecoveryScratch,
 };
-pub use pool::{DijkstraLease, PooledSession, SessionPool, SptLease};
+pub use pool::{DijkstraLease, PooledSession, SchemeLease, SchemeScratch, SessionPool, SptLease};
 pub use recovery::{RecoveryAttempt, RtrSession};
 pub use sweep::{SweepContext, SweepKernel};

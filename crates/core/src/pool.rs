@@ -19,9 +19,43 @@ use crate::phase2::RecoveryScratch;
 use crate::recovery::RtrSession;
 use crate::sweep::SweepKernel;
 use rtr_routing::{DijkstraScratch, IncrementalSpt, Kernels, SptScratch};
-use rtr_topology::{CrossLinkTable, GraphView, LinkId, NodeId, Topology};
+use rtr_topology::{CrossLinkTable, GraphView, LinkId, LinkMask, NodeId, Topology};
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
+
+/// The combined per-attempt buffer bundle a pluggable recovery scheme
+/// (`rtr-baselines`' `RecoveryScheme` trait) draws from: RTR session
+/// buffers for the adapter, a Dijkstra scratch for per-encounter or
+/// backup-path recomputation, and a link mask for believed-topology views.
+///
+/// One bundle serves any scheme — checking one out per attempt (or per
+/// worker) via [`SessionPool::scheme_scratch`] keeps the multi-backend
+/// hot loops allocation-free after warm-up without per-scheme freelists.
+#[derive(Debug, Default)]
+pub struct SchemeScratch {
+    /// RTR phase-1/phase-2 buffers (for the RTR adapter).
+    pub recovery: RecoveryScratch,
+    /// Shortest-path buffers (FCP recomputation, MRC/eMRC backup paths).
+    pub sp: DijkstraScratch,
+    /// Believed-view mask (FCP) or single-link removal (FEP precompute).
+    pub mask: LinkMask,
+}
+
+impl SchemeScratch {
+    /// Fresh buffers with default kernels.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh buffers pinned to a kernel selection.
+    pub fn with_kernels(kernels: Kernels, sweep: SweepKernel) -> Self {
+        SchemeScratch {
+            recovery: RecoveryScratch::with_kernels(kernels, sweep),
+            sp: DijkstraScratch::with_kernels(kernels),
+            mask: LinkMask::default(),
+        }
+    }
+}
 
 /// A per-worker pool of recovery-session, Dijkstra, and SPT buffers, all
 /// preconfigured with one kernel selection.
@@ -50,6 +84,7 @@ pub struct SessionPool {
     recovery: RefCell<Vec<RecoveryScratch>>,
     dijkstra: RefCell<Vec<DijkstraScratch>>,
     spt: RefCell<Vec<SptScratch>>,
+    scheme: RefCell<Vec<SchemeScratch>>,
 }
 
 impl SessionPool {
@@ -153,6 +188,21 @@ impl SessionPool {
             spt: Some(IncrementalSpt::with_view_in(topo, view, source, scratch)),
         }
     }
+
+    /// Checks out a [`SchemeScratch`] for a pluggable recovery-scheme
+    /// attempt (`rtr-baselines`' `RecoveryScheme::route_in`). The guard
+    /// derefs to the bundle and returns it to the freelist on drop.
+    pub fn scheme_scratch(&self) -> SchemeLease<'_> {
+        let scratch = self
+            .scheme
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| SchemeScratch::with_kernels(self.kernels, self.sweep));
+        SchemeLease {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
 }
 
 /// RAII guard for a pooled [`RtrSession`]; derefs to the session and
@@ -214,6 +264,36 @@ impl Drop for DijkstraLease<'_> {
     fn drop(&mut self) {
         if let Some(scratch) = self.scratch.take() {
             self.pool.dijkstra.borrow_mut().push(scratch);
+        }
+    }
+}
+
+/// RAII guard for a pooled [`SchemeScratch`].
+#[derive(Debug)]
+pub struct SchemeLease<'p> {
+    pool: &'p SessionPool,
+    scratch: Option<SchemeScratch>,
+}
+
+impl Deref for SchemeLease<'_> {
+    type Target = SchemeScratch;
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the scratch until drop
+    fn deref(&self) -> &Self::Target {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for SchemeLease<'_> {
+    #[allow(clippy::expect_used)] // see allow.toml: guard holds the scratch until drop
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for SchemeLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.scheme.borrow_mut().push(scratch);
         }
     }
 }
@@ -326,6 +406,25 @@ mod tests {
             }
         }
         assert_eq!(pool.spt.borrow().len(), 1);
+    }
+
+    #[test]
+    fn scheme_scratch_checkout_returns_buffers() {
+        let pool = SessionPool::new();
+        {
+            let mut lease = pool.scheme_scratch();
+            let topo = generate::grid(3, 3, 10.0);
+            lease.mask.reset(&topo);
+            let sp = lease.sp.run(&topo, &FullView, NodeId(0));
+            assert_eq!(sp.distance(NodeId(8)), Some(4));
+            assert_eq!(pool.scheme.borrow().len(), 0);
+        }
+        assert_eq!(pool.scheme.borrow().len(), 1, "buffers returned on drop");
+        {
+            let _again = pool.scheme_scratch();
+            assert_eq!(pool.scheme.borrow().len(), 0, "freelist reused");
+        }
+        assert_eq!(pool.scheme.borrow().len(), 1);
     }
 
     #[test]

@@ -159,6 +159,17 @@ impl Baseline {
         &self.crosslinks
     }
 
+    /// The borrowed context every [`rtr_baselines::RecoveryScheme`] routes
+    /// against: exactly this baseline's topology, crossing table, and
+    /// pre-failure routing table.
+    pub fn scheme_ctx(&self) -> rtr_baselines::SchemeCtx<'_> {
+        rtr_baselines::SchemeCtx {
+            topo: &self.topo,
+            crosslinks: &self.crosslinks,
+            table: &self.table,
+        }
+    }
+
     /// Destinations whose default first hop from `u` is `u`'s `slot`-th
     /// incident link (`topo.neighbors(u)[slot]`), ascending by id. Empty
     /// for out-of-range arguments.

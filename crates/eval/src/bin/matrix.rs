@@ -1,0 +1,15 @@
+//! Extension M: scenario-class × scheme matrix — every recovery scheme
+//! crossed with single-link, sparse multi-link, correlated-area, and
+//! multi-area failure classes (see `--help`).
+
+fn main() {
+    let opts = rtr_eval::cli::Options::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let report = rtr_eval::matrix::matrix(&opts.topologies, &opts.config).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    opts.emit(&report);
+}

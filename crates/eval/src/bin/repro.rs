@@ -54,6 +54,13 @@ fn main() {
         "ablation_embedding",
         rtr_eval::ablations::embedding_report(&opts.topologies, &opts.config)
     );
+    emit!(
+        "matrix",
+        rtr_eval::matrix::matrix(&opts.topologies, &opts.config).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    );
 
     std::fs::write(out_dir.join("all.txt"), &text).expect("write all.txt");
     println!("{text}");

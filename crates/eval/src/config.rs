@@ -1,5 +1,6 @@
 //! Experiment configuration: the §IV-A simulation setup with scale knobs.
 
+use rtr_baselines::SchemeMask;
 use rtr_core::SweepKernel;
 use rtr_routing::Kernels;
 use rtr_sim::DelayModel;
@@ -37,6 +38,13 @@ pub struct ExperimentConfig {
     /// Crossing-mask kernel for phase-1 sweep exclusion probes. Results
     /// are byte-identical across kernels; only throughput changes.
     pub sweep: SweepKernel,
+    /// Recovery schemes to evaluate (default: all five). RTR itself — the
+    /// system under test — always runs regardless of its bit here; the
+    /// mask selects which *comparators* (FCP, MRC, eMRC, FEP) are built
+    /// and evaluated alongside it. Schemes are always evaluated
+    /// independently per case, so restricting the mask never changes the
+    /// numbers of the schemes that remain.
+    pub schemes: SchemeMask,
 }
 
 impl ExperimentConfig {
@@ -86,6 +94,13 @@ impl ExperimentConfig {
         self.sweep = sweep;
         self
     }
+
+    /// Overrides the evaluated scheme set (RTR always runs; see
+    /// [`schemes`](Self::schemes)).
+    pub fn with_schemes(mut self, schemes: SchemeMask) -> Self {
+        self.schemes = schemes;
+        self
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -102,6 +117,7 @@ impl Default for ExperimentConfig {
             threads: 0,
             kernels: Kernels::default(),
             sweep: SweepKernel::default(),
+            schemes: SchemeMask::ALL,
         }
     }
 }
@@ -139,5 +155,16 @@ mod tests {
         assert_eq!(ExperimentConfig::default().threads, 0, "auto by default");
         assert_eq!(ExperimentConfig::default().kernels, Kernels::default());
         assert_eq!(ExperimentConfig::default().sweep, SweepKernel::default());
+        assert_eq!(ExperimentConfig::default().schemes, SchemeMask::ALL);
+    }
+
+    #[test]
+    fn scheme_mask_builder() {
+        use rtr_baselines::SchemeId;
+        let c = ExperimentConfig::quick()
+            .with_schemes(SchemeMask::none().with(SchemeId::Fcp).with(SchemeId::Fep));
+        assert!(c.schemes.contains(SchemeId::Fcp));
+        assert!(c.schemes.contains(SchemeId::Fep));
+        assert!(!c.schemes.contains(SchemeId::Mrc));
     }
 }

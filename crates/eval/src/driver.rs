@@ -1,5 +1,6 @@
-//! The experiment driver: runs all three schemes over a workload and
-//! aggregates everything the figures and tables need in one pass.
+//! The experiment driver: runs RTR and every masked comparator over a
+//! workload and aggregates everything the figures and tables need in one
+//! pass.
 //!
 //! # Parallelism and determinism
 //!
@@ -10,15 +11,19 @@
 //! final [`TopologyResults`] *in scenario order on one thread*, and the
 //! serial path (`--threads 1`) runs the exact same fold — so output is
 //! byte-identical at every worker count, floating-point sums included.
+//! Per-scheme Fig. 10 sums live in separate accumulators that each see
+//! cases in the same order regardless of which schemes run, so adding a
+//! scheme to the mask never perturbs another scheme's series.
 
 use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::par;
 use crate::schemes::{
-    eval_irrecoverable_in, eval_recoverable_in, IrrecoverableRow, RecoverableRow,
+    build_comparators, eval_irrecoverable_in, eval_recoverable_in, IrrecoverableRow,
+    RecoverableRow,
 };
 use crate::testcase::{generate_workload_shared, ScenarioCases, TestCase, Workload};
-use rtr_baselines::{FcpScratch, Mrc, MrcError};
+use rtr_baselines::{MrcError, RecoveryScheme, SchemeId, SchemeMask};
 use rtr_core::SessionPool;
 use rtr_sim::SimTime;
 use rtr_topology::{isp, NodeId};
@@ -37,6 +42,8 @@ pub const FIG10_STEP_MS: u64 = 10;
 pub struct TopologyResults {
     /// Topology display name.
     pub name: String,
+    /// The schemes that were evaluated (RTR plus the config mask).
+    pub schemes: SchemeMask,
     /// Per-case results on recoverable cases.
     pub recoverable: Vec<RecoverableRow>,
     /// Per-case results on irrecoverable cases.
@@ -44,10 +51,10 @@ pub struct TopologyResults {
     /// Phase-1 durations in ms across *all* cases (both classes share the
     /// same first phase; Fig. 7).
     pub phase1_durations_ms: Vec<f64>,
-    /// Mean RTR transmission overhead (bytes) at each Fig. 10 grid point.
-    pub fig10_rtr: Vec<f64>,
-    /// Mean FCP transmission overhead (bytes) at each Fig. 10 grid point.
-    pub fig10_fcp: Vec<f64>,
+    /// Mean transmission overhead (bytes) of each scheme at each Fig. 10
+    /// grid point, indexed by [`SchemeId::index`]; all-zero for schemes
+    /// outside [`schemes`](Self::schemes) (use [`fig10`](Self::fig10)).
+    pub fig10_series: [Vec<f64>; SchemeId::COUNT],
 }
 
 impl TopologyResults {
@@ -56,6 +63,14 @@ impl TopologyResults {
         (0..FIG10_POINTS)
             .map(|i| (i as u64 * FIG10_STEP_MS) as f64 / 1000.0)
             .collect()
+    }
+
+    /// `id`'s Fig. 10 mean-overhead series, `None` when the scheme was not
+    /// evaluated.
+    pub fn fig10(&self, id: SchemeId) -> Option<&[f64]> {
+        self.schemes
+            .contains(id)
+            .then(|| self.fig10_series[id.index()].as_slice())
     }
 }
 
@@ -69,27 +84,6 @@ pub(crate) fn by_initiator(cases: &[TestCase]) -> BTreeMap<NodeId, Vec<&TestCase
     map
 }
 
-/// Per-worker reusable buffers: a [`SessionPool`] covering the RTR session,
-/// ground-truth, and MRC shortest-path buffers (all pinned to the config's
-/// kernels), plus the FCP recomputation buffers, recycled across every
-/// scenario the worker processes.
-#[derive(Debug, Default)]
-struct CaseScratch {
-    /// Pooled RTR session / Dijkstra buffers with one kernel selection.
-    pool: SessionPool,
-    /// FCP recomputation buffers.
-    fcp: FcpScratch,
-}
-
-impl CaseScratch {
-    fn for_config(cfg: &ExperimentConfig) -> Self {
-        CaseScratch {
-            pool: SessionPool::with_kernels(cfg.kernels, cfg.sweep),
-            fcp: FcpScratch::default(),
-        }
-    }
-}
-
 /// Partial results of one scenario: the rows in case order plus the
 /// Fig. 10 *sums* (normalisation happens once, after the ordered fold).
 #[derive(Debug)]
@@ -97,25 +91,26 @@ struct ScenarioOutcome {
     recoverable: Vec<RecoverableRow>,
     irrecoverable: Vec<IrrecoverableRow>,
     phase1_durations_ms: Vec<f64>,
-    fig10_rtr_sum: Vec<f64>,
-    fig10_fcp_sum: Vec<f64>,
+    fig10_sums: [Vec<f64>; SchemeId::COUNT],
     fig10_count: usize,
 }
 
-/// Runs all three schemes over one scenario's cases.
+/// Runs every scheme over one scenario's cases. `pool` carries the
+/// worker's reusable RTR-session, ground-truth, and comparator buffers,
+/// all pinned to the config's kernels.
 fn run_scenario(
     w: &Workload,
     cfg: &ExperimentConfig,
-    mrc: &Mrc,
+    comparators: &[Box<dyn RecoveryScheme>],
     sc: &ScenarioCases,
-    scratch: &mut CaseScratch,
+    pool: &SessionPool,
 ) -> ScenarioOutcome {
+    let ctx = w.scheme_ctx();
     let mut out = ScenarioOutcome {
         recoverable: Vec::with_capacity(sc.recoverable.len()),
         irrecoverable: Vec::with_capacity(sc.irrecoverable.len()),
         phase1_durations_ms: Vec::new(),
-        fig10_rtr_sum: vec![0.0f64; FIG10_POINTS],
-        fig10_fcp_sum: vec![0.0f64; FIG10_POINTS],
+        fig10_sums: std::array::from_fn(|_| vec![0.0f64; FIG10_POINTS]),
         fig10_count: 0,
     };
 
@@ -123,7 +118,7 @@ fn run_scenario(
     // initiator (phase 1 runs once per initiator, §III-A). The pool guards
     // return every buffer at the end of each initiator's block.
     for (initiator, cases) in by_initiator(&sc.recoverable) {
-        let session = scratch.pool.start_session(
+        let session = pool.start_session(
             w.topo(),
             w.crosslinks(),
             &sc.scenario,
@@ -137,29 +132,25 @@ fn run_scenario(
                 .for_hops(session.phase1().trace.hops())
                 .as_millis_f64(),
         );
-        let mut optimal_lease = scratch.pool.dijkstra();
-        let mut mrc_lease = scratch.pool.dijkstra();
+        let mut optimal_lease = pool.dijkstra();
+        let mut scheme_lease = pool.scheme_scratch();
         let optimal = optimal_lease.run(w.topo(), &sc.scenario, initiator);
         for case in cases {
-            let (row, rtr_series, fcp_series) = eval_recoverable_in(
-                w.topo(),
+            let (row, series) = eval_recoverable_in(
+                ctx,
                 &sc.scenario,
                 &mut session,
-                mrc,
+                comparators,
                 optimal,
                 case,
-                &mut scratch.fcp,
-                &mut mrc_lease,
+                &mut scheme_lease,
             );
-            for (i, (r, f)) in out
-                .fig10_rtr_sum
-                .iter_mut()
-                .zip(out.fig10_fcp_sum.iter_mut())
-                .enumerate()
-            {
-                let t = SimTime::from_millis(i as u64 * FIG10_STEP_MS);
-                *r += rtr_series.sample(&cfg.delay, t);
-                *f += fcp_series.sample(&cfg.delay, t);
+            for (sums, series) in out.fig10_sums.iter_mut().zip(&series) {
+                let Some(series) = series else { continue };
+                for (i, acc) in sums.iter_mut().enumerate() {
+                    let t = SimTime::from_millis(i as u64 * FIG10_STEP_MS);
+                    *acc += series.sample(&cfg.delay, t);
+                }
             }
             out.fig10_count += 1;
             out.recoverable.push(row);
@@ -168,7 +159,7 @@ fn run_scenario(
 
     // Irrecoverable cases.
     for (initiator, cases) in by_initiator(&sc.irrecoverable) {
-        let session = scratch.pool.start_session(
+        let session = pool.start_session(
             w.topo(),
             w.crosslinks(),
             &sc.scenario,
@@ -182,13 +173,15 @@ fn run_scenario(
                 .for_hops(session.phase1().trace.hops())
                 .as_millis_f64(),
         );
+        let mut scheme_lease = pool.scheme_scratch();
         for case in cases {
             out.irrecoverable.push(eval_irrecoverable_in(
-                w.topo(),
+                ctx,
                 &sc.scenario,
                 &mut session,
+                comparators,
                 case,
-                &mut scratch.fcp,
+                &mut scheme_lease,
             ));
         }
     }
@@ -198,32 +191,36 @@ fn run_scenario(
 
 /// Runs all schemes over one workload, mapping scenario chunks across
 /// `cfg.threads` workers (see the module docs for the determinism
-/// argument).
+/// argument). Comparator state (MRC/eMRC configurations, FEP detours) is
+/// built once and shared read-only by every worker.
 ///
 /// # Errors
 ///
 /// Returns [`MrcUnavailable`] when the MRC baseline cannot be built for
-/// the workload's topology (disconnected, or too few configurations);
-/// the Table II twins never trigger this.
+/// the workload's topology (disconnected, or too few configurations) while
+/// MRC or eMRC is in the scheme mask; the Table II twins never trigger
+/// this.
 pub fn run_workload(
     w: &Workload,
     cfg: &ExperimentConfig,
 ) -> Result<TopologyResults, MrcUnavailable> {
-    let mrc = Mrc::build(w.topo(), cfg.mrc_configurations).map_err(|error| MrcUnavailable {
-        topology: w.name.clone(),
-        error,
-    })?;
+    let comparators = build_comparators(w.topo(), cfg.schemes, cfg.mrc_configurations).map_err(
+        |error| MrcUnavailable {
+            topology: w.name.clone(),
+            error,
+        },
+    )?;
     let threads = par::resolve_threads(cfg.threads);
 
     // One contiguous chunk per worker; each worker reuses a single
-    // scratch set across all scenarios of its chunk, so the per-case
+    // scratch pool across all scenarios of its chunk, so the per-case
     // loop allocates nothing transient after warm-up.
     let chunks = par::chunk_ranges(w.scenarios.len(), threads);
     let per_chunk: Vec<Vec<ScenarioOutcome>> = par::map_indexed(threads, &chunks, |_, range| {
-        let mut scratch = CaseScratch::for_config(cfg);
+        let pool = SessionPool::with_kernels(cfg.kernels, cfg.sweep);
         w.scenarios[range.clone()]
             .iter()
-            .map(|sc| run_scenario(w, cfg, &mrc, sc, &mut scratch))
+            .map(|sc| run_scenario(w, cfg, &comparators, sc, &pool))
             .collect()
     });
 
@@ -234,35 +231,34 @@ pub fn run_workload(
     let mut recoverable = Vec::with_capacity(w.recoverable_count());
     let mut irrecoverable = Vec::with_capacity(w.irrecoverable_count());
     let mut phase1_durations_ms = Vec::new();
-    let mut fig10_rtr = vec![0.0f64; FIG10_POINTS];
-    let mut fig10_fcp = vec![0.0f64; FIG10_POINTS];
+    let mut fig10_series: [Vec<f64>; SchemeId::COUNT] =
+        std::array::from_fn(|_| vec![0.0f64; FIG10_POINTS]);
     let mut fig10_count = 0usize;
     for sc in per_chunk.into_iter().flatten() {
         recoverable.extend(sc.recoverable);
         irrecoverable.extend(sc.irrecoverable);
         phase1_durations_ms.extend(sc.phase1_durations_ms);
-        for (acc, part) in fig10_rtr.iter_mut().zip(&sc.fig10_rtr_sum) {
-            *acc += part;
-        }
-        for (acc, part) in fig10_fcp.iter_mut().zip(&sc.fig10_fcp_sum) {
-            *acc += part;
+        for (acc, part) in fig10_series.iter_mut().zip(&sc.fig10_sums) {
+            for (a, p) in acc.iter_mut().zip(part) {
+                *a += p;
+            }
         }
         fig10_count += sc.fig10_count;
     }
 
     if fig10_count > 0 {
-        for v in fig10_rtr.iter_mut().chain(fig10_fcp.iter_mut()) {
+        for v in fig10_series.iter_mut().flatten() {
             *v /= fig10_count as f64;
         }
     }
 
     Ok(TopologyResults {
         name: w.name.clone(),
+        schemes: cfg.schemes.with(SchemeId::Rtr),
         recoverable,
         irrecoverable,
         phase1_durations_ms,
-        fig10_rtr,
-        fig10_fcp,
+        fig10_series,
     })
 }
 
@@ -420,10 +416,58 @@ mod tests {
         assert_eq!(r.recoverable.len(), 40);
         assert_eq!(r.irrecoverable.len(), 40);
         assert!(!r.phase1_durations_ms.is_empty());
-        assert_eq!(r.fig10_rtr.len(), FIG10_POINTS);
-        // Overheads are non-negative and finite.
-        for v in r.fig10_rtr.iter().chain(&r.fig10_fcp) {
-            assert!(v.is_finite() && *v >= 0.0);
+        // All five schemes ran and have finite, non-negative series.
+        for id in SchemeId::ALL {
+            let series = r.fig10(id).expect("default mask runs every scheme");
+            assert_eq!(series.len(), FIG10_POINTS);
+            for v in series {
+                assert!(v.is_finite() && *v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_mask_controls_what_runs() {
+        let cfg = ExperimentConfig::quick().with_cases(20).with_schemes(
+            SchemeMask::none()
+                .with(SchemeId::Fcp)
+                .with(SchemeId::Fep),
+        );
+        let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
+        let w = generate_workload("t", topo, &cfg, 2);
+        let r = run_workload(&w, &cfg).expect("connected fixture");
+        // RTR always runs; MRC/eMRC were masked out.
+        assert!(r.fig10(SchemeId::Rtr).is_some());
+        assert!(r.fig10(SchemeId::Fcp).is_some());
+        assert!(r.fig10(SchemeId::Mrc).is_none());
+        for row in &r.recoverable {
+            assert!(row.outcome(SchemeId::Rtr).is_some());
+            assert!(row.outcome(SchemeId::Fcp).is_some());
+            assert!(row.outcome(SchemeId::Fep).is_some());
+            assert!(row.outcome(SchemeId::Mrc).is_none());
+            assert!(row.outcome(SchemeId::Emrc).is_none());
+        }
+    }
+
+    #[test]
+    fn restricting_the_mask_never_changes_surviving_schemes() {
+        // Scheme independence: RTR/FCP numbers under the full five-scheme
+        // mask are identical to an FCP-only run, row by row.
+        let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
+        let cfg = ExperimentConfig::quick().with_cases(30);
+        let w = generate_workload("t", topo, &cfg, 2);
+        let full = run_workload(&w, &cfg).expect("connected fixture");
+        let fcp_only = cfg
+            .clone()
+            .with_schemes(SchemeMask::none().with(SchemeId::Fcp));
+        let restricted = run_workload(&w, &fcp_only).expect("connected fixture");
+        assert_eq!(full.recoverable.len(), restricted.recoverable.len());
+        for (a, b) in full.recoverable.iter().zip(&restricted.recoverable) {
+            assert_eq!(a.outcome(SchemeId::Rtr), b.outcome(SchemeId::Rtr));
+            assert_eq!(a.outcome(SchemeId::Fcp), b.outcome(SchemeId::Fcp));
+        }
+        for id in [SchemeId::Rtr, SchemeId::Fcp] {
+            assert_eq!(full.fig10(id), restricted.fig10(id), "{}", id.name());
         }
     }
 
@@ -435,32 +479,46 @@ mod tests {
         let r = run_workload(&w, &cfg).expect("connected fixture");
 
         // Table III shape: FCP recovers 100%; RTR recovers nearly all and
-        // every delivered RTR path is optimal; MRC is far worse.
+        // every delivered RTR path is optimal; the proactive schemes are
+        // far worse, with eMRC between MRC and the reactive schemes.
         let n = r.recoverable.len() as f64;
-        let fcp_rate = r.recoverable.iter().filter(|c| c.fcp.delivered).count() as f64 / n;
-        let rtr_rate = r.recoverable.iter().filter(|c| c.rtr.delivered).count() as f64 / n;
-        let mrc_rate = r.recoverable.iter().filter(|c| c.mrc.delivered).count() as f64 / n;
+        let rate = |id: SchemeId| {
+            r.recoverable
+                .iter()
+                .filter(|c| c.outcome(id).unwrap().delivered)
+                .count() as f64
+                / n
+        };
+        let fcp_rate = rate(SchemeId::Fcp);
+        let rtr_rate = rate(SchemeId::Rtr);
+        let mrc_rate = rate(SchemeId::Mrc);
+        let emrc_rate = rate(SchemeId::Emrc);
+        let fep_rate = rate(SchemeId::Fep);
         assert_eq!(fcp_rate, 1.0, "FCP always delivers on recoverable cases");
         assert!(rtr_rate > 0.9);
         assert!(
             mrc_rate < rtr_rate,
             "MRC must underperform under area failures"
         );
+        assert!(
+            emrc_rate >= mrc_rate,
+            "re-switching can only add deliveries"
+        );
+        assert!(
+            fep_rate < rtr_rate,
+            "single-level detours must underperform under area failures"
+        );
         assert!(r
             .recoverable
             .iter()
-            .all(|c| !c.rtr.delivered || c.rtr.optimal));
+            .all(|c| !c.rtr().delivered || c.rtr().optimal));
 
         // Table IV shape: FCP wastes more computation than RTR.
-        let rtr_wc: usize = r
-            .irrecoverable
-            .iter()
-            .map(|c| c.rtr_wasted_computation)
-            .sum();
+        let rtr_wc: usize = r.irrecoverable.iter().map(|c| c.rtr().computation).sum();
         let fcp_wc: usize = r
             .irrecoverable
             .iter()
-            .map(|c| c.fcp_wasted_computation)
+            .map(|c| c.fcp().unwrap().computation)
             .sum();
         assert!(fcp_wc > rtr_wc);
     }

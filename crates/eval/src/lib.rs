@@ -22,6 +22,7 @@
 //! | S — recovery rate vs radius | [`sensitivity`] | `sensitivity` |
 //! | L — concurrent-recovery network load | [`netload`] | `netload` |
 //! | F — equal-area failure shapes | [`shapes`] | `shapes` |
+//! | M — scenario-class × scheme matrix | [`matrix`] | `matrix` |
 //! | O — per-scenario trace metrics + recovery narrative | [`trace`] | `explain` |
 //!
 //! The `repro` binary runs every paper experiment plus the ablations and
@@ -54,6 +55,7 @@ pub mod config;
 pub mod driver;
 pub mod fig11;
 pub mod json;
+pub mod matrix;
 pub mod metrics;
 pub mod netload;
 pub mod par;

@@ -1,14 +1,22 @@
 //! Report builders: one function per table/figure of the paper, each
 //! producing a serializable struct with a paper-style text rendering.
+//!
+//! Figures 8–13 and Table III cover all five schemes behind the
+//! [`rtr_baselines::RecoveryScheme`] trait. Schemes excluded from the run's
+//! [`SchemeMask`](rtr_baselines::SchemeMask) are rendered as `-` cells in
+//! tables and skipped as figure series; because schemes are evaluated
+//! independently, the surviving cells are identical to a full-mask run.
 
 use crate::driver::TopologyResults;
 use crate::json::{Json, ToJson};
 use crate::metrics::{percentage, Cdf, Summary};
+use crate::schemes::RecoverableRow;
+use rtr_baselines::SchemeId;
 use rtr_topology::isp;
 use std::fmt;
 
 /// Renders an aligned text table.
-fn render_table(
+pub(crate) fn render_table(
     f: &mut fmt::Formatter<'_>,
     headers: &[String],
     rows: &[Vec<String>],
@@ -155,25 +163,26 @@ pub fn fig7(results: &[TopologyResults]) -> FigureReport {
     }
 }
 
+/// The comparator schemes in presentation order (every scheme but RTR).
+const COMPARATOR_ORDER: [SchemeId; 4] = [
+    SchemeId::Fcp,
+    SchemeId::Mrc,
+    SchemeId::Emrc,
+    SchemeId::Fep,
+];
+
 /// Table III: recovery rate, optimal recovery rate, max stretch, and max
-/// computational overhead on recoverable test cases.
+/// computational overhead of all five schemes on recoverable test cases.
+/// Schemes outside the run's mask render as `-`.
 pub fn table3(results: &[TopologyResults]) -> TableReport {
-    let headers = vec![
-        "Topology".into(),
-        "Rec% RTR".into(),
-        "Rec% FCP".into(),
-        "Rec% MRC".into(),
-        "Opt% RTR".into(),
-        "Opt% FCP".into(),
-        "Opt% MRC".into(),
-        "MaxStr RTR".into(),
-        "MaxStr FCP".into(),
-        "MaxStr MRC".into(),
-        "MaxComp RTR".into(),
-        "MaxComp FCP".into(),
-    ];
+    let mut headers = vec!["Topology".to_string()];
+    for prefix in ["Rec%", "Opt%", "MaxStr", "MaxComp"] {
+        for id in SchemeId::ALL {
+            headers.push(format!("{prefix} {}", id.name()));
+        }
+    }
     let mut rows = Vec::new();
-    let mut overall: Vec<&crate::schemes::RecoverableRow> = Vec::new();
+    let mut overall: Vec<&RecoverableRow> = Vec::new();
     for r in results {
         rows.push(table3_row(&r.name, r.recoverable.iter()));
         overall.extend(r.recoverable.iter());
@@ -181,7 +190,7 @@ pub fn table3(results: &[TopologyResults]) -> TableReport {
     rows.push(table3_row("Overall", overall.into_iter()));
     TableReport {
         id: "Table III".into(),
-        title: "Performance of RTR, FCP, and MRC in recoverable test cases".into(),
+        title: "Performance of RTR, FCP, MRC, eMRC, and FEP in recoverable test cases".into(),
         headers,
         rows,
     }
@@ -189,67 +198,87 @@ pub fn table3(results: &[TopologyResults]) -> TableReport {
 
 fn table3_row<'a>(
     name: &str,
-    cases: impl Iterator<Item = &'a crate::schemes::RecoverableRow> + Clone,
+    cases: impl Iterator<Item = &'a RecoverableRow> + Clone,
 ) -> Vec<String> {
     let n = cases.clone().count();
-    let rate = |f: &dyn Fn(&crate::schemes::RecoverableRow) -> bool| {
-        percentage(cases.clone().filter(|c| f(c)).count(), n)
+    // A scheme that was masked out has no outcome on any row.
+    let present = |id: SchemeId| cases.clone().any(|c| c.outcome(id).is_some());
+    let rate = |id: SchemeId, f: &dyn Fn(&crate::schemes::SchemeOutcome) -> bool| {
+        if !present(id) {
+            return "-".to_string();
+        }
+        let hits = cases
+            .clone()
+            .filter(|c| c.outcome(id).is_some_and(|o| f(&o)))
+            .count();
+        format!("{:.1}", percentage(hits, n))
     };
-    let max_stretch = |f: &dyn Fn(&crate::schemes::RecoverableRow) -> Option<f64>| {
-        cases.clone().filter_map(f).fold(f64::NAN, f64::max)
-    };
-    let fmt_stretch = |v: f64| {
-        if v.is_nan() {
+    let mut row = vec![name.to_string()];
+    for id in SchemeId::ALL {
+        row.push(rate(id, &|o| o.delivered));
+    }
+    for id in SchemeId::ALL {
+        row.push(rate(id, &|o| o.optimal));
+    }
+    for id in SchemeId::ALL {
+        let max = cases
+            .clone()
+            .filter_map(|c| c.outcome(id).and_then(|o| o.stretch))
+            .fold(f64::NAN, f64::max);
+        row.push(if !present(id) || max.is_nan() {
             "-".into()
         } else {
-            format!("{v:.1}")
-        }
-    };
-    let max_comp_rtr = cases
-        .clone()
-        .map(|c| c.rtr.sp_calculations)
-        .max()
-        .unwrap_or(0);
-    let max_comp_fcp = cases
-        .clone()
-        .map(|c| c.fcp.sp_calculations)
-        .max()
-        .unwrap_or(0);
-    vec![
-        name.to_string(),
-        format!("{:.1}", rate(&|c| c.rtr.delivered)),
-        format!("{:.1}", rate(&|c| c.fcp.delivered)),
-        format!("{:.1}", rate(&|c| c.mrc.delivered)),
-        format!("{:.1}", rate(&|c| c.rtr.optimal)),
-        format!("{:.1}", rate(&|c| c.fcp.optimal)),
-        format!("{:.1}", rate(&|c| c.mrc.optimal)),
-        fmt_stretch(max_stretch(&|c| c.rtr.stretch)),
-        fmt_stretch(max_stretch(&|c| c.fcp.stretch)),
-        fmt_stretch(max_stretch(&|c| c.mrc.stretch)),
-        max_comp_rtr.to_string(),
-        max_comp_fcp.to_string(),
-    ]
+            format!("{max:.1}")
+        });
+    }
+    for id in SchemeId::ALL {
+        let max = cases
+            .clone()
+            .filter_map(|c| c.outcome(id).map(|o| o.sp_calculations))
+            .max();
+        row.push(max.map_or_else(|| "-".into(), |m| m.to_string()));
+    }
+    row
 }
 
-/// Fig. 8: CDF of stretch of recovery paths (RTR overall vs FCP per
-/// topology; RTR's stretch is exactly 1 everywhere by Theorem 2).
+/// Appends one series per topology for each masked-in comparator scheme,
+/// extracting each case's metric with `value`.
+fn comparator_cdf_series(
+    series: &mut Vec<Series>,
+    results: &[TopologyResults],
+    range: (f64, f64, f64),
+    value: &dyn Fn(&RecoverableRow, SchemeId) -> Option<f64>,
+) {
+    for id in COMPARATOR_ORDER {
+        for r in results {
+            if !r.schemes.contains(id) {
+                continue;
+            }
+            let cdf: Cdf = r.recoverable.iter().filter_map(|c| value(c, id)).collect();
+            series.push(Series {
+                label: format!("{} ({})", id.name(), r.name),
+                points: cdf.series(range.0, range.1, range.2),
+            });
+        }
+    }
+}
+
+/// Fig. 8: CDF of stretch of recovery paths (RTR overall vs every
+/// comparator per topology; RTR's stretch is exactly 1 everywhere by
+/// Theorem 2).
 pub fn fig8(results: &[TopologyResults]) -> FigureReport {
     let mut series = Vec::new();
     let rtr_all: Cdf = results
         .iter()
-        .flat_map(|r| r.recoverable.iter().filter_map(|c| c.rtr.stretch))
+        .flat_map(|r| r.recoverable.iter().filter_map(|c| c.rtr().stretch))
         .collect();
     series.push(Series {
         label: "RTR".into(),
         points: rtr_all.series(1.0, 5.0, 0.25),
     });
-    for r in results {
-        let cdf: Cdf = r.recoverable.iter().filter_map(|c| c.fcp.stretch).collect();
-        series.push(Series {
-            label: format!("FCP ({})", r.name),
-            points: cdf.series(1.0, 5.0, 0.25),
-        });
-    }
+    comparator_cdf_series(&mut series, results, (1.0, 5.0, 0.25), &|c, id| {
+        c.outcome(id).and_then(|o| o.stretch)
+    });
     FigureReport {
         id: "Figure 8".into(),
         title: "Cumulative distribution of stretch of recovery paths".into(),
@@ -260,28 +289,20 @@ pub fn fig8(results: &[TopologyResults]) -> FigureReport {
 }
 
 /// Fig. 9: CDF of the number of shortest-path calculations on recoverable
-/// test cases.
+/// test cases (the proactive schemes sit at zero by construction).
 pub fn fig9(results: &[TopologyResults]) -> FigureReport {
     let mut series = Vec::new();
     let rtr_all: Cdf = results
         .iter()
-        .flat_map(|r| r.recoverable.iter().map(|c| c.rtr.sp_calculations as f64))
+        .flat_map(|r| r.recoverable.iter().map(|c| c.rtr().sp_calculations as f64))
         .collect();
     series.push(Series {
         label: "RTR".into(),
         points: rtr_all.series(1.0, 12.0, 1.0),
     });
-    for r in results {
-        let cdf: Cdf = r
-            .recoverable
-            .iter()
-            .map(|c| c.fcp.sp_calculations as f64)
-            .collect();
-        series.push(Series {
-            label: format!("FCP ({})", r.name),
-            points: cdf.series(1.0, 12.0, 1.0),
-        });
-    }
+    comparator_cdf_series(&mut series, results, (1.0, 12.0, 1.0), &|c, id| {
+        c.outcome(id).map(|o| o.sp_calculations as f64)
+    });
     FigureReport {
         id: "Figure 9".into(),
         title: "Cumulative distribution of computational overhead in recoverable test cases".into(),
@@ -291,31 +312,23 @@ pub fn fig9(results: &[TopologyResults]) -> FigureReport {
     }
 }
 
-/// Fig. 10: average transmission overhead over the first second.
+/// Fig. 10: average transmission overhead over the first second, every
+/// masked-in scheme per topology.
 pub fn fig10(results: &[TopologyResults]) -> FigureReport {
     let grid = TopologyResults::fig10_grid_secs();
     let mut series = Vec::new();
     for r in results {
-        series.push(Series {
-            label: format!("RTR ({})", r.name),
-            points: grid
-                .iter()
-                .copied()
-                .zip(r.fig10_rtr.iter().copied())
-                .collect(),
-        });
-        series.push(Series {
-            label: format!("FCP ({})", r.name),
-            points: grid
-                .iter()
-                .copied()
-                .zip(r.fig10_fcp.iter().copied())
-                .collect(),
-        });
+        for id in SchemeId::ALL {
+            let Some(values) = r.fig10(id) else { continue };
+            series.push(Series {
+                label: format!("{} ({})", id.name(), r.name),
+                points: grid.iter().copied().zip(values.iter().copied()).collect(),
+            });
+        }
     }
     FigureReport {
         id: "Figure 10".into(),
-        title: "Average transmission overhead of RTR and FCP on recoverable test cases".into(),
+        title: "Average transmission overhead on recoverable test cases".into(),
         xlabel: "time (s)".into(),
         ylabel: "bytes".into(),
         series,
@@ -327,26 +340,27 @@ pub fn fig12(results: &[TopologyResults]) -> FigureReport {
     let mut series = Vec::new();
     let rtr_all: Cdf = results
         .iter()
-        .flat_map(|r| {
-            r.irrecoverable
-                .iter()
-                .map(|c| c.rtr_wasted_computation as f64)
-        })
+        .flat_map(|r| r.irrecoverable.iter().map(|c| c.rtr().computation as f64))
         .collect();
     series.push(Series {
         label: "RTR".into(),
         points: rtr_all.series(0.0, 45.0, 3.0),
     });
-    for r in results {
-        let cdf: Cdf = r
-            .irrecoverable
-            .iter()
-            .map(|c| c.fcp_wasted_computation as f64)
-            .collect();
-        series.push(Series {
-            label: format!("FCP ({})", r.name),
-            points: cdf.series(0.0, 45.0, 3.0),
-        });
+    for id in COMPARATOR_ORDER {
+        for r in results {
+            if !r.schemes.contains(id) {
+                continue;
+            }
+            let cdf: Cdf = r
+                .irrecoverable
+                .iter()
+                .filter_map(|c| c.of(id).map(|w| w.computation as f64))
+                .collect();
+            series.push(Series {
+                label: format!("{} ({})", id.name(), r.name),
+                points: cdf.series(0.0, 45.0, 3.0),
+            });
+        }
     }
     FigureReport {
         id: "Figure 12".into(),
@@ -362,24 +376,20 @@ pub fn fig12(results: &[TopologyResults]) -> FigureReport {
 pub fn fig13(results: &[TopologyResults]) -> FigureReport {
     let mut series = Vec::new();
     for r in results {
-        let rtr: Cdf = r
-            .irrecoverable
-            .iter()
-            .map(|c| c.rtr_wasted_transmission as f64)
-            .collect();
-        let fcp: Cdf = r
-            .irrecoverable
-            .iter()
-            .map(|c| c.fcp_wasted_transmission as f64)
-            .collect();
-        series.push(Series {
-            label: format!("RTR ({})", r.name),
-            points: rtr.series(0.0, 60_000.0, 4_000.0),
-        });
-        series.push(Series {
-            label: format!("FCP ({})", r.name),
-            points: fcp.series(0.0, 60_000.0, 4_000.0),
-        });
+        for id in SchemeId::ALL {
+            if !r.schemes.contains(id) {
+                continue;
+            }
+            let cdf: Cdf = r
+                .irrecoverable
+                .iter()
+                .filter_map(|c| c.of(id).map(|w| w.transmission as f64))
+                .collect();
+            series.push(Series {
+                label: format!("{} ({})", id.name(), r.name),
+                points: cdf.series(0.0, 60_000.0, 4_000.0),
+            });
+        }
     }
     FigureReport {
         id: "Figure 13".into(),
@@ -391,7 +401,8 @@ pub fn fig13(results: &[TopologyResults]) -> FigureReport {
     }
 }
 
-/// Table IV: wasted computation and wasted transmission summary.
+/// Table IV: wasted computation and wasted transmission summary (RTR vs
+/// FCP, the paper's two reactive schemes).
 pub fn table4(results: &[TopologyResults]) -> TableReport {
     let headers = vec![
         "Topology".into(),
@@ -425,10 +436,18 @@ fn table4_row<'a>(
     name: &str,
     cases: impl Iterator<Item = &'a crate::schemes::IrrecoverableRow> + Clone,
 ) -> Vec<String> {
-    let comp_rtr = Summary::of(cases.clone().map(|c| c.rtr_wasted_computation as f64));
-    let comp_fcp = Summary::of(cases.clone().map(|c| c.fcp_wasted_computation as f64));
-    let tx_rtr = Summary::of(cases.clone().map(|c| c.rtr_wasted_transmission as f64));
-    let tx_fcp = Summary::of(cases.clone().map(|c| c.fcp_wasted_transmission as f64));
+    let comp_rtr = Summary::of(cases.clone().map(|c| c.rtr().computation as f64));
+    let comp_fcp = Summary::of(
+        cases
+            .clone()
+            .filter_map(|c| c.fcp().map(|w| w.computation as f64)),
+    );
+    let tx_rtr = Summary::of(cases.clone().map(|c| c.rtr().transmission as f64));
+    let tx_fcp = Summary::of(
+        cases
+            .clone()
+            .filter_map(|c| c.fcp().map(|w| w.transmission as f64)),
+    );
     let g = |s: Option<Summary>, f: &dyn Fn(Summary) -> f64| {
         s.map_or_else(|| "-".into(), |s| format!("{:.1}", f(s)))
     };
@@ -469,20 +488,33 @@ pub fn headline(results: &[TopologyResults]) -> Headline {
         .iter()
         .flat_map(|r| r.irrecoverable.iter())
         .collect();
-    let rtr_comp: f64 = irr.iter().map(|c| c.rtr_wasted_computation as f64).sum();
-    let fcp_comp: f64 = irr.iter().map(|c| c.fcp_wasted_computation as f64).sum();
-    let rtr_tx: f64 = irr.iter().map(|c| c.rtr_wasted_transmission as f64).sum();
-    let fcp_tx: f64 = irr.iter().map(|c| c.fcp_wasted_transmission as f64).sum();
+    let rtr_comp: f64 = irr.iter().map(|c| c.rtr().computation as f64).sum();
+    let fcp_comp: f64 = irr
+        .iter()
+        .filter_map(|c| c.fcp().map(|w| w.computation as f64))
+        .sum();
+    let rtr_tx: f64 = irr.iter().map(|c| c.rtr().transmission as f64).sum();
+    let fcp_tx: f64 = irr
+        .iter()
+        .filter_map(|c| c.fcp().map(|w| w.transmission as f64))
+        .sum();
     Headline {
         rtr_optimal_recovery_rate: percentage(
-            rec.iter().filter(|c| c.rtr.optimal).count(),
+            rec.iter().filter(|c| c.rtr().optimal).count(),
             rec.len(),
         ),
         fcp_optimal_recovery_rate: percentage(
-            rec.iter().filter(|c| c.fcp.optimal).count(),
+            rec.iter()
+                .filter(|c| c.fcp().is_some_and(|o| o.optimal))
+                .count(),
             rec.len(),
         ),
-        mrc_recovery_rate: percentage(rec.iter().filter(|c| c.mrc.delivered).count(), rec.len()),
+        mrc_recovery_rate: percentage(
+            rec.iter()
+                .filter(|c| c.mrc().is_some_and(|o| o.delivered))
+                .count(),
+            rec.len(),
+        ),
         computation_saving_pct: if fcp_comp > 0.0 {
             100.0 * (1.0 - rtr_comp / fcp_comp)
         } else {
@@ -599,6 +631,7 @@ mod tests {
     use crate::config::ExperimentConfig;
     use crate::driver::run_workload;
     use crate::testcase::generate_workload;
+    use rtr_baselines::SchemeMask;
     use rtr_topology::generate;
 
     fn small_results() -> Vec<TopologyResults> {
@@ -642,6 +675,27 @@ mod tests {
     }
 
     #[test]
+    fn figures_cover_all_five_schemes() {
+        let results = small_results();
+        // One RTR-overall series plus one per comparator per topology.
+        assert_eq!(fig8(&results).series.len(), 1 + 4);
+        assert_eq!(fig9(&results).series.len(), 1 + 4);
+        assert_eq!(fig12(&results).series.len(), 1 + 4);
+        // Per-topology figures carry all five schemes per topology.
+        assert_eq!(fig10(&results).series.len(), 5);
+        assert_eq!(fig13(&results).series.len(), 5);
+        for name in ["RTR", "FCP", "MRC", "eMRC", "FEP"] {
+            assert!(
+                fig10(&results)
+                    .series
+                    .iter()
+                    .any(|s| s.label.starts_with(name)),
+                "{name} missing from Fig. 10"
+            );
+        }
+    }
+
+    #[test]
     fn cdf_figures_end_at_one() {
         let results = small_results();
         for fig in [fig7(&results), fig9(&results), fig12(&results)] {
@@ -662,10 +716,39 @@ mod tests {
         let results = small_results();
         let t3 = table3(&results);
         assert_eq!(t3.rows.len(), 2); // topology + overall
+        assert_eq!(t3.headers.len(), 1 + 4 * SchemeId::COUNT);
         assert!(t3.to_string().contains("Overall"));
+        assert!(t3.to_string().contains("Rec% eMRC"));
+        assert!(t3.to_string().contains("MaxComp FEP"));
         let t4 = table4(&results);
         assert_eq!(t4.rows.len(), 2);
         assert!(t4.to_string().contains("AvgTx RTR"));
+    }
+
+    #[test]
+    fn masked_schemes_render_as_dashes() {
+        let cfg = ExperimentConfig::quick()
+            .with_cases(20)
+            .with_schemes(SchemeMask::none().with(SchemeId::Fcp));
+        let topo = generate::isp_like(30, 70, 2000.0, 12).unwrap();
+        let w = generate_workload("T1", topo, &cfg, 7);
+        let results = vec![run_workload(&w, &cfg).expect("connected fixture")];
+        let t3 = table3(&results);
+        // MRC's Rec% column shows a dash on every row.
+        let mrc_col = t3
+            .headers
+            .iter()
+            .position(|h| h == "Rec% MRC")
+            .expect("header present");
+        for row in &t3.rows {
+            assert_eq!(row[mrc_col], "-");
+        }
+        // Figure series for masked schemes are absent entirely.
+        assert!(fig8(&results)
+            .series
+            .iter()
+            .all(|s| !s.label.starts_with("MRC")));
+        assert_eq!(fig10(&results).series.len(), 2); // RTR + FCP
     }
 
     #[test]

@@ -9,9 +9,10 @@ use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::metrics::percentage;
 use crate::reports::{FigureReport, Series};
+use crate::schemes::build_comparators;
 use crate::testcase::generate_workload_shared;
-use rtr_baselines::{fcp_route, mrc_recover, Mrc};
-use rtr_core::RtrSession;
+use rtr_baselines::{SchemeId, SchemeMask};
+use rtr_core::{RtrSession, SchemeScratch};
 use rtr_topology::isp;
 
 /// Recovery rates of the three schemes at one radius.
@@ -37,7 +38,11 @@ pub fn sweep_radius(
     let mut points = Vec::with_capacity(radii.len());
     // One baseline for the whole sweep — only the failure radius varies.
     let baseline = Baseline::for_profile(&profile);
-    let mrc = Mrc::build(baseline.topo(), cfg.mrc_configurations).expect("twins are connected");
+    let mask = SchemeMask::none().with(SchemeId::Fcp).with(SchemeId::Mrc);
+    let comparators = build_comparators(baseline.topo(), mask, cfg.mrc_configurations)
+        .expect("twins are connected");
+    let ctx = baseline.scheme_ctx();
+    let mut scratch = SchemeScratch::new();
     for &radius in radii {
         let fixed = ExperimentConfig {
             radius_min: radius,
@@ -71,28 +76,22 @@ pub fn sweep_radius(
                     if session.recover(case.dest).is_delivered() {
                         rtr_ok += 1;
                     }
-                    if fcp_route(
-                        w.topo(),
-                        &sc.scenario,
-                        initiator,
-                        case.failed_link,
-                        case.dest,
-                    )
-                    .is_delivered()
-                    {
-                        fcp_ok += 1;
-                    }
-                    if mrc_recover(
-                        w.topo(),
-                        &mrc,
-                        &sc.scenario,
-                        initiator,
-                        case.failed_link,
-                        case.dest,
-                    )
-                    .is_delivered()
-                    {
-                        mrc_ok += 1;
+                    for scheme in &comparators {
+                        let delivered = scheme
+                            .route_in(
+                                ctx,
+                                &sc.scenario,
+                                initiator,
+                                case.failed_link,
+                                case.dest,
+                                &mut scratch,
+                            )
+                            .is_delivered();
+                        match scheme.id() {
+                            SchemeId::Fcp => fcp_ok += usize::from(delivered),
+                            SchemeId::Mrc => mrc_ok += usize::from(delivered),
+                            _ => {}
+                        }
                     }
                 }
             }

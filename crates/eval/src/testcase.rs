@@ -71,6 +71,11 @@ impl Workload {
         self.baseline.crosslinks()
     }
 
+    /// The scheme-routing context of the shared baseline.
+    pub fn scheme_ctx(&self) -> rtr_baselines::SchemeCtx<'_> {
+        self.baseline.scheme_ctx()
+    }
+
     /// Total recoverable cases across scenarios.
     pub fn recoverable_count(&self) -> usize {
         self.scenarios.iter().map(|s| s.recoverable.len()).sum()
@@ -176,6 +181,127 @@ pub fn random_region(cfg: &ExperimentConfig, rng: &mut StdRng) -> Region {
     let cy = rng.gen_range(0.0..cfg.area_extent);
     let r = rng.gen_range(cfg.radius_min..=cfg.radius_max);
     Region::circle((cx, cy), r)
+}
+
+/// A family of failure scenarios for the scheme-comparison matrix: the
+/// paper evaluates only correlated areas (§IV-A), but the schemes differ
+/// most sharply in *how* failures are distributed, so the matrix
+/// experiment crosses every scheme with four scenario classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioClass {
+    /// Exactly one failed link, drawn uniformly — the classic fast-reroute
+    /// regime where every proactive scheme is at its best.
+    SingleLink,
+    /// Three independently drawn failed links — uncorrelated multi-failure,
+    /// the regime eMRC's re-switching targets.
+    SparseMultiLink,
+    /// One random circular failure area per §IV-A — the paper's regime.
+    CorrelatedArea,
+    /// Two independently placed circular areas — compound disasters that
+    /// stress every scheme's multi-failure handling at once.
+    MultiArea,
+}
+
+impl ScenarioClass {
+    /// All classes in matrix row order.
+    pub const ALL: [ScenarioClass; 4] = [
+        ScenarioClass::SingleLink,
+        ScenarioClass::SparseMultiLink,
+        ScenarioClass::CorrelatedArea,
+        ScenarioClass::MultiArea,
+    ];
+
+    /// Stable kebab-case name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioClass::SingleLink => "single-link",
+            ScenarioClass::SparseMultiLink => "sparse-multi-link",
+            ScenarioClass::CorrelatedArea => "correlated-area",
+            ScenarioClass::MultiArea => "multi-area",
+        }
+    }
+
+    /// Draws one scenario of this class. The region is the drawn area for
+    /// the area classes and an empty union for the link classes (which
+    /// have no geometric footprint).
+    fn draw(self, topo: &Topology, cfg: &ExperimentConfig, rng: &mut StdRng) -> (Region, FailureScenario) {
+        let link_count = topo.link_count() as u32;
+        match self {
+            ScenarioClass::SingleLink => {
+                let l = LinkId(rng.gen_range(0..link_count));
+                (Region::Union(Vec::new()), FailureScenario::single_link(topo, l))
+            }
+            ScenarioClass::SparseMultiLink => {
+                let mut links = Vec::with_capacity(3);
+                while links.len() < 3 {
+                    let l = LinkId(rng.gen_range(0..link_count));
+                    if !links.contains(&l) {
+                        links.push(l);
+                    }
+                }
+                (
+                    Region::Union(Vec::new()),
+                    FailureScenario::from_parts(topo, [], links),
+                )
+            }
+            ScenarioClass::CorrelatedArea => {
+                let region = random_region(cfg, rng);
+                let scenario = FailureScenario::from_region(topo, &region);
+                (region, scenario)
+            }
+            ScenarioClass::MultiArea => {
+                let a = random_region(cfg, rng);
+                let b = random_region(cfg, rng);
+                let region = Region::Union(vec![a, b]);
+                let scenario = FailureScenario::from_region(topo, &region);
+                (region, scenario)
+            }
+        }
+    }
+}
+
+/// Generates a workload whose scenarios all belong to one
+/// [`ScenarioClass`], filling `cfg.cases_per_class` *recoverable* cases.
+/// Irrecoverable cases are collected as a by-product (capped at the same
+/// target) but do not gate termination: single-link failures on
+/// well-connected topologies produce almost none, and the matrix compares
+/// delivery on recoverable cases.
+pub fn generate_class_workload(
+    name: impl Into<String>,
+    baseline: Arc<Baseline>,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    class: ScenarioClass,
+) -> Workload {
+    let topo = baseline.topo();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scenarios = Vec::new();
+    let (mut rec, mut irr) = (0usize, 0usize);
+    let target = cfg.cases_per_class;
+    let max_scenarios = 200 * target + 1000;
+    for _ in 0..max_scenarios {
+        if rec >= target {
+            break;
+        }
+        let (region, scenario) = class.draw(topo, cfg, &mut rng);
+        if scenario.failed_node_count() == 0 && scenario.failed_link_count() == 0 {
+            continue;
+        }
+        let mut cases = cases_for_scenario(&baseline, region, scenario);
+        cases.recoverable.truncate(target - rec);
+        cases.irrecoverable.truncate(target.saturating_sub(irr));
+        if cases.recoverable.is_empty() && cases.irrecoverable.is_empty() {
+            continue;
+        }
+        rec += cases.recoverable.len();
+        irr += cases.irrecoverable.len();
+        scenarios.push(cases);
+    }
+    Workload {
+        name: name.into(),
+        baseline,
+        scenarios,
+    }
 }
 
 /// Generates a workload for `topo`: random circular failure areas are drawn
@@ -391,6 +517,64 @@ mod tests {
             assert_eq!(fast.recoverable, ref_rec);
             assert_eq!(fast.irrecoverable, ref_irr);
         }
+    }
+
+    #[test]
+    fn class_workloads_fill_recoverable_and_match_their_class() {
+        let topo = generate::isp_like(40, 90, 2000.0, 5).unwrap();
+        let base = Arc::new(Baseline::new(topo));
+        let cfg = quick_cfg();
+        for class in ScenarioClass::ALL {
+            let w = generate_class_workload(class.name(), Arc::clone(&base), &cfg, 3, class);
+            assert_eq!(w.recoverable_count(), 50, "{}", class.name());
+            for sc in &w.scenarios {
+                let nodes = sc.scenario.failed_node_count();
+                let links = sc.scenario.failed_link_count();
+                match class {
+                    ScenarioClass::SingleLink => {
+                        assert_eq!((nodes, links), (0, 1));
+                    }
+                    ScenarioClass::SparseMultiLink => {
+                        assert_eq!(nodes, 0);
+                        assert_eq!(links, 3);
+                    }
+                    ScenarioClass::CorrelatedArea | ScenarioClass::MultiArea => {
+                        assert!(nodes + links > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_workloads_are_deterministic() {
+        let topo = generate::isp_like(30, 70, 2000.0, 9).unwrap();
+        let base = Arc::new(Baseline::new(topo));
+        let cfg = quick_cfg();
+        let mk = || {
+            generate_class_workload(
+                "t",
+                Arc::clone(&base),
+                &cfg,
+                11,
+                ScenarioClass::SparseMultiLink,
+            )
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.scenarios.len(), b.scenarios.len());
+        for (sa, sb) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_eq!(sa.recoverable, sb.recoverable);
+            assert_eq!(sa.irrecoverable, sb.irrecoverable);
+        }
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        let names: Vec<&str> = ScenarioClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            ["single-link", "sparse-multi-link", "correlated-area", "multi-area"]
+        );
     }
 
     #[test]

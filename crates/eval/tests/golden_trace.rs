@@ -9,10 +9,9 @@
 //! `rtr_eval::trace::replay_scenario`. Floats are compared via
 //! `f64::to_bits` — bit equality, not epsilon.
 
-use rtr_baselines::{FcpScratch, Mrc};
 use rtr_core::SessionPool;
 use rtr_eval::config::ExperimentConfig;
-use rtr_eval::schemes::{eval_recoverable_in, RecoverableRow};
+use rtr_eval::schemes::{build_comparators, eval_recoverable_in, RecoverableRow};
 use rtr_eval::testcase::TestCase;
 use rtr_eval::trace::{first_recoverable_scenario, replay_scenario, workload_for, SessionReplay};
 use rtr_obs::{DiscardReason, Event};
@@ -53,7 +52,7 @@ fn assert_session_matches(
         .filter(|e| matches!(e, Event::SptRecompute { .. }))
         .count();
     for row in rows {
-        assert_eq!(recomputes, row.rtr.sp_calculations, "#SP diverges");
+        assert_eq!(recomputes, row.rtr().sp_calculations, "#SP diverges");
     }
 
     // Event-derived header bytes: newly-recorded links × LINK_ID_BYTES,
@@ -101,7 +100,7 @@ fn assert_session_matches(
         match outcome {
             Some((dest, cost)) => {
                 assert_eq!(*dest, case.dest);
-                if let Some(stretch) = row.rtr.stretch {
+                if let Some(stretch) = row.rtr().stretch {
                     let optimal_cost = optimal.distance(case.dest).expect("recoverable case");
                     let event_stretch = *cost as f64 / optimal_cost as f64;
                     assert_eq!(
@@ -112,8 +111,8 @@ fn assert_session_matches(
                 }
             }
             None => {
-                assert!(!row.rtr.delivered, "NoPath event but driver delivered");
-                assert!(row.rtr.stretch.is_none());
+                assert!(!row.rtr().delivered, "NoPath event but driver delivered");
+                assert!(row.rtr().stretch.is_none());
             }
         }
     }
@@ -130,9 +129,10 @@ fn replayed_events_byte_equal_driver_metrics() {
     assert!(!replays.is_empty());
 
     // Driver side: identical construction to driver::run_scenario.
-    let mrc = Mrc::build(w.topo(), cfg.mrc_configurations).expect("AS209 supports MRC");
+    let comparators = build_comparators(w.topo(), cfg.schemes, cfg.mrc_configurations)
+        .expect("AS209 supports MRC");
     let pool = SessionPool::with_kernels(cfg.kernels, cfg.sweep);
-    let mut fcp = FcpScratch::default();
+    let ctx = w.scheme_ctx();
 
     let groups = by_initiator(&sc.recoverable);
     let mut replay_it = replays.iter();
@@ -148,20 +148,19 @@ fn replayed_events_byte_equal_driver_metrics() {
             )
             .expect("recoverable case: live initiator");
         let mut optimal_lease = pool.dijkstra();
-        let mut mrc_lease = pool.dijkstra();
+        let mut scheme_lease = pool.scheme_scratch();
         let optimal = optimal_lease.run(w.topo(), &sc.scenario, initiator);
         let rows: Vec<RecoverableRow> = cases
             .iter()
             .map(|case| {
-                let (row, _, _) = eval_recoverable_in(
-                    w.topo(),
+                let (row, _) = eval_recoverable_in(
+                    ctx,
                     &sc.scenario,
                     &mut session,
-                    &mrc,
+                    &comparators,
                     optimal,
                     case,
-                    &mut fcp,
-                    &mut mrc_lease,
+                    &mut scheme_lease,
                 );
                 row
             })

@@ -10,7 +10,10 @@
 //! with one map probe and no recomputation.
 
 use crate::proto::RegionSpec;
+use rtr_baselines::{RecoveryScheme, SchemeId, SchemeMask};
 use rtr_eval::baseline::Baseline;
+use rtr_eval::schemes::build_comparators;
+use rtr_eval::ExperimentConfig;
 use rtr_topology::{isp, FailureScenario};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -21,6 +24,11 @@ pub struct FleetEntry {
     name: String,
     baseline: Arc<Baseline>,
     scenarios: Mutex<BTreeMap<(u64, u64, u64), Arc<FailureScenario>>>,
+    /// Comparator backends keyed by wire code, built on first request.
+    /// `None` records a code that cannot be served (unknown id, or a
+    /// backend whose precomputation failed — e.g. MRC on a topology it
+    /// cannot cover), so repeat offenders don't retry the build.
+    comparators: Mutex<BTreeMap<u8, Option<Arc<dyn RecoveryScheme>>>>,
 }
 
 impl FleetEntry {
@@ -31,6 +39,7 @@ impl FleetEntry {
             name: name.into(),
             baseline,
             scenarios: Mutex::new(BTreeMap::new()),
+            comparators: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -67,6 +76,31 @@ impl FleetEntry {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .len()
+    }
+
+    /// The comparator backend for a wire scheme code, built (and cached)
+    /// on first sight. `None` for unknown codes, for code 0 (RTR is the
+    /// service's native path, not a comparator), and for backends whose
+    /// per-topology precomputation fails; failures are cached too, so a
+    /// hostile client can't trigger rebuild storms.
+    pub fn comparator(&self, code: u8) -> Option<Arc<dyn RecoveryScheme>> {
+        if code == SchemeId::Rtr.code() {
+            return None;
+        }
+        let mut cache = self
+            .comparators
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache
+            .entry(code)
+            .or_insert_with(|| {
+                let id = SchemeId::from_code(code)?;
+                let mask = SchemeMask::none().with(id);
+                let configs = ExperimentConfig::default().mrc_configurations;
+                let built = build_comparators(self.baseline.topo(), mask, configs).ok()?;
+                built.into_iter().next().map(Arc::from)
+            })
+            .clone()
     }
 }
 

@@ -194,6 +194,7 @@ fn requests_for_class(
             region: spec,
             initiator: initiator.0,
             failed_link: first.failed_link.0,
+            scheme: 0,
             dests: group.iter().map(|c| c.dest.0).collect(),
         });
     }
@@ -412,6 +413,7 @@ pub fn run_load(
                     },
                     initiator: 0,
                     failed_link: 0,
+                    scheme: 0,
                     dests: Vec::new(),
                 }
             });

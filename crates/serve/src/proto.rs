@@ -91,6 +91,13 @@ pub struct RecoverRequest {
     pub initiator: u32,
     /// The unusable default next-hop link that triggered recovery.
     pub failed_link: u32,
+    /// The recovery scheme to answer with: a
+    /// [`rtr_baselines::SchemeId::code`] (`0` = RTR, the default). Scheme
+    /// `0` requests encode as the original v1 frame, so pre-scheme
+    /// clients and servers interoperate unchanged; nonzero schemes use
+    /// the v2 tag that old servers reject as
+    /// [`ProtoError::BadTag`].
+    pub scheme: u8,
     /// Destinations to recover, in request order.
     pub dests: Vec<u32>,
 }
@@ -172,6 +179,10 @@ pub enum ServeError {
     Draining,
     /// The frame failed to decode.
     Malformed,
+    /// The requested scheme selector is not one this server can answer
+    /// (unknown code, or a comparator that cannot be built for the
+    /// topology).
+    UnknownScheme,
 }
 
 /// A decoding failure. Total: hostile bytes produce this, never a panic.
@@ -203,6 +214,10 @@ const TAG_SHUTDOWN: u8 = 2;
 const TAG_RECOVER_RESP: u8 = 3;
 const TAG_ERROR: u8 = 4;
 const TAG_SHUTTING_DOWN: u8 = 5;
+/// v2 recover request: v1 plus a scheme-selector byte after the failed
+/// link. Emitted only for nonzero schemes so v1 peers keep
+/// interoperating.
+const TAG_RECOVER_REQ_V2: u8 = 6;
 
 /// Little-endian cursor over a frame body.
 struct Reader<'a> {
@@ -282,7 +297,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     match req {
         Request::Recover(r) => {
-            out.push(TAG_RECOVER_REQ);
+            // Scheme 0 (RTR) emits the original v1 frame byte-for-byte;
+            // only nonzero selectors need the v2 tag.
+            out.push(if r.scheme == 0 {
+                TAG_RECOVER_REQ
+            } else {
+                TAG_RECOVER_REQ_V2
+            });
             out.extend_from_slice(&r.id.to_le_bytes());
             out.extend_from_slice(&r.topo.to_le_bytes());
             out.extend_from_slice(&r.region.cx.to_bits().to_le_bytes());
@@ -290,6 +311,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&r.region.radius.to_bits().to_le_bytes());
             out.extend_from_slice(&r.initiator.to_le_bytes());
             out.extend_from_slice(&r.failed_link.to_le_bytes());
+            if r.scheme != 0 {
+                out.push(r.scheme);
+            }
             put_u32_list(&mut out, &r.dests);
         }
         Request::Shutdown => out.push(TAG_SHUTDOWN),
@@ -305,7 +329,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
     let mut r = Reader::new(body);
     let req = match r.u8()? {
-        TAG_RECOVER_REQ => Request::Recover(RecoverRequest {
+        tag @ (TAG_RECOVER_REQ | TAG_RECOVER_REQ_V2) => Request::Recover(RecoverRequest {
             id: r.u64()?,
             topo: r.u16()?,
             region: RegionSpec {
@@ -315,6 +339,8 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
             },
             initiator: r.u32()?,
             failed_link: r.u32()?,
+            // v1 frames carry no selector: they mean RTR.
+            scheme: if tag == TAG_RECOVER_REQ_V2 { r.u8()? } else { 0 },
             dests: r.u32_list()?,
         }),
         TAG_SHUTDOWN => Request::Shutdown,
@@ -332,6 +358,7 @@ fn error_code(e: ServeError) -> u8 {
         ServeError::Phase1Rejected => 3,
         ServeError::Draining => 4,
         ServeError::Malformed => 5,
+        ServeError::UnknownScheme => 6,
     }
 }
 
@@ -343,6 +370,7 @@ fn error_from_code(c: u8) -> Result<ServeError, ProtoError> {
         3 => ServeError::Phase1Rejected,
         4 => ServeError::Draining,
         5 => ServeError::Malformed,
+        6 => ServeError::UnknownScheme,
         t => return Err(ProtoError::BadTag(t)),
     })
 }
@@ -535,6 +563,7 @@ mod tests {
             },
             initiator: 7,
             failed_link: 19,
+            scheme: 0,
             dests: vec![1, 2, 30],
         })
     }
@@ -574,6 +603,46 @@ mod tests {
     }
 
     #[test]
+    fn scheme_selectors_round_trip_via_v2() {
+        let Request::Recover(base) = sample_request() else {
+            unreachable!()
+        };
+        for scheme in [1u8, 2, 3, 4, 250] {
+            let req = Request::Recover(RecoverRequest { scheme, ..base.clone() });
+            let body = encode_request(&req);
+            assert_eq!(body[0], TAG_RECOVER_REQ_V2);
+            assert_eq!(decode_request(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn scheme_zero_is_wire_compatible_with_v1() {
+        // A scheme-0 request must encode as a byte-identical v1 frame, so
+        // pre-scheme servers keep answering and pre-scheme captures keep
+        // decoding. The v1 body is reconstructed field-by-field here: if
+        // the v1 layout ever drifts, this fails.
+        let Request::Recover(r) = sample_request() else {
+            unreachable!()
+        };
+        let body = encode_request(&Request::Recover(r.clone()));
+        let mut v1 = vec![TAG_RECOVER_REQ];
+        v1.extend_from_slice(&r.id.to_le_bytes());
+        v1.extend_from_slice(&r.topo.to_le_bytes());
+        v1.extend_from_slice(&r.region.cx.to_bits().to_le_bytes());
+        v1.extend_from_slice(&r.region.cy.to_bits().to_le_bytes());
+        v1.extend_from_slice(&r.region.radius.to_bits().to_le_bytes());
+        v1.extend_from_slice(&r.initiator.to_le_bytes());
+        v1.extend_from_slice(&r.failed_link.to_le_bytes());
+        put_u32_list(&mut v1, &r.dests);
+        assert_eq!(body, v1);
+        // And a raw v1 frame decodes to scheme 0.
+        let Request::Recover(back) = decode_request(&v1).unwrap() else {
+            panic!("tag changed")
+        };
+        assert_eq!(back.scheme, 0);
+    }
+
+    #[test]
     fn responses_round_trip() {
         let cases = [
             sample_response(),
@@ -601,6 +670,7 @@ mod tests {
             region: spec,
             initiator: 0,
             failed_link: 0,
+            scheme: 0,
             dests: vec![],
         });
         let Request::Recover(back) = decode_request(&encode_request(&req)).unwrap() else {
@@ -638,6 +708,7 @@ mod tests {
             },
             initiator: 0,
             failed_link: 0,
+            scheme: 0,
             dests: vec![],
         }));
         let n = body.len();

@@ -22,10 +22,11 @@ use crate::proto::{
     self, DestResult, Outcome, RecoverRequest, RecoverResponse, Response, ServeError,
 };
 use crate::queue::RunQueue;
+use rtr_baselines::RouteOutcome;
 use rtr_core::{DeliveryOutcome, SessionPool};
 use rtr_eval::par;
 use rtr_obs::Histogram;
-use rtr_topology::{LinkId, NodeId};
+use rtr_topology::{GraphView, LinkId, NodeId};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -212,6 +213,13 @@ impl ServiceHandle {
 /// Answers one request against the fleet using the worker's pool.
 /// `service_micros` is left at 0 — the worker stamps it afterwards so
 /// the figure covers the full handling time.
+///
+/// The request's `scheme` byte selects the backend: 0 routes through the
+/// native RTR session path (byte-for-byte the v1 behavior); any other
+/// known code dispatches to the entry's cached
+/// [`RecoveryScheme`](rtr_baselines::RecoveryScheme) comparator; unknown
+/// codes — and known codes whose per-topology precomputation failed —
+/// come back as [`ServeError::UnknownScheme`].
 #[must_use]
 pub fn answer(fleet: &Fleet, pool: &SessionPool, req: &RecoverRequest) -> Response {
     let reject = |error: ServeError| Response::Error { id: req.id, error };
@@ -228,6 +236,47 @@ pub fn answer(fleet: &Fleet, pool: &SessionPool, req: &RecoverRequest) -> Respon
         && req.dests.iter().all(|&d| (d as usize) < topo.node_count());
     if !ids_ok {
         return reject(ServeError::BadId);
+    }
+    if req.scheme != 0 {
+        let Some(scheme) = entry.comparator(req.scheme) else {
+            return reject(ServeError::UnknownScheme);
+        };
+        // Same precondition phase 1 enforces on the native path: the
+        // failed link is incident to the initiator and actually down.
+        let (a, b) = topo.link(LinkId(req.failed_link)).endpoints();
+        let incident = a == NodeId(req.initiator) || b == NodeId(req.initiator);
+        if !incident || scenario.is_link_usable(topo, LinkId(req.failed_link)) {
+            return reject(ServeError::Phase1Rejected);
+        }
+        let ctx = base.scheme_ctx();
+        let mut scratch = pool.scheme_scratch();
+        let mut results = Vec::with_capacity(req.dests.len());
+        for &dest in &req.dests {
+            let attempt = scheme.route_in(
+                ctx,
+                scenario.as_ref(),
+                NodeId(req.initiator),
+                LinkId(req.failed_link),
+                NodeId(dest),
+                &mut scratch,
+            );
+            let outcome = match attempt.outcome {
+                RouteOutcome::Delivered => Outcome::Delivered,
+                RouteOutcome::Dropped { at_link } => Outcome::HitFailure { at_link: at_link.0 },
+                RouteOutcome::NoRoute => Outcome::NoPath,
+            };
+            results.push(DestResult {
+                dest,
+                outcome,
+                cost: attempt.cost_traversed,
+                route: attempt.trace.nodes().map(|n| n.0).collect(),
+            });
+        }
+        return Response::Recover(RecoverResponse {
+            id: req.id,
+            results,
+            service_micros: 0,
+        });
     }
     let session = pool.start_session(
         topo,
@@ -489,6 +538,7 @@ mod tests {
             },
             initiator: 11,
             failed_link: failed.0,
+            scheme: 0,
             dests: vec![13, 7, 17],
         }
     }
@@ -535,6 +585,60 @@ mod tests {
         live_link.failed_link = topo.link_between(NodeId(0), NodeId(1)).unwrap().0;
         assert!(matches!(
             answer(&fleet, &pool, &live_link),
+            Response::Error {
+                error: ServeError::Phase1Rejected,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn scheme_byte_selects_comparator_backends() {
+        let fleet = grid_fleet();
+        let pool = SessionPool::new();
+        let base = center_failure_request(&fleet, 1);
+
+        // Every comparator code answers; FCP always delivers.
+        for code in 1u8..=4 {
+            let mut req = base.clone();
+            req.scheme = code;
+            match answer(&fleet, &pool, &req) {
+                Response::Recover(r) => {
+                    assert_eq!(r.results.len(), 3, "scheme {code}");
+                    assert!(r
+                        .results
+                        .iter()
+                        .all(|d| d.route.first() == Some(&11)), "scheme {code}");
+                    if code == 1 {
+                        assert!(r
+                            .results
+                            .iter()
+                            .all(|d| d.outcome == Outcome::Delivered));
+                    }
+                }
+                other => panic!("scheme {code}: unexpected {other:?}"),
+            }
+        }
+
+        // Unknown codes are a typed error, not a crash or a fallback.
+        let mut unknown = base.clone();
+        unknown.scheme = 99;
+        assert!(matches!(
+            answer(&fleet, &pool, &unknown),
+            Response::Error {
+                error: ServeError::UnknownScheme,
+                ..
+            }
+        ));
+
+        // Comparators enforce the same phase-1 precondition as RTR: a
+        // live failed link is rejected, not routed around.
+        let mut live = base.clone();
+        live.scheme = 1;
+        let topo = fleet.get(0).unwrap().baseline().topo();
+        live.failed_link = topo.link_between(NodeId(0), NodeId(1)).unwrap().0;
+        assert!(matches!(
+            answer(&fleet, &pool, &live),
             Response::Error {
                 error: ServeError::Phase1Rejected,
                 ..

@@ -7,12 +7,17 @@
 //! queue, pooled sessions, any worker count, either transport) must
 //! reproduce those bytes exactly.
 
+use rtr_baselines::{RouteOutcome, SchemeId, SchemeMask};
 use rtr_core::phase2::{DeliveryOutcome, RecoveryScratch};
 use rtr_core::recovery::RtrSession;
+use rtr_core::SchemeScratch;
 use rtr_eval::baseline::Baseline;
+use rtr_eval::schemes::build_comparators;
+use rtr_eval::ExperimentConfig;
 use rtr_serve::load::{build_mix, InProc, TcpClient, Transport};
 use rtr_serve::proto::{
-    encode_response, DestResult, Outcome, RecoverRequest, RecoverResponse, Response,
+    self, encode_response, DestResult, Outcome, RecoverRequest, RecoverResponse, Response,
+    ServeError,
 };
 use rtr_serve::{serve, Fleet, ServeConfig};
 use rtr_topology::{FailureScenario, NodeId};
@@ -175,4 +180,166 @@ fn tcp_loopback_matches_inproc() {
     let inproc = served_bytes(&fleet, &mix, 2, false);
     let tcp = served_bytes(&fleet, &mix, 2, true);
     assert_eq!(inproc, tcp, "transport changed served payloads");
+}
+
+/// The comparator oracle: the [`RecoveryScheme`] trait driven directly,
+/// one scratch, no pooling, no queue — expected wire bytes keyed by id.
+fn scheme_oracle_bytes(
+    baseline: &Baseline,
+    mix: &[RecoverRequest],
+    id: SchemeId,
+) -> BTreeMap<u64, Vec<u8>> {
+    let topo = baseline.topo();
+    let configs = ExperimentConfig::default().mrc_configurations;
+    let scheme = build_comparators(topo, SchemeMask::none().with(id), configs)
+        .expect("grid6 supports every backend")
+        .pop()
+        .expect("one scheme requested");
+    let ctx = baseline.scheme_ctx();
+    let mut scratch = SchemeScratch::new();
+    let mut out = BTreeMap::new();
+    for req in mix {
+        let region = req.region.to_region().expect("mix regions are valid");
+        let scenario = FailureScenario::from_region(topo, &region);
+        let results = req
+            .dests
+            .iter()
+            .map(|&dest| {
+                let attempt = scheme.route_in(
+                    ctx,
+                    &scenario,
+                    NodeId(req.initiator),
+                    rtr_topology::LinkId(req.failed_link),
+                    NodeId(dest),
+                    &mut scratch,
+                );
+                let outcome = match attempt.outcome {
+                    RouteOutcome::Delivered => Outcome::Delivered,
+                    RouteOutcome::Dropped { at_link } => Outcome::HitFailure { at_link: at_link.0 },
+                    RouteOutcome::NoRoute => Outcome::NoPath,
+                };
+                DestResult {
+                    dest,
+                    outcome,
+                    cost: attempt.cost_traversed,
+                    route: attempt.trace.nodes().map(|n| n.0).collect(),
+                }
+            })
+            .collect();
+        let resp = Response::Recover(RecoverResponse {
+            id: req.id,
+            results,
+            service_micros: 0,
+        });
+        out.insert(req.id, encode_response(&resp));
+    }
+    out
+}
+
+#[test]
+fn every_comparator_scheme_matches_its_trait_oracle() {
+    let (fleet, baseline) = grid_fleet();
+    let base_mix = mix(&baseline);
+    for id in [SchemeId::Fcp, SchemeId::Mrc, SchemeId::Emrc, SchemeId::Fep] {
+        let scheme_mix: Vec<RecoverRequest> = base_mix
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.scheme = id.code();
+                r
+            })
+            .collect();
+        let expected = scheme_oracle_bytes(&baseline, &scheme_mix, id);
+        let got = served_bytes(&fleet, &scheme_mix, 2, false);
+        assert_eq!(got.len(), expected.len(), "{}", id.name());
+        for (req_id, bytes) in &expected {
+            assert_eq!(
+                got.get(req_id),
+                Some(bytes),
+                "{} request {req_id}: served payload diverged from the trait oracle",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_scheme_ids_are_a_typed_error() {
+    let (fleet, baseline) = grid_fleet();
+    let mut req = mix(&baseline).remove(0);
+    req.scheme = 200;
+    let cfg = ServeConfig {
+        workers: 1,
+        bind: None,
+    };
+    let (resp, _) = serve(&fleet, &cfg, |h| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        assert!(h.submit(req.clone(), tx));
+        rx.recv_timeout(Duration::from_secs(30)).expect("answered")
+    })
+    .expect("serve failed");
+    match resp {
+        Response::Error { id, error } => {
+            assert_eq!(id, req.id);
+            assert_eq!(error, ServeError::UnknownScheme);
+        }
+        other => panic!("expected UnknownScheme error, got {other:?}"),
+    }
+}
+
+#[test]
+fn v1_frames_are_served_unchanged_over_tcp() {
+    // A pre-scheme-selector client: its frames carry no scheme byte. The
+    // service must answer them exactly like a scheme-0 request.
+    let (fleet, baseline) = grid_fleet();
+    let full_mix = mix(&baseline);
+    let req = &full_mix[0];
+    let expected = oracle_bytes(&baseline, std::slice::from_ref(req));
+    let cfg = ServeConfig {
+        workers: 1,
+        bind: Some("127.0.0.1:0".to_string()),
+    };
+    let ((), _) = serve(&fleet, &cfg, |h| {
+        let addr = h.addr().expect("tcp bind requested");
+        let mut stream = std::net::TcpStream::connect(addr).expect("loopback connect");
+        // Hand-rolled v1 body: tag 1, then the fixed fields and the dest
+        // list — no scheme byte anywhere.
+        let mut body = vec![1u8];
+        body.extend_from_slice(&req.id.to_le_bytes());
+        body.extend_from_slice(&req.topo.to_le_bytes());
+        body.extend_from_slice(&req.region.cx.to_bits().to_le_bytes());
+        body.extend_from_slice(&req.region.cy.to_bits().to_le_bytes());
+        body.extend_from_slice(&req.region.radius.to_bits().to_le_bytes());
+        body.extend_from_slice(&req.initiator.to_le_bytes());
+        body.extend_from_slice(&req.failed_link.to_le_bytes());
+        body.extend_from_slice(&u32::try_from(req.dests.len()).unwrap().to_le_bytes());
+        for d in &req.dests {
+            body.extend_from_slice(&d.to_le_bytes());
+        }
+        proto::write_frame(&mut stream, &body).expect("write v1 frame");
+        let mut frames = proto::FrameBuf::new();
+        let mut scratch = [0u8; 4096];
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "response timed out");
+            use std::io::Read as _;
+            let n = stream.read(&mut scratch).expect("read response");
+            assert!(n > 0, "server closed the connection");
+            frames.extend(&scratch[..n]);
+            if let Some(frame) = frames.next_frame().expect("well-formed frame") {
+                let mut resp = match proto::decode_response(&frame).expect("decodes") {
+                    Response::Recover(r) => r,
+                    other => panic!("unexpected response {other:?}"),
+                };
+                resp.service_micros = 0;
+                assert_eq!(
+                    encode_response(&Response::Recover(resp)),
+                    expected[&req.id],
+                    "v1 frame answered differently from a scheme-0 request"
+                );
+                break;
+            }
+        }
+    })
+    .expect("serve failed");
 }

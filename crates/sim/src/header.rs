@@ -16,6 +16,11 @@ pub const LINK_ID_BYTES: usize = 2;
 /// Bytes per recorded node id (16-bit ids).
 pub const NODE_ID_BYTES: usize = 2;
 
+/// Bytes of the configuration-id field an MRC/eMRC packet carries after a
+/// configuration switch (the reference MRC encoding steals a handful of
+/// DSCP bits; one byte is the conservative whole-octet accounting).
+pub const CONFIG_ID_BYTES: usize = 1;
+
 /// Payload size assumed by the wasted-transmission metric (§IV-D:
 /// "the packet size is 1,000 bytes plus the bytes in the packet header
 /// used for recovery").

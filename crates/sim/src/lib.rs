@@ -42,7 +42,8 @@ pub mod trace;
 pub use delay::{DelayModel, SimTime};
 pub use engine::{CaseKind, Network, WalkOutcome};
 pub use header::{
-    CollectionHeader, ForwardingMode, LinkIdSet, LINK_ID_BYTES, NODE_ID_BYTES, PAYLOAD_BYTES,
+    CollectionHeader, ForwardingMode, LinkIdSet, CONFIG_ID_BYTES, LINK_ID_BYTES, NODE_ID_BYTES,
+    PAYLOAD_BYTES,
 };
 pub use igp::{packets_per_second, unprotected_loss, ConvergenceModel};
 pub use load::{replay, LoadSeries, TimedTrace};

@@ -119,6 +119,21 @@ pub trait GraphView {
     }
 }
 
+/// References delegate, so `&dyn GraphView` (and `&&V`) satisfy the same
+/// generic bounds as the view itself — this is what lets an object-safe
+/// scheme API hand a `&dyn GraphView` down into generic routing code.
+impl<V: GraphView + ?Sized> GraphView for &V {
+    fn is_node_live(&self, n: NodeId) -> bool {
+        (**self).is_node_live(n)
+    }
+    fn is_link_live(&self, l: LinkId) -> bool {
+        (**self).is_link_live(l)
+    }
+    fn is_link_usable(&self, topo: &Topology, l: LinkId) -> bool {
+        (**self).is_link_usable(topo, l)
+    }
+}
+
 /// The intact network: everything is live.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FullView;

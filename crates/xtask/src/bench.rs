@@ -221,6 +221,101 @@ pub fn parse_scale_file(path: &Path, require_full: bool) -> Result<Vec<ScalePoin
     Ok(points)
 }
 
+/// Scenario classes a committed `results/matrix.json` must cover, in the
+/// evaluation's canonical order.
+pub const MATRIX_CLASSES: [&str; 4] = [
+    "single-link",
+    "sparse-multi-link",
+    "correlated-area",
+    "multi-area",
+];
+
+/// Schemes every class row of a committed matrix must report, in
+/// `SchemeId` order.
+pub const MATRIX_SCHEMES: [&str; 5] = ["RTR", "FCP", "MRC", "eMRC", "FEP"];
+
+/// Reads a `results/matrix.json` (Extension M) and validates its schema:
+/// a `classes` array covering exactly [`MATRIX_CLASSES`] in order, each
+/// row carrying a positive numeric `cases` and one entry per
+/// [`MATRIX_SCHEMES`] member with a finite `delivery_pct` and
+/// `optimal_pct` in `0..=100` (`mean_stretch` may be `null` — a scheme
+/// that never delivered has no stretch). Returns `(classes, schemes)`
+/// counts.
+///
+/// # Errors
+///
+/// Reports the first missing field, out-of-range value, or class/scheme
+/// mismatch with the file's path.
+pub fn parse_matrix_file(path: &Path) -> Result<(usize, usize), String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json_parse(&text).map_err(|e| format!("{} does not parse: {e}", path.display()))?;
+    let classes = doc
+        .get("classes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{}: missing `classes` array", path.display()))?;
+    if classes.len() != MATRIX_CLASSES.len() {
+        return Err(format!(
+            "{}: {} classes, expected the {} of {MATRIX_CLASSES:?}",
+            path.display(),
+            classes.len(),
+            MATRIX_CLASSES.len()
+        ));
+    }
+    for (row, expected_class) in classes.iter().zip(MATRIX_CLASSES) {
+        let class = row.get("class").and_then(JsonValue::as_str).unwrap_or("");
+        if class != expected_class {
+            return Err(format!(
+                "{}: class `{class}` where `{expected_class}` was expected",
+                path.display()
+            ));
+        }
+        let cases = row.get("cases").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        if cases < 1.0 {
+            return Err(format!(
+                "{}: class `{class}` aggregates no cases",
+                path.display()
+            ));
+        }
+        let schemes = row
+            .get("schemes")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{}: class `{class}` has no `schemes`", path.display()))?;
+        if schemes.len() != MATRIX_SCHEMES.len() {
+            return Err(format!(
+                "{}: class `{class}` reports {} schemes, expected the {} of {MATRIX_SCHEMES:?}",
+                path.display(),
+                schemes.len(),
+                MATRIX_SCHEMES.len()
+            ));
+        }
+        for (cell, expected_scheme) in schemes.iter().zip(MATRIX_SCHEMES) {
+            let scheme = cell.get("scheme").and_then(JsonValue::as_str).unwrap_or("");
+            if scheme != expected_scheme {
+                return Err(format!(
+                    "{}: class `{class}` lists scheme `{scheme}` where \
+                     `{expected_scheme}` was expected",
+                    path.display()
+                ));
+            }
+            for field in ["delivery_pct", "optimal_pct"] {
+                let v = cell.get(field).and_then(JsonValue::as_f64);
+                match v {
+                    Some(v) if (0.0..=100.0).contains(&v) => {}
+                    _ => {
+                        return Err(format!(
+                            "{}: class `{class}`, scheme `{scheme}`: `{field}` \
+                             {v:?} is not a percentage",
+                            path.display()
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok((MATRIX_CLASSES.len(), MATRIX_SCHEMES.len()))
+}
+
 /// Validates the recorded speedups: a sub-1.0 speedup is a hard failure
 /// on a host with at least as many cores as the measurement used, but
 /// only a warning on an undersized recorder (oversubscribed threads slow
@@ -597,8 +692,10 @@ pub fn run_bench_serve(root: &Path, smoke: bool) -> Result<(), String> {
 /// floor keeps timer noise from tripping the ratio). Coarse gates that
 /// survive CI-machine noise while catching algorithmic regressions.
 /// Recorded speedups are additionally validated via [`check_speedups`],
-/// and the committed `BENCH_scale.json` / `BENCH_serve.json` artifacts
-/// are schema-validated (the serve sweep also through its scaling gate).
+/// and the committed `BENCH_scale.json` / `BENCH_serve.json` /
+/// `results/matrix.json` artifacts are schema-validated (the serve sweep
+/// also through its scaling gate, the matrix through
+/// [`parse_matrix_file`]).
 ///
 /// # Errors
 ///
@@ -676,6 +773,14 @@ pub fn run_bench_check(root: &Path) -> Result<(), String> {
     println!(
         "cargo xtask bench-check: OK — BENCH_serve.json carries {} sweep points",
         serve_file.points.len()
+    );
+
+    // The committed scenario-class matrix (Extension M) is schema-gated
+    // the same way: the full run is a repro-budget job, not a CI one.
+    let (mclasses, mschemes) = parse_matrix_file(&root.join("results").join("matrix.json"))?;
+    println!(
+        "cargo xtask bench-check: OK — results/matrix.json carries the \
+         {mclasses}×{mschemes} class × scheme matrix"
     );
     Ok(())
 }
@@ -799,6 +904,85 @@ mod tests {
         );
         let err = parse_scale_file(&missing_field, false).unwrap_err();
         assert!(err.contains("build_secs"), "got: {err}");
+    }
+
+    /// A well-formed matrix document; `mutate` lets a test break it.
+    fn matrix_json(mutate: impl Fn(String) -> String) -> String {
+        let rows: Vec<String> = MATRIX_CLASSES
+            .iter()
+            .map(|class| {
+                let cells: Vec<String> = MATRIX_SCHEMES
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"scheme\": \"{s}\", \"delivery_pct\": 97.5, \
+                             \"optimal_pct\": 88.0, \"mean_stretch\": 1.02}}"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"class\": \"{class}\", \"cases\": 240, \"schemes\": [{}]}}",
+                    cells.join(",")
+                )
+            })
+            .collect();
+        mutate(format!(
+            "{{\"id\": \"Extension M\", \"classes\": [{}]}}",
+            rows.join(",")
+        ))
+    }
+
+    fn write_matrix(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xtask-bench-matrix-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        fs::write(&p, text).unwrap();
+        p
+    }
+
+    #[test]
+    fn parse_matrix_file_accepts_the_full_matrix() {
+        let p = write_matrix("ok.json", &matrix_json(|s| s));
+        assert_eq!(parse_matrix_file(&p).unwrap(), (4, 5));
+        // A null stretch (scheme never delivered) is valid.
+        let p = write_matrix(
+            "nullstretch.json",
+            &matrix_json(|s| s.replace("\"mean_stretch\": 1.02", "\"mean_stretch\": null")),
+        );
+        assert_eq!(parse_matrix_file(&p).unwrap(), (4, 5));
+    }
+
+    #[test]
+    fn parse_matrix_file_rejects_drift() {
+        let missing_class = write_matrix(
+            "class.json",
+            &matrix_json(|s| s.replace("multi-area", "multi-zone")),
+        );
+        assert!(parse_matrix_file(&missing_class)
+            .unwrap_err()
+            .contains("multi-area"));
+
+        let wrong_scheme = write_matrix(
+            "scheme.json",
+            &matrix_json(|s| s.replace("\"eMRC\"", "\"MRC2\"")),
+        );
+        assert!(parse_matrix_file(&wrong_scheme)
+            .unwrap_err()
+            .contains("eMRC"));
+
+        let bad_pct = write_matrix(
+            "pct.json",
+            &matrix_json(|s| s.replace("\"delivery_pct\": 97.5", "\"delivery_pct\": 250.0")),
+        );
+        assert!(parse_matrix_file(&bad_pct)
+            .unwrap_err()
+            .contains("delivery_pct"));
+
+        let empty = write_matrix(
+            "cases.json",
+            &matrix_json(|s| s.replace("\"cases\": 240", "\"cases\": 0")),
+        );
+        assert!(parse_matrix_file(&empty).unwrap_err().contains("no cases"));
     }
 
     /// One serve point with every recorder key; `over` lets a test break

@@ -14,7 +14,15 @@ pub mod unsafe_audit;
 
 /// Hot-path crate directories (under `crates/`) subject to panic-freedom,
 /// print and determinism discipline.
-pub const HOT_PATH_CRATES: [&str; 6] = ["core", "obs", "routing", "serve", "sim", "topology"];
+pub const HOT_PATH_CRATES: [&str; 7] = [
+    "baselines",
+    "core",
+    "obs",
+    "routing",
+    "serve",
+    "sim",
+    "topology",
+];
 
 /// Registry metadata for one rule, as printed by `--list-rules`.
 #[derive(Debug, Clone, Copy)]

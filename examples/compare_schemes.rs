@@ -1,5 +1,6 @@
-//! Head-to-head comparison of RTR, FCP, and MRC on one random disaster —
-//! a miniature, human-readable version of the paper's Table III.
+//! Head-to-head comparison of all five recovery schemes on one random
+//! disaster — a miniature, human-readable version of the paper's
+//! Table III, driven through the [`RecoveryScheme`] trait.
 //!
 //! Run with (topology name and radius optional):
 //!
@@ -7,8 +8,8 @@
 //! cargo run --release --example compare_schemes -- AS701 280
 //! ```
 
-use rtr::baselines::{fcp_route, mrc_recover, Mrc};
-use rtr::core::RtrSession;
+use rtr::baselines::{Emrc, Fcp, Fep, Mrc, RecoveryScheme, SchemeCtx};
+use rtr::core::{RtrSession, SchemeScratch};
 use rtr::routing::{shortest_path, RoutingTable};
 use rtr::sim::{CaseKind, Network};
 use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, Region};
@@ -27,7 +28,17 @@ fn main() {
     let topo = profile.synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
     let crosslinks = CrossLinkTable::new(&topo);
-    let mrc = Mrc::build(&topo, 5).expect("Table II twins are connected");
+    let ctx = SchemeCtx {
+        topo: &topo,
+        crosslinks: &crosslinks,
+        table: &table,
+    };
+    let comparators: Vec<Box<dyn RecoveryScheme>> = vec![
+        Box::new(Fcp),
+        Box::new(Mrc::build(&topo, 5).expect("Table II twins are connected")),
+        Box::new(Emrc::build(&topo, 5).expect("Table II twins are connected")),
+        Box::new(Fep::build(&topo)),
+    ];
 
     let region = Region::circle((1000.0, 1000.0), radius);
     let scenario = FailureScenario::from_region(&topo, &region);
@@ -39,7 +50,10 @@ fn main() {
 
     let net = Network::new(&topo, &scenario, &table);
     let mut sessions: std::collections::BTreeMap<_, RtrSession<'_, _>> = Default::default();
-    let mut rows = Stats::default();
+    let mut scratch = SchemeScratch::new();
+    let mut rtr_stats = Stats::default();
+    let mut stats = vec![Stats::default(); comparators.len()];
+    let mut cases = 0usize;
 
     for s in topo.node_ids() {
         for t in topo.node_ids() {
@@ -53,67 +67,61 @@ fn main() {
             else {
                 continue;
             };
-            rows.cases += 1;
+            cases += 1;
             let optimal = shortest_path(&topo, &scenario, initiator, t)
                 .expect("recoverable")
                 .cost();
 
+            // RTR keeps its session so one phase 1 serves every
+            // destination of an initiator — the paper's deployment model.
             let session = sessions.entry(initiator).or_insert_with(|| {
                 RtrSession::start(&topo, &crosslinks, &scenario, initiator, failed_link)
                     .expect("recoverable case: live initiator with a failed incident link")
             });
             let rtr = session.recover(t);
             if rtr.is_delivered() {
-                rows.rtr_delivered += 1;
-                rows.rtr_stretch_sum += rtr.path.unwrap().cost() as f64 / optimal as f64;
+                rtr_stats.delivered += 1;
+                rtr_stats.stretch_sum += rtr.path.unwrap().cost() as f64 / optimal as f64;
             }
 
-            let fcp = fcp_route(&topo, &scenario, initiator, failed_link, t);
-            if fcp.is_delivered() {
-                rows.fcp_delivered += 1;
-                rows.fcp_stretch_sum += fcp.cost_traversed as f64 / optimal as f64;
-                rows.fcp_calcs += fcp.sp_calculations;
-            }
-
-            let m = mrc_recover(&topo, &mrc, &scenario, initiator, failed_link, t);
-            if m.is_delivered() {
-                rows.mrc_delivered += 1;
-                rows.mrc_stretch_sum += m.cost_traversed as f64 / optimal as f64;
+            for (scheme, st) in comparators.iter().zip(&mut stats) {
+                let a = scheme.route_in(ctx, &scenario, initiator, failed_link, t, &mut scratch);
+                if a.is_delivered() {
+                    st.delivered += 1;
+                    st.stretch_sum += a.cost_traversed as f64 / optimal as f64;
+                }
+                st.calcs += a.sp_calculations;
             }
         }
     }
 
-    let pct = |n: usize| 100.0 * n as f64 / rows.cases.max(1) as f64;
-    println!("\nrecoverable cases: {}", rows.cases);
+    let pct = |n: usize| 100.0 * n as f64 / cases.max(1) as f64;
+    println!("\nrecoverable cases: {cases}");
     println!("scheme  recovery%   avg stretch   SP calcs");
     println!(
         "RTR     {:8.1}   {:11.3}   {:>8}",
-        pct(rows.rtr_delivered),
-        rows.rtr_stretch_sum / rows.rtr_delivered.max(1) as f64,
+        pct(rtr_stats.delivered),
+        rtr_stats.stretch_sum / rtr_stats.delivered.max(1) as f64,
         sessions.len() // one SPT per initiator serves every destination
     );
-    println!(
-        "FCP     {:8.1}   {:11.3}   {:>8}",
-        pct(rows.fcp_delivered),
-        rows.fcp_stretch_sum / rows.fcp_delivered.max(1) as f64,
-        rows.fcp_calcs
-    );
-    println!(
-        "MRC     {:8.1}   {:11.3}   {:>8}",
-        pct(rows.mrc_delivered),
-        rows.mrc_stretch_sum / rows.mrc_delivered.max(1) as f64,
-        "0 (precomputed)"
-    );
+    for (scheme, st) in comparators.iter().zip(&stats) {
+        println!(
+            "{:<7} {:8.1}   {:11.3}   {:>8}",
+            scheme.name(),
+            pct(st.delivered),
+            st.stretch_sum / st.delivered.max(1) as f64,
+            if scheme.id().is_proactive() {
+                "0 (precomputed)".to_string()
+            } else {
+                st.calcs.to_string()
+            }
+        );
+    }
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Stats {
-    cases: usize,
-    rtr_delivered: usize,
-    rtr_stretch_sum: f64,
-    fcp_delivered: usize,
-    fcp_stretch_sum: f64,
-    fcp_calcs: usize,
-    mrc_delivered: usize,
-    mrc_stretch_sum: f64,
+    delivered: usize,
+    stretch_sum: f64,
+    calcs: usize,
 }

@@ -11,8 +11,8 @@
 //! cargo run --release --example earthquake
 //! ```
 
-use rtr::baselines::fcp_route;
-use rtr::core::{Phase1Error, RtrSession};
+use rtr::baselines::{Fcp, RecoveryScheme, SchemeCtx};
+use rtr::core::{Phase1Error, RtrSession, SchemeScratch};
 use rtr::routing::RoutingTable;
 use rtr::sim::{CaseKind, DelayModel, Network, PAYLOAD_BYTES};
 use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, NodeId, Region};
@@ -119,6 +119,12 @@ fn main() {
     );
 
     // Irrecoverable traffic: compare wasted work, RTR vs FCP.
+    let ctx = SchemeCtx {
+        topo: &topo,
+        crosslinks: &crosslinks,
+        table: &table,
+    };
+    let mut scratch = SchemeScratch::new();
     let mut rtr_wasted_bytes = 0u64;
     let mut fcp_wasted_bytes = 0u64;
     let mut fcp_wasted_calcs = 0usize;
@@ -149,7 +155,7 @@ fn main() {
             .map(|s| (PAYLOAD_BYTES + s.header_bytes) as u64)
             .sum::<u64>();
 
-        let fcp = fcp_route(&topo, &scenario, initiator, failed_link, dest);
+        let fcp = Fcp.route_in(ctx, &scenario, initiator, failed_link, dest, &mut scratch);
         assert!(!fcp.is_delivered());
         fcp_wasted_calcs += fcp.sp_calculations;
         fcp_wasted_bytes += fcp

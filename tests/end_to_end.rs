@@ -1,8 +1,8 @@
 //! End-to-end integration tests spanning every crate: topology generation →
-//! routing → failure injection → RTR/FCP/MRC recovery → metrics.
+//! routing → failure injection → five-scheme recovery → metrics.
 
-use rtr::baselines::{fcp_route, mrc_recover, Mrc};
-use rtr::core::{DeliveryOutcome, Phase1Termination, RtrSession};
+use rtr::baselines::{Emrc, Fcp, Mrc, RecoveryScheme, SchemeCtx};
+use rtr::core::{DeliveryOutcome, Phase1Termination, RtrSession, SchemeScratch};
 use rtr::routing::{shortest_path, RoutingTable};
 use rtr::sim::{CaseKind, DelayModel, Network};
 use rtr::topology::{isp, CrossLinkTable, FailureScenario, FullView, Region};
@@ -58,14 +58,24 @@ fn paper_walkthrough_on_a_twin() {
     );
 }
 
-/// The three schemes agree on the easy cases and diverge exactly where the
+/// The schemes agree on the easy cases and diverge exactly where the
 /// paper says: FCP always delivers recoverable traffic but pays in
-/// computation; MRC drops second failures.
+/// computation; MRC drops second failures; eMRC recovers at least as
+/// many of them as MRC. All comparators run behind the
+/// [`RecoveryScheme`] trait.
 #[test]
 fn schemes_disagree_as_published() {
     let topo = isp::profile("AS4323").unwrap().synthesize();
     let table = RoutingTable::compute(&topo, &FullView);
+    let crosslinks = CrossLinkTable::new(&topo);
+    let ctx = SchemeCtx {
+        topo: &topo,
+        crosslinks: &crosslinks,
+        table: &table,
+    };
     let mrc = Mrc::build(&topo, 5).unwrap();
+    let emrc = Emrc::build(&topo, 5).unwrap();
+    let mut scratch = SchemeScratch::new();
     // Anchor the failure at the densest node (see paper_walkthrough_on_a_twin).
     let hub = topo.node_ids().max_by_key(|&n| topo.degree(n)).unwrap();
     let c = topo.position(hub);
@@ -76,6 +86,8 @@ fn schemes_disagree_as_published() {
     let mut fcp_total_calcs = 0usize;
     let mut rtr_initiators = std::collections::BTreeSet::new();
     let mut mrc_drops = 0usize;
+    let mut emrc_delivered = 0usize;
+    let mut mrc_delivered = 0usize;
     let mut cases = 0usize;
     for s in topo.node_ids() {
         for t in topo.node_ids() {
@@ -89,15 +101,21 @@ fn schemes_disagree_as_published() {
             {
                 cases += 1;
                 rtr_initiators.insert(initiator);
-                let fcp = fcp_route(&topo, &scenario, initiator, failed_link, t);
+                let fcp = Fcp.route_in(ctx, &scenario, initiator, failed_link, t, &mut scratch);
                 assert!(
                     fcp.is_delivered(),
                     "FCP always delivers recoverable traffic"
                 );
                 fcp_total_calcs += fcp.sp_calculations;
-                let m = mrc_recover(&topo, &mrc, &scenario, initiator, failed_link, t);
-                if !m.is_delivered() {
+                let m = mrc.route_in(ctx, &scenario, initiator, failed_link, t, &mut scratch);
+                if m.is_delivered() {
+                    mrc_delivered += 1;
+                } else {
                     mrc_drops += 1;
+                }
+                let e = emrc.route_in(ctx, &scenario, initiator, failed_link, t, &mut scratch);
+                if e.is_delivered() {
+                    emrc_delivered += 1;
                 }
             }
         }
@@ -113,6 +131,10 @@ fn schemes_disagree_as_published() {
     assert!(
         mrc_drops > 0,
         "large-scale failures must defeat MRC somewhere"
+    );
+    assert!(
+        emrc_delivered >= mrc_delivered,
+        "re-switching can only help: eMRC {emrc_delivered} < MRC {mrc_delivered}"
     );
 }
 
