@@ -18,7 +18,9 @@
 //! MRC — the equivalence the degeneration test pins down.
 
 use crate::mrc::{switching_config, Mrc, MrcError};
-use crate::scheme::{config_walk_trace, RecoveryScheme, RouteOutcome, SchemeAttempt, SchemeCtx, SchemeId};
+use crate::scheme::{
+    config_walk_trace, RecoveryScheme, RouteOutcome, SchemeAttempt, SchemeCtx, SchemeId,
+};
 use rtr_core::SchemeScratch;
 use rtr_topology::{GraphView, LinkId, NodeId, Topology};
 
@@ -171,7 +173,10 @@ mod tests {
     use rtr_topology::{generate, CrossLinkTable, FailureScenario, FullView, Region};
 
     fn ctx_parts(topo: &Topology) -> (CrossLinkTable, RoutingTable) {
-        (CrossLinkTable::new(topo), RoutingTable::compute(topo, &FullView))
+        (
+            CrossLinkTable::new(topo),
+            RoutingTable::compute(topo, &FullView),
+        )
     }
 
     #[test]

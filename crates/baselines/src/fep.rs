@@ -199,7 +199,10 @@ mod tests {
             }
             let s = FailureScenario::single_link(&topo, l);
             let got = fep.route_in(ctx, &s, a, l, b, &mut scratch);
-            assert!(got.is_delivered(), "single-link detour must deliver ({l:?})");
+            assert!(
+                got.is_delivered(),
+                "single-link detour must deliver ({l:?})"
+            );
             assert_eq!(got.sp_calculations, 0);
             // The whole walk is one detour: every hop after the start
             // carries the failed link's id.

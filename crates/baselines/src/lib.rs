@@ -52,7 +52,7 @@
 //! assert!(attempt.is_delivered());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod emrc;

@@ -215,6 +215,30 @@ impl SchemeAttempt {
 /// the same precondition as [`fcp_route_in`] and RTR's phase 1).
 /// Implementations may panic on violations; the serving layer validates
 /// requests before dispatching.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_baselines::{Fcp, RecoveryScheme, SchemeCtx};
+/// use rtr_core::SessionPool;
+/// use rtr_routing::RoutingTable;
+/// use rtr_topology::{generate, CrossLinkTable, FullView, LinkMask, NodeId};
+///
+/// // Pre-failure artifacts, computed once per topology.
+/// let topo = generate::grid(3, 3, 100.0);
+/// let crosslinks = CrossLinkTable::new_all_pairs(&topo);
+/// let table = RoutingTable::compute(&topo, &FullView);
+/// let ctx = SchemeCtx { topo: &topo, crosslinks: &crosslinks, table: &table };
+///
+/// // Corner node v0 observes its first incident link die; route one
+/// // packet to the opposite corner with the FCP backend.
+/// let (_, failed) = topo.neighbors(NodeId(0))[0];
+/// let truth = LinkMask::from_links(&topo, [failed]);
+/// let pool = SessionPool::new();
+/// let mut scratch = pool.scheme_scratch();
+/// let attempt = Fcp.route_in(ctx, &truth, NodeId(0), failed, NodeId(8), &mut scratch);
+/// assert!(attempt.is_delivered());
+/// ```
 pub trait RecoveryScheme: std::fmt::Debug + Send + Sync {
     /// Which backend this is.
     fn id(&self) -> SchemeId;
@@ -315,7 +339,13 @@ impl RecoveryScheme for Mrc {
         let walked = attempt
             .path
             .as_ref()
-            .map(|p| p.nodes().iter().copied().skip(1).take(attempt.hops_traversed))
+            .map(|p| {
+                p.nodes()
+                    .iter()
+                    .copied()
+                    .skip(1)
+                    .take(attempt.hops_traversed)
+            })
             .into_iter()
             .flatten()
             .collect::<Vec<_>>();
@@ -435,9 +465,7 @@ mod tests {
         assert!(!all.is_empty());
         assert_eq!(all.iter().collect::<Vec<_>>(), SchemeId::ALL);
 
-        let two = SchemeMask::none()
-            .with(SchemeId::Fep)
-            .with(SchemeId::Rtr);
+        let two = SchemeMask::none().with(SchemeId::Fep).with(SchemeId::Rtr);
         assert_eq!(two.len(), 2);
         assert!(two.contains(SchemeId::Rtr) && two.contains(SchemeId::Fep));
         assert!(!two.contains(SchemeId::Mrc));
@@ -446,7 +474,10 @@ mod tests {
             two.iter().collect::<Vec<_>>(),
             vec![SchemeId::Rtr, SchemeId::Fep]
         );
-        assert_eq!(two.without(SchemeId::Rtr).iter().next(), Some(SchemeId::Fep));
+        assert_eq!(
+            two.without(SchemeId::Rtr).iter().next(),
+            Some(SchemeId::Fep)
+        );
         assert_eq!([SchemeId::Mrc].into_iter().collect::<SchemeMask>().len(), 1);
         assert!(SchemeMask::none().is_empty());
     }
@@ -478,14 +509,7 @@ mod tests {
         let scenario = FailureScenario::single_link(&topo, failed);
         let mut scratch = SchemeScratch::new();
         for scheme in [&Fcp as &dyn RecoveryScheme, &Rtr] {
-            let a = scheme.route_in(
-                ctx,
-                &scenario,
-                NodeId(0),
-                failed,
-                NodeId(3),
-                &mut scratch,
-            );
+            let a = scheme.route_in(ctx, &scenario, NodeId(0), failed, NodeId(3), &mut scratch);
             assert!(a.is_delivered(), "{} failed on the diamond", scheme.name());
             assert_eq!(a.cost_traversed, 2, "{}", scheme.name());
             assert!(a.hops() >= 2, "{}", scheme.name());

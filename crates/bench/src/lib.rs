@@ -1,6 +1,6 @@
 //! Shared fixtures for the RTR criterion benches.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use rtr_routing::RoutingTable;

@@ -13,7 +13,7 @@
 //! Topologies are referenced either by their Table II name (`AS1239`) or by
 //! a file in the plain-text format of [`rtr_topology::isp::parse_topology`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use rtr_baselines::{RouteOutcome, SchemeCtx, SchemeId, SchemeMask};

@@ -46,7 +46,7 @@
 //! # Ok::<(), rtr_core::Phase1Error>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod error;

@@ -109,6 +109,28 @@ impl<'a> RecoveryComputer<'a> {
         scratch: &mut RecoveryScratch,
         sink: &mut S,
     ) -> Self {
+        Self::new_based_traced_in(
+            topo, &FullView, local_view, initiator, header, scratch, sink,
+        )
+    }
+
+    /// Like [`new_traced_in`](Self::new_traced_in), but the initiator's
+    /// believed topology starts from `believed_base` — its *converged*
+    /// routing view — instead of the intact topology. Under a churn
+    /// timeline the base is the (possibly stale) link view the IGP last
+    /// converged to, so the recovery SPT excludes both the links the
+    /// initiator already knew were down and the ones phase 1 just
+    /// collected. With [`rtr_topology::FullView`] as the base this is
+    /// exactly `new_traced_in`.
+    pub fn new_based_traced_in<S: TraceSink>(
+        topo: &'a Topology,
+        believed_base: &impl GraphView,
+        local_view: &impl GraphView,
+        initiator: NodeId,
+        header: &CollectionHeader,
+        scratch: &mut RecoveryScratch,
+        sink: &mut S,
+    ) -> Self {
         let mut removed = LinkIdSet::new();
         for l in header.failed_links() {
             removed.insert(l);
@@ -120,7 +142,7 @@ impl<'a> RecoveryComputer<'a> {
         }
         let mut spt = IncrementalSpt::with_view_in(
             topo,
-            &FullView,
+            believed_base,
             initiator,
             std::mem::take(&mut scratch.spt),
         );

@@ -154,6 +154,55 @@ impl SessionPool {
         }
     }
 
+    /// Starts an [`RtrSession`] whose phase-2 tree is seeded from
+    /// `believed_base` (a possibly stale converged view) instead of the
+    /// intact topology, from pooled buffers. Phase 1 still sweeps the
+    /// ground-truth `view`. This is the churn-timeline entry point: the
+    /// initiator recomputes routes over what it *believes* the network
+    /// looked like before this failure.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RtrSession::start`]; on error the buffers go
+    /// straight back to the pool.
+    pub fn start_based_session<'p, 'a, V: GraphView>(
+        &'p self,
+        topo: &'a Topology,
+        crosslinks: &CrossLinkTable,
+        view: &'a V,
+        believed_base: &impl GraphView,
+        initiator: NodeId,
+        failed_default_link: LinkId,
+    ) -> Result<PooledSession<'p, 'a, V>, Phase1Error> {
+        let mut scratch = self
+            .recovery
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| RecoveryScratch::with_kernels(self.kernels, self.sweep));
+        match RtrSession::start_based_traced_in(
+            topo,
+            crosslinks,
+            view,
+            believed_base,
+            initiator,
+            failed_default_link,
+            &mut scratch,
+            &mut rtr_obs::NoopSink,
+        ) {
+            Ok(session) => Ok(PooledSession {
+                pool: self,
+                session: Some(session),
+                scratch: Some(scratch),
+            }),
+            Err(e) => {
+                // start_based_traced_in leaves the scratch untouched on
+                // failure.
+                self.recovery.borrow_mut().push(scratch);
+                Err(e)
+            }
+        }
+    }
+
     /// Checks out a [`DijkstraScratch`]. Multiple leases may be live at
     /// once (the driver holds one for the optimal baseline and one for MRC
     /// simultaneously); each returns to the freelist on drop.
@@ -192,6 +241,24 @@ impl SessionPool {
     /// Checks out a [`SchemeScratch`] for a pluggable recovery-scheme
     /// attempt (`rtr-baselines`' `RecoveryScheme::route_in`). The guard
     /// derefs to the bundle and returns it to the freelist on drop.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtr_core::SessionPool;
+    ///
+    /// let pool = SessionPool::new();
+    /// {
+    ///     let mut lease = pool.scheme_scratch();
+    ///     // The lease derefs to the scratch bundle: `&mut *lease` (or
+    ///     // plain deref coercion) is the `&mut SchemeScratch` a
+    ///     // `RecoveryScheme::route_in` call takes. Buffers return to
+    ///     // the pool here, warm for the next attempt.
+    ///     let _bundle = &mut *lease;
+    /// }
+    /// let again = pool.scheme_scratch(); // reuses the same allocation
+    /// drop(again);
+    /// ```
     pub fn scheme_scratch(&self) -> SchemeLease<'_> {
         let scratch = self
             .scheme

@@ -137,6 +137,56 @@ impl<'a, V: GraphView> RtrSession<'a, V> {
         })
     }
 
+    /// Like [`start_traced_in`](Self::start_traced_in), but the
+    /// initiator's believed topology starts from `believed_base` — the
+    /// (possibly stale) converged link view its IGP last gave it —
+    /// instead of the intact topology. This is the churn-timeline entry
+    /// point: phase 1 still sweeps the ground truth `view`, while the
+    /// phase-2 recovery SPT excludes the base view's known-dead links
+    /// *plus* everything the sweep collected. With
+    /// [`FullView`](rtr_topology::FullView) as the base this is exactly
+    /// `start_traced_in`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RtrSession::start`].
+    #[allow(clippy::too_many_arguments)] // start_traced_in plus the one base-view knob.
+    pub fn start_based_traced_in<S: TraceSink>(
+        topo: &'a Topology,
+        crosslinks: &CrossLinkTable,
+        view: &'a V,
+        believed_base: &impl GraphView,
+        initiator: NodeId,
+        failed_default_link: LinkId,
+        scratch: &mut RecoveryScratch,
+        sink: &mut S,
+    ) -> Result<Self, Phase1Error> {
+        let phase1 = collect_failure_info_traced(
+            topo,
+            crosslinks,
+            view,
+            initiator,
+            failed_default_link,
+            scratch.sweep_kernel(),
+            sink,
+        )?;
+        let computer = RecoveryComputer::new_based_traced_in(
+            topo,
+            believed_base,
+            view,
+            initiator,
+            &phase1.header,
+            scratch,
+            sink,
+        );
+        Ok(RtrSession {
+            topo,
+            view,
+            phase1,
+            computer,
+        })
+    }
+
     /// Returns this session's computer buffers to `scratch` for the next
     /// case.
     pub fn recycle(self, scratch: &mut RecoveryScratch) {
@@ -309,6 +359,78 @@ mod tests {
             assert_eq!(trace, attempt.trace, "trace mismatch for {dest}");
         }
         assert_eq!(session.sp_calculations(), 1);
+    }
+
+    #[test]
+    fn based_start_with_full_view_matches_plain_start() {
+        let topo = generate::grid(4, 4, 10.0);
+        let xl = CrossLinkTable::new(&topo);
+        let s = FailureScenario::from_parts(&topo, [NodeId(5)], []);
+        let failed = topo.link_between(NodeId(4), NodeId(5)).unwrap();
+        let mut scratch = crate::phase2::RecoveryScratch::default();
+        let mut based = RtrSession::start_based_traced_in(
+            &topo,
+            &xl,
+            &s,
+            &rtr_topology::FullView,
+            NodeId(4),
+            failed,
+            &mut scratch,
+            &mut rtr_obs::NoopSink,
+        )
+        .unwrap();
+        let mut plain = RtrSession::start(&topo, &xl, &s, NodeId(4), failed).unwrap();
+        for dest in topo.node_ids() {
+            if dest == NodeId(4) {
+                continue;
+            }
+            let a = based.recover(dest);
+            let b = plain.recover(dest);
+            assert_eq!(a.outcome, b.outcome, "outcome for {dest}");
+            assert_eq!(a.path, b.path, "path for {dest}");
+        }
+    }
+
+    #[test]
+    fn stale_base_excludes_known_dead_links_from_believed_view() {
+        // Ring of 6: node 0 recovers toward node 3. Ground truth: links
+        // 0-1 and 4-5 are down. The stale converged base already knows
+        // about 4-5 (it went down in an earlier timeline event), so the
+        // believed recovery path must avoid it even though the phase-1
+        // sweep from the 0-1 failure may never observe it.
+        let topo = generate::ring(6, 100.0).unwrap();
+        let xl = CrossLinkTable::new(&topo);
+        let l01 = topo.link_between(NodeId(0), NodeId(1)).unwrap();
+        let l45 = topo.link_between(NodeId(4), NodeId(5)).unwrap();
+        let truth = rtr_topology::LinkMask::from_links(&topo, [l01, l45]);
+        let stale_base = rtr_topology::LinkMask::from_links(&topo, [l45]);
+        let mut scratch = crate::phase2::RecoveryScratch::default();
+        let mut session = RtrSession::start_based_traced_in(
+            &topo,
+            &xl,
+            &truth,
+            &stale_base,
+            NodeId(0),
+            l01,
+            &mut scratch,
+            &mut rtr_obs::NoopSink,
+        )
+        .unwrap();
+        // With both ring cuts, 3 is unreachable from 0... only via 5-4?
+        // 0-5 and 1-2-3 survive: 0 can reach 5 (dead end) and nothing
+        // else; 3 is unreachable in truth from 0. A reachable target:
+        // none across the cut — so recover toward 5, the only live arc.
+        let attempt = session.recover(NodeId(5));
+        assert!(attempt.is_delivered());
+        let p = attempt.path.unwrap();
+        assert!(
+            !p.links().contains(&l45),
+            "believed path may not use the stale-known dead link"
+        );
+        // And an unreachable destination is recognized from the believed
+        // view alone (no packet launched into the known-dead arc).
+        let blocked = session.recover(NodeId(3));
+        assert_eq!(blocked.outcome, DeliveryOutcome::NoPath);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Dynamic-failure-timeline evaluation: replays a moving-front or
+//! random-churn event stream against a lagging incrementally-patched
+//! baseline and reports per-event recovery quality.
+
+use rtr_eval::baseline::Baseline;
+use rtr_eval::churn::{staleness_sweep, ChurnConfig};
+use rtr_eval::json::{Json, ToJson};
+use rtr_eval::writer;
+use rtr_topology::{isp, Point, Timeline};
+
+const USAGE: &str = "\
+churn — per-event recovery quality across a failure timeline
+
+usage: churn [options]
+  --topo NAME       Table II topology (default AS1239)
+  --mode MODE       front (moving damage front) | churn (random up/down)
+  --steps N         timeline length in events (default 8)
+  --seed S          generator seed (default 42, churn mode)
+  --staleness LIST  comma-separated K values; the believed baseline lags
+                    K events behind the truth (default 1)
+  --cases N         per-event harvested-case cap, 0 = unlimited (default 0)
+  --threads N       initial-build workers, 0 = auto (default 0)
+  --json PATH       also write all reports as a JSON array
+";
+
+struct Args {
+    topo: String,
+    mode: String,
+    steps: usize,
+    seed: u64,
+    staleness: Vec<usize>,
+    cases: usize,
+    threads: usize,
+    json: Option<String>,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut out = Args {
+        topo: "AS1239".to_string(),
+        mode: "churn".to_string(),
+        steps: 8,
+        seed: 42,
+        staleness: vec![1],
+        cases: 0,
+        threads: 0,
+        json: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--topo" => out.topo = take("--topo")?,
+            "--mode" => out.mode = take("--mode")?,
+            "--steps" => {
+                let v = take("--steps")?;
+                out.steps = v.parse().map_err(|_| format!("bad --steps value: {v}"))?;
+            }
+            "--seed" => {
+                let v = take("--seed")?;
+                out.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--staleness" => {
+                let v = take("--staleness")?;
+                out.staleness = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("bad --staleness value: {v}"))?;
+            }
+            "--cases" => {
+                let v = take("--cases")?;
+                out.cases = v.parse().map_err(|_| format!("bad --cases value: {v}"))?;
+            }
+            "--threads" => {
+                let v = take("--threads")?;
+                out.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--json" => out.json = Some(take("--json")?),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if out.staleness.is_empty() {
+        return Err("--staleness needs at least one K".to_string());
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let Some(profile) = isp::profile(&args.topo) else {
+        eprintln!("unknown topology {:?} (want a Table II name)", args.topo);
+        std::process::exit(2);
+    };
+    let base = Baseline::for_profile(&profile);
+    let timeline = match args.mode.as_str() {
+        // A circular damage front entering from the west edge and
+        // sweeping across the 2000 km area extent, repairs behind it.
+        "front" => Timeline::moving_front(
+            base.topo(),
+            Point::new(0.0, isp::AREA_EXTENT / 2.0),
+            (isp::AREA_EXTENT / args.steps.max(1) as f64, 0.0),
+            isp::AREA_EXTENT / 6.0,
+            args.steps,
+            50,
+        ),
+        "churn" => Timeline::random_churn(base.topo(), args.steps, 50, 3, 0.3, args.seed),
+        other => {
+            eprintln!("unknown --mode {other:?} (want front or churn)");
+            std::process::exit(2);
+        }
+    };
+    writer::notice(format!(
+        "{}: {} timeline, {} event(s), staleness {:?}",
+        args.topo,
+        args.mode,
+        timeline.len(),
+        args.staleness
+    ));
+    let cfg = ChurnConfig::default()
+        .with_max_cases(args.cases)
+        .with_threads(args.threads);
+    let label = format!("{} ({})", args.topo, args.mode);
+    let reports = staleness_sweep(&base, &timeline, &label, &args.staleness, &cfg);
+    for report in &reports {
+        writer::print_report(report);
+    }
+    if let Some(path) = &args.json {
+        let arr = Json::Arr(reports.iter().map(ToJson::to_json).collect());
+        let text = rtr_eval::json::to_string_pretty(&arr);
+        if let Err(e) = writer::write_file(path, &text) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        writer::notice(format!("wrote {path}"));
+    }
+}

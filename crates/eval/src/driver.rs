@@ -19,8 +19,7 @@ use crate::baseline::Baseline;
 use crate::config::ExperimentConfig;
 use crate::par;
 use crate::schemes::{
-    build_comparators, eval_irrecoverable_in, eval_recoverable_in, IrrecoverableRow,
-    RecoverableRow,
+    build_comparators, eval_irrecoverable_in, eval_recoverable_in, IrrecoverableRow, RecoverableRow,
 };
 use crate::testcase::{generate_workload_shared, ScenarioCases, TestCase, Workload};
 use rtr_baselines::{MrcError, RecoveryScheme, SchemeId, SchemeMask};
@@ -204,12 +203,13 @@ pub fn run_workload(
     w: &Workload,
     cfg: &ExperimentConfig,
 ) -> Result<TopologyResults, MrcUnavailable> {
-    let comparators = build_comparators(w.topo(), cfg.schemes, cfg.mrc_configurations).map_err(
-        |error| MrcUnavailable {
-            topology: w.name.clone(),
-            error,
-        },
-    )?;
+    let comparators =
+        build_comparators(w.topo(), cfg.schemes, cfg.mrc_configurations).map_err(|error| {
+            MrcUnavailable {
+                topology: w.name.clone(),
+                error,
+            }
+        })?;
     let threads = par::resolve_threads(cfg.threads);
 
     // One contiguous chunk per worker; each worker reuses a single
@@ -428,11 +428,9 @@ mod tests {
 
     #[test]
     fn scheme_mask_controls_what_runs() {
-        let cfg = ExperimentConfig::quick().with_cases(20).with_schemes(
-            SchemeMask::none()
-                .with(SchemeId::Fcp)
-                .with(SchemeId::Fep),
-        );
+        let cfg = ExperimentConfig::quick()
+            .with_cases(20)
+            .with_schemes(SchemeMask::none().with(SchemeId::Fcp).with(SchemeId::Fep));
         let topo = generate::isp_like(30, 70, 2000.0, 8).unwrap();
         let w = generate_workload("t", topo, &cfg, 2);
         let r = run_workload(&w, &cfg).expect("connected fixture");

@@ -146,6 +146,15 @@ pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
     value.to_json().pretty()
 }
 
+impl ToJson for Json {
+    /// Identity: an already-built tree serializes as itself, so builders
+    /// that assemble a `Json` by hand (e.g. an array of reports) can go
+    /// through the same `to_string` / `to_string_pretty` front door.
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
 impl ToJson for String {
     fn to_json(&self) -> Json {
         Json::Str(self.clone())

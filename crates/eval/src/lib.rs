@@ -24,6 +24,7 @@
 //! | F — equal-area failure shapes | [`shapes`] | `shapes` |
 //! | M — scenario-class × scheme matrix | [`matrix`] | `matrix` |
 //! | O — per-scenario trace metrics + recovery narrative | [`trace`] | `explain` |
+//! | C — dynamic failure timelines + incremental baseline | [`churn`] | `churn` |
 //!
 //! The `repro` binary runs every paper experiment plus the ablations and
 //! writes text + JSON artifacts to `results/`.
@@ -45,11 +46,12 @@
 //! executor (`--threads` / `RTR_THREADS`); results are byte-identical at
 //! every worker count.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod baseline;
+pub mod churn;
 pub mod cli;
 pub mod config;
 pub mod driver;

@@ -208,7 +208,10 @@ impl ToJson for MatrixRow {
         Json::Obj(vec![
             ("class", Json::Str(self.class.name().to_string())),
             ("cases", Json::Num(self.cases as f64)),
-            ("schemes", Json::Arr(self.cells.iter().map(ToJson::to_json).collect())),
+            (
+                "schemes",
+                Json::Arr(self.cells.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }
@@ -219,7 +222,10 @@ impl ToJson for MatrixReport {
             ("id", self.id.to_json()),
             ("title", self.title.to_json()),
             ("topologies", self.topologies.to_json()),
-            ("classes", Json::Arr(self.rows.iter().map(ToJson::to_json).collect())),
+            (
+                "classes",
+                Json::Arr(self.rows.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }

@@ -164,12 +164,8 @@ pub fn fig7(results: &[TopologyResults]) -> FigureReport {
 }
 
 /// The comparator schemes in presentation order (every scheme but RTR).
-const COMPARATOR_ORDER: [SchemeId; 4] = [
-    SchemeId::Fcp,
-    SchemeId::Mrc,
-    SchemeId::Emrc,
-    SchemeId::Fep,
-];
+const COMPARATOR_ORDER: [SchemeId; 4] =
+    [SchemeId::Fcp, SchemeId::Mrc, SchemeId::Emrc, SchemeId::Fep];
 
 /// Table III: recovery rate, optimal recovery rate, max stretch, and max
 /// computational overhead of all five schemes on recoverable test cases.

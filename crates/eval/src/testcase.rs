@@ -224,12 +224,20 @@ impl ScenarioClass {
     /// Draws one scenario of this class. The region is the drawn area for
     /// the area classes and an empty union for the link classes (which
     /// have no geometric footprint).
-    fn draw(self, topo: &Topology, cfg: &ExperimentConfig, rng: &mut StdRng) -> (Region, FailureScenario) {
+    fn draw(
+        self,
+        topo: &Topology,
+        cfg: &ExperimentConfig,
+        rng: &mut StdRng,
+    ) -> (Region, FailureScenario) {
         let link_count = topo.link_count() as u32;
         match self {
             ScenarioClass::SingleLink => {
                 let l = LinkId(rng.gen_range(0..link_count));
-                (Region::Union(Vec::new()), FailureScenario::single_link(topo, l))
+                (
+                    Region::Union(Vec::new()),
+                    FailureScenario::single_link(topo, l),
+                )
             }
             ScenarioClass::SparseMultiLink => {
                 let mut links = Vec::with_capacity(3);
@@ -573,7 +581,12 @@ mod tests {
         let names: Vec<&str> = ScenarioClass::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            ["single-link", "sparse-multi-link", "correlated-area", "multi-area"]
+            [
+                "single-link",
+                "sparse-multi-link",
+                "correlated-area",
+                "multi-area"
+            ]
         );
     }
 

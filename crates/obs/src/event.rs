@@ -88,6 +88,29 @@ pub enum Event {
         /// Why the packet could not proceed.
         reason: DiscardReason,
     },
+    /// A churn-timeline event was folded into the per-topology baseline
+    /// *incrementally*: per-source trees patched in place (Narvaez
+    /// remove/restore repair) and only the changed sources' first-hop
+    /// buckets rebuilt. Emitted once per applied event by the dynamic
+    /// baseline; `labels_touched` is the work metric the
+    /// `BENCH_churn.json` incremental-vs-rebuild comparison records.
+    BaselinePatched {
+        /// Links the event took down (after no-op filtering).
+        down: usize,
+        /// Links the event restored (after no-op filtering).
+        up: usize,
+        /// Sources whose shortest-path tree changed and were re-bucketed.
+        sources_touched: usize,
+        /// Total tree labels re-examined across all patched sources.
+        labels_touched: usize,
+    },
+    /// The per-topology baseline was recomputed from scratch over the
+    /// current converged link view — the oracle path the incremental
+    /// patch is checked against (and the cost floor it must beat).
+    BaselineRebuilt {
+        /// Number of per-source trees the rebuild recomputed.
+        sources: usize,
+    },
 }
 
 impl Event {
@@ -137,6 +160,19 @@ impl fmt::Display for Event {
                     write!(f, "packet discarded at {at}: route hit dead link {link}")
                 }
             },
+            Event::BaselinePatched {
+                down,
+                up,
+                sources_touched,
+                labels_touched,
+            } => write!(
+                f,
+                "baseline patched in place ({down} down, {up} up, {sources_touched} sources, \
+                 {labels_touched} labels touched)"
+            ),
+            Event::BaselineRebuilt { sources } => {
+                write!(f, "baseline rebuilt from scratch ({sources} sources)")
+            }
         }
     }
 }
@@ -169,6 +205,13 @@ mod tests {
                 at: NodeId(2),
                 reason: DiscardReason::NoPath,
             },
+            Event::BaselinePatched {
+                down: 3,
+                up: 1,
+                sources_touched: 5,
+                labels_touched: 40,
+            },
+            Event::BaselineRebuilt { sources: 30 },
         ];
         assert!(phase1.iter().all(Event::is_phase1));
         assert!(!phase2.iter().any(Event::is_phase1));

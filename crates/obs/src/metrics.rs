@@ -235,6 +235,9 @@ pub struct MetricsRegistry {
     spt_nodes_touched: u64,
     source_routes_installed: u64,
     packets_discarded: u64,
+    baseline_patches: u64,
+    baseline_labels_touched: u64,
+    baseline_rebuilds: u64,
     sessions: u64,
     hops_per_session: Histogram,
     header_bytes: Histogram,
@@ -263,6 +266,11 @@ impl MetricsRegistry {
             }
             Event::SourceRouteInstalled { .. } => self.source_routes_installed += 1,
             Event::PacketDiscarded { .. } => self.packets_discarded += 1,
+            Event::BaselinePatched { labels_touched, .. } => {
+                self.baseline_patches += 1;
+                self.baseline_labels_touched += labels_touched as u64;
+            }
+            Event::BaselineRebuilt { .. } => self.baseline_rebuilds += 1,
         }
     }
 
@@ -325,6 +333,25 @@ impl MetricsRegistry {
     #[must_use]
     pub fn packets_discarded(&self) -> u64 {
         self.packets_discarded
+    }
+
+    /// Total incremental baseline patches observed.
+    #[must_use]
+    pub fn baseline_patches(&self) -> u64 {
+        self.baseline_patches
+    }
+
+    /// Total tree labels re-examined across all incremental baseline
+    /// patches — the churn-bench work metric.
+    #[must_use]
+    pub fn baseline_labels_touched(&self) -> u64 {
+        self.baseline_labels_touched
+    }
+
+    /// Total from-scratch baseline rebuilds observed.
+    #[must_use]
+    pub fn baseline_rebuilds(&self) -> u64 {
+        self.baseline_rebuilds
     }
 
     /// Number of recovery sessions closed via

@@ -55,6 +55,27 @@ impl SptScratch {
     pub fn kernels(&self) -> Kernels {
         self.queue.kernels
     }
+
+    /// Distance label left behind by the tree that dissolved into this
+    /// scratch (see [`IncrementalSpt::into_scratch`]), or `None` for an
+    /// unreachable or out-of-range node. Lets a caller that parks many
+    /// per-source trees as scratches (the eval layer's incrementally
+    /// patched baseline) query labels without rehydrating the tree.
+    pub fn distance(&self, n: NodeId) -> Option<u64> {
+        self.dist.get(n.index()).copied().flatten()
+    }
+
+    /// Parent label left behind by the dissolved tree (see
+    /// [`distance`](Self::distance)).
+    pub fn parent(&self, n: NodeId) -> Option<(NodeId, LinkId)> {
+        self.parent.get(n.index()).copied().flatten()
+    }
+
+    /// Returns true when the dissolved tree had removed link `l` from its
+    /// view (out-of-range ids read as not removed).
+    pub fn is_removed(&self, l: LinkId) -> bool {
+        self.removed.get(l.index()).copied().unwrap_or(false)
+    }
 }
 
 /// A shortest-path tree that supports removing links incrementally.
@@ -126,6 +147,44 @@ impl<'a> IncrementalSpt<'a> {
             queue: scratch.queue,
         };
         me.reset(view, source);
+        me
+    }
+
+    /// Rehydrates the tree a previous [`into_scratch`](Self::into_scratch)
+    /// dissolved, **without recomputation**: the labels and removed-link
+    /// state in `scratch` are adopted verbatim.
+    ///
+    /// This is the steady-state entry point of the incrementally patched
+    /// baseline: one scratch per source is parked between churn events,
+    /// resumed, patched with [`remove_links`](Self::remove_links) /
+    /// [`restore_links`](Self::restore_links), and dissolved again —
+    /// event cost proportional to the damage, not to the topology.
+    ///
+    /// The caller must hand back a scratch whose labels were produced for
+    /// this same `topo` and `source`; a mismatched scratch yields a tree
+    /// whose queries are garbage (though still panic-free). Labels sized
+    /// for a different topology are detected and rebuilt from scratch
+    /// against the intact view.
+    pub fn resume_in(topo: &'a Topology, source: NodeId, scratch: SptScratch) -> Self {
+        let sized_for_topo = scratch.dist.len() == topo.node_count()
+            && scratch.parent.len() == topo.node_count()
+            && scratch.removed.len() == topo.link_count();
+        let mut me = IncrementalSpt {
+            topo,
+            source,
+            dist: scratch.dist,
+            parent: scratch.parent,
+            removed: scratch.removed,
+            nodes_touched: 0,
+            children: scratch.children,
+            affected: scratch.affected,
+            stack: scratch.stack,
+            heap: scratch.heap,
+            queue: scratch.queue,
+        };
+        if !sized_for_topo {
+            me.reset(&rtr_topology::FullView, source);
+        }
         me
     }
 
@@ -368,6 +427,85 @@ impl<'a> IncrementalSpt<'a> {
         });
     }
 
+    /// Restores a batch of previously removed links and repairs the tree
+    /// incrementally — the `LinkUp` counterpart of
+    /// [`remove_links`](Self::remove_links).
+    ///
+    /// Restoring a link can only shorten paths (or break equal-cost ties
+    /// toward a smaller `(parent, link)` pair), so the repair seeds a
+    /// label-correcting pass from the restored links' endpoints and
+    /// propagates improvements outward; nodes whose labels cannot improve
+    /// are never touched. Restoring a link that was never removed is a
+    /// no-op. The result is the same canonical tree a fresh build over
+    /// the patched view produces: distances are unique, and every node's
+    /// parent is its minimum `(NodeId, LinkId)` tight predecessor — the
+    /// invariant [`improves`](Self::remove_links) maintains everywhere,
+    /// which is what makes incremental patches byte-identical to full
+    /// rebuilds.
+    pub fn restore_links(&mut self, links: impl IntoIterator<Item = LinkId>) {
+        self.nodes_touched = 0;
+        let mut heap = std::mem::take(&mut self.heap);
+        heap.clear();
+        for l in links {
+            if !self.is_removed(l) {
+                continue;
+            }
+            if let Some(r) = self.removed.get_mut(l.index()) {
+                *r = false;
+            }
+            let (a, b) = self.topo.link(l).endpoints();
+            for (from, to) in [(a, b), (b, a)] {
+                let Some(df) = self.distance(from) else {
+                    continue;
+                };
+                let nd = df + u64::from(self.topo.cost_from(l, from));
+                if self.improves(to, nd, from, l) {
+                    self.set_label(to, Some(nd), Some((from, l)));
+                    heap.push(Reverse((nd, to.0)));
+                }
+            }
+        }
+
+        // Label-correcting pass: every improved node re-relaxes all its
+        // usable out-links, so improvements (including newly reachable
+        // regions behind a restored bridge) propagate to a fixpoint where
+        // no usable link improves any label — the canonical tree.
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let u = NodeId(u);
+            if self.distance(u) != Some(d) {
+                continue;
+            }
+            self.nodes_touched += 1;
+            for &(v, l) in self.topo.neighbors(u) {
+                if self.is_removed(l) {
+                    continue;
+                }
+                let nd = d + u64::from(self.topo.cost_from(l, u));
+                if self.improves(v, nd, u, l) {
+                    self.set_label(v, Some(nd), Some((u, l)));
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+        self.heap = heap;
+    }
+
+    /// Like [`restore_links`](Self::restore_links), additionally emitting
+    /// one [`Event::SptRecompute`](rtr_obs::Event::SptRecompute) with the
+    /// repair's touched-node count. With [`NoopSink`](rtr_obs::NoopSink)
+    /// this monomorphizes to exactly `restore_links`.
+    pub fn restore_links_traced<S: TraceSink>(
+        &mut self,
+        links: impl IntoIterator<Item = LinkId>,
+        sink: &mut S,
+    ) {
+        self.restore_links(links);
+        sink.emit(Event::SptRecompute {
+            source: self.source,
+            nodes_touched: self.nodes_touched,
+        });
+    }
+
     fn improves(&self, v: NodeId, nd: u64, from: NodeId, l: LinkId) -> bool {
         match self.distance(v) {
             None => true,
@@ -555,6 +693,145 @@ mod tests {
         let removed: Vec<LinkId> = topo.link_ids().skip(3).step_by(6).collect();
         spt.remove_links(removed.iter().copied());
         assert_matches_oracle(&topo, &spt, &removed);
+    }
+
+    /// Stronger oracle: distances *and* parents must equal a fresh
+    /// Dijkstra over the masked view — the canonical-tree property that
+    /// makes incremental patches byte-identical to rebuilds.
+    fn assert_canonical(topo: &Topology, spt: &IncrementalSpt<'_>, removed: &[LinkId]) {
+        let mask = LinkMask::from_links(topo, removed.iter().copied());
+        let oracle = dijkstra(topo, &mask, spt.source());
+        for n in topo.node_ids() {
+            assert_eq!(spt.distance(n), oracle.distance(n), "distance at {n}");
+            assert_eq!(spt.parent(n), oracle.parent(n), "parent at {n}");
+        }
+    }
+
+    #[test]
+    fn restore_never_removed_link_is_a_noop() {
+        let topo = generate::grid(4, 4, 10.0);
+        let mut spt = IncrementalSpt::new(&topo, NodeId(0));
+        let before: Vec<_> = topo
+            .node_ids()
+            .map(|n| (spt.distance(n), spt.parent(n)))
+            .collect();
+        spt.restore_links(topo.link_ids());
+        assert_eq!(spt.nodes_touched(), 0);
+        let after: Vec<_> = topo
+            .node_ids()
+            .map(|n| (spt.distance(n), spt.parent(n)))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn remove_then_restore_returns_to_canonical_intact_tree() {
+        let topo = generate::isp_like(40, 90, 2000.0, 11).unwrap();
+        let mut spt = IncrementalSpt::new(&topo, NodeId(7));
+        let fresh = IncrementalSpt::new(&topo, NodeId(7));
+        let cut: Vec<LinkId> = topo.link_ids().step_by(4).collect();
+        spt.remove_links(cut.iter().copied());
+        spt.restore_links(cut.iter().copied());
+        for n in topo.node_ids() {
+            assert_eq!(spt.distance(n), fresh.distance(n), "distance at {n}");
+            assert_eq!(spt.parent(n), fresh.parent(n), "parent at {n}");
+        }
+        for l in topo.link_ids() {
+            assert!(!spt.is_removed(l));
+        }
+    }
+
+    #[test]
+    fn restore_reconnects_severed_component() {
+        let topo = generate::path(5, 10.0).unwrap();
+        let mut spt = IncrementalSpt::new(&topo, NodeId(0));
+        let middle = topo.link_between(NodeId(1), NodeId(2)).unwrap();
+        spt.remove_links([middle]);
+        assert_eq!(spt.distance(NodeId(4)), None);
+        spt.restore_links([middle]);
+        assert_canonical(&topo, &spt, &[]);
+        assert_eq!(spt.distance(NodeId(4)), Some(4));
+    }
+
+    #[test]
+    fn interleaved_remove_restore_matches_oracle() {
+        let topo = generate::isp_like(35, 85, 2000.0, 23).unwrap();
+        let mut spt = IncrementalSpt::new(&topo, NodeId(2));
+        let mut down: Vec<LinkId> = Vec::new();
+        // A deterministic interleaving: fail three, repair one, repeat.
+        for (i, l) in topo.link_ids().enumerate() {
+            if i % 4 == 3 {
+                if let Some(repaired) = down.pop() {
+                    spt.restore_links([repaired]);
+                }
+            } else {
+                down.push(l);
+                spt.remove_links([l]);
+            }
+            assert_canonical(&topo, &spt, &down);
+        }
+        // Repair everything still down, in reverse order.
+        while let Some(l) = down.pop() {
+            spt.restore_links([l]);
+            assert_canonical(&topo, &spt, &down);
+        }
+    }
+
+    #[test]
+    fn traced_restore_emits_one_spt_recompute_event() {
+        let topo = generate::grid(5, 5, 10.0);
+        let mut spt = IncrementalSpt::new(&topo, NodeId(0));
+        let (_, tree_link) = spt.parent(NodeId(24)).unwrap();
+        spt.remove_links([tree_link]);
+        let mut sink = rtr_obs::CollectingSink::new();
+        spt.restore_links_traced([tree_link], &mut sink);
+        assert_eq!(
+            sink.events(),
+            &[Event::SptRecompute {
+                source: NodeId(0),
+                nodes_touched: spt.nodes_touched(),
+            }]
+        );
+        assert_canonical(&topo, &spt, &[]);
+    }
+
+    #[test]
+    fn resume_in_adopts_parked_labels_verbatim() {
+        let topo = generate::isp_like(30, 70, 2000.0, 6).unwrap();
+        let mut spt = IncrementalSpt::new(&topo, NodeId(5));
+        let cut: Vec<LinkId> = topo.link_ids().take(9).collect();
+        spt.remove_links(cut.iter().copied());
+        let snapshot: Vec<_> = topo
+            .node_ids()
+            .map(|n| (spt.distance(n), spt.parent(n)))
+            .collect();
+        let scratch = spt.into_scratch();
+        // The parked scratch answers label queries directly.
+        for (n, &(d, p)) in topo.node_ids().zip(snapshot.iter()) {
+            assert_eq!(scratch.distance(n), d);
+            assert_eq!(scratch.parent(n), p);
+        }
+        assert!(scratch.is_removed(cut[0]));
+        let mut resumed = IncrementalSpt::resume_in(&topo, NodeId(5), scratch);
+        assert_eq!(resumed.nodes_touched(), 0, "resume never recomputes");
+        for (n, &(d, p)) in topo.node_ids().zip(snapshot.iter()) {
+            assert_eq!(resumed.distance(n), d);
+            assert_eq!(resumed.parent(n), p);
+        }
+        // And the resumed tree keeps patching correctly.
+        resumed.restore_links(cut.iter().copied());
+        assert_canonical(&topo, &resumed, &[]);
+    }
+
+    #[test]
+    fn resume_in_rebuilds_on_mismatched_scratch() {
+        let topo = generate::grid(4, 4, 10.0);
+        let spt = IncrementalSpt::resume_in(&topo, NodeId(3), SptScratch::default());
+        let fresh = IncrementalSpt::new(&topo, NodeId(3));
+        for n in topo.node_ids() {
+            assert_eq!(spt.distance(n), fresh.distance(n));
+            assert_eq!(spt.parent(n), fresh.parent(n));
+        }
     }
 
     #[test]

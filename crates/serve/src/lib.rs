@@ -27,6 +27,9 @@
 //! binary). Served results are byte-identical to the `rtr-eval` driver
 //! for the same scenarios — pinned by `tests/serve_matches_driver.rs`.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod fleet;
 pub mod load;

@@ -340,7 +340,11 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
             initiator: r.u32()?,
             failed_link: r.u32()?,
             // v1 frames carry no selector: they mean RTR.
-            scheme: if tag == TAG_RECOVER_REQ_V2 { r.u8()? } else { 0 },
+            scheme: if tag == TAG_RECOVER_REQ_V2 {
+                r.u8()?
+            } else {
+                0
+            },
             dests: r.u32_list()?,
         }),
         TAG_SHUTDOWN => Request::Shutdown,
@@ -608,7 +612,10 @@ mod tests {
             unreachable!()
         };
         for scheme in [1u8, 2, 3, 4, 250] {
-            let req = Request::Recover(RecoverRequest { scheme, ..base.clone() });
+            let req = Request::Recover(RecoverRequest {
+                scheme,
+                ..base.clone()
+            });
             let body = encode_request(&req);
             assert_eq!(body[0], TAG_RECOVER_REQ_V2);
             assert_eq!(decode_request(&body).unwrap(), req);

@@ -605,15 +605,12 @@ mod tests {
             match answer(&fleet, &pool, &req) {
                 Response::Recover(r) => {
                     assert_eq!(r.results.len(), 3, "scheme {code}");
-                    assert!(r
-                        .results
-                        .iter()
-                        .all(|d| d.route.first() == Some(&11)), "scheme {code}");
+                    assert!(
+                        r.results.iter().all(|d| d.route.first() == Some(&11)),
+                        "scheme {code}"
+                    );
                     if code == 1 {
-                        assert!(r
-                            .results
-                            .iter()
-                            .all(|d| d.outcome == Outcome::Delivered));
+                        assert!(r.results.iter().all(|d| d.outcome == Outcome::Delivered));
                     }
                 }
                 other => panic!("scheme {code}: unexpected {other:?}"),

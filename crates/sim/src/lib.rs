@@ -29,7 +29,7 @@
 //! ));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod delay;

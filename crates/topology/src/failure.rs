@@ -371,6 +371,24 @@ impl LinkMask {
         }
     }
 
+    /// Marks link `l` as usable again — the repair counterpart of
+    /// [`remove`](Self::remove), applied by timeline `LinkUp` events.
+    /// No-op when out of range or when the link was never removed.
+    pub fn restore(&mut self, l: LinkId) {
+        if let Some(r) = self.removed.get_mut(l.index()) {
+            *r = false;
+        }
+    }
+
+    /// Iterates the removed links in ascending id order.
+    pub fn removed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.removed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(i, _)| LinkId(i as u32))
+    }
+
     /// Returns true when link `l` is removed in this mask.
     pub fn is_removed(&self, l: LinkId) -> bool {
         self.removed.get(l.index()).copied().unwrap_or(false)

@@ -58,6 +58,7 @@ pub mod grid;
 pub mod isp;
 pub mod kernels;
 pub mod pa;
+pub mod timeline;
 
 pub use bitset::LinkBitSet;
 pub use crosslinks::CrossLinkTable;
@@ -69,3 +70,4 @@ pub use geometry::{Circle, Point, Polygon, Segment};
 pub use graph::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError, MAX_IDS};
 pub use grid::{PointGrid, SegmentGrid};
 pub use kernels::MaskKernel;
+pub use timeline::{Timeline, TimelineEvent};

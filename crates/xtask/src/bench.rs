@@ -26,6 +26,14 @@ pub const SCALE_MAX_CROSSLINK_SECS: f64 = 120.0;
 /// requires in `BENCH_serve.json`.
 pub const SERVE_SCHEMA: &str = "bench-serve-v1";
 
+/// Schema tag the churn recorder writes and the checker requires in
+/// `BENCH_churn.json`.
+pub const CHURN_SCHEMA: &str = "bench-churn-v1";
+
+/// Minimum timeline workloads a full (non-smoke) `BENCH_churn.json`
+/// must carry (the recorder sweeps two churn twins plus a moving front).
+pub const CHURN_MIN_POINTS: usize = 2;
+
 /// Minimum best-multi-worker over one-worker throughput ratio (saturated,
 /// in-process) a sweep recorded on a host with at least
 /// [`SERVE_SPEEDUP_MIN_HOST`] cores must show.
@@ -219,6 +227,149 @@ pub fn parse_scale_file(path: &Path, require_full: bool) -> Result<Vec<ScalePoin
         }
     }
     Ok(points)
+}
+
+/// One timeline workload of `BENCH_churn.json`, as the checker reads it.
+#[derive(Debug)]
+pub struct ChurnPoint {
+    /// Workload name (e.g. `AS1239-churn`).
+    pub name: String,
+    /// Timeline length in events.
+    pub events: f64,
+    /// Median per-event wall time of the incremental baseline patch.
+    pub incremental_median_secs: f64,
+    /// Median per-event wall time of the from-scratch rebuild oracle.
+    pub rebuild_median_secs: f64,
+}
+
+/// Reads a `BENCH_churn.json` and validates its schema: the
+/// [`CHURN_SCHEMA`] tag, a non-empty `points` array, per point the key
+/// set the recorder writes, `oracle_checked` set on every point (the
+/// recorder refuses to record an unverified patch), and — the headline
+/// gate — *incremental median ≤ rebuild median* per workload: if patching
+/// the believed state in place is not cheaper than recomputing it, the
+/// incremental machinery has regressed. With `require_full`, additionally
+/// requires at least [`CHURN_MIN_POINTS`] workloads.
+///
+/// # Errors
+///
+/// Reports the first missing field, schema mismatch, unverified point, or
+/// median inversion with the file's path.
+pub fn parse_churn_file(path: &Path, require_full: bool) -> Result<Vec<ChurnPoint>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json_parse(&text).map_err(|e| format!("{} does not parse: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(JsonValue::as_str);
+    if schema != Some(CHURN_SCHEMA) {
+        return Err(format!(
+            "{}: schema {schema:?} is not {CHURN_SCHEMA:?}",
+            path.display()
+        ));
+    }
+    let raw = doc
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{}: missing `points` array", path.display()))?;
+    if raw.is_empty() {
+        return Err(format!("{}: `points` is empty", path.display()));
+    }
+    let mut points = Vec::new();
+    for (i, p) in raw.iter().enumerate() {
+        let name = p
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{}: point {i} has no string `name`", path.display()))?
+            .to_owned();
+        let num = |field: &str| {
+            p.get(field).and_then(JsonValue::as_f64).ok_or_else(|| {
+                format!(
+                    "{}: point {i} (`{name}`) has no numeric `{field}`",
+                    path.display()
+                )
+            })
+        };
+        for field in ["nodes", "links", "labels_touched_total"] {
+            num(field)?;
+        }
+        if num("oracle_checked")? < 1.0 {
+            return Err(format!(
+                "{}: `{name}` was recorded without the rebuild oracle check",
+                path.display()
+            ));
+        }
+        let point = ChurnPoint {
+            events: num("events")?,
+            incremental_median_secs: num("incremental_median_secs")?,
+            rebuild_median_secs: num("rebuild_median_secs")?,
+            name,
+        };
+        if point.incremental_median_secs > point.rebuild_median_secs {
+            return Err(format!(
+                "{}: `{}` patches slower than it rebuilds (incremental median \
+                 {:.6}s > rebuild median {:.6}s) — the incremental baseline \
+                 machinery has regressed",
+                path.display(),
+                point.name,
+                point.incremental_median_secs,
+                point.rebuild_median_secs
+            ));
+        }
+        points.push(point);
+    }
+    if require_full && points.len() < CHURN_MIN_POINTS {
+        return Err(format!(
+            "{}: full run has {} workloads, need at least {CHURN_MIN_POINTS}",
+            path.display(),
+            points.len()
+        ));
+    }
+    Ok(points)
+}
+
+/// Regenerates `BENCH_churn.json` at the workspace root (or, with
+/// `smoke`, a small-grid artifact under `target/bench-churn/`) and
+/// validates what was written.
+///
+/// # Errors
+///
+/// Reports a recorder failure or a validation error on the fresh file.
+pub fn run_bench_churn(root: &Path, smoke: bool) -> Result<(), String> {
+    let out = if smoke {
+        let dir = root.join("target").join("bench-churn");
+        fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        dir.join("BENCH_churn.smoke.json")
+    } else {
+        root.join("BENCH_churn.json")
+    };
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.args([
+        "run",
+        "--release",
+        "-p",
+        "rtr-bench",
+        "--bin",
+        "bench_churn",
+        "--",
+    ]);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let status = cmd
+        .arg(&out)
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("cannot launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("bench_churn exited with {status}"));
+    }
+    let points = parse_churn_file(&out, !smoke)?;
+    println!(
+        "cargo xtask bench-churn: wrote {} ({} workloads{})",
+        out.display(),
+        points.len(),
+        if smoke { ", smoke" } else { "" }
+    );
+    Ok(())
 }
 
 /// Scenario classes a committed `results/matrix.json` must cover, in the
@@ -775,6 +926,17 @@ pub fn run_bench_check(root: &Path) -> Result<(), String> {
         serve_file.points.len()
     );
 
+    // The committed churn sweep is validated schema-plus-invariants (no
+    // fresh run — the churn-smoke CI job replays a live oracle-checked
+    // timeline instead): every point oracle-verified, incremental median
+    // at or below rebuild median.
+    let churn_points = parse_churn_file(&root.join("BENCH_churn.json"), true)?;
+    println!(
+        "cargo xtask bench-check: OK — BENCH_churn.json carries {} oracle-checked \
+         timeline workloads (incremental median <= rebuild median on each)",
+        churn_points.len()
+    );
+
     // The committed scenario-class matrix (Extension M) is schema-gated
     // the same way: the full run is a repro-budget job, not a CI one.
     let (mclasses, mschemes) = parse_matrix_file(&root.join("results").join("matrix.json"))?;
@@ -904,6 +1066,84 @@ mod tests {
         );
         let err = parse_scale_file(&missing_field, false).unwrap_err();
         assert!(err.contains("build_secs"), "got: {err}");
+    }
+
+    /// A well-formed churn document with `n_points` identical workloads.
+    fn churn_json(n_points: usize, inc_median: f64, reb_median: f64, oracle: f64) -> String {
+        let points: Vec<String> = (0..n_points)
+            .map(|i| {
+                format!(
+                    "{{\"name\": \"w{i}-churn\", \"nodes\": 52, \"links\": 84, \
+                     \"events\": 10, \"incremental_median_secs\": {inc_median}, \
+                     \"rebuild_median_secs\": {reb_median}, \
+                     \"labels_touched_total\": 6610, \"oracle_checked\": {oracle}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\": \"{CHURN_SCHEMA}\", \"points\": [{}]}}",
+            points.join(",")
+        )
+    }
+
+    fn write_churn(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xtask-bench-churn-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        fs::write(&p, text).unwrap();
+        p
+    }
+
+    #[test]
+    fn parse_churn_file_accepts_a_full_run() {
+        let p = write_churn("full.json", &churn_json(3, 0.0001, 0.0009, 1.0));
+        let points = parse_churn_file(&p, true).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].name, "w0-churn");
+        assert_eq!(points[0].events, 10.0);
+    }
+
+    #[test]
+    fn parse_churn_file_enforces_the_gates() {
+        // A single workload passes as smoke but not as the full artifact.
+        let few = write_churn("few.json", &churn_json(1, 0.0001, 0.0009, 1.0));
+        assert_eq!(parse_churn_file(&few, false).unwrap().len(), 1);
+        assert!(parse_churn_file(&few, true)
+            .unwrap_err()
+            .contains("workloads"));
+
+        // Incremental slower than rebuild = regression, at any level.
+        let slow = write_churn("slow.json", &churn_json(3, 0.002, 0.001, 1.0));
+        assert!(parse_churn_file(&slow, false)
+            .unwrap_err()
+            .contains("patches slower"));
+
+        // A point recorded without the oracle check is rejected.
+        let unverified = write_churn("unverified.json", &churn_json(3, 0.0001, 0.0009, 0.0));
+        assert!(parse_churn_file(&unverified, false)
+            .unwrap_err()
+            .contains("oracle"));
+    }
+
+    #[test]
+    fn parse_churn_file_rejects_schema_drift() {
+        let bad_tag = write_churn(
+            "tag.json",
+            "{\"schema\": \"bench-churn-v0\", \"points\": [{}]}",
+        );
+        assert!(parse_churn_file(&bad_tag, false)
+            .unwrap_err()
+            .contains("schema"));
+
+        let missing = write_churn(
+            "field.json",
+            &format!(
+                "{{\"schema\": \"{CHURN_SCHEMA}\", \"points\": [\
+                 {{\"name\": \"w0-churn\", \"nodes\": 52}}]}}"
+            ),
+        );
+        let err = parse_churn_file(&missing, false).unwrap_err();
+        assert!(err.contains("links"), "got: {err}");
     }
 
     /// A well-formed matrix document; `mutate` lets a test break it.

@@ -12,6 +12,8 @@
 //! `cargo xtask bench-record` / `bench-check` ([`bench`]) regenerate and
 //! validate the committed `BENCH_eval.json`.
 
+#![deny(missing_docs)]
+
 pub mod allow;
 pub mod bench;
 pub mod engine;

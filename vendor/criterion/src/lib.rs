@@ -11,7 +11,7 @@
 //! outlier analysis, warm-up calibration, or HTML reports; it exists so the
 //! benches compile, run, and print comparable numbers offline.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 use std::time::{Duration, Instant};

@@ -12,7 +12,7 @@
 //! *shrunk*. Case generation is deterministic per test name, so a reported
 //! failure always reproduces.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};

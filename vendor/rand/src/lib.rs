@@ -10,7 +10,7 @@
 //! (ChaCha12). Nothing in the workspace depends on the exact stream, only
 //! on seeded reproducibility within a build.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 
